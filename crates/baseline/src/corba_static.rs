@@ -1,0 +1,293 @@
+//! The static OpenORB-style CORBA server and client.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use corba::{
+    CorbaError, DynamicImplementation, IdlInterface, IdlModule, IdlOperation, Ior, OrbConnection,
+    ServerOrb, ServerRequest,
+};
+use jpie::{TypeDesc, Value};
+
+use crate::StaticOp;
+
+struct OpEntry {
+    params: Vec<(String, TypeDesc)>,
+    return_ty: TypeDesc,
+    handler: Box<StaticOp>,
+}
+
+/// Builder for a [`StaticCorbaServer`].
+pub struct StaticCorbaServerBuilder {
+    name: String,
+    ops: HashMap<String, OpEntry>,
+}
+
+impl std::fmt::Debug for StaticCorbaServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticCorbaServerBuilder")
+            .field("name", &self.name)
+            .field("operations", &self.ops.len())
+            .finish()
+    }
+}
+
+impl StaticCorbaServerBuilder {
+    /// Registers an operation with its signature and handler.
+    pub fn operation<F>(
+        &mut self,
+        name: &str,
+        params: Vec<(String, TypeDesc)>,
+        return_ty: TypeDesc,
+        handler: F,
+    ) -> &mut Self
+    where
+        F: Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.ops.insert(
+            name.to_string(),
+            OpEntry {
+                params,
+                return_ty,
+                handler: Box::new(handler),
+            },
+        );
+        self
+    }
+
+    /// Registers an operation whose handler is already boxed (used by the
+    /// application-export path, [`crate::export_corba`]).
+    pub fn operation_boxed(
+        &mut self,
+        name: &str,
+        params: Vec<(String, TypeDesc)>,
+        return_ty: TypeDesc,
+        handler: Box<crate::StaticOp>,
+    ) -> &mut Self {
+        self.ops.insert(
+            name.to_string(),
+            OpEntry {
+                params,
+                return_ty,
+                handler,
+            },
+        );
+        self
+    }
+
+    /// Initializes the server ORB at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the endpoint cannot be bound.
+    pub fn bind(self, addr: &str) -> Result<StaticCorbaServer, CorbaError> {
+        let ops = Arc::new(self.ops);
+        let skeleton = StaticSkeleton { ops: ops.clone() };
+        let type_id = format!("IDL:{}:1.0", self.name);
+        let orb = ServerOrb::init(addr, &type_id, skeleton)?;
+        Ok(StaticCorbaServer {
+            name: self.name,
+            ops,
+            orb,
+        })
+    }
+}
+
+/// The static skeleton: a fixed dispatch table behind the DSI entry point
+/// (a real static skeleton would be generated code; the dispatch cost is
+/// equivalent).
+struct StaticSkeleton {
+    ops: Arc<HashMap<String, OpEntry>>,
+}
+
+impl DynamicImplementation for StaticSkeleton {
+    fn invoke(&self, request: &mut ServerRequest) {
+        let Some(entry) = self.ops.get(request.operation()) else {
+            request.set_exception(CorbaError::non_existent_method(request.operation()));
+            return;
+        };
+        if request.arguments().len() != entry.params.len() {
+            request.set_exception(CorbaError::system(
+                corba::SystemExceptionKind::BadParam,
+                format!(
+                    "{} expects {} arguments",
+                    request.operation(),
+                    entry.params.len()
+                ),
+            ));
+            return;
+        }
+        match (entry.handler)(request.arguments()) {
+            Ok(v) => request.set_result(v),
+            Err(msg) => request.set_exception(CorbaError::user_exception(msg)),
+        }
+    }
+}
+
+/// A static CORBA server: the "OpenORB" row of Table 1.
+pub struct StaticCorbaServer {
+    name: String,
+    ops: Arc<HashMap<String, OpEntry>>,
+    orb: ServerOrb,
+}
+
+impl std::fmt::Debug for StaticCorbaServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticCorbaServer")
+            .field("name", &self.name)
+            .field("ior", &self.orb.ior().address)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StaticCorbaServer {
+    /// Starts a builder for an interface named `name`.
+    pub fn builder(name: &str) -> StaticCorbaServerBuilder {
+        StaticCorbaServerBuilder {
+            name: name.to_string(),
+            ops: HashMap::new(),
+        }
+    }
+
+    /// The server's IOR.
+    pub fn ior(&self) -> Ior {
+        self.orb.ior()
+    }
+
+    /// The (fixed) CORBA-IDL document.
+    pub fn idl(&self) -> IdlModule {
+        let mut operations: Vec<IdlOperation> = self
+            .ops
+            .iter()
+            .map(|(name, entry)| IdlOperation {
+                name: name.clone(),
+                params: entry.params.clone(),
+                return_ty: entry.return_ty.clone(),
+            })
+            .collect();
+        operations.sort_by(|a, b| a.name.cmp(&b.name));
+        IdlModule {
+            name: self.name.clone(),
+            interfaces: vec![IdlInterface {
+                name: self.name.clone(),
+                operations,
+            }],
+            version: 0,
+        }
+    }
+
+    /// Stops the ORB.
+    pub fn shutdown(&self) {
+        self.orb.shutdown();
+    }
+}
+
+/// A static CORBA client holding a persistent IIOP connection — the
+/// "OpenORB client" of Table 1.
+#[derive(Debug)]
+pub struct StaticCorbaClient {
+    idl: IdlModule,
+    connection: OrbConnection,
+}
+
+impl StaticCorbaClient {
+    /// Connects using the IDL document and the server IOR (Fig 2 step 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unreachable.
+    pub fn connect(idl: IdlModule, ior: &Ior) -> Result<StaticCorbaClient, CorbaError> {
+        let connection = OrbConnection::connect(ior)?;
+        Ok(StaticCorbaClient { idl, connection })
+    }
+
+    /// The compiled IDL.
+    pub fn idl(&self) -> &IdlModule {
+        &self.idl
+    }
+
+    /// Invokes `operation` with positional `args`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server exceptions and transport failures.
+    pub fn call(&mut self, operation: &str, args: &[Value]) -> Result<Value, CorbaError> {
+        self.connection.call(operation, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(tag: &str) -> StaticCorbaServer {
+        let mut b = StaticCorbaServer::builder("Calc");
+        b.operation(
+            "add",
+            vec![("a".into(), TypeDesc::Int), ("b".into(), TypeDesc::Int)],
+            TypeDesc::Int,
+            |args| match (&args[0], &args[1]) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+                _ => Err("bad types".into()),
+            },
+        );
+        b.bind(&format!("mem://static-corba-{tag}")).unwrap()
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let server = server("rt");
+        let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).unwrap();
+        assert_eq!(
+            client.call("add", &[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            client.call("add", &[Value::Int(7), Value::Int(8)]).unwrap(),
+            Value::Int(15)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn idl_document_matches_registry() {
+        let server = server("idl");
+        let idl = server.idl();
+        assert_eq!(idl.primary_interface().unwrap().operations.len(), 1);
+        let text = idl.to_idl();
+        assert!(text.contains("long add(in long a, in long b);"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_operation_raises() {
+        let server = server("missing");
+        let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).unwrap();
+        let err = client.call("ghost", &[]).unwrap_err();
+        assert!(err.is_non_existent_method());
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_error_is_user_exception() {
+        let mut b = StaticCorbaServer::builder("Errs");
+        b.operation("boom", vec![], TypeDesc::Void, |_| Err("bad day".into()));
+        let server = b.bind("mem://static-corba-apperr").unwrap();
+        let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).unwrap();
+        let err = client.call("boom", &[]).unwrap_err();
+        assert!(matches!(err, CorbaError::User { message, .. } if message == "bad day"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn arity_checked() {
+        let server = server("arity");
+        let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).unwrap();
+        let err = client.call("add", &[Value::Int(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            CorbaError::System(corba::SystemExceptionKind::BadParam, _)
+        ));
+        server.shutdown();
+    }
+}

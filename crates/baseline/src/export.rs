@@ -1,0 +1,208 @@
+//! Application export: converting a live SDE server into a static one.
+//!
+//! §7 of the paper: "the performance overhead introduced by SDE is only
+//! present during the development phase. At the end of the development
+//! phase, the dynamic SDE server can be converted into a static SOAP or
+//! CORBA server through JPie's built-in application export mechanism."
+//!
+//! Export snapshots the class's current *distributed interface* into a
+//! fixed dispatch table (so later interface edits no longer affect the
+//! deployed service) and routes each operation to the live instance's
+//! method bodies. The exported server is a plain [`StaticSoapServer`] /
+//! [`StaticCorbaServer`] with none of the development-time machinery —
+//! exactly the class of server the Table 1 baselines measure.
+
+use std::sync::Arc;
+
+use corba::CorbaError;
+use httpd::HttpError;
+use jpie::{ClassHandle, Instance, SignatureView, Value};
+
+use crate::{StaticCorbaServer, StaticSoapServer};
+
+fn frozen_ops(class: &ClassHandle) -> Vec<SignatureView> {
+    class.distributed_signatures()
+}
+
+fn install<BuilderOp>(signatures: &[SignatureView], instance: &Arc<Instance>, mut add: BuilderOp)
+where
+    BuilderOp: FnMut(&SignatureView, Box<crate::StaticOp>),
+{
+    for sig in signatures {
+        let instance = instance.clone();
+        let method = sig.name.clone();
+        let arity = sig.params.len();
+        let handler: Box<crate::StaticOp> = Box::new(move |args: &[Value]| {
+            if args.len() != arity {
+                return Err(format!(
+                    "{method} expects {arity} argument(s), got {}",
+                    args.len()
+                ));
+            }
+            instance
+                .invoke_distributed(&method, args)
+                .map_err(|e| e.to_string())
+        });
+        add(sig, handler);
+    }
+}
+
+/// Exports the current distributed interface of `class`, served by
+/// `instance`, as a static SOAP server bound at `addr`.
+///
+/// # Errors
+///
+/// Fails if the endpoint cannot be bound.
+///
+/// # Examples
+///
+/// ```
+/// use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+/// use jpie::expr::Expr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let class = ClassHandle::new("Done");
+/// class.add_method(
+///     MethodBuilder::new("twice", TypeDesc::Int)
+///         .param("x", TypeDesc::Int)
+///         .distributed(true)
+///         .body_expr(Expr::param("x") * Expr::lit(2)),
+/// )?;
+/// let instance = std::sync::Arc::new(class.instantiate()?);
+/// let server = baseline::export_soap(&class, &instance, "mem://doc-export")?;
+/// let mut client = baseline::StaticSoapClient::from_wsdl_xml(&server.wsdl_xml())?;
+/// assert_eq!(client.call("twice", &[Value::Int(21)])?, Value::Int(42));
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub fn export_soap(
+    class: &ClassHandle,
+    instance: &Arc<Instance>,
+    addr: &str,
+) -> Result<StaticSoapServer, HttpError> {
+    let mut builder = StaticSoapServer::builder(&class.name());
+    install(&frozen_ops(class), instance, |sig, handler| {
+        builder.operation_boxed(
+            &sig.name,
+            sig.params
+                .iter()
+                .map(|(_, n, t)| (n.clone(), t.clone()))
+                .collect(),
+            sig.return_ty.clone(),
+            handler,
+        );
+    });
+    builder.bind(addr)
+}
+
+/// Exports the current distributed interface of `class` as a static CORBA
+/// server bound at `addr` (see [`export_soap`]).
+///
+/// # Errors
+///
+/// Fails if the ORB endpoint cannot be bound.
+pub fn export_corba(
+    class: &ClassHandle,
+    instance: &Arc<Instance>,
+    addr: &str,
+) -> Result<StaticCorbaServer, CorbaError> {
+    let mut builder = StaticCorbaServer::builder(&class.name());
+    install(&frozen_ops(class), instance, |sig, handler| {
+        builder.operation_boxed(
+            &sig.name,
+            sig.params
+                .iter()
+                .map(|(_, n, t)| (n.clone(), t.clone()))
+                .collect(),
+            sig.return_ty.clone(),
+            handler,
+        );
+    });
+    builder.bind(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StaticCorbaClient, StaticSoapClient};
+    use jpie::expr::Expr;
+    use jpie::{MethodBuilder, TypeDesc};
+
+    fn calc() -> (ClassHandle, Arc<Instance>) {
+        let class = ClassHandle::new("Exported");
+        class
+            .add_method(
+                MethodBuilder::new("add", TypeDesc::Int)
+                    .param("a", TypeDesc::Int)
+                    .param("b", TypeDesc::Int)
+                    .distributed(true)
+                    .body_expr(Expr::param("a") + Expr::param("b")),
+            )
+            .unwrap();
+        class
+            .add_method(MethodBuilder::new("secret", TypeDesc::Void))
+            .unwrap();
+        let instance = Arc::new(class.instantiate().unwrap());
+        (class, instance)
+    }
+
+    #[test]
+    fn exported_soap_serves_frozen_interface() {
+        let (class, instance) = calc();
+        let server = export_soap(&class, &instance, "mem://export-soap").unwrap();
+        let wsdl = server.wsdl();
+        // Only distributed methods are exported.
+        assert_eq!(wsdl.operations.len(), 1);
+
+        let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).unwrap();
+        assert_eq!(
+            client.call("add", &[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn exported_corba_serves_frozen_interface() {
+        let (class, instance) = calc();
+        let server = export_corba(&class, &instance, "mem://export-corba").unwrap();
+        let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).unwrap();
+        assert_eq!(
+            client
+                .call("add", &[Value::Int(40), Value::Int(2)])
+                .unwrap(),
+            Value::Int(42)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn interface_edits_after_export_do_not_leak() {
+        let (class, instance) = calc();
+        let server = export_soap(&class, &instance, "mem://export-frozen").unwrap();
+        let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).unwrap();
+
+        // Post-export interface growth is invisible to the static server.
+        class
+            .add_method(
+                MethodBuilder::new("late", TypeDesc::Int)
+                    .distributed(true)
+                    .body_expr(Expr::lit(9)),
+            )
+            .unwrap();
+        let err = client.call("late", &[]).unwrap_err();
+        assert!(err.contains("Non existent Method"), "{err}");
+
+        // A rename makes the frozen table point at a missing method; the
+        // static server reports it as an application-level error rather
+        // than serving the renamed version.
+        let add = class.find_method("add").unwrap();
+        class.rename_method(add, "plus").unwrap();
+        let err = client
+            .call("add", &[Value::Int(1), Value::Int(1)])
+            .unwrap_err();
+        assert!(err.contains("no such method"), "{err}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,349 @@
+//! The Axis/Tomcat-style static Web Service and static Axis-style client.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use httpd::{Connection, HttpClient, HttpError, HttpServer, Request, Response, Status};
+use jpie::{TypeDesc, Value};
+use soap::{
+    decode_request, SoapError, SoapFault, SoapRequest, SoapResponse, WsdlDocument, WsdlOperation,
+};
+
+use crate::StaticOp;
+
+struct OpEntry {
+    params: Vec<(String, TypeDesc)>,
+    return_ty: TypeDesc,
+    handler: Box<StaticOp>,
+}
+
+/// Builder for a [`StaticSoapServer`].
+pub struct StaticSoapServerBuilder {
+    service_name: String,
+    ops: HashMap<String, OpEntry>,
+}
+
+impl std::fmt::Debug for StaticSoapServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticSoapServerBuilder")
+            .field("service_name", &self.service_name)
+            .field("operations", &self.ops.len())
+            .finish()
+    }
+}
+
+impl StaticSoapServerBuilder {
+    /// Registers an operation with its (fixed) signature and handler.
+    pub fn operation<F>(
+        &mut self,
+        name: &str,
+        params: Vec<(String, TypeDesc)>,
+        return_ty: TypeDesc,
+        handler: F,
+    ) -> &mut Self
+    where
+        F: Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.ops.insert(
+            name.to_string(),
+            OpEntry {
+                params,
+                return_ty,
+                handler: Box::new(handler),
+            },
+        );
+        self
+    }
+
+    /// Registers an operation whose handler is already boxed (used by the
+    /// application-export path, [`crate::export_soap`]).
+    pub fn operation_boxed(
+        &mut self,
+        name: &str,
+        params: Vec<(String, TypeDesc)>,
+        return_ty: TypeDesc,
+        handler: Box<crate::StaticOp>,
+    ) -> &mut Self {
+        self.ops.insert(
+            name.to_string(),
+            OpEntry {
+                params,
+                return_ty,
+                handler,
+            },
+        );
+        self
+    }
+
+    /// Binds the endpoint and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the endpoint cannot be bound.
+    pub fn bind(self, addr: &str) -> Result<StaticSoapServer, HttpError> {
+        let ops = Arc::new(self.ops);
+        let service_name = self.service_name;
+        let handler_ops = ops.clone();
+        let namespace = format!("urn:{service_name}");
+        let handler_ns = namespace.clone();
+        let http = HttpServer::bind(addr, move |req: &Request| {
+            handle(req, &handler_ops, &handler_ns)
+        })?;
+        let endpoint = format!("{}/{}", http.base_url(), service_name);
+        Ok(StaticSoapServer {
+            service_name,
+            ops,
+            http,
+            endpoint,
+        })
+    }
+}
+
+fn handle(req: &Request, ops: &HashMap<String, OpEntry>, _namespace: &str) -> Response {
+    let soap_req = match decode_request(&req.body_str()) {
+        Ok(r) => r,
+        Err(e) => {
+            return fault(&SoapFault::malformed_request(e.to_string()));
+        }
+    };
+    let Some(entry) = ops.get(soap_req.method()) else {
+        return fault(&SoapFault::non_existent_method(soap_req.method()));
+    };
+    if soap_req.args().len() != entry.params.len() {
+        return fault(&SoapFault::non_existent_method(soap_req.method()));
+    }
+    let args: Vec<Value> = soap_req.args().iter().map(|(_, v)| v.clone()).collect();
+    match (entry.handler)(&args) {
+        Ok(v) => Response::ok(
+            SoapResponse::encode_ok(soap_req.method(), soap_req.namespace(), &v).into_bytes(),
+            "text/xml",
+        ),
+        Err(msg) => fault(&SoapFault::application_exception(msg)),
+    }
+}
+
+fn fault(f: &SoapFault) -> Response {
+    Response::new(
+        Status::INTERNAL_SERVER_ERROR,
+        SoapResponse::encode_fault(f).into_bytes(),
+        "text/xml",
+    )
+}
+
+/// A static Web Service: fixed dispatch table, fixed WSDL — the
+/// "Axis-Tomcat" row of Table 1.
+pub struct StaticSoapServer {
+    service_name: String,
+    ops: Arc<HashMap<String, OpEntry>>,
+    http: HttpServer,
+    endpoint: String,
+}
+
+impl std::fmt::Debug for StaticSoapServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticSoapServer")
+            .field("service_name", &self.service_name)
+            .field("endpoint", &self.endpoint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StaticSoapServer {
+    /// Starts a builder for a service named `service_name`.
+    pub fn builder(service_name: &str) -> StaticSoapServerBuilder {
+        StaticSoapServerBuilder {
+            service_name: service_name.to_string(),
+            ops: HashMap::new(),
+        }
+    }
+
+    /// The SOAP endpoint URL.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// The (fixed) WSDL document for this service.
+    pub fn wsdl(&self) -> WsdlDocument {
+        let mut operations: Vec<WsdlOperation> = self
+            .ops
+            .iter()
+            .map(|(name, entry)| WsdlOperation {
+                name: name.clone(),
+                params: entry.params.clone(),
+                return_ty: entry.return_ty.clone(),
+            })
+            .collect();
+        operations.sort_by(|a, b| a.name.cmp(&b.name));
+        WsdlDocument {
+            service_name: self.service_name.clone(),
+            endpoint: self.endpoint.clone(),
+            operations,
+            version: 0,
+        }
+    }
+
+    /// The WSDL document as XML.
+    pub fn wsdl_xml(&self) -> String {
+        self.wsdl().to_xml()
+    }
+
+    /// Stops serving.
+    pub fn shutdown(&self) {
+        self.http.shutdown();
+    }
+}
+
+/// A static SOAP client: compiles the WSDL once and keeps one HTTP
+/// connection alive — the "Axis client" of Table 1.
+#[derive(Debug)]
+pub struct StaticSoapClient {
+    wsdl: WsdlDocument,
+    namespace: String,
+    connection: Connection,
+}
+
+impl StaticSoapClient {
+    /// Builds a client from a WSDL document in XML form.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the WSDL is malformed or the endpoint is unreachable.
+    pub fn from_wsdl_xml(xml: &str) -> Result<StaticSoapClient, SoapError> {
+        let wsdl = WsdlDocument::parse(xml)?;
+        Self::from_wsdl(wsdl)
+    }
+
+    /// Builds a client from a parsed WSDL document.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the endpoint is unreachable.
+    pub fn from_wsdl(wsdl: WsdlDocument) -> Result<StaticSoapClient, SoapError> {
+        let connection = HttpClient::new()
+            .connect(&wsdl.endpoint)
+            .map_err(|e| SoapError::Malformed(format!("connect: {e}")))?;
+        Ok(StaticSoapClient {
+            namespace: wsdl.namespace(),
+            wsdl,
+            connection,
+        })
+    }
+
+    /// The compiled WSDL.
+    pub fn wsdl(&self) -> &WsdlDocument {
+        &self.wsdl
+    }
+
+    /// Invokes `method` with positional `args` over the persistent
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for faults and transport failures (static
+    /// clients have no live-update recovery — that is the point).
+    pub fn call(&mut self, method: &str, args: &[Value]) -> Result<Value, String> {
+        let names: Vec<String> = match self.wsdl.operation(method) {
+            Some(op) => op.params.iter().map(|(n, _)| n.clone()).collect(),
+            None => (0..args.len()).map(|i| format!("arg{i}")).collect(),
+        };
+        let mut soap_req = SoapRequest::new(self.namespace.clone(), method);
+        for (i, v) in args.iter().enumerate() {
+            let name = names.get(i).cloned().unwrap_or_else(|| format!("arg{i}"));
+            soap_req = soap_req.arg(name, v.clone());
+        }
+        let path = path_of(&self.wsdl.endpoint);
+        let req = httpd::Request::post(path, soap_req.to_xml().into_bytes(), "text/xml");
+        let resp = self
+            .connection
+            .send(&req)
+            .map_err(|e| format!("transport: {e}"))?;
+        match soap::decode_response(&resp.body_str()).map_err(|e| e.to_string())? {
+            SoapResponse::Ok(v) => Ok(v),
+            SoapResponse::Fault(f) => Err(f.to_string()),
+        }
+    }
+}
+
+fn path_of(url: &str) -> String {
+    url.find("://")
+        .and_then(|i| url[i + 3..].find('/').map(|j| url[i + 3 + j..].to_string()))
+        .unwrap_or_else(|| "/".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(tag: &str) -> StaticSoapServer {
+        let mut b = StaticSoapServer::builder("Calc");
+        b.operation(
+            "add",
+            vec![("a".into(), TypeDesc::Int), ("b".into(), TypeDesc::Int)],
+            TypeDesc::Int,
+            |args| match (&args[0], &args[1]) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+                _ => Err("bad types".into()),
+            },
+        );
+        b.operation("fail", vec![], TypeDesc::Void, |_| Err("nope".into()));
+        b.bind(&format!("mem://static-soap-{tag}")).unwrap()
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let server = server("rt");
+        let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).unwrap();
+        assert_eq!(
+            client.call("add", &[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
+        // Connection is persistent: a second call reuses it.
+        assert_eq!(
+            client.call("add", &[Value::Int(4), Value::Int(5)]).unwrap(),
+            Value::Int(9)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn wsdl_lists_operations() {
+        let server = server("wsdl");
+        let wsdl = server.wsdl();
+        assert_eq!(wsdl.operations.len(), 2);
+        assert!(wsdl.operation("add").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_method_faults() {
+        let server = server("missing");
+        let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).unwrap();
+        let err = client.call("ghost", &[]).unwrap_err();
+        assert!(err.contains("Non existent Method"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_error_becomes_fault() {
+        let server = server("apperr");
+        let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).unwrap();
+        let err = client.call("fail", &[]).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn arity_mismatch_faults() {
+        let server = server("arity");
+        let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).unwrap();
+        assert!(client.call("add", &[Value::Int(1)]).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn path_extraction() {
+        assert_eq!(path_of("mem://x/Calc"), "/Calc");
+        assert_eq!(path_of("tcp://1.2.3.4:5/a/b"), "/a/b");
+        assert_eq!(path_of("mem://bare"), "/");
+    }
+}

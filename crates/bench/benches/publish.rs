@@ -1,0 +1,77 @@
+//! Benchmarks of the publication path: interface generation cost (the
+//! operation §5.6 calls "relatively expensive" and schedules carefully),
+//! and the §5.7 `ensure_current` fast path that makes rogue clients
+//! harmless.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jpie::{ClassHandle, MethodBuilder, TypeDesc};
+use sde::publish::{GeneratedDoc, PublicationStrategy, PublisherCore};
+use soap::WsdlDocument;
+
+fn class_with(methods: usize) -> ClassHandle {
+    let class = ClassHandle::new("Gen");
+    for i in 0..methods {
+        class
+            .add_method(
+                MethodBuilder::new(format!("op{i}"), TypeDesc::Int)
+                    .param("x", TypeDesc::Int)
+                    .distributed(true),
+            )
+            .expect("method");
+    }
+    class
+}
+
+fn bench_generation(c: &mut Criterion) {
+    for methods in [1usize, 10, 50] {
+        let class = class_with(methods);
+        c.bench_function(&format!("wsdl_generation_{methods}_methods"), |b| {
+            b.iter(|| {
+                WsdlDocument::from_signatures(
+                    class.name(),
+                    "mem://x/Gen",
+                    &class.distributed_signatures(),
+                    class.interface_version(),
+                )
+                .to_xml()
+            })
+        });
+    }
+}
+
+fn bench_ensure_current(c: &mut Criterion) {
+    let class = class_with(5);
+    let gen_class = class.clone();
+    let publisher = PublisherCore::start(
+        class,
+        PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+        Box::new(move || GeneratedDoc {
+            text: format!("v{}", gen_class.interface_version()),
+            version: gen_class.interface_version(),
+        }),
+        Box::new(|_doc| {}),
+    );
+    publisher.ensure_current();
+    // The steady-state fast path: published interface already current.
+    c.bench_function("ensure_current_noop", |b| {
+        b.iter(|| publisher.ensure_current())
+    });
+    publisher.shutdown();
+}
+
+fn bench_signature_snapshot(c: &mut Criterion) {
+    let class = class_with(50);
+    c.bench_function("distributed_signatures_50", |b| {
+        b.iter(|| class.distributed_signatures())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_ensure_current,
+    bench_signature_snapshot
+);
+criterion_main!(benches);

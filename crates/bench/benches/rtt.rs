@@ -1,0 +1,112 @@
+//! Criterion companion to the Table 1 harness: per-call RTT of the four
+//! server/client configurations over the deterministic in-memory
+//! transport (so CI noise doesn't drown the SDE-vs-static delta).
+
+use std::time::Duration;
+
+use baseline::{StaticCorbaClient, StaticCorbaServer, StaticSoapClient, StaticSoapServer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+fn echo_class() -> ClassHandle {
+    let class = ClassHandle::new("EchoService");
+    class
+        .add_method(
+            MethodBuilder::new("echo", TypeDesc::Str)
+                .param("payload", TypeDesc::Str)
+                .distributed(true)
+                .body_expr(Expr::param("payload")),
+        )
+        .expect("echo method");
+    class
+}
+
+const PAYLOAD: &str = "The quick brown fox jumps over the lazy dog.";
+
+fn bench_rtt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtt");
+    group.measurement_time(Duration::from_secs(5));
+
+    // SDE SOAP / static Axis-style client.
+    {
+        let manager = SdeManager::new(SdeConfig {
+            transport: TransportKind::Mem,
+            strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        })
+        .expect("manager");
+        let server = manager.deploy_soap(echo_class()).expect("deploy");
+        server.create_instance().expect("instance");
+        let wsdl = manager.interface_document("EchoService").expect("wsdl");
+        let mut client = StaticSoapClient::from_wsdl_xml(&wsdl).expect("client");
+        let arg = [Value::Str(PAYLOAD.into())];
+        group.bench_function("sde_soap", |b| {
+            b.iter(|| client.call("echo", &arg).expect("call"))
+        });
+        manager.shutdown();
+    }
+
+    // Static SOAP ("Axis-Tomcat").
+    {
+        let mut b = StaticSoapServer::builder("EchoService");
+        b.operation(
+            "echo",
+            vec![("payload".into(), TypeDesc::Str)],
+            TypeDesc::Str,
+            |args| Ok(args[0].clone()),
+        );
+        let server = b.bind("mem://crit-static-soap").expect("bind");
+        let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).expect("client");
+        let arg = [Value::Str(PAYLOAD.into())];
+        group.bench_function("static_soap", |bch| {
+            bch.iter(|| client.call("echo", &arg).expect("call"))
+        });
+        server.shutdown();
+    }
+
+    // SDE CORBA / static OpenORB-style client.
+    {
+        let manager = SdeManager::new(SdeConfig {
+            transport: TransportKind::Mem,
+            strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        })
+        .expect("manager");
+        let server = manager.deploy_corba(echo_class()).expect("deploy");
+        server.create_instance().expect("instance");
+        let idl = corba::IdlModule::from_signatures(
+            "EchoService",
+            &server.class().distributed_signatures(),
+            server.class().interface_version(),
+        );
+        let mut client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
+        let arg = [Value::Str(PAYLOAD.into())];
+        group.bench_function("sde_corba", |b| {
+            b.iter(|| client.call("echo", &arg).expect("call"))
+        });
+        manager.shutdown();
+    }
+
+    // Static CORBA ("OpenORB").
+    {
+        let mut b = StaticCorbaServer::builder("EchoService");
+        b.operation(
+            "echo",
+            vec![("payload".into(), TypeDesc::Str)],
+            TypeDesc::Str,
+            |args| Ok(args[0].clone()),
+        );
+        let server = b.bind("mem://crit-static-corba").expect("bind");
+        let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).expect("client");
+        let arg = [Value::Str(PAYLOAD.into())];
+        group.bench_function("static_corba", |bch| {
+            bch.iter(|| client.call("echo", &arg).expect("call"))
+        });
+        server.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtt);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates the **§5.7 rogue-client claim**: stale-method spam cannot
+//! force needless interface generations.
+//!
+//! Usage: `rogue_client [calls] [edits]` — defaults to 200 calls, 3 edits.
+
+use bench::rogue::{render, run};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let calls: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let edits: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let report = run(calls, edits);
+    println!("{}", render(&report));
+}

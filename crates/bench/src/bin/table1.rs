@@ -1,0 +1,41 @@
+//! Regenerates **Table 1** (RTT for SDE vs. static servers) and evaluates
+//! the §7 ≤ 25 % overhead claim; `--sweep` adds the payload-size sweep
+//! explaining the SOAP-vs-CORBA ordering.
+//!
+//! Usage: `table1 [calls] [tcp|mem] [--sweep]` — defaults to 100 calls
+//! (as in the paper) over TCP loopback.
+
+use bench::rtt::{render, render_sweep, run_payload_sweep, run_table1, RttConfig};
+use sde::TransportKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = args.iter().any(|a| a == "--sweep");
+    let calls: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(100);
+    let transport = if args.iter().any(|a| a == "mem") {
+        TransportKind::Mem
+    } else {
+        TransportKind::Tcp
+    };
+    let cfg = RttConfig {
+        calls,
+        warmup: calls / 5 + 1,
+        transport,
+    };
+    eprintln!(
+        "measuring {} calls per configuration over {:?} ...",
+        cfg.calls, transport
+    );
+    let table = run_table1(&cfg);
+    println!("{}", render(&table));
+
+    if sweep {
+        eprintln!("running payload sweep ...");
+        let points = run_payload_sweep(&cfg, &[16, 256, 4096, 65536]);
+        println!("{}", render_sweep(&points));
+        println!(
+            "The XML path (SOAP) scales with payload much faster than binary\n\
+             CDR (CORBA), which is why Table 1's SOAP rows are the slow ones."
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! Figures 7 and 8: the consistency matrices for active vs. reactive
+//! publishing.
+//!
+//! Setup (both figures): a server method is live-renamed, so the client's
+//! next call raises "Non existent Method". The question is whether, when
+//! the developer inspects the error, the client's view of the server
+//! interface shows the change.
+//!
+//! **Fig 7 (active publishing)** — the interface-update path and the RMI
+//! call path are completely independent. Publication can fall at three
+//! points of the server timeline (1: before the call is processed,
+//! 2: while the call is processed / before the client acts on the
+//! exception, 3: after the error is displayed) and the client stub update
+//! at three points of the client timeline (i: while the call is in
+//! flight, ii: after the exception is received but before display,
+//! iii: after display). Following the figure, slots interleave
+//! pessimistically in the order `1 < i < 2 < ii < display < 3 < iii`.
+//! Only (1,i), (1,ii) and (2,ii) leave the error visible.
+//!
+//! **Fig 8 (reactive publishing)** — the §5.7 server-side forced
+//! publication plus the §6 client-side refresh-on-exception add
+//! synchronization points to both paths, and every combination of the
+//! optional extra publish/update slots (1-4 × i-iv) meets the recency
+//! guarantee.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cde::{CallError, ClientEnvironment};
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use sde::{
+    PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, Technology, TransportKind,
+};
+use serde::Serialize;
+
+/// One cell of a consistency matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixCell {
+    /// Server-side publication slot label ("1".."4").
+    pub publish_slot: String,
+    /// Client-side update slot label ("i".."iv").
+    pub update_slot: String,
+    /// Whether the interface change was visible at display time.
+    pub consistent: bool,
+    /// Client view version at display vs. the version the server used.
+    pub client_version: u64,
+    /// The interface version the server processed the call under.
+    pub server_version: u64,
+}
+
+/// Results for one regime (one figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Matrix {
+    /// "active" (Fig 7) or "reactive" (Fig 8).
+    pub regime: String,
+    /// Which technology carried the calls ("SOAP" or "CORBA").
+    pub technology: String,
+    /// All combinations.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl Matrix {
+    /// The consistent (publish, update) pairs, in slot order.
+    pub fn consistent_pairs(&self) -> Vec<(String, String)> {
+        self.cells
+            .iter()
+            .filter(|c| c.consistent)
+            .map(|c| (c.publish_slot.clone(), c.update_slot.clone()))
+            .collect()
+    }
+}
+
+/// Builds a fresh SDE SOAP deployment with one distributed method
+/// `greet`, a connected CDE stub, and a pending rename to `welcome` that
+/// has NOT been published yet. Returns (manager, env, stub, server
+/// version after the change).
+struct Scenario {
+    manager: SdeManager,
+    env: ClientEnvironment,
+    stub: Arc<cde::DynamicStub>,
+    changed_version: u64,
+}
+
+fn scenario_with(reactive: bool, technology: Technology) -> Scenario {
+    let manager = SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        // Enormous stable timeout: nothing publishes unless forced —
+        // publication timing is entirely under driver control.
+        strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+    })
+    .expect("manager");
+    let class = ClassHandle::new("Consistency");
+    class
+        .add_method(
+            MethodBuilder::new("greet", TypeDesc::Str)
+                .param("who", TypeDesc::Str)
+                .distributed(true)
+                .body_expr(Expr::lit("hello ") + Expr::param("who")),
+        )
+        .expect("greet");
+    let env = ClientEnvironment::new();
+    let stub = match technology {
+        Technology::Soap => {
+            let server = manager.deploy_soap(class.clone()).expect("deploy");
+            server.create_instance().expect("instance");
+            server.set_reactive(reactive);
+            server.publisher().force_publish();
+            server.publisher().ensure_current();
+            env.connect_soap(server.wsdl_url()).expect("stub")
+        }
+        Technology::Corba => {
+            let server = manager.deploy_corba(class.clone()).expect("deploy");
+            server.create_instance().expect("instance");
+            server.set_reactive(reactive);
+            server.publisher().force_publish();
+            server.publisher().ensure_current();
+            env.connect_corba(server.idl_url(), server.ior_url())
+                .expect("stub")
+        }
+    };
+    assert!(stub.operation("greet").is_some());
+
+    // The live edit: rename greet -> welcome (not yet published).
+    let greet = class.find_method("greet").expect("greet id");
+    class.rename_method(greet, "welcome").expect("rename");
+    let changed_version = class.interface_version();
+    Scenario {
+        manager,
+        env,
+        stub,
+        changed_version,
+    }
+}
+
+fn publish(s: &Scenario) {
+    if let Some(server) = s.manager.soap_server("Consistency") {
+        server.publisher().force_publish();
+        server.publisher().ensure_current();
+    }
+    if let Some(server) = s.manager.corba_server("Consistency") {
+        server.publisher().force_publish();
+        server.publisher().ensure_current();
+    }
+}
+
+/// Runs the Fig 7 matrix: active publishing, pessimistic interleaving
+/// `1 < i < 2 < ii < display < 3 < iii`.
+pub fn run_active_matrix() -> Matrix {
+    run_active_matrix_over(Technology::Soap)
+}
+
+/// Runs the Fig 7 matrix over the given technology.
+pub fn run_active_matrix_over(technology: Technology) -> Matrix {
+    let mut cells = Vec::new();
+    for (pi, publish_slot) in ["1", "2", "3"].iter().enumerate() {
+        for (ui, update_slot) in ["i", "ii", "iii"].iter().enumerate() {
+            let s = scenario_with(false, technology);
+
+            // Slot 1: publish before the call is processed.
+            if pi == 0 {
+                publish(&s);
+            }
+            // The RMI call (raises Non existent Method; active mode, so
+            // the server does not force publication).
+            let err = s
+                .stub
+                .call_raw("greet", &[Value::Str("dev".into())])
+                .expect_err("stale call must fail");
+            assert!(matches!(err, CallError::StaleMethod { .. }), "{err:?}");
+
+            // Slot i: the stub updated while the call was in flight —
+            // pessimistically ordered before a slot-2 publication.
+            if ui == 0 {
+                let _ = s.stub.refresh();
+            }
+            // Slot 2: publish "during processing / before the client acts".
+            if pi == 1 {
+                publish(&s);
+            }
+            // Slot ii: update after receiving the exception, before display.
+            if ui == 1 {
+                let _ = s.stub.refresh();
+            }
+
+            // Display: can the developer see the change?
+            let client_version = s.stub.interface_version();
+            let consistent = s.stub.operation("welcome").is_some()
+                && s.stub.operation("greet").is_none()
+                && client_version >= s.changed_version;
+
+            // Slots 3 / iii happen after display — too late by definition.
+            if pi == 2 {
+                publish(&s);
+            }
+            if ui == 2 {
+                let _ = s.stub.refresh();
+            }
+
+            cells.push(MatrixCell {
+                publish_slot: publish_slot.to_string(),
+                update_slot: update_slot.to_string(),
+                consistent,
+                client_version,
+                server_version: s.changed_version,
+            });
+            s.manager.shutdown();
+        }
+    }
+    Matrix {
+        regime: "active".into(),
+        technology: technology.to_string(),
+        cells,
+    }
+}
+
+/// Runs the Fig 8 matrix: reactive publishing (§5.7 server side + §6
+/// client side), with optional extra publish/update at each of 4 × 4
+/// slots. Every combination must satisfy the recency guarantee.
+pub fn run_reactive_matrix() -> Matrix {
+    run_reactive_matrix_over(Technology::Soap)
+}
+
+/// Runs the Fig 8 matrix over the given technology.
+pub fn run_reactive_matrix_over(technology: Technology) -> Matrix {
+    let mut cells = Vec::new();
+    for (pi, publish_slot) in ["1", "2", "3", "4"].iter().enumerate() {
+        for (ui, update_slot) in ["i", "ii", "iii", "iv"].iter().enumerate() {
+            let s = scenario_with(true, technology);
+
+            // Optional regular publication before the call.
+            if pi == 0 {
+                publish(&s);
+            }
+            // Optional regular client update before the call.
+            if ui == 0 {
+                let _ = s.stub.refresh();
+            }
+
+            // The RMI call through the full CDE protocol: the server
+            // forces publication before answering (§5.7), the client
+            // refreshes before surfacing the error (§6).
+            let err = s
+                .env
+                .call(&s.stub, "greet", &[Value::Str("dev".into())])
+                .expect_err("stale call must fail");
+            assert!(matches!(err, CallError::StaleMethod { .. }), "{err:?}");
+
+            // Optional extra publish/update between receipt and display.
+            if pi == 1 {
+                publish(&s);
+            }
+            if ui == 1 {
+                let _ = s.stub.refresh();
+            }
+
+            // Display.
+            let client_version = s.stub.interface_version();
+            let consistent = s.stub.operation("welcome").is_some()
+                && s.stub.operation("greet").is_none()
+                && client_version >= s.changed_version;
+
+            // Late slots (after display) exist in the figure; they cannot
+            // break the already-satisfied guarantee.
+            if pi == 2 {
+                publish(&s);
+            }
+            if ui == 2 {
+                let _ = s.stub.refresh();
+            }
+
+            cells.push(MatrixCell {
+                publish_slot: publish_slot.to_string(),
+                update_slot: update_slot.to_string(),
+                consistent,
+                client_version,
+                server_version: s.changed_version,
+            });
+            s.manager.shutdown();
+        }
+    }
+    Matrix {
+        regime: "reactive".into(),
+        technology: technology.to_string(),
+        cells,
+    }
+}
+
+/// Renders a matrix in the figures' grid form.
+pub fn render(matrix: &Matrix) -> String {
+    let publish_slots: Vec<String> = {
+        let mut v: Vec<String> = matrix
+            .cells
+            .iter()
+            .map(|c| c.publish_slot.clone())
+            .collect();
+        v.dedup();
+        v
+    };
+    let update_slots: Vec<String> = {
+        let mut v: Vec<String> = matrix.cells.iter().map(|c| c.update_slot.clone()).collect();
+        v.sort();
+        v.dedup();
+        // Roman-numeral order, not lexicographic.
+        let order = ["i", "ii", "iii", "iv"];
+        let mut sorted: Vec<String> = Vec::new();
+        for o in order {
+            if v.iter().any(|u| u == o) {
+                sorted.push(o.to_string());
+            }
+        }
+        sorted
+    };
+    let mut headers: Vec<&str> = vec!["publish\\update"];
+    let header_cells: Vec<String> = update_slots.clone();
+    let header_refs: Vec<&str> = header_cells.iter().map(|s| s.as_str()).collect();
+    headers.extend(header_refs);
+
+    let mut rows = Vec::new();
+    for p in &publish_slots {
+        let mut row = vec![p.clone()];
+        for u in &update_slots {
+            let cell = matrix
+                .cells
+                .iter()
+                .find(|c| &c.publish_slot == p && &c.update_slot == u)
+                .expect("complete matrix");
+            row.push(if cell.consistent {
+                "OK".into()
+            } else {
+                "RACE".into()
+            });
+        }
+        rows.push(row);
+    }
+    let title = match matrix.regime.as_str() {
+        "active" => "Figure 7: active publishing (independent paths)",
+        _ => "Figure 8: reactive publishing (SDE+CDE joint algorithm)",
+    };
+    format!(
+        "{title} — over {}\n{}",
+        matrix.technology,
+        crate::render_table(&headers, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_matrix_matches_figure_7() {
+        let m = run_active_matrix();
+        assert_eq!(m.cells.len(), 9);
+        let ok = m.consistent_pairs();
+        assert_eq!(
+            ok,
+            vec![
+                ("1".to_string(), "i".to_string()),
+                ("1".to_string(), "ii".to_string()),
+                ("2".to_string(), "ii".to_string()),
+            ],
+            "exactly the paper's consistent combinations"
+        );
+    }
+
+    #[test]
+    fn active_matrix_over_corba_matches_figure_7() {
+        let m = run_active_matrix_over(Technology::Corba);
+        assert_eq!(
+            m.consistent_pairs(),
+            vec![
+                ("1".to_string(), "i".to_string()),
+                ("1".to_string(), "ii".to_string()),
+                ("2".to_string(), "ii".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reactive_matrix_over_corba_meets_guarantee() {
+        let m = run_reactive_matrix_over(Technology::Corba);
+        assert_eq!(m.cells.len(), 16);
+        assert!(m.cells.iter().all(|c| c.consistent));
+    }
+
+    #[test]
+    fn reactive_matrix_matches_figure_8() {
+        let m = run_reactive_matrix();
+        assert_eq!(m.cells.len(), 16);
+        assert!(
+            m.cells.iter().all(|c| c.consistent),
+            "all combinations meet the recency guarantee: {:?}",
+            m.cells.iter().filter(|c| !c.consistent).collect::<Vec<_>>()
+        );
+        // Recency: client version >= server processing version everywhere.
+        assert!(m.cells.iter().all(|c| c.client_version >= c.server_version));
+    }
+}

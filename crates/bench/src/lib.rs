@@ -1,0 +1,81 @@
+//! # bench — the experiment harness
+//!
+//! Regenerates every data-bearing table and figure of the paper:
+//!
+//! * [`rtt`] — **Table 1** (and the §7 ≤ 25 % overhead claim): average
+//!   round-trip time of RMI calls for SDE SOAP vs. static SOAP
+//!   ("Axis-Tomcat") and SDE CORBA vs. static CORBA ("OpenORB"), averaged
+//!   over 100 calls as in the paper. Binary: `table1`.
+//! * [`consistency`] — **Figures 7 and 8**: the active-publishing race
+//!   matrix (only (1,i), (1,ii), (2,ii) consistent) and the
+//!   reactive-publishing matrix (all combinations meet the recency
+//!   guarantee). Binary: `consistency_matrix`.
+//! * [`ablation`] — the **§5.6 design argument**: change-driven vs.
+//!   polling vs. stable-timeout publication over recorded edit-session
+//!   traces. Binary: `publication_ablation`.
+//! * [`rogue`] — the **§5.7 claim** that a rogue client spamming
+//!   stale-method calls cannot force needless IDL generations. Binary:
+//!   `rogue_client`.
+//!
+//! Each module returns plain data structures (serde-serializable) and a
+//! pretty text rendering so binaries can print paper-style tables and
+//! tests can assert on the shape of the results.
+
+pub mod ablation;
+pub mod consistency;
+pub mod rogue;
+pub mod rtt;
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Table 1: round-trip times of RMI calls for the four server/client
+//! configurations, and the §7 overhead claim derived from them.
+//!
+//! The paper measured the average RTT of 100 calls between two machines
+//! on a T1 LAN (an SDE SOAP server in JPie vs. an Axis server in Tomcat,
+//! and an SDE CORBA server vs. a static OpenORB server, each driven by a
+//! static client with a persistent connection). Absolute 2004 numbers are
+//! not reproducible; the *shape* — SDE adds overhead, and that overhead
+//! stays within ~25 % of the static server — is what this harness
+//! regenerates, by default over TCP loopback.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use baseline::{StaticCorbaClient, StaticCorbaServer, StaticSoapClient, StaticSoapServer};
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct RttRow {
+    /// Configuration label, matching the paper's "Server/Client" column.
+    pub configuration: String,
+    /// Mean round-trip time.
+    pub mean_rtt_us: f64,
+    /// Median round-trip time.
+    pub median_rtt_us: f64,
+    /// Number of measured calls.
+    pub calls: usize,
+}
+
+/// The full Table 1 reproduction plus derived overhead ratios.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// The four measured rows.
+    pub rows: Vec<RttRow>,
+    /// SDE-SOAP RTT / static-SOAP RTT (paper: 0.58/0.53 ≈ 1.09).
+    pub soap_overhead_ratio: f64,
+    /// SDE-CORBA RTT / static-CORBA RTT (paper: 0.51/0.42 ≈ 1.21).
+    pub corba_overhead_ratio: f64,
+}
+
+/// Parameters for the Table 1 run.
+#[derive(Debug, Clone, Copy)]
+pub struct RttConfig {
+    /// Calls measured per configuration (paper: 100).
+    pub calls: usize,
+    /// Warm-up calls excluded from the measurement.
+    pub warmup: usize,
+    /// Transport for all endpoints.
+    pub transport: TransportKind,
+}
+
+impl Default for RttConfig {
+    fn default() -> Self {
+        RttConfig {
+            calls: 100,
+            warmup: 20,
+            transport: TransportKind::Tcp,
+        }
+    }
+}
+
+fn echo_class() -> ClassHandle {
+    let class = ClassHandle::new("EchoService");
+    class
+        .add_method(
+            MethodBuilder::new("echo", TypeDesc::Str)
+                .param("payload", TypeDesc::Str)
+                .distributed(true)
+                .body_expr(Expr::param("payload")),
+        )
+        .expect("echo method");
+    class
+}
+
+const PAYLOAD: &str = "The quick brown fox jumps over the lazy dog, repeatedly and remotely.";
+
+fn stats(mut samples: Vec<f64>) -> (f64, f64) {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = samples[samples.len() / 2];
+    (mean, median)
+}
+
+fn measure(calls: usize, warmup: usize, mut call: impl FnMut()) -> (f64, f64) {
+    for _ in 0..warmup {
+        call();
+    }
+    let mut samples = Vec::with_capacity(calls);
+    for _ in 0..calls {
+        let t0 = Instant::now();
+        call();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    stats(samples)
+}
+
+/// Measures the SDE SOAP server driven by a static (Axis-style) client.
+pub fn measure_sde_soap(cfg: &RttConfig) -> RttRow {
+    let manager = SdeManager::new(SdeConfig {
+        transport: cfg.transport,
+        // Quiescent publisher: development-time machinery present (stall
+        // lock, dynamic dispatch) but no edits during the measurement.
+        strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+    })
+    .expect("manager");
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+
+    // Static Axis-style client compiled from the published WSDL.
+    let wsdl_xml = manager
+        .interface_document("EchoService")
+        .expect("published wsdl");
+    let mut client = StaticSoapClient::from_wsdl_xml(&wsdl_xml).expect("client");
+    let arg = [Value::Str(PAYLOAD.into())];
+    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+        let v = client.call("echo", &arg).expect("call");
+        assert!(matches!(v, Value::Str(_)));
+    });
+    manager.shutdown();
+    RttRow {
+        configuration: "SDE SOAP/Axis".into(),
+        mean_rtt_us: mean,
+        median_rtt_us: median,
+        calls: cfg.calls,
+    }
+}
+
+/// Measures the static SOAP server ("Axis-Tomcat") with the same client.
+pub fn measure_static_soap(cfg: &RttConfig) -> RttRow {
+    let addr = match cfg.transport {
+        TransportKind::Tcp => "tcp://127.0.0.1:0".to_string(),
+        TransportKind::Mem => format!("mem://bench-static-soap-{:p}", &cfg),
+    };
+    let mut b = StaticSoapServer::builder("EchoService");
+    b.operation(
+        "echo",
+        vec![("payload".into(), TypeDesc::Str)],
+        TypeDesc::Str,
+        |args| Ok(args[0].clone()),
+    );
+    let server = b.bind(&addr).expect("bind");
+    let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).expect("client");
+    let arg = [Value::Str(PAYLOAD.into())];
+    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+        let v = client.call("echo", &arg).expect("call");
+        assert!(matches!(v, Value::Str(_)));
+    });
+    server.shutdown();
+    RttRow {
+        configuration: "Axis-Tomcat/Axis".into(),
+        mean_rtt_us: mean,
+        median_rtt_us: median,
+        calls: cfg.calls,
+    }
+}
+
+/// Measures the SDE CORBA server driven by a static OpenORB-style client.
+pub fn measure_sde_corba(cfg: &RttConfig) -> RttRow {
+    let manager = SdeManager::new(SdeConfig {
+        transport: cfg.transport,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+    })
+    .expect("manager");
+    let server = manager.deploy_corba(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+
+    let idl = corba::IdlModule::from_signatures(
+        "EchoService",
+        &server.class().distributed_signatures(),
+        server.class().interface_version(),
+    );
+    let mut client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
+    let arg = [Value::Str(PAYLOAD.into())];
+    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+        let v = client.call("echo", &arg).expect("call");
+        assert!(matches!(v, Value::Str(_)));
+    });
+    manager.shutdown();
+    RttRow {
+        configuration: "SDE CORBA/OpenORB".into(),
+        mean_rtt_us: mean,
+        median_rtt_us: median,
+        calls: cfg.calls,
+    }
+}
+
+/// Measures the static CORBA server ("OpenORB") with the same client.
+pub fn measure_static_corba(cfg: &RttConfig) -> RttRow {
+    let addr = match cfg.transport {
+        TransportKind::Tcp => "tcp://127.0.0.1:0".to_string(),
+        TransportKind::Mem => format!("mem://bench-static-corba-{:p}", &cfg),
+    };
+    let mut b = StaticCorbaServer::builder("EchoService");
+    b.operation(
+        "echo",
+        vec![("payload".into(), TypeDesc::Str)],
+        TypeDesc::Str,
+        |args| Ok(args[0].clone()),
+    );
+    let server = b.bind(&addr).expect("bind");
+    let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).expect("client");
+    let arg = [Value::Str(PAYLOAD.into())];
+    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+        let v = client.call("echo", &arg).expect("call");
+        assert!(matches!(v, Value::Str(_)));
+    });
+    server.shutdown();
+    RttRow {
+        configuration: "OpenORB/OpenORB".into(),
+        mean_rtt_us: mean,
+        median_rtt_us: median,
+        calls: cfg.calls,
+    }
+}
+
+/// Runs all four configurations and derives the overhead ratios.
+pub fn run_table1(cfg: &RttConfig) -> Table1 {
+    let sde_soap = measure_sde_soap(cfg);
+    let static_soap = measure_static_soap(cfg);
+    let sde_corba = measure_sde_corba(cfg);
+    let static_corba = measure_static_corba(cfg);
+    let soap_overhead_ratio = sde_soap.mean_rtt_us / static_soap.mean_rtt_us;
+    let corba_overhead_ratio = sde_corba.mean_rtt_us / static_corba.mean_rtt_us;
+    Table1 {
+        rows: vec![sde_soap, static_soap, sde_corba, static_corba],
+        soap_overhead_ratio,
+        corba_overhead_ratio,
+    }
+}
+
+/// Renders the table in the paper's layout (plus derived ratios).
+pub fn render(table: &Table1) -> String {
+    let rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.configuration.clone(),
+                format!("{:.1}", r.mean_rtt_us),
+                format!("{:.1}", r.median_rtt_us),
+                r.calls.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 1: RTT times for client-server communication\n");
+    out.push_str(&crate::render_table(
+        &["Server/Client", "mean RTT (us)", "median (us)", "calls"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nSOAP  overhead: SDE/static = {:.3} ({:+.1}%)   [paper: 0.58s/0.53s = 1.094]\n",
+        table.soap_overhead_ratio,
+        (table.soap_overhead_ratio - 1.0) * 100.0
+    ));
+    out.push_str(&format!(
+        "CORBA overhead: SDE/static = {:.3} ({:+.1}%)   [paper: 0.51s/0.42s = 1.214]\n",
+        table.corba_overhead_ratio,
+        (table.corba_overhead_ratio - 1.0) * 100.0
+    ));
+    out.push_str(&format!(
+        "Section 7 claim (overhead within 25%): SOAP {} / CORBA {}\n",
+        if table.soap_overhead_ratio <= 1.25 {
+            "HOLDS"
+        } else {
+            "EXCEEDED"
+        },
+        if table.corba_overhead_ratio <= 1.25 {
+            "HOLDS"
+        } else {
+            "EXCEEDED"
+        },
+    ));
+    out
+}
+
+/// One point of the payload-size sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Mean RTT per configuration, in the Table 1 row order.
+    pub mean_rtt_us: Vec<f64>,
+}
+
+/// Measures RTT as a function of payload size for all four
+/// configurations — the supporting experiment for Table 1's SOAP-vs-CORBA
+/// ordering: XML encoding cost grows much faster with payload size than
+/// binary CDR, so the gap widens with the payload.
+pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &size in sizes {
+        let payload = "x".repeat(size);
+
+        // SDE SOAP.
+        let manager = SdeManager::new(SdeConfig {
+            transport: cfg.transport,
+            strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        })
+        .expect("manager");
+        let server = manager.deploy_soap(echo_class()).expect("deploy");
+        server.create_instance().expect("instance");
+        let wsdl = manager.interface_document("EchoService").expect("wsdl");
+        let mut soap_sde_client = StaticSoapClient::from_wsdl_xml(&wsdl).expect("client");
+        let arg = [Value::Str(payload.clone())];
+        let (sde_soap, _) = measure(cfg.calls, cfg.warmup, || {
+            soap_sde_client.call("echo", &arg).expect("call");
+        });
+        manager.shutdown();
+
+        // Static SOAP.
+        let mut b = StaticSoapServer::builder("EchoService");
+        b.operation(
+            "echo",
+            vec![("payload".into(), TypeDesc::Str)],
+            TypeDesc::Str,
+            |args| Ok(args[0].clone()),
+        );
+        let addr = match cfg.transport {
+            TransportKind::Tcp => "tcp://127.0.0.1:0".to_string(),
+            TransportKind::Mem => format!("mem://sweep-soap-{size}"),
+        };
+        let static_soap_server = b.bind(&addr).expect("bind");
+        let mut static_soap_client =
+            StaticSoapClient::from_wsdl_xml(&static_soap_server.wsdl_xml()).expect("client");
+        let (static_soap, _) = measure(cfg.calls, cfg.warmup, || {
+            static_soap_client.call("echo", &arg).expect("call");
+        });
+        static_soap_server.shutdown();
+
+        // SDE CORBA.
+        let manager = SdeManager::new(SdeConfig {
+            transport: cfg.transport,
+            strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        })
+        .expect("manager");
+        let server = manager.deploy_corba(echo_class()).expect("deploy");
+        server.create_instance().expect("instance");
+        let idl = corba::IdlModule::from_signatures(
+            "EchoService",
+            &server.class().distributed_signatures(),
+            server.class().interface_version(),
+        );
+        let mut corba_sde_client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
+        let (sde_corba, _) = measure(cfg.calls, cfg.warmup, || {
+            corba_sde_client.call("echo", &arg).expect("call");
+        });
+        manager.shutdown();
+
+        // Static CORBA.
+        let mut b = StaticCorbaServer::builder("EchoService");
+        b.operation(
+            "echo",
+            vec![("payload".into(), TypeDesc::Str)],
+            TypeDesc::Str,
+            |args| Ok(args[0].clone()),
+        );
+        let addr = match cfg.transport {
+            TransportKind::Tcp => "tcp://127.0.0.1:0".to_string(),
+            TransportKind::Mem => format!("mem://sweep-corba-{size}"),
+        };
+        let static_corba_server = b.bind(&addr).expect("bind");
+        let mut static_corba_client =
+            StaticCorbaClient::connect(static_corba_server.idl(), &static_corba_server.ior())
+                .expect("client");
+        let (static_corba, _) = measure(cfg.calls, cfg.warmup, || {
+            static_corba_client.call("echo", &arg).expect("call");
+        });
+        static_corba_server.shutdown();
+
+        points.push(SweepPoint {
+            payload_bytes: size,
+            mean_rtt_us: vec![sde_soap, static_soap, sde_corba, static_corba],
+        });
+    }
+    points
+}
+
+/// Renders the payload sweep.
+pub fn render_sweep(points: &[SweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.payload_bytes.to_string()];
+            row.extend(p.mean_rtt_us.iter().map(|v| format!("{v:.1}")));
+            row
+        })
+        .collect();
+    let mut out = String::from("RTT vs payload size (mean us per call)\n");
+    out.push_str(&crate::render_table(
+        &[
+            "payload(B)",
+            "SDE SOAP",
+            "static SOAP",
+            "SDE CORBA",
+            "static CORBA",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// Convenience used by tests: a quick, in-memory run.
+pub fn quick_table1() -> Table1 {
+    run_table1(&RttConfig {
+        calls: 30,
+        warmup: 5,
+        transport: TransportKind::Mem,
+    })
+}
+
+/// Arc-shareable payload for concurrent benchmark drivers.
+pub type SharedTable = Arc<Table1>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sweep_shape() {
+        let cfg = RttConfig {
+            calls: 10,
+            warmup: 2,
+            transport: TransportKind::Mem,
+        };
+        let points = run_payload_sweep(&cfg, &[16, 1024]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.mean_rtt_us.len(), 4);
+            assert!(p.mean_rtt_us.iter().all(|v| *v > 0.0));
+        }
+        let rendered = render_sweep(&points);
+        assert!(rendered.contains("payload(B)"));
+    }
+
+    #[test]
+    fn table1_shape() {
+        let table = quick_table1();
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert!(row.mean_rtt_us > 0.0, "{row:?}");
+            assert_eq!(row.calls, 30);
+        }
+        assert!(table.soap_overhead_ratio > 0.5);
+        assert!(table.corba_overhead_ratio > 0.5);
+        let rendered = render(&table);
+        assert!(rendered.contains("SDE SOAP/Axis"));
+        assert!(rendered.contains("OpenORB/OpenORB"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The Client Development Environment proper: stale-method recovery, the
+//! JPie debugger surface, and live stub classes.
+
+use std::sync::Arc;
+
+use jpie::{ClassHandle, JpieDebugger, MethodBuilder, TypeDesc, Value};
+
+use crate::error::CallError;
+use crate::stub::DynamicStub;
+
+/// The CDE runtime for one client program.
+///
+/// Wraps remote invocations with the client side of the §6 algorithm:
+/// when a call returns the "Non existent Method" exception, the stub's
+/// view of the server interface is first updated to the currently
+/// published one (which, thanks to the server-side §5.7 forced
+/// publication, is at least as recent as the interface the server used to
+/// process the call) and only then is the exception surfaced through the
+/// JPie debugger — making the interface change "clearly visible" to the
+/// developer (Fig 9).
+///
+/// # Examples
+///
+/// See the integration tests and `examples/live_calculator.rs`.
+#[derive(Debug, Default, Clone)]
+pub struct ClientEnvironment {
+    debugger: JpieDebugger,
+}
+
+impl ClientEnvironment {
+    /// Creates an environment with a fresh debugger.
+    pub fn new() -> ClientEnvironment {
+        ClientEnvironment::default()
+    }
+
+    /// The JPie debugger showing caught remote exceptions.
+    pub fn debugger(&self) -> &JpieDebugger {
+        &self.debugger
+    }
+
+    /// Connects to a SOAP Web Service by its published WSDL URL.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the WSDL cannot be fetched or parsed.
+    pub fn connect_soap(&self, wsdl_url: &str) -> Result<Arc<DynamicStub>, CallError> {
+        Ok(Arc::new(DynamicStub::from_wsdl(wsdl_url)?))
+    }
+
+    /// Connects to a CORBA server by its published CORBA-IDL and IOR URLs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either document cannot be fetched or parsed.
+    pub fn connect_corba(
+        &self,
+        idl_url: &str,
+        ior_url: &str,
+    ) -> Result<Arc<DynamicStub>, CallError> {
+        Ok(Arc::new(DynamicStub::from_idl(idl_url, ior_url)?))
+    }
+
+    /// Invokes a remote method with the full §6 client-side protocol.
+    ///
+    /// # Errors
+    ///
+    /// On [`CallError::StaleMethod`], the stub has already been refreshed
+    /// to the currently published interface and a debugger entry (with a
+    /// *try again* thunk re-executing this call) has been recorded.
+    pub fn call(
+        &self,
+        stub: &Arc<DynamicStub>,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        match stub.call_raw(method, args) {
+            Ok(v) => Ok(v),
+            Err(CallError::StaleMethod { method: m }) => {
+                // §6: update the client view to the currently published
+                // interface *before* surfacing the exception.
+                let _ = stub.refresh();
+                let retry_stub = stub.clone();
+                let retry_method = m.clone();
+                let retry_args = args.to_vec();
+                self.debugger.report(
+                    &m,
+                    "Non existent Method",
+                    Arc::new(move || {
+                        retry_stub
+                            .call_raw(&retry_method, &retry_args)
+                            .map_err(|e| jpie::JpieError::Exception(e.to_string()))
+                    }),
+                );
+                Err(CallError::StaleMethod { method: m })
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Materializes the stub's current interface view as a live dynamic
+    /// class whose methods forward to the server — CDE's "dynamic server
+    /// methods within dynamic clients".
+    ///
+    /// Call [`ClientEnvironment::sync_bound_class`] after the interface
+    /// changes to mirror additions, mutations and deletions into the
+    /// class.
+    pub fn bind_to_class(&self, stub: &Arc<DynamicStub>) -> ClassHandle {
+        let class = ClassHandle::new(format!("{}Stub", "Remote"));
+        self.sync_bound_class(&class, stub);
+        class
+    }
+
+    /// Reconciles a bound class with the stub's current interface view:
+    /// adds missing methods, removes vanished ones, and replaces methods
+    /// whose signature changed. Returns `(added, removed, mutated)`.
+    pub fn sync_bound_class(
+        &self,
+        class: &ClassHandle,
+        stub: &Arc<DynamicStub>,
+    ) -> (usize, usize, usize) {
+        let remote_ops = stub.operations();
+        let mut added = 0;
+        let mut removed = 0;
+        let mut mutated = 0;
+
+        // Remove or mark-for-replace local methods.
+        for sig in class.signatures() {
+            match remote_ops.iter().find(|o| o.name == sig.name) {
+                None => {
+                    let _ = class.remove_method(sig.id);
+                    removed += 1;
+                }
+                Some(op) => {
+                    let local_params: Vec<(String, TypeDesc)> = sig
+                        .params
+                        .iter()
+                        .map(|(_, n, t)| (n.clone(), t.clone()))
+                        .collect();
+                    if local_params != op.params || sig.return_ty != op.return_ty {
+                        let _ = class.remove_method(sig.id);
+                        self.add_forwarding_method(class, stub, op);
+                        mutated += 1;
+                    }
+                }
+            }
+        }
+        // Add new remote operations.
+        for op in &remote_ops {
+            if class.find_method(&op.name).is_none() {
+                self.add_forwarding_method(class, stub, op);
+                added += 1;
+            }
+        }
+        (added, removed, mutated)
+    }
+
+    fn add_forwarding_method(
+        &self,
+        class: &ClassHandle,
+        stub: &Arc<DynamicStub>,
+        op: &crate::stub::Operation,
+    ) {
+        let mut builder = MethodBuilder::new(&op.name, op.return_ty.clone());
+        for (pname, pty) in &op.params {
+            builder = builder.param(pname, pty.clone());
+        }
+        let stub = stub.clone();
+        let env = self.clone();
+        let method = op.name.clone();
+        builder = builder.body_native(move |_fields, args| {
+            // Forwarding body: remote call through the full CDE protocol.
+            let stub_arc = stub.clone();
+            env.call(&stub_arc, &method, args)
+                .map_err(|e| jpie::JpieError::Exception(e.to_string()))
+        });
+        let _ = class.add_method(builder);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_builds_with_empty_debugger() {
+        let env = ClientEnvironment::new();
+        assert!(env.debugger().entries().is_empty());
+    }
+}

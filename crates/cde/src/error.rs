@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// The client-visible outcome of a failed remote call, unified across the
+/// SOAP and CORBA backends (CDE "masks technical differences between
+/// local and remote method invocations", §2.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// The server reported "Non existent Method" (§5.7). By the time this
+    /// error is returned, the client's interface view has been updated to
+    /// the currently published description (§6), so inspecting the stub
+    /// shows the signature change.
+    StaleMethod {
+        /// The method the client tried to call.
+        method: String,
+    },
+    /// The server gateway exists but has no live instance yet.
+    ServerNotInitialized,
+    /// The server method ran and threw; the message is the wrapped
+    /// exception.
+    Application(String),
+    /// The request never produced a SOAP/CORBA-level reply.
+    Transport(String),
+    /// The reply could not be interpreted.
+    Protocol(String),
+    /// The interface description could not be fetched or parsed.
+    Interface(String),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::StaleMethod { method } => {
+                write!(f, "Non existent Method: {method}")
+            }
+            CallError::ServerNotInitialized => write!(f, "server not initialized"),
+            CallError::Application(m) => write!(f, "application exception: {m}"),
+            CallError::Transport(m) => write!(f, "transport failure: {m}"),
+            CallError::Protocol(m) => write!(f, "protocol error: {m}"),
+            CallError::Interface(m) => write!(f, "interface fetch failed: {m}"),
+        }
+    }
+}
+
+impl Error for CallError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CallError::StaleMethod { method: "m".into() }
+            .to_string()
+            .contains("Non existent Method"));
+        assert!(CallError::ServerNotInitialized
+            .to_string()
+            .contains("not initialized"));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Send + Sync + Error + 'static>() {}
+        assert_traits::<CallError>();
+    }
+}

@@ -1,0 +1,357 @@
+//! Dynamic client stubs over the SOAP and CORBA backends.
+
+use corba::{CorbaError, DiiRequest, IdlModule, Ior};
+use httpd::HttpClient;
+use jpie::{TypeDesc, Value};
+use parking_lot::RwLock;
+use soap::{SoapFault, SoapRequest, SoapResponse, WsdlDocument};
+
+use crate::error::CallError;
+
+/// One remote operation as the client currently sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// `(name, type)` of each parameter.
+    pub params: Vec<(String, TypeDesc)>,
+    /// Return type.
+    pub return_ty: TypeDesc,
+}
+
+/// The client's current view of the server interface.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct InterfaceView {
+    operations: Vec<Operation>,
+    version: u64,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Soap {
+        wsdl_url: String,
+        endpoint: RwLock<String>,
+        namespace: RwLock<String>,
+    },
+    Corba {
+        idl_url: String,
+        ior_url: String,
+        ior: RwLock<Option<Ior>>,
+    },
+}
+
+/// A live, technology-independent client stub.
+///
+/// The stub downloads the published interface description (the "WSDL
+/// compiler" / "IDL compiler" of Figs 1-2, re-runnable at any time via
+/// [`DynamicStub::refresh`]) and invokes operations dynamically.
+#[derive(Debug)]
+pub struct DynamicStub {
+    backend: Backend,
+    view: RwLock<InterfaceView>,
+    http: HttpClient,
+}
+
+impl DynamicStub {
+    /// Builds a SOAP stub from the published WSDL at `wsdl_url`
+    /// (Fig 1 step 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the WSDL cannot be fetched or parsed.
+    pub fn from_wsdl(wsdl_url: &str) -> Result<DynamicStub, CallError> {
+        let stub = DynamicStub {
+            backend: Backend::Soap {
+                wsdl_url: wsdl_url.to_string(),
+                endpoint: RwLock::new(String::new()),
+                namespace: RwLock::new(String::new()),
+            },
+            view: RwLock::new(InterfaceView::default()),
+            http: HttpClient::new(),
+        };
+        stub.refresh()?;
+        Ok(stub)
+    }
+
+    /// Builds a CORBA stub from the published CORBA-IDL and IOR documents
+    /// (Fig 2 step 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either document cannot be fetched or parsed.
+    pub fn from_idl(idl_url: &str, ior_url: &str) -> Result<DynamicStub, CallError> {
+        let stub = DynamicStub {
+            backend: Backend::Corba {
+                idl_url: idl_url.to_string(),
+                ior_url: ior_url.to_string(),
+                ior: RwLock::new(None),
+            },
+            view: RwLock::new(InterfaceView::default()),
+            http: HttpClient::new(),
+        };
+        stub.refresh()?;
+        Ok(stub)
+    }
+
+    /// Re-fetches the published interface description and replaces the
+    /// client view (the §6 "client view ... is updated to the currently
+    /// published one").
+    ///
+    /// # Errors
+    ///
+    /// Fails if the document cannot be fetched or parsed; the old view is
+    /// kept in that case.
+    pub fn refresh(&self) -> Result<(), CallError> {
+        match &self.backend {
+            Backend::Soap {
+                wsdl_url,
+                endpoint,
+                namespace,
+            } => {
+                let body = self.fetch(wsdl_url)?;
+                let doc =
+                    WsdlDocument::parse(&body).map_err(|e| CallError::Interface(e.to_string()))?;
+                *endpoint.write() = doc.endpoint.clone();
+                *namespace.write() = doc.namespace();
+                *self.view.write() = InterfaceView {
+                    operations: doc
+                        .operations
+                        .iter()
+                        .map(|o| Operation {
+                            name: o.name.clone(),
+                            params: o.params.clone(),
+                            return_ty: o.return_ty.clone(),
+                        })
+                        .collect(),
+                    version: doc.version,
+                };
+            }
+            Backend::Corba {
+                idl_url,
+                ior_url,
+                ior,
+            } => {
+                let idl_body = self.fetch(idl_url)?;
+                let module =
+                    IdlModule::parse(&idl_body).map_err(|e| CallError::Interface(e.to_string()))?;
+                let ior_body = self.fetch(ior_url)?;
+                let parsed_ior =
+                    Ior::parse(&ior_body).map_err(|e| CallError::Interface(e.to_string()))?;
+                *ior.write() = Some(parsed_ior);
+                let operations = module
+                    .primary_interface()
+                    .map(|iface| {
+                        iface
+                            .operations
+                            .iter()
+                            .map(|o| Operation {
+                                name: o.name.clone(),
+                                params: o.params.clone(),
+                                return_ty: o.return_ty.clone(),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                *self.view.write() = InterfaceView {
+                    operations,
+                    version: module.version,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    fn fetch(&self, url: &str) -> Result<String, CallError> {
+        let resp = self
+            .http
+            .get(url)
+            .map_err(|e| CallError::Interface(e.to_string()))?;
+        if resp.status() != 200 {
+            return Err(CallError::Interface(format!(
+                "GET {url} returned {}",
+                resp.status()
+            )));
+        }
+        Ok(resp.body_str().into_owned())
+    }
+
+    /// The operations in the client's current view.
+    pub fn operations(&self) -> Vec<Operation> {
+        self.view.read().operations.clone()
+    }
+
+    /// Looks up one operation in the current view.
+    pub fn operation(&self, name: &str) -> Option<Operation> {
+        self.view
+            .read()
+            .operations
+            .iter()
+            .find(|o| o.name == name)
+            .cloned()
+    }
+
+    /// The interface version of the client's current view — the quantity
+    /// the §6 recency guarantee is stated over.
+    pub fn interface_version(&self) -> u64 {
+        self.view.read().version
+    }
+
+    /// Invokes `method` with positional `args`, without any stale-method
+    /// recovery (that lives in
+    /// [`crate::ClientEnvironment::call`]).
+    ///
+    /// # Errors
+    ///
+    /// All the [`CallError`] variants.
+    pub fn call_raw(&self, method: &str, args: &[Value]) -> Result<Value, CallError> {
+        match &self.backend {
+            Backend::Soap {
+                endpoint,
+                namespace,
+                ..
+            } => {
+                // Parameter names come from the client's current view —
+                // exactly what a live client knows.
+                let names: Vec<String> = match self.operation(method) {
+                    Some(op) => op.params.iter().map(|(n, _)| n.clone()).collect(),
+                    None => (0..args.len()).map(|i| format!("arg{i}")).collect(),
+                };
+                let mut req = SoapRequest::new(namespace.read().clone(), method);
+                for (i, value) in args.iter().enumerate() {
+                    let name = names.get(i).cloned().unwrap_or_else(|| format!("arg{i}"));
+                    req = req.arg(name, value.clone());
+                }
+                let url = endpoint.read().clone();
+                let (authority, path) = split_authority(&url);
+                let mut http_req =
+                    httpd::Request::post(path, req.to_xml().into_bytes(), "text/xml");
+                // Axis-style SOAPAction header identifying the operation.
+                http_req.headers_mut().set(
+                    "SOAPAction",
+                    format!("\"{}#{}\"", namespace.read().clone(), method),
+                );
+                let resp = self
+                    .http
+                    .connect(&authority)
+                    .and_then(|mut conn| conn.send(&http_req))
+                    .map_err(|e| CallError::Transport(e.to_string()))?;
+                let parsed = soap::decode_response(&resp.body_str())
+                    .map_err(|e| CallError::Protocol(e.to_string()))?;
+                match parsed {
+                    SoapResponse::Ok(v) => Ok(v),
+                    SoapResponse::Fault(f) => Err(fault_to_error(method, &f)),
+                }
+            }
+            Backend::Corba { ior, .. } => {
+                let Some(ior) = ior.read().clone() else {
+                    return Err(CallError::Interface("no IOR loaded".into()));
+                };
+                let mut req = DiiRequest::new(&ior, method);
+                for a in args {
+                    req = req.arg(a.clone());
+                }
+                match req.invoke() {
+                    Ok(v) => Ok(v),
+                    Err(e) => Err(corba_to_error(method, e)),
+                }
+            }
+        }
+    }
+}
+
+/// Splits `scheme://authority/path` into (`scheme://authority`, `/path`).
+fn split_authority(url: &str) -> (String, String) {
+    if let Some(scheme_end) = url.find("://") {
+        let rest = &url[scheme_end + 3..];
+        if let Some(slash) = rest.find('/') {
+            return (
+                url[..scheme_end + 3 + slash].to_string(),
+                rest[slash..].to_string(),
+            );
+        }
+    }
+    (url.to_string(), "/".to_string())
+}
+
+fn fault_to_error(method: &str, fault: &SoapFault) -> CallError {
+    if fault.is_non_existent_method() {
+        CallError::StaleMethod {
+            method: method.to_string(),
+        }
+    } else if fault.fault_string == "Server not initialized" {
+        CallError::ServerNotInitialized
+    } else if fault.fault_string == "Application Exception" {
+        CallError::Application(fault.detail.clone().unwrap_or_default())
+    } else {
+        CallError::Protocol(fault.to_string())
+    }
+}
+
+fn corba_to_error(method: &str, error: CorbaError) -> CallError {
+    if error.is_non_existent_method() {
+        return CallError::StaleMethod {
+            method: method.to_string(),
+        };
+    }
+    match error {
+        CorbaError::System(corba::SystemExceptionKind::ObjectNotExist, _) => {
+            CallError::ServerNotInitialized
+        }
+        CorbaError::User { message, .. } => CallError::Application(message),
+        CorbaError::Transport(m) => CallError::Transport(m),
+        other => CallError::Protocol(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soap_fault_mapping() {
+        assert_eq!(
+            fault_to_error("m", &SoapFault::non_existent_method("m")),
+            CallError::StaleMethod { method: "m".into() }
+        );
+        assert_eq!(
+            fault_to_error("m", &SoapFault::server_not_initialized()),
+            CallError::ServerNotInitialized
+        );
+        assert_eq!(
+            fault_to_error("m", &SoapFault::application_exception("boom")),
+            CallError::Application("boom".into())
+        );
+        assert!(matches!(
+            fault_to_error("m", &SoapFault::malformed_request("x")),
+            CallError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn corba_error_mapping() {
+        assert_eq!(
+            corba_to_error("m", CorbaError::non_existent_method("m")),
+            CallError::StaleMethod { method: "m".into() }
+        );
+        assert_eq!(
+            corba_to_error(
+                "m",
+                CorbaError::system(corba::SystemExceptionKind::ObjectNotExist, "x")
+            ),
+            CallError::ServerNotInitialized
+        );
+        assert_eq!(
+            corba_to_error("m", CorbaError::user_exception("oops")),
+            CallError::Application("oops".into())
+        );
+        assert!(matches!(
+            corba_to_error("m", CorbaError::Transport("gone".into())),
+            CallError::Transport(_)
+        ));
+    }
+
+    #[test]
+    fn from_wsdl_fails_on_missing_document() {
+        assert!(DynamicStub::from_wsdl("mem://not-bound/x.wsdl").is_err());
+    }
+}

@@ -1,0 +1,185 @@
+use std::error::Error;
+use std::fmt;
+
+/// CORBA system exception kinds used by this ORB (a subset of the OMG
+/// standard minor-code-free set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemExceptionKind {
+    /// `BAD_OPERATION` — the operation does not exist on the target. The
+    /// CORBA analogue of the paper's "Non existent Method" condition.
+    BadOperation,
+    /// `BAD_PARAM` — argument count/type mismatch.
+    BadParam,
+    /// `MARSHAL` — CDR stream was malformed or truncated.
+    Marshal,
+    /// `OBJECT_NOT_EXIST` — object key did not resolve (e.g. the paper's
+    /// "server not initialized" state on the CORBA side).
+    ObjectNotExist,
+    /// `NO_IMPLEMENT` — no servant registered.
+    NoImplement,
+    /// `TRANSIENT` — transport failure, retry may work.
+    Transient,
+    /// `UNKNOWN` — unclassified server-side failure.
+    Unknown,
+}
+
+impl SystemExceptionKind {
+    /// The OMG repository id (`IDL:omg.org/CORBA/<NAME>:1.0`).
+    pub fn repository_id(self) -> String {
+        format!("IDL:omg.org/CORBA/{}:1.0", self.name())
+    }
+
+    /// The exception's standard name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemExceptionKind::BadOperation => "BAD_OPERATION",
+            SystemExceptionKind::BadParam => "BAD_PARAM",
+            SystemExceptionKind::Marshal => "MARSHAL",
+            SystemExceptionKind::ObjectNotExist => "OBJECT_NOT_EXIST",
+            SystemExceptionKind::NoImplement => "NO_IMPLEMENT",
+            SystemExceptionKind::Transient => "TRANSIENT",
+            SystemExceptionKind::Unknown => "UNKNOWN",
+        }
+    }
+
+    /// Parses a repository id back to a kind.
+    pub fn from_repository_id(id: &str) -> Option<SystemExceptionKind> {
+        let name = id
+            .strip_prefix("IDL:omg.org/CORBA/")?
+            .strip_suffix(":1.0")?;
+        Some(match name {
+            "BAD_OPERATION" => SystemExceptionKind::BadOperation,
+            "BAD_PARAM" => SystemExceptionKind::BadParam,
+            "MARSHAL" => SystemExceptionKind::Marshal,
+            "OBJECT_NOT_EXIST" => SystemExceptionKind::ObjectNotExist,
+            "NO_IMPLEMENT" => SystemExceptionKind::NoImplement,
+            "TRANSIENT" => SystemExceptionKind::Transient,
+            "UNKNOWN" => SystemExceptionKind::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SystemExceptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error produced by the CORBA substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorbaError {
+    /// A CORBA system exception, with a human-readable reason.
+    System(SystemExceptionKind, String),
+    /// A user exception raised by the servant (the paper wraps server
+    /// method exceptions "in a generic exception type", §5.2.3).
+    User {
+        /// Repository id of the user exception.
+        repository_id: String,
+        /// Message carried with it.
+        message: String,
+    },
+    /// Malformed IDL text (parser) or unrepresentable model (generator).
+    Idl(String),
+    /// Malformed IOR string.
+    BadIor(String),
+    /// Transport-level failure.
+    Transport(String),
+}
+
+impl CorbaError {
+    /// Shorthand for a system exception.
+    pub fn system(kind: SystemExceptionKind, reason: impl Into<String>) -> CorbaError {
+        CorbaError::System(kind, reason.into())
+    }
+
+    /// The generic user exception this ORB wraps servant exceptions in.
+    pub fn user_exception(message: impl Into<String>) -> CorbaError {
+        CorbaError::User {
+            repository_id: "IDL:livermi/ServerException:1.0".into(),
+            message: message.into(),
+        }
+    }
+
+    /// The CORBA analogue of the paper's "Non existent Method" error
+    /// (§5.2.3 sends it when the wrapper logic finds the call invalid).
+    pub fn non_existent_method(operation: &str) -> CorbaError {
+        CorbaError::system(
+            SystemExceptionKind::BadOperation,
+            format!("Non existent Method: {operation}"),
+        )
+    }
+
+    /// Whether this is the stale-method error that triggers the CDE update
+    /// protocol.
+    pub fn is_non_existent_method(&self) -> bool {
+        matches!(self, CorbaError::System(SystemExceptionKind::BadOperation, m) if m.starts_with("Non existent Method"))
+    }
+}
+
+impl fmt::Display for CorbaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorbaError::System(kind, reason) => write!(f, "system exception {kind}: {reason}"),
+            CorbaError::User {
+                repository_id,
+                message,
+            } => write!(f, "user exception {repository_id}: {message}"),
+            CorbaError::Idl(m) => write!(f, "idl error: {m}"),
+            CorbaError::BadIor(m) => write!(f, "invalid ior: {m}"),
+            CorbaError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl Error for CorbaError {}
+
+impl From<httpd::HttpError> for CorbaError {
+    fn from(e: httpd::HttpError) -> Self {
+        CorbaError::Transport(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CorbaError {
+    fn from(e: std::io::Error) -> Self {
+        CorbaError::Transport(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repository_id_roundtrip() {
+        for kind in [
+            SystemExceptionKind::BadOperation,
+            SystemExceptionKind::BadParam,
+            SystemExceptionKind::Marshal,
+            SystemExceptionKind::ObjectNotExist,
+            SystemExceptionKind::NoImplement,
+            SystemExceptionKind::Transient,
+            SystemExceptionKind::Unknown,
+        ] {
+            let id = kind.repository_id();
+            assert_eq!(SystemExceptionKind::from_repository_id(&id), Some(kind));
+        }
+        assert_eq!(SystemExceptionKind::from_repository_id("IDL:x:1.0"), None);
+    }
+
+    #[test]
+    fn non_existent_method_detection() {
+        assert!(CorbaError::non_existent_method("op").is_non_existent_method());
+        assert!(
+            !CorbaError::system(SystemExceptionKind::BadOperation, "other")
+                .is_non_existent_method()
+        );
+        assert!(!CorbaError::user_exception("x").is_non_existent_method());
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Send + Sync + Error + 'static>() {}
+        assert_traits::<CorbaError>();
+    }
+}

@@ -1,0 +1,572 @@
+//! GIOP 1.0 message framing (IIOP when carried over TCP).
+//!
+//! Implements the two message types the RMI path needs — `Request` and
+//! `Reply` — with the standard 12-byte header (`GIOP` magic, version,
+//! byte-order flag, message type, body size). Arguments and results are
+//! carried as the self-describing `any` encoding from [`crate::cdr`],
+//! because both ends use the dynamic interfaces (DSI/DII): there are no
+//! static stubs anywhere, just as in the paper's SDE/CDE pair.
+
+use std::io::{Read, Write};
+
+use jpie::Value;
+
+use crate::cdr::{read_any, write_any, CdrReader, CdrWriter};
+use crate::error::{CorbaError, SystemExceptionKind};
+
+const MAGIC: &[u8; 4] = b"GIOP";
+/// Maximum accepted message body (defensive bound against hostile sizes).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// GIOP message types (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Client → server invocation.
+    Request = 0,
+    /// Server → client completion.
+    Reply = 1,
+    /// Client → server object-existence probe.
+    LocateRequest = 3,
+    /// Server → client probe answer.
+    LocateReply = 4,
+    /// Connection close notification.
+    CloseConnection = 5,
+}
+
+impl MsgType {
+    fn from_u8(v: u8) -> Option<MsgType> {
+        Some(match v {
+            0 => MsgType::Request,
+            1 => MsgType::Reply,
+            3 => MsgType::LocateRequest,
+            4 => MsgType::LocateReply,
+            5 => MsgType::CloseConnection,
+            _ => return None,
+        })
+    }
+}
+
+/// Status carried by a LocateReply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateStatus {
+    /// The server does not know the object key.
+    UnknownObject,
+    /// The object is served at this endpoint.
+    ObjectHere,
+}
+
+impl LocateStatus {
+    fn as_u32(self) -> u32 {
+        match self {
+            LocateStatus::UnknownObject => 0,
+            LocateStatus::ObjectHere => 1,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<LocateStatus> {
+        Some(match v {
+            0 => LocateStatus::UnknownObject,
+            1 => LocateStatus::ObjectHere,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded GIOP Request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMessage {
+    /// Client-chosen id echoed in the reply.
+    pub request_id: u32,
+    /// False for `oneway` calls (not used by SDE, always true here).
+    pub response_expected: bool,
+    /// Object key from the target IOR.
+    pub object_key: Vec<u8>,
+    /// Operation (method) name.
+    pub operation: String,
+    /// Arguments in positional order.
+    pub args: Vec<Value>,
+}
+
+/// The status + payload of a GIOP Reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    /// `NO_EXCEPTION`: the operation's result value.
+    NoException(Value),
+    /// `USER_EXCEPTION`: repository id + message.
+    UserException {
+        /// Repository id of the exception.
+        repository_id: String,
+        /// Message carried with the exception.
+        message: String,
+    },
+    /// `SYSTEM_EXCEPTION`: standard kind + reason.
+    SystemException {
+        /// Which standard exception.
+        kind: SystemExceptionKind,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// A decoded GIOP Reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyMessage {
+    /// Echo of the request id.
+    pub request_id: u32,
+    /// Status and payload.
+    pub body: ReplyBody,
+}
+
+impl ReplyMessage {
+    /// Converts the reply into the client-visible result.
+    pub fn into_result(self) -> Result<Value, CorbaError> {
+        match self.body {
+            ReplyBody::NoException(v) => Ok(v),
+            ReplyBody::UserException {
+                repository_id,
+                message,
+            } => Err(CorbaError::User {
+                repository_id,
+                message,
+            }),
+            ReplyBody::SystemException { kind, reason } => Err(CorbaError::System(kind, reason)),
+        }
+    }
+}
+
+fn write_header(out: &mut Vec<u8>, msg_type: MsgType, body: &[u8]) {
+    out.extend_from_slice(MAGIC);
+    out.push(1); // GIOP major
+    out.push(0); // GIOP minor
+    out.push(0); // flags: big-endian
+    out.push(msg_type as u8);
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Serializes and sends a Request.
+///
+/// # Errors
+///
+/// Propagates transport failures as [`CorbaError::Transport`].
+pub fn write_request<W: Write>(w: &mut W, req: &RequestMessage) -> Result<(), CorbaError> {
+    let mut body = CdrWriter::new(true);
+    body.write_ulong(0); // empty service context list
+    body.write_ulong(req.request_id);
+    body.write_boolean(req.response_expected);
+    body.write_octet_seq(&req.object_key);
+    body.write_string(&req.operation);
+    body.write_octet_seq(&[]); // principal (deprecated)
+    body.write_ulong(req.args.len() as u32);
+    for arg in &req.args {
+        write_any(&mut body, arg);
+    }
+    let mut frame = Vec::new();
+    write_header(&mut frame, MsgType::Request, &body.into_bytes());
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes and sends a Reply.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_reply<W: Write>(w: &mut W, reply: &ReplyMessage) -> Result<(), CorbaError> {
+    let mut body = CdrWriter::new(true);
+    body.write_ulong(0); // empty service context list
+    body.write_ulong(reply.request_id);
+    match &reply.body {
+        ReplyBody::NoException(v) => {
+            body.write_ulong(0);
+            write_any(&mut body, v);
+        }
+        ReplyBody::UserException {
+            repository_id,
+            message,
+        } => {
+            body.write_ulong(1);
+            body.write_string(repository_id);
+            body.write_string(message);
+        }
+        ReplyBody::SystemException { kind, reason } => {
+            body.write_ulong(2);
+            body.write_string(&kind.repository_id());
+            body.write_ulong(0); // minor code
+            body.write_ulong(0); // completion status
+            body.write_string(reason);
+        }
+    }
+    let mut frame = Vec::new();
+    write_header(&mut frame, MsgType::Reply, &body.into_bytes());
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes and sends a LocateRequest.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_locate_request<W: Write>(
+    w: &mut W,
+    request_id: u32,
+    object_key: &[u8],
+) -> Result<(), CorbaError> {
+    let mut body = CdrWriter::new(true);
+    body.write_ulong(request_id);
+    body.write_octet_seq(object_key);
+    let mut frame = Vec::new();
+    write_header(&mut frame, MsgType::LocateRequest, &body.into_bytes());
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Decodes a LocateRequest body into `(request_id, object_key)`.
+///
+/// # Errors
+///
+/// `MARSHAL` on malformed bodies.
+pub fn decode_locate_request(body: &[u8], big_endian: bool) -> Result<(u32, Vec<u8>), CorbaError> {
+    let mut r = CdrReader::new(body, big_endian);
+    let request_id = r.read_ulong()?;
+    let object_key = r.read_octet_seq()?;
+    Ok((request_id, object_key))
+}
+
+/// Serializes and sends a LocateReply.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_locate_reply<W: Write>(
+    w: &mut W,
+    request_id: u32,
+    status: LocateStatus,
+) -> Result<(), CorbaError> {
+    let mut body = CdrWriter::new(true);
+    body.write_ulong(request_id);
+    body.write_ulong(status.as_u32());
+    let mut frame = Vec::new();
+    write_header(&mut frame, MsgType::LocateReply, &body.into_bytes());
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Decodes a LocateReply body into `(request_id, status)`.
+///
+/// # Errors
+///
+/// `MARSHAL` on malformed bodies or unknown statuses.
+pub fn decode_locate_reply(
+    body: &[u8],
+    big_endian: bool,
+) -> Result<(u32, LocateStatus), CorbaError> {
+    let mut r = CdrReader::new(body, big_endian);
+    let request_id = r.read_ulong()?;
+    let raw = r.read_ulong()?;
+    let status = LocateStatus::from_u32(raw)
+        .ok_or_else(|| CorbaError::system(SystemExceptionKind::Marshal, "bad locate status"))?;
+    Ok((request_id, status))
+}
+
+/// Sends a CloseConnection message.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_close<W: Write>(w: &mut W) -> Result<(), CorbaError> {
+    let mut frame = Vec::new();
+    write_header(&mut frame, MsgType::CloseConnection, &[]);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one GIOP message: the type, raw body and byte order.
+///
+/// Returns `Ok(None)` on clean EOF before any header byte.
+///
+/// # Errors
+///
+/// `MARSHAL` on framing violations, [`CorbaError::Transport`] on I/O
+/// failure mid-message.
+pub fn read_message<R: Read>(r: &mut R) -> Result<Option<(MsgType, Vec<u8>, bool)>, CorbaError> {
+    let mut header = [0u8; 12];
+    // Read the first byte separately to distinguish clean EOF.
+    let mut first = [0u8; 1];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => header[0] = first[0],
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut header[1..])?;
+    if &header[..4] != MAGIC {
+        return Err(CorbaError::system(
+            SystemExceptionKind::Marshal,
+            "bad GIOP magic",
+        ));
+    }
+    if header[4] != 1 {
+        return Err(CorbaError::system(
+            SystemExceptionKind::Marshal,
+            format!("unsupported GIOP major version {}", header[4]),
+        ));
+    }
+    let little_endian = header[6] & 1 == 1;
+    let msg_type = MsgType::from_u8(header[7]).ok_or_else(|| {
+        CorbaError::system(
+            SystemExceptionKind::Marshal,
+            format!("unsupported message type {}", header[7]),
+        )
+    })?;
+    let size_bytes: [u8; 4] = header[8..12].try_into().expect("4 bytes");
+    let size = if little_endian {
+        u32::from_le_bytes(size_bytes)
+    } else {
+        u32::from_be_bytes(size_bytes)
+    } as usize;
+    if size > MAX_BODY {
+        return Err(CorbaError::system(
+            SystemExceptionKind::Marshal,
+            format!("message size {size} exceeds limit"),
+        ));
+    }
+    let mut body = vec![0u8; size];
+    r.read_exact(&mut body)?;
+    Ok(Some((msg_type, body, !little_endian)))
+}
+
+/// Decodes a Request body (as returned by [`read_message`]).
+///
+/// # Errors
+///
+/// `MARSHAL` on malformed bodies.
+pub fn decode_request(body: &[u8], big_endian: bool) -> Result<RequestMessage, CorbaError> {
+    let mut r = CdrReader::new(body, big_endian);
+    let ctx_count = r.read_ulong()?;
+    for _ in 0..ctx_count {
+        let _id = r.read_ulong()?;
+        let _data = r.read_octet_seq()?;
+    }
+    let request_id = r.read_ulong()?;
+    let response_expected = r.read_boolean()?;
+    let object_key = r.read_octet_seq()?;
+    let operation = r.read_string()?;
+    let _principal = r.read_octet_seq()?;
+    let argc = r.read_ulong()? as usize;
+    if argc > r.remaining() {
+        return Err(CorbaError::system(
+            SystemExceptionKind::Marshal,
+            "argument count exceeds stream",
+        ));
+    }
+    let mut args = Vec::with_capacity(argc.min(4096));
+    for _ in 0..argc {
+        args.push(read_any(&mut r)?);
+    }
+    Ok(RequestMessage {
+        request_id,
+        response_expected,
+        object_key,
+        operation,
+        args,
+    })
+}
+
+/// Decodes a Reply body.
+///
+/// # Errors
+///
+/// `MARSHAL` on malformed bodies.
+pub fn decode_reply(body: &[u8], big_endian: bool) -> Result<ReplyMessage, CorbaError> {
+    let mut r = CdrReader::new(body, big_endian);
+    let ctx_count = r.read_ulong()?;
+    for _ in 0..ctx_count {
+        let _id = r.read_ulong()?;
+        let _data = r.read_octet_seq()?;
+    }
+    let request_id = r.read_ulong()?;
+    let status = r.read_ulong()?;
+    let body = match status {
+        0 => ReplyBody::NoException(read_any(&mut r)?),
+        1 => ReplyBody::UserException {
+            repository_id: r.read_string()?,
+            message: r.read_string()?,
+        },
+        2 => {
+            let repo_id = r.read_string()?;
+            let _minor = r.read_ulong()?;
+            let _completed = r.read_ulong()?;
+            let reason = r.read_string()?;
+            let kind = SystemExceptionKind::from_repository_id(&repo_id)
+                .unwrap_or(SystemExceptionKind::Unknown);
+            ReplyBody::SystemException { kind, reason }
+        }
+        other => {
+            return Err(CorbaError::system(
+                SystemExceptionKind::Marshal,
+                format!("unknown reply status {other}"),
+            ))
+        }
+    };
+    Ok(ReplyMessage { request_id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jpie::TypeDesc;
+
+    fn roundtrip_request(req: &RequestMessage) -> RequestMessage {
+        let mut buf = Vec::new();
+        write_request(&mut buf, req).unwrap();
+        let mut cursor = &buf[..];
+        let (ty, body, be) = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!(ty, MsgType::Request);
+        decode_request(&body, be).unwrap()
+    }
+
+    fn roundtrip_reply(reply: &ReplyMessage) -> ReplyMessage {
+        let mut buf = Vec::new();
+        write_reply(&mut buf, reply).unwrap();
+        let mut cursor = &buf[..];
+        let (ty, body, be) = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!(ty, MsgType::Reply);
+        decode_reply(&body, be).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = RequestMessage {
+            request_id: 42,
+            response_expected: true,
+            object_key: b"calc".to_vec(),
+            operation: "add".into(),
+            args: vec![
+                Value::Int(1),
+                Value::Str("two".into()),
+                Value::Seq(TypeDesc::Double, vec![Value::Double(3.0)]),
+            ],
+        };
+        assert_eq!(roundtrip_request(&req), req);
+    }
+
+    #[test]
+    fn request_no_args() {
+        let req = RequestMessage {
+            request_id: 0,
+            response_expected: true,
+            object_key: Vec::new(),
+            operation: "ping".into(),
+            args: Vec::new(),
+        };
+        assert_eq!(roundtrip_request(&req), req);
+    }
+
+    #[test]
+    fn reply_roundtrips_all_statuses() {
+        for body in [
+            ReplyBody::NoException(Value::Long(99)),
+            ReplyBody::NoException(Value::Null),
+            ReplyBody::UserException {
+                repository_id: "IDL:livermi/ServerException:1.0".into(),
+                message: "kaboom".into(),
+            },
+            ReplyBody::SystemException {
+                kind: SystemExceptionKind::BadOperation,
+                reason: "Non existent Method: f".into(),
+            },
+        ] {
+            let reply = ReplyMessage {
+                request_id: 7,
+                body: body.clone(),
+            };
+            assert_eq!(roundtrip_reply(&reply), reply);
+        }
+    }
+
+    #[test]
+    fn into_result_maps_statuses() {
+        let ok = ReplyMessage {
+            request_id: 1,
+            body: ReplyBody::NoException(Value::Int(5)),
+        };
+        assert_eq!(ok.into_result().unwrap(), Value::Int(5));
+
+        let user = ReplyMessage {
+            request_id: 1,
+            body: ReplyBody::UserException {
+                repository_id: "IDL:x:1.0".into(),
+                message: "m".into(),
+            },
+        };
+        assert!(matches!(user.into_result(), Err(CorbaError::User { .. })));
+
+        let sys = ReplyMessage {
+            request_id: 1,
+            body: ReplyBody::SystemException {
+                kind: SystemExceptionKind::Transient,
+                reason: "r".into(),
+            },
+        };
+        assert!(matches!(
+            sys.into_result(),
+            Err(CorbaError::System(SystemExceptionKind::Transient, _))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let mut cursor = &b""[..];
+        assert!(read_message(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = b"HTTP/1.1 200".to_vec();
+        frame.extend_from_slice(&[0; 8]);
+        let mut cursor = &frame[..];
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_error() {
+        let req = RequestMessage {
+            request_id: 1,
+            response_expected: true,
+            object_key: Vec::new(),
+            operation: "op".into(),
+            args: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let mut cursor = &buf[..buf.len() - 3];
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn hostile_message_size_rejected() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(MAGIC);
+        frame.extend_from_slice(&[1, 0, 0, 0]);
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = &frame[..];
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn close_connection_roundtrip() {
+        let mut buf = Vec::new();
+        write_close(&mut buf).unwrap();
+        let mut cursor = &buf[..];
+        let (ty, body, _) = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!(ty, MsgType::CloseConnection);
+        assert!(body.is_empty());
+    }
+}

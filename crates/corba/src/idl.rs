@@ -1,0 +1,594 @@
+//! CORBA-IDL documents: model, generator, parser.
+//!
+//! Matches §2.2 of the paper: a `module` root element containing uniquely
+//! identified `interface`s whose operation parameter/return types may be
+//! `string`, the primitives `long`/`long long`/`double`/`float`/`char`/
+//! `boolean`, `sequence<T>`, or any type declared by an interface (here:
+//! `struct`) within the module. The generator stamps the dynamic class's
+//! interface version in a `#pragma version` line, making the §6 recency
+//! guarantee observable from the published document.
+
+use std::fmt::Write as _;
+
+use jpie::{SignatureView, TypeDesc};
+
+use crate::error::CorbaError;
+
+/// One operation in an interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlOperation {
+    /// Operation name.
+    pub name: String,
+    /// `(name, type)` of the (all `in`) parameters, in order.
+    pub params: Vec<(String, TypeDesc)>,
+    /// Return type.
+    pub return_ty: TypeDesc,
+}
+
+impl IdlOperation {
+    /// Builds an operation from a dynamic-class signature view.
+    pub fn from_signature(sig: &SignatureView) -> IdlOperation {
+        IdlOperation {
+            name: sig.name.clone(),
+            params: sig
+                .params
+                .iter()
+                .map(|(_, n, t)| (n.clone(), t.clone()))
+                .collect(),
+            return_ty: sig.return_ty.clone(),
+        }
+    }
+}
+
+/// One `interface` in the module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlInterface {
+    /// Interface name.
+    pub name: String,
+    /// Operations in declaration order.
+    pub operations: Vec<IdlOperation>,
+}
+
+impl IdlInterface {
+    /// Looks up an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&IdlOperation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+}
+
+/// A CORBA-IDL document: one `module` with interfaces, plus the interface
+/// version stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlModule {
+    /// Module name.
+    pub name: String,
+    /// Interfaces in the module.
+    pub interfaces: Vec<IdlInterface>,
+    /// Interface version of the dynamic class when generated.
+    pub version: u64,
+}
+
+impl IdlModule {
+    /// The minimal document published at CORBA server initialization
+    /// (§5.2.1): a module with one empty interface.
+    pub fn minimal(name: impl Into<String>) -> IdlModule {
+        let name = name.into();
+        IdlModule {
+            interfaces: vec![IdlInterface {
+                name: name.clone(),
+                operations: Vec::new(),
+            }],
+            name,
+            version: 0,
+        }
+    }
+
+    /// Builds a single-interface module from distributed signatures.
+    pub fn from_signatures(
+        name: impl Into<String>,
+        signatures: &[SignatureView],
+        version: u64,
+    ) -> IdlModule {
+        let name = name.into();
+        IdlModule {
+            interfaces: vec![IdlInterface {
+                name: name.clone(),
+                operations: signatures
+                    .iter()
+                    .map(IdlOperation::from_signature)
+                    .collect(),
+            }],
+            name,
+            version,
+        }
+    }
+
+    /// The primary interface (first in the module).
+    pub fn primary_interface(&self) -> Option<&IdlInterface> {
+        self.interfaces.first()
+    }
+
+    /// Every user-defined (named) type referenced by the module's
+    /// operation signatures, sorted and deduplicated.
+    pub fn referenced_user_types(&self) -> Vec<String> {
+        fn collect(ty: &TypeDesc, out: &mut Vec<String>) {
+            match ty {
+                TypeDesc::Named(n) => out.push(n.clone()),
+                TypeDesc::Seq(e) => collect(e, out),
+                _ => {}
+            }
+        }
+        let mut names = Vec::new();
+        for iface in &self.interfaces {
+            for op in &iface.operations {
+                collect(&op.return_ty, &mut names);
+                for (_, ty) in &op.params {
+                    collect(ty, &mut names);
+                }
+            }
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Renders the module as CORBA-IDL text.
+    pub fn to_idl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "#pragma version {} {}", self.name, self.version);
+        let _ = writeln!(out, "module {} {{", self.name);
+        // User-defined value types travel self-describingly (CDR any), so
+        // the document declares them as `any` typedefs — enough for the
+        // dynamic client to compile and for the text to be valid IDL.
+        for name in self.referenced_user_types() {
+            let _ = writeln!(out, "  typedef any {name};");
+        }
+        for iface in &self.interfaces {
+            let _ = writeln!(out, "  interface {} {{", iface.name);
+            for op in &iface.operations {
+                let params = op
+                    .params
+                    .iter()
+                    .map(|(n, t)| format!("in {} {}", idl_type(t), n))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "    {} {}({});",
+                    idl_type(&op.return_ty),
+                    op.name,
+                    params
+                );
+            }
+            let _ = writeln!(out, "  }};");
+        }
+        let _ = writeln!(out, "}};");
+        out
+    }
+
+    /// Parses CORBA-IDL text produced by [`IdlModule::to_idl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorbaError::Idl`] on syntax errors or unknown types.
+    pub fn parse(text: &str) -> Result<IdlModule, CorbaError> {
+        Parser::new(text).parse_module()
+    }
+}
+
+/// The IDL rendering of a type (paper §2.2 type mapping).
+pub fn idl_type(ty: &TypeDesc) -> String {
+    match ty {
+        TypeDesc::Void => "void".into(),
+        TypeDesc::Bool => "boolean".into(),
+        TypeDesc::Int => "long".into(),
+        TypeDesc::Long => "long long".into(),
+        TypeDesc::Float => "float".into(),
+        TypeDesc::Double => "double".into(),
+        TypeDesc::Char => "char".into(),
+        TypeDesc::Str => "string".into(),
+        TypeDesc::Named(n) => n.clone(),
+        TypeDesc::Seq(e) => format!("sequence<{}>", idl_type(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    Punct(char),
+    Pragma(String, u64),
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Parser {
+        Parser {
+            tokens: tokenize(text),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), CorbaError> {
+        match self.next() {
+            Some(Token::Punct(p)) if p == c => Ok(()),
+            other => Err(CorbaError::Idl(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CorbaError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(CorbaError::Idl(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), CorbaError> {
+        let id = self.expect_ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(CorbaError::Idl(format!("expected {kw:?}, found {id:?}")))
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<IdlModule, CorbaError> {
+        let mut version = 0;
+        while let Some(Token::Pragma(_, v)) = self.peek() {
+            version = *v;
+            self.pos += 1;
+        }
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut interfaces = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Punct('}')) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Ident(kw)) if kw == "interface" => {
+                    interfaces.push(self.parse_interface()?);
+                }
+                Some(Token::Ident(kw)) if kw == "typedef" => {
+                    // `typedef any Name;` — opaque user-type declaration.
+                    self.pos += 1;
+                    let _base = self.parse_type()?;
+                    let _alias = self.expect_ident()?;
+                    self.expect_punct(';')?;
+                }
+                other => {
+                    return Err(CorbaError::Idl(format!(
+                        "expected interface or '}}', found {other:?}"
+                    )))
+                }
+            }
+        }
+        // Trailing semicolon after the module close is optional.
+        if matches!(self.peek(), Some(Token::Punct(';'))) {
+            self.pos += 1;
+        }
+        if let Some(t) = self.peek() {
+            return Err(CorbaError::Idl(format!("trailing tokens: {t:?}")));
+        }
+        Ok(IdlModule {
+            name,
+            interfaces,
+            version,
+        })
+    }
+
+    fn parse_interface(&mut self) -> Result<IdlInterface, CorbaError> {
+        self.expect_keyword("interface")?;
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut operations = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Token::Punct('}'))) {
+                self.pos += 1;
+                break;
+            }
+            operations.push(self.parse_operation()?);
+        }
+        self.expect_punct(';')?;
+        Ok(IdlInterface { name, operations })
+    }
+
+    fn parse_operation(&mut self) -> Result<IdlOperation, CorbaError> {
+        let return_ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Some(Token::Punct(')'))) {
+            loop {
+                self.expect_keyword("in")?;
+                let ty = self.parse_type()?;
+                let pname = self.expect_ident()?;
+                params.push((pname, ty));
+                match self.next() {
+                    Some(Token::Punct(',')) => continue,
+                    Some(Token::Punct(')')) => break,
+                    other => {
+                        return Err(CorbaError::Idl(format!(
+                            "expected ',' or ')', found {other:?}"
+                        )))
+                    }
+                }
+            }
+        } else {
+            self.pos += 1;
+        }
+        self.expect_punct(';')?;
+        Ok(IdlOperation {
+            name,
+            params,
+            return_ty,
+        })
+    }
+
+    fn parse_type(&mut self) -> Result<TypeDesc, CorbaError> {
+        let id = self.expect_ident()?;
+        Ok(match id.as_str() {
+            "void" => TypeDesc::Void,
+            "boolean" => TypeDesc::Bool,
+            "float" => TypeDesc::Float,
+            "double" => TypeDesc::Double,
+            "char" => TypeDesc::Char,
+            "string" => TypeDesc::Str,
+            "long" => {
+                // `long` or `long long`.
+                if matches!(self.peek(), Some(Token::Ident(s)) if s == "long") {
+                    self.pos += 1;
+                    TypeDesc::Long
+                } else {
+                    TypeDesc::Int
+                }
+            }
+            "sequence" => {
+                self.expect_punct('<')?;
+                let elem = self.parse_type()?;
+                self.expect_punct('>')?;
+                TypeDesc::Seq(Box::new(elem))
+            }
+            other => TypeDesc::Named(other.to_string()),
+        })
+    }
+}
+
+fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for raw_line in text.lines() {
+        let line = match raw_line.find("//") {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        };
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("#pragma version") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("").to_string();
+            let version = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            tokens.push(Token::Pragma(name, version));
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            continue; // other pragmas ignored
+        }
+        let mut chars = line.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+            } else if c.is_alphabetic() || c == '_' {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(ident));
+            } else if c.is_ascii_digit() {
+                let mut n = 0u64;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n.saturating_mul(10).saturating_add(u64::from(d));
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Number(n));
+            } else {
+                tokens.push(Token::Punct(c));
+                chars.next();
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IdlModule {
+        IdlModule {
+            name: "Calc".into(),
+            interfaces: vec![IdlInterface {
+                name: "Calc".into(),
+                operations: vec![
+                    IdlOperation {
+                        name: "add".into(),
+                        params: vec![("a".into(), TypeDesc::Int), ("b".into(), TypeDesc::Int)],
+                        return_ty: TypeDesc::Int,
+                    },
+                    IdlOperation {
+                        name: "avg".into(),
+                        params: vec![("xs".into(), TypeDesc::Seq(Box::new(TypeDesc::Double)))],
+                        return_ty: TypeDesc::Double,
+                    },
+                    IdlOperation {
+                        name: "describe".into(),
+                        params: vec![("p".into(), TypeDesc::Named("Point".into()))],
+                        return_ty: TypeDesc::Str,
+                    },
+                    IdlOperation {
+                        name: "reset".into(),
+                        params: vec![],
+                        return_ty: TypeDesc::Void,
+                    },
+                    IdlOperation {
+                        name: "big".into(),
+                        params: vec![("x".into(), TypeDesc::Long)],
+                        return_ty: TypeDesc::Long,
+                    },
+                ],
+            }],
+            version: 4,
+        }
+    }
+
+    #[test]
+    fn generate_and_parse_roundtrip() {
+        let module = sample();
+        let text = module.to_idl();
+        assert!(text.contains("module Calc {"));
+        assert!(text.contains("long add(in long a, in long b);"));
+        assert!(text.contains("sequence<double>"));
+        assert!(text.contains("long long big(in long long x);"));
+        let back = IdlModule::parse(&text).unwrap();
+        assert_eq!(back, module);
+    }
+
+    #[test]
+    fn minimal_module() {
+        let module = IdlModule::minimal("Mail");
+        let text = module.to_idl();
+        let back = IdlModule::parse(&text).unwrap();
+        assert_eq!(back.name, "Mail");
+        assert_eq!(back.primary_interface().unwrap().operations.len(), 0);
+        assert_eq!(back.version, 0);
+    }
+
+    #[test]
+    fn version_pragma_roundtrip() {
+        let mut module = sample();
+        module.version = 99;
+        let back = IdlModule::parse(&module.to_idl()).unwrap();
+        assert_eq!(back.version, 99);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let text = "// leading comment\nmodule M { // trailing\n interface M { }; };";
+        let back = IdlModule::parse(text).unwrap();
+        assert_eq!(back.name, "M");
+    }
+
+    #[test]
+    fn operation_lookup() {
+        let module = sample();
+        let iface = module.primary_interface().unwrap();
+        assert!(iface.operation("add").is_some());
+        assert!(iface.operation("nope").is_none());
+    }
+
+    #[test]
+    fn syntax_errors_rejected() {
+        for bad in [
+            "",
+            "module",
+            "module M {",
+            "module M { interface I { } }", // missing ; after interface
+            "module M { interface I { long f(; }; };",
+            "module M { interface I { long f(out long x); }; };",
+            "module M {}; trailing",
+        ] {
+            assert!(IdlModule::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn idl_type_names() {
+        assert_eq!(idl_type(&TypeDesc::Int), "long");
+        assert_eq!(idl_type(&TypeDesc::Long), "long long");
+        assert_eq!(
+            idl_type(&TypeDesc::Seq(Box::new(TypeDesc::Named("P".into())))),
+            "sequence<P>"
+        );
+    }
+
+    #[test]
+    fn from_signatures_builds_single_interface() {
+        use jpie::{ClassHandle, MethodBuilder};
+        let class = ClassHandle::new("Svc");
+        class
+            .add_method(MethodBuilder::new("ping", TypeDesc::Bool).distributed(true))
+            .unwrap();
+        let module = IdlModule::from_signatures(
+            "Svc",
+            &class.distributed_signatures(),
+            class.interface_version(),
+        );
+        assert_eq!(module.interfaces.len(), 1);
+        assert_eq!(
+            module.primary_interface().unwrap().operations[0].name,
+            "ping"
+        );
+    }
+
+    #[test]
+    fn user_types_get_typedefs() {
+        let module = sample();
+        assert_eq!(module.referenced_user_types(), vec!["Point".to_string()]);
+        let text = module.to_idl();
+        assert!(text.contains("typedef any Point;"), "{text}");
+        // Typedefs survive the round trip (they are regenerated from the
+        // signatures, so equality holds).
+        assert_eq!(IdlModule::parse(&text).unwrap(), module);
+    }
+
+    #[test]
+    fn nested_sequences_roundtrip() {
+        let module = IdlModule {
+            name: "M".into(),
+            interfaces: vec![IdlInterface {
+                name: "I".into(),
+                operations: vec![IdlOperation {
+                    name: "grid".into(),
+                    params: vec![(
+                        "g".into(),
+                        TypeDesc::Seq(Box::new(TypeDesc::Seq(Box::new(TypeDesc::Int)))),
+                    )],
+                    return_ty: TypeDesc::Void,
+                }],
+            }],
+            version: 0,
+        };
+        assert_eq!(IdlModule::parse(&module.to_idl()).unwrap(), module);
+    }
+}

@@ -1,0 +1,183 @@
+//! Interoperable Object References and their stringified `IOR:` form.
+//!
+//! The paper's clients "must attain both a CORBA-IDL document as well as an
+//! IOR in order to establish a communication link with a server" (§2.2);
+//! SDE publishes the IOR through the Interface Server (§5.2.1). The
+//! encoding follows the CORBA encapsulation scheme: a CDR stream holding
+//! the repository id and one IIOP-style profile, hex-encoded behind the
+//! `IOR:` prefix. The profile's host field carries a full transport
+//! address (`tcp://...` or `mem://...`), so IORs work over both
+//! transports.
+
+use crate::cdr::{CdrReader, CdrWriter};
+use crate::error::CorbaError;
+
+const TAG_INTERNET_IOP: u32 = 0;
+
+/// An Interoperable Object Reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ior {
+    /// Repository id of the most derived interface, e.g. `IDL:Calc:1.0`.
+    pub type_id: String,
+    /// Transport address of the server ORB (`tcp://host:port` or
+    /// `mem://name`).
+    pub address: String,
+    /// Key identifying the object within the server ORB.
+    pub object_key: Vec<u8>,
+}
+
+impl Ior {
+    /// Creates an IOR.
+    pub fn new(
+        type_id: impl Into<String>,
+        address: impl Into<String>,
+        object_key: impl Into<Vec<u8>>,
+    ) -> Ior {
+        Ior {
+            type_id: type_id.into(),
+            address: address.into(),
+            object_key: object_key.into(),
+        }
+    }
+
+    /// Encodes as the stringified `IOR:<hex>` form.
+    pub fn to_ior_string(&self) -> String {
+        let mut w = CdrWriter::new(true);
+        w.write_string(&self.type_id);
+        w.write_ulong(1); // one profile
+        w.write_ulong(TAG_INTERNET_IOP);
+        // Profile body as an encapsulation: byte-order octet + data.
+        let mut profile = CdrWriter::new(true);
+        profile.write_octet(0); // big-endian encapsulation
+        profile.write_octet(1); // IIOP major
+        profile.write_octet(0); // IIOP minor
+        profile.write_string(&self.address);
+        profile.write_ushort(0); // port folded into the address string
+        profile.write_octet_seq(&self.object_key);
+        w.write_octet_seq(&profile.into_bytes());
+        let bytes = w.into_bytes();
+        let mut out = String::with_capacity(4 + bytes.len() * 2);
+        out.push_str("IOR:");
+        for b in bytes {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+
+    /// Parses a stringified IOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorbaError::BadIor`] if the prefix, hex, or structure is
+    /// invalid.
+    pub fn parse(s: &str) -> Result<Ior, CorbaError> {
+        let hex = s
+            .trim()
+            .strip_prefix("IOR:")
+            .ok_or_else(|| CorbaError::BadIor("missing IOR: prefix".into()))?;
+        if hex.len() % 2 != 0 {
+            return Err(CorbaError::BadIor("odd hex length".into()));
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let b = u8::from_str_radix(&hex[i..i + 2], 16)
+                .map_err(|_| CorbaError::BadIor("invalid hex".into()))?;
+            bytes.push(b);
+        }
+        let mut r = CdrReader::new(&bytes, true);
+        let type_id = r
+            .read_string()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        let profile_count = r
+            .read_ulong()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        if profile_count == 0 {
+            return Err(CorbaError::BadIor("no profiles".into()));
+        }
+        let tag = r
+            .read_ulong()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        if tag != TAG_INTERNET_IOP {
+            return Err(CorbaError::BadIor(format!("unsupported profile tag {tag}")));
+        }
+        let body = r
+            .read_octet_seq()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        // Peek the byte-order octet, then re-read the encapsulation from
+        // its start so CDR alignment stays anchored correctly.
+        let byte_order = *body
+            .first()
+            .ok_or_else(|| CorbaError::BadIor("empty profile".into()))?;
+        let mut p = CdrReader::new(&body, byte_order == 0);
+        let _order = p
+            .read_octet()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        let _major = p
+            .read_octet()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        let _minor = p
+            .read_octet()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        let address = p
+            .read_string()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        let _port = p
+            .read_ushort()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        let object_key = p
+            .read_octet_seq()
+            .map_err(|e| CorbaError::BadIor(e.to_string()))?;
+        Ok(Ior {
+            type_id,
+            address,
+            object_key,
+        })
+    }
+}
+
+impl std::fmt::Display for Ior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_ior_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let ior = Ior::new("IDL:Calc:1.0", "tcp://127.0.0.1:4321", b"calc-1".to_vec());
+        let s = ior.to_ior_string();
+        assert!(s.starts_with("IOR:"));
+        assert!(s[4..].chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(Ior::parse(&s).unwrap(), ior);
+    }
+
+    #[test]
+    fn roundtrip_mem_address_and_empty_key() {
+        let ior = Ior::new("IDL:Mail:1.0", "mem://mail-orb", Vec::new());
+        assert_eq!(Ior::parse(&ior.to_ior_string()).unwrap(), ior);
+    }
+
+    #[test]
+    fn parse_trims_whitespace() {
+        let ior = Ior::new("IDL:X:1.0", "mem://x", b"k".to_vec());
+        let s = format!("  {}\n", ior.to_ior_string());
+        assert_eq!(Ior::parse(&s).unwrap(), ior);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Ior::parse("not an ior").is_err());
+        assert!(Ior::parse("IOR:zz").is_err());
+        assert!(Ior::parse("IOR:0").is_err());
+        assert!(Ior::parse("IOR:00000001").is_err());
+    }
+
+    #[test]
+    fn display_matches_string_form() {
+        let ior = Ior::new("IDL:X:1.0", "mem://x", b"k".to_vec());
+        assert_eq!(ior.to_string(), ior.to_ior_string());
+    }
+}

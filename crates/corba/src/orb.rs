@@ -1,0 +1,568 @@
+//! Object Request Brokers: the server ORB with DSI dispatch and the
+//! client-side DII request API.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use httpd::transport::{connect, Listener, Stream};
+use jpie::Value;
+use parking_lot::Mutex;
+
+use crate::error::{CorbaError, SystemExceptionKind};
+use crate::giop::{
+    decode_reply, decode_request, read_message, write_reply, write_request, MsgType, ReplyBody,
+    ReplyMessage, RequestMessage,
+};
+use crate::ior::Ior;
+
+/// The Dynamic Skeleton Interface: servant logic that receives untyped
+/// requests.
+///
+/// The paper "use\[s\] DSI to avoid reinitializing the Server ORB when the
+/// server methods or types change" (§5.2.2) — the ORB stays up while the
+/// implementation behind this trait changes arbitrarily.
+pub trait DynamicImplementation: Send + Sync + 'static {
+    /// Handles one request: inspect [`ServerRequest::operation`] and
+    /// [`ServerRequest::arguments`], then call
+    /// [`ServerRequest::set_result`] or [`ServerRequest::set_exception`].
+    fn invoke(&self, request: &mut ServerRequest);
+}
+
+/// An in-progress server-side request handed to the DSI implementation.
+#[derive(Debug)]
+pub struct ServerRequest {
+    operation: String,
+    args: Vec<Value>,
+    outcome: Option<Result<Value, CorbaError>>,
+}
+
+impl ServerRequest {
+    /// The requested operation name.
+    pub fn operation(&self) -> &str {
+        &self.operation
+    }
+
+    /// The positional arguments.
+    pub fn arguments(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// Completes the request successfully.
+    pub fn set_result(&mut self, value: Value) {
+        self.outcome = Some(Ok(value));
+    }
+
+    /// Completes the request with an exception.
+    pub fn set_exception(&mut self, error: CorbaError) {
+        self.outcome = Some(Err(error));
+    }
+}
+
+/// A running server ORB bound to one transport endpoint, dispatching every
+/// request through a [`DynamicImplementation`].
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug)]
+pub struct ServerOrb {
+    ior: Ior,
+    shutdown: Arc<AtomicBool>,
+    listener: Arc<Listener>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerOrb {
+    /// Binds `addr` (e.g. `tcp://127.0.0.1:0` or `mem://calc-orb`) and
+    /// starts dispatching to `implementation`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the endpoint cannot be bound.
+    pub fn init<I: DynamicImplementation>(
+        addr: &str,
+        type_id: &str,
+        implementation: I,
+    ) -> Result<ServerOrb, CorbaError> {
+        let listener = Arc::new(Listener::bind(addr)?);
+        let local = listener.local_addr().to_string();
+        let object_key = format!("{type_id}#key").into_bytes();
+        let served_key = object_key.clone();
+        let ior = Ior::new(type_id, local, object_key);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let implementation: Arc<dyn DynamicImplementation> = Arc::new(implementation);
+
+        let accept_listener = listener.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept_thread = thread::Builder::new()
+            .name("orb-accept".into())
+            .spawn(move || {
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    let stream = match accept_listener.accept() {
+                        Ok(s) => s,
+                        Err(_) => break,
+                    };
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let implementation = implementation.clone();
+                    let conn_key = served_key.clone();
+                    let _ = thread::Builder::new()
+                        .name("orb-conn".into())
+                        .spawn(move || serve_connection(stream, implementation, conn_key));
+                }
+            })
+            .expect("spawn orb accept thread");
+
+        Ok(ServerOrb {
+            ior,
+            shutdown,
+            listener,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The IOR clients use to reach this ORB.
+    pub fn ior(&self) -> Ior {
+        self.ior.clone()
+    }
+
+    /// Stops accepting connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.listener.close();
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerOrb {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    stream: Stream,
+    implementation: Arc<dyn DynamicImplementation>,
+    served_key: Vec<u8>,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        let (msg_type, body, big_endian) = match read_message(&mut reader) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => return,
+        };
+        match msg_type {
+            MsgType::CloseConnection => return,
+            // Protocol violations from a client.
+            MsgType::Reply | MsgType::LocateReply => return,
+            MsgType::LocateRequest => {
+                let Ok((request_id, key)) = crate::giop::decode_locate_request(&body, big_endian)
+                else {
+                    return;
+                };
+                let status = if key == served_key {
+                    crate::giop::LocateStatus::ObjectHere
+                } else {
+                    crate::giop::LocateStatus::UnknownObject
+                };
+                if crate::giop::write_locate_reply(&mut writer, request_id, status).is_err() {
+                    return;
+                }
+            }
+            MsgType::Request => {
+                let (request_id, reply_body) = match decode_request(&body, big_endian) {
+                    Ok(req) => {
+                        let id = req.request_id;
+                        // A real ORB dispatches by object key; an unknown
+                        // key is OBJECT_NOT_EXIST, not a servant call.
+                        if req.object_key != served_key {
+                            let outcome = Err(CorbaError::system(
+                                SystemExceptionKind::ObjectNotExist,
+                                "unknown object key",
+                            ));
+                            (id, outcome_to_reply(outcome))
+                        } else {
+                            let mut sreq = ServerRequest {
+                                operation: req.operation,
+                                args: req.args,
+                                outcome: None,
+                            };
+                            implementation.invoke(&mut sreq);
+                            let outcome = sreq.outcome.unwrap_or_else(|| {
+                                Err(CorbaError::system(
+                                    SystemExceptionKind::NoImplement,
+                                    "servant set no result",
+                                ))
+                            });
+                            (id, outcome_to_reply(outcome))
+                        }
+                    }
+                    Err(e) => (0, outcome_to_reply(Err(e))),
+                };
+                let reply = ReplyMessage {
+                    request_id,
+                    body: reply_body,
+                };
+                if write_reply(&mut writer, &reply).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn outcome_to_reply(outcome: Result<Value, CorbaError>) -> ReplyBody {
+    match outcome {
+        Ok(v) => ReplyBody::NoException(v),
+        Err(CorbaError::User {
+            repository_id,
+            message,
+        }) => ReplyBody::UserException {
+            repository_id,
+            message,
+        },
+        Err(CorbaError::System(kind, reason)) => ReplyBody::SystemException { kind, reason },
+        Err(other) => ReplyBody::SystemException {
+            kind: SystemExceptionKind::Unknown,
+            reason: other.to_string(),
+        },
+    }
+}
+
+/// A keep-alive client connection to a server ORB (what a client ORB holds
+/// after initialization from an IOR, Fig 2).
+#[derive(Debug)]
+pub struct OrbConnection {
+    stream: Stream,
+    object_key: Vec<u8>,
+    next_request_id: AtomicU32,
+}
+
+impl OrbConnection {
+    /// Connects to the ORB referenced by `ior`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address in the IOR is unreachable.
+    pub fn connect(ior: &Ior) -> Result<OrbConnection, CorbaError> {
+        let stream = connect(&ior.address)?;
+        Ok(OrbConnection {
+            stream,
+            object_key: ior.object_key.clone(),
+            next_request_id: AtomicU32::new(1),
+        })
+    }
+
+    /// Invokes `operation` with positional `args` and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, marshal failures, and any exception the server
+    /// replies with.
+    pub fn call(&mut self, operation: &str, args: &[Value]) -> Result<Value, CorbaError> {
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let req = RequestMessage {
+            request_id,
+            response_expected: true,
+            object_key: self.object_key.clone(),
+            operation: operation.to_string(),
+            args: args.to_vec(),
+        };
+        write_request(&mut self.stream, &req)?;
+        let (msg_type, body, big_endian) = read_message(&mut self.stream)?
+            .ok_or_else(|| CorbaError::Transport("connection closed awaiting reply".into()))?;
+        if msg_type != MsgType::Reply {
+            return Err(CorbaError::system(
+                SystemExceptionKind::Marshal,
+                format!("expected Reply, got {msg_type:?}"),
+            ));
+        }
+        let reply = decode_reply(&body, big_endian)?;
+        if reply.request_id != request_id {
+            return Err(CorbaError::system(
+                SystemExceptionKind::Marshal,
+                "reply id does not match request id",
+            ));
+        }
+        reply.into_result()
+    }
+
+    /// Probes whether the server actually serves this connection's object
+    /// key (GIOP LocateRequest/LocateReply).
+    ///
+    /// # Errors
+    ///
+    /// Transport and marshal failures.
+    pub fn locate(&mut self) -> Result<crate::giop::LocateStatus, CorbaError> {
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        crate::giop::write_locate_request(&mut self.stream, request_id, &self.object_key)?;
+        let (msg_type, body, big_endian) = read_message(&mut self.stream)?
+            .ok_or_else(|| CorbaError::Transport("connection closed awaiting locate".into()))?;
+        if msg_type != MsgType::LocateReply {
+            return Err(CorbaError::system(
+                SystemExceptionKind::Marshal,
+                format!("expected LocateReply, got {msg_type:?}"),
+            ));
+        }
+        let (reply_id, status) = crate::giop::decode_locate_reply(&body, big_endian)?;
+        if reply_id != request_id {
+            return Err(CorbaError::system(
+                SystemExceptionKind::Marshal,
+                "locate reply id mismatch",
+            ));
+        }
+        Ok(status)
+    }
+
+    /// Closes the connection.
+    pub fn close(mut self) {
+        let _ = crate::giop::write_close(&mut self.stream);
+        self.stream.shutdown();
+    }
+}
+
+/// A Dynamic Invocation Interface request builder — the client-side dual
+/// of DSI, used by the paper's CDE (§2.3: "the Dynamic Invocation
+/// Interface (DII) implementation of OpenORB").
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug, Clone)]
+pub struct DiiRequest {
+    ior: Ior,
+    operation: String,
+    args: Vec<Value>,
+}
+
+impl DiiRequest {
+    /// Starts a request for `operation` on the object referenced by `ior`.
+    pub fn new(ior: &Ior, operation: impl Into<String>) -> DiiRequest {
+        DiiRequest {
+            ior: ior.clone(),
+            operation: operation.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends a positional argument.
+    pub fn arg(mut self, value: Value) -> DiiRequest {
+        self.args.push(value);
+        self
+    }
+
+    /// Sends the request over a fresh connection and waits for the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OrbConnection::call`].
+    pub fn invoke(self) -> Result<Value, CorbaError> {
+        let mut conn = OrbConnection::connect(&self.ior)?;
+        let out = conn.call(&self.operation, &self.args);
+        conn.close();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jpie::TypeDesc;
+
+    struct Arith;
+    impl DynamicImplementation for Arith {
+        fn invoke(&self, req: &mut ServerRequest) {
+            match req.operation() {
+                "add" => match req.arguments() {
+                    [Value::Int(a), Value::Int(b)] => req.set_result(Value::Int(a + b)),
+                    _ => req.set_exception(CorbaError::system(
+                        SystemExceptionKind::BadParam,
+                        "add(int, int)",
+                    )),
+                },
+                "explode" => req.set_exception(CorbaError::user_exception("application failure")),
+                other => req.set_exception(CorbaError::non_existent_method(other)),
+            }
+        }
+    }
+
+    #[test]
+    fn dii_call_roundtrip() {
+        let orb = ServerOrb::init("mem://orb-add", "IDL:Arith:1.0", Arith).unwrap();
+        let result = DiiRequest::new(&orb.ior(), "add")
+            .arg(Value::Int(20))
+            .arg(Value::Int(22))
+            .invoke()
+            .unwrap();
+        assert_eq!(result, Value::Int(42));
+        orb.shutdown();
+    }
+
+    #[test]
+    fn dii_over_tcp() {
+        let orb = ServerOrb::init("tcp://127.0.0.1:0", "IDL:Arith:1.0", Arith).unwrap();
+        let result = DiiRequest::new(&orb.ior(), "add")
+            .arg(Value::Int(1))
+            .arg(Value::Int(2))
+            .invoke()
+            .unwrap();
+        assert_eq!(result, Value::Int(3));
+        orb.shutdown();
+    }
+
+    #[test]
+    fn user_exception_propagates() {
+        let orb = ServerOrb::init("mem://orb-user-ex", "IDL:Arith:1.0", Arith).unwrap();
+        let err = DiiRequest::new(&orb.ior(), "explode").invoke().unwrap_err();
+        assert!(
+            matches!(err, CorbaError::User { message, .. } if message == "application failure")
+        );
+        orb.shutdown();
+    }
+
+    #[test]
+    fn bad_operation_is_non_existent_method() {
+        let orb = ServerOrb::init("mem://orb-missing", "IDL:Arith:1.0", Arith).unwrap();
+        let err = DiiRequest::new(&orb.ior(), "missing").invoke().unwrap_err();
+        assert!(err.is_non_existent_method());
+        orb.shutdown();
+    }
+
+    #[test]
+    fn bad_param_system_exception() {
+        let orb = ServerOrb::init("mem://orb-badparam", "IDL:Arith:1.0", Arith).unwrap();
+        let err = DiiRequest::new(&orb.ior(), "add")
+            .arg(Value::Str("nope".into()))
+            .invoke()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CorbaError::System(SystemExceptionKind::BadParam, _)
+        ));
+        orb.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_connection_many_calls() {
+        let orb = ServerOrb::init("mem://orb-ka", "IDL:Arith:1.0", Arith).unwrap();
+        let mut conn = OrbConnection::connect(&orb.ior()).unwrap();
+        for i in 0..10 {
+            let got = conn.call("add", &[Value::Int(i), Value::Int(1)]).unwrap();
+            assert_eq!(got, Value::Int(i + 1));
+        }
+        conn.close();
+        orb.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let orb = Arc::new(ServerOrb::init("mem://orb-conc", "IDL:Arith:1.0", Arith).unwrap());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let ior = orb.ior();
+            handles.push(thread::spawn(move || {
+                let got = DiiRequest::new(&ior, "add")
+                    .arg(Value::Int(i))
+                    .arg(Value::Int(i))
+                    .invoke()
+                    .unwrap();
+                assert_eq!(got, Value::Int(2 * i));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        orb.shutdown();
+    }
+
+    #[test]
+    fn complex_values_cross_the_wire() {
+        struct EchoSeq;
+        impl DynamicImplementation for EchoSeq {
+            fn invoke(&self, req: &mut ServerRequest) {
+                req.set_result(req.arguments()[0].clone());
+            }
+        }
+        let orb = ServerOrb::init("mem://orb-echo-seq", "IDL:Echo:1.0", EchoSeq).unwrap();
+        let v = Value::Seq(
+            TypeDesc::Named("P".into()),
+            vec![Value::Struct(
+                jpie::StructValue::new("P").with("x", Value::Double(1.5)),
+            )],
+        );
+        let got = DiiRequest::new(&orb.ior(), "echo")
+            .arg(v.clone())
+            .invoke()
+            .unwrap();
+        assert_eq!(got, v);
+        orb.shutdown();
+    }
+
+    #[test]
+    fn connect_after_shutdown_fails() {
+        let orb = ServerOrb::init("mem://orb-dead", "IDL:Arith:1.0", Arith).unwrap();
+        let ior = orb.ior();
+        orb.shutdown();
+        assert!(OrbConnection::connect(&ior).is_err());
+    }
+
+    #[test]
+    fn unknown_object_key_is_object_not_exist() {
+        let orb = ServerOrb::init("mem://orb-wrong-key", "IDL:Arith:1.0", Arith).unwrap();
+        let mut bogus = orb.ior();
+        bogus.object_key = b"not-served-here".to_vec();
+        let err = DiiRequest::new(&bogus, "add")
+            .arg(Value::Int(1))
+            .arg(Value::Int(2))
+            .invoke()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CorbaError::System(SystemExceptionKind::ObjectNotExist, _)
+        ));
+        orb.shutdown();
+    }
+
+    #[test]
+    fn locate_request_roundtrip() {
+        let orb = ServerOrb::init("mem://orb-locate", "IDL:Arith:1.0", Arith).unwrap();
+        let mut conn = OrbConnection::connect(&orb.ior()).unwrap();
+        assert_eq!(
+            conn.locate().unwrap(),
+            crate::giop::LocateStatus::ObjectHere
+        );
+        // Locate for an object this ORB does not serve.
+        let mut bogus = orb.ior();
+        bogus.object_key = b"somebody-else".to_vec();
+        let mut conn2 = OrbConnection::connect(&bogus).unwrap();
+        assert_eq!(
+            conn2.locate().unwrap(),
+            crate::giop::LocateStatus::UnknownObject
+        );
+        // The connection keeps working for real calls after a locate.
+        let v = conn.call("add", &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(v, Value::Int(3));
+        conn.close();
+        conn2.close();
+        orb.shutdown();
+    }
+
+    #[test]
+    fn ior_identifies_endpoint() {
+        let orb = ServerOrb::init("mem://orb-ior", "IDL:Arith:1.0", Arith).unwrap();
+        let ior = orb.ior();
+        assert_eq!(ior.type_id, "IDL:Arith:1.0");
+        assert_eq!(ior.address, "mem://orb-ior");
+        // The stringified form parses back to the same reference.
+        assert_eq!(Ior::parse(&ior.to_ior_string()).unwrap(), ior);
+        orb.shutdown();
+    }
+}

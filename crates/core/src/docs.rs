@@ -1,0 +1,257 @@
+//! The Interface Server: HTTP publication of WSDL / CORBA-IDL / IOR
+//! documents (§5.1/§5.2 — "a simple HTTP server that publishes the
+//! documents to the public domain"; one instance is shared by both
+//! subsystems "for simplicity").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use httpd::{Handler, HttpServer, Request, Response};
+use parking_lot::RwLock;
+
+use crate::error::SdeError;
+
+/// The shared store of published documents, keyed by URL path
+/// (e.g. `/Calc.wsdl`, `/Calc.idl`, `/Calc.ior`).
+#[derive(Debug, Default, Clone)]
+pub struct DocumentStore {
+    docs: Arc<RwLock<HashMap<String, PublishedDocument>>>,
+    /// Version history per path (append-only; survives retraction).
+    history: Arc<RwLock<HashMap<String, Vec<u64>>>>,
+}
+
+/// One published document with its version stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishedDocument {
+    /// Document body.
+    pub content: String,
+    /// Interface version the document reflects.
+    pub version: u64,
+    /// MIME type served with it.
+    pub content_type: &'static str,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> DocumentStore {
+        DocumentStore::default()
+    }
+
+    /// Publishes (or replaces) the document at `path`.
+    pub fn publish(&self, path: &str, content: String, version: u64, content_type: &'static str) {
+        self.docs.write().insert(
+            path.to_string(),
+            PublishedDocument {
+                content,
+                version,
+                content_type,
+            },
+        );
+        self.history
+            .write()
+            .entry(path.to_string())
+            .or_default()
+            .push(version);
+    }
+
+    /// The sequence of versions ever published at `path` (oldest first) —
+    /// the observability hook behind the publication experiments.
+    pub fn history(&self, path: &str) -> Vec<u64> {
+        self.history.read().get(path).cloned().unwrap_or_default()
+    }
+
+    /// Removes the document at `path` (used when a server is retired).
+    pub fn retract(&self, path: &str) {
+        self.docs.write().remove(path);
+    }
+
+    /// Reads the document at `path`.
+    pub fn get(&self, path: &str) -> Option<PublishedDocument> {
+        self.docs.read().get(path).cloned()
+    }
+
+    /// All published paths.
+    pub fn paths(&self) -> Vec<String> {
+        self.docs.read().keys().cloned().collect()
+    }
+}
+
+struct StoreHandler {
+    store: DocumentStore,
+}
+
+impl Handler for StoreHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let path = req.path().split('?').next().unwrap_or("/");
+        match self.store.get(path) {
+            Some(doc) => {
+                // HEAD gets the headers (length, version) without the body
+                // — clients use it to poll for version changes cheaply.
+                let body = if req.method() == httpd::Method::Head {
+                    Vec::new()
+                } else {
+                    doc.content.clone().into_bytes()
+                };
+                let mut resp = Response::ok(body, doc.content_type);
+                resp.headers_mut()
+                    .set("X-Interface-Version", doc.version.to_string());
+                resp.headers_mut()
+                    .set("Content-Length", doc.content.len().to_string());
+                resp
+            }
+            None => Response::not_found(&format!("no document published at {path}")),
+        }
+    }
+}
+
+/// The Interface Server: serves every document in a [`DocumentStore`]
+/// over HTTP.
+#[derive(Debug)]
+pub struct InterfaceServer {
+    store: DocumentStore,
+    http: HttpServer,
+}
+
+impl InterfaceServer {
+    /// Binds `addr` (e.g. `mem://sde-ifc-1` or `tcp://127.0.0.1:0`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the endpoint cannot be bound.
+    pub fn bind(addr: &str) -> Result<InterfaceServer, SdeError> {
+        let store = DocumentStore::new();
+        let http = HttpServer::bind(
+            addr,
+            StoreHandler {
+                store: store.clone(),
+            },
+        )?;
+        Ok(InterfaceServer { store, http })
+    }
+
+    /// The store documents are published into.
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Base URL, e.g. `mem://sde-ifc-1`.
+    pub fn base_url(&self) -> String {
+        self.http.base_url()
+    }
+
+    /// Full URL for a published path.
+    pub fn url_for(&self, path: &str) -> String {
+        format!("{}{}", self.base_url(), path)
+    }
+
+    /// Stops serving.
+    pub fn shutdown(&self) {
+        self.http.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpd::HttpClient;
+
+    #[test]
+    fn publish_and_fetch() {
+        let server = InterfaceServer::bind("mem://ifc-basic").unwrap();
+        server
+            .store()
+            .publish("/Calc.wsdl", "<wsdl/>".into(), 3, "text/xml");
+        let resp = HttpClient::new()
+            .get(&server.url_for("/Calc.wsdl"))
+            .unwrap();
+        assert_eq!(resp.status(), 200);
+        assert_eq!(resp.body_str(), "<wsdl/>");
+        assert_eq!(resp.headers().get("X-Interface-Version"), Some("3"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn missing_document_is_404() {
+        let server = InterfaceServer::bind("mem://ifc-404").unwrap();
+        let resp = HttpClient::new().get(&server.url_for("/nope.idl")).unwrap();
+        assert_eq!(resp.status(), 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn republication_replaces_content() {
+        let server = InterfaceServer::bind("mem://ifc-repub").unwrap();
+        server
+            .store()
+            .publish("/a.idl", "v1".into(), 1, "text/plain");
+        server
+            .store()
+            .publish("/a.idl", "v2".into(), 2, "text/plain");
+        let resp = HttpClient::new().get(&server.url_for("/a.idl")).unwrap();
+        assert_eq!(resp.body_str(), "v2");
+        assert_eq!(resp.headers().get("X-Interface-Version"), Some("2"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn history_records_all_versions() {
+        let store = DocumentStore::new();
+        assert!(store.history("/a.wsdl").is_empty());
+        store.publish("/a.wsdl", "v1".into(), 1, "text/xml");
+        store.publish("/a.wsdl", "v3".into(), 3, "text/xml");
+        store.publish("/b.idl", "x".into(), 7, "text/plain");
+        assert_eq!(store.history("/a.wsdl"), vec![1, 3]);
+        assert_eq!(store.history("/b.idl"), vec![7]);
+        // Retraction does not erase history.
+        store.retract("/a.wsdl");
+        assert_eq!(store.history("/a.wsdl"), vec![1, 3]);
+    }
+
+    #[test]
+    fn retract_removes() {
+        let server = InterfaceServer::bind("mem://ifc-retract").unwrap();
+        server
+            .store()
+            .publish("/a.ior", "IOR:00".into(), 0, "text/plain");
+        assert_eq!(server.store().paths().len(), 1);
+        server.store().retract("/a.ior");
+        let resp = HttpClient::new().get(&server.url_for("/a.ior")).unwrap();
+        assert_eq!(resp.status(), 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_returns_version_without_body() {
+        let server = InterfaceServer::bind("mem://ifc-head").unwrap();
+        server
+            .store()
+            .publish("/Svc.wsdl", "a-sizeable-document".into(), 9, "text/xml");
+        let resp = HttpClient::new()
+            .head(&server.url_for("/Svc.wsdl"))
+            .unwrap();
+        assert_eq!(resp.status(), 200);
+        assert_eq!(resp.headers().get("X-Interface-Version"), Some("9"));
+        assert_eq!(
+            resp.headers().get("Content-Length"),
+            Some("a-sizeable-document".len().to_string().as_str())
+        );
+        assert!(resp.body().is_empty());
+        // The connection is not wedged: a follow-up GET works.
+        let resp = HttpClient::new().get(&server.url_for("/Svc.wsdl")).unwrap();
+        assert_eq!(resp.body_str(), "a-sizeable-document");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_strings_ignored() {
+        let server = InterfaceServer::bind("mem://ifc-query").unwrap();
+        server
+            .store()
+            .publish("/x.wsdl", "doc".into(), 1, "text/xml");
+        let resp = HttpClient::new()
+            .get(&server.url_for("/x.wsdl?cache-bust=1"))
+            .unwrap();
+        assert_eq!(resp.body_str(), "doc");
+        server.shutdown();
+    }
+}

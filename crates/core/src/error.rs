@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the SDE middleware.
+#[derive(Debug)]
+pub enum SdeError {
+    /// The underlying transport could not be set up.
+    Transport(httpd::HttpError),
+    /// The CORBA substrate failed.
+    Corba(corba::CorbaError),
+    /// The dynamic-class runtime failed.
+    Jpie(jpie::JpieError),
+    /// A server with this class name is already managed.
+    AlreadyManaged(String),
+    /// No managed server with this class name.
+    NotManaged(String),
+    /// The gateway is in the wrong state (e.g. instance already created).
+    State(String),
+}
+
+impl fmt::Display for SdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdeError::Transport(e) => write!(f, "transport error: {e}"),
+            SdeError::Corba(e) => write!(f, "corba error: {e}"),
+            SdeError::Jpie(e) => write!(f, "dynamic class error: {e}"),
+            SdeError::AlreadyManaged(c) => write!(f, "class {c} is already managed"),
+            SdeError::NotManaged(c) => write!(f, "class {c} is not managed"),
+            SdeError::State(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl Error for SdeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SdeError::Transport(e) => Some(e),
+            SdeError::Corba(e) => Some(e),
+            SdeError::Jpie(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<httpd::HttpError> for SdeError {
+    fn from(e: httpd::HttpError) -> Self {
+        SdeError::Transport(e)
+    }
+}
+
+impl From<corba::CorbaError> for SdeError {
+    fn from(e: corba::CorbaError) -> Self {
+        SdeError::Corba(e)
+    }
+}
+
+impl From<jpie::JpieError> for SdeError {
+    fn from(e: jpie::JpieError) -> Self {
+        SdeError::Jpie(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SdeError::AlreadyManaged("Calc".into());
+        assert!(e.to_string().contains("Calc"));
+        assert!(e.source().is_none());
+
+        let e: SdeError = jpie::JpieError::NothingToUndo.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Send + Sync + Error + 'static>() {}
+        assert_traits::<SdeError>();
+    }
+}

@@ -1,0 +1,460 @@
+//! Technology-independent gateway machinery shared by the SOAP and CORBA
+//! subsystems — the generalization the paper's class hierarchy captures in
+//! Fig 6 (`SDEServer` / `DLPublisher` / `CallHandler` with a SOAP and a
+//! CORBA specialization of each).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jpie::{ClassHandle, Instance, JpieError, SignatureView, Value};
+use parking_lot::RwLock;
+
+use crate::error::SdeError;
+use crate::publish::PublisherCore;
+
+/// Which RMI technology a gateway speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Technology {
+    /// SOAP over HTTP (Web Services).
+    Soap,
+    /// CORBA-RMI over IIOP.
+    Corba,
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Technology::Soap => f.write_str("SOAP"),
+            Technology::Corba => f.write_str("CORBA"),
+        }
+    }
+}
+
+/// The Fig 6 `SDEServer` role: the common surface of a managed server
+/// gateway, independent of technology.
+pub trait SdeServerGateway: Send + Sync {
+    /// The dynamic class behind the gateway.
+    fn class(&self) -> &ClassHandle;
+    /// Which technology this gateway serves.
+    fn technology(&self) -> Technology;
+    /// URL of the published interface description (WSDL or CORBA-IDL).
+    fn interface_url(&self) -> String;
+    /// The DL Publisher maintaining the published description.
+    fn publisher(&self) -> &Arc<PublisherCore>;
+    /// Creates the single live instance, activating the call handler.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an instance already exists (§5.4).
+    fn create_instance(&self) -> Result<Arc<Instance>, SdeError>;
+    /// Stops the endpoint and publisher.
+    fn shutdown(&self);
+}
+
+/// Per-handler counters (observable in benchmarks and experiments).
+#[derive(Debug, Default)]
+pub struct HandlerMetrics {
+    /// Total requests received.
+    pub requests: AtomicU64,
+    /// Requests completed with a result.
+    pub ok: AtomicU64,
+    /// Requests answered with a fault/exception of any kind.
+    pub faults: AtomicU64,
+    /// Requests that hit the §5.7 stale-method path.
+    pub stale: AtomicU64,
+}
+
+impl HandlerMetrics {
+    /// Snapshot of (requests, ok, faults, stale).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.requests.load(Ordering::SeqCst),
+            self.ok.load(Ordering::SeqCst),
+            self.faults.load(Ordering::SeqCst),
+            self.stale.load(Ordering::SeqCst),
+        )
+    }
+}
+
+/// Why an RMI call could not be completed normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeFailure {
+    /// No live instance yet — the handler is "inactive" (§5.1.3) and
+    /// answers "Server not initialized".
+    NotInitialized,
+    /// The call matches no method in the current distributed interface —
+    /// the "Non existent Method" condition that triggers §5.7.
+    NoMatch,
+    /// The method ran and threw; the message is wrapped in a SOAP Fault /
+    /// generic CORBA exception.
+    AppException(String),
+}
+
+/// State shared between a gateway, its call handler, and the SDE Manager.
+pub struct GatewayCore {
+    class: ClassHandle,
+    instance: RwLock<Option<Arc<Instance>>>,
+    /// §5.7: while a stale call forces publication, processing of incoming
+    /// messages is stalled. Normal calls take the read side; the stale
+    /// path takes the write side.
+    stall: RwLock<()>,
+    metrics: HandlerMetrics,
+    /// Invoked on a stale call *after* processing stalls; wired by the
+    /// SDE Manager to prompt the DL Publisher (§5.7's
+    /// handler → manager → publisher notification chain).
+    stale_notify: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// Whether the §5.7 reactive mechanism is enabled. `false` models the
+    /// *active publishing* regime of Fig 7 (publication and RMI paths
+    /// fully independent), used by the consistency-matrix experiment.
+    reactive: AtomicBool,
+}
+
+impl std::fmt::Debug for GatewayCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayCore")
+            .field("class", &self.class.name())
+            .field("active", &self.instance.read().is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GatewayCore {
+    /// Creates an inactive core for `class`.
+    pub fn new(class: ClassHandle) -> Arc<GatewayCore> {
+        Arc::new(GatewayCore {
+            class,
+            instance: RwLock::new(None),
+            stall: RwLock::new(()),
+            metrics: HandlerMetrics::default(),
+            stale_notify: RwLock::new(None),
+            reactive: AtomicBool::new(true),
+        })
+    }
+
+    /// The dynamic class.
+    pub fn class(&self) -> &ClassHandle {
+        &self.class
+    }
+
+    /// Handler metrics.
+    pub fn metrics(&self) -> &HandlerMetrics {
+        &self.metrics
+    }
+
+    /// Wires the stale-call notification (SDE Manager → DL Publisher).
+    pub fn set_stale_notify(&self, notify: Arc<dyn Fn() + Send + Sync>) {
+        *self.stale_notify.write() = Some(notify);
+    }
+
+    /// Creates the single live instance (activates the call handler).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an instance already exists.
+    pub fn create_instance(&self) -> Result<Arc<Instance>, SdeError> {
+        let mut slot = self.instance.write();
+        if slot.is_some() {
+            return Err(SdeError::State(format!(
+                "class {} already has a live instance",
+                self.class.name()
+            )));
+        }
+        let instance = Arc::new(self.class.instantiate()?);
+        *slot = Some(instance.clone());
+        Ok(instance)
+    }
+
+    /// The live instance, if created.
+    pub fn instance(&self) -> Option<Arc<Instance>> {
+        self.instance.read().clone()
+    }
+
+    /// Adopts an existing live instance — used by the live technology
+    /// interchange (§8 future work): the new gateway serves the *same*
+    /// instance the old one did, preserving all field state.
+    pub fn adopt_instance(&self, instance: Arc<Instance>) {
+        *self.instance.write() = Some(instance);
+    }
+
+    /// Drops the live instance (deactivates the handler).
+    pub fn clear_instance(&self) {
+        *self.instance.write() = None;
+    }
+
+    /// Runs one RMI call through the full §5.1.3/§5.2.3 logic. `args` are
+    /// named when the wire format carries names (SOAP), unnamed (empty
+    /// names) otherwise (CORBA).
+    pub fn dispatch(&self, method: &str, args: &[(String, Value)]) -> Result<Value, InvokeFailure> {
+        self.metrics.requests.fetch_add(1, Ordering::SeqCst);
+        // Normal processing holds the stall read lock: it is blocked while
+        // a stale call is forcing publication (§5.7 "stalls the processing
+        // of incoming messages").
+        let _processing = self.stall.read();
+
+        let Some(instance) = self.instance() else {
+            self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+            return Err(InvokeFailure::NotInitialized);
+        };
+
+        let Some(bound) = self.match_distributed(method, args) else {
+            drop(_processing);
+            return Err(self.stale_path());
+        };
+
+        match instance.invoke_distributed(method, &bound) {
+            Ok(v) => {
+                self.metrics.ok.fetch_add(1, Ordering::SeqCst);
+                Ok(v)
+            }
+            // The method disappeared between matching and invocation (a
+            // live edit raced us): same stale treatment.
+            Err(JpieError::NoSuchMethod(_) | JpieError::ArgumentMismatch(_)) => {
+                drop(_processing);
+                Err(self.stale_path())
+            }
+            Err(e) => {
+                self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+                Err(InvokeFailure::AppException(e.to_string()))
+            }
+        }
+    }
+
+    /// §5.7: the call names no current method. Stall message processing,
+    /// notify the manager (which prompts the DL Publisher to get the
+    /// published description current), then report the stale condition.
+    fn stale_path(&self) -> InvokeFailure {
+        self.metrics.stale.fetch_add(1, Ordering::SeqCst);
+        self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+        if !self.reactive.load(Ordering::SeqCst) {
+            // Active-publishing mode (Fig 7): no synchronization between
+            // the update path and the call path.
+            return InvokeFailure::NoMatch;
+        }
+        let _stalled = self.stall.write();
+        let notify = self.stale_notify.read().clone();
+        if let Some(notify) = notify {
+            notify();
+        }
+        InvokeFailure::NoMatch
+    }
+
+    /// Enables or disables the §5.7 reactive forced publication. Disabling
+    /// reproduces the *active publishing* regime of Fig 7 for the
+    /// consistency experiments; production SDE always runs reactive
+    /// (Fig 8).
+    pub fn set_reactive(&self, reactive: bool) {
+        self.reactive.store(reactive, Ordering::SeqCst);
+    }
+
+    /// Matches a call against the current distributed interface, binding
+    /// arguments by name (when named) or position, with numeric widening.
+    /// `None` means "no method in the current server interface matches" —
+    /// the paper's stale-call condition.
+    fn match_distributed(&self, method: &str, args: &[(String, Value)]) -> Option<Vec<Value>> {
+        let sig = self
+            .class
+            .distributed_signatures()
+            .into_iter()
+            .find(|s| s.name == method)?;
+        bind_args(&sig, args)
+    }
+}
+
+/// Binds wire arguments to a signature: by name if every parameter name is
+/// present among the argument names, otherwise positionally. Returns
+/// `None` on arity or type mismatch.
+pub(crate) fn bind_args(sig: &SignatureView, args: &[(String, Value)]) -> Option<Vec<Value>> {
+    if args.len() != sig.params.len() {
+        return None;
+    }
+    let by_name = sig
+        .params
+        .iter()
+        .all(|(_, name, _)| args.iter().any(|(an, _)| an == name));
+    let mut bound = Vec::with_capacity(args.len());
+    for (i, (_, pname, pty)) in sig.params.iter().enumerate() {
+        let value = if by_name {
+            &args.iter().find(|(an, _)| an == pname).expect("checked").1
+        } else {
+            &args[i].1
+        };
+        bound.push(value.widen_to(pty)?);
+    }
+    Some(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jpie::expr::Expr;
+    use jpie::{MethodBuilder, TypeDesc};
+
+    fn calc_core() -> Arc<GatewayCore> {
+        let class = ClassHandle::new("Calc");
+        class
+            .add_method(
+                MethodBuilder::new("add", TypeDesc::Int)
+                    .param("a", TypeDesc::Int)
+                    .param("b", TypeDesc::Int)
+                    .distributed(true)
+                    .body_expr(Expr::param("a") + Expr::param("b")),
+            )
+            .unwrap();
+        GatewayCore::new(class)
+    }
+
+    fn named(args: &[(&str, Value)]) -> Vec<(String, Value)> {
+        args.iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn inactive_until_instance_created() {
+        let core = calc_core();
+        let err = core
+            .dispatch("add", &named(&[("a", Value::Int(1)), ("b", Value::Int(2))]))
+            .unwrap_err();
+        assert_eq!(err, InvokeFailure::NotInitialized);
+        core.create_instance().unwrap();
+        let v = core
+            .dispatch("add", &named(&[("a", Value::Int(1)), ("b", Value::Int(2))]))
+            .unwrap();
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn single_instance_enforced() {
+        let core = calc_core();
+        core.create_instance().unwrap();
+        assert!(core.create_instance().is_err());
+        core.clear_instance();
+        assert!(core.create_instance().is_ok());
+    }
+
+    #[test]
+    fn named_binding_is_order_independent() {
+        let core = calc_core();
+        core.create_instance().unwrap();
+        let v = core
+            .dispatch(
+                "add",
+                &named(&[("b", Value::Int(10)), ("a", Value::Int(1))]),
+            )
+            .unwrap();
+        assert_eq!(v, Value::Int(11));
+    }
+
+    #[test]
+    fn positional_binding_when_unnamed() {
+        let core = calc_core();
+        core.create_instance().unwrap();
+        let args = vec![
+            (String::new(), Value::Int(4)),
+            (String::new(), Value::Int(5)),
+        ];
+        assert_eq!(core.dispatch("add", &args).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn unknown_method_is_stale() {
+        let core = calc_core();
+        core.create_instance().unwrap();
+        let err = core.dispatch("subtract", &[]).unwrap_err();
+        assert_eq!(err, InvokeFailure::NoMatch);
+        assert_eq!(core.metrics().snapshot().3, 1);
+    }
+
+    #[test]
+    fn signature_mismatch_is_stale() {
+        // A client calling with the old arity after a live signature
+        // change must hit the stale path — that is the very scenario the
+        // §6 protocol exists for.
+        let core = calc_core();
+        core.create_instance().unwrap();
+        let err = core
+            .dispatch("add", &named(&[("a", Value::Int(1))]))
+            .unwrap_err();
+        assert_eq!(err, InvokeFailure::NoMatch);
+        let err = core
+            .dispatch(
+                "add",
+                &named(&[("a", Value::Str("x".into())), ("b", Value::Int(2))]),
+            )
+            .unwrap_err();
+        assert_eq!(err, InvokeFailure::NoMatch);
+    }
+
+    #[test]
+    fn stale_notify_fires() {
+        let core = calc_core();
+        core.create_instance().unwrap();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        core.set_stale_notify(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        let _ = core.dispatch("ghost", &[]);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn app_exception_carries_message() {
+        let class = ClassHandle::new("Boom");
+        class
+            .add_method(
+                MethodBuilder::new("boom", TypeDesc::Void)
+                    .distributed(true)
+                    .body_block(vec![jpie::expr::Stmt::Throw(Expr::lit("kaboom"))]),
+            )
+            .unwrap();
+        let core = GatewayCore::new(class);
+        core.create_instance().unwrap();
+        match core.dispatch("boom", &[]).unwrap_err() {
+            InvokeFailure::AppException(m) => assert!(m.contains("kaboom")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_distributed_methods_invisible() {
+        let core = calc_core();
+        core.class()
+            .add_method(MethodBuilder::new("local", TypeDesc::Void).body_block(vec![]))
+            .unwrap();
+        core.create_instance().unwrap();
+        assert_eq!(
+            core.dispatch("local", &[]).unwrap_err(),
+            InvokeFailure::NoMatch
+        );
+    }
+
+    #[test]
+    fn widening_in_binding() {
+        let class = ClassHandle::new("W");
+        class
+            .add_method(
+                MethodBuilder::new("half", TypeDesc::Double)
+                    .param("x", TypeDesc::Double)
+                    .distributed(true)
+                    .body_expr(Expr::param("x") / Expr::lit(2.0)),
+            )
+            .unwrap();
+        let core = GatewayCore::new(class);
+        core.create_instance().unwrap();
+        let v = core
+            .dispatch("half", &named(&[("x", Value::Int(5))]))
+            .unwrap();
+        assert_eq!(v, Value::Double(2.5));
+    }
+
+    #[test]
+    fn metrics_track_outcomes() {
+        let core = calc_core();
+        core.create_instance().unwrap();
+        let _ = core.dispatch("add", &named(&[("a", Value::Int(1)), ("b", Value::Int(2))]));
+        let _ = core.dispatch("ghost", &[]);
+        let (requests, ok, faults, stale) = core.metrics().snapshot();
+        assert_eq!((requests, ok, faults, stale), (2, 1, 1, 1));
+    }
+}

@@ -1,0 +1,337 @@
+//! The SOAP subsystem (paper §5.1): `SOAPServer` gateway, WSDL publisher,
+//! and the SOAP Call Handler.
+
+use std::sync::Arc;
+
+use httpd::{Handler, HttpServer, Request, Response, Status};
+use jpie::{ClassHandle, Instance};
+use soap::{decode_request, SoapFault, SoapResponse, WsdlDocument};
+
+use crate::docs::DocumentStore;
+use crate::error::SdeError;
+use crate::gateway::{GatewayCore, HandlerMetrics, InvokeFailure, SdeServerGateway, Technology};
+use crate::publish::{GeneratedDoc, PublicationStrategy, PublisherCore};
+
+/// A managed SOAP server: the paper's `SOAPServer` gateway plus its WSDL
+/// Generator, SOAP Call Handler, and publication plumbing, deployed and
+/// wired automatically (the "automated server deployment" contribution).
+///
+/// Create through [`crate::SdeManager::deploy_soap`].
+#[derive(Debug)]
+pub struct SoapServer {
+    core: Arc<GatewayCore>,
+    publisher: Arc<PublisherCore>,
+    endpoint: HttpServer,
+    wsdl_url: String,
+    wsdl_path: String,
+    store: DocumentStore,
+}
+
+impl SoapServer {
+    pub(crate) fn deploy(
+        class: ClassHandle,
+        endpoint_addr: &str,
+        store: DocumentStore,
+        interface_base_url: &str,
+        strategy: PublicationStrategy,
+    ) -> Result<SoapServer, SdeError> {
+        let core = GatewayCore::new(class.clone());
+
+        // The SOAP Call Handler goes up first so the endpoint address is
+        // known for the (minimal) WSDL document (§5.1.1).
+        let handler = SoapCallHandler { core: core.clone() };
+        let endpoint = HttpServer::bind(endpoint_addr, handler)?;
+        let endpoint_url = format!("{}/{}", endpoint.base_url(), class.name());
+
+        let wsdl_path = format!("/{}.wsdl", class.name());
+        let wsdl_url = format!("{interface_base_url}{wsdl_path}");
+
+        let gen_class = class.clone();
+        let gen_endpoint = endpoint_url.clone();
+        let sink_store = store.clone();
+        let sink_path = wsdl_path.clone();
+        let publisher = PublisherCore::start(
+            class,
+            strategy,
+            Box::new(move || {
+                let doc = WsdlDocument::from_signatures(
+                    gen_class.name(),
+                    gen_endpoint.clone(),
+                    &gen_class.distributed_signatures(),
+                    gen_class.interface_version(),
+                );
+                GeneratedDoc {
+                    text: doc.to_xml(),
+                    version: doc.version,
+                }
+            }),
+            Box::new(move |doc| {
+                sink_store.publish(&sink_path, doc.text.clone(), doc.version, "text/xml");
+            }),
+        );
+
+        Ok(SoapServer {
+            core,
+            publisher,
+            endpoint,
+            wsdl_url,
+            wsdl_path,
+            store,
+        })
+    }
+
+    /// The shared gateway state (used by the SDE Manager).
+    pub(crate) fn core(&self) -> &Arc<GatewayCore> {
+        &self.core
+    }
+
+    /// URL of the published WSDL document.
+    pub fn wsdl_url(&self) -> &str {
+        &self.wsdl_url
+    }
+
+    /// The SOAP endpoint URL clients post requests to.
+    pub fn endpoint_url(&self) -> String {
+        format!("{}/{}", self.endpoint.base_url(), self.core.class().name())
+    }
+
+    /// The live instance, if created.
+    pub fn instance(&self) -> Option<Arc<Instance>> {
+        self.core.instance()
+    }
+
+    /// Call-handler metrics.
+    pub fn handler_metrics(&self) -> &HandlerMetrics {
+        self.core.metrics()
+    }
+
+    /// Toggles the §5.7 reactive forced publication (see
+    /// [`GatewayCore::set_reactive`](crate::GatewayCore::set_reactive)).
+    pub fn set_reactive(&self, reactive: bool) {
+        self.core.set_reactive(reactive);
+    }
+}
+
+impl SdeServerGateway for SoapServer {
+    fn class(&self) -> &ClassHandle {
+        self.core.class()
+    }
+
+    fn technology(&self) -> Technology {
+        Technology::Soap
+    }
+
+    fn interface_url(&self) -> String {
+        self.wsdl_url.clone()
+    }
+
+    fn publisher(&self) -> &Arc<PublisherCore> {
+        &self.publisher
+    }
+
+    fn create_instance(&self) -> Result<Arc<Instance>, SdeError> {
+        self.core.create_instance()
+    }
+
+    fn shutdown(&self) {
+        self.publisher.shutdown();
+        self.endpoint.shutdown();
+        self.store.retract(&self.wsdl_path);
+        self.core.clear_instance();
+    }
+}
+
+/// The SOAP Call Handler (§5.1.3): the communication endpoint performing
+/// SOAP↔dynamic-class translation for remote invocations.
+struct SoapCallHandler {
+    core: Arc<GatewayCore>,
+}
+
+impl Handler for SoapCallHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let xml = req.body_str();
+        let soap_req = match decode_request(&xml) {
+            Ok(r) => r,
+            Err(e) => {
+                // "If the parsing reveals a malformed SOAP Request, a SOAP
+                // Fault with a 'Malformed SOAP Request' message is sent."
+                return fault_response(&SoapFault::malformed_request(e.to_string()));
+            }
+        };
+        match self.core.dispatch(soap_req.method(), soap_req.args()) {
+            Ok(value) => {
+                let body = SoapResponse::encode_ok(soap_req.method(), soap_req.namespace(), &value);
+                Response::ok(body.into_bytes(), "text/xml")
+            }
+            Err(InvokeFailure::NotInitialized) => {
+                fault_response(&SoapFault::server_not_initialized())
+            }
+            Err(InvokeFailure::NoMatch) => {
+                // §5.7 ran inside dispatch (stall + forced publication);
+                // now the exception goes back.
+                fault_response(&SoapFault::non_existent_method(soap_req.method()))
+            }
+            Err(InvokeFailure::AppException(msg)) => {
+                fault_response(&SoapFault::application_exception(msg))
+            }
+        }
+    }
+}
+
+fn fault_response(fault: &SoapFault) -> Response {
+    // SOAP 1.1 over HTTP requires status 500 for faults.
+    Response::new(
+        Status::INTERNAL_SERVER_ERROR,
+        SoapResponse::encode_fault(fault).into_bytes(),
+        "text/xml",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpd::HttpClient;
+    use jpie::expr::Expr;
+    use jpie::{MethodBuilder, TypeDesc, Value};
+    use soap::SoapRequest;
+    use std::time::Duration;
+
+    fn deploy_calc(tag: &str) -> SoapServer {
+        let class = ClassHandle::new("Calc");
+        class
+            .add_method(
+                MethodBuilder::new("add", TypeDesc::Int)
+                    .param("a", TypeDesc::Int)
+                    .param("b", TypeDesc::Int)
+                    .distributed(true)
+                    .body_expr(Expr::param("a") + Expr::param("b")),
+            )
+            .unwrap();
+        SoapServer::deploy(
+            class,
+            &format!("mem://soap-ep-{tag}"),
+            DocumentStore::new(),
+            "mem://ifc-unused",
+            PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+        )
+        .unwrap()
+    }
+
+    fn call(server: &SoapServer, req: &SoapRequest) -> SoapResponse {
+        let resp = HttpClient::new()
+            .post(
+                &server.endpoint_url(),
+                req.to_xml().into_bytes(),
+                "text/xml",
+            )
+            .unwrap();
+        soap::decode_response(&resp.body_str()).unwrap()
+    }
+
+    #[test]
+    fn uninitialized_server_faults() {
+        let server = deploy_calc("uninit");
+        let resp = call(
+            &server,
+            &SoapRequest::new("urn:Calc", "add")
+                .arg("a", Value::Int(1))
+                .arg("b", Value::Int(2)),
+        );
+        match resp {
+            SoapResponse::Fault(f) => assert_eq!(f.fault_string, "Server not initialized"),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn successful_call_roundtrip() {
+        let server = deploy_calc("ok");
+        server.create_instance().unwrap();
+        let resp = call(
+            &server,
+            &SoapRequest::new("urn:Calc", "add")
+                .arg("a", Value::Int(20))
+                .arg("b", Value::Int(22)),
+        );
+        assert_eq!(resp, SoapResponse::Ok(Value::Int(42)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_faults() {
+        let server = deploy_calc("malformed");
+        server.create_instance().unwrap();
+        let resp = HttpClient::new()
+            .post(
+                &server.endpoint_url(),
+                b"this is not xml".to_vec(),
+                "text/xml",
+            )
+            .unwrap();
+        assert_eq!(resp.status(), 500);
+        match soap::decode_response(&resp.body_str()).unwrap() {
+            SoapResponse::Fault(f) => assert_eq!(f.fault_string, "Malformed SOAP Request"),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_existent_method_faults_and_publishes() {
+        let server = deploy_calc("stale");
+        server.create_instance().unwrap();
+        let resp = call(&server, &SoapRequest::new("urn:Calc", "ghost"));
+        match resp {
+            SoapResponse::Fault(f) => {
+                assert!(f.is_non_existent_method());
+                assert_eq!(f.detail.as_deref(), Some("ghost"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // After the fault returns, the published WSDL is current (§6).
+        assert_eq!(
+            server.publisher().published_version(),
+            server.class().interface_version()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn application_exception_wrapped_in_fault() {
+        let server = deploy_calc("appex");
+        let boom = server
+            .class()
+            .add_method(
+                MethodBuilder::new("boom", TypeDesc::Void)
+                    .distributed(true)
+                    .body_block(vec![jpie::expr::Stmt::Throw(Expr::lit("exploded"))]),
+            )
+            .unwrap();
+        let _ = boom;
+        server.create_instance().unwrap();
+        let resp = call(&server, &SoapRequest::new("urn:Calc", "boom"));
+        match resp {
+            SoapResponse::Fault(f) => {
+                assert_eq!(f.fault_string, "Application Exception");
+                assert!(f.detail.unwrap().contains("exploded"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn wsdl_regenerated_after_live_change() {
+        let server = deploy_calc("regen");
+        server.create_instance().unwrap();
+        let v0 = server.publisher().published_version();
+        server
+            .class()
+            .add_method(MethodBuilder::new("mul", TypeDesc::Int).distributed(true))
+            .unwrap();
+        server.publisher().ensure_current();
+        assert!(server.publisher().published_version() > v0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error produced by the HTTP stack or the underlying transport.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying transport I/O failure.
+    Io(io::Error),
+    /// Address string could not be parsed (`tcp://...`, `mem://...`).
+    BadAddress(String),
+    /// `mem://` endpoint name already registered, or TCP port taken.
+    AddressInUse(String),
+    /// Nothing is listening at the target address.
+    ConnectionRefused(String),
+    /// The listener was closed while accepting.
+    ListenerClosed,
+    /// The peer sent bytes that do not form a valid HTTP/1.1 message.
+    Malformed(String),
+    /// The peer closed the connection before a complete message arrived.
+    UnexpectedEof,
+    /// Response carried an unexpected HTTP status.
+    Status(u16, String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "transport i/o error: {e}"),
+            HttpError::BadAddress(a) => write!(f, "invalid transport address {a:?}"),
+            HttpError::AddressInUse(a) => write!(f, "address already in use: {a}"),
+            HttpError::ConnectionRefused(a) => write!(f, "connection refused: {a}"),
+            HttpError::ListenerClosed => write!(f, "listener closed"),
+            HttpError::Malformed(m) => write!(f, "malformed http message: {m}"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::Status(code, body) => write!(f, "unexpected http status {code}: {body}"),
+        }
+    }
+}
+
+impl Error for HttpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::UnexpectedEof
+        } else {
+            HttpError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HttpError::BadAddress("x".into()).to_string().contains("x"));
+        assert!(HttpError::Status(500, "boom".into())
+            .to_string()
+            .contains("500"));
+    }
+
+    #[test]
+    fn io_eof_maps_to_unexpected_eof() {
+        let e: HttpError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, HttpError::UnexpectedEof));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Send + Sync + Error + 'static>() {}
+        assert_traits::<HttpError>();
+    }
+}

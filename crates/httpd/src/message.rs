@@ -1,0 +1,577 @@
+//! HTTP/1.1 request and response types with parsing and serialization.
+//!
+//! The subset implemented is what the SOAP-over-HTTP binding and the
+//! Interface Server need: `GET`/`POST`/`HEAD`, `Content-Length` framing,
+//! case-insensitive headers, and `Connection: close`/`keep-alive`.
+//! Chunked transfer encoding is not implemented (Axis-era SOAP stacks used
+//! content-length framing).
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::error::HttpError;
+
+/// HTTP request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `HEAD`
+    Head,
+}
+
+impl Method {
+    fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Method, HttpError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "HEAD" => Ok(Method::Head),
+            other => Err(HttpError::Malformed(format!("unsupported method {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP status code with its reason phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200
+    pub const OK: Status = Status(200);
+    /// 400
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 404
+    pub const NOT_FOUND: Status = Status(404);
+    /// 500 — the SOAP 1.1 binding requires faults to use this status.
+    pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    /// 503
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An ordered, case-insensitive header map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Returns the first value of `name` (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Appends or replaces the header `name`.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|(k, _)| k.eq_ignore_ascii_case(&name))
+        {
+            slot.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// All headers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    method: Method,
+    path: String,
+    headers: Headers,
+    body: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a `GET` request for `path`.
+    pub fn get(path: impl Into<String>) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Creates a `HEAD` request for `path`.
+    pub fn head(path: impl Into<String>) -> Request {
+        Request {
+            method: Method::Head,
+            path: path.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Creates a `POST` request carrying `body`.
+    pub fn post(path: impl Into<String>, body: Vec<u8>, content_type: &str) -> Request {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Request {
+            method: Method::Post,
+            path: path.into(),
+            headers,
+            body,
+        }
+    }
+
+    /// Request method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Request path (starts with `/`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Header map.
+    pub fn headers(&self) -> &Headers {
+        &self.headers
+    }
+
+    /// Mutable header map.
+    pub fn headers_mut(&mut self) -> &mut Headers {
+        &mut self.headers
+    }
+
+    /// Raw body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Body decoded as UTF-8 (lossy).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+
+    /// Serializes the request onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer. Note that `w` may be a
+    /// `&mut` reference to any writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), HttpError> {
+        let mut head = format!("{} {} HTTP/1.1\r\n", self.method, self.path);
+        let mut has_len = false;
+        for (k, v) in self.headers.iter() {
+            if k.eq_ignore_ascii_case("content-length") {
+                has_len = true;
+            }
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        if !has_len {
+            head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads one request from `r`.
+    ///
+    /// Returns `Ok(None)` on a clean EOF before any bytes (the peer closed
+    /// a keep-alive connection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] on protocol violations and
+    /// [`HttpError::UnexpectedEof`] on truncation mid-message.
+    pub fn read_from<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
+        let line = match read_line(r)? {
+            None => return Ok(None),
+            Some(l) => l,
+        };
+        let mut parts = line.split_whitespace();
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request path".into()))?
+            .to_string();
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "bad http version {version:?}"
+            )));
+        }
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Some(Request {
+            method,
+            path,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    status: Status,
+    headers: Headers,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// Creates a response with the given status, body and content type.
+    pub fn new(status: Status, body: Vec<u8>, content_type: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Response {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    /// 200 response.
+    pub fn ok(body: Vec<u8>, content_type: &str) -> Response {
+        Response::new(Status::OK, body, content_type)
+    }
+
+    /// 404 response with a plain-text body.
+    pub fn not_found(msg: &str) -> Response {
+        Response::new(Status::NOT_FOUND, msg.as_bytes().to_vec(), "text/plain")
+    }
+
+    /// 400 response with a plain-text body.
+    pub fn bad_request(msg: &str) -> Response {
+        Response::new(Status::BAD_REQUEST, msg.as_bytes().to_vec(), "text/plain")
+    }
+
+    /// Status code.
+    pub fn status(&self) -> u16 {
+        self.status.0
+    }
+
+    /// Header map.
+    pub fn headers(&self) -> &Headers {
+        &self.headers
+    }
+
+    /// Mutable header map.
+    pub fn headers_mut(&mut self) -> &mut Headers {
+        &mut self.headers
+    }
+
+    /// Raw body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Body decoded as UTF-8 (lossy).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+
+    /// Serializes the response onto `w` (which may be a `&mut` writer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), HttpError> {
+        let mut head = format!("HTTP/1.1 {}\r\n", self.status);
+        let mut has_len = false;
+        for (k, v) in self.headers.iter() {
+            if k.eq_ignore_ascii_case("content-length") {
+                has_len = true;
+            }
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        if !has_len {
+            head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response from `r` (which may be a `&mut` reader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] on protocol violations and
+    /// [`HttpError::UnexpectedEof`] on truncation.
+    pub fn read_from<R: BufRead>(r: &mut R) -> Result<Response, HttpError> {
+        Self::read_from_inner(r, false)
+    }
+
+    /// Reads a response to a `HEAD` request: headers only, no body even
+    /// when `Content-Length` is present (RFC 9110 §9.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Response::read_from`].
+    pub fn read_head_from<R: BufRead>(r: &mut R) -> Result<Response, HttpError> {
+        Self::read_from_inner(r, true)
+    }
+
+    fn read_from_inner<R: BufRead>(r: &mut R, head: bool) -> Result<Response, HttpError> {
+        let line = read_line(r)?.ok_or(HttpError::UnexpectedEof)?;
+        let mut parts = line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "bad http version {version:?}"
+            )));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| HttpError::Malformed("bad status code".into()))?;
+        let headers = read_headers(r)?;
+        let body = if head {
+            Vec::new()
+        } else {
+            read_body(r, &headers)?
+        };
+        Ok(Response {
+            status: Status(code),
+            headers,
+            body,
+        })
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line).map_err(HttpError::from)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_headers<R: BufRead>(r: &mut R) -> Result<Headers, HttpError> {
+    let mut headers = Headers::new();
+    loop {
+        let line = read_line(r)?.ok_or(HttpError::UnexpectedEof)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.set(name.trim(), value.trim());
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>, HttpError> {
+    let len: usize = match headers.get("Content-Length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    const MAX_BODY: usize = 64 * 1024 * 1024;
+    if len > MAX_BODY {
+        return Err(HttpError::Malformed(format!(
+            "content-length {len} exceeds limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(HttpError::from)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        Request::read_from(&mut BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap()
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        Response::read_from(&mut BufReader::new(&buf[..])).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::post("/svc", b"<x/>".to_vec(), "text/xml");
+        req.headers_mut().set("SOAPAction", "\"op\"");
+        let got = roundtrip_request(&req);
+        assert_eq!(got.method(), Method::Post);
+        assert_eq!(got.path(), "/svc");
+        assert_eq!(got.body(), b"<x/>");
+        assert_eq!(got.headers().get("soapaction"), Some("\"op\""));
+        assert_eq!(got.headers().get("content-type"), Some("text/xml"));
+    }
+
+    #[test]
+    fn get_request_roundtrip() {
+        let got = roundtrip_request(&Request::get("/a/b?c=1"));
+        assert_eq!(got.method(), Method::Get);
+        assert_eq!(got.path(), "/a/b?c=1");
+        assert!(got.body().is_empty());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok(b"payload".to_vec(), "text/plain");
+        let got = roundtrip_response(&resp);
+        assert_eq!(got.status(), 200);
+        assert_eq!(got.body_str(), "payload");
+    }
+
+    #[test]
+    fn fault_statuses() {
+        assert_eq!(
+            roundtrip_response(&Response::not_found("gone")).status(),
+            404
+        );
+        assert_eq!(
+            roundtrip_response(&Response::new(
+                Status::INTERNAL_SERVER_ERROR,
+                b"fault".to_vec(),
+                "text/xml"
+            ))
+            .status(),
+            500
+        );
+    }
+
+    #[test]
+    fn headers_case_insensitive_and_replace() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "a");
+        h.set("content-type", "b");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("CONTENT-TYPE"), Some("b"));
+        assert!(h.get("missing").is_none());
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(Request::read_from(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_eof_error() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let err = Request::read_from(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for raw in [
+            &b"BREW / HTTP/1.1\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / SPDY/9\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..],
+        ] {
+            assert!(
+                Request::read_from(&mut BufReader::new(raw)).is_err(),
+                "{}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_content_length_rejected() {
+        let raw = b"GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+        assert!(Request::read_from(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn response_status_display() {
+        assert_eq!(Status::OK.to_string(), "200 OK");
+        assert_eq!(Status(418).to_string(), "418 Unknown");
+    }
+
+    #[test]
+    fn binary_body_roundtrip() {
+        let body: Vec<u8> = (0..=255).collect();
+        let got = roundtrip_request(&Request::post(
+            "/bin",
+            body.clone(),
+            "application/octet-stream",
+        ));
+        assert_eq!(got.body(), &body[..]);
+    }
+}

@@ -1,0 +1,251 @@
+//! A threaded HTTP server dispatching requests to a [`Handler`].
+
+use std::io::BufReader;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use parking_lot::Mutex;
+
+use crate::error::HttpError;
+use crate::message::{Request, Response};
+use crate::transport::{Addr, Listener, Stream};
+
+/// Application logic plugged into an [`HttpServer`].
+///
+/// Handlers are shared across connection threads, so implementations must
+/// be `Send + Sync` and perform their own interior locking — the paper's
+/// call handlers are "completely multithreaded" (§5.4) and this mirrors
+/// that design.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for `req`.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// A running HTTP server.
+///
+/// One thread accepts connections; each connection is served on its own
+/// thread with HTTP keep-alive until the peer closes or sends
+/// `Connection: close`. Dropping the server shuts it down.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: Addr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    listener: Arc<Listener>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `tcp://127.0.0.1:0` or `mem://my-service`) and
+    /// starts serving `handler`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be parsed or bound.
+    pub fn bind<H: Handler>(addr: &str, handler: H) -> Result<HttpServer, HttpError> {
+        let listener = Arc::new(Listener::bind(addr)?);
+        let local = listener.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(handler);
+
+        let accept_listener = listener.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept_thread = thread::Builder::new()
+            .name(format!("httpd-accept-{local}"))
+            .spawn(move || {
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    let stream = match accept_listener.accept() {
+                        Ok(s) => s,
+                        Err(_) => break,
+                    };
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let handler = handler.clone();
+                    let conn_shutdown = accept_shutdown.clone();
+                    let _ = thread::Builder::new()
+                        .name("httpd-conn".into())
+                        .spawn(move || serve_connection(stream, handler, conn_shutdown));
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(HttpServer {
+            addr: local,
+            shutdown,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            listener,
+        })
+    }
+
+    /// The bound address, e.g. `tcp://127.0.0.1:41234`.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Base URL clients can connect to (same scheme syntax accepted by
+    /// [`crate::HttpClient`]).
+    pub fn base_url(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Stops accepting connections and wakes the accept thread. Existing
+    /// connection threads finish their in-flight request and exit at the
+    /// next keep-alive read.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.listener.close();
+        if let Some(t) = self.accept_thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: Stream, handler: Arc<dyn Handler>, shutdown: Arc<AtomicBool>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match Request::read_from(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // peer closed keep-alive connection
+            Err(HttpError::UnexpectedEof) => return,
+            Err(_) => {
+                let _ = Response::bad_request("malformed request").write_to(&mut writer);
+                return;
+            }
+        };
+        let close = req
+            .headers()
+            .get("Connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let mut resp = handler.handle(&req);
+        if close {
+            resp.headers_mut().set("Connection", "close");
+        }
+        if resp.write_to(&mut writer).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::message::Status;
+
+    fn echo_handler(req: &Request) -> Response {
+        Response::ok(
+            format!("{} {}", req.method(), req.path()).into_bytes(),
+            "text/plain",
+        )
+    }
+
+    #[test]
+    fn serves_get_over_mem() {
+        let server = HttpServer::bind("mem://srv-get", echo_handler).unwrap();
+        let resp = HttpClient::new()
+            .get(&format!("{}/x", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status(), 200);
+        assert_eq!(resp.body_str(), "GET /x");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_post_over_tcp() {
+        let server = HttpServer::bind("tcp://127.0.0.1:0", |req: &Request| {
+            Response::ok(req.body().to_vec(), "application/octet-stream")
+        })
+        .unwrap();
+        let url = format!("{}/echo", server.base_url());
+        let resp = HttpClient::new()
+            .post(&url, b"abc123".to_vec(), "text/plain")
+            .unwrap();
+        assert_eq!(resp.body(), b"abc123");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Arc::new(HttpServer::bind("mem://srv-conc", echo_handler).unwrap());
+        let mut threads = Vec::new();
+        for i in 0..8 {
+            let base = server.base_url();
+            threads.push(thread::spawn(move || {
+                let resp = HttpClient::new().get(&format!("{base}/t{i}")).unwrap();
+                assert_eq!(resp.body_str(), format!("GET /t{i}"));
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let server = HttpServer::bind("mem://srv-ka", echo_handler).unwrap();
+        let mut conn = HttpClient::new().connect(&server.base_url()).unwrap();
+        for i in 0..3 {
+            let resp = conn.send(&Request::get(format!("/k{i}"))).unwrap();
+            assert_eq!(resp.body_str(), format!("GET /k{i}"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_error_status_propagates() {
+        let server = HttpServer::bind("mem://srv-err", |_req: &Request| {
+            Response::new(Status::SERVICE_UNAVAILABLE, b"down".to_vec(), "text/plain")
+        })
+        .unwrap();
+        let resp = HttpClient::new().get(&server.base_url()).unwrap();
+        assert_eq!(resp.status(), 503);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_mem_name() {
+        let server = HttpServer::bind("mem://srv-release", echo_handler).unwrap();
+        server.shutdown();
+        let server2 = HttpServer::bind("mem://srv-release", echo_handler).unwrap();
+        server2.shutdown();
+    }
+
+    #[test]
+    fn connect_after_shutdown_refused() {
+        let server = HttpServer::bind("mem://srv-dead", echo_handler).unwrap();
+        server.shutdown();
+        assert!(HttpClient::new().get("mem://srv-dead").is_err());
+    }
+}

@@ -1,0 +1,584 @@
+//! Byte-stream transports: TCP and an in-memory duplex pipe.
+//!
+//! Addresses are URL-like strings:
+//!
+//! * `tcp://127.0.0.1:8080` — a real TCP socket (use port `0` to let the OS
+//!   pick a free port; the bound address is reported by
+//!   [`Listener::local_addr`]),
+//! * `mem://name` — a named endpoint in a process-global registry backed by
+//!   lock-and-condvar byte pipes. The in-memory transport is fully
+//!   deterministic, which the consistency-matrix experiments rely on.
+//!
+//! Both produce a [`Stream`] implementing [`Read`] + [`Write`], so every
+//! protocol layer above (HTTP, GIOP) is transport-agnostic.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::HttpError;
+
+/// Address of a transport endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Addr {
+    /// `tcp://host:port`
+    Tcp(String),
+    /// `mem://name`
+    Mem(String),
+}
+
+impl Addr {
+    /// Parses an address of the form `tcp://host:port` or `mem://name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::BadAddress`] for any other scheme or a missing
+    /// authority part.
+    pub fn parse(s: &str) -> Result<Addr, HttpError> {
+        if let Some(rest) = s.strip_prefix("tcp://") {
+            if rest.is_empty() {
+                return Err(HttpError::BadAddress(s.to_string()));
+            }
+            return Ok(Addr::Tcp(rest.to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("mem://") {
+            let name = rest.split('/').next().unwrap_or("");
+            if name.is_empty() {
+                return Err(HttpError::BadAddress(s.to_string()));
+            }
+            return Ok(Addr::Mem(name.to_string()));
+        }
+        // Convenience: http:// URLs map onto the tcp transport.
+        if let Some(rest) = s.strip_prefix("http://") {
+            let authority = rest.split('/').next().unwrap_or("");
+            if authority.is_empty() {
+                return Err(HttpError::BadAddress(s.to_string()));
+            }
+            return Ok(Addr::Tcp(authority.to_string()));
+        }
+        Err(HttpError::BadAddress(s.to_string()))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Tcp(a) => write!(f, "tcp://{a}"),
+            Addr::Mem(n) => write!(f, "mem://{n}"),
+        }
+    }
+}
+
+/// A connected, bidirectional byte stream.
+#[derive(Debug)]
+pub enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// An in-memory duplex connection.
+    Mem(MemStream),
+}
+
+impl Stream {
+    /// Sets the read timeout. `None` blocks forever.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Mem(s) => {
+                s.read_timeout = timeout;
+                Ok(())
+            }
+        }
+    }
+
+    /// Duplicates the stream handle (both halves refer to the same
+    /// connection).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+            Stream::Mem(s) => Ok(Stream::Mem(s.clone())),
+        }
+    }
+
+    /// Shuts down the connection; subsequent reads on the peer see EOF.
+    pub fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Mem(s) => s.close(),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Mem(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Mem(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Mem(s) => s.flush(),
+        }
+    }
+}
+
+/// A listening endpoint accepting [`Stream`]s.
+#[derive(Debug)]
+pub enum Listener {
+    /// Bound TCP listener.
+    Tcp(TcpListener),
+    /// Registered in-memory endpoint.
+    Mem(MemListener),
+}
+
+impl Listener {
+    /// Binds a listener at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be parsed, the TCP port cannot be bound,
+    /// or an in-memory endpoint with the same name is already registered.
+    pub fn bind(addr: &str) -> Result<Listener, HttpError> {
+        match Addr::parse(addr)? {
+            Addr::Tcp(a) => {
+                let l = TcpListener::bind(&a).map_err(HttpError::Io)?;
+                Ok(Listener::Tcp(l))
+            }
+            Addr::Mem(name) => Ok(Listener::Mem(mem_registry().bind(&name)?)),
+        }
+    }
+
+    /// The effective local address (with the OS-assigned port for
+    /// `tcp://...:0` binds).
+    pub fn local_addr(&self) -> Addr {
+        match self {
+            Listener::Tcp(l) => Addr::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "unknown".into()),
+            ),
+            Listener::Mem(l) => Addr::Mem(l.name.clone()),
+        }
+    }
+
+    /// Blocks until a client connects.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error once the listener is closed.
+    pub fn accept(&self) -> Result<Stream, HttpError> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept().map_err(HttpError::Io)?;
+                s.set_nodelay(true).ok();
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Mem(l) => l.accept(),
+        }
+    }
+
+    /// Closes the listener; pending and future `accept` calls fail, and for
+    /// in-memory endpoints the name is released.
+    pub fn close(&self) {
+        match self {
+            Listener::Tcp(l) => {
+                // Unblock the accept loop by connecting once.
+                if let Ok(a) = l.local_addr() {
+                    let _ = TcpStream::connect_timeout(&a, Duration::from_millis(100));
+                }
+            }
+            Listener::Mem(l) => l.close(),
+        }
+    }
+}
+
+/// Connects to a listening endpoint.
+///
+/// # Errors
+///
+/// Fails if the address is malformed or nothing is listening there.
+pub fn connect(addr: &str) -> Result<Stream, HttpError> {
+    match Addr::parse(addr)? {
+        Addr::Tcp(a) => {
+            let s = TcpStream::connect(&a).map_err(HttpError::Io)?;
+            s.set_nodelay(true).ok();
+            Ok(Stream::Tcp(s))
+        }
+        Addr::Mem(name) => mem_registry().connect(&name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport
+// ---------------------------------------------------------------------------
+
+/// One direction of a duplex in-memory connection.
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        st.buf.extend(data);
+        self.cond.notify_all();
+        Ok(data.len())
+    }
+
+    fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        let mut st = self.state.lock();
+        loop {
+            if !st.buf.is_empty() {
+                let n = buf.len().min(st.buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = st.buf.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0); // EOF
+            }
+            match timeout {
+                Some(t) => {
+                    if self.cond.wait_for(&mut st, t).timed_out() && st.buf.is_empty() && !st.closed
+                    {
+                        return Err(io::Error::new(io::ErrorKind::WouldBlock, "read timed out"));
+                    }
+                }
+                None => self.cond.wait(&mut st),
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// An in-memory duplex byte stream (one endpoint of a connection).
+#[derive(Debug, Clone)]
+pub struct MemStream {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    read_timeout: Option<Duration>,
+}
+
+impl MemStream {
+    /// Creates a connected pair of in-memory streams.
+    pub fn pair() -> (MemStream, MemStream) {
+        let a = Arc::new(Pipe::default());
+        let b = Arc::new(Pipe::default());
+        (
+            MemStream {
+                rx: a.clone(),
+                tx: b.clone(),
+                read_timeout: None,
+            },
+            MemStream {
+                rx: b,
+                tx: a,
+                read_timeout: None,
+            },
+        )
+    }
+
+    fn close(&self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf, self.read_timeout)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The accepting side of a registered `mem://` endpoint.
+#[derive(Debug)]
+pub struct MemListener {
+    name: String,
+    inbox: Arc<MemInbox>,
+}
+
+#[derive(Debug, Default)]
+struct MemInbox {
+    state: Mutex<MemInboxState>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct MemInboxState {
+    pending: VecDeque<MemStream>,
+    closed: bool,
+}
+
+impl MemListener {
+    fn accept(&self) -> Result<Stream, HttpError> {
+        let mut st = self.inbox.state.lock();
+        loop {
+            if let Some(s) = st.pending.pop_front() {
+                return Ok(Stream::Mem(s));
+            }
+            if st.closed {
+                return Err(HttpError::ListenerClosed);
+            }
+            self.inbox.cond.wait(&mut st);
+        }
+    }
+
+    fn close(&self) {
+        {
+            let mut st = self.inbox.state.lock();
+            st.closed = true;
+        }
+        self.inbox.cond.notify_all();
+        mem_registry().unbind(&self.name);
+    }
+}
+
+impl Drop for MemListener {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Process-global registry of named in-memory endpoints.
+#[derive(Debug, Default)]
+struct MemRegistry {
+    endpoints: Mutex<HashMap<String, Arc<MemInbox>>>,
+}
+
+impl MemRegistry {
+    fn bind(&self, name: &str) -> Result<MemListener, HttpError> {
+        let mut eps = self.endpoints.lock();
+        if eps.contains_key(name) {
+            return Err(HttpError::AddressInUse(name.to_string()));
+        }
+        let inbox = Arc::new(MemInbox::default());
+        eps.insert(name.to_string(), inbox.clone());
+        Ok(MemListener {
+            name: name.to_string(),
+            inbox,
+        })
+    }
+
+    fn unbind(&self, name: &str) {
+        self.endpoints.lock().remove(name);
+    }
+
+    fn connect(&self, name: &str) -> Result<Stream, HttpError> {
+        let inbox = self
+            .endpoints
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| HttpError::ConnectionRefused(name.to_string()))?;
+        let (client, server) = MemStream::pair();
+        {
+            let mut st = inbox.state.lock();
+            if st.closed {
+                return Err(HttpError::ConnectionRefused(name.to_string()));
+            }
+            st.pending.push_back(server);
+        }
+        inbox.cond.notify_all();
+        Ok(Stream::Mem(client))
+    }
+}
+
+fn mem_registry() -> &'static MemRegistry {
+    use std::sync::OnceLock;
+    static REGISTRY: OnceLock<MemRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MemRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn addr_parsing() {
+        assert_eq!(
+            Addr::parse("tcp://127.0.0.1:80").unwrap(),
+            Addr::Tcp("127.0.0.1:80".into())
+        );
+        assert_eq!(Addr::parse("mem://x").unwrap(), Addr::Mem("x".into()));
+        assert_eq!(
+            Addr::parse("mem://x/path/ignored").unwrap(),
+            Addr::Mem("x".into())
+        );
+        assert_eq!(
+            Addr::parse("http://h:1/p").unwrap(),
+            Addr::Tcp("h:1".into())
+        );
+        assert!(Addr::parse("ftp://x").is_err());
+        assert!(Addr::parse("mem://").is_err());
+        assert!(Addr::parse("").is_err());
+    }
+
+    #[test]
+    fn addr_display_roundtrip() {
+        for s in ["tcp://1.2.3.4:5", "mem://svc"] {
+            assert_eq!(Addr::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn mem_pair_duplex() {
+        let (mut a, mut b) = MemStream::pair();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn mem_listener_accept_connect() {
+        let l = Listener::bind("mem://t-accept").unwrap();
+        let t = thread::spawn(move || {
+            let mut s = l.accept().unwrap();
+            let mut buf = [0u8; 2];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+            l.close();
+        });
+        let mut c = connect("mem://t-accept").unwrap();
+        c.write_all(b"ok").unwrap();
+        let mut buf = [0u8; 2];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mem_connect_refused_when_unbound() {
+        assert!(matches!(
+            connect("mem://nobody-here"),
+            Err(HttpError::ConnectionRefused(_))
+        ));
+    }
+
+    #[test]
+    fn mem_double_bind_rejected() {
+        let _l = Listener::bind("mem://t-dup").unwrap();
+        assert!(matches!(
+            Listener::bind("mem://t-dup"),
+            Err(HttpError::AddressInUse(_))
+        ));
+    }
+
+    #[test]
+    fn mem_name_released_on_close() {
+        let l = Listener::bind("mem://t-release").unwrap();
+        l.close();
+        let _l2 = Listener::bind("mem://t-release").unwrap();
+    }
+
+    #[test]
+    fn mem_eof_after_peer_close() {
+        let (mut a, b) = MemStream::pair();
+        b.close();
+        let mut buf = [0u8; 1];
+        assert_eq!(a.read(&mut buf).unwrap(), 0);
+        assert!(a.write(b"x").is_err());
+    }
+
+    #[test]
+    fn mem_read_timeout() {
+        let (a, _b) = MemStream::pair();
+        let mut s = Stream::Mem(a);
+        s.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let mut buf = [0u8; 1];
+        let err = s.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let l = Listener::bind("tcp://127.0.0.1:0").unwrap();
+        let addr = l.local_addr().to_string();
+        let t = thread::spawn(move || {
+            let mut s = l.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let mut c = connect(&addr).unwrap();
+        c.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn stream_clone_shares_connection() {
+        let (a, mut b) = MemStream::pair();
+        let s = Stream::Mem(a);
+        let mut s2 = s.try_clone().unwrap();
+        s2.write_all(b"x").unwrap();
+        let mut buf = [0u8; 1];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"x");
+    }
+
+    #[test]
+    fn large_transfer_through_mem_pipe() {
+        let (mut a, mut b) = MemStream::pair();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let data2 = data.clone();
+        let t = thread::spawn(move || {
+            a.write_all(&data2).unwrap();
+            a.close();
+        });
+        let mut got = Vec::new();
+        b.read_to_end(&mut got).unwrap();
+        assert_eq!(got, data);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! The JPie debugger surface used by CDE.
+//!
+//! In the paper (§6, Fig 9), when a "Non existent Method" exception reaches
+//! the client's dynamic class, *"the JPie debugger detects the exception
+//! and displays it to the user"*, and the user may use the **try again**
+//! feature to re-execute the failed call after fixing the interface. This
+//! module models exactly that surface: a log of caught exceptions, each
+//! paired with a re-execution thunk.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::JpieError;
+use crate::value::Value;
+
+/// A re-executable call captured with a debugger entry — the paper's
+/// "try again" feature.
+pub type TryAgain = Arc<dyn Fn() -> Result<Value, JpieError> + Send + Sync>;
+
+/// One caught exception shown to the developer.
+#[derive(Clone)]
+pub struct DebuggerEntry {
+    /// The method whose invocation failed.
+    pub method: String,
+    /// The exception message displayed to the user.
+    pub message: String,
+    /// Re-executes the original call ("try again").
+    pub retry: TryAgain,
+}
+
+impl fmt::Debug for DebuggerEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DebuggerEntry")
+            .field("method", &self.method)
+            .field("message", &self.message)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The debugger: collects exceptions raised by (remote) calls and lets
+/// the developer re-execute them.
+///
+/// # Examples
+///
+/// ```
+/// use jpie::{JpieDebugger, Value};
+/// use std::sync::Arc;
+///
+/// let debugger = JpieDebugger::new();
+/// debugger.report("add", "Non existent Method", Arc::new(|| Ok(Value::Int(3))));
+/// assert_eq!(debugger.entries().len(), 1);
+/// // After the developer fixes the server, try again:
+/// assert_eq!(debugger.try_again(0).unwrap(), Value::Int(3));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct JpieDebugger {
+    entries: Arc<Mutex<Vec<DebuggerEntry>>>,
+}
+
+impl JpieDebugger {
+    /// Creates an empty debugger.
+    pub fn new() -> JpieDebugger {
+        JpieDebugger::default()
+    }
+
+    /// Records a caught exception with its re-execution thunk; returns the
+    /// entry index.
+    pub fn report(&self, method: &str, message: &str, retry: TryAgain) -> usize {
+        let mut entries = self.entries.lock();
+        entries.push(DebuggerEntry {
+            method: method.to_string(),
+            message: message.to_string(),
+            retry,
+        });
+        entries.len() - 1
+    }
+
+    /// Snapshot of all recorded entries, oldest first.
+    pub fn entries(&self) -> Vec<DebuggerEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// The most recent entry, if any.
+    pub fn latest(&self) -> Option<DebuggerEntry> {
+        self.entries.lock().last().cloned()
+    }
+
+    /// Re-executes the call recorded at `index` (the paper's *try again*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JpieError::Invalid`] for an out-of-range index, otherwise
+    /// whatever the re-executed call produces.
+    pub fn try_again(&self, index: usize) -> Result<Value, JpieError> {
+        let retry = {
+            let entries = self.entries.lock();
+            entries
+                .get(index)
+                .map(|e| e.retry.clone())
+                .ok_or_else(|| JpieError::Invalid(format!("no debugger entry {index}")))?
+        };
+        retry()
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn report_and_list() {
+        let d = JpieDebugger::new();
+        assert!(d.latest().is_none());
+        d.report("m", "boom", Arc::new(|| Ok(Value::Null)));
+        d.report("n", "bang", Arc::new(|| Ok(Value::Null)));
+        let entries = d.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].method, "m");
+        assert_eq!(d.latest().unwrap().message, "bang");
+    }
+
+    #[test]
+    fn try_again_reexecutes() {
+        let d = JpieDebugger::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let idx = d.report(
+            "m",
+            "transient",
+            Arc::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Int(9))
+            }),
+        );
+        assert_eq!(d.try_again(idx).unwrap(), Value::Int(9));
+        assert_eq!(d.try_again(idx).unwrap(), Value::Int(9));
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn try_again_out_of_range() {
+        let d = JpieDebugger::new();
+        assert!(d.try_again(3).is_err());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let d = JpieDebugger::new();
+        d.report("m", "x", Arc::new(|| Ok(Value::Null)));
+        d.clear();
+        assert!(d.entries().is_empty());
+    }
+}

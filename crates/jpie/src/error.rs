@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the dynamic-class runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JpieError {
+    /// No method with this name (and compatible arguments) exists. This is
+    /// the local analogue of the paper's "Non existent Method" condition.
+    NoSuchMethod(String),
+    /// A method id that is no longer (or never was) part of the class.
+    StaleMethodId(String),
+    /// No field with this name/id.
+    NoSuchField(String),
+    /// Argument count or type does not match the current signature.
+    ArgumentMismatch(String),
+    /// A type error inside an interpreted body.
+    TypeError(String),
+    /// Arithmetic failure (division by zero, overflow).
+    Arithmetic(String),
+    /// An exception explicitly thrown by the method body — carried back to
+    /// the RMI layer, which wraps it in a SOAP Fault / CORBA exception.
+    Exception(String),
+    /// A user-visible invariant was violated (duplicate method, duplicate
+    /// parameter, invalid identifier, ...).
+    Invalid(String),
+    /// The class already has a live instance (paper §5.4: a single instance
+    /// of each server class exists at any time).
+    AlreadyInstantiated(String),
+    /// Undo (or redo) was requested with an empty stack.
+    NothingToUndo,
+    /// Evaluation exceeded the step budget (runaway loop in a live body).
+    StepLimit,
+}
+
+impl fmt::Display for JpieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JpieError::NoSuchMethod(m) => write!(f, "no such method: {m}"),
+            JpieError::StaleMethodId(m) => write!(f, "stale method id: {m}"),
+            JpieError::NoSuchField(n) => write!(f, "no such field: {n}"),
+            JpieError::ArgumentMismatch(m) => write!(f, "argument mismatch: {m}"),
+            JpieError::TypeError(m) => write!(f, "type error: {m}"),
+            JpieError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            JpieError::Exception(m) => write!(f, "exception: {m}"),
+            JpieError::Invalid(m) => write!(f, "invalid operation: {m}"),
+            JpieError::AlreadyInstantiated(c) => {
+                write!(f, "class {c} already has a live instance")
+            }
+            JpieError::NothingToUndo => write!(f, "nothing to undo or redo"),
+            JpieError::StepLimit => write!(f, "evaluation step limit exceeded"),
+        }
+    }
+}
+
+impl Error for JpieError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let cases: Vec<(JpieError, &str)> = vec![
+            (JpieError::NoSuchMethod("m".into()), "no such method"),
+            (JpieError::StaleMethodId("m".into()), "stale method id"),
+            (JpieError::NoSuchField("f".into()), "no such field"),
+            (JpieError::ArgumentMismatch("x".into()), "argument mismatch"),
+            (JpieError::TypeError("x".into()), "type error"),
+            (JpieError::Arithmetic("x".into()), "arithmetic"),
+            (JpieError::Exception("x".into()), "exception"),
+            (JpieError::Invalid("x".into()), "invalid"),
+            (JpieError::AlreadyInstantiated("C".into()), "live instance"),
+            (JpieError::NothingToUndo, "nothing to undo"),
+            (JpieError::StepLimit, "step limit"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Send + Sync + Error + 'static>() {}
+        assert_traits::<JpieError>();
+    }
+}

@@ -1,0 +1,771 @@
+//! Evaluator for interpreted method bodies.
+//!
+//! Invocation snapshots the class's method table (an `Arc`-cheap clone)
+//! so an execution in flight is internally consistent even while the class
+//! is being edited live; the *next* call observes the edits, which is the
+//! "changes take effect immediately upon existing instances" semantics the
+//! paper relies on.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::class::{DynamicMethod, MethodBody, MethodSignature};
+use crate::error::JpieError;
+use crate::expr::{BinOp, Block, Builtin, Expr, Stmt, UnOp};
+use crate::instance::Fields;
+use crate::value::{StructValue, TypeDesc, Value};
+
+/// Upper bound on interpreter steps per top-level invocation; a live edit
+/// can easily introduce an accidental infinite loop, and the server must
+/// survive it.
+const STEP_LIMIT: u64 = 1_000_000;
+
+/// Upper bound on self-call depth. The interpreter recurses on the native
+/// stack, so unbounded recursion in a live body (e.g. a method calling
+/// itself without a base case) would overflow the process stack instead
+/// of raising a catchable error. The limit is conservative because call
+/// handlers run on default-sized (2 MiB) threads and debug-build frames
+/// are large.
+const DEPTH_LIMIT: u32 = 64;
+
+pub(crate) struct Interp<'a> {
+    methods: &'a [DynamicMethod],
+    fields: &'a Mutex<Fields>,
+    steps: u64,
+    depth: u32,
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+impl<'a> Interp<'a> {
+    pub(crate) fn new(methods: &'a [DynamicMethod], fields: &'a Mutex<Fields>) -> Interp<'a> {
+        Interp {
+            methods,
+            fields,
+            steps: 0,
+            depth: 0,
+        }
+    }
+
+    /// Invokes `method` with positional `args` (already arity/type checked
+    /// and widened by the caller).
+    pub(crate) fn invoke(
+        &mut self,
+        method: &DynamicMethod,
+        args: &[Value],
+    ) -> Result<Value, JpieError> {
+        self.depth += 1;
+        if self.depth > DEPTH_LIMIT {
+            self.depth -= 1;
+            return Err(JpieError::Exception(format!(
+                "recursion depth limit ({DEPTH_LIMIT}) exceeded in {}",
+                method.signature.name
+            )));
+        }
+        let out = self.invoke_inner(method, args);
+        self.depth -= 1;
+        out
+    }
+
+    fn invoke_inner(&mut self, method: &DynamicMethod, args: &[Value]) -> Result<Value, JpieError> {
+        let mut scope: HashMap<String, Value> = HashMap::new();
+        for (p, v) in method.signature.params.iter().zip(args) {
+            scope.insert(p.name.clone(), v.clone());
+        }
+        match &method.body {
+            MethodBody::Empty => Err(JpieError::Exception(format!(
+                "method {} has no body",
+                method.signature.name
+            ))),
+            MethodBody::Native(f) => {
+                let mut fields = self.fields.lock();
+                f(&mut fields, args)
+            }
+            MethodBody::Interpreted(block) => match self.eval_block(block, &mut scope)? {
+                Flow::Return(v) => coerce_return(v, &method.signature),
+                Flow::Normal => {
+                    if method.signature.return_ty == TypeDesc::Void {
+                        Ok(Value::Null)
+                    } else {
+                        Err(JpieError::TypeError(format!(
+                            "method {} fell off the end without returning {}",
+                            method.signature.name, method.signature.return_ty
+                        )))
+                    }
+                }
+            },
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), JpieError> {
+        self.steps += 1;
+        if self.steps > STEP_LIMIT {
+            Err(JpieError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn eval_block(
+        &mut self,
+        block: &Block,
+        scope: &mut HashMap<String, Value>,
+    ) -> Result<Flow, JpieError> {
+        for stmt in block {
+            self.tick()?;
+            match stmt {
+                Stmt::Let(name, e) => {
+                    let v = self.eval(e, scope)?;
+                    scope.insert(name.clone(), v);
+                }
+                Stmt::Assign(name, e) => {
+                    let v = self.eval(e, scope)?;
+                    if !scope.contains_key(name) {
+                        return Err(JpieError::TypeError(format!(
+                            "assignment to undeclared local {name:?}"
+                        )));
+                    }
+                    scope.insert(name.clone(), v);
+                }
+                Stmt::SetField(name, e) => {
+                    let v = self.eval(e, scope)?;
+                    self.fields.lock().set(name, v)?;
+                }
+                Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
+                    let branch = if self.eval(cond, scope)?.as_bool()? {
+                        then
+                    } else {
+                        otherwise
+                    };
+                    if let Flow::Return(v) = self.eval_block(branch, scope)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    while self.eval(cond, scope)?.as_bool()? {
+                        self.tick()?;
+                        if let Flow::Return(v) = self.eval_block(body, scope)? {
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                }
+                Stmt::Return(e) => {
+                    let v = match e {
+                        Some(e) => self.eval(e, scope)?,
+                        None => Value::Null,
+                    };
+                    return Ok(Flow::Return(v));
+                }
+                Stmt::Throw(e) => {
+                    let v = self.eval(e, scope)?;
+                    return Err(JpieError::Exception(v.to_string()));
+                }
+                Stmt::Expr(e) => {
+                    self.eval(e, scope)?;
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval(
+        &mut self,
+        expr: &Expr,
+        scope: &mut HashMap<String, Value>,
+    ) -> Result<Value, JpieError> {
+        self.tick()?;
+        match expr {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Param(name) | Expr::Local(name) => scope
+                .get(name)
+                .cloned()
+                .ok_or_else(|| JpieError::TypeError(format!("unbound name {name:?}"))),
+            Expr::FieldRef(name) => self.fields.lock().get(name),
+            Expr::SelfCall { method, args } => {
+                let callee = self
+                    .methods
+                    .iter()
+                    .find(|m| m.signature.name == *method)
+                    .ok_or_else(|| JpieError::NoSuchMethod(method.clone()))?
+                    .clone();
+                let mut positional = Vec::with_capacity(callee.signature.params.len());
+                for p in &callee.signature.params {
+                    let arg = args
+                        .iter()
+                        .find(|(n, _)| n == &p.name)
+                        .map(|(_, e)| e)
+                        .ok_or_else(|| {
+                            JpieError::ArgumentMismatch(format!(
+                                "call to {} is missing argument {:?}",
+                                method, p.name
+                            ))
+                        })?;
+                    let v = self.eval(arg, scope)?;
+                    let v = v.widen_to(&p.ty).ok_or_else(|| {
+                        JpieError::ArgumentMismatch(format!(
+                            "argument {:?} of {}: expected {}, got {}",
+                            p.name,
+                            method,
+                            p.ty,
+                            v.type_desc()
+                        ))
+                    })?;
+                    positional.push(v);
+                }
+                self.invoke(&callee, &positional)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        return if !self.eval(lhs, scope)?.as_bool()? {
+                            Ok(Value::Bool(false))
+                        } else {
+                            Ok(Value::Bool(self.eval(rhs, scope)?.as_bool()?))
+                        }
+                    }
+                    BinOp::Or => {
+                        return if self.eval(lhs, scope)?.as_bool()? {
+                            Ok(Value::Bool(true))
+                        } else {
+                            Ok(Value::Bool(self.eval(rhs, scope)?.as_bool()?))
+                        }
+                    }
+                    _ => {}
+                }
+                let l = self.eval(lhs, scope)?;
+                let r = self.eval(rhs, scope)?;
+                eval_binary(*op, l, r)
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr, scope)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => i
+                            .checked_neg()
+                            .map(Value::Int)
+                            .ok_or_else(|| JpieError::Arithmetic("int overflow".into())),
+                        Value::Long(l) => l
+                            .checked_neg()
+                            .map(Value::Long)
+                            .ok_or_else(|| JpieError::Arithmetic("long overflow".into())),
+                        Value::Float(x) => Ok(Value::Float(-x)),
+                        Value::Double(x) => Ok(Value::Double(-x)),
+                        other => Err(JpieError::TypeError(format!(
+                            "cannot negate {}",
+                            other.type_desc()
+                        ))),
+                    },
+                }
+            }
+            Expr::Call { builtin, args } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(a, scope))
+                    .collect::<Result<_, _>>()?;
+                eval_builtin(*builtin, args, vals)
+            }
+            Expr::MakeStruct { type_name, fields } => {
+                let mut s = StructValue::new(type_name.clone());
+                for (n, e) in fields {
+                    let v = self.eval(e, scope)?;
+                    s.fields.push((n.clone(), v));
+                }
+                Ok(Value::Struct(s))
+            }
+            Expr::MakeSeq { elem, items } => {
+                let mut vals = Vec::with_capacity(items.len());
+                for e in items {
+                    let v = self.eval(e, scope)?;
+                    let v = v.widen_to(elem).ok_or_else(|| {
+                        JpieError::TypeError(format!(
+                            "sequence of {} cannot hold {}",
+                            elem,
+                            v.type_desc()
+                        ))
+                    })?;
+                    vals.push(v);
+                }
+                Ok(Value::Seq(elem.clone(), vals))
+            }
+        }
+    }
+}
+
+fn coerce_return(v: Value, sig: &MethodSignature) -> Result<Value, JpieError> {
+    if sig.return_ty == TypeDesc::Void {
+        return Ok(Value::Null);
+    }
+    v.widen_to(&sig.return_ty).ok_or_else(|| {
+        JpieError::TypeError(format!(
+            "method {} returned {}, expected {}",
+            sig.name,
+            v.type_desc(),
+            sig.return_ty
+        ))
+    })
+}
+
+/// Numeric tower used by arithmetic: both operands are promoted to the
+/// wider of the two.
+enum Num {
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+}
+
+fn promote(l: Value, r: Value) -> Option<(Num, Num)> {
+    use Value::*;
+    let rank = |v: &Value| match v {
+        Int(_) => Some(0),
+        Long(_) => Some(1),
+        Float(_) => Some(2),
+        Double(_) => Some(3),
+        _ => None,
+    };
+    let target = rank(&l)?.max(rank(&r)?);
+    let conv = |v: Value| -> Num {
+        match (v, target) {
+            (Int(i), 0) => Num::Int(i),
+            (Int(i), 1) => Num::Long(i64::from(i)),
+            (Int(i), 2) => Num::Float(i as f32),
+            (Int(i), 3) => Num::Double(f64::from(i)),
+            (Long(x), 1) => Num::Long(x),
+            (Long(x), 2) => Num::Float(x as f32),
+            (Long(x), 3) => Num::Double(x as f64),
+            (Float(x), 2) => Num::Float(x),
+            (Float(x), 3) => Num::Double(f64::from(x)),
+            (Double(x), 3) => Num::Double(x),
+            _ => unreachable!("rank computed above"),
+        }
+    };
+    Some((conv(l), conv(r)))
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, JpieError> {
+    use BinOp::*;
+    // String concatenation: Java's `+` semantics when either side is a
+    // string.
+    if op == Add {
+        if let Value::Str(ls) = &l {
+            return Ok(Value::Str(format!("{ls}{r}")));
+        }
+        if let Value::Str(rs) = &r {
+            return Ok(Value::Str(format!("{l}{rs}")));
+        }
+    }
+    match op {
+        Eq => return Ok(Value::Bool(l == r)),
+        Ne => return Ok(Value::Bool(l != r)),
+        _ => {}
+    }
+    // Ordering on strings and chars.
+    if matches!(op, Lt | Le | Gt | Ge) {
+        match (&l, &r) {
+            (Value::Str(a), Value::Str(b)) => return Ok(Value::Bool(cmp_ord(op, a.cmp(b)))),
+            (Value::Char(a), Value::Char(b)) => return Ok(Value::Bool(cmp_ord(op, a.cmp(b)))),
+            _ => {}
+        }
+    }
+    let type_err = || {
+        JpieError::TypeError(format!(
+            "operator {:?} not applicable to {} and {}",
+            op,
+            l.type_desc(),
+            r.type_desc()
+        ))
+    };
+    let (ln, rn) = promote(l.clone(), r.clone()).ok_or_else(type_err)?;
+    match (ln, rn) {
+        (Num::Int(a), Num::Int(b)) => int_op(op, i64::from(a), i64::from(b)).map(|v| match v {
+            Value::Long(x) => Value::Int(x as i32),
+            other => other,
+        }),
+        (Num::Long(a), Num::Long(b)) => int_op(op, a, b),
+        (Num::Float(a), Num::Float(b)) => {
+            float_op(op, f64::from(a), f64::from(b)).map(|v| match v {
+                Value::Double(x) => Value::Float(x as f32),
+                other => other,
+            })
+        }
+        (Num::Double(a), Num::Double(b)) => float_op(op, a, b),
+        _ => Err(type_err()),
+    }
+}
+
+fn cmp_ord(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Lt => ord == Less,
+        BinOp::Le => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::Ge => ord != Less,
+        _ => unreachable!("comparison operator"),
+    }
+}
+
+fn int_op(op: BinOp, a: i64, b: i64) -> Result<Value, JpieError> {
+    use BinOp::*;
+    let overflow = || JpieError::Arithmetic("integer overflow".into());
+    match op {
+        Add => a.checked_add(b).map(Value::Long).ok_or_else(overflow),
+        Sub => a.checked_sub(b).map(Value::Long).ok_or_else(overflow),
+        Mul => a.checked_mul(b).map(Value::Long).ok_or_else(overflow),
+        Div => {
+            if b == 0 {
+                Err(JpieError::Arithmetic("division by zero".into()))
+            } else {
+                a.checked_div(b).map(Value::Long).ok_or_else(overflow)
+            }
+        }
+        Rem => {
+            if b == 0 {
+                Err(JpieError::Arithmetic("division by zero".into()))
+            } else {
+                a.checked_rem(b).map(Value::Long).ok_or_else(overflow)
+            }
+        }
+        Lt => Ok(Value::Bool(a < b)),
+        Le => Ok(Value::Bool(a <= b)),
+        Gt => Ok(Value::Bool(a > b)),
+        Ge => Ok(Value::Bool(a >= b)),
+        Eq | Ne | And | Or => unreachable!("handled earlier"),
+    }
+}
+
+fn float_op(op: BinOp, a: f64, b: f64) -> Result<Value, JpieError> {
+    use BinOp::*;
+    match op {
+        Add => Ok(Value::Double(a + b)),
+        Sub => Ok(Value::Double(a - b)),
+        Mul => Ok(Value::Double(a * b)),
+        Div => Ok(Value::Double(a / b)),
+        Rem => Ok(Value::Double(a % b)),
+        Lt => Ok(Value::Bool(a < b)),
+        Le => Ok(Value::Bool(a <= b)),
+        Gt => Ok(Value::Bool(a > b)),
+        Ge => Ok(Value::Bool(a >= b)),
+        Eq | Ne | And | Or => unreachable!("handled earlier"),
+    }
+}
+
+fn eval_builtin(
+    builtin: Builtin,
+    arg_exprs: &[Expr],
+    vals: Vec<Value>,
+) -> Result<Value, JpieError> {
+    let arity_err = |want: usize| {
+        JpieError::ArgumentMismatch(format!("builtin {builtin:?} expects {want} argument(s)"))
+    };
+    match builtin {
+        Builtin::Len => {
+            let [v] = &vals[..] else {
+                return Err(arity_err(1));
+            };
+            match v {
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i32)),
+                Value::Seq(_, items) => Ok(Value::Int(items.len() as i32)),
+                other => Err(JpieError::TypeError(format!(
+                    "len() of {}",
+                    other.type_desc()
+                ))),
+            }
+        }
+        Builtin::Get => {
+            let [seq, idx] = &vals[..] else {
+                return Err(arity_err(2));
+            };
+            let (Value::Seq(_, items), Value::Int(i)) = (seq, idx) else {
+                return Err(JpieError::TypeError("get(seq, int)".into()));
+            };
+            items
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| JpieError::Arithmetic(format!("index {i} out of bounds")))
+        }
+        Builtin::Push => {
+            let mut it = vals.into_iter();
+            let (Some(seq), Some(item), None) = (it.next(), it.next(), it.next()) else {
+                return Err(arity_err(2));
+            };
+            let Value::Seq(elem, mut items) = seq else {
+                return Err(JpieError::TypeError("push(seq, element)".into()));
+            };
+            let item = item.widen_to(&elem).ok_or_else(|| {
+                JpieError::TypeError(format!("sequence of {elem} cannot hold pushed value"))
+            })?;
+            items.push(item);
+            Ok(Value::Seq(elem, items))
+        }
+        Builtin::ToStr => {
+            let [v] = &vals[..] else {
+                return Err(arity_err(1));
+            };
+            Ok(Value::Str(v.to_string()))
+        }
+        Builtin::Contains => {
+            let [h, n] = &vals[..] else {
+                return Err(arity_err(2));
+            };
+            let (Value::Str(h), Value::Str(n)) = (h, n) else {
+                return Err(JpieError::TypeError("contains(string, string)".into()));
+            };
+            Ok(Value::Bool(h.contains(n.as_str())))
+        }
+        Builtin::Field => {
+            let [v, _] = &vals[..] else {
+                return Err(arity_err(2));
+            };
+            let Some(Expr::Lit(Value::Str(name))) = arg_exprs.get(1) else {
+                return Err(JpieError::TypeError(
+                    "field(struct, name) requires a literal field name".into(),
+                ));
+            };
+            let Value::Struct(s) = v else {
+                return Err(JpieError::TypeError(format!(
+                    "field() of {}",
+                    v.type_desc()
+                )));
+            };
+            s.field(name)
+                .cloned()
+                .ok_or_else(|| JpieError::NoSuchField(format!("{}.{}", s.type_name, name)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bin(op: BinOp, l: Value, r: Value) -> Result<Value, JpieError> {
+        eval_binary(op, l, r)
+    }
+
+    #[test]
+    fn numeric_promotion_follows_java() {
+        assert_eq!(
+            bin(BinOp::Add, Value::Int(1), Value::Long(2)).unwrap(),
+            Value::Long(3)
+        );
+        assert_eq!(
+            bin(BinOp::Add, Value::Int(1), Value::Double(0.5)).unwrap(),
+            Value::Double(1.5)
+        );
+        assert_eq!(
+            bin(BinOp::Mul, Value::Float(2.0), Value::Double(0.5)).unwrap(),
+            Value::Double(1.0)
+        );
+        assert_eq!(
+            bin(BinOp::Sub, Value::Long(10), Value::Float(0.5)).unwrap(),
+            Value::Float(9.5)
+        );
+        // Same-width stays same-width.
+        assert_eq!(
+            bin(BinOp::Add, Value::Int(1), Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            bin(BinOp::Div, Value::Float(1.0), Value::Float(4.0)).unwrap(),
+            Value::Float(0.25)
+        );
+    }
+
+    #[test]
+    fn string_concat_both_sides() {
+        assert_eq!(
+            bin(BinOp::Add, Value::Str("n=".into()), Value::Int(5)).unwrap(),
+            Value::Str("n=5".into())
+        );
+        assert_eq!(
+            bin(BinOp::Add, Value::Bool(true), Value::Str("!".into())).unwrap(),
+            Value::Str("true!".into())
+        );
+        assert_eq!(
+            bin(BinOp::Add, Value::Str("a".into()), Value::Str("b".into())).unwrap(),
+            Value::Str("ab".into())
+        );
+    }
+
+    #[test]
+    fn equality_on_any_values() {
+        use crate::value::StructValue;
+        let s1 = Value::Struct(StructValue::new("P").with("x", Value::Int(1)));
+        let s2 = Value::Struct(StructValue::new("P").with("x", Value::Int(1)));
+        let s3 = Value::Struct(StructValue::new("P").with("x", Value::Int(2)));
+        assert_eq!(bin(BinOp::Eq, s1.clone(), s2).unwrap(), Value::Bool(true));
+        assert_eq!(bin(BinOp::Ne, s1, s3).unwrap(), Value::Bool(true));
+        // Cross-type equality is false, not an error.
+        assert_eq!(
+            bin(BinOp::Eq, Value::Int(1), Value::Str("1".into())).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn string_and_char_ordering() {
+        assert_eq!(
+            bin(
+                BinOp::Lt,
+                Value::Str("abc".into()),
+                Value::Str("abd".into())
+            )
+            .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin(BinOp::Ge, Value::Char('z'), Value::Char('a')).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin(
+                BinOp::Le,
+                Value::Str("same".into()),
+                Value::Str("same".into())
+            )
+            .unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn long_overflow_checked() {
+        assert!(matches!(
+            bin(BinOp::Add, Value::Long(i64::MAX), Value::Long(1)),
+            Err(JpieError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            bin(BinOp::Mul, Value::Long(i64::MAX / 2), Value::Long(3)),
+            Err(JpieError::Arithmetic(_))
+        ));
+    }
+
+    #[test]
+    fn int_wraps_like_java() {
+        // i32 + i32 computed in i64 then truncated — Java's wrapping int
+        // semantics.
+        assert_eq!(
+            bin(BinOp::Add, Value::Int(i32::MAX), Value::Int(1)).unwrap(),
+            Value::Int(i32::MIN)
+        );
+    }
+
+    #[test]
+    fn float_division_and_rem() {
+        assert_eq!(
+            bin(BinOp::Div, Value::Double(1.0), Value::Double(0.0)).unwrap(),
+            Value::Double(f64::INFINITY)
+        );
+        assert_eq!(
+            bin(BinOp::Rem, Value::Double(7.5), Value::Double(2.0)).unwrap(),
+            Value::Double(1.5)
+        );
+    }
+
+    #[test]
+    fn integer_division_by_zero_rejected() {
+        assert!(matches!(
+            bin(BinOp::Div, Value::Int(1), Value::Int(0)),
+            Err(JpieError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            bin(BinOp::Rem, Value::Long(1), Value::Long(0)),
+            Err(JpieError::Arithmetic(_))
+        ));
+    }
+
+    #[test]
+    fn type_errors_on_mixed_operands() {
+        assert!(matches!(
+            bin(BinOp::Mul, Value::Str("x".into()), Value::Int(2)),
+            Err(JpieError::TypeError(_))
+        ));
+        assert!(matches!(
+            bin(BinOp::Lt, Value::Bool(true), Value::Bool(false)),
+            Err(JpieError::TypeError(_))
+        ));
+        assert!(matches!(
+            bin(BinOp::Add, Value::Bool(true), Value::Bool(false)),
+            Err(JpieError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn recursion_is_bounded_and_recoverable() {
+        use crate::class::{ClassHandle, MethodBuilder};
+        use crate::expr::Expr;
+        use crate::value::TypeDesc;
+        let class = ClassHandle::new("Rec");
+        // Bounded recursion works...
+        class
+            .add_method(
+                MethodBuilder::new("count_down", TypeDesc::Int)
+                    .param("n", TypeDesc::Int)
+                    .body_source("if (n <= 0) { return 0; } return 1 + count_down(n: n - 1);")
+                    .unwrap(),
+            )
+            .unwrap();
+        // ...a base-case-free live edit must not crash the process.
+        class
+            .add_method(
+                MethodBuilder::new("forever", TypeDesc::Int)
+                    .body_expr(Expr::self_call("forever", vec![])),
+            )
+            .unwrap();
+        let inst = class.instantiate().unwrap();
+        assert_eq!(
+            inst.invoke("count_down", &[Value::Int(50)]).unwrap(),
+            Value::Int(50)
+        );
+        let err = inst.invoke("forever", &[]).unwrap_err();
+        assert!(
+            matches!(&err, JpieError::Exception(m) if m.contains("recursion depth")),
+            "{err:?}"
+        );
+        // The instance is still healthy afterwards.
+        assert_eq!(
+            inst.invoke("count_down", &[Value::Int(3)]).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs() {
+        // `false && boom()` / `true || boom()` must not call boom().
+        use crate::class::{ClassHandle, MethodBuilder};
+        use crate::expr::{Expr, Stmt};
+        use crate::value::TypeDesc;
+        let class = ClassHandle::new("SC");
+        class
+            .add_method(
+                MethodBuilder::new("boom", TypeDesc::Bool)
+                    .body_block(vec![Stmt::Throw(Expr::lit("should not run"))]),
+            )
+            .unwrap();
+        class
+            .add_method(
+                MethodBuilder::new("and_sc", TypeDesc::Bool)
+                    .body_expr(Expr::lit(false).and(Expr::self_call("boom", vec![]))),
+            )
+            .unwrap();
+        class
+            .add_method(
+                MethodBuilder::new("or_sc", TypeDesc::Bool)
+                    .body_expr(Expr::lit(true).or(Expr::self_call("boom", vec![]))),
+            )
+            .unwrap();
+        let inst = class.instantiate().unwrap();
+        assert_eq!(inst.invoke("and_sc", &[]).unwrap(), Value::Bool(false));
+        assert_eq!(inst.invoke("or_sc", &[]).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,1415 @@
+//! A textual surface syntax for interpreted method bodies ("JPie script").
+//!
+//! JPie presents programs as manipulable representations; this module is
+//! the equivalent for the live-rmi runtime: method bodies can be written,
+//! displayed, and live-edited as text, round-tripping through the
+//! [`Expr`]/[`Stmt`] AST. Used by [`crate::MethodBuilder::body_source`],
+//! [`crate::ClassHandle::set_body_source`] and
+//! [`crate::ClassHandle::method_source`].
+//!
+//! # Grammar
+//!
+//! ```text
+//! block   := stmt*
+//! stmt    := "let" IDENT "=" expr ";"
+//!          | IDENT "=" expr ";"
+//!          | "this" "." IDENT "=" expr ";"
+//!          | "if" "(" expr ")" "{" block "}" ("else" "{" block "}")?
+//!          | "while" "(" expr ")" "{" block "}"
+//!          | "return" expr? ";"
+//!          | "throw" expr ";"
+//!          | expr ";"
+//! expr    := logical-or with the usual precedence:
+//!            ||  &&  == != < <= > >=  + -  * / %  unary - !
+//! primary := literal | "this" "." IDENT | "(" expr ")"
+//!          | IDENT "(" IDENT ":" expr, ... ")"      // self-call, named args
+//!          | BUILTIN "(" expr, ... ")"              // len, get, push,
+//!                                                   // to_string, contains, field
+//!          | "new" TYPENAME "{" IDENT ":" expr, ... "}"
+//!          | "seq" "<" type ">" "[" expr, ... "]"
+//!          | IDENT                                   // parameter or local
+//! literal := 123 | 123L | 1.5 | 1.5f | "str" | 'c' | true | false | null
+//! ```
+//!
+//! Bare identifiers parse as locals; [`resolve_params`] (called by the
+//! `body_source` helpers) rebinds those matching the method's parameter
+//! names to parameter references so JPie's rename-consistency machinery
+//! applies to parsed bodies too.
+//!
+//! # Examples
+//!
+//! ```
+//! let block = jpie::parse::parse_block(
+//!     "let total = a + b; if (total > 10) { return total; } return 0;",
+//! )?;
+//! assert_eq!(block.len(), 3);
+//! # Ok::<(), jpie::JpieError>(())
+//! ```
+
+use crate::error::JpieError;
+use crate::expr::{walk_block_mut, BinOp, Block, Builtin, Expr, Stmt, UnOp};
+use crate::value::{TypeDesc, Value};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    Str(String),
+    Char(char),
+    Punct(&'static str),
+}
+
+fn err(msg: impl Into<String>) -> JpieError {
+    JpieError::Invalid(format!("parse error: {}", msg.into()))
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, JpieError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments.
+        if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(err("unterminated block comment"));
+                }
+                if bytes[i] == '*' && bytes[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(bytes[start..i].iter().collect()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || (bytes[i] == '.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())))
+            {
+                if bytes[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            match bytes.get(i) {
+                Some('L') => {
+                    i += 1;
+                    let v = text.parse().map_err(|_| err(format!("bad long {text}")))?;
+                    toks.push(Tok::Long(v));
+                }
+                Some('f') => {
+                    i += 1;
+                    let v = text.parse().map_err(|_| err(format!("bad float {text}")))?;
+                    toks.push(Tok::Float(v));
+                }
+                _ if is_float => {
+                    let v = text
+                        .parse()
+                        .map_err(|_| err(format!("bad double {text}")))?;
+                    toks.push(Tok::Double(v));
+                }
+                _ => {
+                    let v = text.parse().map_err(|_| err(format!("bad int {text}")))?;
+                    toks.push(Tok::Int(v));
+                }
+            }
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return Err(err("unterminated string literal")),
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        i += 1;
+                        match bytes.get(i) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => return Err(err(format!("bad escape \\{other}"))),
+                            None => return Err(err("unterminated escape")),
+                        }
+                        i += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Tok::Str(s));
+            continue;
+        }
+        if c == '\'' {
+            let ch = match bytes.get(i + 1) {
+                Some('\\') => {
+                    let esc = match bytes.get(i + 2) {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some('\'') => '\'',
+                        Some('\\') => '\\',
+                        _ => return Err(err("bad char escape")),
+                    };
+                    i += 4;
+                    esc
+                }
+                Some(&c) => {
+                    i += 3;
+                    c
+                }
+                None => return Err(err("unterminated char literal")),
+            };
+            if bytes.get(i - 1) != Some(&'\'') {
+                return Err(err("unterminated char literal"));
+            }
+            toks.push(Tok::Char(ch));
+            continue;
+        }
+        // Multi-char operators first.
+        let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        let punct2 = ["==", "!=", "<=", ">=", "&&", "||"];
+        if let Some(p) = punct2.iter().find(|p| **p == two) {
+            toks.push(Tok::Punct(p));
+            i += 2;
+            continue;
+        }
+        let punct1 = "+-*/%<>=!(){}[],;:.";
+        if punct1.contains(c) {
+            let s: &'static str = match c {
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '<' => "<",
+                '>' => ">",
+                '=' => "=",
+                '!' => "!",
+                '(' => "(",
+                ')' => ")",
+                '{' => "{",
+                '}' => "}",
+                '[' => "[",
+                ']' => "]",
+                ',' => ",",
+                ';' => ";",
+                ':' => ":",
+                '.' => ".",
+                _ => unreachable!("covered by contains"),
+            };
+            toks.push(Tok::Punct(s));
+            i += 1;
+            continue;
+        }
+        return Err(err(format!("unexpected character {c:?}")));
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), JpieError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(err(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, JpieError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn parse_block_until(&mut self, terminator: Option<&str>) -> Result<Block, JpieError> {
+        let mut block = Vec::new();
+        loop {
+            match terminator {
+                Some(t) => {
+                    if matches!(self.peek(), Some(Tok::Punct(p)) if *p == t) {
+                        return Ok(block);
+                    }
+                    if self.peek().is_none() {
+                        return Err(err(format!("expected {t:?} before end of input")));
+                    }
+                }
+                None => {
+                    if self.peek().is_none() {
+                        return Ok(block);
+                    }
+                }
+            }
+            block.push(self.parse_stmt()?);
+        }
+    }
+
+    fn parse_braced_block(&mut self) -> Result<Block, JpieError> {
+        self.expect_punct("{")?;
+        let block = self.parse_block_until(Some("}"))?;
+        self.expect_punct("}")?;
+        Ok(block)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, JpieError> {
+        if self.at_ident("let") {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let e = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.at_ident("if") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then = self.parse_braced_block()?;
+            let otherwise = if self.at_ident("else") {
+                self.pos += 1;
+                self.parse_braced_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then,
+                otherwise,
+            });
+        }
+        if self.at_ident("while") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let body = self.parse_braced_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.at_ident("return") {
+            self.pos += 1;
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.at_ident("throw") {
+            self.pos += 1;
+            let e = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Throw(e));
+        }
+        // `this.field = expr;`
+        if self.at_ident("this") && matches!(self.peek2(), Some(Tok::Punct("."))) {
+            let save = self.pos;
+            self.pos += 2;
+            let field = self.expect_ident()?;
+            if self.eat_punct("=") {
+                let e = self.parse_expr()?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::SetField(field, e));
+            }
+            self.pos = save; // it was a field *read* inside an expression
+        }
+        // `ident = expr;` (assignment) vs expression statement.
+        if let (Some(Tok::Ident(name)), Some(Tok::Punct("="))) = (self.peek(), self.peek2()) {
+            if !is_keyword(name) {
+                let name = name.clone();
+                self.pos += 2;
+                let e = self.parse_expr()?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Assign(name, e));
+            }
+        }
+        let e = self.parse_expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, JpieError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, JpieError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_punct("||") {
+            let rhs = self.parse_and()?;
+            lhs = bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, JpieError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat_punct("&&") {
+            let rhs = self.parse_cmp()?;
+            lhs = bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, JpieError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Punct("==")) => Some(BinOp::Eq),
+            Some(Tok::Punct("!=")) => Some(BinOp::Ne),
+            Some(Tok::Punct("<")) => Some(BinOp::Lt),
+            Some(Tok::Punct("<=")) => Some(BinOp::Le),
+            Some(Tok::Punct(">")) => Some(BinOp::Gt),
+            Some(Tok::Punct(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_add()?;
+            return Ok(bin(op, lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, JpieError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            if self.eat_punct("+") {
+                let rhs = self.parse_mul()?;
+                lhs = bin(BinOp::Add, lhs, rhs);
+            } else if self.eat_punct("-") {
+                let rhs = self.parse_mul()?;
+                lhs = bin(BinOp::Sub, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, JpieError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            if self.eat_punct("*") {
+                let rhs = self.parse_unary()?;
+                lhs = bin(BinOp::Mul, lhs, rhs);
+            } else if self.eat_punct("/") {
+                let rhs = self.parse_unary()?;
+                lhs = bin(BinOp::Div, lhs, rhs);
+            } else if self.eat_punct("%") {
+                let rhs = self.parse_unary()?;
+                lhs = bin(BinOp::Rem, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, JpieError> {
+        if self.eat_punct("-") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        if self.eat_punct("!") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, JpieError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Lit(Value::Int(v as i32))),
+            Some(Tok::Long(v)) => Ok(Expr::Lit(Value::Long(v))),
+            Some(Tok::Float(v)) => Ok(Expr::Lit(Value::Float(v))),
+            Some(Tok::Double(v)) => Ok(Expr::Lit(Value::Double(v))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Value::Str(s))),
+            Some(Tok::Char(c)) => Ok(Expr::Lit(Value::Char(c))),
+            Some(Tok::Punct("(")) => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => self.parse_ident_expr(name),
+            other => Err(err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_ident_expr(&mut self, name: String) -> Result<Expr, JpieError> {
+        match name.as_str() {
+            "true" => return Ok(Expr::Lit(Value::Bool(true))),
+            "false" => return Ok(Expr::Lit(Value::Bool(false))),
+            "null" => return Ok(Expr::Lit(Value::Null)),
+            "this" => {
+                self.expect_punct(".")?;
+                let field = self.expect_ident()?;
+                return Ok(Expr::FieldRef(field));
+            }
+            "new" => {
+                let type_name = self.expect_ident()?;
+                self.expect_punct("{")?;
+                let mut fields = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let fname = self.expect_ident()?;
+                        self.expect_punct(":")?;
+                        let fexpr = self.parse_expr()?;
+                        fields.push((fname, fexpr));
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                return Ok(Expr::MakeStruct { type_name, fields });
+            }
+            "seq" => {
+                self.expect_punct("<")?;
+                let elem = self.parse_type()?;
+                self.expect_punct(">")?;
+                self.expect_punct("[")?;
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                return Ok(Expr::MakeSeq { elem, items });
+            }
+            _ => {}
+        }
+        if let Some(builtin) = builtin_by_name(&name) {
+            self.expect_punct("(")?;
+            let mut args = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            return Ok(Expr::Call { builtin, args });
+        }
+        if self.eat_punct("(") {
+            // Self-call with named arguments.
+            let mut args = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    let aname = self.expect_ident()?;
+                    self.expect_punct(":")?;
+                    let aexpr = self.parse_expr()?;
+                    args.push((aname, aexpr));
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            return Ok(Expr::SelfCall { method: name, args });
+        }
+        // Bare identifier: a local (rebound to Param by resolve_params).
+        Ok(Expr::Local(name))
+    }
+
+    fn parse_type(&mut self) -> Result<TypeDesc, JpieError> {
+        let name = self.expect_ident()?;
+        Ok(match name.as_str() {
+            "void" => TypeDesc::Void,
+            "boolean" => TypeDesc::Bool,
+            "int" => TypeDesc::Int,
+            "long" => TypeDesc::Long,
+            "float" => TypeDesc::Float,
+            "double" => TypeDesc::Double,
+            "char" => TypeDesc::Char,
+            "string" => TypeDesc::Str,
+            "seq" => {
+                self.expect_punct("<")?;
+                let elem = self.parse_type()?;
+                self.expect_punct(">")?;
+                TypeDesc::Seq(Box::new(elem))
+            }
+            other => TypeDesc::Named(other.to_string()),
+        })
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "let"
+            | "if"
+            | "else"
+            | "while"
+            | "return"
+            | "throw"
+            | "this"
+            | "new"
+            | "seq"
+            | "true"
+            | "false"
+            | "null"
+    )
+}
+
+fn builtin_by_name(name: &str) -> Option<Builtin> {
+    Some(match name {
+        "len" => Builtin::Len,
+        "get" => Builtin::Get,
+        "push" => Builtin::Push,
+        "to_string" => Builtin::ToStr,
+        "contains" => Builtin::Contains,
+        "field" => Builtin::Field,
+        _ => return None,
+    })
+}
+
+/// Parses a statement block.
+///
+/// # Errors
+///
+/// Returns [`JpieError::Invalid`] with a parse-error message.
+pub fn parse_block(src: &str) -> Result<Block, JpieError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    p.parse_block_until(None)
+}
+
+/// Parses a single expression (must consume all input).
+///
+/// # Errors
+///
+/// Returns [`JpieError::Invalid`] on syntax errors or trailing tokens.
+pub fn parse_expr(src: &str) -> Result<Expr, JpieError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let e = p.parse_expr()?;
+    if p.peek().is_some() {
+        return Err(err(format!(
+            "trailing tokens after expression: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(e)
+}
+
+/// Parses a whole class definition — the inverse of
+/// [`crate::ClassHandle::class_source`]:
+///
+/// ```text
+/// class Name [extends Superclass] {
+///   field <type> <name>;
+///   [distributed] <type> <name>(<type> <p>, ...) { <block> }
+/// }
+/// ```
+///
+/// Method bodies become interpreted blocks with parameter references
+/// resolved; a body of `/* native */` (or any empty body) parses as an
+/// empty block.
+///
+/// # Errors
+///
+/// Returns [`JpieError::Invalid`] on syntax errors or duplicate names.
+///
+/// # Examples
+///
+/// ```
+/// let class = jpie::parse::parse_class(
+///     "class Calc extends SOAPServer {\n\
+///        field int calls;\n\
+///        distributed int add(int a, int b) { return a + b; }\n\
+///      }",
+/// )?;
+/// assert_eq!(class.name(), "Calc");
+/// assert_eq!(class.superclass().as_deref(), Some("SOAPServer"));
+/// assert_eq!(class.distributed_signatures().len(), 1);
+/// # Ok::<(), jpie::JpieError>(())
+/// ```
+pub fn parse_class(src: &str) -> Result<crate::ClassHandle, JpieError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    if !p.at_ident("class") {
+        return Err(err("expected `class`"));
+    }
+    p.pos += 1;
+    let name = p.expect_ident()?;
+    let superclass = if p.at_ident("extends") {
+        p.pos += 1;
+        Some(p.expect_ident()?)
+    } else {
+        None
+    };
+    let class = match superclass {
+        Some(s) => crate::ClassHandle::with_superclass(&name, s),
+        None => crate::ClassHandle::new(&name),
+    };
+    p.expect_punct("{")?;
+    loop {
+        if p.eat_punct("}") {
+            break;
+        }
+        if p.peek().is_none() {
+            return Err(err("expected '}' before end of input"));
+        }
+        if p.at_ident("field") {
+            p.pos += 1;
+            let ty = p.parse_type()?;
+            let fname = p.expect_ident()?;
+            p.expect_punct(";")?;
+            class.add_field(&fname, ty)?;
+            continue;
+        }
+        // Method: [distributed] <ret> <name>(<ty> <p>, ...) { body }
+        let distributed = if p.at_ident("distributed") {
+            p.pos += 1;
+            true
+        } else {
+            false
+        };
+        let return_ty = p.parse_type()?;
+        let mname = p.expect_ident()?;
+        p.expect_punct("(")?;
+        let mut builder = crate::MethodBuilder::new(&mname, return_ty).distributed(distributed);
+        let mut param_names = Vec::new();
+        if !p.eat_punct(")") {
+            loop {
+                let pty = p.parse_type()?;
+                let pname = p.expect_ident()?;
+                param_names.push(pname.clone());
+                builder = builder.param(pname, pty);
+                if p.eat_punct(")") {
+                    break;
+                }
+                p.expect_punct(",")?;
+            }
+        }
+        p.expect_punct("{")?;
+        let mut body = p.parse_block_until(Some("}"))?;
+        p.expect_punct("}")?;
+        resolve_params(&mut body, &param_names);
+        class.add_method(builder.body_block(body))?;
+    }
+    if p.peek().is_some() {
+        return Err(err(format!("trailing tokens after class: {:?}", p.peek())));
+    }
+    Ok(class)
+}
+
+/// Rebinds bare identifiers that name parameters from locals to parameter
+/// references, so the rename-consistency machinery covers parsed bodies.
+pub fn resolve_params(block: &mut Block, param_names: &[String]) {
+    walk_block_mut(block, &mut |e| {
+        if let Expr::Local(name) = e {
+            if param_names.iter().any(|p| p == name) {
+                *e = Expr::Param(name.clone());
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printer
+// ---------------------------------------------------------------------------
+
+/// Renders a block back to source (inverse of [`parse_block`] up to
+/// formatting).
+pub fn block_to_source(block: &Block) -> String {
+    let mut out = String::new();
+    write_block(block, 0, &mut out);
+    out
+}
+
+/// Renders one expression to source.
+pub fn expr_to_source(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(expr, 0, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_block(block: &Block, level: usize, out: &mut String) {
+    for stmt in block {
+        indent(level, out);
+        match stmt {
+            Stmt::Let(name, e) => {
+                out.push_str("let ");
+                out.push_str(name);
+                out.push_str(" = ");
+                write_expr(e, 0, out);
+                out.push_str(";\n");
+            }
+            Stmt::Assign(name, e) => {
+                out.push_str(name);
+                out.push_str(" = ");
+                write_expr(e, 0, out);
+                out.push_str(";\n");
+            }
+            Stmt::SetField(name, e) => {
+                out.push_str("this.");
+                out.push_str(name);
+                out.push_str(" = ");
+                write_expr(e, 0, out);
+                out.push_str(";\n");
+            }
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                out.push_str("if (");
+                write_expr(cond, 0, out);
+                out.push_str(") {\n");
+                write_block(then, level + 1, out);
+                indent(level, out);
+                out.push('}');
+                if !otherwise.is_empty() {
+                    out.push_str(" else {\n");
+                    write_block(otherwise, level + 1, out);
+                    indent(level, out);
+                    out.push('}');
+                }
+                out.push('\n');
+            }
+            Stmt::While { cond, body } => {
+                out.push_str("while (");
+                write_expr(cond, 0, out);
+                out.push_str(") {\n");
+                write_block(body, level + 1, out);
+                indent(level, out);
+                out.push_str("}\n");
+            }
+            Stmt::Return(None) => out.push_str("return;\n"),
+            Stmt::Return(Some(e)) => {
+                out.push_str("return ");
+                write_expr(e, 0, out);
+                out.push_str(";\n");
+            }
+            Stmt::Throw(e) => {
+                out.push_str("throw ");
+                write_expr(e, 0, out);
+                out.push_str(";\n");
+            }
+            Stmt::Expr(e) => {
+                write_expr(e, 0, out);
+                out.push_str(";\n");
+            }
+        }
+    }
+}
+
+fn binop_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn write_expr(expr: &Expr, parent_prec: u8, out: &mut String) {
+    match expr {
+        Expr::Lit(v) => write_literal(v, out),
+        Expr::Param(name) | Expr::Local(name) => out.push_str(name),
+        Expr::FieldRef(name) => {
+            out.push_str("this.");
+            out.push_str(name);
+        }
+        Expr::SelfCall { method, args } => {
+            out.push_str(method);
+            out.push('(');
+            for (i, (name, e)) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(name);
+                out.push_str(": ");
+                write_expr(e, 0, out);
+            }
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let prec = binop_prec(*op);
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            // Comparisons do not chain in the grammar (`a < b < c` is a
+            // syntax error), so a comparison operand that is itself a
+            // comparison must be parenthesized: print both sides at
+            // prec+1. Other operators are left-associative: only the
+            // right side needs the bump.
+            let is_cmp = matches!(
+                op,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            );
+            let lhs_prec = if is_cmp { prec + 1 } else { prec };
+            write_expr(lhs, lhs_prec, out);
+            out.push(' ');
+            out.push_str(binop_str(*op));
+            out.push(' ');
+            write_expr(rhs, prec + 1, out);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::Unary { op, expr } => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            write_expr(expr, 6, out);
+        }
+        Expr::Call { builtin, args } => {
+            out.push_str(match builtin {
+                Builtin::Len => "len",
+                Builtin::Get => "get",
+                Builtin::Push => "push",
+                Builtin::ToStr => "to_string",
+                Builtin::Contains => "contains",
+                Builtin::Field => "field",
+            });
+            out.push('(');
+            for (i, e) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(e, 0, out);
+            }
+            out.push(')');
+        }
+        Expr::MakeStruct { type_name, fields } => {
+            out.push_str("new ");
+            out.push_str(type_name);
+            out.push_str(" {");
+            for (i, (name, e)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                out.push_str(name);
+                out.push_str(": ");
+                write_expr(e, 0, out);
+            }
+            out.push_str(" }");
+        }
+        Expr::MakeSeq { elem, items } => {
+            out.push_str("seq<");
+            out.push_str(&type_source(elem));
+            out.push_str(">[");
+            for (i, e) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(e, 0, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+pub(crate) fn type_source(ty: &TypeDesc) -> String {
+    match ty {
+        TypeDesc::Void => "void".into(),
+        TypeDesc::Bool => "boolean".into(),
+        TypeDesc::Int => "int".into(),
+        TypeDesc::Long => "long".into(),
+        TypeDesc::Float => "float".into(),
+        TypeDesc::Double => "double".into(),
+        TypeDesc::Char => "char".into(),
+        TypeDesc::Str => "string".into(),
+        TypeDesc::Named(n) => n.clone(),
+        TypeDesc::Seq(e) => format!("seq<{}>", type_source(e)),
+    }
+}
+
+fn write_literal(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            if *i < 0 {
+                out.push('(');
+                out.push_str(&i.to_string());
+                out.push(')');
+            } else {
+                out.push_str(&i.to_string());
+            }
+        }
+        Value::Long(l) => {
+            if *l < 0 {
+                out.push('(');
+                out.push_str(&l.to_string());
+                out.push_str("L)");
+            } else {
+                out.push_str(&l.to_string());
+                out.push('L');
+            }
+        }
+        Value::Float(x) => {
+            let text = if *x == x.trunc() {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            };
+            if *x < 0.0 {
+                out.push('(');
+                out.push_str(&text);
+                out.push_str("f)");
+            } else {
+                out.push_str(&text);
+                out.push('f');
+            }
+        }
+        Value::Double(x) => {
+            let text = if *x == x.trunc() {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            };
+            if *x < 0.0 {
+                out.push('(');
+                out.push_str(&text);
+                out.push(')');
+            } else {
+                out.push_str(&text);
+            }
+        }
+        Value::Char(c) => {
+            out.push('\'');
+            match c {
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\'' => out.push_str("\\'"),
+                '\\' => out.push_str("\\\\"),
+                other => out.push(*other),
+            }
+            out.push('\'');
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        Value::Struct(s) => {
+            // Struct *values* print as constructor expressions.
+            out.push_str("new ");
+            out.push_str(&s.type_name);
+            out.push_str(" {");
+            for (i, (name, v)) in s.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                out.push_str(name);
+                out.push_str(": ");
+                write_literal(v, out);
+            }
+            out.push_str(" }");
+        }
+        Value::Seq(elem, items) => {
+            out.push_str("seq<");
+            out.push_str(&type_source(elem));
+            out.push_str(">[");
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_literal(v, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Block {
+        let block = parse_block(src).expect("parse");
+        let printed = block_to_source(&block);
+        let reparsed = parse_block(&printed).unwrap_or_else(|e| {
+            panic!("reparse of {printed:?} failed: {e}");
+        });
+        assert_eq!(reparsed, block, "printed form: {printed}");
+        block
+    }
+
+    #[test]
+    fn literals() {
+        let b = roundtrip(
+            "return 1; return 2L; return 1.5; return 2.5f; return \"hi\\n\"; return 'x'; \
+             return true; return null;",
+        );
+        assert_eq!(b.len(), 8);
+        assert_eq!(b[0], Stmt::Return(Some(Expr::Lit(Value::Int(1)))));
+        assert_eq!(b[1], Stmt::Return(Some(Expr::Lit(Value::Long(2)))));
+        assert_eq!(b[2], Stmt::Return(Some(Expr::Lit(Value::Double(1.5)))));
+        assert_eq!(b[3], Stmt::Return(Some(Expr::Lit(Value::Float(2.5)))));
+        assert_eq!(
+            b[4],
+            Stmt::Return(Some(Expr::Lit(Value::Str("hi\n".into()))))
+        );
+        assert_eq!(b[5], Stmt::Return(Some(Expr::Lit(Value::Char('x')))));
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(expr_to_source(&e), "1 + 2 * 3");
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(expr_to_source(&e), "(1 + 2) * 3");
+        let e = parse_expr("a < b && c >= d || !e").unwrap();
+        assert_eq!(expr_to_source(&e), "a < b && c >= d || !e");
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        let e = parse_expr("10 - 3 - 2").unwrap();
+        // (10 - 3) - 2, printed without spurious parens but re-parsing the
+        // print must give the same tree.
+        let printed = expr_to_source(&e);
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+        let e2 = parse_expr("10 - (3 - 2)").unwrap();
+        assert_ne!(e, e2);
+        assert_eq!(parse_expr(&expr_to_source(&e2)).unwrap(), e2);
+    }
+
+    #[test]
+    fn statements() {
+        let b = roundtrip(
+            "let x = 1; x = x + 1; this.total = x; \
+             if (x > 1) { return x; } else { throw \"low\"; } \
+             while (x < 10) { x = x + 1; } return;",
+        );
+        assert!(matches!(b[0], Stmt::Let(..)));
+        assert!(matches!(b[1], Stmt::Assign(..)));
+        assert!(matches!(b[2], Stmt::SetField(..)));
+        assert!(matches!(b[3], Stmt::If { .. }));
+        assert!(matches!(b[4], Stmt::While { .. }));
+        assert!(matches!(b[5], Stmt::Return(None)));
+    }
+
+    #[test]
+    fn self_call_named_args() {
+        let e = parse_expr("add(a: 1, b: f(x: 2))").unwrap();
+        match &e {
+            Expr::SelfCall { method, args } => {
+                assert_eq!(method, "add");
+                assert_eq!(args.len(), 2);
+                assert!(matches!(&args[1].1, Expr::SelfCall { method, .. } if method == "f"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(expr_to_source(&e), "add(a: 1, b: f(x: 2))");
+    }
+
+    #[test]
+    fn builtins_and_constructors() {
+        let b = roundtrip(
+            "let s = new Point { x: 1, y: 2 }; \
+             let xs = seq<int>[1, 2, 3]; \
+             let n = len(xs); \
+             let first = get(xs, 0); \
+             let more = push(xs, 4); \
+             return to_string(field(s, \"x\")) + to_string(contains(\"ab\", \"a\"));",
+        );
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn field_reads_and_writes() {
+        let b = roundtrip("this.count = this.count + 1; return this.count;");
+        assert!(matches!(&b[0], Stmt::SetField(name, _) if name == "count"));
+        assert!(matches!(
+            &b[1],
+            Stmt::Return(Some(Expr::FieldRef(name))) if name == "count"
+        ));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let b = parse_block("// header\nreturn 1; // trailing\n").unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn resolve_params_rebinds() {
+        let mut b = parse_block("return a + b + c;").unwrap();
+        resolve_params(&mut b, &["a".into(), "b".into()]);
+        let Stmt::Return(Some(e)) = &b[0] else {
+            panic!()
+        };
+        let mut params = 0;
+        let mut locals = 0;
+        let mut e = e.clone();
+        e.walk_mut(&mut |x| match x {
+            Expr::Param(_) => params += 1,
+            Expr::Local(_) => locals += 1,
+            _ => {}
+        });
+        assert_eq!((params, locals), (2, 1));
+    }
+
+    #[test]
+    fn nested_comparisons_parenthesized() {
+        // `a < b < c` is a syntax error (comparisons don't chain), so the
+        // printer must parenthesize nested comparisons on either side.
+        assert!(parse_expr("a < b < c").is_err());
+        for src in ["(a < b) == c", "a == (b < c)", "(a < b) == (c < d)"] {
+            let e = parse_expr(src).unwrap();
+            let printed = expr_to_source(&e);
+            assert_eq!(parse_expr(&printed).unwrap(), e, "printed: {printed}");
+        }
+    }
+
+    #[test]
+    fn negative_literals_roundtrip() {
+        roundtrip("return -1; return 0 - 5; let x = -2.5; let y = -3L;");
+    }
+
+    #[test]
+    fn nested_seq_type() {
+        let b = roundtrip("return seq<seq<int>>[seq<int>[1], seq<int>[]];");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        for bad in [
+            "let = 1;",
+            "return 1",        // missing ;
+            "if x { }",        // missing parens
+            "while (true) x;", // missing braces
+            "f(1, 2);",        // self-call requires named args
+            "\"unterminated",
+            "let x = 1 +;",
+            "@#$",
+            "seq<int>[1, 2",
+            "new P { x 1 };",
+        ] {
+            assert!(parse_block(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_class_roundtrips_class_source() {
+        let src = "class Bank extends SOAPServer {\n\
+                     field double balance;\n\
+                     field seq<string> log;\n\
+                     distributed double deposit(double amount) {\n\
+                       this.balance = this.balance + amount;\n\
+                       return this.balance;\n\
+                     }\n\
+                     boolean is_rich() { return this.balance > 1000000.0; }\n\
+                   }";
+        let class = parse_class(src).unwrap();
+        assert_eq!(class.name(), "Bank");
+        assert_eq!(class.superclass().as_deref(), Some("SOAPServer"));
+        assert_eq!(class.declared_fields().len(), 2);
+        assert_eq!(class.signatures().len(), 2);
+        assert_eq!(class.distributed_signatures().len(), 1);
+
+        // It executes.
+        let inst = class.instantiate().unwrap();
+        assert_eq!(
+            inst.invoke("deposit", &[Value::Double(10.5)]).unwrap(),
+            Value::Double(10.5)
+        );
+        assert_eq!(inst.invoke("is_rich", &[]).unwrap(), Value::Bool(false));
+
+        // class_source -> parse_class -> class_source is a fixed point.
+        let rendered = class.class_source();
+        let reparsed = parse_class(&rendered).unwrap();
+        assert_eq!(reparsed.class_source(), rendered);
+    }
+
+    #[test]
+    fn parse_class_handles_native_comment_and_plain_class() {
+        let class = parse_class("class Tiny { void nop() { /* native */ } }").unwrap();
+        assert!(class.superclass().is_none());
+        let inst = class.instantiate().unwrap();
+        // Empty parsed body on a void method: runs and returns null.
+        assert_eq!(inst.invoke("nop", &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn parse_class_errors() {
+        for bad in [
+            "",
+            "class",
+            "class X",
+            "class X {",
+            "class X { field int; }",
+            "class X { int f( { } }",
+            "class X { int f() { return 1; } } trailing",
+            "class X { int f() { return 1; } int f() { return 2; } }",
+            "class X { /* unterminated",
+        ] {
+            assert!(parse_class(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_expr_rejects_trailing() {
+        assert!(parse_expr("1 + 2; 3").is_err());
+    }
+
+    #[test]
+    fn executes_after_parsing() {
+        use crate::{ClassHandle, MethodBuilder};
+        let class = ClassHandle::new("Scripted");
+        class.add_field("total", TypeDesc::Int).unwrap();
+        let mut body = parse_block(
+            "let i = 0; \
+             while (i < n) { this.total = this.total + step; i = i + 1; } \
+             return this.total;",
+        )
+        .unwrap();
+        resolve_params(&mut body, &["n".into(), "step".into()]);
+        class
+            .add_method(
+                MethodBuilder::new("accumulate", TypeDesc::Int)
+                    .param("n", TypeDesc::Int)
+                    .param("step", TypeDesc::Int)
+                    .body_block(body),
+            )
+            .unwrap();
+        let inst = class.instantiate().unwrap();
+        assert_eq!(
+            inst.invoke("accumulate", &[Value::Int(4), Value::Int(5)])
+                .unwrap(),
+            Value::Int(20)
+        );
+    }
+}

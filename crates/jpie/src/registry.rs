@@ -1,0 +1,146 @@
+//! Class loading and the gateway-superclass mechanism.
+//!
+//! In the paper, server classes are created by *extending* a provided
+//! gateway class (`SOAPServer` / `CORBAServer`, §4), and "when the new
+//! subclass ... is being loaded into JPie, the SDE subsystem detects this"
+//! (§5.1.1). This module supplies both halves: dynamic classes may declare
+//! a superclass name, and a [`ClassRegistry`] broadcasts a load event for
+//! every registered class so middleware (the SDE Manager) can react.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::class::ClassHandle;
+use crate::error::JpieError;
+
+/// A class-load notification.
+#[derive(Debug, Clone)]
+pub struct ClassLoaded {
+    /// The newly loaded class.
+    pub class: ClassHandle,
+    /// Its declared superclass, if any (e.g. `"SOAPServer"`).
+    pub superclass: Option<String>,
+}
+
+/// The environment's class registry: registering a class is the paper's
+/// "loading a class into JPie" event.
+///
+/// # Examples
+///
+/// ```
+/// use jpie::{ClassHandle, ClassRegistry};
+///
+/// let registry = ClassRegistry::new();
+/// let loads = registry.subscribe();
+/// let class = ClassHandle::with_superclass("MyService", "SOAPServer");
+/// registry.register(class).unwrap();
+/// let event = loads.try_recv().unwrap();
+/// assert_eq!(event.superclass.as_deref(), Some("SOAPServer"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClassRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    classes: Vec<ClassHandle>,
+    listeners: Vec<Sender<ClassLoaded>>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ClassRegistry {
+        ClassRegistry::default()
+    }
+
+    /// Subscribes to class-load events.
+    pub fn subscribe(&self) -> Receiver<ClassLoaded> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().listeners.push(tx);
+        rx
+    }
+
+    /// Registers (loads) a class, notifying every subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a class with the same name is already registered.
+    pub fn register(&self, class: ClassHandle) -> Result<(), JpieError> {
+        let mut inner = self.inner.lock();
+        if inner.classes.iter().any(|c| c.name() == class.name()) {
+            return Err(JpieError::Invalid(format!(
+                "class {:?} is already loaded",
+                class.name()
+            )));
+        }
+        let event = ClassLoaded {
+            superclass: class.superclass(),
+            class: class.clone(),
+        };
+        inner.classes.push(class);
+        inner.listeners.retain(|tx| tx.send(event.clone()).is_ok());
+        Ok(())
+    }
+
+    /// Looks up a loaded class by name.
+    pub fn find(&self, name: &str) -> Option<ClassHandle> {
+        self.inner
+            .lock()
+            .classes
+            .iter()
+            .find(|c| c.name() == name)
+            .cloned()
+    }
+
+    /// Names of all loaded classes.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().classes.iter().map(|c| c.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_find() {
+        let registry = ClassRegistry::new();
+        registry.register(ClassHandle::new("A")).unwrap();
+        assert!(registry.find("A").is_some());
+        assert!(registry.find("B").is_none());
+        assert_eq!(registry.names(), vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let registry = ClassRegistry::new();
+        registry.register(ClassHandle::new("A")).unwrap();
+        assert!(registry.register(ClassHandle::new("A")).is_err());
+    }
+
+    #[test]
+    fn subscribers_see_loads_with_superclass() {
+        let registry = ClassRegistry::new();
+        let rx = registry.subscribe();
+        registry
+            .register(ClassHandle::with_superclass("Svc", "CORBAServer"))
+            .unwrap();
+        let event = rx.try_recv().unwrap();
+        assert_eq!(event.class.name(), "Svc");
+        assert_eq!(event.superclass.as_deref(), Some("CORBAServer"));
+
+        registry.register(ClassHandle::new("Plain")).unwrap();
+        assert_eq!(rx.try_recv().unwrap().superclass, None);
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_loads() {
+        let registry = ClassRegistry::new();
+        registry.register(ClassHandle::new("Early")).unwrap();
+        let rx = registry.subscribe();
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! SOAP encoding of [`Value`]s: `xsi:type`-annotated XML elements.
+//!
+//! Primitives use the XML Schema type names Axis used (`xsd:int`,
+//! `xsd:boolean`, ...). User-defined structured values are encoded as
+//! nested elements with `xsi:type="tns:TypeName"`, arrays as
+//! `soapenc:Array` with an item-type attribute — the WSDL 1.1 "complex
+//! types" mechanism the paper describes in §2.1.
+
+use jpie::{StructValue, TypeDesc, Value};
+use xmlrt::XmlNode;
+
+use crate::error::SoapError;
+
+/// The `xsi:type` name for a [`TypeDesc`].
+pub fn xsi_type(ty: &TypeDesc) -> String {
+    match ty {
+        TypeDesc::Void => "xsd:anyType".into(),
+        TypeDesc::Bool => "xsd:boolean".into(),
+        TypeDesc::Int => "xsd:int".into(),
+        TypeDesc::Long => "xsd:long".into(),
+        TypeDesc::Float => "xsd:float".into(),
+        TypeDesc::Double => "xsd:double".into(),
+        TypeDesc::Char => "tns:char".into(),
+        TypeDesc::Str => "xsd:string".into(),
+        TypeDesc::Named(n) => format!("tns:{n}"),
+        TypeDesc::Seq(_) => "soapenc:Array".into(),
+    }
+}
+
+/// Parses an `xsi:type` name back to a [`TypeDesc`].
+///
+/// # Errors
+///
+/// Returns [`SoapError::BadType`] for unknown names. Arrays need the
+/// element node for their item type, so `soapenc:Array` is rejected here
+/// (handled in [`decode_value`]).
+pub fn type_from_xsi(name: &str) -> Result<TypeDesc, SoapError> {
+    let local = name.rsplit(':').next().unwrap_or(name);
+    Ok(match local {
+        "anyType" => TypeDesc::Void,
+        "boolean" => TypeDesc::Bool,
+        "int" => TypeDesc::Int,
+        "long" => TypeDesc::Long,
+        "float" => TypeDesc::Float,
+        "double" => TypeDesc::Double,
+        "char" => TypeDesc::Char,
+        "string" => TypeDesc::Str,
+        "Array" => {
+            return Err(SoapError::BadType(
+                "array type requires an itemType attribute".into(),
+            ))
+        }
+        other => TypeDesc::Named(other.to_string()),
+    })
+}
+
+/// The item-type attribute value for a sequence. Nested sequences use the
+/// SOAP-encoding array-suffix notation (`xsd:int[]`), so arbitrarily deep
+/// nesting round-trips.
+pub fn array_item_type(elem: &TypeDesc) -> String {
+    match elem {
+        TypeDesc::Seq(inner) => format!("{}[]", array_item_type(inner)),
+        other => xsi_type(other),
+    }
+}
+
+/// Parses an item-type attribute written by [`array_item_type`].
+///
+/// # Errors
+///
+/// Returns [`SoapError::BadType`] for unknown names.
+pub fn parse_item_type(name: &str) -> Result<TypeDesc, SoapError> {
+    if let Some(inner) = name.strip_suffix("[]") {
+        return Ok(TypeDesc::Seq(Box::new(parse_item_type(inner)?)));
+    }
+    if name == "soapenc:Array" {
+        return Err(SoapError::BadType(
+            "anonymous array type (use the `T[]` item-type notation)".into(),
+        ));
+    }
+    type_from_xsi(name)
+}
+
+/// Encodes `value` as an element named `name` appended to `parent`.
+pub fn encode_value(parent: &mut XmlNode, name: &str, value: &Value) {
+    let mut node = XmlNode::new(name);
+    match value {
+        Value::Null => {
+            node.set_attr("xsi:nil", "true");
+        }
+        Value::Bool(b) => {
+            node.set_attr("xsi:type", "xsd:boolean")
+                .set_text(b.to_string());
+        }
+        Value::Int(i) => {
+            node.set_attr("xsi:type", "xsd:int").set_text(i.to_string());
+        }
+        Value::Long(l) => {
+            node.set_attr("xsi:type", "xsd:long")
+                .set_text(l.to_string());
+        }
+        Value::Float(x) => {
+            node.set_attr("xsi:type", "xsd:float")
+                .set_text(format_float(f64::from(*x)));
+        }
+        Value::Double(x) => {
+            node.set_attr("xsi:type", "xsd:double")
+                .set_text(format_float(*x));
+        }
+        Value::Char(c) => {
+            node.set_attr("xsi:type", "tns:char")
+                .set_text(c.to_string());
+        }
+        Value::Str(s) => {
+            node.set_attr("xsi:type", "xsd:string").set_text(s.clone());
+        }
+        Value::Struct(s) => {
+            node.set_attr("xsi:type", format!("tns:{}", s.type_name));
+            for (field_name, field_value) in &s.fields {
+                encode_value(&mut node, field_name, field_value);
+            }
+        }
+        Value::Seq(elem, items) => {
+            node.set_attr("xsi:type", "soapenc:Array");
+            node.set_attr("soapenc:itemType", array_item_type(elem));
+            for item in items {
+                encode_value(&mut node, "item", item);
+            }
+        }
+    }
+    parent.push_child(node);
+}
+
+fn format_float(x: f64) -> String {
+    if x == x.trunc() && x.is_finite() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Decodes the value encoded in `node` (an element produced by
+/// [`encode_value`]).
+///
+/// # Errors
+///
+/// Returns [`SoapError::BadType`] for unknown `xsi:type`s or text that does
+/// not parse as the declared type.
+pub fn decode_value(node: &XmlNode) -> Result<Value, SoapError> {
+    if node.attr("nil") == Some("true") {
+        return Ok(Value::Null);
+    }
+    let ty_name = node
+        .attr("type")
+        .ok_or_else(|| SoapError::BadType(format!("element {} has no xsi:type", node.name())))?;
+    let local = ty_name.rsplit(':').next().unwrap_or(ty_name);
+    let text = node.text();
+    let bad = |what: &str| SoapError::BadType(format!("{what}: {text:?} for {ty_name}"));
+    match local {
+        "boolean" => text.parse().map(Value::Bool).map_err(|_| bad("boolean")),
+        "int" => text.parse().map(Value::Int).map_err(|_| bad("int")),
+        "long" => text.parse().map(Value::Long).map_err(|_| bad("long")),
+        "float" => text.parse().map(Value::Float).map_err(|_| bad("float")),
+        "double" => text.parse().map(Value::Double).map_err(|_| bad("double")),
+        "char" => {
+            let mut chars = node.raw_text().chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) => Ok(Value::Char(c)),
+                (None, _) => Ok(Value::Char('\0')),
+                _ => Err(bad("char")),
+            }
+        }
+        "string" => Ok(Value::Str(node.raw_text().to_string())),
+        "Array" => {
+            let item_ty_name = node
+                .attr("itemType")
+                .ok_or_else(|| SoapError::BadType("array without itemType".into()))?;
+            let elem = parse_item_type(item_ty_name)?;
+            let mut items = Vec::new();
+            for child in node.children_named("item") {
+                items.push(decode_value(child)?);
+            }
+            Ok(Value::Seq(elem, items))
+        }
+        type_name => {
+            let mut s = StructValue::new(type_name);
+            for child in node.children() {
+                s.fields
+                    .push((child.local_name().to_string(), decode_value(child)?));
+            }
+            Ok(Value::Struct(s))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut parent = XmlNode::new("parent");
+        encode_value(&mut parent, "v", v);
+        let xml = parent.to_xml();
+        let parsed = XmlNode::parse(&xml).unwrap();
+        decode_value(parsed.child("v").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Long(1 << 40),
+            Value::Float(1.5),
+            Value::Double(-2.25),
+            Value::Char('x'),
+            Value::Char('\u{4e2d}'),
+            Value::Str("hello <world> & friends".into()),
+            Value::Str(String::new()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let v = Value::Struct(
+            StructValue::new("Point")
+                .with("x", Value::Int(1))
+                .with("label", Value::Str("origin".into()))
+                .with(
+                    "nested",
+                    Value::Struct(StructValue::new("Inner").with("b", Value::Bool(true))),
+                ),
+        );
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let v = Value::Seq(
+            TypeDesc::Int,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        );
+        assert_eq!(roundtrip(&v), v);
+        let empty = Value::Seq(TypeDesc::Str, vec![]);
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn nested_seq_roundtrip() {
+        let grid = Value::Seq(
+            TypeDesc::Seq(Box::new(TypeDesc::Int)),
+            vec![
+                Value::Seq(TypeDesc::Int, vec![Value::Int(1), Value::Int(2)]),
+                Value::Seq(TypeDesc::Int, vec![]),
+            ],
+        );
+        assert_eq!(roundtrip(&grid), grid);
+        // Triple nesting, too.
+        let cube = Value::Seq(
+            TypeDesc::Seq(Box::new(TypeDesc::Seq(Box::new(TypeDesc::Str)))),
+            vec![Value::Seq(
+                TypeDesc::Seq(Box::new(TypeDesc::Str)),
+                vec![Value::Seq(TypeDesc::Str, vec![Value::Str("x".into())])],
+            )],
+        );
+        assert_eq!(roundtrip(&cube), cube);
+    }
+
+    #[test]
+    fn item_type_notation() {
+        assert_eq!(array_item_type(&TypeDesc::Int), "xsd:int");
+        assert_eq!(
+            array_item_type(&TypeDesc::Seq(Box::new(TypeDesc::Int))),
+            "xsd:int[]"
+        );
+        assert_eq!(
+            parse_item_type("xsd:int[]").unwrap(),
+            TypeDesc::Seq(Box::new(TypeDesc::Int))
+        );
+        assert_eq!(
+            parse_item_type("tns:P[][]").unwrap(),
+            TypeDesc::Seq(Box::new(TypeDesc::Seq(Box::new(TypeDesc::Named(
+                "P".into()
+            )))))
+        );
+        assert!(parse_item_type("soapenc:Array").is_err());
+    }
+
+    #[test]
+    fn seq_of_structs_roundtrip() {
+        let v = Value::Seq(
+            TypeDesc::Named("P".into()),
+            vec![
+                Value::Struct(StructValue::new("P").with("x", Value::Int(1))),
+                Value::Struct(StructValue::new("P").with("x", Value::Int(2))),
+            ],
+        );
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn whitespace_string_preserved() {
+        let v = Value::Str("  padded  ".into());
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn missing_type_rejected() {
+        let node = XmlNode::parse("<v>5</v>").unwrap();
+        assert!(decode_value(&node).is_err());
+    }
+
+    #[test]
+    fn bad_literal_rejected() {
+        let node = XmlNode::parse("<v xsi:type=\"xsd:int\">banana</v>").unwrap();
+        assert!(matches!(decode_value(&node), Err(SoapError::BadType(_))));
+    }
+
+    #[test]
+    fn array_without_item_type_rejected() {
+        let node = XmlNode::parse("<v xsi:type=\"soapenc:Array\"/>").unwrap();
+        assert!(decode_value(&node).is_err());
+    }
+
+    #[test]
+    fn xsi_type_names() {
+        assert_eq!(xsi_type(&TypeDesc::Int), "xsd:int");
+        assert_eq!(xsi_type(&TypeDesc::Named("Msg".into())), "tns:Msg");
+        assert_eq!(type_from_xsi("xsd:double").unwrap(), TypeDesc::Double);
+        assert_eq!(
+            type_from_xsi("tns:Msg").unwrap(),
+            TypeDesc::Named("Msg".into())
+        );
+        assert!(type_from_xsi("soapenc:Array").is_err());
+    }
+
+    #[test]
+    fn float_formatting_stable() {
+        assert_eq!(format_float(2.0), "2.0");
+        assert_eq!(format_float(2.5), "2.5");
+    }
+}

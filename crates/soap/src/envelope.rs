@@ -1,0 +1,385 @@
+//! SOAP 1.1 envelopes: requests, responses and faults.
+
+use jpie::Value;
+use xmlrt::{XmlNode, XmlWriter};
+
+use crate::encoding::{decode_value, encode_value};
+use crate::error::SoapError;
+
+const ENVELOPE_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+const XSI_NS: &str = "http://www.w3.org/2001/XMLSchema-instance";
+const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
+const SOAPENC_NS: &str = "http://schemas.xmlsoap.org/soap/encoding/";
+
+/// SOAP 1.1 fault code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// `soapenv:Client` — the message was the client's fault (malformed
+    /// request, unknown method).
+    Client,
+    /// `soapenv:Server` — the server could not process a valid message
+    /// (uninitialized server, application exception).
+    Server,
+}
+
+impl FaultCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultCode::Client => "soapenv:Client",
+            FaultCode::Server => "soapenv:Server",
+        }
+    }
+
+    fn parse(s: &str) -> FaultCode {
+        if s.ends_with("Client") {
+            FaultCode::Client
+        } else {
+            FaultCode::Server
+        }
+    }
+}
+
+/// A SOAP fault, carrying the error strings the paper's handlers send
+/// (§5.1.3): `Server not initialized`, `Malformed SOAP Request`,
+/// `Non existent Method`, or an application exception message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoapFault {
+    /// Client or Server fault.
+    pub code: FaultCode,
+    /// Human-readable fault string.
+    pub fault_string: String,
+    /// Optional detail (e.g. the wrapped application exception).
+    pub detail: Option<String>,
+}
+
+impl SoapFault {
+    /// Creates a fault.
+    pub fn new(code: FaultCode, fault_string: impl Into<String>) -> SoapFault {
+        SoapFault {
+            code,
+            fault_string: fault_string.into(),
+            detail: None,
+        }
+    }
+
+    /// Adds a detail string.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> SoapFault {
+        self.detail = Some(detail.into());
+        self
+    }
+
+    /// The paper's "Server not initialized" fault (§5.1.3).
+    pub fn server_not_initialized() -> SoapFault {
+        SoapFault::new(FaultCode::Server, "Server not initialized")
+    }
+
+    /// The paper's "Malformed SOAP Request" fault (§5.1.3).
+    pub fn malformed_request(detail: impl Into<String>) -> SoapFault {
+        SoapFault::new(FaultCode::Client, "Malformed SOAP Request").with_detail(detail)
+    }
+
+    /// The paper's "Non existent Method" fault (§5.1.3, §5.7).
+    pub fn non_existent_method(method: &str) -> SoapFault {
+        SoapFault::new(FaultCode::Client, "Non existent Method").with_detail(method.to_string())
+    }
+
+    /// Wraps an application exception thrown by the server method.
+    pub fn application_exception(message: impl Into<String>) -> SoapFault {
+        SoapFault::new(FaultCode::Server, "Application Exception").with_detail(message)
+    }
+
+    /// Whether this is the stale-method fault that triggers the CDE update
+    /// protocol (§6).
+    pub fn is_non_existent_method(&self) -> bool {
+        self.fault_string == "Non existent Method"
+    }
+}
+
+impl std::fmt::Display for SoapFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.fault_string)?;
+        if let Some(d) = &self.detail {
+            write!(f, " ({d})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A SOAP request: a method invocation with named arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoapRequest {
+    namespace: String,
+    method: String,
+    args: Vec<(String, Value)>,
+}
+
+impl SoapRequest {
+    /// Creates a request for `method` in `namespace` (e.g. `urn:calc`).
+    pub fn new(namespace: impl Into<String>, method: impl Into<String>) -> SoapRequest {
+        SoapRequest {
+            namespace: namespace.into(),
+            method: method.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends a named argument.
+    pub fn arg(mut self, name: impl Into<String>, value: Value) -> SoapRequest {
+        self.args.push((name.into(), value));
+        self
+    }
+
+    /// Target namespace.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Method name.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Arguments in order.
+    pub fn args(&self) -> &[(String, Value)] {
+        &self.args
+    }
+
+    /// Serializes the request envelope.
+    pub fn to_xml(&self) -> String {
+        let mut body = XmlNode::new(format!("ns1:{}", self.method));
+        body.set_attr("xmlns:ns1", &self.namespace);
+        for (name, value) in &self.args {
+            encode_value(&mut body, name, value);
+        }
+        envelope_around(body)
+    }
+}
+
+/// A decoded SOAP response: either a return value or a fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoapResponse {
+    /// Normal completion with the (possibly `Null`) return value.
+    Ok(Value),
+    /// A SOAP fault.
+    Fault(SoapFault),
+}
+
+impl SoapResponse {
+    /// Serializes a success response envelope for `method`.
+    pub fn encode_ok(method: &str, namespace: &str, value: &Value) -> String {
+        let mut body = XmlNode::new(format!("ns1:{method}Response"));
+        body.set_attr("xmlns:ns1", namespace);
+        encode_value(&mut body, "return", value);
+        envelope_around(body)
+    }
+
+    /// Serializes a fault envelope.
+    pub fn encode_fault(fault: &SoapFault) -> String {
+        let mut node = XmlNode::new("soapenv:Fault");
+        let mut code = XmlNode::new("faultcode");
+        code.set_text(fault.code.as_str());
+        node.push_child(code);
+        let mut fs = XmlNode::new("faultstring");
+        fs.set_text(fault.fault_string.clone());
+        node.push_child(fs);
+        if let Some(d) = &fault.detail {
+            let mut detail = XmlNode::new("detail");
+            detail.set_text(d.clone());
+            node.push_child(detail);
+        }
+        envelope_around(node)
+    }
+}
+
+fn envelope_around(body_content: XmlNode) -> String {
+    let mut w = XmlWriter::new();
+    w.declaration().expect("fresh writer");
+    let mut env = XmlNode::new("soapenv:Envelope");
+    env.set_attr("xmlns:soapenv", ENVELOPE_NS)
+        .set_attr("xmlns:xsd", XSD_NS)
+        .set_attr("xmlns:xsi", XSI_NS)
+        .set_attr("xmlns:soapenc", SOAPENC_NS);
+    let mut body = XmlNode::new("soapenv:Body");
+    body.push_child(body_content);
+    env.push_child(body);
+    let mut out = w.finish();
+    out.push_str(&env.to_xml());
+    out
+}
+
+fn body_of(xml: &str) -> Result<XmlNode, SoapError> {
+    let doc = XmlNode::parse(xml)?;
+    if doc.local_name() != "Envelope" {
+        return Err(SoapError::Malformed(format!(
+            "root element is <{}>, not a SOAP Envelope",
+            doc.name()
+        )));
+    }
+    let body = doc
+        .child("Body")
+        .ok_or_else(|| SoapError::Malformed("envelope has no Body".into()))?;
+    Ok(body.clone())
+}
+
+/// Decodes a request envelope (the server side of Fig 1 step 2).
+///
+/// # Errors
+///
+/// Returns [`SoapError::Malformed`] when the XML is not a SOAP request —
+/// the condition the call handler reports as a *Malformed SOAP Request*
+/// fault.
+pub fn decode_request(xml: &str) -> Result<SoapRequest, SoapError> {
+    let body = body_of(xml)?;
+    let call = body
+        .children()
+        .first()
+        .ok_or_else(|| SoapError::Malformed("empty Body".into()))?;
+    let namespace = call
+        .attr("xmlns:ns1")
+        .or_else(|| call.attr("ns1"))
+        .unwrap_or("")
+        .to_string();
+    let mut args = Vec::new();
+    for child in call.children() {
+        args.push((child.local_name().to_string(), decode_value(child)?));
+    }
+    Ok(SoapRequest {
+        namespace,
+        method: call.local_name().to_string(),
+        args,
+    })
+}
+
+/// Decodes a response envelope (the client side of Fig 1 step 3).
+///
+/// # Errors
+///
+/// Returns [`SoapError::Malformed`] for non-SOAP payloads.
+pub fn decode_response(xml: &str) -> Result<SoapResponse, SoapError> {
+    let body = body_of(xml)?;
+    if let Some(fault) = body.child("Fault") {
+        let code = fault.child("faultcode").map(|c| c.text()).unwrap_or("");
+        let fault_string = fault
+            .child("faultstring")
+            .map(|c| c.text().to_string())
+            .unwrap_or_default();
+        let detail = fault.child("detail").map(|c| c.text().to_string());
+        return Ok(SoapResponse::Fault(SoapFault {
+            code: FaultCode::parse(code),
+            fault_string,
+            detail,
+        }));
+    }
+    let resp = body
+        .children()
+        .first()
+        .ok_or_else(|| SoapError::Malformed("empty Body".into()))?;
+    match resp.child("return") {
+        Some(ret) => Ok(SoapResponse::Ok(decode_value(ret)?)),
+        None => Ok(SoapResponse::Ok(Value::Null)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jpie::{StructValue, TypeDesc};
+
+    #[test]
+    fn request_roundtrip() {
+        let req = SoapRequest::new("urn:calc", "add")
+            .arg("a", Value::Int(2))
+            .arg("b", Value::Double(3.5))
+            .arg("tag", Value::Str("x < y".into()));
+        let xml = req.to_xml();
+        assert!(xml.starts_with("<?xml"));
+        let back = decode_request(&xml).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.namespace(), "urn:calc");
+    }
+
+    #[test]
+    fn request_with_complex_args() {
+        let req = SoapRequest::new("urn:mail", "send").arg(
+            "msg",
+            Value::Struct(
+                StructValue::new("Message")
+                    .with("to", Value::Str("kjg".into()))
+                    .with(
+                        "cc",
+                        Value::Seq(TypeDesc::Str, vec![Value::Str("sajeeva".into())]),
+                    ),
+            ),
+        );
+        let back = decode_request(&req.to_xml()).unwrap();
+        assert_eq!(back.args()[0].1, req.args()[0].1);
+    }
+
+    #[test]
+    fn ok_response_roundtrip() {
+        let xml = SoapResponse::encode_ok("add", "urn:calc", &Value::Int(5));
+        match decode_response(&xml).unwrap() {
+            SoapResponse::Ok(v) => assert_eq!(v, Value::Int(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn void_response_roundtrip() {
+        let xml = SoapResponse::encode_ok("ping", "urn:x", &Value::Null);
+        match decode_response(&xml).unwrap() {
+            SoapResponse::Ok(v) => assert_eq!(v, Value::Null),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_roundtrip_all_standard_faults() {
+        for fault in [
+            SoapFault::server_not_initialized(),
+            SoapFault::malformed_request("bad xml"),
+            SoapFault::non_existent_method("add"),
+            SoapFault::application_exception("kaboom"),
+        ] {
+            let xml = SoapResponse::encode_fault(&fault);
+            match decode_response(&xml).unwrap() {
+                SoapResponse::Fault(f) => assert_eq!(f, fault),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_existent_method_detection() {
+        assert!(SoapFault::non_existent_method("m").is_non_existent_method());
+        assert!(!SoapFault::server_not_initialized().is_non_existent_method());
+    }
+
+    #[test]
+    fn fault_code_parsing() {
+        assert_eq!(FaultCode::parse("soapenv:Client"), FaultCode::Client);
+        assert_eq!(FaultCode::parse("soapenv:Server"), FaultCode::Server);
+        assert_eq!(FaultCode::parse("anything"), FaultCode::Server);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        for bad in [
+            "not xml at all",
+            "<notsoap/>",
+            "<soapenv:Envelope/>",
+            "<soapenv:Envelope><soapenv:Body/></soapenv:Envelope>",
+        ] {
+            assert!(decode_request(bad).is_err(), "{bad}");
+        }
+        assert!(decode_response("<wrong/>").is_err());
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = SoapFault::non_existent_method("add");
+        let s = f.to_string();
+        assert!(s.contains("Non existent Method"));
+        assert!(s.contains("add"));
+    }
+}

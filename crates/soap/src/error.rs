@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+use xmlrt::XmlError;
+
+/// Error produced while encoding or decoding SOAP/WSDL documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoapError {
+    /// The bytes are not well-formed XML, or not a SOAP envelope — the
+    /// condition the paper's call handler answers with a *"Malformed SOAP
+    /// Request"* fault (§5.1.3).
+    Malformed(String),
+    /// Well-formed XML, but an unknown or inconsistent `xsi:type`.
+    BadType(String),
+    /// A WSDL document missing a required element.
+    BadWsdl(String),
+}
+
+impl fmt::Display for SoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapError::Malformed(m) => write!(f, "malformed soap message: {m}"),
+            SoapError::BadType(m) => write!(f, "bad soap value type: {m}"),
+            SoapError::BadWsdl(m) => write!(f, "bad wsdl document: {m}"),
+        }
+    }
+}
+
+impl Error for SoapError {}
+
+impl From<XmlError> for SoapError {
+    fn from(e: XmlError) -> Self {
+        SoapError::Malformed(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_error_converts() {
+        let xml_err = xmlrt::XmlNode::parse("<oops").unwrap_err();
+        let e: SoapError = xml_err.into();
+        assert!(matches!(e, SoapError::Malformed(_)));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Send + Sync + Error + 'static>() {}
+        assert_traits::<SoapError>();
+    }
+}

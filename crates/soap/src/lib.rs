@@ -1,0 +1,46 @@
+//! # soap — SOAP 1.1 envelopes and WSDL 1.1 documents
+//!
+//! The Web Services substrate of the reproduction, standing in for Apache
+//! Axis. Covers exactly what the paper's SOAP subsystem (§2.1, §5.1) needs:
+//!
+//! * [`encoding`] — mapping between [`jpie::Value`]s and SOAP-encoded XML
+//!   (`xsi:type`-annotated elements, including user-defined complex types
+//!   and arrays, which WSDL "permits ... using XML" per §2.1),
+//! * [`SoapRequest`] / [`SoapResponse`] / [`SoapFault`] — envelope
+//!   encoding and decoding for the request/response/fault paths, with the
+//!   fault messages the paper enumerates (`Server not initialized`,
+//!   `Malformed SOAP Request`, `Non existent Method`),
+//! * [`WsdlDocument`] — a WSDL 1.1 model with both a generator (the server
+//!   side's WSDL Generator, §5.1) and a parser (the client side's "WSDL
+//!   compiler", Fig 1), including the *minimal WSDL document* that SDE
+//!   publishes at initialization (§5.1.1: endpoint address, no
+//!   operations).
+//!
+//! # Examples
+//!
+//! ```
+//! use jpie::Value;
+//! use soap::{SoapRequest, decode_request};
+//!
+//! # fn main() -> Result<(), soap::SoapError> {
+//! let req = SoapRequest::new("urn:calc", "add")
+//!     .arg("a", Value::Int(2))
+//!     .arg("b", Value::Int(3));
+//! let xml = req.to_xml();
+//! let back = decode_request(&xml)?;
+//! assert_eq!(back.method(), "add");
+//! assert_eq!(back.args()[1].1, Value::Int(3));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod encoding;
+mod envelope;
+mod error;
+mod wsdl;
+
+pub use envelope::{
+    decode_request, decode_response, FaultCode, SoapFault, SoapRequest, SoapResponse,
+};
+pub use error::SoapError;
+pub use wsdl::{WsdlDocument, WsdlOperation};

@@ -1,0 +1,440 @@
+//! WSDL 1.1 documents: generation (server side) and parsing (client side).
+//!
+//! The WSDL Generator of the paper's SOAP subsystem (§5.1) creates these
+//! documents from the current set of `distributed` methods; the client
+//! side "WSDL compiler" (Fig 1) parses them back into method stubs.
+//!
+//! Two fidelity notes:
+//!
+//! * SDE publishes a **minimal WSDL document** at initialization — it
+//!   "contains the SOAP Endpoint address but does not contain any server
+//!   operation definitions" (§5.1.1 fn 1). [`WsdlDocument::minimal`]
+//!   produces exactly that.
+//! * The generator stamps the class's **interface version** into the
+//!   document (`lr:interfaceVersion` attribute). The paper's §6 recency
+//!   guarantee is stated in terms of "a published server interface at
+//!   least as recent as the interface used by the server" — the version
+//!   stamp is what makes recency observable (and testable).
+
+use jpie::{SignatureView, TypeDesc};
+use xmlrt::XmlNode;
+
+use crate::encoding::{type_from_xsi, xsi_type};
+use crate::error::SoapError;
+
+/// One operation (remote method) in a WSDL document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsdlOperation {
+    /// Operation name.
+    pub name: String,
+    /// `(name, type)` of each parameter, in order.
+    pub params: Vec<(String, TypeDesc)>,
+    /// Return type ([`TypeDesc::Void`] for one-way results).
+    pub return_ty: TypeDesc,
+}
+
+impl WsdlOperation {
+    /// Builds an operation from a dynamic-class signature view.
+    pub fn from_signature(sig: &SignatureView) -> WsdlOperation {
+        WsdlOperation {
+            name: sig.name.clone(),
+            params: sig
+                .params
+                .iter()
+                .map(|(_, n, t)| (n.clone(), t.clone()))
+                .collect(),
+            return_ty: sig.return_ty.clone(),
+        }
+    }
+}
+
+/// A WSDL 1.1 document: service name, endpoint address, operations, and
+/// the interface version stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsdlDocument {
+    /// Service (class) name.
+    pub service_name: String,
+    /// SOAP endpoint URL clients post requests to.
+    pub endpoint: String,
+    /// Published operations. Empty for the minimal document.
+    pub operations: Vec<WsdlOperation>,
+    /// Interface version of the dynamic class when this document was
+    /// generated.
+    pub version: u64,
+}
+
+impl WsdlDocument {
+    /// The minimal document published at server initialization (§5.1.1):
+    /// endpoint only, no operations, version 0.
+    pub fn minimal(service_name: impl Into<String>, endpoint: impl Into<String>) -> WsdlDocument {
+        WsdlDocument {
+            service_name: service_name.into(),
+            endpoint: endpoint.into(),
+            operations: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// Builds a document from the distributed signatures of a class.
+    pub fn from_signatures(
+        service_name: impl Into<String>,
+        endpoint: impl Into<String>,
+        signatures: &[SignatureView],
+        version: u64,
+    ) -> WsdlDocument {
+        WsdlDocument {
+            service_name: service_name.into(),
+            endpoint: endpoint.into(),
+            operations: signatures
+                .iter()
+                .map(WsdlOperation::from_signature)
+                .collect(),
+            version,
+        }
+    }
+
+    /// The target namespace (`urn:<service>`), used in SOAP request
+    /// envelopes.
+    pub fn namespace(&self) -> String {
+        format!("urn:{}", self.service_name)
+    }
+
+    /// Looks up an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&WsdlOperation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// The SOAPAction value for an operation (`urn:Service#operation`),
+    /// sent in the HTTP `SOAPAction` header as Axis did.
+    pub fn soap_action(&self, operation: &str) -> String {
+        format!("{}#{operation}", self.namespace())
+    }
+
+    /// Serializes this document as WSDL 1.1 XML.
+    pub fn to_xml(&self) -> String {
+        let mut defs = XmlNode::new("wsdl:definitions");
+        defs.set_attr("xmlns:wsdl", "http://schemas.xmlsoap.org/wsdl/")
+            .set_attr("xmlns:soap", "http://schemas.xmlsoap.org/wsdl/soap/")
+            .set_attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema")
+            .set_attr("xmlns:tns", self.namespace())
+            .set_attr("targetNamespace", self.namespace())
+            .set_attr("name", &self.service_name)
+            .set_attr("lr:interfaceVersion", self.version.to_string());
+
+        // Messages: one input and one output per operation.
+        for op in &self.operations {
+            let mut input = XmlNode::new("wsdl:message");
+            input.set_attr("name", format!("{}Request", op.name));
+            for (pname, pty) in &op.params {
+                input.push_child(part_node(pname, pty));
+            }
+            defs.push_child(input);
+
+            let mut output = XmlNode::new("wsdl:message");
+            output.set_attr("name", format!("{}Response", op.name));
+            if op.return_ty != TypeDesc::Void {
+                output.push_child(part_node("return", &op.return_ty));
+            }
+            defs.push_child(output);
+        }
+
+        // Port type listing the operations.
+        let mut port_type = XmlNode::new("wsdl:portType");
+        port_type.set_attr("name", format!("{}PortType", self.service_name));
+        for op in &self.operations {
+            let mut operation = XmlNode::new("wsdl:operation");
+            operation.set_attr("name", &op.name);
+            let mut input = XmlNode::new("wsdl:input");
+            input.set_attr("message", format!("tns:{}Request", op.name));
+            operation.push_child(input);
+            let mut output = XmlNode::new("wsdl:output");
+            output.set_attr("message", format!("tns:{}Response", op.name));
+            operation.push_child(output);
+            port_type.push_child(operation);
+        }
+        defs.push_child(port_type);
+
+        // RPC/encoded binding (what Axis produced in 2004), with a
+        // soap:operation carrying the SOAPAction for each operation.
+        let mut binding = XmlNode::new("wsdl:binding");
+        binding
+            .set_attr("name", format!("{}Binding", self.service_name))
+            .set_attr("type", format!("tns:{}PortType", self.service_name));
+        let mut soap_binding = XmlNode::new("soap:binding");
+        soap_binding
+            .set_attr("style", "rpc")
+            .set_attr("transport", "http://schemas.xmlsoap.org/soap/http");
+        binding.push_child(soap_binding);
+        for op in &self.operations {
+            let mut operation = XmlNode::new("wsdl:operation");
+            operation.set_attr("name", &op.name);
+            let mut soap_op = XmlNode::new("soap:operation");
+            soap_op.set_attr("soapAction", self.soap_action(&op.name));
+            operation.push_child(soap_op);
+            binding.push_child(operation);
+        }
+        defs.push_child(binding);
+
+        // Service with the endpoint address.
+        let mut service = XmlNode::new("wsdl:service");
+        service.set_attr("name", &self.service_name);
+        let mut port = XmlNode::new("wsdl:port");
+        port.set_attr("name", format!("{}Port", self.service_name))
+            .set_attr("binding", format!("tns:{}Binding", self.service_name));
+        let mut address = XmlNode::new("soap:address");
+        address.set_attr("location", &self.endpoint);
+        port.push_child(address);
+        service.push_child(port);
+        defs.push_child(service);
+
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>{}",
+            defs.to_xml()
+        )
+    }
+
+    /// Parses a WSDL document produced by [`WsdlDocument::to_xml`] (the
+    /// client-side WSDL compiler of Fig 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoapError::BadWsdl`] when required elements are missing,
+    /// or [`SoapError::Malformed`] for non-XML input.
+    pub fn parse(xml: &str) -> Result<WsdlDocument, SoapError> {
+        let doc = XmlNode::parse(xml)?;
+        if doc.local_name() != "definitions" {
+            return Err(SoapError::BadWsdl(format!(
+                "root element <{}> is not wsdl:definitions",
+                doc.name()
+            )));
+        }
+        let service_name = doc
+            .attr("name")
+            .ok_or_else(|| SoapError::BadWsdl("definitions has no name".into()))?
+            .to_string();
+        let version = doc
+            .attr("interfaceVersion")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let endpoint = doc
+            .child("service")
+            .and_then(|s| s.child("port"))
+            .and_then(|p| p.child("address"))
+            .and_then(|a| a.attr("location"))
+            .ok_or_else(|| SoapError::BadWsdl("no soap:address location".into()))?
+            .to_string();
+
+        let mut operations = Vec::new();
+        if let Some(port_type) = doc.child("portType") {
+            for op_node in port_type.children_named("operation") {
+                let name = op_node
+                    .attr("name")
+                    .ok_or_else(|| SoapError::BadWsdl("operation without name".into()))?
+                    .to_string();
+                let params = Self::message_parts(&doc, &format!("{name}Request"))?;
+                let outputs = Self::message_parts(&doc, &format!("{name}Response"))?;
+                let return_ty = outputs
+                    .into_iter()
+                    .find(|(n, _)| n == "return")
+                    .map(|(_, t)| t)
+                    .unwrap_or(TypeDesc::Void);
+                operations.push(WsdlOperation {
+                    name,
+                    params,
+                    return_ty,
+                });
+            }
+        }
+        Ok(WsdlDocument {
+            service_name,
+            endpoint,
+            operations,
+            version,
+        })
+    }
+
+    fn message_parts(
+        doc: &XmlNode,
+        message_name: &str,
+    ) -> Result<Vec<(String, TypeDesc)>, SoapError> {
+        let message = doc
+            .children_named("message")
+            .find(|m| m.attr("name") == Some(message_name))
+            .ok_or_else(|| SoapError::BadWsdl(format!("missing message {message_name}")))?;
+        let mut parts = Vec::new();
+        for part in message.children_named("part") {
+            let name = part
+                .attr("name")
+                .ok_or_else(|| SoapError::BadWsdl("part without name".into()))?
+                .to_string();
+            let ty_name = part
+                .attr("type")
+                .ok_or_else(|| SoapError::BadWsdl("part without type".into()))?;
+            let ty = if ty_name == "soapenc:Array" {
+                // Arrays in part types carry the item type in lr:itemType.
+                let item = part
+                    .attr("itemType")
+                    .ok_or_else(|| SoapError::BadWsdl("array part without itemType".into()))?;
+                TypeDesc::Seq(Box::new(
+                    crate::encoding::parse_item_type(item)
+                        .map_err(|e| SoapError::BadWsdl(e.to_string()))?,
+                ))
+            } else {
+                type_from_xsi(ty_name)?
+            };
+            parts.push((name, ty));
+        }
+        Ok(parts)
+    }
+}
+
+/// Builds a `wsdl:part` element for one parameter, writing the item type
+/// alongside array types so they survive the round trip.
+fn part_node(name: &str, ty: &TypeDesc) -> XmlNode {
+    let mut part = XmlNode::new("wsdl:part");
+    part.set_attr("name", name);
+    if let TypeDesc::Seq(elem) = ty {
+        part.set_attr("type", "soapenc:Array")
+            .set_attr("lr:itemType", crate::encoding::array_item_type(elem));
+    } else {
+        part.set_attr("type", xsi_type(ty));
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WsdlDocument {
+        WsdlDocument {
+            service_name: "Calc".into(),
+            endpoint: "mem://calc/soap".into(),
+            operations: vec![
+                WsdlOperation {
+                    name: "add".into(),
+                    params: vec![("a".into(), TypeDesc::Int), ("b".into(), TypeDesc::Int)],
+                    return_ty: TypeDesc::Int,
+                },
+                WsdlOperation {
+                    name: "describe".into(),
+                    params: vec![("p".into(), TypeDesc::Named("Point".into()))],
+                    return_ty: TypeDesc::Str,
+                },
+                WsdlOperation {
+                    name: "reset".into(),
+                    params: vec![],
+                    return_ty: TypeDesc::Void,
+                },
+            ],
+            version: 7,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = sample();
+        let xml = doc.to_xml();
+        let back = WsdlDocument::parse(&xml).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn minimal_document_has_endpoint_but_no_operations() {
+        let doc = WsdlDocument::minimal("Calc", "tcp://127.0.0.1:9999/soap");
+        let xml = doc.to_xml();
+        let back = WsdlDocument::parse(&xml).unwrap();
+        assert_eq!(back.endpoint, "tcp://127.0.0.1:9999/soap");
+        assert!(back.operations.is_empty());
+        assert_eq!(back.version, 0);
+    }
+
+    #[test]
+    fn namespace_derived_from_service() {
+        assert_eq!(sample().namespace(), "urn:Calc");
+    }
+
+    #[test]
+    fn operation_lookup() {
+        let doc = sample();
+        assert!(doc.operation("add").is_some());
+        assert!(doc.operation("sub").is_none());
+    }
+
+    #[test]
+    fn version_survives_roundtrip() {
+        let mut doc = sample();
+        doc.version = 123;
+        assert_eq!(WsdlDocument::parse(&doc.to_xml()).unwrap().version, 123);
+    }
+
+    #[test]
+    fn array_params_roundtrip() {
+        let mut doc = sample();
+        doc.operations.push(WsdlOperation {
+            name: "sum".into(),
+            params: vec![("xs".into(), TypeDesc::Seq(Box::new(TypeDesc::Int)))],
+            return_ty: TypeDesc::Int,
+        });
+        let back = WsdlDocument::parse(&doc.to_xml()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn nested_array_params_roundtrip() {
+        let mut doc = sample();
+        doc.operations.push(WsdlOperation {
+            name: "grid".into(),
+            params: vec![(
+                "g".into(),
+                TypeDesc::Seq(Box::new(TypeDesc::Seq(Box::new(TypeDesc::Int)))),
+            )],
+            return_ty: TypeDesc::Seq(Box::new(TypeDesc::Str)),
+        });
+        let back = WsdlDocument::parse(&doc.to_xml()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn rejects_non_wsdl() {
+        assert!(WsdlDocument::parse("<html/>").is_err());
+        assert!(WsdlDocument::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_address() {
+        let xml = "<wsdl:definitions name=\"X\"/>";
+        assert!(matches!(
+            WsdlDocument::parse(xml),
+            Err(SoapError::BadWsdl(_))
+        ));
+    }
+
+    #[test]
+    fn from_signatures_maps_params() {
+        use jpie::{ClassHandle, MethodBuilder};
+        let class = ClassHandle::new("Svc");
+        class
+            .add_method(
+                MethodBuilder::new("greet", TypeDesc::Str)
+                    .param("who", TypeDesc::Str)
+                    .distributed(true),
+            )
+            .unwrap();
+        class
+            .add_method(MethodBuilder::new("hidden", TypeDesc::Void))
+            .unwrap();
+        let doc = WsdlDocument::from_signatures(
+            "Svc",
+            "mem://svc",
+            &class.distributed_signatures(),
+            class.interface_version(),
+        );
+        assert_eq!(doc.operations.len(), 1);
+        assert_eq!(doc.operations[0].name, "greet");
+        assert_eq!(
+            doc.operations[0].params,
+            vec![("who".into(), TypeDesc::Str)]
+        );
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing or writing XML.
+///
+/// Carries the byte offset at which the problem was detected (for parse
+/// errors) so malformed SOAP requests can be reported precisely, as the
+/// paper's call handlers do with their "Malformed SOAP Request" fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    /// Byte offset into the input, when known.
+    offset: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that is not legal at this position.
+    UnexpectedChar(char),
+    /// Close tag does not match the open tag.
+    MismatchedTag { open: String, close: String },
+    /// An entity reference that is not one of the five predefined ones
+    /// (or a valid character reference).
+    BadEntity(String),
+    /// Document contained no root element, or trailing garbage after it.
+    BadDocument(String),
+    /// Writer misuse, e.g. `end_elem` with no open element.
+    WriterMisuse(String),
+    /// An attribute appeared twice on the same element.
+    DuplicateAttr(String),
+    /// Name syntax violation (empty name, name starting with a digit, ...).
+    BadName(String),
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, offset: Option<usize>) -> Self {
+        XmlError { kind, offset }
+    }
+
+    pub(crate) fn at(kind: XmlErrorKind, offset: usize) -> Self {
+        Self::new(kind, Some(offset))
+    }
+
+    pub(crate) fn writer(msg: impl Into<String>) -> Self {
+        Self::new(XmlErrorKind::WriterMisuse(msg.into()), None)
+    }
+
+    /// Byte offset into the input at which the error was detected, if known.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+
+    /// Shifts a sub-parser-relative offset by `base` so errors found inside
+    /// an embedded slice point into the whole document.
+    pub(crate) fn shift_offset(mut self, base: usize) -> Self {
+        self.offset = Some(base + self.offset.unwrap_or(0));
+        self
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input")?,
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}")?,
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")?
+            }
+            XmlErrorKind::BadEntity(e) => write!(f, "unknown entity reference &{e};")?,
+            XmlErrorKind::BadDocument(m) => write!(f, "malformed document: {m}")?,
+            XmlErrorKind::WriterMisuse(m) => write!(f, "writer misuse: {m}")?,
+            XmlErrorKind::DuplicateAttr(a) => write!(f, "duplicate attribute {a:?}")?,
+            XmlErrorKind::BadName(n) => write!(f, "invalid XML name {n:?}")?,
+        }
+        if let Some(off) = self.offset {
+            write!(f, " at byte {off}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = XmlError::at(XmlErrorKind::UnexpectedChar('<'), 17);
+        let s = e.to_string();
+        assert!(s.contains("'<'"), "{s}");
+        assert!(s.contains("byte 17"), "{s}");
+        assert_eq!(e.offset(), Some(17));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + Error + 'static>() {}
+        assert_traits::<XmlError>();
+    }
+
+    #[test]
+    fn mismatched_tag_message() {
+        let e = XmlError::new(
+            XmlErrorKind::MismatchedTag {
+                open: "a".into(),
+                close: "b".into(),
+            },
+            None,
+        );
+        assert_eq!(e.to_string(), "mismatched tag: <a> closed by </b>");
+    }
+}

@@ -1,0 +1,172 @@
+//! Entity escaping and unescaping for XML character data and attributes.
+
+use crate::error::{XmlError, XmlErrorKind};
+
+/// Escapes character data for use inside element content.
+///
+/// Replaces `&`, `<` and `>` by their predefined entities. `>` is escaped
+/// defensively (only `]]>` strictly requires it) so output is safe to embed
+/// anywhere.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(xmlrt::escape("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes text for use inside a double-quoted attribute value.
+///
+/// In addition to the content escapes, `"` becomes `&quot;` and newlines and
+/// tabs become character references so they survive attribute-value
+/// normalization.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(xmlrt::escape_attr("say \"hi\""), "say &quot;hi&quot;");
+/// ```
+pub fn escape_attr(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expands the five predefined entities and numeric character references.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on an unterminated reference, an unknown named
+/// entity, or a numeric reference that is not a valid Unicode scalar value.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), xmlrt::XmlError> {
+/// assert_eq!(xmlrt::unescape("1 &lt; 2 &amp;&amp; 3 &gt; 2")?, "1 < 2 && 3 > 2");
+/// assert_eq!(xmlrt::unescape("&#65;&#x42;")?, "AB");
+/// # Ok(())
+/// # }
+/// ```
+pub fn unescape(text: &str) -> Result<String, XmlError> {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            let semi = text[i..]
+                .find(';')
+                .ok_or_else(|| XmlError::at(XmlErrorKind::BadEntity(text[i + 1..].into()), i))?;
+            let name = &text[i + 1..i + semi];
+            out.push_str(&expand_entity(name, i)?);
+            i += semi + 1;
+        } else {
+            // Advance one whole UTF-8 character.
+            let c = text[i..].chars().next().expect("in-bounds index");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    Ok(out)
+}
+
+fn expand_entity(name: &str, offset: usize) -> Result<String, XmlError> {
+    let expanded = match name {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        _ => {
+            let code =
+                if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+            code.and_then(char::from_u32)
+                .ok_or_else(|| XmlError::at(XmlErrorKind::BadEntity(name.into()), offset))?
+        }
+    };
+    Ok(expanded.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_basic() {
+        assert_eq!(escape("<tag>&"), "&lt;tag&gt;&amp;");
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape(""), "");
+    }
+
+    #[test]
+    fn escape_attr_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b"), "a&quot;b");
+        assert_eq!(escape_attr("a\nb\tc"), "a&#10;b&#9;c");
+    }
+
+    #[test]
+    fn unescape_named_entities() {
+        assert_eq!(unescape("&amp;&lt;&gt;&quot;&apos;").unwrap(), "&<>\"'");
+    }
+
+    #[test]
+    fn unescape_numeric_references() {
+        assert_eq!(unescape("&#65;").unwrap(), "A");
+        assert_eq!(unescape("&#x41;").unwrap(), "A");
+        assert_eq!(unescape("&#x1F600;").unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        // Surrogate code point is not a scalar value.
+        assert!(unescape("&#xD800;").is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        let err = unescape("a &amp b").unwrap_err();
+        assert_eq!(err.offset(), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_content() {
+        let original = "x < y && y > \"z\" 'w' \u{00e9}\u{4e2d}";
+        assert_eq!(unescape(&escape(original)).unwrap(), original);
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn unescape_multibyte_passthrough() {
+        assert_eq!(unescape("caf\u{00e9}").unwrap(), "caf\u{00e9}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # xmlrt — a small, dependency-free XML runtime
+//!
+//! This crate provides the XML substrate that the SOAP and WSDL layers of
+//! the live-rmi reproduction are built on. The original system (Apache Axis)
+//! relied on the Java XML stack; this crate supplies the equivalent
+//! functionality from scratch:
+//!
+//! * [`escape`] / [`unescape`] — entity escaping for text and attributes,
+//! * [`XmlWriter`] — a streaming, optionally pretty-printing writer,
+//! * [`Parser`] — a pull parser producing [`XmlEvent`]s,
+//! * [`XmlNode`] — a DOM built on top of the pull parser, with navigation
+//!   helpers used by the WSDL/SOAP decoders.
+//!
+//! The subset of XML implemented is the subset exercised by SOAP 1.1 /
+//! WSDL 1.1 documents: elements, attributes, character data, CDATA,
+//! comments, processing instructions and the XML declaration. DTDs are not
+//! supported (SOAP explicitly forbids them).
+//!
+//! # Examples
+//!
+//! ```
+//! use xmlrt::{XmlNode, XmlWriter};
+//!
+//! # fn main() -> Result<(), xmlrt::XmlError> {
+//! let mut w = XmlWriter::new();
+//! w.begin_elem("greeting")?;
+//! w.attr("lang", "en")?;
+//! w.text("hello & goodbye")?;
+//! w.end_elem()?;
+//! let doc = w.finish();
+//!
+//! let node = XmlNode::parse(&doc)?;
+//! assert_eq!(node.name(), "greeting");
+//! assert_eq!(node.attr("lang"), Some("en"));
+//! assert_eq!(node.text(), "hello & goodbye");
+//! # Ok(())
+//! # }
+//! ```
+
+mod dom;
+mod error;
+mod escape;
+mod parser;
+mod writer;
+
+pub use dom::XmlNode;
+pub use error::XmlError;
+pub use escape::{escape, escape_attr, unescape};
+pub use parser::{parse_all, Parser, XmlEvent};
+pub use writer::XmlWriter;

@@ -1,0 +1,451 @@
+//! A pull parser for the XML subset used by SOAP and WSDL documents.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::unescape;
+
+/// One event produced by [`Parser::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" ...>` — `self_closing` is true for `<name/>`.
+    StartElement {
+        name: String,
+        attributes: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    /// `</name>` (also synthesized for self-closing elements).
+    EndElement { name: String },
+    /// Character data between tags, entity references expanded. Whitespace
+    /// -only runs between elements are skipped.
+    Text(String),
+    /// `<!-- ... -->` body.
+    Comment(String),
+    /// `<?target data?>` (including the XML declaration).
+    ProcessingInstruction(String),
+    /// End of input.
+    Eof,
+}
+
+/// A pull parser over a complete in-memory document.
+///
+/// Produces a well-formedness-checked stream of [`XmlEvent`]s: every
+/// `StartElement` is matched by an `EndElement` with the same name (the
+/// parser synthesizes the `EndElement` for self-closing tags, so consumers
+/// can treat both forms uniformly).
+///
+/// # Examples
+///
+/// ```
+/// use xmlrt::{Parser, XmlEvent};
+///
+/// # fn main() -> Result<(), xmlrt::XmlError> {
+/// let mut p = Parser::new("<a><b/></a>");
+/// assert!(matches!(p.next_event()?, XmlEvent::StartElement { name, .. } if name == "a"));
+/// assert!(matches!(p.next_event()?, XmlEvent::StartElement { name, .. } if name == "b"));
+/// assert!(matches!(p.next_event()?, XmlEvent::EndElement { name } if name == "b"));
+/// assert!(matches!(p.next_event()?, XmlEvent::EndElement { name } if name == "a"));
+/// assert!(matches!(p.next_event()?, XmlEvent::Eof));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Stack of currently open element names.
+    stack: Vec<String>,
+    /// Pending end event for a self-closing element.
+    pending_end: Option<String>,
+    /// Whether a root element has been fully closed already.
+    root_done: bool,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            stack: Vec::new(),
+            pending_end: None,
+            root_done: false,
+        }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn eof_err(&self) -> XmlError {
+        XmlError::at(XmlErrorKind::UnexpectedEof, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    /// Produces the next event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError`] on malformed input: mismatched or unterminated
+    /// tags, bad entity references, duplicate attributes, or trailing
+    /// content after the root element.
+    pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            if self.stack.is_empty() {
+                self.root_done = true;
+            }
+            return Ok(XmlEvent::EndElement { name });
+        }
+        if self.stack.is_empty() {
+            self.skip_ws();
+        }
+        if self.rest().is_empty() {
+            if !self.stack.is_empty() {
+                return Err(self.eof_err());
+            }
+            return Ok(XmlEvent::Eof);
+        }
+        if self.rest().starts_with("<!--") {
+            return self.parse_comment();
+        }
+        if self.rest().starts_with("<![CDATA[") {
+            return self.parse_cdata();
+        }
+        if self.rest().starts_with("<?") {
+            return self.parse_pi();
+        }
+        if self.rest().starts_with("</") {
+            return self.parse_end_tag();
+        }
+        if self.rest().starts_with('<') {
+            return self.parse_start_tag();
+        }
+        self.parse_text()
+    }
+
+    fn parse_comment(&mut self) -> Result<XmlEvent, XmlError> {
+        self.bump(4);
+        let end = self.rest().find("-->").ok_or_else(|| self.eof_err())?;
+        let body = self.rest()[..end].to_string();
+        self.bump(end + 3);
+        Ok(XmlEvent::Comment(body))
+    }
+
+    fn parse_cdata(&mut self) -> Result<XmlEvent, XmlError> {
+        self.bump("<![CDATA[".len());
+        let end = self.rest().find("]]>").ok_or_else(|| self.eof_err())?;
+        if self.stack.is_empty() {
+            return Err(XmlError::at(
+                XmlErrorKind::BadDocument("CDATA outside root element".into()),
+                self.pos,
+            ));
+        }
+        let body = self.rest()[..end].to_string();
+        self.bump(end + 3);
+        Ok(XmlEvent::Text(body))
+    }
+
+    fn parse_pi(&mut self) -> Result<XmlEvent, XmlError> {
+        self.bump(2);
+        let end = self.rest().find("?>").ok_or_else(|| self.eof_err())?;
+        let body = self.rest()[..end].to_string();
+        self.bump(end + 2);
+        Ok(XmlEvent::ProcessingInstruction(body))
+    }
+
+    fn parse_end_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        self.bump(2);
+        let name = self.read_name()?;
+        self.skip_ws_in_tag();
+        if !self.rest().starts_with('>') {
+            return Err(self.unexpected_char());
+        }
+        self.bump(1);
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                if self.stack.is_empty() {
+                    self.root_done = true;
+                }
+                Ok(XmlEvent::EndElement { name })
+            }
+            Some(open) => Err(XmlError::at(
+                XmlErrorKind::MismatchedTag { open, close: name },
+                self.pos,
+            )),
+            None => Err(XmlError::at(
+                XmlErrorKind::BadDocument(format!("close tag </{name}> with no open element")),
+                self.pos,
+            )),
+        }
+    }
+
+    fn parse_start_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        if self.root_done {
+            return Err(XmlError::at(
+                XmlErrorKind::BadDocument("content after root element".into()),
+                self.pos,
+            ));
+        }
+        self.bump(1);
+        let name = self.read_name()?;
+        let mut attributes: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws_in_tag();
+            if self.rest().starts_with("/>") {
+                self.bump(2);
+                self.pending_end = Some(name.clone());
+                return Ok(XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing: true,
+                });
+            }
+            if self.rest().starts_with('>') {
+                self.bump(1);
+                self.stack.push(name.clone());
+                return Ok(XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing: false,
+                });
+            }
+            if self.rest().is_empty() {
+                return Err(self.eof_err());
+            }
+            let attr_name = self.read_name()?;
+            if attributes.iter().any(|(k, _)| *k == attr_name) {
+                return Err(XmlError::at(
+                    XmlErrorKind::DuplicateAttr(attr_name),
+                    self.pos,
+                ));
+            }
+            self.skip_ws_in_tag();
+            if !self.rest().starts_with('=') {
+                return Err(self.unexpected_char());
+            }
+            self.bump(1);
+            self.skip_ws_in_tag();
+            let quote = match self.rest().chars().next() {
+                Some(q @ ('"' | '\'')) => q,
+                Some(_) => return Err(self.unexpected_char()),
+                None => return Err(self.eof_err()),
+            };
+            self.bump(1);
+            let end = self.rest().find(quote).ok_or_else(|| self.eof_err())?;
+            let raw = &self.rest()[..end];
+            let value = unescape(raw)?;
+            self.bump(end + 1);
+            attributes.push((attr_name, value));
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<XmlEvent, XmlError> {
+        if self.stack.is_empty() {
+            return Err(XmlError::at(
+                XmlErrorKind::BadDocument("text outside root element".into()),
+                self.pos,
+            ));
+        }
+        let end = self.rest().find('<').unwrap_or(self.rest().len());
+        let raw = &self.rest()[..end];
+        let start = self.pos;
+        self.bump(end);
+        let text = unescape(raw).map_err(|e| e.shift_offset(start))?;
+        Ok(XmlEvent::Text(text))
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let name_char = |c: char| c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.');
+        let end = self
+            .rest()
+            .char_indices()
+            .find(|(_, c)| !name_char(*c))
+            .map(|(i, _)| i)
+            .unwrap_or(self.rest().len());
+        if end == 0 {
+            return Err(self.unexpected_char());
+        }
+        let name = self.rest()[..end].to_string();
+        crate::writer::validate_name(&name)
+            .map_err(|_| XmlError::at(XmlErrorKind::BadName(name.clone()), self.pos))?;
+        self.bump(end);
+        Ok(name)
+    }
+
+    fn skip_ws_in_tag(&mut self) {
+        while self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_whitespace())
+        {
+            let c = self.rest().chars().next().expect("peeked above");
+            self.bump(c.len_utf8());
+        }
+    }
+
+    fn unexpected_char(&self) -> XmlError {
+        match self.rest().chars().next() {
+            Some(c) => XmlError::at(XmlErrorKind::UnexpectedChar(c), self.pos),
+            None => self.eof_err(),
+        }
+    }
+}
+
+/// Parses a complete document and returns all events (excluding `Eof`).
+///
+/// # Errors
+///
+/// Returns the first parse error encountered.
+pub fn parse_all(input: &str) -> Result<Vec<XmlEvent>, XmlError> {
+    let mut p = Parser::new(input);
+    let mut events = Vec::new();
+    loop {
+        match p.next_event()? {
+            XmlEvent::Eof => return Ok(events),
+            e => events.push(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Vec<XmlEvent> {
+        parse_all(s).unwrap()
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a x=\"1\">hi</a>");
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs[0],
+            XmlEvent::StartElement {
+                name: "a".into(),
+                attributes: vec![("x".into(), "1".into())],
+                self_closing: false
+            }
+        );
+        assert_eq!(evs[1], XmlEvent::Text("hi".into()));
+        assert_eq!(evs[2], XmlEvent::EndElement { name: "a".into() });
+    }
+
+    #[test]
+    fn self_closing_synthesizes_end() {
+        let evs = events("<a/>");
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(&evs[1], XmlEvent::EndElement { name } if name == "a"));
+    }
+
+    #[test]
+    fn declaration_and_comment() {
+        let evs = events("<?xml version=\"1.0\"?><!-- note --><a/>");
+        assert!(matches!(&evs[0], XmlEvent::ProcessingInstruction(p) if p.starts_with("xml")));
+        assert!(matches!(&evs[1], XmlEvent::Comment(c) if c.trim() == "note"));
+    }
+
+    #[test]
+    fn entity_expansion_in_text_and_attr() {
+        let evs = events("<a k=\"&lt;&amp;\">&gt;</a>");
+        assert!(matches!(
+            &evs[0],
+            XmlEvent::StartElement { attributes, .. } if attributes[0].1 == "<&"
+        ));
+        assert_eq!(evs[1], XmlEvent::Text(">".into()));
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let evs = events("<a><![CDATA[1 < 2 && x]]></a>");
+        assert_eq!(evs[1], XmlEvent::Text("1 < 2 && x".into()));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let evs = events("<a k='v'/>");
+        assert!(matches!(
+            &evs[0],
+            XmlEvent::StartElement { attributes, .. } if attributes[0] == ("k".into(), "v".into())
+        ));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse_all("<a></b>").is_err());
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(parse_all("<a>").is_err());
+        assert!(parse_all("<a").is_err());
+        assert!(parse_all("<a k=\"v>").is_err());
+        assert!(parse_all("<!-- no end").is_err());
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        assert!(parse_all("<a k=\"1\" k=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        assert!(parse_all("<a/><b/>").is_err());
+        assert!(parse_all("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn whitespace_between_elements_ok() {
+        let evs = events("  <a>\n  <b/>\n</a>  ");
+        // Whitespace text nodes inside the root are preserved.
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, XmlEvent::Text(t) if t.trim().is_empty())));
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn nested_structure() {
+        let evs = events("<a><b><c/></b><b/></a>");
+        let starts: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                XmlEvent::StartElement { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, ["a", "b", "c", "b"]);
+    }
+
+    #[test]
+    fn bad_entity_in_text_rejected() {
+        assert!(parse_all("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn namespaced_names() {
+        let evs = events("<soap:Envelope xmlns:soap=\"uri\"/>");
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "soap:Envelope"));
+    }
+
+    #[test]
+    fn attr_ws_around_equals() {
+        let evs = events("<a k = \"v\"/>");
+        assert!(matches!(
+            &evs[0],
+            XmlEvent::StartElement { attributes, .. } if attributes[0].1 == "v"
+        ));
+    }
+}

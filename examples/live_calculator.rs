@@ -1,0 +1,97 @@
+//! A live, simultaneous client-server development session (paper §6).
+//!
+//! A calculator server evolves while a client keeps calling it: the
+//! method is renamed mid-session, the client's next call draws a
+//! "Non existent Method" exception, the JPie debugger surfaces it with
+//! the *updated* interface visible (the §6 recency guarantee), and the
+//! developer fixes the call and re-executes it with "try again".
+//!
+//! Run with: `cargo run --example live_calculator`
+
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::{CallError, ClientEnvironment};
+use live_rmi::sde::{SdeConfig, SdeManager, SdeServerGateway};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let manager = SdeManager::new(SdeConfig::default())?;
+
+    // --- Server side: a calculator under live development -------------
+    let class = ClassHandle::new("Calculator");
+    class.add_method(
+        MethodBuilder::new("add", TypeDesc::Int)
+            .param("a", TypeDesc::Int)
+            .param("b", TypeDesc::Int)
+            .distributed(true)
+            .body_expr(Expr::param("a") + Expr::param("b")),
+    )?;
+    let server = manager.deploy_soap(class.clone())?;
+    server.create_instance()?;
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    // --- Client side: CDE connects and starts calling -----------------
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url())?;
+    let v = env.call(&stub, "add", &[Value::Int(2), Value::Int(3)])?;
+    println!("add(2, 3) = {v}");
+
+    // --- The server developer renames add -> plus while the client is
+    //     connected and communicating. -------------------------------
+    let add = class.find_method("add").expect("add exists");
+    class.rename_method(add, "plus")?;
+    println!("server developer renamed add -> plus (not yet published)");
+
+    // --- The client's next call hits the stale method ----------------
+    match env.call(&stub, "add", &[Value::Int(2), Value::Int(3)]) {
+        Err(CallError::StaleMethod { method }) => {
+            println!("client got 'Non existent Method' for {method:?}");
+        }
+        other => panic!("expected a stale-method error, got {other:?}"),
+    }
+
+    // The recency guarantee: by the time the exception surfaced, the
+    // client's interface view already shows the rename.
+    let ops: Vec<String> = stub.operations().iter().map(|o| o.name.clone()).collect();
+    println!("client's refreshed view of the interface: {ops:?}");
+    assert!(stub.operation("plus").is_some());
+    assert!(stub.operation("add").is_none());
+
+    // The JPie debugger shows the exception (Fig 9)...
+    let entry = env.debugger().latest().expect("debugger entry");
+    println!(
+        "debugger: exception in {:?}: {}",
+        entry.method, entry.message
+    );
+
+    // ...the developer fixes the call to use the new name and succeeds.
+    let v = env.call(&stub, "plus", &[Value::Int(2), Value::Int(3)])?;
+    println!("plus(2, 3) = {v}");
+
+    // --- "Try again" (paper: if the server developer restores the
+    //     original signature, re-executing the original call resumes
+    //     normal execution). ------------------------------------------
+    class.undo()?; // rename undone: method is `add` again
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let retried = env.debugger().try_again(0)?;
+    println!("debugger 'try again' of the failed add(2, 3) = {retried}");
+    assert_eq!(retried, Value::Int(5));
+
+    // --- End of development (§7): export the dynamic server as a static
+    //     one — all the live machinery is gone, only the frozen interface
+    //     and the method bodies remain. -------------------------------
+    let instance = server.instance().expect("live instance");
+    manager.undeploy("Calculator")?;
+    let exported = live_rmi::baseline::export_soap(&class, &instance, "mem://calc-exported")?;
+    let mut static_client =
+        live_rmi::baseline::StaticSoapClient::from_wsdl_xml(&exported.wsdl_xml())?;
+    let v = static_client
+        .call("add", &[Value::Int(30), Value::Int(12)])
+        .expect("static call");
+    println!("exported static server: add(30, 12) = {v}");
+    exported.shutdown();
+
+    manager.shutdown();
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! The paper's motivating application (§8): "a medium-sized mail service
+//! application in JPie using CDE and SDE" — here served over CORBA, with
+//! structured `Message` values crossing the wire and a new feature
+//! (search) added to the running server mid-session.
+//!
+//! Run with: `cargo run --example mail_service`
+
+use jpie::expr::{Builtin, Expr, Stmt};
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::ClientEnvironment;
+use live_rmi::sde::{SdeConfig, SdeManager, SdeServerGateway};
+
+fn message_ty() -> TypeDesc {
+    TypeDesc::Named("Message".into())
+}
+
+fn build_mail_class() -> Result<ClassHandle, jpie::JpieError> {
+    let class = ClassHandle::new("MailService");
+    // The mailbox lives in an instance field — state survives live edits.
+    class.add_field("inbox", TypeDesc::Seq(Box::new(message_ty())))?;
+
+    // send(from, to, subject, body) -> int (new mailbox size)
+    class.add_method(
+        MethodBuilder::new("send", TypeDesc::Int)
+            .param("from", TypeDesc::Str)
+            .param("to", TypeDesc::Str)
+            .param("subject", TypeDesc::Str)
+            .param("body", TypeDesc::Str)
+            .distributed(true)
+            .body_block(vec![
+                Stmt::SetField(
+                    "inbox".into(),
+                    Expr::Call {
+                        builtin: Builtin::Push,
+                        args: vec![
+                            Expr::field("inbox"),
+                            Expr::MakeStruct {
+                                type_name: "Message".into(),
+                                fields: vec![
+                                    ("from".into(), Expr::param("from")),
+                                    ("to".into(), Expr::param("to")),
+                                    ("subject".into(), Expr::param("subject")),
+                                    ("body".into(), Expr::param("body")),
+                                ],
+                            },
+                        ],
+                    },
+                ),
+                Stmt::Return(Some(Expr::Call {
+                    builtin: Builtin::Len,
+                    args: vec![Expr::field("inbox")],
+                })),
+            ]),
+    )?;
+
+    // inbox() -> Message[]
+    class.add_method(
+        MethodBuilder::new("inbox", TypeDesc::Seq(Box::new(message_ty())))
+            .distributed(true)
+            .body_expr(Expr::field("inbox")),
+    )?;
+
+    // count() -> int
+    class.add_method(
+        MethodBuilder::new("count", TypeDesc::Int)
+            .distributed(true)
+            .body_expr(Expr::Call {
+                builtin: Builtin::Len,
+                args: vec![Expr::field("inbox")],
+            }),
+    )?;
+    Ok(class)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let manager = SdeManager::new(SdeConfig::default())?;
+    let class = build_mail_class()?;
+    let server = manager.deploy_corba(class.clone())?;
+    server.create_instance()?;
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    println!("CORBA-IDL published at {}", server.idl_url());
+    println!("IOR       published at {}", server.ior_url());
+    println!("--- published IDL ---");
+    println!(
+        "{}",
+        manager
+            .interface_document("MailService")
+            .expect("idl published")
+    );
+
+    // A CDE client compiles the IDL + IOR and starts mailing.
+    let env = ClientEnvironment::new();
+    let stub = env.connect_corba(server.idl_url(), server.ior_url())?;
+
+    for (from, subject) in [
+        ("kjg@cse.wustl.edu", "SDE design review"),
+        ("sajeeva@cse.wustl.edu", "CDE/SDE protocol, Fig 8"),
+        ("bem2@cec.wustl.edu", "Tomcat comparison numbers"),
+    ] {
+        let n = env.call(
+            &stub,
+            "send",
+            &[
+                Value::Str(from.into()),
+                Value::Str("team@cse.wustl.edu".into()),
+                Value::Str(subject.into()),
+                Value::Str("see attached".into()),
+            ],
+        )?;
+        println!("sent {subject:?}; mailbox now holds {n}");
+    }
+
+    let inbox = env.call(&stub, "inbox", &[])?;
+    let Value::Seq(_, messages) = &inbox else {
+        panic!("inbox should be a sequence");
+    };
+    println!("inbox has {} messages:", messages.len());
+    for m in messages {
+        if let Value::Struct(s) = m {
+            println!(
+                "  from {:<26} subject {:?}",
+                s.field("from").unwrap_or(&Value::Null),
+                s.field("subject").unwrap_or(&Value::Null)
+            );
+        }
+    }
+
+    // --- Live feature work: add search() to the RUNNING service -------
+    class.add_method(
+        MethodBuilder::new("search", TypeDesc::Int)
+            .param("needle", TypeDesc::Str)
+            .distributed(true)
+            .body_block(vec![
+                Stmt::Let("i".into(), Expr::lit(0)),
+                Stmt::Let("hits".into(), Expr::lit(0)),
+                Stmt::While {
+                    cond: Expr::local("i").lt(Expr::Call {
+                        builtin: Builtin::Len,
+                        args: vec![Expr::field("inbox")],
+                    }),
+                    body: vec![
+                        Stmt::Let(
+                            "m".into(),
+                            Expr::Call {
+                                builtin: Builtin::Get,
+                                args: vec![Expr::field("inbox"), Expr::local("i")],
+                            },
+                        ),
+                        Stmt::If {
+                            cond: Expr::Call {
+                                builtin: Builtin::Contains,
+                                args: vec![
+                                    Expr::Call {
+                                        builtin: Builtin::Field,
+                                        args: vec![Expr::local("m"), Expr::lit("subject")],
+                                    },
+                                    Expr::param("needle"),
+                                ],
+                            },
+                            then: vec![Stmt::Assign(
+                                "hits".into(),
+                                Expr::local("hits") + Expr::lit(1),
+                            )],
+                            otherwise: vec![],
+                        },
+                        Stmt::Assign("i".into(), Expr::local("i") + Expr::lit(1)),
+                    ],
+                },
+                Stmt::Return(Some(Expr::local("hits"))),
+            ]),
+    )?;
+    // Publish the grown interface and refresh the client's view.
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    stub.refresh()?;
+    println!(
+        "after live edit the client sees operations: {:?}",
+        stub.operations()
+            .iter()
+            .map(|o| o.name.clone())
+            .collect::<Vec<_>>()
+    );
+
+    let hits = env.call(&stub, "search", &[Value::Str("SDE".into())])?;
+    println!("search(\"SDE\") found {hits} message(s)");
+    assert_eq!(hits, Value::Int(2), "two subjects mention SDE");
+
+    manager.shutdown();
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: deploy a live SOAP server, connect a client, then change
+//! the running server and watch the change take effect immediately.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::ClientEnvironment;
+use live_rmi::sde::{SdeConfig, SdeManager, SdeServerGateway};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The developer writes a dynamic class in "JPie" and marks one
+    //    method `distributed` — that is the whole deployment ceremony.
+    let class = ClassHandle::new("Greeter");
+    let greet = class.add_method(
+        MethodBuilder::new("greet", TypeDesc::Str)
+            .param("who", TypeDesc::Str)
+            .distributed(true)
+            .body_expr(Expr::lit("hello, ") + Expr::param("who")),
+    )?;
+
+    // 2. SDE detects the server class, creates the call handler and the
+    //    WSDL publisher, and publishes the interface automatically.
+    let manager = SdeManager::new(SdeConfig::default())?;
+    let server = manager.deploy_soap(class.clone())?;
+    server.create_instance()?;
+    println!("WSDL published at {}", server.wsdl_url());
+
+    // 3. A CDE client connects from the published WSDL and calls.
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url())?;
+    let reply = env.call(&stub, "greet", &[Value::Str("world".into())])?;
+    println!("server says: {reply}");
+
+    // 4. LIVE development: change the body of the running server — no
+    //    redeploy, no restart, and the existing instance picks it up.
+    class.set_body_expr(greet, Expr::lit("greetings, ") + Expr::param("who"))?;
+    let reply = env.call(&stub, "greet", &[Value::Str("world".into())])?;
+    println!("server now says: {reply}");
+    assert_eq!(reply, Value::Str("greetings, world".into()));
+
+    manager.shutdown();
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Interactive SDE Manager Interface (paper §4): deploy, live-edit, and
+//! call SOAP/CORBA servers from a shell.
+//!
+//! Run with `cargo run --bin sde_repl`, type `help` for the command set,
+//! or pipe a script: `cargo run --bin sde_repl < session.txt`.
+
+use std::io::{BufRead, Write};
+
+use live_rmi::repl::Repl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut repl = Repl::new()?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("SDE Manager Interface — type `help` for commands, `quit` to exit");
+    loop {
+        print!("sde> ");
+        stdout.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        match repl.execute(&line) {
+            None => return Ok(()),
+            Some(out) if out.is_empty() => {}
+            Some(out) => println!("{out}"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # live-rmi — live development of SOAP and CORBA servers
+//!
+//! Umbrella crate for the reproduction of *"Supporting Live Development of
+//! SOAP and CORBA Servers"* (Pallemulle, Goldman & Morgan, WUCSE-2004-75 /
+//! ICDCS 2005). It re-exports every subsystem so examples and integration
+//! tests can use a single dependency:
+//!
+//! * [`jpie`] — the dynamic-class live-programming runtime,
+//! * [`xmlrt`] / [`httpd`] — XML and HTTP substrates,
+//! * [`soap`] / [`corba`] — the two RMI technology stacks,
+//! * [`sde`] — the Server Development Environment middleware (the paper's
+//!   contribution),
+//! * [`cde`] — the Client Development Environment,
+//! * [`baseline`] — static Axis/OpenORB-style comparators.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! per-experiment index.
+
+pub mod repl;
+
+pub use baseline;
+pub use cde;
+pub use corba;
+pub use httpd;
+pub use jpie;
+pub use sde;
+pub use soap;
+pub use xmlrt;

@@ -1,0 +1,689 @@
+//! The SDE Manager Interface as an interactive shell.
+//!
+//! The paper's §4 gives the user a management surface: control the
+//! publication timeout, force publication, view the published WSDL /
+//! CORBA-IDL, plus (through JPie itself) the live class-editing gestures.
+//! This module provides that surface as a line-oriented command
+//! interpreter — run it interactively with `cargo run --bin sde-repl`, or
+//! drive it from a script (every command reads one line, which is what
+//! the integration tests do).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cde::{CallError, ClientEnvironment, DynamicStub};
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use sde::{SdeConfig, SdeManager, SdeServerGateway};
+
+/// The interactive session state.
+pub struct Repl {
+    manager: SdeManager,
+    env: ClientEnvironment,
+    classes: Vec<ClassHandle>,
+    stubs: Vec<(String, Arc<DynamicStub>)>,
+}
+
+impl std::fmt::Debug for Repl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Repl")
+            .field("classes", &self.classes.len())
+            .field("stubs", &self.stubs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+const HELP: &str = "\
+SDE Manager Interface commands:
+  new <Class>                              create a dynamic class
+  load class <Name> [extends S] { ... }    load a full class from source
+  deploy soap|corba <Class>                deploy through SDE (auto-publishes)
+  instance <Class>                         create the live instance
+  add <Class> <m>(<p>:<ty>,...)-><ty> [distributed]   add a method
+  body <Class> <m> <jpie-script...>        replace a body (live)
+  rename <Class> <old> <new>               rename a method (live)
+  param+ <Class> <m> <p>:<ty>              add a parameter (live)
+  remove <Class> <m>                       remove a method (live)
+  distributed <Class> <m> on|off           toggle the modifier
+  undo <Class> | redo <Class>              walk the edit history
+  show <Class>                             view the class source
+  state <Class>                            view the live instance's fields
+  export <Class>                           end of development: freeze to a static server
+  doc <Class>                              view the published WSDL/IDL
+  publish <Class>                          force publication now
+  timeout <Class> <millis>                 set the stable timeout
+  switch <Class>                           live SOAP<->CORBA interchange
+  connect <Class>                          build a CDE stub from the docs
+  ops <Class>                              show the stub's interface view
+  call <Class> <m> [args...]               remote call (1 2L 3.5 true \"s\")
+  debugger                                 list caught exceptions
+  again <index>                            debugger try-again
+  servers                                  list managed servers
+  help | quit";
+
+impl Repl {
+    /// Creates a session with its own SDE manager.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Interface Server cannot start.
+    pub fn new() -> Result<Repl, sde::SdeError> {
+        Ok(Repl {
+            manager: SdeManager::new(SdeConfig::default())?,
+            env: ClientEnvironment::new(),
+            classes: Vec::new(),
+            stubs: Vec::new(),
+        })
+    }
+
+    fn class(&self, name: &str) -> Result<&ClassHandle, String> {
+        self.classes
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| format!("no class {name:?} (use: new {name})"))
+    }
+
+    fn stub(&self, name: &str) -> Result<&Arc<DynamicStub>, String> {
+        self.stubs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .ok_or_else(|| format!("no stub for {name:?} (use: connect {name})"))
+    }
+
+    fn publisher_sync(&self, name: &str) {
+        if let Some(s) = self.manager.soap_server(name) {
+            s.publisher().ensure_current();
+        }
+        if let Some(s) = self.manager.corba_server(name) {
+            s.publisher().ensure_current();
+        }
+    }
+
+    /// Executes one command line; returns the printable result, or
+    /// `None` when the command asks to quit.
+    pub fn execute(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Some(String::new());
+        }
+        let mut parts = line.splitn(2, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        let result = match cmd {
+            "quit" | "exit" => return None,
+            "help" => Ok(HELP.to_string()),
+            "new" => self.cmd_new(rest),
+            "load" => self.cmd_load(rest),
+            "deploy" => self.cmd_deploy(rest),
+            "instance" => self.cmd_instance(rest),
+            "add" => self.cmd_add(rest),
+            "body" => self.cmd_body(rest),
+            "rename" => self.cmd_rename(rest),
+            "param+" => self.cmd_add_param(rest),
+            "remove" => self.cmd_remove(rest),
+            "distributed" => self.cmd_distributed(rest),
+            "undo" => self.cmd_history(rest, true),
+            "redo" => self.cmd_history(rest, false),
+            "show" => self.class(rest).map(|c| c.class_source()),
+            "state" => self.cmd_state(rest),
+            "export" => self.cmd_export(rest),
+            "doc" => self
+                .manager
+                .interface_document(rest)
+                .ok_or_else(|| format!("nothing published for {rest:?}")),
+            "publish" => self.cmd_publish(rest),
+            "timeout" => self.cmd_timeout(rest),
+            "switch" => self.cmd_switch(rest),
+            "connect" => self.cmd_connect(rest),
+            "ops" => self.cmd_ops(rest),
+            "call" => self.cmd_call(rest),
+            "debugger" => Ok(self.cmd_debugger()),
+            "again" => self.cmd_again(rest),
+            "servers" => Ok(self
+                .manager
+                .managed()
+                .iter()
+                .map(|(n, t)| format!("{n} [{t}]"))
+                .collect::<Vec<_>>()
+                .join("\n")),
+            other => Err(format!("unknown command {other:?} (try: help)")),
+        };
+        Some(match result {
+            Ok(s) => s,
+            Err(e) => format!("error: {e}"),
+        })
+    }
+
+    fn cmd_new(&mut self, name: &str) -> Result<String, String> {
+        if name.is_empty() {
+            return Err("usage: new <Class>".into());
+        }
+        if self.classes.iter().any(|c| c.name() == name) {
+            return Err(format!("class {name:?} already exists"));
+        }
+        self.classes.push(ClassHandle::new(name));
+        Ok(format!("created dynamic class {name}"))
+    }
+
+    fn cmd_load(&mut self, src: &str) -> Result<String, String> {
+        let class = jpie::parse::parse_class(src).map_err(|e| e.to_string())?;
+        let name = class.name();
+        if self.classes.iter().any(|c| c.name() == name) {
+            return Err(format!("class {name:?} already exists"));
+        }
+        let summary = format!(
+            "loaded {name}: {} field(s), {} method(s) ({} distributed)",
+            class.declared_fields().len(),
+            class.signatures().len(),
+            class.distributed_signatures().len()
+        );
+        self.classes.push(class);
+        Ok(summary)
+    }
+
+    fn cmd_deploy(&mut self, rest: &str) -> Result<String, String> {
+        let (tech, name) = rest
+            .split_once(' ')
+            .ok_or("usage: deploy soap|corba <Class>")?;
+        let class = self.class(name.trim())?.clone();
+        match tech {
+            "soap" => {
+                let server = self.manager.deploy_soap(class).map_err(|e| e.to_string())?;
+                Ok(format!("deployed; WSDL at {}", server.wsdl_url()))
+            }
+            "corba" => {
+                let server = self
+                    .manager
+                    .deploy_corba(class)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "deployed; IDL at {} / IOR at {}",
+                    server.idl_url(),
+                    server.ior_url()
+                ))
+            }
+            other => Err(format!("unknown technology {other:?}")),
+        }
+    }
+
+    fn cmd_instance(&mut self, name: &str) -> Result<String, String> {
+        if let Some(s) = self.manager.soap_server(name) {
+            s.create_instance().map_err(|e| e.to_string())?;
+            return Ok("instance created; call handler active".into());
+        }
+        if let Some(s) = self.manager.corba_server(name) {
+            s.create_instance().map_err(|e| e.to_string())?;
+            return Ok("instance created; call handler active".into());
+        }
+        Err(format!("{name:?} is not deployed"))
+    }
+
+    fn cmd_add(&mut self, rest: &str) -> Result<String, String> {
+        // add Class m(a:int,b:string)->int [distributed]
+        let (class_name, decl) = rest.split_once(' ').ok_or("usage: add <Class> <decl>")?;
+        let class = self.class(class_name)?.clone();
+        let distributed = decl.trim_end().ends_with("distributed");
+        let decl = decl.trim_end().trim_end_matches("distributed").trim();
+        let (head, ret) = decl.rsplit_once("->").ok_or("missing -> return type")?;
+        let return_ty = parse_type(ret.trim())?;
+        let open = head.find('(').ok_or("missing ( in declaration")?;
+        let close = head.rfind(')').ok_or("missing ) in declaration")?;
+        let method_name = head[..open].trim();
+        let mut builder = MethodBuilder::new(method_name, return_ty).distributed(distributed);
+        let params_src = head[open + 1..close].trim();
+        if !params_src.is_empty() {
+            for p in params_src.split(',') {
+                let (pname, pty) = p.split_once(':').ok_or("parameter must be name:type")?;
+                builder = builder.param(pname.trim(), parse_type(pty.trim())?);
+            }
+        }
+        class.add_method(builder).map_err(|e| e.to_string())?;
+        Ok(format!("added {method_name} to {class_name}"))
+    }
+
+    fn cmd_body(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.splitn(3, ' ');
+        let (class_name, method, src) = (
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+        );
+        let class = self.class(class_name)?.clone();
+        let id = class
+            .find_method(method)
+            .ok_or_else(|| format!("no method {method:?}"))?;
+        class.set_body_source(id, src).map_err(|e| e.to_string())?;
+        Ok(format!("body of {method} replaced (live)"))
+    }
+
+    fn cmd_rename(&mut self, rest: &str) -> Result<String, String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [class_name, old, new] = parts[..] else {
+            return Err("usage: rename <Class> <old> <new>".into());
+        };
+        let class = self.class(class_name)?.clone();
+        let id = class
+            .find_method(old)
+            .ok_or_else(|| format!("no method {old:?}"))?;
+        class.rename_method(id, new).map_err(|e| e.to_string())?;
+        Ok(format!("renamed {old} -> {new} (call sites updated)"))
+    }
+
+    fn cmd_add_param(&mut self, rest: &str) -> Result<String, String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [class_name, method, decl] = parts[..] else {
+            return Err("usage: param+ <Class> <method> <name>:<type>".into());
+        };
+        let class = self.class(class_name)?.clone();
+        let id = class
+            .find_method(method)
+            .ok_or_else(|| format!("no method {method:?}"))?;
+        let (pname, pty) = decl.split_once(':').ok_or("parameter must be name:type")?;
+        class
+            .add_param(id, pname, parse_type(pty)?)
+            .map_err(|e| e.to_string())?;
+        Ok(format!("added parameter {pname} to {method}"))
+    }
+
+    fn cmd_remove(&mut self, rest: &str) -> Result<String, String> {
+        let (class_name, method) = rest.split_once(' ').ok_or("usage: remove <Class> <m>")?;
+        let class = self.class(class_name)?.clone();
+        let id = class
+            .find_method(method.trim())
+            .ok_or_else(|| format!("no method {method:?}"))?;
+        class.remove_method(id).map_err(|e| e.to_string())?;
+        Ok(format!("removed {method}"))
+    }
+
+    fn cmd_distributed(&mut self, rest: &str) -> Result<String, String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [class_name, method, state] = parts[..] else {
+            return Err("usage: distributed <Class> <m> on|off".into());
+        };
+        let class = self.class(class_name)?.clone();
+        let id = class
+            .find_method(method)
+            .ok_or_else(|| format!("no method {method:?}"))?;
+        class
+            .set_distributed(id, state == "on")
+            .map_err(|e| e.to_string())?;
+        Ok(format!("distributed modifier of {method}: {state}"))
+    }
+
+    fn cmd_history(&mut self, name: &str, undo: bool) -> Result<String, String> {
+        let class = self.class(name)?.clone();
+        if undo {
+            class.undo().map_err(|e| e.to_string())?;
+            Ok("undone".into())
+        } else {
+            class.redo().map_err(|e| e.to_string())?;
+            Ok("redone".into())
+        }
+    }
+
+    fn cmd_state(&mut self, name: &str) -> Result<String, String> {
+        let instance = self
+            .manager
+            .soap_server(name)
+            .and_then(|s| s.instance())
+            .or_else(|| self.manager.corba_server(name).and_then(|s| s.instance()))
+            .ok_or_else(|| format!("{name:?} has no live instance"))?;
+        let fields = instance.fields_snapshot();
+        if fields.is_empty() {
+            return Ok("no fields".into());
+        }
+        Ok(fields
+            .iter()
+            .map(|(n, v)| format!("{n} = {v}"))
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+
+    fn cmd_export(&mut self, name: &str) -> Result<String, String> {
+        // §7: convert the dynamic SDE server into a static one. The
+        // exported server lives for the rest of the session.
+        let class = self.class(name)?.clone();
+        let instance = self
+            .manager
+            .soap_server(name)
+            .and_then(|s| s.instance())
+            .or_else(|| self.manager.corba_server(name).and_then(|s| s.instance()))
+            .ok_or_else(|| format!("{name:?} has no live instance to export"))?;
+        let was_corba = self.manager.corba_server(name).is_some();
+        self.manager.undeploy(name).map_err(|e| e.to_string())?;
+        self.stubs.retain(|(n, _)| n != name);
+        if was_corba {
+            let server =
+                live_rmi_export_corba(&class, &instance, &format!("mem://exported-{name}"))?;
+            let ior = server.ior().to_ior_string();
+            std::mem::forget(server); // keep serving for the session
+            Ok(format!("exported as a static CORBA server; IOR:\n{ior}"))
+        } else {
+            let server =
+                live_rmi_export_soap(&class, &instance, &format!("mem://exported-{name}"))?;
+            let endpoint = server.endpoint().to_string();
+            std::mem::forget(server);
+            Ok(format!("exported as a static SOAP server at {endpoint}"))
+        }
+    }
+
+    fn cmd_publish(&mut self, name: &str) -> Result<String, String> {
+        self.manager
+            .force_publish(name)
+            .map_err(|e| e.to_string())?;
+        self.publisher_sync(name);
+        Ok("published".into())
+    }
+
+    fn cmd_timeout(&mut self, rest: &str) -> Result<String, String> {
+        let (name, millis) = rest.split_once(' ').ok_or("usage: timeout <Class> <ms>")?;
+        let millis: u64 = millis.trim().parse().map_err(|_| "bad milliseconds")?;
+        self.manager
+            .set_timeout(name, Duration::from_millis(millis))
+            .map_err(|e| e.to_string())?;
+        Ok(format!("stable timeout of {name} set to {millis}ms"))
+    }
+
+    fn cmd_switch(&mut self, name: &str) -> Result<String, String> {
+        let tech = self
+            .manager
+            .switch_technology(name)
+            .map_err(|e| e.to_string())?;
+        self.publisher_sync(name);
+        // Old stubs point at the retired endpoint.
+        self.stubs.retain(|(n, _)| n != name);
+        Ok(format!(
+            "now serving {name} over {tech} (stub dropped; reconnect)"
+        ))
+    }
+
+    fn cmd_connect(&mut self, name: &str) -> Result<String, String> {
+        self.publisher_sync(name);
+        let stub = if let Some(s) = self.manager.soap_server(name) {
+            self.env
+                .connect_soap(s.wsdl_url())
+                .map_err(|e| e.to_string())?
+        } else if let Some(s) = self.manager.corba_server(name) {
+            self.env
+                .connect_corba(s.idl_url(), s.ior_url())
+                .map_err(|e| e.to_string())?
+        } else {
+            return Err(format!("{name:?} is not deployed"));
+        };
+        self.stubs.retain(|(n, _)| n != name);
+        self.stubs.push((name.to_string(), stub));
+        Ok(format!(
+            "connected; interface view v{}",
+            self.stub(name)?.interface_version()
+        ))
+    }
+
+    fn cmd_ops(&mut self, name: &str) -> Result<String, String> {
+        let stub = self.stub(name)?;
+        let mut out = format!("interface view v{}:\n", stub.interface_version());
+        for op in stub.operations() {
+            let params = op
+                .params
+                .iter()
+                .map(|(n, t)| format!("{t} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "  {} {}({})", op.return_ty, op.name, params);
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_call(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.splitn(3, ' ');
+        let class_name = parts.next().unwrap_or("");
+        let method = parts.next().ok_or("usage: call <Class> <m> [args]")?;
+        let args = parse_args(parts.next().unwrap_or(""))?;
+        let stub = self.stub(class_name)?.clone();
+        match self.env.call(&stub, method, &args) {
+            Ok(v) => Ok(format!("=> {v}")),
+            Err(CallError::StaleMethod { method }) => Ok(format!(
+                "Non existent Method: {method} — interface refreshed to v{} \
+                 (see: ops {class_name} / debugger)",
+                stub.interface_version()
+            )),
+            Err(other) => Err(other.to_string()),
+        }
+    }
+
+    fn cmd_debugger(&self) -> String {
+        let entries = self.env.debugger().entries();
+        if entries.is_empty() {
+            return "debugger: no caught exceptions".into();
+        }
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| format!("[{i}] {} in {:?}", e.message, e.method))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn cmd_again(&mut self, rest: &str) -> Result<String, String> {
+        let index: usize = rest.trim().parse().map_err(|_| "usage: again <index>")?;
+        match self.env.debugger().try_again(index) {
+            Ok(v) => Ok(format!("=> {v}")),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+fn live_rmi_export_soap(
+    class: &ClassHandle,
+    instance: &Arc<jpie::Instance>,
+    addr: &str,
+) -> Result<baseline::StaticSoapServer, String> {
+    baseline::export_soap(class, instance, addr).map_err(|e| e.to_string())
+}
+
+fn live_rmi_export_corba(
+    class: &ClassHandle,
+    instance: &Arc<jpie::Instance>,
+    addr: &str,
+) -> Result<baseline::StaticCorbaServer, String> {
+    baseline::export_corba(class, instance, addr).map_err(|e| e.to_string())
+}
+
+fn parse_type(s: &str) -> Result<TypeDesc, String> {
+    Ok(match s {
+        "void" => TypeDesc::Void,
+        "boolean" | "bool" => TypeDesc::Bool,
+        "int" => TypeDesc::Int,
+        "long" => TypeDesc::Long,
+        "float" => TypeDesc::Float,
+        "double" => TypeDesc::Double,
+        "char" => TypeDesc::Char,
+        "string" => TypeDesc::Str,
+        other => {
+            if let Some(inner) = other.strip_prefix("seq<").and_then(|r| r.strip_suffix('>')) {
+                TypeDesc::Seq(Box::new(parse_type(inner)?))
+            } else if other.chars().next().is_some_and(|c| c.is_uppercase()) {
+                TypeDesc::Named(other.to_string())
+            } else {
+                return Err(format!("unknown type {other:?}"));
+            }
+        }
+    })
+}
+
+fn parse_args(s: &str) -> Result<Vec<Value>, String> {
+    let mut args = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        if rest.starts_with('"') {
+            let end = rest[1..].find('"').ok_or("unterminated string argument")?;
+            args.push(Value::Str(rest[1..1 + end].to_string()));
+            rest = rest[2 + end..].trim_start();
+            continue;
+        }
+        let token_end = rest.find(' ').unwrap_or(rest.len());
+        let token = &rest[..token_end];
+        rest = rest[token_end..].trim_start();
+        let value = if token == "true" {
+            Value::Bool(true)
+        } else if token == "false" {
+            Value::Bool(false)
+        } else if token == "null" {
+            Value::Null
+        } else if let Some(num) = token.strip_suffix('L') {
+            Value::Long(num.parse().map_err(|_| format!("bad long {token:?}"))?)
+        } else if token.contains('.') {
+            Value::Double(token.parse().map_err(|_| format!("bad double {token:?}"))?)
+        } else {
+            Value::Int(
+                token
+                    .parse()
+                    .map_err(|_| format!("bad argument {token:?}"))?,
+            )
+        };
+        args.push(value);
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(repl: &mut Repl, cmd: &str) -> String {
+        repl.execute(cmd).expect("not quit")
+    }
+
+    #[test]
+    fn full_session_drives_the_whole_stack() {
+        let mut repl = Repl::new().unwrap();
+        run(&mut repl, "new Calc");
+        assert!(run(&mut repl, "add Calc add(a:int,b:int)->int distributed").contains("added"));
+        run(&mut repl, "body Calc add return a + b;");
+        assert!(run(&mut repl, "deploy soap Calc").contains("WSDL"));
+        assert!(run(&mut repl, "instance Calc").contains("active"));
+        run(&mut repl, "publish Calc");
+        assert!(run(&mut repl, "connect Calc").contains("interface view"));
+        assert_eq!(run(&mut repl, "call Calc add 20 22"), "=> 42");
+
+        // Live rename: the next call shows the protocol in action.
+        run(&mut repl, "rename Calc add plus");
+        let out = run(&mut repl, "call Calc add 1 2");
+        assert!(out.contains("Non existent Method"), "{out}");
+        assert!(run(&mut repl, "ops Calc").contains("plus"));
+        assert_eq!(run(&mut repl, "call Calc plus 1 2"), "=> 3");
+
+        // Debugger has the failed call; undo on the server side, then
+        // try-again succeeds.
+        assert!(run(&mut repl, "debugger").contains("[0]"));
+        run(&mut repl, "undo Calc");
+        run(&mut repl, "publish Calc");
+        assert_eq!(run(&mut repl, "again 0"), "=> 3");
+
+        // Manager surface.
+        assert!(run(&mut repl, "servers").contains("Calc [SOAP]"));
+        assert!(run(&mut repl, "doc Calc").contains("wsdl:definitions"));
+        assert!(run(&mut repl, "show Calc").contains("class Calc"));
+        assert!(run(&mut repl, "timeout Calc 50").contains("50ms"));
+
+        // Technology interchange.
+        assert!(run(&mut repl, "switch Calc").contains("CORBA"));
+        run(&mut repl, "connect Calc");
+        assert_eq!(run(&mut repl, "call Calc add 4 4"), "=> 8");
+
+        assert!(repl.execute("quit").is_none());
+    }
+
+    #[test]
+    fn state_and_export_commands() {
+        let mut repl = Repl::new().unwrap();
+        run(
+            &mut repl,
+            "load class Counter { field int n; distributed int bump() { this.n = this.n + 1; return this.n; } }",
+        );
+        run(&mut repl, "deploy soap Counter");
+        run(&mut repl, "instance Counter");
+        run(&mut repl, "publish Counter");
+        run(&mut repl, "connect Counter");
+        assert_eq!(run(&mut repl, "call Counter bump"), "=> 1");
+        assert_eq!(run(&mut repl, "call Counter bump"), "=> 2");
+        assert_eq!(run(&mut repl, "state Counter"), "n = 2");
+
+        let out = run(&mut repl, "export Counter");
+        assert!(out.contains("static SOAP server at"), "{out}");
+        // After export the class is no longer managed by SDE.
+        assert!(run(&mut repl, "doc Counter").contains("error"));
+        // The exported static endpoint serves with the preserved state.
+        let endpoint = out.rsplit(' ').next().unwrap().trim();
+        let ops_class = repl.class("Counter").unwrap().clone();
+        let wsdl = soap::WsdlDocument::from_signatures(
+            "Counter",
+            endpoint.to_string(),
+            &ops_class.distributed_signatures(),
+            0,
+        );
+        let mut client = baseline::StaticSoapClient::from_wsdl(wsdl).unwrap();
+        assert_eq!(client.call("bump", &[]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn load_full_class_from_source() {
+        let mut repl = Repl::new().unwrap();
+        let out = run(
+            &mut repl,
+            "load class Echo extends SOAPServer { distributed string echo(string s) { return s; } }",
+        );
+        assert!(out.contains("loaded Echo"), "{out}");
+        run(&mut repl, "deploy soap Echo");
+        run(&mut repl, "instance Echo");
+        run(&mut repl, "publish Echo");
+        run(&mut repl, "connect Echo");
+        assert_eq!(run(&mut repl, "call Echo echo \"ping\""), "=> ping");
+        assert!(run(&mut repl, "load class Echo { }").contains("error"));
+        assert!(run(&mut repl, "load not a class").contains("error"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut repl = Repl::new().unwrap();
+        assert!(run(&mut repl, "bogus").contains("unknown command"));
+        assert!(run(&mut repl, "deploy soap Missing").contains("error"));
+        assert!(run(&mut repl, "call Missing m").contains("error"));
+        run(&mut repl, "new X");
+        assert!(run(&mut repl, "new X").contains("error"));
+        assert!(run(&mut repl, "add X broken").contains("error"));
+        assert!(run(&mut repl, "").is_empty());
+        assert!(run(&mut repl, "# comment").is_empty());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        assert_eq!(
+            parse_args("1 2L 3.5 true \"two words\" null").unwrap(),
+            vec![
+                Value::Int(1),
+                Value::Long(2),
+                Value::Double(3.5),
+                Value::Bool(true),
+                Value::Str("two words".into()),
+                Value::Null,
+            ]
+        );
+        assert!(parse_args("\"unterminated").is_err());
+        assert!(parse_args("12x").is_err());
+    }
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(parse_type("int").unwrap(), TypeDesc::Int);
+        assert_eq!(
+            parse_type("seq<string>").unwrap(),
+            TypeDesc::Seq(Box::new(TypeDesc::Str))
+        );
+        assert_eq!(
+            parse_type("Message").unwrap(),
+            TypeDesc::Named("Message".into())
+        );
+        assert!(parse_type("wat").is_err());
+    }
+}

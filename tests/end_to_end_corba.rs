@@ -1,0 +1,207 @@
+//! End-to-end CORBA flows: jpie class → SDE deployment → published IDL +
+//! IOR → CDE stub → GIOP wire → live instance, plus the DSI property that
+//! the ORB survives arbitrary interface changes.
+
+use std::time::Duration;
+
+use jpie::expr::{Expr, Stmt};
+use jpie::{ClassHandle, MethodBuilder, StructValue, TypeDesc, Value};
+use live_rmi::cde::{CallError, ClientEnvironment};
+use live_rmi::corba::Ior;
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+    })
+    .expect("manager")
+}
+
+fn greeter_class() -> ClassHandle {
+    let class = ClassHandle::new("Greeter");
+    class
+        .add_method(
+            MethodBuilder::new("greet", TypeDesc::Str)
+                .param("who", TypeDesc::Str)
+                .distributed(true)
+                .body_expr(Expr::lit("hi ") + Expr::param("who")),
+        )
+        .expect("greet");
+    class
+}
+
+#[test]
+fn full_deploy_connect_call_cycle() {
+    let manager = manager();
+    let server = manager.deploy_corba(greeter_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    assert_eq!(stub.operations().len(), 1);
+    let v = env
+        .call(&stub, "greet", &[Value::Str("orb".into())])
+        .expect("call");
+    assert_eq!(v, Value::Str("hi orb".into()));
+    manager.shutdown();
+}
+
+#[test]
+fn published_ior_parses_and_matches_server() {
+    let manager = manager();
+    let server = manager.deploy_corba(greeter_class()).expect("deploy");
+    let doc = manager.store().get("/Greeter.ior").expect("ior doc");
+    let ior = Ior::parse(&doc.content).expect("parse");
+    assert_eq!(ior, server.ior());
+    assert_eq!(ior.type_id, "IDL:Greeter:1.0");
+    manager.shutdown();
+}
+
+#[test]
+fn uninitialized_corba_server_raises() {
+    let manager = manager();
+    let server = manager.deploy_corba(greeter_class()).expect("deploy");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    let err = env
+        .call(&stub, "greet", &[Value::Str("x".into())])
+        .expect_err("no instance");
+    assert_eq!(err, CallError::ServerNotInitialized);
+    manager.shutdown();
+}
+
+#[test]
+fn dsi_keeps_ior_stable_across_live_edits() {
+    // §5.2.2: DSI avoids reinitializing the server ORB when methods
+    // change — the published IOR stays valid across many edits.
+    let manager = manager();
+    let class = greeter_class();
+    let server = manager.deploy_corba(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    let original_ior = server.ior();
+
+    for i in 0..5 {
+        class
+            .add_method(
+                MethodBuilder::new(format!("v{i}"), TypeDesc::Int)
+                    .distributed(true)
+                    .body_expr(Expr::lit(i * 10)),
+            )
+            .expect("edit");
+        server.publisher().ensure_current();
+        stub.refresh().expect("refresh");
+        let v = env
+            .call(&stub, &format!("v{i}"), &[])
+            .expect("call new method");
+        assert_eq!(v, Value::Int(i * 10));
+    }
+    assert_eq!(server.ior(), original_ior, "ORB never reinitialized");
+    manager.shutdown();
+}
+
+#[test]
+fn corba_user_exception_maps_to_application_error() {
+    let manager = manager();
+    let class = greeter_class();
+    class
+        .add_method(
+            MethodBuilder::new("fail", TypeDesc::Void)
+                .distributed(true)
+                .body_block(vec![Stmt::Throw(Expr::lit("corba boom"))]),
+        )
+        .expect("fail");
+    let server = manager.deploy_corba(class).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    match env.call(&stub, "fail", &[]) {
+        Err(CallError::Application(m)) => assert!(m.contains("corba boom"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    manager.shutdown();
+}
+
+#[test]
+fn structured_values_over_giop() {
+    let manager = manager();
+    let class = ClassHandle::new("Warehouse");
+    class
+        .add_method(
+            MethodBuilder::new("first_sku", TypeDesc::Str)
+                .param(
+                    "items",
+                    TypeDesc::Seq(Box::new(TypeDesc::Named("Item".into()))),
+                )
+                .distributed(true)
+                .body_native(|_f, args| {
+                    let Value::Seq(_, items) = &args[0] else {
+                        return Err(jpie::JpieError::TypeError("seq".into()));
+                    };
+                    let Some(Value::Struct(s)) = items.first() else {
+                        return Ok(Value::Str(String::new()));
+                    };
+                    Ok(s.field("sku").cloned().unwrap_or(Value::Str(String::new())))
+                }),
+        )
+        .expect("method");
+    let server = manager.deploy_corba(class).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    let items = Value::Seq(
+        TypeDesc::Named("Item".into()),
+        vec![Value::Struct(
+            StructValue::new("Item").with("sku", Value::Str("SKU-1".into())),
+        )],
+    );
+    let v = env.call(&stub, "first_sku", &[items]).expect("call");
+    assert_eq!(v, Value::Str("SKU-1".into()));
+    manager.shutdown();
+}
+
+#[test]
+fn corba_works_over_tcp_loopback() {
+    let manager = SdeManager::new(SdeConfig {
+        transport: TransportKind::Tcp,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+    })
+    .expect("manager");
+    let server = manager.deploy_corba(greeter_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    assert!(server.ior().address.starts_with("tcp://127.0.0.1:"));
+
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    let v = env
+        .call(&stub, "greet", &[Value::Str("tcp".into())])
+        .expect("call");
+    assert_eq!(v, Value::Str("hi tcp".into()));
+    manager.shutdown();
+}

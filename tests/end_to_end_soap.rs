@@ -1,0 +1,288 @@
+//! End-to-end SOAP flows across the full stack: jpie class → SDE
+//! deployment → published WSDL → CDE stub → HTTP/SOAP wire → live
+//! instance, exercising the §5.1 fault matrix and live edits.
+
+use std::time::Duration;
+
+use jpie::expr::{Expr, Stmt};
+use jpie::{ClassHandle, MethodBuilder, StructValue, TypeDesc, Value};
+use live_rmi::cde::{CallError, ClientEnvironment};
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+    })
+    .expect("manager")
+}
+
+fn calc_class() -> ClassHandle {
+    let class = ClassHandle::new("Calc");
+    class
+        .add_method(
+            MethodBuilder::new("add", TypeDesc::Int)
+                .param("a", TypeDesc::Int)
+                .param("b", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("a") + Expr::param("b")),
+        )
+        .expect("add");
+    class
+}
+
+#[test]
+fn full_deploy_connect_call_cycle() {
+    let manager = manager();
+    let server = manager.deploy_soap(calc_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    assert_eq!(stub.operations().len(), 1);
+    let v = env
+        .call(&stub, "add", &[Value::Int(19), Value::Int(23)])
+        .expect("call");
+    assert_eq!(v, Value::Int(42));
+    manager.shutdown();
+}
+
+#[test]
+fn minimal_wsdl_before_instance_exists() {
+    // §5.1.1: the minimal WSDL (endpoint, no need for an instance) is
+    // published immediately on deployment; the handler answers faults
+    // until an instance exists.
+    let manager = manager();
+    let class = ClassHandle::new("Nascent");
+    let server = manager.deploy_soap(class).expect("deploy");
+    let wsdl = manager
+        .interface_document("Nascent")
+        .expect("minimal wsdl published at deploy time");
+    assert!(wsdl.contains("soap:address"));
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let err = env.call(&stub, "anything", &[]).expect_err("no instance");
+    assert_eq!(err, CallError::ServerNotInitialized);
+    manager.shutdown();
+}
+
+#[test]
+fn complex_types_cross_the_wire() {
+    let manager = manager();
+    let class = ClassHandle::new("Shapes");
+    class
+        .add_method(
+            MethodBuilder::new("mirror", TypeDesc::Named("Point".into()))
+                .param("p", TypeDesc::Named("Point".into()))
+                .distributed(true)
+                .body_native(|_fields, args| {
+                    let Value::Struct(s) = &args[0] else {
+                        return Err(jpie::JpieError::TypeError("want struct".into()));
+                    };
+                    let mut out = StructValue::new("Point");
+                    for (name, value) in &s.fields {
+                        let flipped = match value {
+                            Value::Int(i) => Value::Int(-i),
+                            other => other.clone(),
+                        };
+                        out.fields.push((name.clone(), flipped));
+                    }
+                    Ok(Value::Struct(out))
+                }),
+        )
+        .expect("mirror");
+    class
+        .add_method(
+            MethodBuilder::new("total", TypeDesc::Int)
+                .param("xs", TypeDesc::Seq(Box::new(TypeDesc::Int)))
+                .distributed(true)
+                .body_native(|_fields, args| {
+                    let Value::Seq(_, items) = &args[0] else {
+                        return Err(jpie::JpieError::TypeError("want seq".into()));
+                    };
+                    let mut sum = 0;
+                    for item in items {
+                        if let Value::Int(i) = item {
+                            sum += i;
+                        }
+                    }
+                    Ok(Value::Int(sum))
+                }),
+        )
+        .expect("total");
+    let server = manager.deploy_soap(class).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+
+    let point = Value::Struct(
+        StructValue::new("Point")
+            .with("x", Value::Int(3))
+            .with("y", Value::Int(-4)),
+    );
+    let mirrored = env.call(&stub, "mirror", &[point]).expect("mirror");
+    assert_eq!(
+        mirrored,
+        Value::Struct(
+            StructValue::new("Point")
+                .with("x", Value::Int(-3))
+                .with("y", Value::Int(4))
+        )
+    );
+
+    let xs = Value::Seq(
+        TypeDesc::Int,
+        vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+    );
+    assert_eq!(
+        env.call(&stub, "total", &[xs]).expect("total"),
+        Value::Int(6)
+    );
+    manager.shutdown();
+}
+
+#[test]
+fn application_exception_surfaces_as_call_error() {
+    let manager = manager();
+    let class = calc_class();
+    class
+        .add_method(
+            MethodBuilder::new("explode", TypeDesc::Void)
+                .distributed(true)
+                .body_block(vec![Stmt::Throw(Expr::lit("server-side bug"))]),
+        )
+        .expect("explode");
+    let server = manager.deploy_soap(class).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    match env.call(&stub, "explode", &[]) {
+        Err(CallError::Application(m)) => assert!(m.contains("server-side bug"), "{m}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    manager.shutdown();
+}
+
+#[test]
+fn interface_server_serves_versions() {
+    let manager = manager();
+    let class = calc_class();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let v1 = server.publisher().published_version();
+
+    class
+        .add_method(MethodBuilder::new("sub", TypeDesc::Int).distributed(true))
+        .expect("sub");
+    server.publisher().ensure_current();
+    let v2 = server.publisher().published_version();
+    assert!(v2 > v1);
+
+    let doc = manager.store().get("/Calc.wsdl").expect("published");
+    assert_eq!(doc.version, v2);
+    assert!(doc.content.contains("sub"));
+    manager.shutdown();
+}
+
+#[test]
+fn publication_history_is_monotonic_through_the_stack() {
+    let manager = manager();
+    let class = calc_class();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.publisher().ensure_current();
+    for i in 0..4 {
+        class
+            .add_method(MethodBuilder::new(format!("gen{i}"), TypeDesc::Void).distributed(true))
+            .expect("edit");
+        server.publisher().ensure_current();
+    }
+    let history = manager.store().history("/Calc.wsdl");
+    assert!(history.len() >= 2, "{history:?}");
+    assert!(
+        history.windows(2).all(|w| w[0] < w[1]),
+        "strictly increasing published versions: {history:?}"
+    );
+    assert_eq!(*history.last().unwrap(), class.interface_version());
+    manager.shutdown();
+}
+
+#[test]
+fn soap_works_over_tcp_loopback() {
+    let manager = SdeManager::new(SdeConfig {
+        transport: TransportKind::Tcp,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+    })
+    .expect("manager");
+    let server = manager.deploy_soap(calc_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    assert!(server.wsdl_url().starts_with("tcp://127.0.0.1:"));
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let v = env
+        .call(&stub, "add", &[Value::Int(1), Value::Int(2)])
+        .expect("call");
+    assert_eq!(v, Value::Int(3));
+    manager.shutdown();
+}
+
+#[test]
+fn concurrent_clients_during_live_edits() {
+    use std::sync::Arc;
+    let manager = Arc::new(manager());
+    let class = calc_class();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let wsdl_url = server.wsdl_url().to_string();
+
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let url = wsdl_url.clone();
+        clients.push(std::thread::spawn(move || {
+            let env = ClientEnvironment::new();
+            let stub = env.connect_soap(&url).expect("stub");
+            let mut successes = 0;
+            let mut stales = 0;
+            for i in 0..30 {
+                match env.call(&stub, "add", &[Value::Int(i), Value::Int(1)]) {
+                    Ok(v) => {
+                        assert_eq!(v, Value::Int(i + 1));
+                        successes += 1;
+                    }
+                    Err(CallError::StaleMethod { .. }) => stales += 1,
+                    Err(other) => panic!("unexpected error {other:?}"),
+                }
+            }
+            (successes, stales)
+        }));
+    }
+    // Concurrent body edits (no interface change): calls must keep
+    // succeeding throughout.
+    let add = class.find_method("add").expect("add");
+    for _ in 0..10 {
+        class
+            .set_body_expr(add, Expr::param("a") + Expr::param("b"))
+            .expect("edit");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for c in clients {
+        let (successes, stales) = c.join().expect("client thread");
+        assert_eq!(stales, 0, "body edits never produce stale methods");
+        assert_eq!(successes, 30);
+    }
+    manager.shutdown();
+}

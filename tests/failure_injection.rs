@@ -1,0 +1,258 @@
+//! Failure injection at the wire level: malformed HTTP, malformed SOAP,
+//! corrupt GIOP frames, truncated messages and abrupt disconnects must
+//! produce the paper's fault responses (or clean connection closure) and
+//! must never wedge the server — subsequent well-formed calls succeed.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use httpd::transport::connect;
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::ClientEnvironment;
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+    })
+    .expect("manager")
+}
+
+fn echo_class() -> ClassHandle {
+    let class = ClassHandle::new("Robust");
+    class
+        .add_method(
+            MethodBuilder::new("echo", TypeDesc::Str)
+                .param("s", TypeDesc::Str)
+                .distributed(true)
+                .body_expr(Expr::param("s")),
+        )
+        .expect("echo");
+    class
+}
+
+/// Utility: assert a healthy call still works through the full stack.
+fn assert_soap_alive(env: &ClientEnvironment, stub: &std::sync::Arc<cde::DynamicStub>) {
+    let v = env
+        .call(stub, "echo", &[Value::Str("still alive".into())])
+        .expect("healthy call after injection");
+    assert_eq!(v, Value::Str("still alive".into()));
+}
+
+#[test]
+fn soap_endpoint_survives_http_garbage() {
+    let manager = manager();
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+
+    let endpoint = server.endpoint_url();
+    let authority = endpoint
+        .rsplit_once('/')
+        .map(|(a, _)| a.to_string())
+        .unwrap_or(endpoint.clone());
+
+    for garbage in [
+        &b"\x00\x01\x02\x03 total nonsense\r\n\r\n"[..],
+        &b"BREW /coffee HTCPCP/1.0\r\n\r\n"[..],
+        &b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..],
+        &b"GET"[..], // truncated request line then close
+    ] {
+        let mut conn = connect(&authority).expect("connect");
+        let _ = conn.write_all(garbage);
+        conn.shutdown();
+    }
+    assert_soap_alive(&env, &stub);
+    manager.shutdown();
+}
+
+#[test]
+fn soap_endpoint_answers_malformed_soap_fault() {
+    let manager = manager();
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    // Well-formed HTTP, broken SOAP payloads (§5.1.3 "Malformed SOAP
+    // Request" path).
+    for payload in [
+        "not xml at all",
+        "<unclosed>",
+        "<notsoap/>",
+        "<soapenv:Envelope><soapenv:Body/></soapenv:Envelope>", // empty body
+        "<soapenv:Envelope><soapenv:Body><m><arg>no type</arg></m></soapenv:Body></soapenv:Envelope>",
+    ] {
+        let resp = httpd::HttpClient::new()
+            .post(&server.endpoint_url(), payload.as_bytes().to_vec(), "text/xml")
+            .expect("http ok");
+        assert_eq!(resp.status(), 500, "{payload}");
+        match soap::decode_response(&resp.body_str()).expect("fault envelope") {
+            soap::SoapResponse::Fault(f) => {
+                assert_eq!(f.fault_string, "Malformed SOAP Request", "{payload}")
+            }
+            other => panic!("expected fault for {payload}: {other:?}"),
+        }
+    }
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    assert_soap_alive(&env, &stub);
+    manager.shutdown();
+}
+
+#[test]
+fn orb_survives_giop_garbage() {
+    let manager = manager();
+    let server = manager.deploy_corba(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let ior = server.ior();
+
+    // 1. Non-GIOP bytes.
+    {
+        let mut conn = connect(&ior.address).expect("connect");
+        let _ = conn.write_all(b"GET / HTTP/1.1\r\n\r\n");
+        // Server should drop the connection (bad magic): read yields EOF.
+        let mut buf = [0u8; 16];
+        conn.set_read_timeout(Some(Duration::from_millis(200))).ok();
+        let n = conn.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "connection closed on bad magic");
+    }
+
+    // 2. Valid header claiming a huge body.
+    {
+        let mut frame = b"GIOP".to_vec();
+        frame.extend_from_slice(&[1, 0, 0, 0]);
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut conn = connect(&ior.address).expect("connect");
+        let _ = conn.write_all(&frame);
+        let mut buf = [0u8; 16];
+        conn.set_read_timeout(Some(Duration::from_millis(200))).ok();
+        let n = conn.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "connection closed on hostile size");
+    }
+
+    // 3. Truncated request: header promising more bytes than sent, then
+    //    disconnect.
+    {
+        let mut frame = b"GIOP".to_vec();
+        frame.extend_from_slice(&[1, 0, 0, 0]);
+        frame.extend_from_slice(&64u32.to_be_bytes());
+        frame.extend_from_slice(&[0u8; 10]); // only 10 of 64 bytes
+        let mut conn = connect(&ior.address).expect("connect");
+        let _ = conn.write_all(&frame);
+        conn.shutdown();
+    }
+
+    // 4. Malformed body (valid frame, garbage CDR): the server answers
+    //    with a MARSHAL system exception rather than dying.
+    {
+        let body = vec![0xFFu8; 16];
+        let mut frame = b"GIOP".to_vec();
+        frame.extend_from_slice(&[1, 0, 0, 0]); // big-endian, Request
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&body);
+        let mut conn = connect(&ior.address).expect("connect");
+        conn.write_all(&frame).expect("write");
+        let mut reader = conn;
+        let reply = corba::giop::read_message(&mut reader)
+            .expect("reply readable")
+            .expect("reply present");
+        assert_eq!(reply.0, corba::giop::MsgType::Reply);
+        let decoded = corba::giop::decode_reply(&reply.1, reply.2).expect("decode");
+        assert!(matches!(
+            decoded.body,
+            corba::giop::ReplyBody::SystemException { .. }
+        ));
+    }
+
+    // Server is still healthy.
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    let v = env
+        .call(&stub, "echo", &[Value::Str("post-chaos".into())])
+        .expect("healthy call");
+    assert_eq!(v, Value::Str("post-chaos".into()));
+    manager.shutdown();
+}
+
+#[test]
+fn client_surfaces_transport_failure_cleanly() {
+    let manager = manager();
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    assert_soap_alive(&env, &stub);
+
+    // Kill the whole deployment; the client gets a transport/interface
+    // error, not a panic or a hang.
+    manager.shutdown();
+    let err = env
+        .call(&stub, "echo", &[Value::Str("x".into())])
+        .expect_err("server gone");
+    assert!(matches!(
+        err,
+        cde::CallError::Transport(_) | cde::CallError::Interface(_)
+    ));
+}
+
+#[test]
+fn watcher_survives_interface_fetch_failures() {
+    // The CDE interface watcher must tolerate transient failures of the
+    // Interface Server and pick up changes once it is reachable again.
+    let manager = manager();
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let watcher = env.watch(stub.clone(), Duration::from_millis(5), None);
+
+    // Retract the WSDL: every poll now fails (404), which must not kill
+    // the watcher thread.
+    manager.store().retract("/Robust.wsdl");
+    std::thread::sleep(Duration::from_millis(40));
+
+    // Republish with a change: the watcher must report it.
+    server
+        .class()
+        .add_method(MethodBuilder::new("extra", TypeDesc::Void).distributed(true))
+        .expect("edit");
+    server.publisher().ensure_current();
+    let version = watcher
+        .wait_for_update(Duration::from_secs(5))
+        .expect("watcher recovered and saw the change");
+    assert_eq!(version, server.class().interface_version());
+    watcher.stop();
+    manager.shutdown();
+}
+
+#[test]
+fn interface_server_survives_garbage_requests() {
+    let manager = manager();
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.publisher().ensure_current();
+
+    let base = manager.interface_server().base_url();
+    for garbage in [&b"\x01\x02\x03"[..], &b"OPTIONS * HTTP/9.9\r\n\r\n"[..]] {
+        let mut conn = connect(&base).expect("connect");
+        let _ = conn.write_all(garbage);
+        conn.shutdown();
+    }
+    // Still serving documents.
+    let resp = httpd::HttpClient::new()
+        .get(server.wsdl_url())
+        .expect("wsdl fetch");
+    assert_eq!(resp.status(), 200);
+    manager.shutdown();
+}

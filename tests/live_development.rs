@@ -1,0 +1,502 @@
+//! Live, simultaneous client-server development scenarios (paper §6):
+//! signature changes under a connected client, the debugger's try-again,
+//! undo/redo at the middleware level, bound stub classes, and the SDE
+//! Manager Interface operations of §4.
+
+use std::time::Duration;
+
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::{CallError, ClientEnvironment};
+use live_rmi::sde::{
+    PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, Technology, TransportKind,
+};
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+    })
+    .expect("manager")
+}
+
+fn calc() -> ClassHandle {
+    let class = ClassHandle::new("Calc");
+    class
+        .add_method(
+            MethodBuilder::new("add", TypeDesc::Int)
+                .param("a", TypeDesc::Int)
+                .param("b", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("a") + Expr::param("b")),
+        )
+        .expect("add");
+    class
+}
+
+#[test]
+fn rename_surfaces_in_debugger_with_updated_interface() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    env.call(&stub, "add", &[Value::Int(1), Value::Int(1)])
+        .expect("works before rename");
+
+    let add = class.find_method("add").expect("add");
+    class.rename_method(add, "sum").expect("rename");
+
+    let err = env
+        .call(&stub, "add", &[Value::Int(1), Value::Int(1)])
+        .expect_err("stale after rename");
+    assert!(matches!(err, CallError::StaleMethod { .. }));
+
+    // §6: the change is visible when the developer inspects the error.
+    assert!(stub.operation("sum").is_some());
+    assert!(stub.operation("add").is_none());
+    let entry = env.debugger().latest().expect("debugger entry");
+    assert_eq!(entry.method, "add");
+    assert_eq!(entry.message, "Non existent Method");
+    manager.shutdown();
+}
+
+#[test]
+fn try_again_succeeds_after_server_restores_signature() {
+    // The paper's §6 tail case: the server developer changes the method
+    // back during the forced publication; the client may see no signature
+    // difference and uses try-again to resume.
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+
+    let add = class.find_method("add").expect("add");
+    class.rename_method(add, "sum").expect("rename");
+    let err = env
+        .call(&stub, "add", &[Value::Int(20), Value::Int(22)])
+        .expect_err("stale");
+    assert!(matches!(err, CallError::StaleMethod { .. }));
+
+    // Server developer undoes the rename (method is `add` again).
+    class.undo().expect("undo");
+    server.publisher().ensure_current();
+
+    // Try again re-executes the original failed call.
+    let v = env.debugger().try_again(0).expect("retry");
+    assert_eq!(v, Value::Int(42));
+    manager.shutdown();
+}
+
+#[test]
+fn parameter_addition_invalidates_old_call_shape() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+
+    let add = class.find_method("add").expect("add");
+    class.add_param(add, "c", TypeDesc::Int).expect("add param");
+    class
+        .set_body_expr(add, Expr::param("a") + Expr::param("b") + Expr::param("c"))
+        .expect("new body");
+
+    // Old 2-argument call: stale.
+    let err = env
+        .call(&stub, "add", &[Value::Int(1), Value::Int(2)])
+        .expect_err("old arity is stale");
+    assert!(matches!(err, CallError::StaleMethod { .. }));
+
+    // The refreshed view shows three parameters; the corrected call works.
+    let op = stub.operation("add").expect("add still present");
+    assert_eq!(op.params.len(), 3);
+    let v = env
+        .call(&stub, "add", &[Value::Int(1), Value::Int(2), Value::Int(3)])
+        .expect("new arity works");
+    assert_eq!(v, Value::Int(6));
+    manager.shutdown();
+}
+
+#[test]
+fn bound_stub_class_mirrors_interface_changes() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+
+    // CDE materializes the remote interface as a local dynamic class.
+    let local = env.bind_to_class(&stub);
+    assert!(local.find_method("add").is_some());
+
+    // Calls through the local class go over the wire.
+    let instance = local.instantiate().expect("local instance");
+    let v = instance
+        .invoke("add", &[Value::Int(3), Value::Int(4)])
+        .expect("forwarded call");
+    assert_eq!(v, Value::Int(7));
+
+    // The server grows an operation and loses another; syncing the bound
+    // class automates "addition, mutation, and deletion of dynamic server
+    // methods within dynamic clients".
+    class
+        .add_method(
+            MethodBuilder::new("neg", TypeDesc::Int)
+                .param("x", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(-Expr::param("x")),
+        )
+        .expect("neg");
+    let add = class.find_method("add").expect("add");
+    class.remove_method(add).expect("remove add");
+    server.publisher().ensure_current();
+    stub.refresh().expect("refresh");
+
+    let (added, removed, mutated) = env.sync_bound_class(&local, &stub);
+    assert_eq!((added, removed, mutated), (1, 1, 0));
+    assert!(local.find_method("add").is_none());
+    let v = instance.invoke("neg", &[Value::Int(9)]).expect("neg call");
+    assert_eq!(v, Value::Int(-9));
+    manager.shutdown();
+}
+
+#[test]
+fn bound_class_sync_replaces_mutated_signatures() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let local = env.bind_to_class(&stub);
+    assert_eq!(
+        local
+            .signature(local.find_method("add").unwrap())
+            .unwrap()
+            .params
+            .len(),
+        2
+    );
+
+    // The server's signature mutates (third parameter).
+    let add = class.find_method("add").expect("add");
+    class.add_param(add, "c", TypeDesc::Int).expect("param");
+    class
+        .set_body_expr(add, Expr::param("a") + Expr::param("b") + Expr::param("c"))
+        .expect("body");
+    server.publisher().ensure_current();
+    stub.refresh().expect("refresh");
+
+    let (added, removed, mutated) = env.sync_bound_class(&local, &stub);
+    assert_eq!((added, removed, mutated), (0, 0, 1));
+    let sig = local.signature(local.find_method("add").unwrap()).unwrap();
+    assert_eq!(sig.params.len(), 3);
+
+    // The replaced forwarding method calls through with the new shape.
+    let instance = local.instantiate().expect("instance");
+    assert_eq!(
+        instance
+            .invoke("add", &[Value::Int(1), Value::Int(2), Value::Int(3)])
+            .expect("call"),
+        Value::Int(6)
+    );
+    manager.shutdown();
+}
+
+#[test]
+fn manager_interface_operations() {
+    // §4: the SDE Manager Interface lets the user view documents, tune
+    // the timeout, and force publication.
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    assert_eq!(manager.managed(), vec![("Calc".into(), Technology::Soap)]);
+
+    let wsdl = manager.interface_document("Calc").expect("viewable");
+    assert!(wsdl.contains("wsdl:definitions"));
+    assert!(manager.interface_document("Nope").is_none());
+
+    manager
+        .set_timeout("Calc", Duration::from_millis(1))
+        .expect("set timeout");
+    assert!(manager
+        .set_timeout("Nope", Duration::from_millis(1))
+        .is_err());
+
+    class
+        .add_method(MethodBuilder::new("extra", TypeDesc::Void).distributed(true))
+        .expect("edit");
+    manager.force_publish("Calc").expect("force");
+    server.publisher().ensure_current();
+    assert!(manager
+        .interface_document("Calc")
+        .expect("updated")
+        .contains("extra"));
+
+    manager.undeploy("Calc").expect("undeploy");
+    assert!(manager.interface_document("Calc").is_none());
+    assert!(manager.undeploy("Calc").is_err());
+    manager.shutdown();
+}
+
+#[test]
+fn registry_triggers_automatic_deployment() {
+    use std::sync::Arc;
+    // §5.1.1/§5.2.1: extending a gateway class and loading it is all the
+    // developer does; SDE detects it and deploys automatically.
+    let manager = Arc::new(manager());
+    let registry = jpie::ClassRegistry::new();
+    let _watcher = manager.attach_registry(&registry);
+
+    let soap_class = ClassHandle::with_superclass("AutoSoap", "SOAPServer");
+    soap_class
+        .add_method(
+            MethodBuilder::new("ping", TypeDesc::Bool)
+                .distributed(true)
+                .body_expr(Expr::lit(true)),
+        )
+        .expect("ping");
+    registry.register(soap_class).expect("load");
+
+    let corba_class = ClassHandle::with_superclass("AutoCorba", "CORBAServer");
+    registry.register(corba_class).expect("load");
+
+    // Unrelated classes are ignored.
+    registry
+        .register(ClassHandle::with_superclass("NotAServer", "Object"))
+        .expect("load");
+    registry.register(ClassHandle::new("Plain")).expect("load");
+
+    // The watcher thread deploys asynchronously; wait briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while manager.managed().len() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut managed = manager.managed();
+    managed.sort();
+    assert_eq!(
+        managed,
+        vec![
+            ("AutoCorba".to_string(), Technology::Corba),
+            ("AutoSoap".to_string(), Technology::Soap),
+        ]
+    );
+    // The minimal documents were published as part of auto-deployment.
+    assert!(manager.store().get("/AutoSoap.wsdl").is_some());
+    assert!(manager.store().get("/AutoCorba.idl").is_some());
+    assert!(manager.store().get("/AutoCorba.ior").is_some());
+
+    // The auto-deployed SOAP server works end to end.
+    let server = manager.soap_server("AutoSoap").expect("deployed");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    assert_eq!(
+        env.call(&stub, "ping", &[]).expect("call"),
+        Value::Bool(true)
+    );
+    manager.shutdown();
+}
+
+#[test]
+fn duplicate_deployment_rejected() {
+    let manager = manager();
+    manager.deploy_soap(calc()).expect("first");
+    let second = ClassHandle::new("Calc");
+    assert!(manager.deploy_soap(second.clone()).is_err());
+    assert!(manager.deploy_corba(second).is_err());
+    manager.shutdown();
+}
+
+#[test]
+fn technology_interchange_preserves_state() {
+    let manager = manager();
+    let class = ClassHandle::new("Counter");
+    class.add_field("n", TypeDesc::Int).expect("field");
+    class
+        .add_method(
+            MethodBuilder::new("bump", TypeDesc::Int)
+                .distributed(true)
+                .body_block(vec![
+                    jpie::expr::Stmt::SetField("n".into(), Expr::field("n") + Expr::lit(1)),
+                    jpie::expr::Stmt::Return(Some(Expr::field("n"))),
+                ]),
+        )
+        .expect("bump");
+    let soap = manager.deploy_soap(class).expect("deploy");
+    soap.create_instance().expect("instance");
+    soap.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(soap.wsdl_url()).expect("stub");
+    assert_eq!(env.call(&stub, "bump", &[]).expect("1"), Value::Int(1));
+    assert_eq!(env.call(&stub, "bump", &[]).expect("2"), Value::Int(2));
+
+    // Live switch to CORBA: the same instance keeps counting.
+    assert_eq!(
+        manager.switch_technology("Counter").expect("switch"),
+        Technology::Corba
+    );
+    let corba = manager.corba_server("Counter").expect("corba side");
+    corba.publisher().force_publish();
+    corba.publisher().ensure_current();
+    let corba_stub = env
+        .connect_corba(corba.idl_url(), corba.ior_url())
+        .expect("corba stub");
+    assert_eq!(
+        env.call(&corba_stub, "bump", &[]).expect("3"),
+        Value::Int(3)
+    );
+
+    // The old SOAP document was retracted.
+    assert!(manager.store().get("/Counter.wsdl").is_none());
+    assert!(manager.store().get("/Counter.idl").is_some());
+    manager.shutdown();
+}
+
+#[test]
+fn interface_watcher_propagates_changes_between_calls() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let local = env.bind_to_class(&stub);
+    let watcher = env.watch(stub.clone(), Duration::from_millis(5), Some(local.clone()));
+
+    // Server grows an operation; the client makes NO call — the watcher
+    // alone must propagate the change.
+    class
+        .add_method(
+            MethodBuilder::new("triple", TypeDesc::Int)
+                .param("x", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("x") * Expr::lit(3)),
+        )
+        .expect("triple");
+    server.publisher().ensure_current();
+
+    let version = watcher
+        .wait_for_update(Duration::from_secs(5))
+        .expect("watcher saw the change");
+    assert_eq!(version, class.interface_version());
+    assert!(stub.operation("triple").is_some());
+    assert!(local.find_method("triple").is_some(), "bound class synced");
+
+    // And the propagated stub method actually calls through.
+    let instance = local.instantiate().expect("instance");
+    assert_eq!(
+        instance.invoke("triple", &[Value::Int(7)]).expect("call"),
+        Value::Int(21)
+    );
+    watcher.stop();
+    manager.shutdown();
+}
+
+#[test]
+fn jpie_script_bodies_drive_live_servers() {
+    // Server logic written as JPie-script text, live-edited as text.
+    let manager = manager();
+    let class = ClassHandle::new("Scripted");
+    class.add_field("hits", TypeDesc::Int).expect("field");
+    let id = class
+        .add_method(
+            MethodBuilder::new("classify", TypeDesc::Str)
+                .param("n", TypeDesc::Int)
+                .distributed(true)
+                .body_source(
+                    "this.hits = this.hits + 1; \
+                     if (n < 0) { return \"negative\"; } \
+                     if (n == 0) { return \"zero\"; } \
+                     return \"positive\";",
+                )
+                .expect("parse body"),
+        )
+        .expect("method");
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    assert_eq!(
+        env.call(&stub, "classify", &[Value::Int(-5)])
+            .expect("call"),
+        Value::Str("negative".into())
+    );
+
+    // The developer views the source of the running method...
+    let source = class
+        .method_source(id)
+        .expect("id ok")
+        .expect("interpreted");
+    assert!(source.contains("return \"positive\";"), "{source}");
+
+    // ...and live-replaces it with new text.
+    class
+        .set_body_source(
+            id,
+            "this.hits = this.hits + 1; \
+             if (n % 2 == 0) { return \"even\"; } return \"odd\";",
+        )
+        .expect("reparse");
+    assert_eq!(
+        env.call(&stub, "classify", &[Value::Int(4)]).expect("call"),
+        Value::Str("even".into())
+    );
+    // Field state persisted across the text edit.
+    assert_eq!(
+        server
+            .instance()
+            .expect("live")
+            .field("hits")
+            .expect("hits"),
+        Value::Int(2)
+    );
+    manager.shutdown();
+}
+
+#[test]
+fn undo_redo_republish_cycle() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.publisher().ensure_current();
+    let v_initial = server.publisher().published_version();
+
+    class
+        .add_method(MethodBuilder::new("tmp", TypeDesc::Void).distributed(true))
+        .expect("add");
+    server.publisher().ensure_current();
+    assert!(manager
+        .interface_document("Calc")
+        .expect("doc")
+        .contains("tmp"));
+
+    class.undo().expect("undo");
+    server.publisher().ensure_current();
+    let doc = manager.interface_document("Calc").expect("doc");
+    assert!(!doc.contains("tmp"), "undo removed the operation");
+    assert!(server.publisher().published_version() > v_initial);
+    manager.shutdown();
+}

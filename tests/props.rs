@@ -1,0 +1,487 @@
+//! Property-based tests on the wire substrates and core data structures:
+//! arbitrary values must survive every encode/decode pair in the system
+//! (CDR any, SOAP encoding, GIOP framing), arbitrary interfaces must
+//! survive WSDL and IDL round trips, and XML escaping must be lossless.
+
+use jpie::{SignatureView, StructValue, TypeDesc, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Identifiers that cannot collide with IDL keywords or type names.
+const RESERVED: &[&str] = &[
+    "in",
+    "long",
+    "void",
+    "boolean",
+    "float",
+    "double",
+    "char",
+    "string",
+    "sequence",
+    "module",
+    "interface",
+    "item",
+    "return",
+];
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| !RESERVED.contains(&s.as_str()))
+}
+
+fn arb_type_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,8}".prop_map(|s| s)
+}
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        any::<f32>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Double),
+        any::<char>().prop_map(Value::Char),
+        // Strings without NUL (CDR strings are NUL-terminated) and valid
+        // XML scalar content after unescaping.
+        "[ -~]{0,24}".prop_map(Value::Str),
+    ]
+}
+
+/// Values with bounded nesting: scalars, structs, sequences.
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Struct with up to 4 named fields.
+            (
+                arb_type_name(),
+                prop::collection::vec((arb_ident(), inner.clone()), 0..4)
+            )
+                .prop_map(|(type_name, fields)| {
+                    let mut s = StructValue::new(type_name);
+                    // Field names must be unique to survive XML mapping.
+                    let mut seen = std::collections::HashSet::new();
+                    for (name, v) in fields {
+                        if seen.insert(name.clone()) {
+                            s.fields.push((name, v));
+                        }
+                    }
+                    Value::Struct(s)
+                }),
+            // Homogeneous int/str sequences (simple, well-typed cases).
+            prop::collection::vec(any::<i32>().prop_map(Value::Int), 0..5)
+                .prop_map(|items| Value::Seq(TypeDesc::Int, items)),
+            prop::collection::vec("[ -~]{0,12}".prop_map(Value::Str), 0..4)
+                .prop_map(|items| Value::Seq(TypeDesc::Str, items)),
+            // Nested sequences.
+            prop::collection::vec(
+                prop::collection::vec(any::<i32>().prop_map(Value::Int), 0..3)
+                    .prop_map(|items| Value::Seq(TypeDesc::Int, items)),
+                0..3
+            )
+            .prop_map(|rows| Value::Seq(TypeDesc::Seq(Box::new(TypeDesc::Int)), rows)),
+        ]
+    })
+}
+
+fn arb_leaf_type() -> impl Strategy<Value = TypeDesc> {
+    prop_oneof![
+        Just(TypeDesc::Bool),
+        Just(TypeDesc::Int),
+        Just(TypeDesc::Long),
+        Just(TypeDesc::Float),
+        Just(TypeDesc::Double),
+        Just(TypeDesc::Char),
+        Just(TypeDesc::Str),
+        arb_type_name().prop_map(TypeDesc::Named),
+    ]
+}
+
+fn arb_param_type() -> impl Strategy<Value = TypeDesc> {
+    prop_oneof![
+        arb_leaf_type(),
+        arb_leaf_type().prop_map(|t| TypeDesc::Seq(Box::new(t))),
+        arb_leaf_type().prop_map(|t| TypeDesc::Seq(Box::new(TypeDesc::Seq(Box::new(t))))),
+    ]
+}
+
+fn arb_return_type() -> impl Strategy<Value = TypeDesc> {
+    prop_oneof![Just(TypeDesc::Void), arb_param_type()]
+}
+
+/// A random distributed interface (as signature views).
+fn arb_interface() -> impl Strategy<Value = Vec<SignatureView>> {
+    prop::collection::vec(
+        (
+            arb_ident(),
+            prop::collection::vec((arb_ident(), arb_param_type()), 0..4),
+            arb_return_type(),
+        ),
+        0..5,
+    )
+    .prop_map(|ops| {
+        let mut seen_methods = std::collections::HashSet::new();
+        ops.into_iter()
+            .enumerate()
+            .filter_map(|(i, (name, params, return_ty))| {
+                if !seen_methods.insert(name.clone()) {
+                    return None;
+                }
+                let mut seen_params = std::collections::HashSet::new();
+                let params = params
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(j, (pname, pty))| {
+                        seen_params.insert(pname.clone()).then_some((
+                            jpie::ParamId::from_raw(j as u64),
+                            pname,
+                            pty,
+                        ))
+                    })
+                    .collect();
+                Some(SignatureView {
+                    id: jpie::MethodId::from_raw(i as u64),
+                    name,
+                    params,
+                    return_ty,
+                    distributed: true,
+                })
+            })
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CDR / GIOP properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cdr_any_roundtrips(value in arb_value(), big_endian in any::<bool>()) {
+        let mut w = corba::cdr::CdrWriter::new(big_endian);
+        corba::cdr::write_any(&mut w, &value);
+        let bytes = w.into_bytes();
+        let mut r = corba::cdr::CdrReader::new(&bytes, big_endian);
+        let decoded = corba::cdr::read_any(&mut r).expect("decode");
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn cdr_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = corba::cdr::CdrReader::new(&bytes, true);
+        let _ = corba::cdr::read_any(&mut r); // must return Err, not panic
+    }
+
+    #[test]
+    fn giop_request_roundtrips(
+        args in prop::collection::vec(arb_value(), 0..4),
+        op in arb_ident(),
+        id in any::<u32>(),
+    ) {
+        let req = corba::giop::RequestMessage {
+            request_id: id,
+            response_expected: true,
+            object_key: b"key".to_vec(),
+            operation: op,
+            args,
+        };
+        let mut buf = Vec::new();
+        corba::giop::write_request(&mut buf, &req).expect("write");
+        let mut cursor = &buf[..];
+        let (ty, body, be) = corba::giop::read_message(&mut cursor).expect("read").expect("some");
+        prop_assert_eq!(ty, corba::giop::MsgType::Request);
+        let decoded = corba::giop::decode_request(&body, be).expect("decode");
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn giop_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut cursor = &bytes[..];
+        let _ = corba::giop::read_message(&mut cursor);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SOAP / XML properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn soap_request_roundtrips(
+        args in prop::collection::vec((arb_ident(), arb_value()), 0..4),
+        method in arb_ident(),
+    ) {
+        // Unique argument names (XML elements are keyed by name here).
+        let mut seen = std::collections::HashSet::new();
+        let mut req = soap::SoapRequest::new("urn:prop", method);
+        let mut expected = Vec::new();
+        for (name, value) in args {
+            if seen.insert(name.clone()) {
+                expected.push((name.clone(), value.clone()));
+                req = req.arg(name, value);
+            }
+        }
+        let xml = req.to_xml();
+        let back = soap::decode_request(&xml).expect("decode");
+        prop_assert_eq!(back.args(), &expected[..]);
+    }
+
+    #[test]
+    fn soap_response_roundtrips(value in arb_value()) {
+        let xml = soap::SoapResponse::encode_ok("m", "urn:prop", &value);
+        match soap::decode_response(&xml).expect("decode") {
+            soap::SoapResponse::Ok(v) => prop_assert_eq!(v, value),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn soap_decode_never_panics(input in "\\PC*") {
+        let _ = soap::decode_request(&input);
+        let _ = soap::decode_response(&input);
+    }
+
+    #[test]
+    fn xml_escape_roundtrips(text in "\\PC{0,64}") {
+        prop_assert_eq!(xmlrt::unescape(&xmlrt::escape(&text)).expect("unescape"), text.clone());
+        prop_assert_eq!(xmlrt::unescape(&xmlrt::escape_attr(&text)).expect("unescape"), text);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(input in "\\PC{0,64}") {
+        let _ = xmlrt::XmlNode::parse(&input);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JPie-script source round trip
+// ---------------------------------------------------------------------------
+
+fn arb_script_expr() -> impl Strategy<Value = jpie::expr::Expr> {
+    use jpie::expr::{BinOp, Builtin, Expr, UnOp};
+    let leaf = prop_oneof![
+        (0i32..1000).prop_map(|i| Expr::Lit(Value::Int(i))),
+        any::<bool>().prop_map(|b| Expr::Lit(Value::Bool(b))),
+        "[ -~&&[^\"\\\\]]{0,8}".prop_map(|s| Expr::Lit(Value::Str(s))),
+        arb_ident().prop_map(Expr::Local),
+        arb_ident().prop_map(Expr::FieldRef),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Lt),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r)
+                }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e)
+            }),
+            (
+                arb_ident(),
+                prop::collection::vec((arb_ident(), inner.clone()), 0..3)
+            )
+                .prop_map(|(method, args)| {
+                    let mut seen = std::collections::HashSet::new();
+                    Expr::SelfCall {
+                        method,
+                        args: args
+                            .into_iter()
+                            .filter(|(n, _)| seen.insert(n.clone()))
+                            .collect(),
+                    }
+                }),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(|args| Expr::Call {
+                builtin: Builtin::ToStr,
+                args: args
+                    .into_iter()
+                    .take(1)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .collect()
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn jpie_script_print_parse_roundtrip(expr in arb_script_expr()) {
+        // Binary comparisons are non-associative in the grammar (no
+        // chained `a < b < c`), so only shapes the printer can emit are
+        // generated above. Print → parse must reproduce the tree.
+        let src = jpie::parse::expr_to_source(&expr);
+        let reparsed = jpie::parse::parse_expr(&src)
+            .unwrap_or_else(|e| panic!("reparse of {src:?} failed: {e}"));
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    #[test]
+    fn jpie_script_parser_never_panics(input in "\\PC{0,64}") {
+        let _ = jpie::parse::parse_block(&input);
+        let _ = jpie::parse::parse_expr(&input);
+    }
+}
+
+/// Identifiers safe for class members in JPie script (no script keywords).
+fn arb_member_ident() -> impl Strategy<Value = String> {
+    const SCRIPT_RESERVED: &[&str] = &[
+        "let",
+        "if",
+        "else",
+        "while",
+        "return",
+        "throw",
+        "this",
+        "new",
+        "seq",
+        "true",
+        "false",
+        "null",
+        "class",
+        "extends",
+        "field",
+        "distributed",
+        "len",
+        "get",
+        "push",
+        "to_string",
+        "contains",
+        "in",
+        "long",
+        "void",
+        "boolean",
+        "float",
+        "double",
+        "char",
+        "string",
+        "int",
+        "item",
+        "module",
+        "interface",
+    ];
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not reserved", |s| !SCRIPT_RESERVED.contains(&s.as_str()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn class_source_is_a_fixed_point(
+        class_name in arb_type_name(),
+        superclass in prop::option::of(arb_type_name()),
+        fields in prop::collection::vec((arb_member_ident(), arb_param_type()), 0..3),
+        methods in prop::collection::vec(
+            (arb_member_ident(),
+             prop::collection::vec((arb_member_ident(), arb_param_type()), 0..3),
+             arb_return_type(),
+             any::<bool>(),
+             (0i32..100)),
+            0..4,
+        ),
+    ) {
+        let class = match &superclass {
+            Some(s) => jpie::ClassHandle::with_superclass(&class_name, s),
+            None => jpie::ClassHandle::new(&class_name),
+        };
+        let mut seen_fields = std::collections::HashSet::new();
+        for (name, ty) in fields {
+            if seen_fields.insert(name.clone()) {
+                class.add_field(&name, ty).expect("field");
+            }
+        }
+        let mut seen_methods = seen_fields; // avoid method/field confusion in source
+        for (name, params, return_ty, distributed, ret) in methods {
+            if !seen_methods.insert(name.clone()) {
+                continue;
+            }
+            let mut b = jpie::MethodBuilder::new(&name, return_ty).distributed(distributed);
+            let mut seen_params = std::collections::HashSet::new();
+            for (pname, pty) in params {
+                if seen_params.insert(pname.clone()) {
+                    b = b.param(pname, pty);
+                }
+            }
+            b = b.body_source(&format!("return {ret};")).expect("body");
+            class.add_method(b).expect("method");
+        }
+        let rendered = class.class_source();
+        let reparsed = jpie::parse::parse_class(&rendered)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        prop_assert_eq!(reparsed.class_source(), rendered);
+        prop_assert_eq!(reparsed.superclass(), class.superclass());
+        prop_assert_eq!(
+            reparsed.signatures().len(),
+            class.signatures().len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interface-document properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wsdl_roundtrips_arbitrary_interfaces(sigs in arb_interface(), version in any::<u64>()) {
+        let doc = soap::WsdlDocument::from_signatures("Svc", "mem://svc/Svc", &sigs, version);
+        let back = soap::WsdlDocument::parse(&doc.to_xml()).expect("parse");
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn idl_roundtrips_arbitrary_interfaces(sigs in arb_interface(), version in any::<u64>()) {
+        let module = corba::IdlModule::from_signatures("Svc", &sigs, version);
+        let back = corba::IdlModule::parse(&module.to_idl()).expect("parse");
+        prop_assert_eq!(back, module);
+    }
+
+    #[test]
+    fn idl_parse_never_panics(input in "\\PC{0,64}") {
+        let _ = corba::IdlModule::parse(&input);
+    }
+
+    #[test]
+    fn ior_roundtrips(
+        type_id in "[A-Za-z:./0-9]{1,24}",
+        addr in "[a-z0-9:/._-]{1,24}",
+        key in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let ior = corba::Ior::new(type_id, addr, key);
+        let back = corba::Ior::parse(&ior.to_ior_string()).expect("parse");
+        prop_assert_eq!(back, ior);
+    }
+
+    #[test]
+    fn ior_parse_never_panics(input in "\\PC{0,64}") {
+        let _ = corba::Ior::parse(&input);
+    }
+}
