@@ -2,11 +2,14 @@
 //! envelope encode/decode, WSDL and IDL generation+parsing. These isolate
 //! where the Table 1 RTT goes and why SOAP is slower than CORBA (the
 //! paper's 0.58 s vs 0.51 s ordering).
+//!
+//! Run with `cargo bench --bench marshal`.
 
+use bench::harness::run;
 use corba::cdr::{read_any, write_any, CdrReader, CdrWriter};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use jpie::{ClassHandle, MethodBuilder, StructValue, TypeDesc, Value};
 use soap::{SoapRequest, SoapResponse, WsdlDocument};
+use std::hint::black_box;
 
 fn sample_value() -> Value {
     Value::Struct(
@@ -47,59 +50,57 @@ fn interface_class(methods: usize) -> ClassHandle {
     class
 }
 
-fn bench_cdr(c: &mut Criterion) {
+fn bench_cdr() {
     let value = sample_value();
-    c.bench_function("cdr_write_any", |b| {
-        b.iter(|| {
-            let mut w = CdrWriter::new(true);
-            write_any(&mut w, &value);
-            w.into_bytes()
-        })
+    run("cdr_write_any", || {
+        let mut w = CdrWriter::new(true);
+        write_any(&mut w, &value);
+        black_box(w.into_bytes());
     });
     let mut w = CdrWriter::new(true);
     write_any(&mut w, &value);
     let bytes = w.into_bytes();
-    c.bench_function("cdr_read_any", |b| {
-        b.iter(|| {
-            let mut r = CdrReader::new(&bytes, true);
-            read_any(&mut r).expect("decode")
-        })
+    run("cdr_read_any", || {
+        let mut r = CdrReader::new(&bytes, true);
+        black_box(read_any(&mut r).expect("decode"));
     });
 }
 
-fn bench_soap(c: &mut Criterion) {
+fn bench_soap() {
     let req = SoapRequest::new("urn:Orders", "submit").arg("order", sample_value());
-    c.bench_function("soap_encode_request", |b| b.iter(|| req.to_xml()));
+    run("soap_encode_request", || {
+        black_box(req.to_xml());
+    });
     let xml = req.to_xml();
-    c.bench_function("soap_decode_request", |b| {
-        b.iter(|| soap::decode_request(&xml).expect("decode"))
+    run("soap_decode_request", || {
+        black_box(soap::decode_request(&xml).expect("decode"));
     });
     let resp_xml = SoapResponse::encode_ok("submit", "urn:Orders", &sample_value());
-    c.bench_function("soap_decode_response", |b| {
-        b.iter(|| soap::decode_response(&resp_xml).expect("decode"))
+    run("soap_decode_response", || {
+        black_box(soap::decode_response(&resp_xml).expect("decode"));
     });
 }
 
-fn bench_interface_docs(c: &mut Criterion) {
+fn bench_interface_docs() {
     let class = interface_class(20);
     let sigs = class.distributed_signatures();
-    c.bench_function("wsdl_generate_20ops", |b| {
-        b.iter(|| WsdlDocument::from_signatures("Wide", "mem://x/Wide", &sigs, 1).to_xml())
+    run("wsdl_generate_20ops", || {
+        black_box(WsdlDocument::from_signatures("Wide", "mem://x/Wide", &sigs, 1).to_xml());
     });
     let wsdl_xml = WsdlDocument::from_signatures("Wide", "mem://x/Wide", &sigs, 1).to_xml();
-    c.bench_function("wsdl_parse_20ops", |b| {
-        b.iter(|| WsdlDocument::parse(&wsdl_xml).expect("parse"))
+    run("wsdl_parse_20ops", || {
+        black_box(WsdlDocument::parse(&wsdl_xml).expect("parse"));
     });
-    c.bench_function("idl_generate_20ops", |b| {
-        b.iter(|| corba::IdlModule::from_signatures("Wide", &sigs, 1).to_idl())
+    run("idl_generate_20ops", || {
+        black_box(corba::IdlModule::from_signatures("Wide", &sigs, 1).to_idl());
     });
     let idl_text = corba::IdlModule::from_signatures("Wide", &sigs, 1).to_idl();
-    c.bench_function("idl_parse_20ops", |b| {
-        b.iter(|| corba::IdlModule::parse(&idl_text).expect("parse"))
+    run("idl_parse_20ops", || {
+        black_box(corba::IdlModule::parse(&idl_text).expect("parse"));
     });
 }
 
-fn bench_dispatch_overhead(c: &mut Criterion) {
+fn bench_dispatch_overhead() {
     // The design-choice ablation: dynamic-class invocation (what SDE pays
     // per call) vs. a direct closure (what a static server pays).
     let class = ClassHandle::new("D");
@@ -113,20 +114,18 @@ fn bench_dispatch_overhead(c: &mut Criterion) {
         .expect("method");
     let instance = class.instantiate().expect("instance");
     let arg = [Value::Str("payload".into())];
-    c.bench_function("dispatch_dynamic_class", |b| {
-        b.iter(|| instance.invoke_distributed("echo", &arg).expect("invoke"))
+    run("dispatch_dynamic_class", || {
+        black_box(instance.invoke_distributed("echo", &arg).expect("invoke"));
     });
     let direct = |args: &[Value]| -> Value { args[0].clone() };
-    c.bench_function("dispatch_static_closure", |b| {
-        b.iter_batched(|| arg.clone(), |a| direct(&a), BatchSize::SmallInput)
+    run("dispatch_static_closure", || {
+        black_box(direct(black_box(&arg)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cdr,
-    bench_soap,
-    bench_interface_docs,
-    bench_dispatch_overhead
-);
-criterion_main!(benches);
+fn main() {
+    bench_cdr();
+    bench_soap();
+    bench_interface_docs();
+    bench_dispatch_overhead();
+}

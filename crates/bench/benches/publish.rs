@@ -2,10 +2,13 @@
 //! operation §5.6 calls "relatively expensive" and schedules carefully),
 //! and the §5.7 `ensure_current` fast path that makes rogue clients
 //! harmless.
+//!
+//! Run with `cargo bench --bench publish`.
 
+use std::hint::black_box;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::run;
 use jpie::{ClassHandle, MethodBuilder, TypeDesc};
 use sde::publish::{GeneratedDoc, PublicationStrategy, PublisherCore};
 use soap::WsdlDocument;
@@ -24,24 +27,24 @@ fn class_with(methods: usize) -> ClassHandle {
     class
 }
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation() {
     for methods in [1usize, 10, 50] {
         let class = class_with(methods);
-        c.bench_function(&format!("wsdl_generation_{methods}_methods"), |b| {
-            b.iter(|| {
+        run(&format!("wsdl_generation_{methods}_methods"), || {
+            black_box(
                 WsdlDocument::from_signatures(
                     class.name(),
                     "mem://x/Gen",
                     &class.distributed_signatures(),
                     class.interface_version(),
                 )
-                .to_xml()
-            })
+                .to_xml(),
+            );
         });
     }
 }
 
-fn bench_ensure_current(c: &mut Criterion) {
+fn bench_ensure_current() {
     let class = class_with(5);
     let gen_class = class.clone();
     let publisher = PublisherCore::start(
@@ -55,23 +58,21 @@ fn bench_ensure_current(c: &mut Criterion) {
     );
     publisher.ensure_current();
     // The steady-state fast path: published interface already current.
-    c.bench_function("ensure_current_noop", |b| {
-        b.iter(|| publisher.ensure_current())
+    run("ensure_current_noop", || {
+        publisher.ensure_current();
     });
     publisher.shutdown();
 }
 
-fn bench_signature_snapshot(c: &mut Criterion) {
+fn bench_signature_snapshot() {
     let class = class_with(50);
-    c.bench_function("distributed_signatures_50", |b| {
-        b.iter(|| class.distributed_signatures())
+    run("distributed_signatures_50", || {
+        black_box(class.distributed_signatures());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_generation,
-    bench_ensure_current,
-    bench_signature_snapshot
-);
-criterion_main!(benches);
+fn main() {
+    bench_generation();
+    bench_ensure_current();
+    bench_signature_snapshot();
+}

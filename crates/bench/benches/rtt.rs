@@ -1,11 +1,13 @@
-//! Criterion companion to the Table 1 harness: per-call RTT of the four
-//! server/client configurations over the deterministic in-memory
+//! Micro-benchmark companion to the Table 1 harness: per-call RTT of the
+//! four server/client configurations over the deterministic in-memory
 //! transport (so CI noise doesn't drown the SDE-vs-static delta).
+//!
+//! Run with `cargo bench --bench rtt`.
 
 use std::time::Duration;
 
 use baseline::{StaticCorbaClient, StaticCorbaServer, StaticSoapClient, StaticSoapServer};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::run;
 use jpie::expr::Expr;
 use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
 use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
@@ -25,10 +27,7 @@ fn echo_class() -> ClassHandle {
 
 const PAYLOAD: &str = "The quick brown fox jumps over the lazy dog.";
 
-fn bench_rtt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rtt");
-    group.measurement_time(Duration::from_secs(5));
-
+fn main() {
     // SDE SOAP / static Axis-style client.
     {
         let manager = SdeManager::new(SdeConfig {
@@ -41,8 +40,8 @@ fn bench_rtt(c: &mut Criterion) {
         let wsdl = manager.interface_document("EchoService").expect("wsdl");
         let mut client = StaticSoapClient::from_wsdl_xml(&wsdl).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        group.bench_function("sde_soap", |b| {
-            b.iter(|| client.call("echo", &arg).expect("call"))
+        run("rtt/sde_soap", || {
+            client.call("echo", &arg).expect("call");
         });
         manager.shutdown();
     }
@@ -59,8 +58,8 @@ fn bench_rtt(c: &mut Criterion) {
         let server = b.bind("mem://crit-static-soap").expect("bind");
         let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        group.bench_function("static_soap", |bch| {
-            bch.iter(|| client.call("echo", &arg).expect("call"))
+        run("rtt/static_soap", || {
+            client.call("echo", &arg).expect("call");
         });
         server.shutdown();
     }
@@ -81,8 +80,8 @@ fn bench_rtt(c: &mut Criterion) {
         );
         let mut client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        group.bench_function("sde_corba", |b| {
-            b.iter(|| client.call("echo", &arg).expect("call"))
+        run("rtt/sde_corba", || {
+            client.call("echo", &arg).expect("call");
         });
         manager.shutdown();
     }
@@ -99,14 +98,9 @@ fn bench_rtt(c: &mut Criterion) {
         let server = b.bind("mem://crit-static-corba").expect("bind");
         let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        group.bench_function("static_corba", |bch| {
-            bch.iter(|| client.call("echo", &arg).expect("call"))
+        run("rtt/static_corba", || {
+            client.call("echo", &arg).expect("call");
         });
         server.shutdown();
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_rtt);
-criterion_main!(benches);

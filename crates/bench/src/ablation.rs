@@ -25,8 +25,6 @@ use std::time::{Duration, Instant};
 
 use jpie::{ClassHandle, MethodBuilder, TypeDesc};
 use sde::publish::{GeneratedDoc, PublicationStrategy, PublisherCore};
-use serde::Serialize;
-
 /// A recorded edit session: bursts of edits with intra-burst spacing and
 /// inter-burst think time.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +51,7 @@ impl Default for EditTrace {
 }
 
 /// Results for one strategy.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Strategy label.
     pub strategy: String,

@@ -2,15 +2,22 @@
 //! the §7 ≤ 25 % overhead claim; `--sweep` adds the payload-size sweep
 //! explaining the SOAP-vs-CORBA ordering.
 //!
-//! Usage: `table1 [calls] [tcp|mem] [--sweep]` — defaults to 100 calls
-//! (as in the paper) over TCP loopback.
+//! Usage: `table1 [calls] [tcp|mem] [--sweep] [--stages] [--obs-overhead]`
+//! — defaults to 100 calls (as in the paper) over TCP loopback.
+//! `--stages` appends the obs-derived per-stage latency breakdown;
+//! `--obs-overhead` compares RTT with instrumentation off vs. on.
 
-use bench::rtt::{render, render_sweep, run_payload_sweep, run_table1, RttConfig};
+use bench::rtt::{
+    measure_obs_overhead, measure_sde_soap_with_breakdown, render, render_breakdown,
+    render_obs_overhead, render_sweep, run_payload_sweep, run_table1, RttConfig,
+};
 use sde::TransportKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sweep = args.iter().any(|a| a == "--sweep");
+    let stages = args.iter().any(|a| a == "--stages");
+    let obs_overhead = args.iter().any(|a| a == "--obs-overhead");
     let calls: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(100);
     let transport = if args.iter().any(|a| a == "mem") {
         TransportKind::Mem
@@ -28,6 +35,18 @@ fn main() {
     );
     let table = run_table1(&cfg);
     println!("{}", render(&table));
+
+    if stages {
+        eprintln!("measuring per-stage breakdown ...");
+        let (_, breakdown) = measure_sde_soap_with_breakdown(&cfg);
+        println!("{}", render_breakdown(&breakdown));
+    }
+
+    if obs_overhead {
+        eprintln!("measuring instrumentation overhead (off vs. on) ...");
+        let o = measure_obs_overhead(&cfg);
+        println!("{}", render_obs_overhead(&o));
+    }
 
     if sweep {
         eprintln!("running payload sweep ...");

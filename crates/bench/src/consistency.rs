@@ -32,10 +32,8 @@ use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
 use sde::{
     PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, Technology, TransportKind,
 };
-use serde::Serialize;
-
 /// One cell of a consistency matrix.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MatrixCell {
     /// Server-side publication slot label ("1".."4").
     pub publish_slot: String,
@@ -50,7 +48,7 @@ pub struct MatrixCell {
 }
 
 /// Results for one regime (one figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Matrix {
     /// "active" (Fig 7) or "reactive" (Fig 8).
     pub regime: String,

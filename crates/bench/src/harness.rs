@@ -1,0 +1,77 @@
+//! A minimal micro-benchmark harness built on `obs` histograms.
+//!
+//! Replaces the external criterion dependency for the `benches/` targets:
+//! warm up, time individual iterations into a log-bucketed histogram,
+//! and print mean / p50 / p95 / p99 per benchmark. Deterministic
+//! iteration counts keep runs comparable across machines.
+
+use obs::metrics::Histogram;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 200_000;
+
+/// Result of one benchmark: iteration latencies in nanoseconds.
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u64,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl BenchResult {
+    pub fn render(&self) -> String {
+        format!(
+            "{:<32} {:>9} iters  mean {:>10.1} ns  p50 {:>9} ns  p95 {:>9} ns  p99 {:>9} ns",
+            self.name, self.iters, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns
+        )
+    }
+}
+
+/// Run `f` repeatedly, timing each call, and return the distribution.
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
+    let warm_until = Instant::now() + WARMUP;
+    while Instant::now() < warm_until {
+        f();
+    }
+    let hist = Histogram::new();
+    let measure_until = Instant::now() + MEASURE;
+    let mut iters = 0u64;
+    while Instant::now() < measure_until && iters < MAX_ITERS {
+        let t = Instant::now();
+        f();
+        hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        iters += 1;
+    }
+    let s = hist.snapshot();
+    BenchResult {
+        name: name.to_string(),
+        iters,
+        mean_ns: s.mean(),
+        p50_ns: s.percentile(0.5),
+        p95_ns: s.percentile(0.95),
+        p99_ns: s.percentile(0.99),
+    }
+}
+
+/// Run and print one benchmark (the common case in `benches/` mains).
+pub fn run(name: &str, f: impl FnMut()) {
+    println!("{}", bench(name, f).render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_numbers() {
+        let r = bench("spin", || {
+            std::hint::black_box((0..32u64).sum::<u64>());
+        });
+        assert!(r.iters > 0);
+        assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns);
+    }
+}

@@ -17,12 +17,13 @@
 //!   stale-method calls cannot force needless IDL generations. Binary:
 //!   `rogue_client`.
 //!
-//! Each module returns plain data structures (serde-serializable) and a
+//! Each module returns plain data structures and a
 //! pretty text rendering so binaries can print paper-style tables and
 //! tests can assert on the shape of the results.
 
 pub mod ablation;
 pub mod consistency;
+pub mod harness;
 pub mod rogue;
 pub mod rtt;
 

@@ -15,10 +15,8 @@ use cde::ClientEnvironment;
 use jpie::expr::Expr;
 use jpie::{MethodBuilder, TypeDesc, Value};
 use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
-use serde::Serialize;
-
 /// Results of a rogue-client run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RogueReport {
     /// Stale calls the rogue client fired.
     pub rogue_calls: u64,

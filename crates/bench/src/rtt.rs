@@ -16,10 +16,8 @@ use baseline::{StaticCorbaClient, StaticCorbaServer, StaticSoapClient, StaticSoa
 use jpie::expr::Expr;
 use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
 use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
-use serde::Serialize;
-
 /// One row of Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RttRow {
     /// Configuration label, matching the paper's "Server/Client" column.
     pub configuration: String,
@@ -32,7 +30,7 @@ pub struct RttRow {
 }
 
 /// The full Table 1 reproduction plus derived overhead ratios.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// The four measured rows.
     pub rows: Vec<RttRow>,
@@ -278,7 +276,7 @@ pub fn render(table: &Table1) -> String {
 }
 
 /// One point of the payload-size sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Payload size in bytes.
     pub payload_bytes: usize,
@@ -403,6 +401,127 @@ pub fn render_sweep(points: &[SweepPoint]) -> String {
     out
 }
 
+/// One stage of the per-stage latency breakdown.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// The obs histogram key (e.g. `sde_dispatch_ns{class="EchoService"}`).
+    pub stage: String,
+    /// Samples recorded during the measured window.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// 50th / 95th / 99th percentile latencies in microseconds.
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+}
+
+/// Per-stage latency breakdown of the SDE call path, derived from the
+/// obs registry: every latency histogram that advanced during the
+/// measured workload contributes one row (`http_request_ns`,
+/// `sde_dispatch_ns{class}`, `jpie_invoke_ns`, ...), decomposing the
+/// end-to-end Table 1 RTT into transport, gateway, and interpreter time.
+#[derive(Debug, Clone)]
+pub struct StageBreakdown {
+    /// Stages in registry (alphabetical) order.
+    pub rows: Vec<StageRow>,
+}
+
+fn breakdown_between(before: &obs::Snapshot, after: &obs::Snapshot) -> StageBreakdown {
+    let delta = after.delta(before);
+    let rows = delta
+        .histograms
+        .iter()
+        .filter(|(key, h)| h.count > 0 && key.contains("_ns"))
+        .map(|(key, h)| StageRow {
+            stage: key.clone(),
+            count: h.count,
+            mean_us: h.mean() / 1e3,
+            p50_us: h.percentile(0.50) as f64 / 1e3,
+            p95_us: h.percentile(0.95) as f64 / 1e3,
+            p99_us: h.percentile(0.99) as f64 / 1e3,
+        })
+        .collect();
+    StageBreakdown { rows }
+}
+
+/// Runs the SDE SOAP configuration and returns its Table 1 row together
+/// with the obs-derived per-stage latency breakdown for the same window.
+pub fn measure_sde_soap_with_breakdown(cfg: &RttConfig) -> (RttRow, StageBreakdown) {
+    let before = obs::registry().snapshot();
+    let row = measure_sde_soap(cfg);
+    let after = obs::registry().snapshot();
+    (row, breakdown_between(&before, &after))
+}
+
+/// Renders the per-stage breakdown next to Table 1.
+pub fn render_breakdown(b: &StageBreakdown) -> String {
+    if b.rows.is_empty() {
+        return "Per-stage breakdown: no obs histograms advanced \
+                (recording disabled?)\n"
+            .into();
+    }
+    let rows: Vec<Vec<String>> = b
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stage.clone(),
+                r.count.to_string(),
+                format!("{:.1}", r.mean_us),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p95_us),
+                format!("{:.1}", r.p99_us),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Per-stage latency breakdown (SDE SOAP window, obs registry)\n");
+    out.push_str(&crate::render_table(
+        &["stage", "count", "mean us", "p50 us", "p95 us", "p99 us"],
+        &rows,
+    ));
+    out
+}
+
+/// The instrumentation-overhead check: the same SDE SOAP measurement
+/// with obs recording off (baseline) and on, and the resulting ratio.
+/// The acceptance bar is < 5% regression with recording on.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverhead {
+    /// Mean RTT with `obs::set_recording(false)`.
+    pub rtt_off_us: f64,
+    /// Mean RTT with recording on (the default).
+    pub rtt_on_us: f64,
+    /// on/off ratio (1.00 = no measurable overhead).
+    pub ratio: f64,
+}
+
+/// Measures the obs instrumentation overhead on the SDE SOAP path.
+/// Leaves recording enabled on return.
+pub fn measure_obs_overhead(cfg: &RttConfig) -> ObsOverhead {
+    obs::set_recording(false);
+    let off = measure_sde_soap(cfg);
+    obs::set_recording(true);
+    let on = measure_sde_soap(cfg);
+    ObsOverhead {
+        rtt_off_us: off.mean_rtt_us,
+        rtt_on_us: on.mean_rtt_us,
+        ratio: on.mean_rtt_us / off.mean_rtt_us,
+    }
+}
+
+/// Renders the overhead comparison.
+pub fn render_obs_overhead(o: &ObsOverhead) -> String {
+    format!(
+        "Instrumentation overhead: {:.1}us (off) -> {:.1}us (on), \
+         ratio {:.3} ({:+.1}%)\n",
+        o.rtt_off_us,
+        o.rtt_on_us,
+        o.ratio,
+        (o.ratio - 1.0) * 100.0
+    )
+}
+
 /// Convenience used by tests: a quick, in-memory run.
 pub fn quick_table1() -> Table1 {
     run_table1(&RttConfig {
@@ -434,6 +553,49 @@ mod tests {
         }
         let rendered = render_sweep(&points);
         assert!(rendered.contains("payload(B)"));
+    }
+
+    #[test]
+    fn stage_breakdown_decomposes_the_call_path() {
+        let cfg = RttConfig {
+            calls: 10,
+            warmup: 2,
+            transport: TransportKind::Mem,
+        };
+        let (row, breakdown) = measure_sde_soap_with_breakdown(&cfg);
+        assert!(row.mean_rtt_us > 0.0);
+        // The SDE SOAP window must expose at least the gateway-dispatch
+        // and interpreter stages of the call path.
+        let stages: Vec<&str> = breakdown.rows.iter().map(|r| r.stage.as_str()).collect();
+        assert!(
+            stages.iter().any(|s| s.starts_with("sde_dispatch_ns")),
+            "{stages:?}"
+        );
+        assert!(
+            stages.iter().any(|s| s.starts_with("jpie_invoke_ns")),
+            "{stages:?}"
+        );
+        for r in &breakdown.rows {
+            assert!(r.count > 0);
+            assert!(r.mean_us > 0.0, "{r:?}");
+            assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us, "{r:?}");
+        }
+        let rendered = render_breakdown(&breakdown);
+        assert!(rendered.contains("p95 us"), "{rendered}");
+    }
+
+    #[test]
+    fn obs_overhead_is_measurable_and_restores_recording() {
+        let cfg = RttConfig {
+            calls: 10,
+            warmup: 2,
+            transport: TransportKind::Mem,
+        };
+        let o = measure_obs_overhead(&cfg);
+        assert!(o.rtt_off_us > 0.0 && o.rtt_on_us > 0.0);
+        assert!(o.ratio > 0.0);
+        assert!(obs::recording(), "overhead run must re-enable recording");
+        assert!(render_obs_overhead(&o).contains("ratio"));
     }
 
     #[test]

@@ -78,7 +78,13 @@ impl ClientEnvironment {
             Err(CallError::StaleMethod { method: m }) => {
                 // §6: update the client view to the currently published
                 // interface *before* surfacing the exception.
+                obs::registry().counter("cde_stale_recoveries_total").inc();
                 let _ = stub.refresh();
+                obs::trace::event(
+                    "cde::client",
+                    "stale-recovery",
+                    format!("method={m} view-version={}", stub.interface_version()),
+                );
                 let retry_stub = stub.clone();
                 let retry_method = m.clone();
                 let retry_args = args.to_vec();

@@ -3,7 +3,7 @@
 use corba::{CorbaError, DiiRequest, IdlModule, Ior};
 use httpd::HttpClient;
 use jpie::{TypeDesc, Value};
-use parking_lot::RwLock;
+use obs::sync::RwLock;
 use soap::{SoapFault, SoapRequest, SoapResponse, WsdlDocument};
 
 use crate::error::CallError;
@@ -102,6 +102,21 @@ impl DynamicStub {
     /// Fails if the document cannot be fetched or parsed; the old view is
     /// kept in that case.
     pub fn refresh(&self) -> Result<(), CallError> {
+        obs::registry().counter("cde_refreshes_total").inc();
+        let refreshed = self.refresh_inner();
+        if refreshed.is_ok() {
+            obs::trace::verbose_event(
+                "cde::stub",
+                "refresh",
+                format!("version={}", self.view.read().version),
+            );
+        } else {
+            obs::registry().counter("cde_refresh_failures_total").inc();
+        }
+        refreshed
+    }
+
+    fn refresh_inner(&self) -> Result<(), CallError> {
         match &self.backend {
             Backend::Soap {
                 wsdl_url,

@@ -81,18 +81,27 @@ impl ClientEnvironment {
         let thread = std::thread::Builder::new()
             .name("cde-interface-watcher".into())
             .spawn(move || {
+                let polls = obs::registry().counter("cde_watch_polls_total");
+                let updates = obs::registry().counter("cde_watch_updates_total");
                 let mut last = stub.interface_version();
                 while !thread_stop.load(Ordering::SeqCst) {
                     std::thread::sleep(interval);
                     if thread_stop.load(Ordering::SeqCst) {
                         return;
                     }
+                    polls.inc();
                     if stub.refresh().is_err() {
                         continue; // transient fetch failure: keep watching
                     }
                     let version = stub.interface_version();
                     if version != last {
                         last = version;
+                        updates.inc();
+                        obs::trace::event(
+                            "cde::watch",
+                            "interface-update",
+                            format!("version={version}"),
+                        );
                         if let Some(class) = &bound {
                             env.sync_bound_class(class, &stub);
                         }

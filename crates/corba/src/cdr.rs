@@ -11,7 +11,6 @@
 //! type-code tag followed by the data). The DSI/DII path of the paper
 //! needs exactly this — neither side has static stubs.
 
-use bytes::{Buf, BufMut, BytesMut};
 use jpie::{StructValue, TypeDesc, Value};
 
 use crate::error::{CorbaError, SystemExceptionKind};
@@ -70,7 +69,7 @@ fn marshal_err(msg: impl Into<String>) -> CorbaError {
 /// ```
 #[derive(Debug)]
 pub struct CdrWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     big_endian: bool,
 }
 
@@ -78,7 +77,7 @@ impl CdrWriter {
     /// Creates a writer; `big_endian` selects the byte order (GIOP flag 0).
     pub fn new(big_endian: bool) -> CdrWriter {
         CdrWriter {
-            buf: BytesMut::with_capacity(256),
+            buf: Vec::with_capacity(256),
             big_endian,
         }
     }
@@ -100,26 +99,26 @@ impl CdrWriter {
 
     /// Consumes the writer, returning the marshalled bytes.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     fn align(&mut self, boundary: usize) {
         let misalign = self.buf.len() % boundary;
         if misalign != 0 {
             for _ in 0..boundary - misalign {
-                self.buf.put_u8(0);
+                self.buf.push(0);
             }
         }
     }
 
     /// Writes a single octet.
     pub fn write_octet(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Writes raw bytes with no alignment or length prefix.
     pub fn write_raw(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Writes a boolean as one octet.
@@ -131,9 +130,9 @@ impl CdrWriter {
     pub fn write_ushort(&mut self, v: u16) {
         self.align(2);
         if self.big_endian {
-            self.buf.put_u16(v);
+            self.buf.extend_from_slice(&v.to_be_bytes());
         } else {
-            self.buf.put_u16_le(v);
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -141,9 +140,9 @@ impl CdrWriter {
     pub fn write_long(&mut self, v: i32) {
         self.align(4);
         if self.big_endian {
-            self.buf.put_i32(v);
+            self.buf.extend_from_slice(&v.to_be_bytes());
         } else {
-            self.buf.put_i32_le(v);
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -151,9 +150,9 @@ impl CdrWriter {
     pub fn write_ulong(&mut self, v: u32) {
         self.align(4);
         if self.big_endian {
-            self.buf.put_u32(v);
+            self.buf.extend_from_slice(&v.to_be_bytes());
         } else {
-            self.buf.put_u32_le(v);
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -161,9 +160,9 @@ impl CdrWriter {
     pub fn write_longlong(&mut self, v: i64) {
         self.align(8);
         if self.big_endian {
-            self.buf.put_i64(v);
+            self.buf.extend_from_slice(&v.to_be_bytes());
         } else {
-            self.buf.put_i64_le(v);
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -171,9 +170,9 @@ impl CdrWriter {
     pub fn write_float(&mut self, v: f32) {
         self.align(4);
         if self.big_endian {
-            self.buf.put_f32(v);
+            self.buf.extend_from_slice(&v.to_be_bytes());
         } else {
-            self.buf.put_f32_le(v);
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -181,9 +180,9 @@ impl CdrWriter {
     pub fn write_double(&mut self, v: f64) {
         self.align(8);
         if self.big_endian {
-            self.buf.put_f64(v);
+            self.buf.extend_from_slice(&v.to_be_bytes());
         } else {
-            self.buf.put_f64_le(v);
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -191,14 +190,14 @@ impl CdrWriter {
     pub fn write_string(&mut self, s: &str) {
         let bytes = s.as_bytes();
         self.write_ulong((bytes.len() + 1) as u32);
-        self.buf.put_slice(bytes);
-        self.buf.put_u8(0);
+        self.buf.extend_from_slice(bytes);
+        self.buf.push(0);
     }
 
     /// Writes an octet sequence: `ulong count, bytes`.
     pub fn write_octet_seq(&mut self, bytes: &[u8]) {
         self.write_ulong(bytes.len() as u32);
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 }
 
@@ -262,66 +261,66 @@ impl<'a> CdrReader<'a> {
     /// Reads an unsigned short (align 2).
     pub fn read_ushort(&mut self) -> Result<u16, CorbaError> {
         self.align(2);
-        let mut s = self.take(2)?;
+        let s: [u8; 2] = self.take(2)?.try_into().expect("exact take");
         Ok(if self.big_endian {
-            s.get_u16()
+            u16::from_be_bytes(s)
         } else {
-            s.get_u16_le()
+            u16::from_le_bytes(s)
         })
     }
 
     /// Reads a signed 32-bit long (align 4).
     pub fn read_long(&mut self) -> Result<i32, CorbaError> {
         self.align(4);
-        let mut s = self.take(4)?;
+        let s: [u8; 4] = self.take(4)?.try_into().expect("exact take");
         Ok(if self.big_endian {
-            s.get_i32()
+            i32::from_be_bytes(s)
         } else {
-            s.get_i32_le()
+            i32::from_le_bytes(s)
         })
     }
 
     /// Reads an unsigned 32-bit long (align 4).
     pub fn read_ulong(&mut self) -> Result<u32, CorbaError> {
         self.align(4);
-        let mut s = self.take(4)?;
+        let s: [u8; 4] = self.take(4)?.try_into().expect("exact take");
         Ok(if self.big_endian {
-            s.get_u32()
+            u32::from_be_bytes(s)
         } else {
-            s.get_u32_le()
+            u32::from_le_bytes(s)
         })
     }
 
     /// Reads a 64-bit long long (align 8).
     pub fn read_longlong(&mut self) -> Result<i64, CorbaError> {
         self.align(8);
-        let mut s = self.take(8)?;
+        let s: [u8; 8] = self.take(8)?.try_into().expect("exact take");
         Ok(if self.big_endian {
-            s.get_i64()
+            i64::from_be_bytes(s)
         } else {
-            s.get_i64_le()
+            i64::from_le_bytes(s)
         })
     }
 
     /// Reads an IEEE single float (align 4).
     pub fn read_float(&mut self) -> Result<f32, CorbaError> {
         self.align(4);
-        let mut s = self.take(4)?;
+        let s: [u8; 4] = self.take(4)?.try_into().expect("exact take");
         Ok(if self.big_endian {
-            s.get_f32()
+            f32::from_be_bytes(s)
         } else {
-            s.get_f32_le()
+            f32::from_le_bytes(s)
         })
     }
 
     /// Reads an IEEE double float (align 8).
     pub fn read_double(&mut self) -> Result<f64, CorbaError> {
         self.align(8);
-        let mut s = self.take(8)?;
+        let s: [u8; 8] = self.take(8)?.try_into().expect("exact take");
         Ok(if self.big_endian {
-            s.get_f64()
+            f64::from_be_bytes(s)
         } else {
-            s.get_f64_le()
+            f64::from_le_bytes(s)
         })
     }
 

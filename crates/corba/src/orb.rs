@@ -7,7 +7,7 @@ use std::thread::{self, JoinHandle};
 
 use httpd::transport::{connect, Listener, Stream};
 use jpie::Value;
-use parking_lot::Mutex;
+use obs::sync::Mutex;
 
 use crate::error::{CorbaError, SystemExceptionKind};
 use crate::giop::{
@@ -144,6 +144,20 @@ impl Drop for ServerOrb {
     }
 }
 
+/// GIOP message counters, resolved once — `serve_connection` is the RMI
+/// hot path the Table-1 RTT benchmark measures.
+fn giop_counters() -> &'static (Arc<obs::Counter>, Arc<obs::Counter>) {
+    static COUNTERS: std::sync::OnceLock<(Arc<obs::Counter>, Arc<obs::Counter>)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = obs::registry();
+        (
+            r.counter_with("giop_requests_total", &[("type", "request")]),
+            r.counter_with("giop_requests_total", &[("type", "locate")]),
+        )
+    })
+}
+
 fn serve_connection(
     stream: Stream,
     implementation: Arc<dyn DynamicImplementation>,
@@ -164,6 +178,7 @@ fn serve_connection(
             // Protocol violations from a client.
             MsgType::Reply | MsgType::LocateReply => return,
             MsgType::LocateRequest => {
+                giop_counters().1.inc();
                 let Ok((request_id, key)) = crate::giop::decode_locate_request(&body, big_endian)
                 else {
                     return;
@@ -178,6 +193,7 @@ fn serve_connection(
                 }
             }
             MsgType::Request => {
+                giop_counters().0.inc();
                 let (request_id, reply_body) = match decode_request(&body, big_endian) {
                     Ok(req) => {
                         let id = req.request_id;

@@ -173,21 +173,40 @@ impl DynamicImplementation for CorbaCallHandler {
             .collect();
         match self.core.dispatch(request.operation(), &args) {
             Ok(value) => request.set_result(value),
-            Err(InvokeFailure::NotInitialized) => request.set_exception(CorbaError::system(
-                corba::SystemExceptionKind::ObjectNotExist,
-                "Server not initialized",
-            )),
+            Err(InvokeFailure::NotInitialized) => {
+                fault_counter("object_not_exist").inc();
+                request.set_exception(CorbaError::system(
+                    corba::SystemExceptionKind::ObjectNotExist,
+                    "Server not initialized",
+                ))
+            }
             Err(InvokeFailure::NoMatch) => {
                 // §5.7 already forced publication inside dispatch.
+                fault_counter("non_existent_method").inc();
+                obs::trace::event(
+                    "sde::corba",
+                    "non-existent-method",
+                    format!(
+                        "class={} operation={}",
+                        self.core.class().name(),
+                        request.operation()
+                    ),
+                );
                 request.set_exception(CorbaError::non_existent_method(request.operation()))
             }
             Err(InvokeFailure::AppException(msg)) => {
                 // "any exceptions thrown during the invocation ... is
                 // wrapped in a generic exception type" (§5.2.3).
+                fault_counter("user_exception").inc();
                 request.set_exception(CorbaError::user_exception(msg))
             }
         }
     }
+}
+
+/// Fault paths are cold, so the registry lookup per fault is fine.
+fn fault_counter(kind: &str) -> Arc<obs::Counter> {
+    obs::registry().counter_with("sde_corba_faults_total", &[("kind", kind)])
 }
 
 #[cfg(test)]

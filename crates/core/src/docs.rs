@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use httpd::{Handler, HttpServer, Request, Response};
-use parking_lot::RwLock;
+use obs::sync::RwLock;
 
 use crate::error::SdeError;
 
@@ -52,6 +52,12 @@ impl DocumentStore {
             .entry(path.to_string())
             .or_default()
             .push(version);
+        obs::registry().counter("sde_docs_published_total").inc();
+        obs::trace::verbose_event(
+            "sde::docs",
+            "publish",
+            format!("path={path} version={version}"),
+        );
     }
 
     /// The sequence of versions ever published at `path` (oldest first) —
@@ -63,6 +69,7 @@ impl DocumentStore {
     /// Removes the document at `path` (used when a server is retired).
     pub fn retract(&self, path: &str) {
         self.docs.write().remove(path);
+        obs::registry().counter("sde_docs_retracted_total").inc();
     }
 
     /// Reads the document at `path`.

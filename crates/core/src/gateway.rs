@@ -3,11 +3,14 @@
 //! Fig 6 (`SDEServer` / `DLPublisher` / `CallHandler` with a SOAP and a
 //! CORBA specialization of each).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use jpie::{ClassHandle, Instance, JpieError, SignatureView, Value};
-use parking_lot::RwLock;
+use obs::events::VersionEventKind;
+use obs::metrics::{Counter, Histogram};
+use obs::sync::RwLock;
 
 use crate::error::SdeError;
 use crate::publish::PublisherCore;
@@ -76,6 +79,52 @@ impl HandlerMetrics {
     }
 }
 
+/// Global-registry handles mirroring [`HandlerMetrics`], resolved once per
+/// gateway so the dispatch path stays atomic-ops-only. The per-instance
+/// counters stay authoritative for experiments (they reset with the
+/// gateway); these aggregate across all gateways of a class for
+/// `/metrics` and the REPL.
+struct GatewayObs {
+    requests: Arc<Counter>,
+    ok: Arc<Counter>,
+    faults: Arc<Counter>,
+    stale: Arc<Counter>,
+    dispatch_ns: Arc<Histogram>,
+    /// `sde_method_calls_total{class,method}` handles, created on first
+    /// call of each method.
+    per_method: RwLock<HashMap<String, Arc<Counter>>>,
+}
+
+impl GatewayObs {
+    fn for_class(class: &str) -> GatewayObs {
+        let r = obs::registry();
+        let labels = [("class", class)];
+        GatewayObs {
+            requests: r.counter_with("sde_requests_total", &labels),
+            ok: r.counter_with("sde_ok_total", &labels),
+            faults: r.counter_with("sde_faults_total", &labels),
+            stale: r.counter_with("sde_stale_total", &labels),
+            dispatch_ns: r.histogram_with("sde_dispatch_ns", &labels),
+            per_method: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn method_counter(&self, class: &str, method: &str) -> Arc<Counter> {
+        if let Some(c) = self.per_method.read().get(method) {
+            return c.clone();
+        }
+        let c = obs::registry().counter_with(
+            "sde_method_calls_total",
+            &[("class", class), ("method", method)],
+        );
+        self.per_method
+            .write()
+            .entry(method.to_string())
+            .or_insert(c)
+            .clone()
+    }
+}
+
 /// Why an RMI call could not be completed normally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InvokeFailure {
@@ -99,6 +148,7 @@ pub struct GatewayCore {
     /// path takes the write side.
     stall: RwLock<()>,
     metrics: HandlerMetrics,
+    o: GatewayObs,
     /// Invoked on a stale call *after* processing stalls; wired by the
     /// SDE Manager to prompt the DL Publisher (§5.7's
     /// handler → manager → publisher notification chain).
@@ -121,11 +171,13 @@ impl std::fmt::Debug for GatewayCore {
 impl GatewayCore {
     /// Creates an inactive core for `class`.
     pub fn new(class: ClassHandle) -> Arc<GatewayCore> {
+        let o = GatewayObs::for_class(&class.name());
         Arc::new(GatewayCore {
             class,
             instance: RwLock::new(None),
             stall: RwLock::new(()),
             metrics: HandlerMetrics::default(),
+            o,
             stale_notify: RwLock::new(None),
             reactive: AtomicBool::new(true),
         })
@@ -185,7 +237,19 @@ impl GatewayCore {
     /// named when the wire format carries names (SOAP), unnamed (empty
     /// names) otherwise (CORBA).
     pub fn dispatch(&self, method: &str, args: &[(String, Value)]) -> Result<Value, InvokeFailure> {
+        let span = obs::trace::Span::timed(self.o.dispatch_ns.clone());
+        let out = self.dispatch_inner(method, args);
+        span.finish();
+        out
+    }
+
+    fn dispatch_inner(
+        &self,
+        method: &str,
+        args: &[(String, Value)],
+    ) -> Result<Value, InvokeFailure> {
         self.metrics.requests.fetch_add(1, Ordering::SeqCst);
+        self.o.requests.inc();
         // Normal processing holds the stall read lock: it is blocked while
         // a stale call is forcing publication (§5.7 "stalls the processing
         // of incoming messages").
@@ -193,27 +257,31 @@ impl GatewayCore {
 
         let Some(instance) = self.instance() else {
             self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+            self.o.faults.inc();
             return Err(InvokeFailure::NotInitialized);
         };
 
         let Some(bound) = self.match_distributed(method, args) else {
             drop(_processing);
-            return Err(self.stale_path());
+            return Err(self.stale_path(method));
         };
+        self.o.method_counter(&self.class.name(), method).inc();
 
         match instance.invoke_distributed(method, &bound) {
             Ok(v) => {
                 self.metrics.ok.fetch_add(1, Ordering::SeqCst);
+                self.o.ok.inc();
                 Ok(v)
             }
             // The method disappeared between matching and invocation (a
             // live edit raced us): same stale treatment.
             Err(JpieError::NoSuchMethod(_) | JpieError::ArgumentMismatch(_)) => {
                 drop(_processing);
-                Err(self.stale_path())
+                Err(self.stale_path(method))
             }
             Err(e) => {
                 self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+                self.o.faults.inc();
                 Err(InvokeFailure::AppException(e.to_string()))
             }
         }
@@ -222,9 +290,22 @@ impl GatewayCore {
     /// §5.7: the call names no current method. Stall message processing,
     /// notify the manager (which prompts the DL Publisher to get the
     /// published description current), then report the stale condition.
-    fn stale_path(&self) -> InvokeFailure {
+    fn stale_path(&self, method: &str) -> InvokeFailure {
         self.metrics.stale.fetch_add(1, Ordering::SeqCst);
         self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+        self.o.stale.inc();
+        self.o.faults.inc();
+        let class = self.class.name();
+        obs::trace::event(
+            "sde::gateway",
+            "stale-call",
+            format!("class={class} method={method}"),
+        );
+        obs::events::record(
+            &class,
+            VersionEventKind::StaleCall,
+            self.class.interface_version(),
+        );
         if !self.reactive.load(Ordering::SeqCst) {
             // Active-publishing mode (Fig 7): no synchronization between
             // the update path and the call path.
@@ -446,6 +527,44 @@ mod tests {
             .dispatch("half", &named(&[("x", Value::Int(5))]))
             .unwrap();
         assert_eq!(v, Value::Double(2.5));
+    }
+
+    #[test]
+    fn global_registry_mirrors_dispatch_outcomes() {
+        // Unique class name: the registry is process-global and other
+        // tests in this binary dispatch against "Calc" concurrently.
+        let class = ClassHandle::new("GwObsMirror");
+        class
+            .add_method(
+                MethodBuilder::new("add", TypeDesc::Int)
+                    .param("a", TypeDesc::Int)
+                    .param("b", TypeDesc::Int)
+                    .distributed(true)
+                    .body_expr(Expr::param("a") + Expr::param("b")),
+            )
+            .unwrap();
+        let core = GatewayCore::new(class);
+        core.create_instance().unwrap();
+        let before = obs::registry().snapshot();
+        let _ = core.dispatch("add", &named(&[("a", Value::Int(1)), ("b", Value::Int(2))]));
+        let _ = core.dispatch("ghost", &[]);
+        let d = obs::registry().snapshot().delta(&before);
+        let k = |n: &str| obs::metrics::key(n, &[("class", "GwObsMirror")]);
+        assert_eq!(d.counter(&k("sde_requests_total")), 2);
+        assert_eq!(d.counter(&k("sde_ok_total")), 1);
+        assert_eq!(d.counter(&k("sde_stale_total")), 1);
+        assert_eq!(d.counter(&k("sde_faults_total")), 1);
+        assert_eq!(
+            d.counter(&obs::metrics::key(
+                "sde_method_calls_total",
+                &[("class", "GwObsMirror"), ("method", "add")]
+            )),
+            1
+        );
+        let h = d
+            .histogram(&k("sde_dispatch_ns"))
+            .expect("dispatch histogram");
+        assert_eq!(h.count, 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use jpie::{ClassHandle, Instance};
-use parking_lot::RwLock;
+use obs::sync::RwLock;
 
 use crate::corba_server::CorbaServer;
 use crate::docs::{DocumentStore, InterfaceServer};
@@ -178,6 +178,10 @@ impl SdeManager {
             self.config.strategy,
         )?);
         self.wire_stale_notify(server.core(), server.publisher());
+        obs::registry()
+            .counter_with("sde_deploys_total", &[("tech", "soap")])
+            .inc();
+        obs::trace::event("sde::manager", "deploy", format!("class={name} tech=SOAP"));
         self.servers
             .write()
             .insert(name, ManagedServer::Soap(server.clone()));
@@ -202,6 +206,10 @@ impl SdeManager {
             self.config.strategy,
         )?);
         self.wire_stale_notify(server.core(), server.publisher());
+        obs::registry()
+            .counter_with("sde_deploys_total", &[("tech", "corba")])
+            .inc();
+        obs::trace::event("sde::manager", "deploy", format!("class={name} tech=CORBA"));
         self.servers
             .write()
             .insert(name, ManagedServer::Corba(server.clone()));
@@ -224,8 +232,10 @@ impl SdeManager {
         let publisher = Arc::downgrade(publisher);
         let count = Arc::new(AtomicU64::new(0));
         let count_in = count.clone();
+        let global = obs::registry().counter("sde_stale_notifications_total");
         core.set_stale_notify(Arc::new(move || {
             count_in.fetch_add(1, Ordering::SeqCst);
+            global.inc();
             if let Some(publisher) = publisher.upgrade() {
                 publisher.ensure_current();
             }
@@ -302,6 +312,7 @@ impl SdeManager {
             .remove(class_name)
             .ok_or_else(|| SdeError::NotManaged(class_name.to_string()))?;
         entry.gateway().shutdown();
+        obs::trace::event("sde::manager", "undeploy", format!("class={class_name}"));
         Ok(())
     }
 
@@ -363,6 +374,11 @@ impl SdeManager {
             }
         };
         let new_tech = new_entry.gateway().technology();
+        obs::trace::event(
+            "sde::manager",
+            "switch-technology",
+            format!("class={class_name} {old_tech} -> {new_tech}"),
+        );
         servers.insert(class_name.to_string(), new_entry);
         Ok(new_tech)
     }

@@ -38,9 +38,11 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::Receiver;
 use jpie::{ClassEvent, ClassHandle};
-use parking_lot::{Condvar, Mutex};
+use obs::events::VersionEventKind;
+use obs::metrics::{Counter, Histogram};
+use obs::sync::{Condvar, Mutex};
+use std::sync::mpsc::Receiver;
 
 /// How the DL Publisher decides when to publish (§5.6 discussion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +100,31 @@ impl PublisherMetrics {
     }
 }
 
+/// Global-registry mirrors of [`PublisherMetrics`], resolved once per
+/// publisher. The per-publisher counters remain authoritative for the
+/// experiments; these feed `GET /metrics` and the REPL `stats` view.
+struct PublisherObs {
+    generations: Arc<Counter>,
+    publications: Arc<Counter>,
+    forced: Arc<Counter>,
+    already_current: Arc<Counter>,
+    generation_ns: Arc<Histogram>,
+}
+
+impl PublisherObs {
+    fn for_class(class: &str) -> PublisherObs {
+        let r = obs::registry();
+        let labels = [("class", class)];
+        PublisherObs {
+            generations: r.counter_with("sde_generations_total", &labels),
+            publications: r.counter_with("sde_publications_total", &labels),
+            forced: r.counter_with("sde_forced_publications_total", &labels),
+            already_current: r.counter_with("sde_already_current_total", &labels),
+            generation_ns: r.histogram_with("sde_generation_ns", &labels),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PubState {
     /// §5.6 countdown deadline; `None` when the timer is idle.
@@ -121,6 +148,7 @@ pub struct PublisherCore {
     generator: Box<DocumentGenerator>,
     sink: Box<PublishSink>,
     metrics: PublisherMetrics,
+    o: PublisherObs,
     /// Artificial latency added to each generation — models the paper's
     /// "relatively expensive operation" and lets tests exercise the
     /// timer-expires-during-generation path deterministically.
@@ -147,6 +175,7 @@ impl PublisherCore {
         generator: Box<DocumentGenerator>,
         sink: Box<PublishSink>,
     ) -> Arc<PublisherCore> {
+        let o = PublisherObs::for_class(&class.name());
         let core = Arc::new(PublisherCore {
             state: Mutex::new(PubState {
                 deadline: None,
@@ -161,6 +190,7 @@ impl PublisherCore {
             generator,
             sink,
             metrics: PublisherMetrics::default(),
+            o,
             generation_latency: Mutex::new(Duration::ZERO),
             worker: Mutex::new(None),
             listener: Mutex::new(None),
@@ -171,6 +201,12 @@ impl PublisherCore {
         let initial = (core.generator)();
         (core.sink)(&initial);
         core.metrics.publications.fetch_add(1, Ordering::SeqCst);
+        core.o.publications.inc();
+        obs::events::record(
+            &class.name(),
+            VersionEventKind::Publication,
+            initial.version,
+        );
         core.state.lock().published_version = initial.version;
 
         // Listener thread: subscribes to class change events.
@@ -263,9 +299,16 @@ impl PublisherCore {
             // This early return is what makes a rogue client unable to
             // trigger needless IDL generations.
             self.metrics.already_current.fetch_add(1, Ordering::SeqCst);
+            self.o.already_current.inc();
             return false;
         }
         self.metrics.forced.fetch_add(1, Ordering::SeqCst);
+        self.o.forced.inc();
+        obs::trace::event(
+            "sde::publisher",
+            "ensure-current-forced",
+            format!("class={} version={current_version}", self.class.name()),
+        );
         // Cases 2/3: if a timer is pending (with or without an ongoing
         // generation), fold it into an immediate follow-up generation.
         if st.deadline.is_some() || st.published_version != current_version {
@@ -304,6 +347,13 @@ impl PublisherCore {
         if st.shutdown {
             return;
         }
+        if event.distributed_change {
+            obs::events::record(
+                &self.class.name(),
+                VersionEventKind::InterfaceEdit,
+                event.interface_version,
+            );
+        }
         // The listener thread receives events asynchronously; one may
         // arrive after a forced publication has already covered it. An
         // event whose interface version is already published carries no
@@ -329,6 +379,11 @@ impl PublisherCore {
                 // leave a running timer alone).
                 if st.deadline.is_none() || event.distributed_change {
                     st.deadline = Some(Instant::now() + timeout);
+                    obs::events::record(
+                        &self.class.name(),
+                        VersionEventKind::TimerReset,
+                        event.interface_version,
+                    );
                     self.cond.notify_all();
                 }
             }
@@ -347,8 +402,10 @@ fn listener_loop(core: Arc<PublisherCore>, events: Receiver<ClassEvent>) {
 
 fn worker_loop(core: Arc<PublisherCore>) {
     loop {
-        // Decide whether to generate now, wait, or exit.
-        {
+        // Decide whether to generate now, wait, or exit. The flag records
+        // whether this round was forced (stale call / manual trigger) as
+        // opposed to a timer running out on its own.
+        let was_forced = {
             let mut st = core.state.lock();
             loop {
                 if st.shutdown {
@@ -361,12 +418,23 @@ fn worker_loop(core: Arc<PublisherCore>) {
                     }
                 }
                 let now = Instant::now();
-                let expired = st.force_now || st.deadline.is_some_and(|d| d <= now);
-                if expired {
+                let timer_expired = st.deadline.is_some_and(|d| d <= now);
+                if st.force_now || timer_expired {
+                    let forced = st.force_now;
+                    if timer_expired
+                        && !forced
+                        && matches!(*core.strategy.lock(), PublicationStrategy::StableTimeout(_))
+                    {
+                        obs::events::record(
+                            &core.class.name(),
+                            VersionEventKind::StabilityTimeout,
+                            core.class.interface_version(),
+                        );
+                    }
                     st.force_now = false;
                     st.deadline = None;
                     st.generating = true;
-                    break;
+                    break forced;
                 }
                 match st.deadline {
                     Some(d) => {
@@ -375,16 +443,24 @@ fn worker_loop(core: Arc<PublisherCore>) {
                     None => core.cond.wait(&mut st),
                 }
             }
-        }
+        };
 
         // Generation happens outside the lock — the timer keeps running
         // independently (§5.6).
         let latency = *core.generation_latency.lock();
+        let span = obs::trace::Span::timed(core.o.generation_ns.clone());
         if !latency.is_zero() {
             thread::sleep(latency);
         }
         let doc = (core.generator)();
+        span.finish();
         core.metrics.generations.fetch_add(1, Ordering::SeqCst);
+        core.o.generations.inc();
+        obs::events::record(
+            &core.class.name(),
+            VersionEventKind::Generation,
+            doc.version,
+        );
 
         // Publish if the interface actually changed.
         let mut st = core.state.lock();
@@ -393,6 +469,22 @@ fn worker_loop(core: Arc<PublisherCore>) {
             drop(st);
             (core.sink)(&doc);
             core.metrics.publications.fetch_add(1, Ordering::SeqCst);
+            core.o.publications.inc();
+            let kind = if was_forced {
+                VersionEventKind::ForcedPublication
+            } else {
+                VersionEventKind::Publication
+            };
+            obs::events::record(&core.class.name(), kind, doc.version);
+            obs::trace::event(
+                "sde::publisher",
+                "publish",
+                format!(
+                    "class={} version={} forced={was_forced}",
+                    core.class.name(),
+                    doc.version
+                ),
+            );
             st = core.state.lock();
         }
         st.generating = false;
@@ -699,11 +791,10 @@ mod tests {
 
     #[test]
     fn published_versions_are_monotonic_under_random_schedules() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use obs::rng::XorShift64;
 
         for seed in 0..6u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = XorShift64::seed_from_u64(seed);
             let class = test_class(&format!("PMono{seed}"));
             let log = Arc::new(StdMutex::new(Vec::<u64>::new()));
             let gen_class = class.clone();
@@ -723,7 +814,7 @@ mod tests {
 
             let mut method_n = 0u32;
             for _ in 0..30 {
-                match rng.gen_range(0..4) {
+                match rng.gen_range(0, 4) {
                     0 => {
                         method_n += 1;
                         class
@@ -737,7 +828,7 @@ mod tests {
                     2 => {
                         core.ensure_current();
                     }
-                    _ => thread::sleep(Duration::from_millis(rng.gen_range(0..4))),
+                    _ => thread::sleep(Duration::from_millis(rng.gen_range(0, 4) as u64)),
                 }
             }
             // Quiesce: after ensure_current the published doc reflects all
@@ -756,6 +847,45 @@ mod tests {
             );
             core.shutdown();
         }
+    }
+
+    #[test]
+    fn version_event_log_tracks_lifecycle() {
+        let class = test_class("PEvents");
+        let (core, _) = start_publisher(
+            &class,
+            PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+        );
+        assert!(
+            obs::events::count("PEvents", VersionEventKind::Publication) >= 1,
+            "initial publication recorded"
+        );
+        class
+            .add_method(MethodBuilder::new("evt", TypeDesc::Void).distributed(true))
+            .unwrap();
+        wait_for(|| core.is_current(), "stable publication");
+        assert!(obs::events::count("PEvents", VersionEventKind::InterfaceEdit) >= 1);
+        assert!(obs::events::count("PEvents", VersionEventKind::TimerReset) >= 1);
+        assert_eq!(
+            obs::events::latest_published_version("PEvents"),
+            Some(class.interface_version())
+        );
+        core.shutdown();
+    }
+
+    #[test]
+    fn forced_publication_recorded_as_forced() {
+        let class = test_class("PForced");
+        let (core, _) = start_publisher(
+            &class,
+            PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        );
+        class
+            .add_method(MethodBuilder::new("f", TypeDesc::Void).distributed(true))
+            .unwrap();
+        assert!(core.ensure_current());
+        assert!(obs::events::count("PForced", VersionEventKind::ForcedPublication) >= 1);
+        core.shutdown();
     }
 
     #[test]

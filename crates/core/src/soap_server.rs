@@ -155,6 +155,7 @@ impl Handler for SoapCallHandler {
             Err(e) => {
                 // "If the parsing reveals a malformed SOAP Request, a SOAP
                 // Fault with a 'Malformed SOAP Request' message is sent."
+                fault_counter("malformed_request").inc();
                 return fault_response(&SoapFault::malformed_request(e.to_string()));
             }
         };
@@ -164,18 +165,35 @@ impl Handler for SoapCallHandler {
                 Response::ok(body.into_bytes(), "text/xml")
             }
             Err(InvokeFailure::NotInitialized) => {
+                fault_counter("server_not_initialized").inc();
                 fault_response(&SoapFault::server_not_initialized())
             }
             Err(InvokeFailure::NoMatch) => {
                 // §5.7 ran inside dispatch (stall + forced publication);
                 // now the exception goes back.
+                fault_counter("non_existent_method").inc();
+                obs::trace::event(
+                    "sde::soap",
+                    "non-existent-method",
+                    format!(
+                        "class={} method={}",
+                        self.core.class().name(),
+                        soap_req.method()
+                    ),
+                );
                 fault_response(&SoapFault::non_existent_method(soap_req.method()))
             }
             Err(InvokeFailure::AppException(msg)) => {
+                fault_counter("application_exception").inc();
                 fault_response(&SoapFault::application_exception(msg))
             }
         }
     }
+}
+
+/// Fault paths are cold, so the registry lookup per fault is fine.
+fn fault_counter(kind: &str) -> std::sync::Arc<obs::Counter> {
+    obs::registry().counter_with("sde_soap_faults_total", &[("kind", kind)])
 }
 
 fn fault_response(fault: &SoapFault) -> Response {

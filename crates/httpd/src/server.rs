@@ -1,15 +1,45 @@
 //! A threaded HTTP server dispatching requests to a [`Handler`].
+//!
+//! Every server also exposes the process-wide metrics registry at
+//! `GET /metrics` in Prometheus text format, before user handlers see
+//! the request.
 
 use std::io::BufReader;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::{self, JoinHandle};
 
-use parking_lot::Mutex;
+use obs::metrics::{Counter, Histogram};
+use obs::sync::Mutex;
 
 use crate::error::HttpError;
 use crate::message::{Request, Response};
 use crate::transport::{Addr, Listener, Stream};
+
+/// Metric handles resolved once; the per-request path is atomic ops only.
+struct HttpMetrics {
+    connections: Arc<Counter>,
+    requests: Arc<Counter>,
+    request_ns: Arc<Histogram>,
+    responses_2xx: Arc<Counter>,
+    responses_4xx: Arc<Counter>,
+    responses_5xx: Arc<Counter>,
+}
+
+fn http_metrics() -> &'static HttpMetrics {
+    static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        HttpMetrics {
+            connections: r.counter("http_connections_total"),
+            requests: r.counter("http_requests_total"),
+            request_ns: r.histogram("http_request_ns"),
+            responses_2xx: r.counter_with("http_responses_total", &[("status", "2xx")]),
+            responses_4xx: r.counter_with("http_responses_total", &[("status", "4xx")]),
+            responses_5xx: r.counter_with("http_responses_total", &[("status", "5xx")]),
+        }
+    })
+}
 
 /// Application logic plugged into an [`HttpServer`].
 ///
@@ -121,6 +151,8 @@ impl Drop for HttpServer {
 }
 
 fn serve_connection(stream: Stream, handler: Arc<dyn Handler>, shutdown: Arc<AtomicBool>) {
+    let metrics = http_metrics();
+    metrics.connections.inc();
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -136,6 +168,9 @@ fn serve_connection(stream: Stream, handler: Arc<dyn Handler>, shutdown: Arc<Ato
             Ok(None) => return, // peer closed keep-alive connection
             Err(HttpError::UnexpectedEof) => return,
             Err(_) => {
+                obs::registry()
+                    .counter("http_malformed_requests_total")
+                    .inc();
                 let _ = Response::bad_request("malformed request").write_to(&mut writer);
                 return;
             }
@@ -144,7 +179,32 @@ fn serve_connection(stream: Stream, handler: Arc<dyn Handler>, shutdown: Arc<Ato
             .headers()
             .get("Connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        let mut resp = handler.handle(&req);
+        // The built-in observability endpoint: answered here so every
+        // server (SOAP, CORBA interface docs, static baselines) exposes
+        // it without handler cooperation. Not counted as app traffic.
+        let mut resp = if req.method() == crate::message::Method::Get && req.path() == "/metrics" {
+            Response::ok(
+                obs::registry().snapshot().render_prometheus().into_bytes(),
+                "text/plain; version=0.0.4",
+            )
+        } else {
+            metrics.requests.inc();
+            let span = obs::trace::Span::timed(metrics.request_ns.clone());
+            obs::trace::verbose_event(
+                "httpd",
+                "request",
+                format!("{} {}", req.method(), req.path()),
+            );
+            let resp = handler.handle(&req);
+            span.finish();
+            match resp.status() {
+                200..=299 => metrics.responses_2xx.inc(),
+                400..=499 => metrics.responses_4xx.inc(),
+                500..=599 => metrics.responses_5xx.inc(),
+                _ => {}
+            }
+            resp
+        };
         if close {
             resp.headers_mut().set("Connection", "close");
         }
@@ -240,6 +300,27 @@ mod tests {
         server.shutdown();
         let server2 = HttpServer::bind("mem://srv-release", echo_handler).unwrap();
         server2.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_served_builtin() {
+        let server = HttpServer::bind("mem://srv-metrics", echo_handler).unwrap();
+        // App traffic shows up in the built-in endpoint…
+        let resp = HttpClient::new()
+            .get(&format!("{}/app", server.base_url()))
+            .unwrap();
+        assert_eq!(resp.status(), 200);
+        let metrics = HttpClient::new()
+            .get(&format!("{}/metrics", server.base_url()))
+            .unwrap();
+        assert_eq!(metrics.status(), 200);
+        let text = metrics.body_str().to_string();
+        assert!(text.contains("http_requests_total"), "{text}");
+        assert!(text.contains("http_request_ns_count"), "{text}");
+        // …and the handler never saw /metrics (echo would 200 with a body
+        // of "GET /metrics"; instead we got the exposition format).
+        assert!(!text.contains("GET /metrics"));
+        server.shutdown();
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use obs::sync::{Condvar, Mutex};
 
 use crate::error::HttpError;
 
@@ -218,11 +218,19 @@ impl Listener {
 pub fn connect(addr: &str) -> Result<Stream, HttpError> {
     match Addr::parse(addr)? {
         Addr::Tcp(a) => {
+            obs::registry()
+                .counter_with("http_connects_total", &[("transport", "tcp")])
+                .inc();
             let s = TcpStream::connect(&a).map_err(HttpError::Io)?;
             s.set_nodelay(true).ok();
             Ok(Stream::Tcp(s))
         }
-        Addr::Mem(name) => mem_registry().connect(&name),
+        Addr::Mem(name) => {
+            obs::registry()
+                .counter_with("http_connects_total", &[("transport", "mem")])
+                .inc();
+            mem_registry().connect(&name)
+        }
     }
 }
 

@@ -4,8 +4,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Weak};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use obs::sync::{Mutex, RwLock};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::edit::{EditLabel, EditRecord};
 use crate::error::JpieError;
@@ -370,7 +370,7 @@ impl ClassHandle {
     /// [`ClassHandle::undo`] / [`ClassHandle::redo`] — sends one
     /// [`ClassEvent`] to every subscriber.
     pub fn subscribe(&self) -> Receiver<ClassEvent> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         self.inner.write().listeners.push(tx);
         rx
     }
@@ -400,6 +400,18 @@ impl ClassHandle {
         if distributed_change {
             inner.interface_version += 1;
         }
+        obs::registry().counter("jpie_edits_total").inc();
+        if distributed_change {
+            obs::registry().counter("jpie_interface_edits_total").inc();
+        }
+        obs::trace::verbose_event(
+            "jpie::class",
+            "edit",
+            format!(
+                "class={} version={} distributed={distributed_change}",
+                inner.name, inner.interface_version
+            ),
+        );
         let after_methods = inner.methods.clone();
         let after_fields = inner.fields.clone();
         inner.undo_stack.push(EditRecord {

@@ -10,7 +10,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use obs::sync::Mutex;
 
 use crate::error::JpieError;
 use crate::value::Value;

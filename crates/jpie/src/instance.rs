@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use obs::sync::Mutex;
 
 use crate::class::{ClassHandle, DynamicMethod, MethodId};
 use crate::error::JpieError;
@@ -236,8 +236,18 @@ impl Instance {
             })?;
             widened.push(v);
         }
-        Interp::new(snapshot, &self.fields).invoke(method, &widened)
+        let span = obs::trace::Span::timed(invoke_ns_histogram().clone());
+        let out = Interp::new(snapshot, &self.fields).invoke(method, &widened);
+        span.finish();
+        out
     }
+}
+
+/// Latency of dynamic-method invocations, process-wide
+/// (`jpie_invoke_ns`). Resolved once; recording is a few relaxed atomics.
+fn invoke_ns_histogram() -> &'static std::sync::Arc<obs::Histogram> {
+    static HIST: std::sync::OnceLock<std::sync::Arc<obs::Histogram>> = std::sync::OnceLock::new();
+    HIST.get_or_init(|| obs::registry().histogram("jpie_invoke_ns"))
 }
 
 impl Drop for Instance {

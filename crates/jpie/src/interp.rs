@@ -7,8 +7,10 @@
 //! paper relies on.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use obs::metrics::Gauge;
+use obs::sync::Mutex;
 
 use crate::class::{DynamicMethod, MethodBody, MethodSignature};
 use crate::error::JpieError;
@@ -28,6 +30,14 @@ const STEP_LIMIT: u64 = 1_000_000;
 /// handlers run on default-sized (2 MiB) threads and debug-build frames
 /// are large.
 const DEPTH_LIMIT: u32 = 64;
+
+/// High-water mark of interpreter self-call depth, process-wide
+/// (`jpie_eval_depth_max`). Resolved once; the hot path is one relaxed
+/// compare-and-swap loop.
+fn eval_depth_gauge() -> &'static Arc<Gauge> {
+    static GAUGE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| obs::registry().gauge("jpie_eval_depth_max"))
+}
 
 pub(crate) struct Interp<'a> {
     methods: &'a [DynamicMethod],
@@ -66,6 +76,7 @@ impl<'a> Interp<'a> {
                 method.signature.name
             )));
         }
+        eval_depth_gauge().set_max(i64::from(self.depth));
         let out = self.invoke_inner(method, args);
         self.depth -= 1;
         out

@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use obs::sync::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::class::ClassHandle;
 use crate::error::JpieError;
@@ -58,7 +58,7 @@ impl ClassRegistry {
 
     /// Subscribes to class-load events.
     pub fn subscribe(&self) -> Receiver<ClassLoaded> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         self.inner.lock().listeners.push(tx);
         rx
     }

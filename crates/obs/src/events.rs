@@ -1,0 +1,154 @@
+//! The queryable version-event log.
+//!
+//! The publisher (paper §5.6–5.7) records every step of an interface's
+//! life here — edit observed, stability timer armed/reset, timeout
+//! fired, document generation, publication (forced or timed), and stale
+//! calls — tagged with the class and interface version. The REPL's
+//! `events` command and the end-to-end tests query it to reconstruct
+//! exactly when a version became visible.
+
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+const LOG_CAPACITY: usize = 4096;
+
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum VersionEventKind {
+    /// A live edit changed the distributed interface.
+    InterfaceEdit,
+    /// The stability timer was armed or pushed back by a fresh edit.
+    TimerReset,
+    /// The stability timeout elapsed with no further edits.
+    StabilityTimeout,
+    /// Interface documents (WSDL/IDL) were generated for a version.
+    Generation,
+    /// A version became visible to clients.
+    Publication,
+    /// A publication forced by a stale call (§5.7 reactive strategy).
+    ForcedPublication,
+    /// A client call arrived under an outdated interface.
+    StaleCall,
+}
+
+impl VersionEventKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VersionEventKind::InterfaceEdit => "interface_edit",
+            VersionEventKind::TimerReset => "timer_reset",
+            VersionEventKind::StabilityTimeout => "stability_timeout",
+            VersionEventKind::Generation => "generation",
+            VersionEventKind::Publication => "publication",
+            VersionEventKind::ForcedPublication => "forced_publication",
+            VersionEventKind::StaleCall => "stale_call",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct VersionEvent {
+    pub seq: u64,
+    pub at_micros: u64,
+    pub class: String,
+    pub kind: VersionEventKind,
+    /// The interface version the event concerns (0 when unknown).
+    pub version: u64,
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn log() -> &'static Mutex<VecDeque<VersionEvent>> {
+    static LOG: OnceLock<Mutex<VecDeque<VersionEvent>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(VecDeque::with_capacity(256)))
+}
+
+/// Append an event to the log and bump the matching
+/// `sde_version_events_total{kind="…"}` counter.
+pub fn record(class: &str, kind: VersionEventKind, version: u64) {
+    crate::registry()
+        .counter_with("sde_version_events_total", &[("kind", kind.as_str())])
+        .inc();
+    if !crate::recording() {
+        return;
+    }
+    let ev = VersionEvent {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        at_micros: crate::uptime_micros(),
+        class: class.to_string(),
+        kind,
+        version,
+    };
+    let mut log = log().lock();
+    if log.len() == LOG_CAPACITY {
+        log.pop_front();
+    }
+    log.push_back(ev);
+}
+
+/// Events for one class (or all classes when `class` is `None`),
+/// oldest first.
+pub fn query(class: Option<&str>) -> Vec<VersionEvent> {
+    log()
+        .lock()
+        .iter()
+        .filter(|e| class.is_none_or(|c| e.class == c))
+        .cloned()
+        .collect()
+}
+
+/// How many events of `kind` the log currently holds for `class`.
+pub fn count(class: &str, kind: VersionEventKind) -> usize {
+    log()
+        .lock()
+        .iter()
+        .filter(|e| e.class == class && e.kind == kind)
+        .count()
+}
+
+/// The latest published version recorded for `class`, if any.
+pub fn latest_published_version(class: &str) -> Option<u64> {
+    log()
+        .lock()
+        .iter()
+        .rev()
+        .find(|e| {
+            e.class == class
+                && matches!(
+                    e.kind,
+                    VersionEventKind::Publication | VersionEventKind::ForcedPublication
+                )
+        })
+        .map(|e| e.version)
+}
+
+pub fn clear() {
+    log().lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_query_and_count() {
+        let class = "ObsEventsUnitTestClass"; // unique to avoid cross-test noise
+        record(class, VersionEventKind::InterfaceEdit, 1);
+        record(class, VersionEventKind::Publication, 1);
+        record(class, VersionEventKind::ForcedPublication, 2);
+        let evs = query(Some(class));
+        assert_eq!(evs.len(), 3);
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(count(class, VersionEventKind::Publication), 1);
+        assert_eq!(latest_published_version(class), Some(2));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            VersionEventKind::StabilityTimeout.as_str(),
+            "stability_timeout"
+        );
+        assert_eq!(VersionEventKind::StaleCall.as_str(), "stale_call");
+    }
+}

@@ -1,0 +1,55 @@
+//! Observability substrate for the live-RMI workspace.
+//!
+//! `obs` is deliberately dependency-free: it provides the few pieces of
+//! infrastructure the rest of the workspace would otherwise pull from
+//! crates.io, plus the tracing/metrics layer the §7 evaluation needs.
+//!
+//! * [`sync`] — `parking_lot`-style wrappers over `std::sync` (no lock
+//!   poisoning in the API, guards returned directly from `lock()`).
+//! * [`rng`] — a tiny deterministic xorshift generator for tests and
+//!   benchmarks.
+//! * [`metrics`] — atomic counters, gauges, and log-bucketed latency
+//!   histograms behind a global name→handle registry, with snapshot /
+//!   delta arithmetic and Prometheus text rendering.
+//! * [`trace`] — a bounded in-process ring of structured trace events
+//!   plus RAII spans that record durations into histograms.
+//! * [`events`] — the queryable version-event log: interface edits,
+//!   stability timeouts, generations, publications, and stale calls,
+//!   in arrival order per class.
+
+pub mod events;
+pub mod metrics;
+pub mod rng;
+pub mod sync;
+pub mod trace;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use trace::{span, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable the *expensive* parts of observability
+/// (histogram recording and trace events). Counters and gauges stay on —
+/// a relaxed atomic increment is cheaper than the branch would be worth.
+///
+/// The bench crate uses this to measure the instrumentation-on vs
+/// instrumentation-off RTT delta.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether histogram recording and trace events are currently enabled.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Microseconds elapsed since the first call into `obs` in this process.
+/// Used to timestamp trace and version events without a wall clock.
+pub fn uptime_micros() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_micros() as u64
+}

@@ -1,0 +1,123 @@
+//! A small deterministic xorshift64* generator.
+//!
+//! Used by tests and benches that need reproducible pseudo-randomness
+//! without pulling in an external RNG crate. Not cryptographic.
+
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed is remapped to a fixed non-zero
+    /// constant (xorshift has an all-zero fixed point).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, n)`. `n` must be non-zero.
+    pub fn gen_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_usize(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`. `lo < hi` required.
+    pub fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Bernoulli with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            // Advance the stream either way so schedules stay aligned.
+            self.next_u64();
+            return true;
+        }
+        self.gen_f64() < p.max(0.0)
+    }
+
+    /// A uniformly random finite `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fill `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Pick a random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_usize(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::seed_from_u64(42);
+        let mut b = XorShift64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::seed_from_u64(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = XorShift64::seed_from_u64(1);
+        for _ in 0..64 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = XorShift64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-3, 4);
+            assert!((-3..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = XorShift64::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Observability demo: a live SDE SOAP server over real TCP whose
+//! built-in `GET /metrics` endpoint exposes the process-wide registry
+//! in Prometheus text format.
+//!
+//! Run with: `cargo run --example metrics_endpoint`, then from another
+//! shell: `curl http://127.0.0.1:<port>/metrics` (the URL is printed).
+//! Press Enter (or close stdin) to stop the server.
+
+use std::time::Duration;
+
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::ClientEnvironment;
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let class = ClassHandle::new("Calc");
+    class.add_method(
+        MethodBuilder::new("add", TypeDesc::Int)
+            .param("a", TypeDesc::Int)
+            .param("b", TypeDesc::Int)
+            .distributed(true)
+            .body_expr(Expr::param("a") + Expr::param("b")),
+    )?;
+
+    let manager = SdeManager::new(SdeConfig {
+        transport: TransportKind::Tcp,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(200)),
+    })?;
+    let server = manager.deploy_soap(class.clone())?;
+    server.create_instance()?;
+    server.publisher().ensure_current();
+
+    // A few calls so the counters and latency histograms have samples.
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url())?;
+    for i in 0..5 {
+        let v = env.call(&stub, "add", &[Value::Int(i), Value::Int(i)])?;
+        println!("call {i}: add({i}, {i}) = {v}");
+    }
+
+    let endpoint = server.endpoint_url();
+    let base = endpoint.trim_end_matches("/Calc");
+    println!("SOAP endpoint: {endpoint}");
+    println!("metrics at:    {base}/metrics");
+    println!("press Enter to stop");
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+
+    manager.shutdown();
+    Ok(())
+}

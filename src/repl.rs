@@ -59,6 +59,10 @@ SDE Manager Interface commands:
   debugger                                 list caught exceptions
   again <index>                            debugger try-again
   servers                                  list managed servers
+  stats [filter]                           metrics snapshot (Prometheus text format)
+  trace [n]                                most recent trace events (default 20)
+  events [Class]                           the queryable version-event log
+  verbose on|off                           toggle per-request trace events
   help | quit";
 
 impl Repl {
@@ -140,6 +144,10 @@ impl Repl {
             "call" => self.cmd_call(rest),
             "debugger" => Ok(self.cmd_debugger()),
             "again" => self.cmd_again(rest),
+            "stats" => Ok(cmd_stats(rest)),
+            "trace" => cmd_trace(rest),
+            "events" => Ok(cmd_events(rest)),
+            "verbose" => cmd_verbose(rest),
             "servers" => Ok(self
                 .manager
                 .managed()
@@ -473,6 +481,78 @@ impl Repl {
     }
 }
 
+fn cmd_stats(filter: &str) -> String {
+    let text = obs::registry().snapshot().render_prometheus();
+    if filter.is_empty() {
+        return text.trim_end().to_string();
+    }
+    let matching: Vec<&str> = text.lines().filter(|l| l.contains(filter)).collect();
+    if matching.is_empty() {
+        format!("stats: no metrics matching {filter:?}")
+    } else {
+        matching.join("\n")
+    }
+}
+
+fn cmd_trace(rest: &str) -> Result<String, String> {
+    let n = if rest.is_empty() {
+        20
+    } else {
+        rest.parse()
+            .map_err(|_| format!("usage: trace [n] (got {rest:?})"))?
+    };
+    let events = obs::trace::recent(n);
+    if events.is_empty() {
+        return Ok("trace: no events recorded".into());
+    }
+    Ok(events
+        .iter()
+        .map(|e| {
+            format!(
+                "[{}] +{:>8}us {} {} {}",
+                e.seq, e.at_micros, e.target, e.name, e.detail
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n"))
+}
+
+fn cmd_events(rest: &str) -> String {
+    let class = (!rest.is_empty()).then_some(rest);
+    let events = obs::events::query(class);
+    if events.is_empty() {
+        return "events: no version events recorded".into();
+    }
+    events
+        .iter()
+        .map(|e| {
+            format!(
+                "[{}] +{:>8}us {} {} v{}",
+                e.seq,
+                e.at_micros,
+                e.class,
+                e.kind.as_str(),
+                e.version
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn cmd_verbose(rest: &str) -> Result<String, String> {
+    match rest {
+        "on" => {
+            obs::trace::set_verbose(true);
+            Ok("verbose tracing on".into())
+        }
+        "off" => {
+            obs::trace::set_verbose(false);
+            Ok("verbose tracing off".into())
+        }
+        _ => Err("usage: verbose on|off".into()),
+    }
+}
+
 fn live_rmi_export_soap(
     class: &ClassHandle,
     instance: &Arc<jpie::Instance>,
@@ -641,6 +721,48 @@ mod tests {
         assert_eq!(run(&mut repl, "call Echo echo \"ping\""), "=> ping");
         assert!(run(&mut repl, "load class Echo { }").contains("error"));
         assert!(run(&mut repl, "load not a class").contains("error"));
+    }
+
+    #[test]
+    fn observability_commands() {
+        let mut repl = Repl::new().unwrap();
+        run(&mut repl, "new ReplObs");
+        run(&mut repl, "add ReplObs add(a:int,b:int)->int distributed");
+        run(&mut repl, "body ReplObs add return a + b;");
+        run(&mut repl, "deploy soap ReplObs");
+        run(&mut repl, "instance ReplObs");
+        run(&mut repl, "publish ReplObs");
+        run(&mut repl, "connect ReplObs");
+        assert_eq!(run(&mut repl, "call ReplObs add 20 22"), "=> 42");
+
+        // stats: full snapshot and filtered view both show the counter
+        // the call above incremented.
+        let stats = run(&mut repl, "stats");
+        assert!(stats.contains("sde_requests_total"), "{stats}");
+        let filtered = run(&mut repl, "stats ReplObs");
+        assert!(
+            filtered.contains("sde_requests_total{class=\"ReplObs\"}"),
+            "{filtered}"
+        );
+        assert!(run(&mut repl, "stats no_such_metric_xyz").contains("no metrics"));
+
+        // events: the publication shows up in the version-event log,
+        // both unfiltered and filtered by class.
+        let events = run(&mut repl, "events ReplObs");
+        assert!(events.contains("publication"), "{events}");
+        assert!(events.contains("ReplObs"), "{events}");
+
+        // trace: deploy/publish left events in the ring.
+        let trace = run(&mut repl, "trace 50");
+        assert!(
+            trace.contains("deploy") || trace.contains("publish"),
+            "{trace}"
+        );
+        assert!(run(&mut repl, "trace nonsense").contains("error"));
+
+        assert_eq!(run(&mut repl, "verbose on"), "verbose tracing on");
+        assert_eq!(run(&mut repl, "verbose off"), "verbose tracing off");
+        assert!(run(&mut repl, "verbose maybe").contains("error"));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! End-to-end observability: `GET /metrics` on an SDE SOAP server
+//! reflects call traffic through the gateway, and the version-event
+//! counters advance after a live interface edit and republication.
+
+use std::time::Duration;
+
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::ClientEnvironment;
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+    })
+    .expect("manager")
+}
+
+fn calc_class(name: &str) -> ClassHandle {
+    let class = ClassHandle::new(name);
+    class
+        .add_method(
+            MethodBuilder::new("add", TypeDesc::Int)
+                .param("a", TypeDesc::Int)
+                .param("b", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("a") + Expr::param("b")),
+        )
+        .expect("add method");
+    class
+}
+
+/// Fetches the Prometheus exposition from the server's built-in
+/// `/metrics` endpoint.
+fn fetch_metrics(base_url: &str) -> String {
+    let resp = httpd::HttpClient::new()
+        .get(&format!("{base_url}/metrics"))
+        .expect("GET /metrics");
+    assert_eq!(resp.status(), 200);
+    resp.body_str().to_string()
+}
+
+/// Reads one sample value from the exposition text by its full key
+/// (name plus label set); 0 when the series is absent.
+fn metric(text: &str, key: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(key)?;
+            rest.strip_prefix(' ')?.trim().parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn metrics_endpoint_reflects_soap_calls() {
+    let manager = manager();
+    let server = manager.deploy_soap(calc_class("ObsCalc")).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let base_url = server
+        .endpoint_url()
+        .trim_end_matches("/ObsCalc")
+        .to_string();
+
+    let before = fetch_metrics(&base_url);
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let v = env
+        .call(&stub, "add", &[Value::Int(20), Value::Int(22)])
+        .expect("call");
+    assert_eq!(v, Value::Int(42));
+
+    let after = fetch_metrics(&base_url);
+
+    // Gateway request/ok counters for this class advanced by the call.
+    let req_key = "sde_requests_total{class=\"ObsCalc\"}";
+    let ok_key = "sde_ok_total{class=\"ObsCalc\"}";
+    assert_eq!(metric(&after, req_key), metric(&before, req_key) + 1);
+    assert_eq!(metric(&after, ok_key), metric(&before, ok_key) + 1);
+    let per_method = "sde_method_calls_total{class=\"ObsCalc\",method=\"add\"}";
+    assert_eq!(metric(&after, per_method), metric(&before, per_method) + 1);
+
+    // The dispatch-latency histogram recorded a sample, exported in
+    // summary form with p50/p95/p99 quantiles.
+    let hist_count = "sde_dispatch_ns_count{class=\"ObsCalc\"}";
+    assert_eq!(metric(&after, hist_count), metric(&before, hist_count) + 1);
+    assert!(
+        after.contains("sde_dispatch_ns{class=\"ObsCalc\",quantile=\"0.99\"}"),
+        "{after}"
+    );
+
+    // HTTP-layer counters saw the POST too.
+    assert!(metric(&after, "http_requests_total") > metric(&before, "http_requests_total"));
+
+    manager.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_reflects_live_interface_edit() {
+    let manager = manager();
+    let server = manager.deploy_soap(calc_class("ObsEdit")).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let base_url = server
+        .endpoint_url()
+        .trim_end_matches("/ObsEdit")
+        .to_string();
+
+    let before = fetch_metrics(&base_url);
+
+    // Live interface edit: a new distributed method is a distributed
+    // change, so the publisher must log the edit and republish.
+    server
+        .class()
+        .add_method(
+            MethodBuilder::new("sub", TypeDesc::Int)
+                .param("a", TypeDesc::Int)
+                .param("b", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("a") - Expr::param("b")),
+        )
+        .expect("live add");
+    server.publisher().ensure_current();
+
+    let after = fetch_metrics(&base_url);
+
+    let edit_key = "sde_version_events_total{kind=\"interface_edit\"}";
+    assert!(
+        metric(&after, edit_key) > metric(&before, edit_key),
+        "edit events: {} -> {}",
+        metric(&before, edit_key),
+        metric(&after, edit_key)
+    );
+    let pub_key = "sde_publications_total{class=\"ObsEdit\"}";
+    assert!(
+        metric(&after, pub_key) > metric(&before, pub_key),
+        "publications: {} -> {}",
+        metric(&before, pub_key),
+        metric(&after, pub_key)
+    );
+    // The republication also lands in the event-kind counters (either as
+    // a stability-timeout publication or as a forced one).
+    let pub_event = "sde_version_events_total{kind=\"publication\"}";
+    let forced_event = "sde_version_events_total{kind=\"forced_publication\"}";
+    assert!(
+        metric(&after, pub_event) + metric(&after, forced_event)
+            > metric(&before, pub_event) + metric(&before, forced_event),
+        "{after}"
+    );
+
+    manager.shutdown();
+}

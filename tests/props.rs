@@ -1,13 +1,17 @@
-//! Property-based tests on the wire substrates and core data structures:
-//! arbitrary values must survive every encode/decode pair in the system
-//! (CDR any, SOAP encoding, GIOP framing), arbitrary interfaces must
+//! Property-style tests on the wire substrates and core data structures:
+//! randomized values must survive every encode/decode pair in the system
+//! (CDR any, SOAP encoding, GIOP framing), randomized interfaces must
 //! survive WSDL and IDL round trips, and XML escaping must be lossless.
+//!
+//! Inputs are produced by a seeded xorshift generator (`obs::rng`), so
+//! every run explores the same cases — failures are reproducible from
+//! the case number alone, with no external property-testing framework.
 
 use jpie::{SignatureView, StructValue, TypeDesc, Value};
-use proptest::prelude::*;
+use obs::rng::XorShift64;
 
 // ---------------------------------------------------------------------------
-// Strategies
+// Generators
 // ---------------------------------------------------------------------------
 
 /// Identifiers that cannot collide with IDL keywords or type names.
@@ -27,206 +31,345 @@ const RESERVED: &[&str] = &[
     "return",
 ];
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| !RESERVED.contains(&s.as_str()))
+/// Identifiers safe for class members in JPie script (no script keywords).
+const SCRIPT_RESERVED: &[&str] = &[
+    "let",
+    "if",
+    "else",
+    "while",
+    "return",
+    "throw",
+    "this",
+    "new",
+    "seq",
+    "true",
+    "false",
+    "null",
+    "class",
+    "extends",
+    "field",
+    "distributed",
+    "len",
+    "get",
+    "push",
+    "to_string",
+    "contains",
+    "in",
+    "long",
+    "void",
+    "boolean",
+    "float",
+    "double",
+    "char",
+    "string",
+    "int",
+    "item",
+    "module",
+    "interface",
+];
+
+fn gen_char_from(rng: &mut XorShift64, alphabet: &[u8]) -> char {
+    alphabet[rng.gen_usize(alphabet.len())] as char
 }
 
-fn arb_type_name() -> impl Strategy<Value = String> {
-    "[A-Z][a-zA-Z0-9]{0,8}".prop_map(|s| s)
+/// `[a-z][a-z0-9_]{0,8}`, never a keyword from `banned`.
+fn gen_ident_avoiding(rng: &mut XorShift64, banned: &[&str]) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let mut s = String::new();
+        s.push(gen_char_from(rng, FIRST));
+        for _ in 0..rng.gen_usize(9) {
+            s.push(gen_char_from(rng, REST));
+        }
+        if !banned.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
-fn arb_scalar() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i32>().prop_map(Value::Int),
-        any::<i64>().prop_map(Value::Long),
-        any::<f32>()
-            .prop_filter("finite", |x| x.is_finite())
-            .prop_map(Value::Float),
-        any::<f64>()
-            .prop_filter("finite", |x| x.is_finite())
-            .prop_map(Value::Double),
-        any::<char>().prop_map(Value::Char),
+fn gen_ident(rng: &mut XorShift64) -> String {
+    gen_ident_avoiding(rng, RESERVED)
+}
+
+fn gen_member_ident(rng: &mut XorShift64) -> String {
+    gen_ident_avoiding(rng, SCRIPT_RESERVED)
+}
+
+/// `[A-Z][a-zA-Z0-9]{0,8}`.
+fn gen_type_name(rng: &mut XorShift64) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let mut s = String::new();
+    s.push(gen_char_from(rng, FIRST));
+    for _ in 0..rng.gen_usize(9) {
+        s.push(gen_char_from(rng, REST));
+    }
+    s
+}
+
+/// Printable-ASCII string of length `0..max_len`.
+fn gen_ascii_string(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = rng.gen_usize(max_len + 1);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(0x20, 0x7F) as u8))
+        .collect()
+}
+
+/// Any Unicode scalar value (the `any::<char>()` equivalent).
+fn gen_any_char(rng: &mut XorShift64) -> char {
+    loop {
+        let code = (rng.next_u32()) % 0x11_0000;
+        if let Some(c) = char::from_u32(code) {
+            return c;
+        }
+    }
+}
+
+/// Arbitrary non-control Unicode text (the `\PC*` equivalent) used by
+/// the never-panic tests.
+fn gen_unicode_string(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = rng.gen_usize(max_len + 1);
+    (0..len)
+        .map(|_| loop {
+            let c = gen_any_char(rng);
+            if !c.is_control() {
+                break c;
+            }
+        })
+        .collect()
+}
+
+fn gen_finite_f32(rng: &mut XorShift64) -> f32 {
+    loop {
+        let f = f32::from_bits(rng.next_u32());
+        if f.is_finite() {
+            return f;
+        }
+    }
+}
+
+fn gen_finite_f64(rng: &mut XorShift64) -> f64 {
+    loop {
+        let f = f64::from_bits(rng.next_u64());
+        if f.is_finite() {
+            return f;
+        }
+    }
+}
+
+fn gen_scalar(rng: &mut XorShift64) -> Value {
+    match rng.gen_usize(8) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.next_u32() as i32),
+        3 => Value::Long(rng.next_u64() as i64),
+        4 => Value::Float(gen_finite_f32(rng)),
+        5 => Value::Double(gen_finite_f64(rng)),
+        6 => Value::Char(gen_any_char(rng)),
         // Strings without NUL (CDR strings are NUL-terminated) and valid
         // XML scalar content after unescaping.
-        "[ -~]{0,24}".prop_map(Value::Str),
-    ]
+        _ => Value::Str(gen_ascii_string(rng, 24)),
+    }
 }
 
 /// Values with bounded nesting: scalars, structs, sequences.
-fn arb_value() -> impl Strategy<Value = Value> {
-    arb_scalar().prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            // Struct with up to 4 named fields.
-            (
-                arb_type_name(),
-                prop::collection::vec((arb_ident(), inner.clone()), 0..4)
-            )
-                .prop_map(|(type_name, fields)| {
-                    let mut s = StructValue::new(type_name);
-                    // Field names must be unique to survive XML mapping.
-                    let mut seen = std::collections::HashSet::new();
-                    for (name, v) in fields {
-                        if seen.insert(name.clone()) {
-                            s.fields.push((name, v));
-                        }
-                    }
-                    Value::Struct(s)
-                }),
-            // Homogeneous int/str sequences (simple, well-typed cases).
-            prop::collection::vec(any::<i32>().prop_map(Value::Int), 0..5)
-                .prop_map(|items| Value::Seq(TypeDesc::Int, items)),
-            prop::collection::vec("[ -~]{0,12}".prop_map(Value::Str), 0..4)
-                .prop_map(|items| Value::Seq(TypeDesc::Str, items)),
-            // Nested sequences.
-            prop::collection::vec(
-                prop::collection::vec(any::<i32>().prop_map(Value::Int), 0..3)
-                    .prop_map(|items| Value::Seq(TypeDesc::Int, items)),
-                0..3
-            )
-            .prop_map(|rows| Value::Seq(TypeDesc::Seq(Box::new(TypeDesc::Int)), rows)),
-        ]
-    })
+fn gen_value(rng: &mut XorShift64, depth: usize) -> Value {
+    if depth == 0 {
+        return gen_scalar(rng);
+    }
+    match rng.gen_usize(5) {
+        // Struct with up to 4 uniquely-named fields.
+        0 => {
+            let mut s = StructValue::new(gen_type_name(rng));
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..rng.gen_usize(4) {
+                let name = gen_ident(rng);
+                if seen.insert(name.clone()) {
+                    s.fields.push((name, gen_value(rng, depth - 1)));
+                }
+            }
+            Value::Struct(s)
+        }
+        // Homogeneous int/str sequences (simple, well-typed cases).
+        1 => Value::Seq(
+            TypeDesc::Int,
+            (0..rng.gen_usize(5))
+                .map(|_| Value::Int(rng.next_u32() as i32))
+                .collect(),
+        ),
+        2 => Value::Seq(
+            TypeDesc::Str,
+            (0..rng.gen_usize(4))
+                .map(|_| Value::Str(gen_ascii_string(rng, 12)))
+                .collect(),
+        ),
+        // Nested sequences.
+        3 => Value::Seq(
+            TypeDesc::Seq(Box::new(TypeDesc::Int)),
+            (0..rng.gen_usize(3))
+                .map(|_| {
+                    Value::Seq(
+                        TypeDesc::Int,
+                        (0..rng.gen_usize(3))
+                            .map(|_| Value::Int(rng.next_u32() as i32))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        ),
+        _ => gen_scalar(rng),
+    }
 }
 
-fn arb_leaf_type() -> impl Strategy<Value = TypeDesc> {
-    prop_oneof![
-        Just(TypeDesc::Bool),
-        Just(TypeDesc::Int),
-        Just(TypeDesc::Long),
-        Just(TypeDesc::Float),
-        Just(TypeDesc::Double),
-        Just(TypeDesc::Char),
-        Just(TypeDesc::Str),
-        arb_type_name().prop_map(TypeDesc::Named),
-    ]
+fn gen_leaf_type(rng: &mut XorShift64) -> TypeDesc {
+    match rng.gen_usize(8) {
+        0 => TypeDesc::Bool,
+        1 => TypeDesc::Int,
+        2 => TypeDesc::Long,
+        3 => TypeDesc::Float,
+        4 => TypeDesc::Double,
+        5 => TypeDesc::Char,
+        6 => TypeDesc::Str,
+        _ => TypeDesc::Named(gen_type_name(rng)),
+    }
 }
 
-fn arb_param_type() -> impl Strategy<Value = TypeDesc> {
-    prop_oneof![
-        arb_leaf_type(),
-        arb_leaf_type().prop_map(|t| TypeDesc::Seq(Box::new(t))),
-        arb_leaf_type().prop_map(|t| TypeDesc::Seq(Box::new(TypeDesc::Seq(Box::new(t))))),
-    ]
+fn gen_param_type(rng: &mut XorShift64) -> TypeDesc {
+    match rng.gen_usize(4) {
+        0 => TypeDesc::Seq(Box::new(gen_leaf_type(rng))),
+        1 => TypeDesc::Seq(Box::new(TypeDesc::Seq(Box::new(gen_leaf_type(rng))))),
+        _ => gen_leaf_type(rng),
+    }
 }
 
-fn arb_return_type() -> impl Strategy<Value = TypeDesc> {
-    prop_oneof![Just(TypeDesc::Void), arb_param_type()]
+fn gen_return_type(rng: &mut XorShift64) -> TypeDesc {
+    if rng.gen_bool(0.2) {
+        TypeDesc::Void
+    } else {
+        gen_param_type(rng)
+    }
 }
 
 /// A random distributed interface (as signature views).
-fn arb_interface() -> impl Strategy<Value = Vec<SignatureView>> {
-    prop::collection::vec(
-        (
-            arb_ident(),
-            prop::collection::vec((arb_ident(), arb_param_type()), 0..4),
-            arb_return_type(),
-        ),
-        0..5,
-    )
-    .prop_map(|ops| {
-        let mut seen_methods = std::collections::HashSet::new();
-        ops.into_iter()
-            .enumerate()
-            .filter_map(|(i, (name, params, return_ty))| {
-                if !seen_methods.insert(name.clone()) {
-                    return None;
-                }
-                let mut seen_params = std::collections::HashSet::new();
-                let params = params
-                    .into_iter()
-                    .enumerate()
-                    .filter_map(|(j, (pname, pty))| {
-                        seen_params.insert(pname.clone()).then_some((
-                            jpie::ParamId::from_raw(j as u64),
-                            pname,
-                            pty,
-                        ))
-                    })
-                    .collect();
-                Some(SignatureView {
-                    id: jpie::MethodId::from_raw(i as u64),
-                    name,
-                    params,
-                    return_ty,
-                    distributed: true,
-                })
-            })
-            .collect()
-    })
+fn gen_interface(rng: &mut XorShift64) -> Vec<SignatureView> {
+    let mut seen_methods = std::collections::HashSet::new();
+    let mut sigs = Vec::new();
+    for i in 0..rng.gen_usize(5) {
+        let name = gen_ident(rng);
+        if !seen_methods.insert(name.clone()) {
+            continue;
+        }
+        let mut seen_params = std::collections::HashSet::new();
+        let mut params = Vec::new();
+        for j in 0..rng.gen_usize(4) {
+            let pname = gen_ident(rng);
+            if seen_params.insert(pname.clone()) {
+                params.push((
+                    jpie::ParamId::from_raw(j as u64),
+                    pname,
+                    gen_param_type(rng),
+                ));
+            }
+        }
+        sigs.push(SignatureView {
+            id: jpie::MethodId::from_raw(i as u64),
+            name,
+            params,
+            return_ty: gen_return_type(rng),
+            distributed: true,
+        });
+    }
+    sigs
+}
+
+/// Run `case_fn` over `cases` seeded deterministic cases.
+fn for_cases(test_name: &str, cases: u64, mut case_fn: impl FnMut(&mut XorShift64, u64)) {
+    // Seed per test so adding cases to one test doesn't shift another.
+    let seed = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1_0000_01b3)
+    });
+    for case in 0..cases {
+        let mut rng = XorShift64::seed_from_u64(seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        case_fn(&mut rng, case);
+    }
 }
 
 // ---------------------------------------------------------------------------
 // CDR / GIOP properties
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cdr_any_roundtrips(value in arb_value(), big_endian in any::<bool>()) {
+#[test]
+fn cdr_any_roundtrips() {
+    for_cases("cdr_any_roundtrips", 128, |rng, case| {
+        let value = gen_value(rng, 3);
+        let big_endian = rng.gen_bool(0.5);
         let mut w = corba::cdr::CdrWriter::new(big_endian);
         corba::cdr::write_any(&mut w, &value);
         let bytes = w.into_bytes();
         let mut r = corba::cdr::CdrReader::new(&bytes, big_endian);
         let decoded = corba::cdr::read_any(&mut r).expect("decode");
-        prop_assert_eq!(decoded, value);
-        prop_assert_eq!(r.remaining(), 0);
-    }
+        assert_eq!(decoded, value, "case {case}");
+        assert_eq!(r.remaining(), 0, "case {case}");
+    });
+}
 
-    #[test]
-    fn cdr_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn cdr_never_panics_on_arbitrary_bytes() {
+    for_cases("cdr_never_panics", 256, |rng, _| {
+        let mut bytes = vec![0u8; rng.gen_usize(64)];
+        rng.fill_bytes(&mut bytes);
         let mut r = corba::cdr::CdrReader::new(&bytes, true);
         let _ = corba::cdr::read_any(&mut r); // must return Err, not panic
-    }
+    });
+}
 
-    #[test]
-    fn giop_request_roundtrips(
-        args in prop::collection::vec(arb_value(), 0..4),
-        op in arb_ident(),
-        id in any::<u32>(),
-    ) {
+#[test]
+fn giop_request_roundtrips() {
+    for_cases("giop_request_roundtrips", 128, |rng, case| {
         let req = corba::giop::RequestMessage {
-            request_id: id,
+            request_id: rng.next_u32(),
             response_expected: true,
             object_key: b"key".to_vec(),
-            operation: op,
-            args,
+            operation: gen_ident(rng),
+            args: (0..rng.gen_usize(4)).map(|_| gen_value(rng, 2)).collect(),
         };
         let mut buf = Vec::new();
         corba::giop::write_request(&mut buf, &req).expect("write");
         let mut cursor = &buf[..];
-        let (ty, body, be) = corba::giop::read_message(&mut cursor).expect("read").expect("some");
-        prop_assert_eq!(ty, corba::giop::MsgType::Request);
+        let (ty, body, be) = corba::giop::read_message(&mut cursor)
+            .expect("read")
+            .expect("some");
+        assert_eq!(ty, corba::giop::MsgType::Request, "case {case}");
         let decoded = corba::giop::decode_request(&body, be).expect("decode");
-        prop_assert_eq!(decoded, req);
-    }
+        assert_eq!(decoded, req, "case {case}");
+    });
+}
 
-    #[test]
-    fn giop_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn giop_never_panics_on_arbitrary_bytes() {
+    for_cases("giop_never_panics", 256, |rng, _| {
+        let mut bytes = vec![0u8; rng.gen_usize(64)];
+        rng.fill_bytes(&mut bytes);
         let mut cursor = &bytes[..];
         let _ = corba::giop::read_message(&mut cursor);
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // SOAP / XML properties
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn soap_request_roundtrips(
-        args in prop::collection::vec((arb_ident(), arb_value()), 0..4),
-        method in arb_ident(),
-    ) {
+#[test]
+fn soap_request_roundtrips() {
+    for_cases("soap_request_roundtrips", 128, |rng, case| {
         // Unique argument names (XML elements are keyed by name here).
         let mut seen = std::collections::HashSet::new();
-        let mut req = soap::SoapRequest::new("urn:prop", method);
+        let mut req = soap::SoapRequest::new("urn:prop", gen_ident(rng));
         let mut expected = Vec::new();
-        for (name, value) in args {
+        for _ in 0..rng.gen_usize(4) {
+            let name = gen_ident(rng);
+            let value = gen_value(rng, 3);
             if seen.insert(name.clone()) {
                 expected.push((name.clone(), value.clone()));
                 req = req.arg(name, value);
@@ -234,254 +377,254 @@ proptest! {
         }
         let xml = req.to_xml();
         let back = soap::decode_request(&xml).expect("decode");
-        prop_assert_eq!(back.args(), &expected[..]);
-    }
+        assert_eq!(back.args(), &expected[..], "case {case}");
+    });
+}
 
-    #[test]
-    fn soap_response_roundtrips(value in arb_value()) {
+#[test]
+fn soap_response_roundtrips() {
+    for_cases("soap_response_roundtrips", 128, |rng, case| {
+        let value = gen_value(rng, 3);
         let xml = soap::SoapResponse::encode_ok("m", "urn:prop", &value);
         match soap::decode_response(&xml).expect("decode") {
-            soap::SoapResponse::Ok(v) => prop_assert_eq!(v, value),
-            other => prop_assert!(false, "unexpected {:?}", other),
+            soap::SoapResponse::Ok(v) => assert_eq!(v, value, "case {case}"),
+            other => panic!("case {case}: unexpected {other:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn soap_decode_never_panics(input in "\\PC*") {
+#[test]
+fn soap_decode_never_panics() {
+    for_cases("soap_decode_never_panics", 128, |rng, _| {
+        let input = gen_unicode_string(rng, 64);
         let _ = soap::decode_request(&input);
         let _ = soap::decode_response(&input);
-    }
+    });
+}
 
-    #[test]
-    fn xml_escape_roundtrips(text in "\\PC{0,64}") {
-        prop_assert_eq!(xmlrt::unescape(&xmlrt::escape(&text)).expect("unescape"), text.clone());
-        prop_assert_eq!(xmlrt::unescape(&xmlrt::escape_attr(&text)).expect("unescape"), text);
-    }
+#[test]
+fn xml_escape_roundtrips() {
+    for_cases("xml_escape_roundtrips", 256, |rng, case| {
+        let text = gen_unicode_string(rng, 64);
+        assert_eq!(
+            xmlrt::unescape(&xmlrt::escape(&text)).expect("unescape"),
+            text,
+            "case {case}"
+        );
+        assert_eq!(
+            xmlrt::unescape(&xmlrt::escape_attr(&text)).expect("unescape"),
+            text,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn xml_parser_never_panics(input in "\\PC{0,64}") {
-        let _ = xmlrt::XmlNode::parse(&input);
-    }
+#[test]
+fn xml_parser_never_panics() {
+    for_cases("xml_parser_never_panics", 128, |rng, _| {
+        let _ = xmlrt::XmlNode::parse(&gen_unicode_string(rng, 64));
+    });
 }
 
 // ---------------------------------------------------------------------------
 // JPie-script source round trip
 // ---------------------------------------------------------------------------
 
-fn arb_script_expr() -> impl Strategy<Value = jpie::expr::Expr> {
-    use jpie::expr::{BinOp, Builtin, Expr, UnOp};
-    let leaf = prop_oneof![
-        (0i32..1000).prop_map(|i| Expr::Lit(Value::Int(i))),
-        any::<bool>().prop_map(|b| Expr::Lit(Value::Bool(b))),
-        "[ -~&&[^\"\\\\]]{0,8}".prop_map(|s| Expr::Lit(Value::Str(s))),
-        arb_ident().prop_map(Expr::Local),
-        arb_ident().prop_map(Expr::FieldRef),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::Lt),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::Binary {
-                    op,
-                    lhs: Box::new(l),
-                    rhs: Box::new(r)
-                }),
-            inner.clone().prop_map(|e| Expr::Unary {
-                op: UnOp::Neg,
-                expr: Box::new(e)
-            }),
-            (
-                arb_ident(),
-                prop::collection::vec((arb_ident(), inner.clone()), 0..3)
-            )
-                .prop_map(|(method, args)| {
-                    let mut seen = std::collections::HashSet::new();
-                    Expr::SelfCall {
-                        method,
-                        args: args
-                            .into_iter()
-                            .filter(|(n, _)| seen.insert(n.clone()))
-                            .collect(),
-                    }
-                }),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(|args| Expr::Call {
-                builtin: Builtin::ToStr,
-                args: args
-                    .into_iter()
-                    .take(1)
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .collect()
-            }),
-        ]
-    })
+fn gen_script_string(rng: &mut XorShift64) -> String {
+    // Printable ASCII without `"` or `\` (the script grammar's string set).
+    let len = rng.gen_usize(9);
+    (0..len)
+        .map(|_| loop {
+            let c = char::from(rng.gen_range(0x20, 0x7F) as u8);
+            if c != '"' && c != '\\' {
+                break c;
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn gen_script_expr(rng: &mut XorShift64, depth: usize) -> jpie::expr::Expr {
+    use jpie::expr::{BinOp, Builtin, Expr, UnOp};
+    if depth == 0 {
+        return match rng.gen_usize(5) {
+            0 => Expr::Lit(Value::Int(rng.gen_range(0, 1000) as i32)),
+            1 => Expr::Lit(Value::Bool(rng.gen_bool(0.5))),
+            2 => Expr::Lit(Value::Str(gen_script_string(rng))),
+            3 => Expr::Local(gen_ident(rng)),
+            _ => Expr::FieldRef(gen_ident(rng)),
+        };
+    }
+    match rng.gen_usize(5) {
+        0 => {
+            const OPS: &[BinOp] = &[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Lt,
+                BinOp::And,
+                BinOp::Or,
+            ];
+            Expr::Binary {
+                op: *rng.choose(OPS),
+                lhs: Box::new(gen_script_expr(rng, depth - 1)),
+                rhs: Box::new(gen_script_expr(rng, depth - 1)),
+            }
+        }
+        1 => Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(gen_script_expr(rng, depth - 1)),
+        },
+        2 => {
+            let mut seen = std::collections::HashSet::new();
+            let mut args = Vec::new();
+            for _ in 0..rng.gen_usize(3) {
+                let name = gen_ident(rng);
+                if seen.insert(name.clone()) {
+                    args.push((name, gen_script_expr(rng, depth - 1)));
+                }
+            }
+            Expr::SelfCall {
+                method: gen_ident(rng),
+                args,
+            }
+        }
+        3 => Expr::Call {
+            builtin: Builtin::ToStr,
+            args: (0..rng.gen_usize(2))
+                .map(|_| gen_script_expr(rng, depth - 1))
+                .collect(),
+        },
+        _ => gen_script_expr(rng, 0),
+    }
+}
 
-    #[test]
-    fn jpie_script_print_parse_roundtrip(expr in arb_script_expr()) {
+#[test]
+fn jpie_script_print_parse_roundtrip() {
+    for_cases("jpie_script_print_parse_roundtrip", 96, |rng, case| {
         // Binary comparisons are non-associative in the grammar (no
         // chained `a < b < c`), so only shapes the printer can emit are
         // generated above. Print → parse must reproduce the tree.
+        let expr = gen_script_expr(rng, 3);
         let src = jpie::parse::expr_to_source(&expr);
         let reparsed = jpie::parse::parse_expr(&src)
-            .unwrap_or_else(|e| panic!("reparse of {src:?} failed: {e}"));
-        prop_assert_eq!(reparsed, expr);
-    }
+            .unwrap_or_else(|e| panic!("case {case}: reparse of {src:?} failed: {e}"));
+        assert_eq!(reparsed, expr, "case {case}");
+    });
+}
 
-    #[test]
-    fn jpie_script_parser_never_panics(input in "\\PC{0,64}") {
+#[test]
+fn jpie_script_parser_never_panics() {
+    for_cases("jpie_script_parser_never_panics", 128, |rng, _| {
+        let input = gen_unicode_string(rng, 64);
         let _ = jpie::parse::parse_block(&input);
         let _ = jpie::parse::parse_expr(&input);
-    }
+    });
 }
 
-/// Identifiers safe for class members in JPie script (no script keywords).
-fn arb_member_ident() -> impl Strategy<Value = String> {
-    const SCRIPT_RESERVED: &[&str] = &[
-        "let",
-        "if",
-        "else",
-        "while",
-        "return",
-        "throw",
-        "this",
-        "new",
-        "seq",
-        "true",
-        "false",
-        "null",
-        "class",
-        "extends",
-        "field",
-        "distributed",
-        "len",
-        "get",
-        "push",
-        "to_string",
-        "contains",
-        "in",
-        "long",
-        "void",
-        "boolean",
-        "float",
-        "double",
-        "char",
-        "string",
-        "int",
-        "item",
-        "module",
-        "interface",
-    ];
-    "[a-z][a-z0-9_]{0,8}".prop_filter("not reserved", |s| !SCRIPT_RESERVED.contains(&s.as_str()))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn class_source_is_a_fixed_point(
-        class_name in arb_type_name(),
-        superclass in prop::option::of(arb_type_name()),
-        fields in prop::collection::vec((arb_member_ident(), arb_param_type()), 0..3),
-        methods in prop::collection::vec(
-            (arb_member_ident(),
-             prop::collection::vec((arb_member_ident(), arb_param_type()), 0..3),
-             arb_return_type(),
-             any::<bool>(),
-             (0i32..100)),
-            0..4,
-        ),
-    ) {
-        let class = match &superclass {
-            Some(s) => jpie::ClassHandle::with_superclass(&class_name, s),
-            None => jpie::ClassHandle::new(&class_name),
+#[test]
+fn class_source_is_a_fixed_point() {
+    for_cases("class_source_is_a_fixed_point", 48, |rng, case| {
+        let class_name = gen_type_name(rng);
+        let class = if rng.gen_bool(0.5) {
+            jpie::ClassHandle::with_superclass(&class_name, gen_type_name(rng))
+        } else {
+            jpie::ClassHandle::new(&class_name)
         };
         let mut seen_fields = std::collections::HashSet::new();
-        for (name, ty) in fields {
+        for _ in 0..rng.gen_usize(3) {
+            let name = gen_member_ident(rng);
             if seen_fields.insert(name.clone()) {
-                class.add_field(&name, ty).expect("field");
+                class.add_field(&name, gen_param_type(rng)).expect("field");
             }
         }
         let mut seen_methods = seen_fields; // avoid method/field confusion in source
-        for (name, params, return_ty, distributed, ret) in methods {
+        for _ in 0..rng.gen_usize(4) {
+            let name = gen_member_ident(rng);
             if !seen_methods.insert(name.clone()) {
                 continue;
             }
-            let mut b = jpie::MethodBuilder::new(&name, return_ty).distributed(distributed);
+            let mut b = jpie::MethodBuilder::new(&name, gen_return_type(rng))
+                .distributed(rng.gen_bool(0.5));
             let mut seen_params = std::collections::HashSet::new();
-            for (pname, pty) in params {
+            for _ in 0..rng.gen_usize(3) {
+                let pname = gen_member_ident(rng);
                 if seen_params.insert(pname.clone()) {
-                    b = b.param(pname, pty);
+                    b = b.param(pname, gen_param_type(rng));
                 }
             }
+            let ret = rng.gen_range(0, 100);
             b = b.body_source(&format!("return {ret};")).expect("body");
             class.add_method(b).expect("method");
         }
         let rendered = class.class_source();
         let reparsed = jpie::parse::parse_class(&rendered)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
-        prop_assert_eq!(reparsed.class_source(), rendered);
-        prop_assert_eq!(reparsed.superclass(), class.superclass());
-        prop_assert_eq!(
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{rendered}"));
+        assert_eq!(reparsed.class_source(), rendered, "case {case}");
+        assert_eq!(reparsed.superclass(), class.superclass(), "case {case}");
+        assert_eq!(
             reparsed.signatures().len(),
-            class.signatures().len()
+            class.signatures().len(),
+            "case {case}"
         );
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Interface-document properties
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn wsdl_roundtrips_arbitrary_interfaces(sigs in arb_interface(), version in any::<u64>()) {
+#[test]
+fn wsdl_roundtrips_arbitrary_interfaces() {
+    for_cases("wsdl_roundtrips", 64, |rng, case| {
+        let sigs = gen_interface(rng);
+        let version = rng.next_u64();
         let doc = soap::WsdlDocument::from_signatures("Svc", "mem://svc/Svc", &sigs, version);
         let back = soap::WsdlDocument::parse(&doc.to_xml()).expect("parse");
-        prop_assert_eq!(back, doc);
-    }
+        assert_eq!(back, doc, "case {case}");
+    });
+}
 
-    #[test]
-    fn idl_roundtrips_arbitrary_interfaces(sigs in arb_interface(), version in any::<u64>()) {
+#[test]
+fn idl_roundtrips_arbitrary_interfaces() {
+    for_cases("idl_roundtrips", 64, |rng, case| {
+        let sigs = gen_interface(rng);
+        let version = rng.next_u64();
         let module = corba::IdlModule::from_signatures("Svc", &sigs, version);
         let back = corba::IdlModule::parse(&module.to_idl()).expect("parse");
-        prop_assert_eq!(back, module);
-    }
+        assert_eq!(back, module, "case {case}");
+    });
+}
 
-    #[test]
-    fn idl_parse_never_panics(input in "\\PC{0,64}") {
-        let _ = corba::IdlModule::parse(&input);
-    }
+#[test]
+fn idl_parse_never_panics() {
+    for_cases("idl_parse_never_panics", 128, |rng, _| {
+        let _ = corba::IdlModule::parse(&gen_unicode_string(rng, 64));
+    });
+}
 
-    #[test]
-    fn ior_roundtrips(
-        type_id in "[A-Za-z:./0-9]{1,24}",
-        addr in "[a-z0-9:/._-]{1,24}",
-        key in prop::collection::vec(any::<u8>(), 0..16),
-    ) {
+#[test]
+fn ior_roundtrips() {
+    for_cases("ior_roundtrips", 64, |rng, case| {
+        const TYPE_ID: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz:./0123456789";
+        const ADDR: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789:/._-";
+        let type_id: String = (0..rng.gen_usize(24) + 1)
+            .map(|_| gen_char_from(rng, TYPE_ID))
+            .collect();
+        let addr: String = (0..rng.gen_usize(24) + 1)
+            .map(|_| gen_char_from(rng, ADDR))
+            .collect();
+        let mut key = vec![0u8; rng.gen_usize(16)];
+        rng.fill_bytes(&mut key);
         let ior = corba::Ior::new(type_id, addr, key);
         let back = corba::Ior::parse(&ior.to_ior_string()).expect("parse");
-        prop_assert_eq!(back, ior);
-    }
+        assert_eq!(back, ior, "case {case}");
+    });
+}
 
-    #[test]
-    fn ior_parse_never_panics(input in "\\PC{0,64}") {
-        let _ = corba::Ior::parse(&input);
-    }
+#[test]
+fn ior_parse_never_panics() {
+    for_cases("ior_parse_never_panics", 128, |rng, _| {
+        let _ = corba::Ior::parse(&gen_unicode_string(rng, 64));
+    });
 }

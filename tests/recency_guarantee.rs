@@ -18,8 +18,7 @@ use jpie::expr::Expr;
 use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
 use live_rmi::cde::{CallError, ClientEnvironment};
 use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::XorShift64;
 
 fn deploy(strategy: PublicationStrategy) -> (SdeManager, ClassHandle, String) {
     let manager = SdeManager::new(SdeConfig {
@@ -49,7 +48,7 @@ fn deploy(strategy: PublicationStrategy) -> (SdeManager, ClassHandle, String) {
 #[test]
 fn randomized_edit_call_schedules_preserve_recency() {
     for seed in 0..8u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShift64::seed_from_u64(seed);
         let (manager, class, wsdl_url) =
             deploy(PublicationStrategy::StableTimeout(Duration::from_millis(3)));
         let env = ClientEnvironment::new();
