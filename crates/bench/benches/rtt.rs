@@ -2,12 +2,15 @@
 //! four server/client configurations over the deterministic in-memory
 //! transport (so CI noise doesn't drown the SDE-vs-static delta).
 //!
-//! Run with `cargo bench --bench rtt`.
+//! Run with `cargo bench --bench rtt`. Pass `--json <path>` (after the
+//! cargo `--` separator) to also write the results as a machine-readable
+//! report.
 
 use std::time::Duration;
 
 use baseline::{StaticCorbaClient, StaticCorbaServer, StaticSoapClient, StaticSoapServer};
-use bench::harness::run;
+use bench::harness::bench;
+use bench::json::{bench_results_json, take_json_arg};
 use jpie::expr::Expr;
 use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
 use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
@@ -28,6 +31,10 @@ fn echo_class() -> ClassHandle {
 const PAYLOAD: &str = "The quick brown fox jumps over the lazy dog.";
 
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (json_path, _) = take_json_arg(&raw);
+    let mut results = Vec::new();
+
     // SDE SOAP / static Axis-style client.
     {
         let manager = SdeManager::new(SdeConfig {
@@ -40,9 +47,11 @@ fn main() {
         let wsdl = manager.interface_document("EchoService").expect("wsdl");
         let mut client = StaticSoapClient::from_wsdl_xml(&wsdl).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        run("rtt/sde_soap", || {
+        let r = bench("rtt/sde_soap", || {
             client.call("echo", &arg).expect("call");
         });
+        println!("{}", r.render());
+        results.push(r);
         manager.shutdown();
     }
 
@@ -58,9 +67,11 @@ fn main() {
         let server = b.bind("mem://crit-static-soap").expect("bind");
         let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        run("rtt/static_soap", || {
+        let r = bench("rtt/static_soap", || {
             client.call("echo", &arg).expect("call");
         });
+        println!("{}", r.render());
+        results.push(r);
         server.shutdown();
     }
 
@@ -80,9 +91,11 @@ fn main() {
         );
         let mut client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        run("rtt/sde_corba", || {
+        let r = bench("rtt/sde_corba", || {
             client.call("echo", &arg).expect("call");
         });
+        println!("{}", r.render());
+        results.push(r);
         manager.shutdown();
     }
 
@@ -98,9 +111,16 @@ fn main() {
         let server = b.bind("mem://crit-static-corba").expect("bind");
         let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).expect("client");
         let arg = [Value::Str(PAYLOAD.into())];
-        run("rtt/static_corba", || {
+        let r = bench("rtt/static_corba", || {
             client.call("echo", &arg).expect("call");
         });
+        println!("{}", r.render());
+        results.push(r);
         server.shutdown();
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, bench_results_json("rtt", &results)).expect("write json report");
+        eprintln!("wrote {path}");
     }
 }

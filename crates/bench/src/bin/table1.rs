@@ -2,11 +2,14 @@
 //! the §7 ≤ 25 % overhead claim; `--sweep` adds the payload-size sweep
 //! explaining the SOAP-vs-CORBA ordering.
 //!
-//! Usage: `table1 [calls] [tcp|mem] [--sweep] [--stages] [--obs-overhead]`
-//! — defaults to 100 calls (as in the paper) over TCP loopback.
-//! `--stages` appends the obs-derived per-stage latency breakdown;
-//! `--obs-overhead` compares RTT with instrumentation off vs. on.
+//! Usage: `table1 [calls] [tcp|mem] [--sweep] [--stages] [--obs-overhead]
+//! [--json <path>]` — defaults to 100 calls (as in the paper) over TCP
+//! loopback. `--stages` appends the obs-derived per-stage latency
+//! breakdown; `--obs-overhead` compares RTT with instrumentation off vs.
+//! on; `--json` additionally writes the run (rows + stages + overhead)
+//! as a machine-readable report for CI trending.
 
+use bench::json::{table1_json, take_json_arg};
 use bench::rtt::{
     measure_obs_overhead, measure_sde_soap_with_breakdown, render, render_breakdown,
     render_obs_overhead, render_sweep, run_payload_sweep, run_table1, RttConfig,
@@ -14,7 +17,8 @@ use bench::rtt::{
 use sde::TransportKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (json_path, args) = take_json_arg(&raw);
     let sweep = args.iter().any(|a| a == "--sweep");
     let stages = args.iter().any(|a| a == "--stages");
     let obs_overhead = args.iter().any(|a| a == "--obs-overhead");
@@ -36,16 +40,20 @@ fn main() {
     let table = run_table1(&cfg);
     println!("{}", render(&table));
 
+    let mut breakdown = None;
     if stages {
         eprintln!("measuring per-stage breakdown ...");
-        let (_, breakdown) = measure_sde_soap_with_breakdown(&cfg);
-        println!("{}", render_breakdown(&breakdown));
+        let (_, b) = measure_sde_soap_with_breakdown(&cfg);
+        println!("{}", render_breakdown(&b));
+        breakdown = Some(b);
     }
 
+    let mut overhead = None;
     if obs_overhead {
         eprintln!("measuring instrumentation overhead (off vs. on) ...");
         let o = measure_obs_overhead(&cfg);
         println!("{}", render_obs_overhead(&o));
+        overhead = Some(o);
     }
 
     if sweep {
@@ -56,5 +64,23 @@ fn main() {
             "The XML path (SOAP) scales with payload much faster than binary\n\
              CDR (CORBA), which is why Table 1's SOAP rows are the slow ones."
         );
+    }
+
+    if let Some(path) = json_path {
+        let transport_name = match transport {
+            TransportKind::Tcp => "tcp",
+            TransportKind::Mem => "mem",
+        };
+        let doc = table1_json(
+            &table,
+            transport_name,
+            breakdown.as_ref(),
+            overhead.as_ref(),
+        );
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
 }

@@ -1,0 +1,195 @@
+//! Minimal JSON emission for benchmark results (`--json <path>`).
+//!
+//! Hand-rolled on purpose: the workspace is dependency-free (no serde),
+//! and the output is a flat, append-only report — escaping strings and
+//! formatting numbers is all that's needed. Consumers are CI trend
+//! scripts and the EXPERIMENTS.md before/after tables.
+
+use std::fmt::Write as _;
+
+use crate::harness::BenchResult;
+use crate::rtt::{ObsOverhead, StageBreakdown, Table1};
+
+/// Escapes `s` for use inside a JSON string literal. Histogram keys
+/// contain quotes (`sde_dispatch_ns{class="EchoService"}`), so this is
+/// load-bearing, not defensive.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite; NaN/inf become `null`).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a Table 1 run (plus optional per-stage breakdown and
+/// instrumentation-overhead check) as a JSON document.
+pub fn table1_json(
+    table: &Table1,
+    transport: &str,
+    stages: Option<&StageBreakdown>,
+    obs_overhead: Option<&ObsOverhead>,
+) -> String {
+    let mut out = String::from("{\n  \"bench\": \"table1\",\n");
+    let _ = writeln!(out, "  \"transport\": \"{}\",", escape(transport));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in table.rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"configuration\": \"{}\", \"calls\": {}, \"mean_us\": {}, \
+             \"median_us\": {}, \"p95_us\": {}}}{}",
+            escape(&r.configuration),
+            r.calls,
+            num(r.mean_rtt_us),
+            num(r.median_rtt_us),
+            num(r.p95_rtt_us),
+            if i + 1 < table.rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = write!(
+        out,
+        "  \"soap_overhead_ratio\": {},\n  \"corba_overhead_ratio\": {}",
+        num(table.soap_overhead_ratio),
+        num(table.corba_overhead_ratio)
+    );
+    if let Some(b) = stages {
+        out.push_str(",\n  \"stages\": [\n");
+        for (i, r) in b.rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"stage\": \"{}\", \"count\": {}, \"mean_us\": {}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}",
+                escape(&r.stage),
+                r.count,
+                num(r.mean_us),
+                num(r.p50_us),
+                num(r.p95_us),
+                num(r.p99_us),
+                if i + 1 < b.rows.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]");
+    }
+    if let Some(o) = obs_overhead {
+        let _ = write!(
+            out,
+            ",\n  \"obs_overhead\": {{\"rtt_off_us\": {}, \"rtt_on_us\": {}, \"ratio\": {}}}",
+            num(o.rtt_off_us),
+            num(o.rtt_on_us),
+            num(o.ratio)
+        );
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders micro-benchmark results (`benches/*.rs`) as a JSON document.
+pub fn bench_results_json(bench: &str, results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"bench\": \"{}\",\n  \"results\": [\n",
+        escape(bench)
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}{}",
+            escape(&r.name),
+            r.iters,
+            num(r.mean_ns),
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses `--json <path>` out of an argument list, returning the path
+/// and the remaining arguments (so positional parsing stays simple).
+pub fn take_json_arg(args: &[String]) -> (Option<String>, Vec<String>) {
+    let mut path = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            if let Some(p) = args.get(i + 1) {
+                path = Some(p.clone());
+                i += 2;
+                continue;
+            }
+        }
+        rest.push(args[i].clone());
+        i += 1;
+    }
+    (path, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_controls() {
+        assert_eq!(
+            escape("sde_dispatch_ns{class=\"EchoService\"}"),
+            "sde_dispatch_ns{class=\\\"EchoService\\\"}"
+        );
+        assert_eq!(escape("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn take_json_arg_extracts_path() {
+        let args: Vec<String> = ["30", "--json", "/tmp/x.json", "mem"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (path, rest) = take_json_arg(&args);
+        assert_eq!(path.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(rest, vec!["30".to_string(), "mem".to_string()]);
+        let (none, same) = take_json_arg(&rest);
+        assert!(none.is_none());
+        assert_eq!(same, rest);
+    }
+
+    #[test]
+    fn bench_results_json_shape() {
+        let r = BenchResult {
+            name: "rtt/x".into(),
+            iters: 10,
+            mean_ns: 1.5,
+            p50_ns: 1,
+            p95_ns: 2,
+            p99_ns: 3,
+        };
+        let doc = bench_results_json("rtt", &[r]);
+        assert!(doc.contains("\"bench\": \"rtt\""));
+        assert!(doc.contains("\"p95_ns\": 2"));
+        // Crude but effective structural check for a flat document:
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -24,6 +24,7 @@
 pub mod ablation;
 pub mod consistency;
 pub mod harness;
+pub mod json;
 pub mod rogue;
 pub mod rtt;
 

@@ -25,6 +25,8 @@ pub struct RttRow {
     pub mean_rtt_us: f64,
     /// Median round-trip time.
     pub median_rtt_us: f64,
+    /// 95th-percentile round-trip time.
+    pub p95_rtt_us: f64,
     /// Number of measured calls.
     pub calls: usize,
 }
@@ -76,14 +78,15 @@ fn echo_class() -> ClassHandle {
 
 const PAYLOAD: &str = "The quick brown fox jumps over the lazy dog, repeatedly and remotely.";
 
-fn stats(mut samples: Vec<f64>) -> (f64, f64) {
+fn stats(mut samples: Vec<f64>) -> (f64, f64, f64) {
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = samples[samples.len() / 2];
-    (mean, median)
+    let p95 = samples[((samples.len() - 1) as f64 * 0.95).round() as usize];
+    (mean, median, p95)
 }
 
-fn measure(calls: usize, warmup: usize, mut call: impl FnMut()) -> (f64, f64) {
+fn measure(calls: usize, warmup: usize, mut call: impl FnMut()) -> (f64, f64, f64) {
     for _ in 0..warmup {
         call();
     }
@@ -114,7 +117,7 @@ pub fn measure_sde_soap(cfg: &RttConfig) -> RttRow {
         .expect("published wsdl");
     let mut client = StaticSoapClient::from_wsdl_xml(&wsdl_xml).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
@@ -123,6 +126,7 @@ pub fn measure_sde_soap(cfg: &RttConfig) -> RttRow {
         configuration: "SDE SOAP/Axis".into(),
         mean_rtt_us: mean,
         median_rtt_us: median,
+        p95_rtt_us: p95,
         calls: cfg.calls,
     }
 }
@@ -143,7 +147,7 @@ pub fn measure_static_soap(cfg: &RttConfig) -> RttRow {
     let server = b.bind(&addr).expect("bind");
     let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
@@ -152,6 +156,7 @@ pub fn measure_static_soap(cfg: &RttConfig) -> RttRow {
         configuration: "Axis-Tomcat/Axis".into(),
         mean_rtt_us: mean,
         median_rtt_us: median,
+        p95_rtt_us: p95,
         calls: cfg.calls,
     }
 }
@@ -173,7 +178,7 @@ pub fn measure_sde_corba(cfg: &RttConfig) -> RttRow {
     );
     let mut client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
@@ -182,6 +187,7 @@ pub fn measure_sde_corba(cfg: &RttConfig) -> RttRow {
         configuration: "SDE CORBA/OpenORB".into(),
         mean_rtt_us: mean,
         median_rtt_us: median,
+        p95_rtt_us: p95,
         calls: cfg.calls,
     }
 }
@@ -202,7 +208,7 @@ pub fn measure_static_corba(cfg: &RttConfig) -> RttRow {
     let server = b.bind(&addr).expect("bind");
     let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median) = measure(cfg.calls, cfg.warmup, || {
+    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
@@ -211,6 +217,7 @@ pub fn measure_static_corba(cfg: &RttConfig) -> RttRow {
         configuration: "OpenORB/OpenORB".into(),
         mean_rtt_us: mean,
         median_rtt_us: median,
+        p95_rtt_us: p95,
         calls: cfg.calls,
     }
 }
@@ -240,13 +247,20 @@ pub fn render(table: &Table1) -> String {
                 r.configuration.clone(),
                 format!("{:.1}", r.mean_rtt_us),
                 format!("{:.1}", r.median_rtt_us),
+                format!("{:.1}", r.p95_rtt_us),
                 r.calls.to_string(),
             ]
         })
         .collect();
     let mut out = String::from("Table 1: RTT times for client-server communication\n");
     out.push_str(&crate::render_table(
-        &["Server/Client", "mean RTT (us)", "median (us)", "calls"],
+        &[
+            "Server/Client",
+            "mean RTT (us)",
+            "median (us)",
+            "p95 (us)",
+            "calls",
+        ],
         &rows,
     ));
     out.push_str(&format!(
@@ -304,7 +318,7 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let wsdl = manager.interface_document("EchoService").expect("wsdl");
         let mut soap_sde_client = StaticSoapClient::from_wsdl_xml(&wsdl).expect("client");
         let arg = [Value::Str(payload.clone())];
-        let (sde_soap, _) = measure(cfg.calls, cfg.warmup, || {
+        let (sde_soap, _, _) = measure(cfg.calls, cfg.warmup, || {
             soap_sde_client.call("echo", &arg).expect("call");
         });
         manager.shutdown();
@@ -324,7 +338,7 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let static_soap_server = b.bind(&addr).expect("bind");
         let mut static_soap_client =
             StaticSoapClient::from_wsdl_xml(&static_soap_server.wsdl_xml()).expect("client");
-        let (static_soap, _) = measure(cfg.calls, cfg.warmup, || {
+        let (static_soap, _, _) = measure(cfg.calls, cfg.warmup, || {
             static_soap_client.call("echo", &arg).expect("call");
         });
         static_soap_server.shutdown();
@@ -343,7 +357,7 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
             server.class().interface_version(),
         );
         let mut corba_sde_client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
-        let (sde_corba, _) = measure(cfg.calls, cfg.warmup, || {
+        let (sde_corba, _, _) = measure(cfg.calls, cfg.warmup, || {
             corba_sde_client.call("echo", &arg).expect("call");
         });
         manager.shutdown();
@@ -364,7 +378,7 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let mut static_corba_client =
             StaticCorbaClient::connect(static_corba_server.idl(), &static_corba_server.ior())
                 .expect("client");
-        let (static_corba, _) = measure(cfg.calls, cfg.warmup, || {
+        let (static_corba, _, _) = measure(cfg.calls, cfg.warmup, || {
             static_corba_client.call("echo", &arg).expect("call");
         });
         static_corba_server.shutdown();
@@ -604,6 +618,7 @@ mod tests {
         assert_eq!(table.rows.len(), 4);
         for row in &table.rows {
             assert!(row.mean_rtt_us > 0.0, "{row:?}");
+            assert!(row.median_rtt_us <= row.p95_rtt_us, "{row:?}");
             assert_eq!(row.calls, 30);
         }
         assert!(table.soap_overhead_ratio > 0.5);

@@ -1,0 +1,184 @@
+//! Conditional, keep-alive document fetching for client stubs.
+//!
+//! The Interface Server serves every document with an `ETag` derived
+//! from the interface version. The fetcher remembers the validator per
+//! URL and sends `If-None-Match` on every re-fetch, so the steady state
+//! of [`crate::InterfaceWatcher`] polling is a handful of header bytes
+//! and a `304 Not Modified` — no document re-download, no re-parse.
+//! One keep-alive connection per authority is reused across fetches
+//! instead of a fresh TCP/mem handshake per poll.
+
+use std::collections::HashMap;
+
+use httpd::{Connection, HttpClient, HttpError, Request, Response};
+use obs::sync::Mutex;
+
+/// Outcome of a conditional fetch.
+#[derive(Debug)]
+pub(crate) enum Fetched {
+    /// The document changed (or was fetched for the first time).
+    New(String),
+    /// The server answered `304` — the caller's parsed state is current.
+    NotModified,
+}
+
+/// A keep-alive HTTP fetcher with per-URL conditional-GET validators.
+#[derive(Debug)]
+pub(crate) struct DocFetcher {
+    http: HttpClient,
+    /// Last `ETag` seen per URL.
+    etags: Mutex<HashMap<String, String>>,
+    /// One keep-alive connection per authority (`scheme://host`).
+    conns: Mutex<HashMap<String, Connection>>,
+}
+
+impl DocFetcher {
+    pub(crate) fn new() -> DocFetcher {
+        DocFetcher {
+            http: HttpClient::new(),
+            etags: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetches `url`, conditionally when a validator is cached.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or non-`200`/`304` statuses.
+    pub(crate) fn fetch(&self, url: &str) -> Result<Fetched, HttpError> {
+        let (authority, path) = split_authority(url);
+        let mut req = Request::get(path);
+        if let Some(etag) = self.etags.lock().get(url) {
+            req.headers_mut().set("If-None-Match", etag);
+        }
+        let resp = self.send_keepalive(&authority, &req)?;
+        match resp.status() {
+            200 => {
+                let mut etags = self.etags.lock();
+                match resp.headers().get("ETag") {
+                    Some(etag) => {
+                        etags.insert(url.to_string(), etag.to_string());
+                    }
+                    None => {
+                        etags.remove(url);
+                    }
+                }
+                obs::registry().counter("cde_fetch_full_total").inc();
+                Ok(Fetched::New(resp.body_str().into_owned()))
+            }
+            304 => {
+                obs::registry()
+                    .counter("cde_fetch_not_modified_total")
+                    .inc();
+                Ok(Fetched::NotModified)
+            }
+            status => Err(HttpError::Malformed(format!("GET {url} returned {status}"))),
+        }
+    }
+
+    /// Drops the cached validator for `url`, forcing the next fetch to
+    /// re-download. Used when a downloaded document fails to parse: the
+    /// validator must not outlive state that was never applied.
+    pub(crate) fn invalidate(&self, url: &str) {
+        self.etags.lock().remove(url);
+    }
+
+    fn send_keepalive(&self, authority: &str, req: &Request) -> Result<Response, HttpError> {
+        let mut conns = self.conns.lock();
+        if let Some(conn) = conns.get_mut(authority) {
+            match conn.send(req) {
+                Ok(resp) => return Ok(resp),
+                Err(_) => {
+                    // Server restarted or closed the connection; fall
+                    // through to a fresh connect.
+                    conns.remove(authority);
+                }
+            }
+        }
+        let mut conn = self.http.connect(authority)?;
+        let resp = conn.send(req)?;
+        conns.insert(authority.to_string(), conn);
+        Ok(resp)
+    }
+}
+
+/// Splits `scheme://authority/path` into (`scheme://authority`, `/path`).
+fn split_authority(url: &str) -> (String, String) {
+    if let Some(scheme_end) = url.find("://") {
+        let rest = &url[scheme_end + 3..];
+        if let Some(slash) = rest.find('/') {
+            return (
+                url[..scheme_end + 3 + slash].to_string(),
+                rest[slash..].to_string(),
+            );
+        }
+    }
+    (url.to_string(), "/".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpd::{HttpServer, Response as HttpResponse};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn conditional_fetch_uses_validator_and_keep_alive() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let server_hits = hits.clone();
+        let server = HttpServer::bind("mem://fetcher-cond", move |req: &Request| {
+            server_hits.fetch_add(1, Ordering::SeqCst);
+            if req.headers().get("If-None-Match") == Some("\"v1\"") {
+                return HttpResponse::new(httpd::Status::NOT_MODIFIED, Vec::new(), "text/xml");
+            }
+            let mut resp = HttpResponse::ok(b"<doc/>".to_vec(), "text/xml");
+            resp.headers_mut().set("ETag", "\"v1\"");
+            resp
+        })
+        .unwrap();
+        let url = format!("{}/doc.wsdl", server.base_url());
+        let fetcher = DocFetcher::new();
+        assert!(matches!(fetcher.fetch(&url), Ok(Fetched::New(b)) if b == "<doc/>"));
+        assert!(matches!(fetcher.fetch(&url), Ok(Fetched::NotModified)));
+        assert!(matches!(fetcher.fetch(&url), Ok(Fetched::NotModified)));
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        // After invalidation the full document is downloaded again.
+        fetcher.invalidate(&url);
+        assert!(matches!(fetcher.fetch(&url), Ok(Fetched::New(_))));
+        server.shutdown();
+    }
+
+    #[test]
+    fn reconnects_after_server_restart() {
+        let serve = || {
+            HttpServer::bind("mem://fetcher-restart", |_req: &Request| {
+                HttpResponse::ok(b"x".to_vec(), "text/plain")
+            })
+            .unwrap()
+        };
+        let server = serve();
+        let url = "mem://fetcher-restart/d";
+        let fetcher = DocFetcher::new();
+        assert!(matches!(fetcher.fetch(url), Ok(Fetched::New(_))));
+        server.shutdown();
+        let server = serve();
+        // The cached connection is dead; the fetcher must retry on a
+        // fresh one instead of failing.
+        assert!(matches!(fetcher.fetch(url), Ok(Fetched::New(_))));
+        server.shutdown();
+    }
+
+    #[test]
+    fn split_authority_variants() {
+        assert_eq!(
+            split_authority("mem://a/b.wsdl"),
+            ("mem://a".into(), "/b.wsdl".into())
+        );
+        assert_eq!(
+            split_authority("tcp://h:1"),
+            ("tcp://h:1".into(), "/".into())
+        );
+    }
+}

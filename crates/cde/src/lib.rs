@@ -31,6 +31,7 @@
 
 mod client;
 mod error;
+mod fetch;
 mod stub;
 mod watch;
 

@@ -7,6 +7,7 @@ use obs::sync::RwLock;
 use soap::{SoapFault, SoapRequest, SoapResponse, WsdlDocument};
 
 use crate::error::CallError;
+use crate::fetch::{DocFetcher, Fetched};
 
 /// One remote operation as the client currently sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +51,9 @@ pub struct DynamicStub {
     backend: Backend,
     view: RwLock<InterfaceView>,
     http: HttpClient,
+    /// Conditional keep-alive fetcher for interface documents: repeat
+    /// polls cost a `304` on a reused connection, not a re-download.
+    fetcher: DocFetcher,
 }
 
 impl DynamicStub {
@@ -68,6 +72,7 @@ impl DynamicStub {
             },
             view: RwLock::new(InterfaceView::default()),
             http: HttpClient::new(),
+            fetcher: DocFetcher::new(),
         };
         stub.refresh()?;
         Ok(stub)
@@ -88,6 +93,7 @@ impl DynamicStub {
             },
             view: RwLock::new(InterfaceView::default()),
             http: HttpClient::new(),
+            fetcher: DocFetcher::new(),
         };
         stub.refresh()?;
         Ok(stub)
@@ -123,9 +129,18 @@ impl DynamicStub {
                 endpoint,
                 namespace,
             } => {
-                let body = self.fetch(wsdl_url)?;
-                let doc =
-                    WsdlDocument::parse(&body).map_err(|e| CallError::Interface(e.to_string()))?;
+                // 304: the parsed view already reflects the published
+                // document — skip the re-parse entirely.
+                let body = match self.fetch(wsdl_url)? {
+                    Fetched::NotModified => return Ok(()),
+                    Fetched::New(body) => body,
+                };
+                let doc = WsdlDocument::parse(&body).map_err(|e| {
+                    // The validator must not outlive a document that was
+                    // never applied to the view.
+                    self.fetcher.invalidate(wsdl_url);
+                    CallError::Interface(e.to_string())
+                })?;
                 *endpoint.write() = doc.endpoint.clone();
                 *namespace.write() = doc.namespace();
                 *self.view.write() = InterfaceView {
@@ -146,48 +161,48 @@ impl DynamicStub {
                 ior_url,
                 ior,
             } => {
-                let idl_body = self.fetch(idl_url)?;
-                let module =
-                    IdlModule::parse(&idl_body).map_err(|e| CallError::Interface(e.to_string()))?;
-                let ior_body = self.fetch(ior_url)?;
-                let parsed_ior =
-                    Ior::parse(&ior_body).map_err(|e| CallError::Interface(e.to_string()))?;
-                *ior.write() = Some(parsed_ior);
-                let operations = module
-                    .primary_interface()
-                    .map(|iface| {
-                        iface
-                            .operations
-                            .iter()
-                            .map(|o| Operation {
-                                name: o.name.clone(),
-                                params: o.params.clone(),
-                                return_ty: o.return_ty.clone(),
-                            })
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                *self.view.write() = InterfaceView {
-                    operations,
-                    version: module.version,
-                };
+                // The IDL and the IOR revalidate independently: an
+                // unchanged document costs a 304, not a re-parse.
+                if let Fetched::New(idl_body) = self.fetch(idl_url)? {
+                    let module = IdlModule::parse(&idl_body).map_err(|e| {
+                        self.fetcher.invalidate(idl_url);
+                        CallError::Interface(e.to_string())
+                    })?;
+                    let operations = module
+                        .primary_interface()
+                        .map(|iface| {
+                            iface
+                                .operations
+                                .iter()
+                                .map(|o| Operation {
+                                    name: o.name.clone(),
+                                    params: o.params.clone(),
+                                    return_ty: o.return_ty.clone(),
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    *self.view.write() = InterfaceView {
+                        operations,
+                        version: module.version,
+                    };
+                }
+                if let Fetched::New(ior_body) = self.fetch(ior_url)? {
+                    let parsed_ior = Ior::parse(&ior_body).map_err(|e| {
+                        self.fetcher.invalidate(ior_url);
+                        CallError::Interface(e.to_string())
+                    })?;
+                    *ior.write() = Some(parsed_ior);
+                }
             }
         }
         Ok(())
     }
 
-    fn fetch(&self, url: &str) -> Result<String, CallError> {
-        let resp = self
-            .http
-            .get(url)
-            .map_err(|e| CallError::Interface(e.to_string()))?;
-        if resp.status() != 200 {
-            return Err(CallError::Interface(format!(
-                "GET {url} returned {}",
-                resp.status()
-            )));
-        }
-        Ok(resp.body_str().into_owned())
+    fn fetch(&self, url: &str) -> Result<Fetched, CallError> {
+        self.fetcher
+            .fetch(url)
+            .map_err(|e| CallError::Interface(e.to_string()))
     }
 
     /// The operations in the client's current view.

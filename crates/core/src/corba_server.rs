@@ -334,9 +334,9 @@ mod tests {
         )
         .unwrap();
         let idl = store.get("/Pub.idl").expect("idl published");
-        assert!(idl.content.contains("module Pub"));
+        assert!(idl.content().contains("module Pub"));
         let ior_doc = store.get("/Pub.ior").expect("ior published");
-        assert_eq!(Ior::parse(&ior_doc.content).unwrap(), server.ior());
+        assert_eq!(Ior::parse(ior_doc.content()).unwrap(), server.ior());
         server.shutdown();
         assert!(store.get("/Pub.idl").is_none(), "retracted on shutdown");
     }

@@ -21,14 +21,46 @@ pub struct DocumentStore {
 }
 
 /// One published document with its version stamp.
+///
+/// The body is stored as a shared `Arc<[u8]>`, so cloning a document
+/// (and serving it over HTTP) never copies the bytes — the Interface
+/// Server hands the same allocation to every concurrent reader.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PublishedDocument {
-    /// Document body.
-    pub content: String,
+    body: Arc<[u8]>,
     /// Interface version the document reflects.
     pub version: u64,
     /// MIME type served with it.
     pub content_type: &'static str,
+}
+
+impl PublishedDocument {
+    /// Document body as text (documents are WSDL/IDL/IOR — always UTF-8).
+    pub fn content(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("published documents are UTF-8")
+    }
+
+    /// Shared handle to the document bytes (zero-copy serving).
+    pub fn body(&self) -> Arc<[u8]> {
+        self.body.clone()
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether the document is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Strong validator for conditional GETs, derived from the interface
+    /// version (the store only republishes on version change, so the
+    /// version uniquely identifies the bytes).
+    pub fn etag(&self) -> String {
+        format!("\"v{}\"", self.version)
+    }
 }
 
 impl DocumentStore {
@@ -42,7 +74,7 @@ impl DocumentStore {
         self.docs.write().insert(
             path.to_string(),
             PublishedDocument {
-                content,
+                body: content.into_bytes().into(),
                 version,
                 content_type,
             },
@@ -92,18 +124,32 @@ impl Handler for StoreHandler {
         let path = req.path().split('?').next().unwrap_or("/");
         match self.store.get(path) {
             Some(doc) => {
+                let etag = doc.etag();
+                // Conditional GET: a client that already holds this
+                // version gets a bodyless 304 — the watcher's steady
+                // state costs headers only, never a re-download.
+                if req.headers().get("If-None-Match") == Some(etag.as_str()) {
+                    let mut resp =
+                        Response::new(httpd::Status::NOT_MODIFIED, Vec::new(), doc.content_type);
+                    resp.headers_mut().set("ETag", etag);
+                    resp.headers_mut()
+                        .set("X-Interface-Version", doc.version.to_string());
+                    return resp;
+                }
                 // HEAD gets the headers (length, version) without the body
                 // — clients use it to poll for version changes cheaply.
-                let body = if req.method() == httpd::Method::Head {
-                    Vec::new()
+                let mut resp = if req.method() == httpd::Method::Head {
+                    Response::ok(Vec::new(), doc.content_type)
                 } else {
-                    doc.content.clone().into_bytes()
+                    // The shared body Arc goes straight to the socket
+                    // writer: no per-request copy of the document.
+                    Response::ok_shared(doc.body(), doc.content_type)
                 };
-                let mut resp = Response::ok(body, doc.content_type);
                 resp.headers_mut()
                     .set("X-Interface-Version", doc.version.to_string());
+                resp.headers_mut().set("ETag", etag);
                 resp.headers_mut()
-                    .set("Content-Length", doc.content.len().to_string());
+                    .set("Content-Length", doc.len().to_string());
                 resp
             }
             None => Response::not_found(&format!("no document published at {path}")),
@@ -247,6 +293,54 @@ mod tests {
         let resp = HttpClient::new().get(&server.url_for("/Svc.wsdl")).unwrap();
         assert_eq!(resp.body_str(), "a-sizeable-document");
         server.shutdown();
+    }
+
+    #[test]
+    fn conditional_get_returns_304_until_republication() {
+        let server = InterfaceServer::bind("mem://ifc-etag").unwrap();
+        server
+            .store()
+            .publish("/Svc.wsdl", "<wsdl v1/>".into(), 1, "text/xml");
+        let url = server.url_for("/Svc.wsdl");
+
+        let first = HttpClient::new().get(&url).unwrap();
+        assert_eq!(first.status(), 200);
+        let etag = first
+            .headers()
+            .get("ETag")
+            .expect("ETag served")
+            .to_string();
+        assert_eq!(etag, "\"v1\"");
+
+        // Same version: 304, no body.
+        let mut req = httpd::Request::get("/Svc.wsdl");
+        req.headers_mut().set("If-None-Match", &etag);
+        let mut conn = HttpClient::new().connect(&url).unwrap();
+        let not_modified = conn.send(&req).unwrap();
+        assert_eq!(not_modified.status(), 304);
+        assert!(not_modified.body().is_empty());
+        assert_eq!(not_modified.headers().get("ETag"), Some(etag.as_str()));
+
+        // Republication changes the ETag and the stale validator
+        // re-downloads the full document.
+        server
+            .store()
+            .publish("/Svc.wsdl", "<wsdl v2/>".into(), 2, "text/xml");
+        let refreshed = conn.send(&req).unwrap();
+        assert_eq!(refreshed.status(), 200);
+        assert_eq!(refreshed.body_str(), "<wsdl v2/>");
+        assert_eq!(refreshed.headers().get("ETag"), Some("\"v2\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn served_body_shares_the_published_allocation() {
+        // Zero-copy check: two `get`s hand back the same Arc allocation.
+        let store = DocumentStore::new();
+        store.publish("/a.wsdl", "shared-bytes".into(), 1, "text/xml");
+        let a = store.get("/a.wsdl").unwrap().body();
+        let b = store.get("/a.wsdl").unwrap().body();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

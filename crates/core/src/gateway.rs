@@ -10,7 +10,7 @@ use std::sync::Arc;
 use jpie::{ClassHandle, Instance, JpieError, SignatureView, Value};
 use obs::events::VersionEventKind;
 use obs::metrics::{Counter, Histogram};
-use obs::sync::RwLock;
+use obs::sync::{Mutex, RwLock};
 
 use crate::error::SdeError;
 use crate::publish::PublisherCore;
@@ -69,12 +69,17 @@ pub struct HandlerMetrics {
 
 impl HandlerMetrics {
     /// Snapshot of (requests, ok, faults, stale).
+    ///
+    /// `Relaxed` loads (matching the `Relaxed` increments on the dispatch
+    /// path): these atomics are pure statistics — no other data is
+    /// published through them, so only the counters' own atomicity is
+    /// required, not cross-variable ordering.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
-            self.requests.load(Ordering::SeqCst),
-            self.ok.load(Ordering::SeqCst),
-            self.faults.load(Ordering::SeqCst),
-            self.stale.load(Ordering::SeqCst),
+            self.requests.load(Ordering::Relaxed),
+            self.ok.load(Ordering::Relaxed),
+            self.faults.load(Ordering::Relaxed),
+            self.stale.load(Ordering::Relaxed),
         )
     }
 }
@@ -113,14 +118,18 @@ impl GatewayObs {
         if let Some(c) = self.per_method.read().get(method) {
             return c.clone();
         }
-        let c = obs::registry().counter_with(
-            "sde_method_calls_total",
-            &[("class", class), ("method", method)],
-        );
+        // Two threads can both miss the read-side check; registering via
+        // the map entry under the write lock makes exactly one handle
+        // win — the loser never creates a second registration.
         self.per_method
             .write()
             .entry(method.to_string())
-            .or_insert(c)
+            .or_insert_with(|| {
+                obs::registry().counter_with(
+                    "sde_method_calls_total",
+                    &[("class", class), ("method", method)],
+                )
+            })
             .clone()
     }
 }
@@ -142,6 +151,13 @@ pub enum InvokeFailure {
 /// State shared between a gateway, its call handler, and the SDE Manager.
 pub struct GatewayCore {
     class: ClassHandle,
+    /// Class name resolved once — the dispatch path must not clone the
+    /// name `String` out of the class lock per call.
+    class_name: String,
+    /// Epoch-keyed snapshot of the distributed signatures, so
+    /// name→method resolution reuses one `Arc` between edits (see
+    /// [`ClassHandle::edit_epoch`]).
+    dispatch_cache: Mutex<Option<(u64, Arc<Vec<SignatureView>>)>>,
     instance: RwLock<Option<Arc<Instance>>>,
     /// §5.7: while a stale call forces publication, processing of incoming
     /// messages is stalled. Normal calls take the read side; the stale
@@ -171,9 +187,12 @@ impl std::fmt::Debug for GatewayCore {
 impl GatewayCore {
     /// Creates an inactive core for `class`.
     pub fn new(class: ClassHandle) -> Arc<GatewayCore> {
-        let o = GatewayObs::for_class(&class.name());
+        let class_name = class.name();
+        let o = GatewayObs::for_class(&class_name);
         Arc::new(GatewayCore {
             class,
+            class_name,
+            dispatch_cache: Mutex::new(None),
             instance: RwLock::new(None),
             stall: RwLock::new(()),
             metrics: HandlerMetrics::default(),
@@ -248,7 +267,8 @@ impl GatewayCore {
         method: &str,
         args: &[(String, Value)],
     ) -> Result<Value, InvokeFailure> {
-        self.metrics.requests.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: pure statistics (see [`HandlerMetrics::snapshot`]).
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         self.o.requests.inc();
         // Normal processing holds the stall read lock: it is blocked while
         // a stale call is forcing publication (§5.7 "stalls the processing
@@ -256,7 +276,7 @@ impl GatewayCore {
         let _processing = self.stall.read();
 
         let Some(instance) = self.instance() else {
-            self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+            self.metrics.faults.fetch_add(1, Ordering::Relaxed);
             self.o.faults.inc();
             return Err(InvokeFailure::NotInitialized);
         };
@@ -265,11 +285,11 @@ impl GatewayCore {
             drop(_processing);
             return Err(self.stale_path(method));
         };
-        self.o.method_counter(&self.class.name(), method).inc();
+        self.o.method_counter(&self.class_name, method).inc();
 
         match instance.invoke_distributed(method, &bound) {
             Ok(v) => {
-                self.metrics.ok.fetch_add(1, Ordering::SeqCst);
+                self.metrics.ok.fetch_add(1, Ordering::Relaxed);
                 self.o.ok.inc();
                 Ok(v)
             }
@@ -280,7 +300,7 @@ impl GatewayCore {
                 Err(self.stale_path(method))
             }
             Err(e) => {
-                self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+                self.metrics.faults.fetch_add(1, Ordering::Relaxed);
                 self.o.faults.inc();
                 Err(InvokeFailure::AppException(e.to_string()))
             }
@@ -291,8 +311,8 @@ impl GatewayCore {
     /// notify the manager (which prompts the DL Publisher to get the
     /// published description current), then report the stale condition.
     fn stale_path(&self, method: &str) -> InvokeFailure {
-        self.metrics.stale.fetch_add(1, Ordering::SeqCst);
-        self.metrics.faults.fetch_add(1, Ordering::SeqCst);
+        self.metrics.stale.fetch_add(1, Ordering::Relaxed);
+        self.metrics.faults.fetch_add(1, Ordering::Relaxed);
         self.o.stale.inc();
         self.o.faults.inc();
         let class = self.class.name();
@@ -332,12 +352,27 @@ impl GatewayCore {
     /// `None` means "no method in the current server interface matches" —
     /// the paper's stale-call condition.
     fn match_distributed(&self, method: &str, args: &[(String, Value)]) -> Option<Vec<Value>> {
-        let sig = self
-            .class
-            .distributed_signatures()
-            .into_iter()
-            .find(|s| s.name == method)?;
-        bind_args(&sig, args)
+        let sigs = self.distributed_view();
+        let sig = sigs.iter().find(|s| s.name == method)?;
+        bind_args(sig, args)
+    }
+
+    /// The current distributed-interface snapshot, cached by edit epoch:
+    /// between live edits every dispatch reuses one shared `Arc` (a
+    /// relaxed epoch load + small mutex), and the first call after an
+    /// edit refetches through the class lock — so resolution always sees
+    /// the current interface, clone-free in the steady state.
+    pub(crate) fn distributed_view(&self) -> Arc<Vec<SignatureView>> {
+        let epoch = self.class.edit_epoch();
+        let mut cache = self.dispatch_cache.lock();
+        if let Some((cached_epoch, sigs)) = cache.as_ref() {
+            if *cached_epoch == epoch {
+                return sigs.clone();
+            }
+        }
+        let (epoch, sigs) = self.class.distributed_signatures_shared();
+        *cache = Some((epoch, sigs.clone()));
+        sigs
     }
 }
 
@@ -565,6 +600,31 @@ mod tests {
             .histogram(&k("sde_dispatch_ns"))
             .expect("dispatch histogram");
         assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn resolution_cache_reuses_snapshot_and_edits_invalidate() {
+        let core = calc_core();
+        core.create_instance().unwrap();
+        let args = named(&[("a", Value::Int(1)), ("b", Value::Int(2))]);
+        core.dispatch("add", &args).unwrap();
+        let s1 = core.distributed_view();
+        core.dispatch("add", &args).unwrap();
+        // Steady state: the same Arc allocation backs every dispatch.
+        assert!(Arc::ptr_eq(&s1, &core.distributed_view()));
+
+        // A live edit invalidates the cache on the very next call: the
+        // old name is stale, the new one resolves.
+        let id = core.class().find_method("add").unwrap();
+        core.class().rename_method(id, "plus").unwrap();
+        assert_eq!(
+            core.dispatch("add", &args).unwrap_err(),
+            InvokeFailure::NoMatch
+        );
+        assert_eq!(core.dispatch("plus", &args).unwrap(), Value::Int(3));
+        let s2 = core.distributed_view();
+        assert!(!Arc::ptr_eq(&s1, &s2));
+        assert!(s2.iter().any(|s| s.name == "plus"));
     }
 
     #[test]

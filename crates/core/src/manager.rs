@@ -261,7 +261,7 @@ impl SdeManager {
             Technology::Soap => format!("/{class_name}.wsdl"),
             Technology::Corba => format!("/{class_name}.idl"),
         };
-        self.store().get(&path).map(|d| d.content)
+        self.store().get(&path).map(|d| d.content().to_string())
     }
 
     /// Sets the stable-publication timeout for one server (§4: "the user

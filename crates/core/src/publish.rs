@@ -90,12 +90,17 @@ pub struct PublisherMetrics {
 
 impl PublisherMetrics {
     /// Snapshot of (generations, publications, forced, already_current).
+    ///
+    /// `Relaxed` loads (matching the `Relaxed` increments): these atomics
+    /// are pure statistics — publication state itself is synchronized by
+    /// the publisher's mutex/condvar, never through these counters, so
+    /// only their own atomicity matters.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
-            self.generations.load(Ordering::SeqCst),
-            self.publications.load(Ordering::SeqCst),
-            self.forced.load(Ordering::SeqCst),
-            self.already_current.load(Ordering::SeqCst),
+            self.generations.load(Ordering::Relaxed),
+            self.publications.load(Ordering::Relaxed),
+            self.forced.load(Ordering::Relaxed),
+            self.already_current.load(Ordering::Relaxed),
         )
     }
 }
@@ -200,7 +205,7 @@ impl PublisherCore {
         // WSDL / minimal CORBA-IDL at §5.1.1/§5.2.1).
         let initial = (core.generator)();
         (core.sink)(&initial);
-        core.metrics.publications.fetch_add(1, Ordering::SeqCst);
+        core.metrics.publications.fetch_add(1, Ordering::Relaxed);
         core.o.publications.inc();
         obs::events::record(
             &class.name(),
@@ -298,11 +303,11 @@ impl PublisherCore {
             // Case 1 (§5.7): timer idle, no generation → already current.
             // This early return is what makes a rogue client unable to
             // trigger needless IDL generations.
-            self.metrics.already_current.fetch_add(1, Ordering::SeqCst);
+            self.metrics.already_current.fetch_add(1, Ordering::Relaxed);
             self.o.already_current.inc();
             return false;
         }
-        self.metrics.forced.fetch_add(1, Ordering::SeqCst);
+        self.metrics.forced.fetch_add(1, Ordering::Relaxed);
         self.o.forced.inc();
         obs::trace::event(
             "sde::publisher",
@@ -454,7 +459,7 @@ fn worker_loop(core: Arc<PublisherCore>) {
         }
         let doc = (core.generator)();
         span.finish();
-        core.metrics.generations.fetch_add(1, Ordering::SeqCst);
+        core.metrics.generations.fetch_add(1, Ordering::Relaxed);
         core.o.generations.inc();
         obs::events::record(
             &core.class.name(),
@@ -468,7 +473,7 @@ fn worker_loop(core: Arc<PublisherCore>) {
             st.published_version = doc.version;
             drop(st);
             (core.sink)(&doc);
-            core.metrics.publications.fetch_add(1, Ordering::SeqCst);
+            core.metrics.publications.fetch_add(1, Ordering::Relaxed);
             core.o.publications.inc();
             let kind = if was_forced {
                 VersionEventKind::ForcedPublication

@@ -117,7 +117,16 @@ impl Connection {
     /// Fails on I/O errors or a malformed response; the connection should
     /// be dropped afterwards.
     pub fn send(&mut self, req: &Request) -> Result<Response, HttpError> {
-        req.write_to(&mut self.writer)?;
+        if let Err(e) = req.write_to(&mut self.writer) {
+            // The server may have answered and closed before consuming
+            // the request (e.g. 503 load shedding); prefer its response
+            // over the broken-pipe write error.
+            return self.read_response(req).map_err(|_| e);
+        }
+        self.read_response(req)
+    }
+
+    fn read_response(&mut self, req: &Request) -> Result<Response, HttpError> {
         if req.method() == crate::Method::Head {
             Response::read_head_from(&mut self.reader)
         } else {
@@ -125,8 +134,15 @@ impl Connection {
         }
     }
 
-    /// Closes the connection.
-    pub fn close(self) {
+    /// Closes the connection (dropping it has the same effect).
+    pub fn close(self) {}
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        // Actively shut the transport down: the in-memory pipes have no
+        // OS-level close-on-drop, and the server's keep-alive read must
+        // see EOF promptly instead of holding a pool worker forever.
         self.reader.get_ref().shutdown();
     }
 }

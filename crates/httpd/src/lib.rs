@@ -44,4 +44,4 @@ pub mod transport;
 pub use client::{Connection, HttpClient};
 pub use error::HttpError;
 pub use message::{Headers, Method, Request, Response, Status};
-pub use server::{Handler, HttpServer};
+pub use server::{Handler, HttpServer, PoolConfig};

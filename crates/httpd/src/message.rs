@@ -7,7 +7,8 @@
 //! content-length framing).
 
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, IoSlice, Write};
+use std::sync::Arc;
 
 use crate::error::HttpError;
 
@@ -54,6 +55,8 @@ pub struct Status(pub u16);
 impl Status {
     /// 200
     pub const OK: Status = Status(200);
+    /// 304 — conditional GET answered from the client's cache.
+    pub const NOT_MODIFIED: Status = Status(304);
     /// 400
     pub const BAD_REQUEST: Status = Status(400);
     /// 404
@@ -67,6 +70,7 @@ impl Status {
     pub fn reason(self) -> &'static str {
         match self.0 {
             200 => "OK",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             500 => "Internal Server Error",
@@ -270,12 +274,42 @@ impl Request {
     }
 }
 
+/// A response body: owned bytes, or a zero-copy reference-counted slice
+/// shared with the producer (the Interface Server publishes WSDL/IDL
+/// documents as `Arc<[u8]>` so serving a poll never copies the document).
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Bytes owned by this response.
+    Owned(Vec<u8>),
+    /// Bytes shared with the producer; serving clones the `Arc`, not the
+    /// buffer.
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    /// The body bytes, whatever the representation.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
 /// An HTTP/1.1 response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     status: Status,
     headers: Headers,
-    body: Vec<u8>,
+    body: Body,
 }
 
 impl Response {
@@ -286,13 +320,30 @@ impl Response {
         Response {
             status,
             headers,
-            body,
+            body: Body::Owned(body),
+        }
+    }
+
+    /// Creates a response whose body is shared with the caller — no copy
+    /// is made at construction or serialization time.
+    pub fn new_shared(status: Status, body: Arc<[u8]>, content_type: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Response {
+            status,
+            headers,
+            body: Body::Shared(body),
         }
     }
 
     /// 200 response.
     pub fn ok(body: Vec<u8>, content_type: &str) -> Response {
         Response::new(Status::OK, body, content_type)
+    }
+
+    /// 200 response with a zero-copy shared body.
+    pub fn ok_shared(body: Arc<[u8]>, content_type: &str) -> Response {
+        Response::new_shared(Status::OK, body, content_type)
     }
 
     /// 404 response with a plain-text body.
@@ -322,12 +373,12 @@ impl Response {
 
     /// Raw body bytes.
     pub fn body(&self) -> &[u8] {
-        &self.body
+        self.body.as_slice()
     }
 
     /// Body decoded as UTF-8 (lossy).
     pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
-        String::from_utf8_lossy(&self.body)
+        String::from_utf8_lossy(self.body.as_slice())
     }
 
     /// Serializes the response onto `w` (which may be a `&mut` writer).
@@ -336,23 +387,41 @@ impl Response {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), HttpError> {
-        let mut head = format!("HTTP/1.1 {}\r\n", self.status);
+        let mut scratch = Vec::with_capacity(256);
+        self.write_to_buffered(&mut scratch, &mut w)
+    }
+
+    /// Serializes the response onto `w`, assembling the head in the
+    /// caller-provided `scratch` buffer (reused across requests by the
+    /// server's worker threads) and emitting head + body with one
+    /// vectored write instead of per-part writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to_buffered<W: Write>(
+        &self,
+        scratch: &mut Vec<u8>,
+        w: &mut W,
+    ) -> Result<(), HttpError> {
+        let body = self.body.as_slice();
+        scratch.clear();
+        write!(scratch, "HTTP/1.1 {}\r\n", self.status)?;
         let mut has_len = false;
         for (k, v) in self.headers.iter() {
             if k.eq_ignore_ascii_case("content-length") {
                 has_len = true;
             }
-            head.push_str(k);
-            head.push_str(": ");
-            head.push_str(v);
-            head.push_str("\r\n");
+            scratch.extend_from_slice(k.as_bytes());
+            scratch.extend_from_slice(b": ");
+            scratch.extend_from_slice(v.as_bytes());
+            scratch.extend_from_slice(b"\r\n");
         }
         if !has_len {
-            head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+            write!(scratch, "Content-Length: {}\r\n", body.len())?;
         }
-        head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        scratch.extend_from_slice(b"\r\n");
+        write_all_vectored(w, scratch, body)?;
         w.flush()?;
         Ok(())
     }
@@ -399,9 +468,32 @@ impl Response {
         Ok(Response {
             status: Status(code),
             headers,
-            body,
+            body: Body::Owned(body),
         })
     }
+}
+
+/// Writes `head` then `body` as one logical message, preferring a single
+/// vectored write (one syscall on TCP, one wakeup on the in-memory
+/// transport) and falling back to a loop on partial writes.
+fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], body: &[u8]) -> std::io::Result<()> {
+    let total = head.len() + body.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < head.len() {
+            w.write_vectored(&[IoSlice::new(&head[written..]), IoSlice::new(body)])?
+        } else {
+            w.write(&body[written - head.len()..])?
+        };
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole http message",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
 }
 
 fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {

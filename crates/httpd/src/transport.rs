@@ -132,6 +132,14 @@ impl Write for Stream {
         }
     }
 
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            // Real scatter/gather I/O: head + body leave in one syscall.
+            Stream::Tcp(s) => s.write_vectored(bufs),
+            Stream::Mem(s) => s.write_vectored(bufs),
+        }
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         match self {
             Stream::Tcp(s) => s.flush(),
@@ -335,6 +343,22 @@ impl Read for MemStream {
 impl Write for MemStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         self.tx.write(buf)
+    }
+
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        // All slices land under one lock acquisition and one reader
+        // wakeup — the in-memory analogue of a single writev syscall.
+        let mut st = self.tx.state.lock();
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        let mut n = 0;
+        for buf in bufs {
+            st.buf.extend(buf.iter().copied());
+            n += buf.len();
+        }
+        self.tx.cond.notify_all();
+        Ok(n)
     }
 
     fn flush(&mut self) -> io::Result<()> {

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use obs::sync::{Mutex, RwLock};
@@ -118,6 +119,19 @@ pub(crate) struct DynamicMethod {
     pub(crate) id: MethodId,
     pub(crate) signature: MethodSignature,
     pub(crate) body: MethodBody,
+}
+
+/// An immutable snapshot of a class's method table plus the declared
+/// fields, shared by `Arc` between the class and its live [`Instance`].
+///
+/// Snapshots are rebuilt lazily after an edit (see
+/// [`ClassHandle::edit_epoch`]); between edits every invocation reuses
+/// the same allocation, so the steady-state dispatch path never clones
+/// the method `Vec`.
+#[derive(Debug)]
+pub(crate) struct MethodTable {
+    pub(crate) methods: Vec<DynamicMethod>,
+    pub(crate) fields: Vec<(String, TypeDesc)>,
 }
 
 /// A read-only snapshot of one method's signature, as returned by
@@ -251,6 +265,12 @@ pub(crate) struct ClassInner {
     /// The live instance's field store (if any), so field renames can
     /// migrate stored values instead of resetting them.
     live_fields: Option<Weak<Mutex<Fields>>>,
+    /// Lazily rebuilt `Arc` snapshot of the method table + declared
+    /// fields; cleared by every edit (including undo/redo).
+    table_cache: Option<Arc<MethodTable>>,
+    /// Lazily rebuilt snapshot of the distributed signatures, shared
+    /// with the RMI gateway's dispatch cache.
+    dist_cache: Option<Arc<Vec<SignatureView>>>,
 }
 
 impl ClassInner {
@@ -314,6 +334,8 @@ impl ClassInner {
 #[derive(Debug, Clone)]
 pub struct ClassHandle {
     inner: Arc<RwLock<ClassInner>>,
+    /// Monotonic edit epoch; see [`ClassHandle::edit_epoch`].
+    epoch: Arc<AtomicU64>,
 }
 
 impl ClassHandle {
@@ -350,7 +372,10 @@ impl ClassHandle {
                 listeners: Vec::new(),
                 instantiated: false,
                 live_fields: None,
+                table_cache: None,
+                dist_cache: None,
             })),
+            epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -392,6 +417,12 @@ impl ClassHandle {
         op: impl FnOnce(&mut ClassInner) -> Result<T, JpieError>,
     ) -> Result<T, JpieError> {
         let mut inner = self.inner.write();
+        // Invalidate the dispatch snapshots up front (covers partial
+        // mutations on the error path too). The bump happens while the
+        // write lock is held, so a reader that sees the new epoch and
+        // takes the class lock observes the edit, and a reader inside
+        // the read lock sees a stable epoch.
+        self.invalidate_snapshots(&mut inner);
         let before_methods = inner.methods.clone();
         let before_fields = inner.fields.clone();
         let before_fp = inner.interface_fingerprint();
@@ -434,6 +465,14 @@ impl ClassHandle {
 
     fn fire(inner: &mut ClassInner, event: ClassEvent) {
         inner.listeners.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Clears the cached snapshots and bumps the edit epoch. Must be
+    /// called with the class write lock held.
+    fn invalidate_snapshots(&self, inner: &mut ClassInner) {
+        inner.table_cache = None;
+        inner.dist_cache = None;
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     // -- structural edits ---------------------------------------------------
@@ -991,6 +1030,7 @@ impl ClassHandle {
 
     fn step_history(&self, undo: bool) -> Result<(), JpieError> {
         let mut inner = self.inner.write();
+        self.invalidate_snapshots(&mut inner);
         let record = if undo {
             inner.undo_stack.pop()
         } else {
@@ -1049,13 +1089,75 @@ impl ClassHandle {
     /// Signature snapshots of the distributed methods only — the published
     /// server interface.
     pub fn distributed_signatures(&self) -> Vec<SignatureView> {
-        self.inner
-            .read()
-            .methods
-            .iter()
-            .filter(|m| m.signature.distributed)
-            .map(SignatureView::of)
-            .collect()
+        (*self.distributed_signatures_shared().1).clone()
+    }
+
+    /// Monotonic edit epoch: bumped by every mutation, including
+    /// undo/redo. Callers cache [`Arc`] snapshots keyed by this value; a
+    /// `Relaxed` load suffices for the check because the epoch only
+    /// advances while the class write lock is held — a reader that
+    /// observes a new epoch and refreshes through the class lock
+    /// synchronizes with the edit, and a same-thread edit is always
+    /// observed by program order.
+    pub fn edit_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The current `(epoch, method table)` snapshot. Rebuilds the shared
+    /// table only after an edit; between edits the same `Arc` is
+    /// returned, so the invoke hot path never clones the method `Vec`.
+    pub(crate) fn method_table(&self) -> (u64, Arc<MethodTable>) {
+        {
+            let inner = self.inner.read();
+            if let Some(t) = &inner.table_cache {
+                // Epoch read under the read lock: bumps require the
+                // write lock, so this pairs with the cached table.
+                return (self.epoch.load(Ordering::Relaxed), t.clone());
+            }
+        }
+        let mut inner = self.inner.write();
+        let table = match &inner.table_cache {
+            Some(t) => t.clone(),
+            None => {
+                obs::registry().counter("jpie_table_rebuilds_total").inc();
+                let t = Arc::new(MethodTable {
+                    methods: inner.methods.clone(),
+                    fields: inner.fields.clone(),
+                });
+                inner.table_cache = Some(t.clone());
+                t
+            }
+        };
+        (self.epoch.load(Ordering::Relaxed), table)
+    }
+
+    /// The current `(epoch, distributed signatures)` snapshot, shared
+    /// with callers (the RMI gateway caches it keyed by the epoch so
+    /// name→method resolution does not clone signatures per call).
+    pub fn distributed_signatures_shared(&self) -> (u64, Arc<Vec<SignatureView>>) {
+        {
+            let inner = self.inner.read();
+            if let Some(s) = &inner.dist_cache {
+                return (self.epoch.load(Ordering::Relaxed), s.clone());
+            }
+        }
+        let mut inner = self.inner.write();
+        let sigs = match &inner.dist_cache {
+            Some(s) => s.clone(),
+            None => {
+                let s: Arc<Vec<SignatureView>> = Arc::new(
+                    inner
+                        .methods
+                        .iter()
+                        .filter(|m| m.signature.distributed)
+                        .map(SignatureView::of)
+                        .collect(),
+                );
+                inner.dist_cache = Some(s.clone());
+                s
+            }
+        };
+        (self.epoch.load(Ordering::Relaxed), sigs)
     }
 
     /// Finds a method id by current name.
@@ -1104,10 +1206,6 @@ impl ClassHandle {
         let mut inner = self.inner.write();
         inner.instantiated = false;
         inner.live_fields = None;
-    }
-
-    pub(crate) fn with_inner<T>(&self, f: impl FnOnce(&ClassInner) -> T) -> T {
-        f(&self.inner.read())
     }
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use obs::sync::Mutex;
 
-use crate::class::{ClassHandle, DynamicMethod, MethodId};
+use crate::class::{ClassHandle, DynamicMethod, MethodId, MethodTable};
 use crate::error::JpieError;
 use crate::interp::Interp;
 use crate::value::Value;
@@ -81,11 +81,20 @@ impl Fields {
 /// edits made through the [`ClassHandle`] take effect immediately — the
 /// core JPie property the paper's live server development builds on.
 ///
+/// Lookup is epoch-cached: the instance holds an `Arc`-shared immutable
+/// snapshot of the method table keyed by [`ClassHandle::edit_epoch`].
+/// While the class is unedited, every invocation reuses the same
+/// snapshot (one relaxed atomic load, zero clones); any edit bumps the
+/// epoch, and the very next call refetches the table through the class
+/// lock — preserving the immediate-effect semantics above.
+///
 /// Only one instance of a class exists at a time (paper §5.4); dropping
 /// the instance releases the slot.
 pub struct Instance {
     class: ClassHandle,
     fields: Arc<Mutex<Fields>>,
+    /// Epoch-keyed method-table snapshot (`None` until first use).
+    table: Mutex<Option<(u64, Arc<MethodTable>)>>,
 }
 
 impl fmt::Debug for Instance {
@@ -98,7 +107,11 @@ impl fmt::Debug for Instance {
 
 impl Instance {
     pub(crate) fn with_store(class: ClassHandle, fields: Arc<Mutex<Fields>>) -> Instance {
-        Instance { class, fields }
+        Instance {
+            class,
+            fields,
+            table: Mutex::new(None),
+        }
     }
 
     /// The class this is an instance of.
@@ -117,8 +130,8 @@ impl Instance {
     /// * any error raised by the body (exceptions, arithmetic errors, the
     ///   step limit).
     pub fn invoke(&self, name: &str, args: &[Value]) -> Result<Value, JpieError> {
-        let (snapshot, method) = self.snapshot_and_find(|m| m.signature.name == name, name)?;
-        self.run(&snapshot, &method, args)
+        let (snapshot, idx) = self.snapshot_and_find(|m| m.signature.name == name, name)?;
+        self.run(&snapshot, idx, args)
     }
 
     /// Invokes a method by stable id (survives renames).
@@ -128,13 +141,13 @@ impl Instance {
     /// Same as [`Instance::invoke`], with [`JpieError::StaleMethodId`] when
     /// the id no longer exists.
     pub fn invoke_id(&self, id: MethodId, args: &[Value]) -> Result<Value, JpieError> {
-        let (snapshot, method) = self
+        let (snapshot, idx) = self
             .snapshot_and_find(|m| m.id == id, &id.to_string())
             .map_err(|e| match e {
                 JpieError::NoSuchMethod(m) => JpieError::StaleMethodId(m),
                 other => other,
             })?;
-        self.run(&snapshot, &method, args)
+        self.run(&snapshot, idx, args)
     }
 
     /// Invokes a *distributed* method — the entry point used by the RMI
@@ -145,11 +158,11 @@ impl Instance {
     ///
     /// Same as [`Instance::invoke`].
     pub fn invoke_distributed(&self, name: &str, args: &[Value]) -> Result<Value, JpieError> {
-        let (snapshot, method) = self.snapshot_and_find(
+        let (snapshot, idx) = self.snapshot_and_find(
             |m| m.signature.distributed && m.signature.name == name,
             name,
         )?;
-        self.run(&snapshot, &method, args)
+        self.run(&snapshot, idx, args)
     }
 
     /// Reads a field of the live instance.
@@ -158,7 +171,7 @@ impl Instance {
     ///
     /// Fails if the field is not declared.
     pub fn field(&self, name: &str) -> Result<Value, JpieError> {
-        self.sync_fields();
+        self.current_table();
         self.fields.lock().get(name)
     }
 
@@ -168,14 +181,14 @@ impl Instance {
     ///
     /// Fails if the field is not declared.
     pub fn set_field(&self, name: &str, value: Value) -> Result<(), JpieError> {
-        self.sync_fields();
+        self.current_table();
         self.fields.lock().set(name, value)
     }
 
     /// Snapshot of all field values, sorted by name (the debugger's
     /// instance-state view).
     pub fn fields_snapshot(&self) -> Vec<(String, Value)> {
-        self.sync_fields();
+        self.current_table();
         let fields = self.fields.lock();
         let mut out: Vec<(String, Value)> = fields
             .names()
@@ -186,34 +199,50 @@ impl Instance {
         out
     }
 
-    fn sync_fields(&self) {
-        let declared = self.class.declared_fields();
-        self.fields.lock().sync_declarations(&declared);
+    /// The current method-table snapshot: one relaxed epoch load on the
+    /// fast path; a class-lock refetch (plus a field-declaration re-sync)
+    /// only after an edit bumped the epoch. Returns the *same* `Arc` for
+    /// every call between edits — the zero-clone steady state.
+    fn current_table(&self) -> Arc<MethodTable> {
+        let epoch = self.class.edit_epoch();
+        let mut cache = self.table.lock();
+        if let Some((cached_epoch, table)) = cache.as_ref() {
+            if *cached_epoch == epoch {
+                return table.clone();
+            }
+        }
+        let (epoch, table) = self.class.method_table();
+        // Field declarations may have changed with the edit; bring the
+        // live store up to date before the next body runs (JPie's
+        // immediate-effect rule for field adds/removes).
+        self.fields.lock().sync_declarations(&table.fields);
+        *cache = Some((epoch, table.clone()));
+        table
+    }
+
+    /// Address of the current snapshot — exposed so tests can assert the
+    /// steady state reuses one allocation across calls.
+    #[doc(hidden)]
+    pub fn method_table_addr(&self) -> usize {
+        Arc::as_ptr(&self.current_table()) as *const () as usize
     }
 
     fn snapshot_and_find(
         &self,
         pred: impl Fn(&DynamicMethod) -> bool,
         name: &str,
-    ) -> Result<(Vec<DynamicMethod>, DynamicMethod), JpieError> {
-        self.sync_fields();
-        self.class.with_inner(|inner| {
-            let method = inner
-                .methods
-                .iter()
-                .find(|m| pred(m))
-                .cloned()
-                .ok_or_else(|| JpieError::NoSuchMethod(name.to_string()))?;
-            Ok((inner.methods.clone(), method))
-        })
+    ) -> Result<(Arc<MethodTable>, usize), JpieError> {
+        let table = self.current_table();
+        let idx = table
+            .methods
+            .iter()
+            .position(pred)
+            .ok_or_else(|| JpieError::NoSuchMethod(name.to_string()))?;
+        Ok((table, idx))
     }
 
-    fn run(
-        &self,
-        snapshot: &[DynamicMethod],
-        method: &DynamicMethod,
-        args: &[Value],
-    ) -> Result<Value, JpieError> {
+    fn run(&self, snapshot: &MethodTable, idx: usize, args: &[Value]) -> Result<Value, JpieError> {
+        let method = &snapshot.methods[idx];
         let sig = &method.signature;
         if args.len() != sig.params.len() {
             return Err(JpieError::ArgumentMismatch(format!(
@@ -237,7 +266,7 @@ impl Instance {
             widened.push(v);
         }
         let span = obs::trace::Span::timed(invoke_ns_histogram().clone());
-        let out = Interp::new(snapshot, &self.fields).invoke(method, &widened);
+        let out = Interp::new(&snapshot.methods, &self.fields).invoke(method, &widened);
         span.finish();
         out
     }
@@ -303,6 +332,30 @@ mod tests {
             inst.invoke("add", &[Value::Int(2), Value::Int(3)]).unwrap(),
             Value::Int(6)
         );
+    }
+
+    #[test]
+    fn steady_state_invoke_reuses_one_table_snapshot() {
+        let class = calc();
+        let inst = class.instantiate().unwrap();
+        inst.invoke("add", &[Value::Int(1), Value::Int(2)]).unwrap();
+        let addr = inst.method_table_addr();
+        for _ in 0..100 {
+            inst.invoke("add", &[Value::Int(1), Value::Int(2)]).unwrap();
+            // Same Arc allocation every call: zero method-table clones.
+            assert_eq!(inst.method_table_addr(), addr);
+        }
+        // An edit bumps the epoch and the very next call sees a fresh
+        // snapshot with the new behaviour.
+        let id = class.find_method("add").unwrap();
+        class
+            .set_body_expr(id, Expr::param("a") - Expr::param("b"))
+            .unwrap();
+        assert_eq!(
+            inst.invoke("add", &[Value::Int(5), Value::Int(3)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_ne!(inst.method_table_addr(), addr);
     }
 
     #[test]

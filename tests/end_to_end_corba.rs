@@ -56,7 +56,7 @@ fn published_ior_parses_and_matches_server() {
     let manager = manager();
     let server = manager.deploy_corba(greeter_class()).expect("deploy");
     let doc = manager.store().get("/Greeter.ior").expect("ior doc");
-    let ior = Ior::parse(&doc.content).expect("parse");
+    let ior = Ior::parse(doc.content()).expect("parse");
     assert_eq!(ior, server.ior());
     assert_eq!(ior.type_id, "IDL:Greeter:1.0");
     manager.shutdown();

@@ -190,7 +190,7 @@ fn interface_server_serves_versions() {
 
     let doc = manager.store().get("/Calc.wsdl").expect("published");
     assert_eq!(doc.version, v2);
-    assert!(doc.content.contains("sub"));
+    assert!(doc.content().contains("sub"));
     manager.shutdown();
 }
 

@@ -1,0 +1,178 @@
+//! Hot-path behaviour under live edits: conditional interface-document
+//! fetching (ETag / 304) and the epoch-cached dispatch tables.
+//!
+//! These are the end-to-end counterparts of the unit tests in
+//! `jpie::instance`, `sde::gateway`, and `sde::docs`: a real manager, a
+//! real Interface Server, and a watching client.
+
+use std::time::Duration;
+
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use live_rmi::cde::ClientEnvironment;
+use live_rmi::httpd::{HttpClient, Request};
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+    })
+    .expect("manager")
+}
+
+fn calc() -> ClassHandle {
+    let class = ClassHandle::new("Calc");
+    class
+        .add_method(
+            MethodBuilder::new("add", TypeDesc::Int)
+                .param("a", TypeDesc::Int)
+                .param("b", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("a") + Expr::param("b")),
+        )
+        .expect("add");
+    class
+}
+
+/// A counter's total across all label sets, from the obs registry.
+fn counter_total(name: &str) -> u64 {
+    obs::registry().snapshot().counter_total(name)
+}
+
+#[test]
+fn interface_edit_changes_etag_and_conditional_get_redownloads() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let wsdl_url = server.wsdl_url().to_string();
+    let client = HttpClient::new();
+
+    let first = client.get(&wsdl_url).expect("wsdl");
+    assert_eq!(first.status(), 200);
+    let etag = first
+        .headers()
+        .get("ETag")
+        .expect("interface documents carry an ETag")
+        .to_string();
+
+    // Unchanged interface: the validator answers 304 with no body.
+    let path = format!("/{}", wsdl_url.rsplit('/').next().unwrap());
+    let mut req = Request::get(path);
+    req.headers_mut().set("If-None-Match", &etag);
+    let mut conn = client.connect(&wsdl_url).expect("connect");
+    let unchanged = conn.send(&req).expect("conditional GET");
+    assert_eq!(unchanged.status(), 304);
+    assert!(unchanged.body().is_empty());
+
+    // Live edit: rename the distributed method and force publication.
+    let add = class.find_method("add").expect("add");
+    class.rename_method(add, "sum").expect("rename");
+    server.publisher().ensure_current();
+
+    // The same conditional GET now re-downloads the full document under
+    // a fresh validator.
+    let refreshed = conn.send(&req).expect("conditional GET after edit");
+    assert_eq!(refreshed.status(), 200);
+    let new_etag = refreshed.headers().get("ETag").expect("fresh ETag");
+    assert_ne!(new_etag, etag, "ETag must change with the interface");
+    let body = refreshed.body_str();
+    assert!(body.contains("sum"), "new signature published: {body}");
+    assert!(!body.contains("\"add\""), "old method gone");
+    manager.shutdown();
+}
+
+#[test]
+fn watch_polls_cost_304s_while_interface_is_unchanged() {
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let full_before = counter_total("cde_fetch_full_total");
+    let nm_before = counter_total("cde_fetch_not_modified_total");
+
+    let watcher = env.watch(stub.clone(), Duration::from_millis(5), None);
+
+    // Let several polls happen against the unchanged interface.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while counter_total("cde_fetch_not_modified_total") < nm_before + 5 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher polls never became 304s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Steady state: revalidations, no re-downloads.
+    assert_eq!(
+        counter_total("cde_fetch_full_total"),
+        full_before,
+        "unchanged interface must not be re-downloaded"
+    );
+
+    // An edit breaks the validator: the next poll re-downloads and the
+    // watcher reports the new version.
+    let v_before = stub.interface_version();
+    let add = class.find_method("add").expect("add");
+    class.rename_method(add, "plus").expect("rename");
+    server.publisher().ensure_current();
+    let updated = watcher.wait_for_update(Duration::from_secs(10));
+    assert!(updated.is_some(), "watcher missed the interface update");
+    assert!(stub.interface_version() > v_before);
+    assert!(stub.operation("plus").is_some());
+    assert!(stub.operation("add").is_none());
+    assert!(
+        counter_total("cde_fetch_full_total") > full_before,
+        "the edit must force a full re-download"
+    );
+
+    watcher.stop();
+    manager.shutdown();
+}
+
+#[test]
+fn steady_state_calls_share_one_method_table_snapshot() {
+    // End-to-end flavour of the zero-clone guarantee: many calls through
+    // the live SOAP server advance no table rebuilds once warm.
+    let manager = manager();
+    let class = calc();
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    env.call(&stub, "add", &[Value::Int(1), Value::Int(2)])
+        .expect("warm the caches");
+
+    let rebuilds_before = counter_total("jpie_table_rebuilds_total");
+    for i in 0..50 {
+        let v = env
+            .call(&stub, "add", &[Value::Int(i), Value::Int(1)])
+            .expect("steady-state call");
+        assert_eq!(v, Value::Int(i + 1));
+    }
+    assert_eq!(
+        counter_total("jpie_table_rebuilds_total"),
+        rebuilds_before,
+        "steady-state invocations must not rebuild method tables"
+    );
+
+    // A live edit rebuilds exactly once (lazily, on the next call).
+    let add = class.find_method("add").expect("add");
+    class
+        .set_body_expr(add, Expr::param("a") * Expr::param("b"))
+        .expect("edit body");
+    let v = env
+        .call(&stub, "add", &[Value::Int(6), Value::Int(7)])
+        .expect("call after edit");
+    assert_eq!(v, Value::Int(42), "edit takes effect immediately");
+    assert!(counter_total("jpie_table_rebuilds_total") > rebuilds_before);
+    manager.shutdown();
+}
