@@ -1,0 +1,269 @@
+//! Success-rate-vs-fault-rate sweep: the resilience layer under a
+//! programmable chaos schedule.
+//!
+//! For each target fault rate the sweep deploys a quiescent SDE SOAP
+//! server, installs a seeded [`httpd::FaultPlan`] mixing refused
+//! connects, connect delays, truncated/corrupted responses, and
+//! mid-response disconnects against the server's endpoint, and drives N
+//! idempotent calls through the resilient client
+//! ([`cde::ResiliencePolicy`]: per-call deadline, backoff retries,
+//! circuit breaker). Reported per point: success rate, retries spent,
+//! faults actually injected, and the RTT distribution of the successful
+//! calls. Binary: `chaos_sweep`.
+
+use std::time::{Duration, Instant};
+
+use jpie::expr::Expr;
+use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
+use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+/// One point of the sweep: N calls at one injected-fault rate.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Aggregate per-connection fault probability (0.0–1.0).
+    pub fault_rate: f64,
+    /// Calls attempted.
+    pub calls: usize,
+    /// Calls that returned the correct value within the deadline.
+    pub ok: usize,
+    /// Retry attempts spent across all calls.
+    pub retries: u64,
+    /// Faults the chaos layer actually injected.
+    pub faults_injected: u64,
+    /// Mean RTT of successful calls (includes retry/backoff time).
+    pub mean_rtt_us: f64,
+    /// 95th-percentile RTT of successful calls.
+    pub p95_rtt_us: f64,
+}
+
+/// Parameters for the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Calls per sweep point.
+    pub calls: usize,
+    /// Transport under test.
+    pub transport: TransportKind,
+    /// Seed for both the fault plan and the client's retry jitter.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            calls: 100,
+            transport: TransportKind::Mem,
+            seed: 2024,
+        }
+    }
+}
+
+fn echo_class() -> ClassHandle {
+    let class = ClassHandle::new("ChaosEcho");
+    class
+        .add_method(
+            MethodBuilder::new("echo", TypeDesc::Str)
+                .param("payload", TypeDesc::Str)
+                .distributed(true)
+                .body_expr(Expr::param("payload")),
+        )
+        .expect("echo method");
+    class
+}
+
+const FAULT_KINDS: [&str; 6] = [
+    "refuse",
+    "delay",
+    "truncate",
+    "corrupt",
+    "disconnect",
+    "blackhole",
+];
+
+fn faults_injected_total() -> u64 {
+    let snap = obs::registry().snapshot();
+    FAULT_KINDS
+        .iter()
+        .map(|k| snap.counter(&obs::metrics::key("faults_injected_total", &[("kind", k)])))
+        .sum()
+}
+
+/// Runs one sweep point: deploy, inject, hammer, measure, tear down.
+pub fn run_chaos_point(cfg: &ChaosConfig, fault_rate: f64) -> ChaosPoint {
+    let manager = SdeManager::new(SdeConfig {
+        transport: cfg.transport,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+    })
+    .expect("manager");
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let policy = cde::ResiliencePolicy::seeded(cfg.seed)
+        .with_request_timeout(Duration::from_millis(250))
+        .with_max_attempts(6)
+        // High trip threshold: the sweep measures retries, not fail-fast.
+        .with_breaker(64, Duration::from_millis(500));
+    let env = cde::ClientEnvironment::with_policy(policy);
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let authority = stub.authority();
+
+    if fault_rate > 0.0 {
+        // The same mixed-fault recipe as the acceptance test, scaled so
+        // the per-connection incidence sums to `fault_rate`.
+        httpd::FaultPlan::seeded(cfg.seed)
+            .rule(httpd::FaultRule::refuse(&authority, fault_rate * 0.40))
+            .rule(httpd::FaultRule::delay(
+                &authority,
+                fault_rate * 0.20,
+                Duration::from_millis(1),
+                Duration::from_millis(1),
+            ))
+            .rule(httpd::FaultRule::truncate(
+                &authority,
+                fault_rate * 0.15,
+                40,
+            ))
+            .rule(httpd::FaultRule::corrupt(&authority, fault_rate * 0.15, 2))
+            .rule(httpd::FaultRule::disconnect(
+                &authority,
+                fault_rate * 0.10,
+                10,
+            ))
+            .install();
+    }
+
+    let retries_before = obs::registry().snapshot().counter("rmi_retries_total");
+    let faults_before = faults_injected_total();
+    let mut ok = 0usize;
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.calls);
+    for i in 0..cfg.calls {
+        let arg = [Value::Str(format!("payload-{i}"))];
+        let t0 = Instant::now();
+        if let Ok(v) = env.call_idempotent(&stub, "echo", &arg) {
+            debug_assert_eq!(v, arg[0]);
+            ok += 1;
+            samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    httpd::fault::clear();
+    let retries = obs::registry().snapshot().counter("rmi_retries_total") - retries_before;
+    let faults_injected = faults_injected_total() - faults_before;
+    manager.shutdown();
+
+    let (mean, p95) = if samples.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p95 = samples[((samples.len() - 1) as f64 * 0.95).round() as usize];
+        (mean, p95)
+    };
+    ChaosPoint {
+        fault_rate,
+        calls: cfg.calls,
+        ok,
+        retries,
+        faults_injected,
+        mean_rtt_us: mean,
+        p95_rtt_us: p95,
+    }
+}
+
+/// Runs the whole sweep over `rates` (fractions, e.g. `[0.0, 0.1, 0.2]`).
+pub fn run_chaos_sweep(cfg: &ChaosConfig, rates: &[f64]) -> Vec<ChaosPoint> {
+    rates.iter().map(|&r| run_chaos_point(cfg, r)).collect()
+}
+
+/// Renders the sweep as the EXPERIMENTS.md table.
+pub fn render_chaos(points: &[ChaosPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.fault_rate * 100.0),
+                p.calls.to_string(),
+                format!("{:.1}%", p.ok as f64 / p.calls as f64 * 100.0),
+                p.retries.to_string(),
+                p.faults_injected.to_string(),
+                format!("{:.1}", p.mean_rtt_us),
+                format!("{:.1}", p.p95_rtt_us),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "fault rate",
+            "calls",
+            "success",
+            "retries",
+            "faults fired",
+            "mean us",
+            "p95 us",
+        ],
+        &rows,
+    )
+}
+
+/// Renders the sweep as a JSON report (`--json <path>`).
+pub fn chaos_json(points: &[ChaosPoint], transport: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"bench\": \"chaos_sweep\",\n");
+    let _ = writeln!(
+        out,
+        "  \"transport\": \"{}\",",
+        crate::json::escape(transport)
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"fault_rate\": {:.3}, \"calls\": {}, \"ok\": {}, \"retries\": {}, \
+             \"faults_injected\": {}, \"mean_us\": {:.3}, \"p95_us\": {:.3}}}{}",
+            p.fault_rate,
+            p.calls,
+            p.ok,
+            p.retries,
+            p.faults_injected,
+            p.mean_rtt_us,
+            p.p95_rtt_us,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_point_is_perfect() {
+        let cfg = ChaosConfig {
+            calls: 10,
+            ..ChaosConfig::default()
+        };
+        let p = run_chaos_point(&cfg, 0.0);
+        assert_eq!(p.ok, p.calls);
+        assert!(p.mean_rtt_us.is_finite());
+    }
+
+    #[test]
+    fn render_and_json_are_well_formed() {
+        let p = ChaosPoint {
+            fault_rate: 0.2,
+            calls: 50,
+            ok: 50,
+            retries: 13,
+            faults_injected: 12,
+            mean_rtt_us: 210.0,
+            p95_rtt_us: 900.0,
+        };
+        let table = render_chaos(std::slice::from_ref(&p));
+        assert!(table.contains("20%"));
+        assert!(table.contains("100.0%"));
+        let json = chaos_json(&[p], "mem");
+        assert!(json.contains("\"fault_rate\": 0.200"));
+        assert!(json.contains("\"bench\": \"chaos_sweep\""));
+    }
+}

@@ -16,12 +16,16 @@
 //! * [`rogue`] — the **§5.7 claim** that a rogue client spamming
 //!   stale-method calls cannot force needless IDL generations. Binary:
 //!   `rogue_client`.
+//! * [`chaos`] — success rate vs. injected fault rate: the resilient
+//!   client (deadlines, backoff retries, circuit breaker) driven through
+//!   a seeded chaos layer. Binary: `chaos_sweep`.
 //!
 //! Each module returns plain data structures and a
 //! pretty text rendering so binaries can print paper-style tables and
 //! tests can assert on the shape of the results.
 
 pub mod ablation;
+pub mod chaos;
 pub mod consistency;
 pub mod harness;
 pub mod json;

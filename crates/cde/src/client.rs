@@ -2,11 +2,54 @@
 //! JPie debugger surface, and live stub classes.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use jpie::{ClassHandle, JpieDebugger, MethodBuilder, TypeDesc, Value};
 
 use crate::error::CallError;
+use crate::resilience::{breaker_for, Backoff, ResiliencePolicy};
 use crate::stub::DynamicStub;
+
+/// Per-call options for [`ClientEnvironment::call_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallOptions {
+    /// Whether the operation may be re-sent after a transport failure
+    /// whose outcome is unknown (the request may or may not have run).
+    /// Only idempotent calls are retried on transport errors.
+    pub idempotent: bool,
+    /// Overrides the policy's deadline budget for this call.
+    pub deadline: Option<Duration>,
+}
+
+/// Retry/deadline counters, resolved once — `call_with` is the RMI hot
+/// path the Table-1 RTT benchmark measures.
+fn rmi_counters() -> &'static (Arc<obs::Counter>, Arc<obs::Counter>) {
+    static COUNTERS: std::sync::OnceLock<(Arc<obs::Counter>, Arc<obs::Counter>)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = obs::registry();
+        (
+            r.counter("rmi_retries_total"),
+            r.counter("rmi_deadline_exceeded_total"),
+        )
+    })
+}
+
+impl CallOptions {
+    /// Options for an idempotent operation (retried on transport errors).
+    pub fn idempotent() -> CallOptions {
+        CallOptions {
+            idempotent: true,
+            deadline: None,
+        }
+    }
+
+    /// Sets a per-call deadline override.
+    pub fn with_deadline(mut self, deadline: Duration) -> CallOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+}
 
 /// The CDE runtime for one client program.
 ///
@@ -25,12 +68,29 @@ use crate::stub::DynamicStub;
 #[derive(Debug, Default, Clone)]
 pub struct ClientEnvironment {
     debugger: JpieDebugger,
+    policy: Arc<ResiliencePolicy>,
 }
 
 impl ClientEnvironment {
-    /// Creates an environment with a fresh debugger.
+    /// Creates an environment with a fresh debugger and the default
+    /// resilience policy.
     pub fn new() -> ClientEnvironment {
         ClientEnvironment::default()
+    }
+
+    /// Creates an environment with an explicit resilience policy
+    /// (deadlines, backoff, breaker thresholds) applied to every call
+    /// and every stub connected through this environment.
+    pub fn with_policy(policy: ResiliencePolicy) -> ClientEnvironment {
+        ClientEnvironment {
+            debugger: JpieDebugger::default(),
+            policy: Arc::new(policy),
+        }
+    }
+
+    /// The resilience policy in effect.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
     }
 
     /// The JPie debugger showing caught remote exceptions.
@@ -44,7 +104,10 @@ impl ClientEnvironment {
     ///
     /// Fails if the WSDL cannot be fetched or parsed.
     pub fn connect_soap(&self, wsdl_url: &str) -> Result<Arc<DynamicStub>, CallError> {
-        Ok(Arc::new(DynamicStub::from_wsdl(wsdl_url)?))
+        Ok(Arc::new(DynamicStub::from_wsdl_with(
+            wsdl_url,
+            self.policy.clone(),
+        )?))
     }
 
     /// Connects to a CORBA server by its published CORBA-IDL and IOR URLs.
@@ -57,10 +120,20 @@ impl ClientEnvironment {
         idl_url: &str,
         ior_url: &str,
     ) -> Result<Arc<DynamicStub>, CallError> {
-        Ok(Arc::new(DynamicStub::from_idl(idl_url, ior_url)?))
+        Ok(Arc::new(DynamicStub::from_idl_with(
+            idl_url,
+            ior_url,
+            self.policy.clone(),
+        )?))
     }
 
-    /// Invokes a remote method with the full §6 client-side protocol.
+    /// Invokes a remote method with the full §6 client-side protocol
+    /// under the environment's resilience policy.
+    ///
+    /// The call is treated as non-idempotent: transport failures are not
+    /// retried (the request may have executed), but 503 load-shed
+    /// responses are (the request never reached the SOAP engine), and
+    /// the per-authority circuit breaker applies.
     ///
     /// # Errors
     ///
@@ -68,6 +141,120 @@ impl ClientEnvironment {
     /// to the currently published interface and a debugger entry (with a
     /// *try again* thunk re-executing this call) has been recorded.
     pub fn call(
+        &self,
+        stub: &Arc<DynamicStub>,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        self.call_with(stub, method, args, CallOptions::default())
+    }
+
+    /// Invokes an idempotent remote method: like
+    /// [`ClientEnvironment::call`], plus backoff retries on transport
+    /// failures within the deadline budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ClientEnvironment::call_with`].
+    pub fn call_idempotent(
+        &self,
+        stub: &Arc<DynamicStub>,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, CallError> {
+        self.call_with(stub, method, args, CallOptions::idempotent())
+    }
+
+    /// Invokes a remote method with explicit [`CallOptions`].
+    ///
+    /// Every attempt runs under the policy's per-request timeout; the
+    /// whole call (attempts and backoff sleeps included) runs under the
+    /// deadline budget. Transport failures are retried with exponential
+    /// backoff and seeded jitter when `opts.idempotent`; 503 load-shed
+    /// responses are retried regardless (honoring the server's
+    /// `Retry-After` hint over the backoff schedule). Consecutive
+    /// transport failures trip the authority's circuit breaker, after
+    /// which calls fail fast with [`CallError::CircuitOpen`] until a
+    /// half-open probe succeeds.
+    ///
+    /// # Errors
+    ///
+    /// All the [`CallError`] variants; [`CallError::DeadlineExceeded`]
+    /// when the budget is exhausted before an attempt could run.
+    pub fn call_with(
+        &self,
+        stub: &Arc<DynamicStub>,
+        method: &str,
+        args: &[Value],
+        opts: CallOptions,
+    ) -> Result<Value, CallError> {
+        let deadline = Instant::now() + opts.deadline.unwrap_or(self.policy.deadline);
+        let counters = rmi_counters();
+        let authority = stub.authority();
+        let breaker = breaker_for(&authority, &self.policy);
+        let mut backoff = Backoff::new(&self.policy);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if !breaker.try_acquire() {
+                return Err(CallError::CircuitOpen { authority });
+            }
+            let retry_wait = match self.call_once(stub, method, args) {
+                Ok(v) => {
+                    breaker.on_success();
+                    return Ok(v);
+                }
+                Err(CallError::Transport(m)) => {
+                    breaker.on_failure();
+                    if !opts.idempotent || attempt >= self.policy.max_attempts {
+                        return Err(CallError::Transport(m));
+                    }
+                    backoff.next_delay()
+                }
+                Err(CallError::Overloaded { retry_after_ms }) => {
+                    // The HTTP layer shed the request before the SOAP
+                    // engine saw it: the server is alive (not a breaker
+                    // failure) and a resend is safe even for
+                    // non-idempotent calls.
+                    breaker.on_success();
+                    if attempt >= self.policy.max_attempts {
+                        return Err(CallError::Overloaded { retry_after_ms });
+                    }
+                    retry_after_ms
+                        .map(Duration::from_millis)
+                        .unwrap_or_else(|| backoff.next_delay())
+                }
+                Err(other) => {
+                    // A SOAP/CORBA-level reply arrived: the transport to
+                    // the authority works.
+                    if matches!(
+                        other,
+                        CallError::StaleMethod { .. }
+                            | CallError::ServerNotInitialized
+                            | CallError::Application(_)
+                            | CallError::Protocol(_)
+                    ) {
+                        breaker.on_success();
+                    }
+                    return Err(other);
+                }
+            };
+            if Instant::now() + retry_wait >= deadline {
+                counters.1.inc();
+                return Err(CallError::DeadlineExceeded);
+            }
+            counters.0.inc();
+            obs::trace::verbose_event(
+                "cde::client",
+                "retry",
+                format!("method={method} attempt={attempt} wait={retry_wait:?}"),
+            );
+            std::thread::sleep(retry_wait);
+        }
+    }
+
+    /// One attempt of the §6 protocol, without retries.
+    fn call_once(
         &self,
         stub: &Arc<DynamicStub>,
         method: &str,

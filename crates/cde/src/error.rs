@@ -25,6 +25,20 @@ pub enum CallError {
     Protocol(String),
     /// The interface description could not be fetched or parsed.
     Interface(String),
+    /// The server shed the request (HTTP 503), optionally hinting when
+    /// to retry.
+    Overloaded {
+        /// The server's `Retry-After` hint, in milliseconds.
+        retry_after_ms: Option<u64>,
+    },
+    /// The call's deadline budget was exhausted (attempts included).
+    DeadlineExceeded,
+    /// The per-authority circuit breaker is open: the call failed fast
+    /// without touching the network.
+    CircuitOpen {
+        /// The authority whose breaker is open.
+        authority: String,
+    },
 }
 
 impl fmt::Display for CallError {
@@ -38,6 +52,14 @@ impl fmt::Display for CallError {
             CallError::Transport(m) => write!(f, "transport failure: {m}"),
             CallError::Protocol(m) => write!(f, "protocol error: {m}"),
             CallError::Interface(m) => write!(f, "interface fetch failed: {m}"),
+            CallError::Overloaded { retry_after_ms } => match retry_after_ms {
+                Some(ms) => write!(f, "server overloaded (retry after {ms}ms)"),
+                None => write!(f, "server overloaded"),
+            },
+            CallError::DeadlineExceeded => write!(f, "call deadline exceeded"),
+            CallError::CircuitOpen { authority } => {
+                write!(f, "circuit open for {authority}")
+            }
         }
     }
 }
@@ -56,6 +78,17 @@ mod tests {
         assert!(CallError::ServerNotInitialized
             .to_string()
             .contains("not initialized"));
+        assert!(CallError::Overloaded {
+            retry_after_ms: Some(250)
+        }
+        .to_string()
+        .contains("250ms"));
+        assert!(CallError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(CallError::CircuitOpen {
+            authority: "mem://a".into()
+        }
+        .to_string()
+        .contains("circuit open"));
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   of the server interface is updated to the currently published
 //!   one"*, then the exception surfaces in the JPie debugger), and offers
 //!   the debugger's *try again* re-execution.
+//! * [`ResiliencePolicy`] — per-call deadline budgets, exponential
+//!   backoff retries with seeded jitter for idempotent operations, and
+//!   per-authority circuit breakers that fail fast (serving the stale
+//!   cached interface view) while a server is down and probe for
+//!   recovery half-open.
 //! * [`ClientEnvironment::bind_to_class`] — CDE's live-stub feature:
 //!   materializes the server interface as a [`jpie::ClassHandle`] whose
 //!   methods forward remotely, and [`ClientEnvironment::sync_bound_class`]
@@ -32,10 +37,12 @@
 mod client;
 mod error;
 mod fetch;
+mod resilience;
 mod stub;
 mod watch;
 
-pub use client::ClientEnvironment;
+pub use client::{CallOptions, ClientEnvironment};
 pub use error::CallError;
+pub use resilience::{breaker_for, Backoff, BreakerState, CircuitBreaker, ResiliencePolicy};
 pub use stub::{DynamicStub, Operation};
 pub use watch::InterfaceWatcher;

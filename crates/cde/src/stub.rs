@@ -1,5 +1,7 @@
 //! Dynamic client stubs over the SOAP and CORBA backends.
 
+use std::sync::Arc;
+
 use corba::{CorbaError, DiiRequest, IdlModule, Ior};
 use httpd::HttpClient;
 use jpie::{TypeDesc, Value};
@@ -8,6 +10,7 @@ use soap::{SoapFault, SoapRequest, SoapResponse, WsdlDocument};
 
 use crate::error::CallError;
 use crate::fetch::{DocFetcher, Fetched};
+use crate::resilience::ResiliencePolicy;
 
 /// One remote operation as the client currently sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +57,7 @@ pub struct DynamicStub {
     /// Conditional keep-alive fetcher for interface documents: repeat
     /// polls cost a `304` on a reused connection, not a re-download.
     fetcher: DocFetcher,
+    policy: Arc<ResiliencePolicy>,
 }
 
 impl DynamicStub {
@@ -64,6 +68,19 @@ impl DynamicStub {
     ///
     /// Fails if the WSDL cannot be fetched or parsed.
     pub fn from_wsdl(wsdl_url: &str) -> Result<DynamicStub, CallError> {
+        DynamicStub::from_wsdl_with(wsdl_url, Arc::new(ResiliencePolicy::default()))
+    }
+
+    /// Like [`DynamicStub::from_wsdl`] with an explicit resilience
+    /// policy governing request timeouts and document-fetch retries.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the WSDL cannot be fetched or parsed.
+    pub fn from_wsdl_with(
+        wsdl_url: &str,
+        policy: Arc<ResiliencePolicy>,
+    ) -> Result<DynamicStub, CallError> {
         let stub = DynamicStub {
             backend: Backend::Soap {
                 wsdl_url: wsdl_url.to_string(),
@@ -71,8 +88,9 @@ impl DynamicStub {
                 namespace: RwLock::new(String::new()),
             },
             view: RwLock::new(InterfaceView::default()),
-            http: HttpClient::new(),
-            fetcher: DocFetcher::new(),
+            http: HttpClient::new().with_read_timeout(policy.request_timeout),
+            fetcher: DocFetcher::with_policy(policy.clone()),
+            policy,
         };
         stub.refresh()?;
         Ok(stub)
@@ -85,6 +103,20 @@ impl DynamicStub {
     ///
     /// Fails if either document cannot be fetched or parsed.
     pub fn from_idl(idl_url: &str, ior_url: &str) -> Result<DynamicStub, CallError> {
+        DynamicStub::from_idl_with(idl_url, ior_url, Arc::new(ResiliencePolicy::default()))
+    }
+
+    /// Like [`DynamicStub::from_idl`] with an explicit resilience
+    /// policy governing request timeouts and document-fetch retries.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either document cannot be fetched or parsed.
+    pub fn from_idl_with(
+        idl_url: &str,
+        ior_url: &str,
+        policy: Arc<ResiliencePolicy>,
+    ) -> Result<DynamicStub, CallError> {
         let stub = DynamicStub {
             backend: Backend::Corba {
                 idl_url: idl_url.to_string(),
@@ -92,8 +124,9 @@ impl DynamicStub {
                 ior: RwLock::new(None),
             },
             view: RwLock::new(InterfaceView::default()),
-            http: HttpClient::new(),
-            fetcher: DocFetcher::new(),
+            http: HttpClient::new().with_read_timeout(policy.request_timeout),
+            fetcher: DocFetcher::with_policy(policy.clone()),
+            policy,
         };
         stub.refresh()?;
         Ok(stub)
@@ -130,9 +163,10 @@ impl DynamicStub {
                 namespace,
             } => {
                 // 304: the parsed view already reflects the published
-                // document — skip the re-parse entirely.
+                // document — skip the re-parse entirely. Stale: the
+                // authority's breaker is open, keep the cached view.
                 let body = match self.fetch(wsdl_url)? {
-                    Fetched::NotModified => return Ok(()),
+                    Fetched::NotModified | Fetched::Stale => return Ok(()),
                     Fetched::New(body) => body,
                 };
                 let doc = WsdlDocument::parse(&body).map_err(|e| {
@@ -226,6 +260,18 @@ impl DynamicStub {
         self.view.read().version
     }
 
+    /// The authority (`scheme://host`) that calls are routed to — the key
+    /// under which the circuit breaker for this stub is registered.
+    pub fn authority(&self) -> String {
+        match &self.backend {
+            Backend::Soap { endpoint, .. } => split_authority(&endpoint.read()).0,
+            Backend::Corba { ior, ior_url, .. } => match &*ior.read() {
+                Some(ior) => ior.address.clone(),
+                None => split_authority(ior_url).0,
+            },
+        }
+    }
+
     /// Invokes `method` with positional `args`, without any stale-method
     /// recovery (that lives in
     /// [`crate::ClientEnvironment::call`]).
@@ -265,6 +311,13 @@ impl DynamicStub {
                     .connect(&authority)
                     .and_then(|mut conn| conn.send(&http_req))
                     .map_err(|e| CallError::Transport(e.to_string()))?;
+                if resp.status() == 503 {
+                    // Load shed by the HTTP layer before the SOAP engine
+                    // saw the request — safe to retry, hint included.
+                    return Err(CallError::Overloaded {
+                        retry_after_ms: resp.retry_after().map(|d| d.as_millis() as u64),
+                    });
+                }
                 let parsed = soap::decode_response(&resp.body_str())
                     .map_err(|e| CallError::Protocol(e.to_string()))?;
                 match parsed {
@@ -276,7 +329,8 @@ impl DynamicStub {
                 let Some(ior) = ior.read().clone() else {
                     return Err(CallError::Interface("no IOR loaded".into()));
                 };
-                let mut req = DiiRequest::new(&ior, method);
+                let mut req =
+                    DiiRequest::new(&ior, method).timeout(Some(self.policy.request_timeout));
                 for a in args {
                     req = req.arg(a.clone());
                 }

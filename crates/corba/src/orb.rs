@@ -4,8 +4,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
-use httpd::transport::{connect, Listener, Stream};
+use httpd::transport::{connect_with, Listener, Stream};
 use jpie::Value;
 use obs::sync::Mutex;
 
@@ -99,13 +100,16 @@ impl ServerOrb {
             .name("orb-accept".into())
             .spawn(move || {
                 while !accept_shutdown.load(Ordering::SeqCst) {
-                    let stream = match accept_listener.accept() {
+                    let mut stream = match accept_listener.accept() {
                         Ok(s) => s,
                         Err(_) => break,
                     };
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
                     }
+                    // A connection that goes silent (or was blackholed)
+                    // must not pin its serve thread forever.
+                    let _ = stream.set_read_timeout(Some(SERVER_IDLE_TIMEOUT));
                     let implementation = implementation.clone();
                     let conn_key = served_key.clone();
                     let _ = thread::Builder::new()
@@ -143,6 +147,14 @@ impl Drop for ServerOrb {
         self.shutdown();
     }
 }
+
+/// How long a server-side connection may sit idle (or mid-message)
+/// before its serve thread gives up on it.
+const SERVER_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default client-side reply timeout: a server that accepts and never
+/// replies surfaces as a transport error instead of a hang.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// GIOP message counters, resolved once — `serve_connection` is the RMI
 /// hot path the Table-1 RTT benchmark measures.
@@ -263,13 +275,26 @@ pub struct OrbConnection {
 }
 
 impl OrbConnection {
-    /// Connects to the ORB referenced by `ior`.
+    /// Connects to the ORB referenced by `ior` with the default reply
+    /// timeout.
     ///
     /// # Errors
     ///
     /// Fails if the address in the IOR is unreachable.
     pub fn connect(ior: &Ior) -> Result<OrbConnection, CorbaError> {
-        let stream = connect(&ior.address)?;
+        OrbConnection::connect_with_timeout(ior, Some(CLIENT_READ_TIMEOUT))
+    }
+
+    /// Connects with an explicit reply timeout (`None` waits forever).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OrbConnection::connect`].
+    pub fn connect_with_timeout(
+        ior: &Ior,
+        read_timeout: Option<Duration>,
+    ) -> Result<OrbConnection, CorbaError> {
+        let stream = connect_with(&ior.address, read_timeout)?;
         Ok(OrbConnection {
             stream,
             object_key: ior.object_key.clone(),
@@ -357,6 +382,7 @@ pub struct DiiRequest {
     ior: Ior,
     operation: String,
     args: Vec<Value>,
+    read_timeout: Option<Duration>,
 }
 
 impl DiiRequest {
@@ -366,6 +392,7 @@ impl DiiRequest {
             ior: ior.clone(),
             operation: operation.into(),
             args: Vec::new(),
+            read_timeout: Some(CLIENT_READ_TIMEOUT),
         }
     }
 
@@ -375,13 +402,19 @@ impl DiiRequest {
         self
     }
 
+    /// Overrides the reply timeout (`None` waits forever).
+    pub fn timeout(mut self, read_timeout: Option<Duration>) -> DiiRequest {
+        self.read_timeout = read_timeout;
+        self
+    }
+
     /// Sends the request over a fresh connection and waits for the result.
     ///
     /// # Errors
     ///
     /// Same as [`OrbConnection::call`].
     pub fn invoke(self) -> Result<Value, CorbaError> {
-        let mut conn = OrbConnection::connect(&self.ior)?;
+        let mut conn = OrbConnection::connect_with_timeout(&self.ior, self.read_timeout)?;
         let out = conn.call(&self.operation, &self.args);
         conn.close();
         out

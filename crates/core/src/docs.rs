@@ -173,11 +173,15 @@ impl InterfaceServer {
     /// Fails if the endpoint cannot be bound.
     pub fn bind(addr: &str) -> Result<InterfaceServer, SdeError> {
         let store = DocumentStore::new();
-        let http = HttpServer::bind(
+        // Hardened pool: header/body limits, per-request read timeouts
+        // and queue deadlines, so a slow-loris or blackholed peer cannot
+        // wedge interface-document serving.
+        let http = HttpServer::bind_with(
             addr,
             StoreHandler {
                 store: store.clone(),
             },
+            httpd::PoolConfig::hardened(),
         )?;
         Ok(InterfaceServer { store, http })
     }

@@ -131,7 +131,20 @@ impl SdeManager {
     /// Fails if the Interface Server endpoint cannot be bound.
     pub fn new(config: SdeConfig) -> Result<SdeManager, SdeError> {
         let addr = fresh_addr(config.transport, "ifc");
-        let interface_server = InterfaceServer::bind(&addr)?;
+        SdeManager::with_interface_addr(config, &addr)
+    }
+
+    /// Starts a manager whose Interface Server binds `addr` instead of a
+    /// fresh generated address. This makes restart scenarios testable:
+    /// a new manager can come back at the *same* published URL, so
+    /// clients holding stale documents reconverge once their breaker
+    /// half-opens.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Interface Server endpoint cannot be bound.
+    pub fn with_interface_addr(config: SdeConfig, addr: &str) -> Result<SdeManager, SdeError> {
+        let interface_server = InterfaceServer::bind(addr)?;
         Ok(SdeManager {
             config,
             interface_server,

@@ -40,7 +40,10 @@ impl SoapServer {
         // The SOAP Call Handler goes up first so the endpoint address is
         // known for the (minimal) WSDL document (§5.1.1).
         let handler = SoapCallHandler { core: core.clone() };
-        let endpoint = HttpServer::bind(endpoint_addr, handler)?;
+        // Hardened pool: size limits and timeouts keep one misbehaving
+        // client from starving the call-handler workers.
+        let endpoint =
+            HttpServer::bind_with(endpoint_addr, handler, httpd::PoolConfig::hardened())?;
         let endpoint_url = format!("{}/{}", endpoint.base_url(), class.name());
 
         let wsdl_path = format!("/{}.wsdl", class.name());

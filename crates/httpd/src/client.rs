@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use crate::error::HttpError;
 use crate::message::{Request, Response};
-use crate::transport::{connect, Stream};
+use crate::transport::{connect_with, Stream};
 
 /// A blocking HTTP client.
 ///
@@ -84,10 +84,10 @@ impl HttpClient {
     }
 
     fn open(&self, addr: &str) -> Result<Connection, HttpError> {
-        let mut stream = connect(addr)?;
-        if let Some(t) = self.read_timeout {
-            stream.set_read_timeout(Some(t)).map_err(HttpError::Io)?;
-        }
+        // The timeout rides through the transport layer so every stream
+        // flavour (TCP, mem, chaos-wrapped) honors it; a server that
+        // accepts and never responds surfaces as `HttpError::Timeout`.
+        let stream = connect_with(addr, self.read_timeout)?;
         let write_half = stream.try_clone().map_err(HttpError::Io)?;
         Ok(Connection {
             reader: BufReader::new(stream),

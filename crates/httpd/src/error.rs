@@ -19,6 +19,9 @@ pub enum HttpError {
     Malformed(String),
     /// The peer closed the connection before a complete message arrived.
     UnexpectedEof,
+    /// A read or write deadline elapsed before the peer produced a
+    /// complete message (e.g. a server that accepts but never responds).
+    Timeout,
     /// Response carried an unexpected HTTP status.
     Status(u16, String),
 }
@@ -33,6 +36,7 @@ impl fmt::Display for HttpError {
             HttpError::ListenerClosed => write!(f, "listener closed"),
             HttpError::Malformed(m) => write!(f, "malformed http message: {m}"),
             HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::Timeout => write!(f, "operation timed out"),
             HttpError::Status(code, body) => write!(f, "unexpected http status {code}: {body}"),
         }
     }
@@ -49,10 +53,13 @@ impl Error for HttpError {
 
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> Self {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            HttpError::UnexpectedEof
-        } else {
-            HttpError::Io(e)
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => HttpError::UnexpectedEof,
+            // Both kinds occur in the wild: WouldBlock from socket read
+            // timeouts on unix (and the in-memory transport), TimedOut
+            // on other platforms.
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
         }
     }
 }
@@ -73,6 +80,14 @@ mod tests {
     fn io_eof_maps_to_unexpected_eof() {
         let e: HttpError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
         assert!(matches!(e, HttpError::UnexpectedEof));
+    }
+
+    #[test]
+    fn io_timeouts_map_to_typed_timeout() {
+        for kind in [io::ErrorKind::WouldBlock, io::ErrorKind::TimedOut] {
+            let e: HttpError = io::Error::new(kind, "slow").into();
+            assert!(matches!(e, HttpError::Timeout), "{kind:?}");
+        }
     }
 
     #[test]

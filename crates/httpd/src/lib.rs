@@ -37,11 +37,13 @@
 
 mod client;
 mod error;
+pub mod fault;
 mod message;
 mod server;
 pub mod transport;
 
 pub use client::{Connection, HttpClient};
 pub use error::HttpError;
-pub use message::{Headers, Method, Request, Response, Status};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSide};
+pub use message::{Headers, Limits, Method, Request, Response, Status};
 pub use server::{Handler, HttpServer, PoolConfig};

@@ -61,6 +61,9 @@ impl Status {
     pub const BAD_REQUEST: Status = Status(400);
     /// 404
     pub const NOT_FOUND: Status = Status(404);
+    /// 408 — the peer took too long to produce a complete request
+    /// (slow-loris defense).
+    pub const REQUEST_TIMEOUT: Status = Status(408);
     /// 500 — the SOAP 1.1 binding requires faults to use this status.
     pub const INTERNAL_SERVER_ERROR: Status = Status(500);
     /// 503
@@ -73,6 +76,8 @@ impl Status {
             304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
+            408 => "Request Timeout",
+            413 => "Content Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -134,6 +139,26 @@ impl Headers {
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+/// Parse-time bounds on inbound messages (slow-loris / memory-bomb
+/// defense). The limits cap the header section as a whole, each header
+/// line, and the declared body length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum bytes for the request line plus all header lines.
+    pub max_header_bytes: usize,
+    /// Maximum accepted `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_header_bytes: 64 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+        }
     }
 }
 
@@ -247,7 +272,23 @@ impl Request {
     /// Returns [`HttpError::Malformed`] on protocol violations and
     /// [`HttpError::UnexpectedEof`] on truncation mid-message.
     pub fn read_from<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
-        let line = match read_line(r)? {
+        Self::read_from_limited(r, &Limits::default())
+    }
+
+    /// Reads one request from `r` under explicit [`Limits`]; the server
+    /// uses this with its configured bounds so a hostile peer cannot
+    /// grow headers or the body without bound.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::read_from`]; exceeding a limit is
+    /// [`HttpError::Malformed`].
+    pub fn read_from_limited<R: BufRead>(
+        r: &mut R,
+        limits: &Limits,
+    ) -> Result<Option<Request>, HttpError> {
+        let mut head_budget = limits.max_header_bytes;
+        let line = match read_line_limited(r, &mut head_budget)? {
             None => return Ok(None),
             Some(l) => l,
         };
@@ -263,8 +304,8 @@ impl Request {
                 "bad http version {version:?}"
             )));
         }
-        let headers = read_headers(r)?;
-        let body = read_body(r, &headers)?;
+        let headers = read_headers_limited(r, &mut head_budget)?;
+        let body = read_body(r, &headers, limits.max_body_bytes)?;
         Ok(Some(Request {
             method,
             path,
@@ -354,6 +395,42 @@ impl Response {
     /// 400 response with a plain-text body.
     pub fn bad_request(msg: &str) -> Response {
         Response::new(Status::BAD_REQUEST, msg.as_bytes().to_vec(), "text/plain")
+    }
+
+    /// 503 response advertising when the client should retry — the
+    /// load-shedding answer of an overloaded server.
+    pub fn unavailable(msg: &str, retry_after: std::time::Duration) -> Response {
+        let mut resp = Response::new(
+            Status::SERVICE_UNAVAILABLE,
+            msg.as_bytes().to_vec(),
+            "text/plain",
+        );
+        resp.set_retry_after(retry_after);
+        resp
+    }
+
+    /// Sets the `Retry-After` header (rounded up to whole seconds, per
+    /// RFC 9110 §10.2.3; sub-second hints ride on the non-standard
+    /// `Retry-After-Ms` header which our client prefers when present).
+    pub fn set_retry_after(&mut self, after: std::time::Duration) {
+        let secs = after.as_secs() + u64::from(after.subsec_nanos() > 0);
+        self.headers.set("Retry-After", secs.to_string());
+        self.headers
+            .set("Retry-After-Ms", after.as_millis().to_string());
+    }
+
+    /// The server's retry hint, if any: `Retry-After-Ms` when present,
+    /// otherwise `Retry-After` in seconds.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        if let Some(ms) = self.headers.get("Retry-After-Ms") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                return Some(std::time::Duration::from_millis(ms));
+            }
+        }
+        self.headers
+            .get("Retry-After")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(std::time::Duration::from_secs)
     }
 
     /// Status code.
@@ -463,7 +540,7 @@ impl Response {
         let body = if head {
             Vec::new()
         } else {
-            read_body(r, &headers)?
+            read_body(r, &headers, Limits::default().max_body_bytes)?
         };
         Ok(Response {
             status: Status(code),
@@ -497,11 +574,32 @@ fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], body: &[u8]) -> std::io:
 }
 
 fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    // Responses are read from servers we chose to talk to; the default
+    // header budget is ample and bounds a misbehaving peer all the same.
+    let mut budget = Limits::default().max_header_bytes;
+    read_line_limited(r, &mut budget)
+}
+
+/// Reads one CRLF-terminated line without ever buffering more than the
+/// remaining `budget` — the reader is capped with `Take`, so a peer
+/// dribbling an endless header line cannot grow memory unboundedly.
+fn read_line_limited<R: BufRead>(
+    r: &mut R,
+    budget: &mut usize,
+) -> Result<Option<String>, HttpError> {
     let mut line = String::new();
-    let n = r.read_line(&mut line).map_err(HttpError::from)?;
+    // UFCS so `Self = &mut R`: the cap wraps a reborrow, not the reader.
+    let mut capped = std::io::Read::take(&mut *r, *budget as u64 + 1);
+    let n = capped.read_line(&mut line).map_err(HttpError::from)?;
     if n == 0 {
         return Ok(None);
     }
+    if n > *budget {
+        return Err(HttpError::Malformed(
+            "header section exceeds size limit".into(),
+        ));
+    }
+    *budget -= n;
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
@@ -509,9 +607,14 @@ fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
 }
 
 fn read_headers<R: BufRead>(r: &mut R) -> Result<Headers, HttpError> {
+    let mut budget = Limits::default().max_header_bytes;
+    read_headers_limited(r, &mut budget)
+}
+
+fn read_headers_limited<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Headers, HttpError> {
     let mut headers = Headers::new();
     loop {
-        let line = read_line(r)?.ok_or(HttpError::UnexpectedEof)?;
+        let line = read_line_limited(r, budget)?.ok_or(HttpError::UnexpectedEof)?;
         if line.is_empty() {
             return Ok(headers);
         }
@@ -522,15 +625,18 @@ fn read_headers<R: BufRead>(r: &mut R) -> Result<Headers, HttpError> {
     }
 }
 
-fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>, HttpError> {
+fn read_body<R: BufRead>(
+    r: &mut R,
+    headers: &Headers,
+    max_body: usize,
+) -> Result<Vec<u8>, HttpError> {
     let len: usize = match headers.get("Content-Length") {
         None => return Ok(Vec::new()),
         Some(v) => v
             .parse()
             .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
     };
-    const MAX_BODY: usize = 64 * 1024 * 1024;
-    if len > MAX_BODY {
+    if len > max_body {
         return Err(HttpError::Malformed(format!(
             "content-length {len} exceeds limit"
         )));
@@ -654,6 +760,58 @@ mod tests {
     fn response_status_display() {
         assert_eq!(Status::OK.to_string(), "200 OK");
         assert_eq!(Status(418).to_string(), "418 Unknown");
+    }
+
+    #[test]
+    fn header_section_limit_enforced() {
+        let limits = Limits {
+            max_header_bytes: 64,
+            max_body_bytes: 1024,
+        };
+        // A single endless header line is cut off at the budget, not
+        // buffered unboundedly.
+        let raw = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(1024));
+        let err =
+            Request::read_from_limited(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+        // Many small headers exceed the shared budget the same way.
+        let raw = format!("GET / HTTP/1.1\r\n{}\r\n", "X-H: v\r\n".repeat(32));
+        let err =
+            Request::read_from_limited(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+        // A request inside the budget still parses.
+        let raw = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+        assert!(
+            Request::read_from_limited(&mut BufReader::new(&raw[..]), &limits)
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn body_limit_enforced() {
+        let limits = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 4,
+        };
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let err = Request::read_from_limited(&mut BufReader::new(&raw[..]), &limits).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn retry_after_roundtrip() {
+        let resp = Response::unavailable("busy", std::time::Duration::from_millis(1500));
+        assert_eq!(resp.status(), 503);
+        // Whole-second header rounds up; the ms hint is exact.
+        assert_eq!(resp.headers().get("Retry-After"), Some("2"));
+        let got = roundtrip_response(&resp);
+        assert_eq!(
+            got.retry_after(),
+            Some(std::time::Duration::from_millis(1500))
+        );
+        // Without any header there is no hint.
+        assert_eq!(Response::ok(Vec::new(), "text/plain").retry_after(), None);
     }
 
     #[test]

@@ -18,13 +18,13 @@ use std::io::{BufRead, BufReader};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use obs::metrics::{Counter, Gauge, Histogram};
 use obs::sync::{Condvar, Mutex};
 
 use crate::error::HttpError;
-use crate::message::{Request, Response, Status};
+use crate::message::{Limits, Request, Response, Status};
 use crate::transport::{Addr, Listener, Stream};
 
 /// Metric handles resolved once; the per-request path is atomic ops only.
@@ -78,7 +78,7 @@ where
 /// see when connections outnumber workers.
 const IDLE_POLL: Duration = Duration::from_millis(10);
 
-/// Sizing of an [`HttpServer`]'s worker pool and accept queue.
+/// Sizing and resilience policy of an [`HttpServer`]'s worker pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolConfig {
     /// Number of worker threads serving connections. Idle keep-alive
@@ -88,6 +88,19 @@ pub struct PoolConfig {
     /// Maximum accepted-but-unserved connections; beyond this the accept
     /// thread answers `503` and closes (load shedding).
     pub queue_depth: usize,
+    /// How long a worker waits for a complete request once the first
+    /// byte has arrived (slow-loris defense). `None` waits forever.
+    pub request_read_timeout: Option<Duration>,
+    /// Cap on the request line plus headers.
+    pub max_header_bytes: usize,
+    /// Cap on the declared request body length.
+    pub max_body_bytes: usize,
+    /// Maximum time a connection may sit in the accept queue before a
+    /// worker picks it up; older entries are answered `503` +
+    /// `Retry-After` instead of stalling. `None` never sheds on age.
+    pub queue_deadline: Option<Duration>,
+    /// The retry hint advertised on every load-shedding `503`.
+    pub retry_after: Duration,
 }
 
 impl Default for PoolConfig {
@@ -99,6 +112,32 @@ impl Default for PoolConfig {
         PoolConfig {
             workers,
             queue_depth: 64,
+            request_read_timeout: Some(Duration::from_secs(30)),
+            max_header_bytes: 64 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+            queue_deadline: None,
+            retry_after: Duration::from_secs(1),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Production-leaning defaults for servers facing untrusted or
+    /// chaos-injected peers: a tight request deadline, bounded headers
+    /// and bodies, and age-based queue shedding.
+    pub fn hardened() -> PoolConfig {
+        PoolConfig {
+            request_read_timeout: Some(Duration::from_secs(10)),
+            max_body_bytes: 8 * 1024 * 1024,
+            queue_deadline: Some(Duration::from_secs(5)),
+            ..PoolConfig::default()
+        }
+    }
+
+    fn limits(&self) -> Limits {
+        Limits {
+            max_header_bytes: self.max_header_bytes,
+            max_body_bytes: self.max_body_bytes,
         }
     }
 }
@@ -106,7 +145,9 @@ impl Default for PoolConfig {
 /// State shared between the accept thread, the workers, and `shutdown`.
 struct ServerShared {
     shutdown: AtomicBool,
-    queue: Mutex<std::collections::VecDeque<Stream>>,
+    /// Accepted connections with their enqueue time, so workers can shed
+    /// entries that outlived the configured queue deadline.
+    queue: Mutex<std::collections::VecDeque<(Stream, Instant)>>,
     queue_cond: Condvar,
     cfg: PoolConfig,
     handler: Arc<dyn Handler>,
@@ -114,6 +155,12 @@ struct ServerShared {
     queue_depth: Arc<Gauge>,
     /// Connections shed with 503 because the queue was full.
     rejected: Arc<Counter>,
+    /// Connections shed with 503 because they waited in the queue longer
+    /// than the configured deadline.
+    deadline_shed: Arc<Counter>,
+    /// Requests dropped because the peer did not complete them within
+    /// the request read timeout (slow-loris defense).
+    request_timeouts: Arc<Counter>,
     /// Write-half clones of every live connection, so shutdown can wake
     /// workers blocked in a keep-alive read (no leaked threads).
     conns: Mutex<HashMap<u64, Stream>>,
@@ -193,6 +240,8 @@ impl HttpServer {
             handler: Arc::new(handler),
             queue_depth: r.gauge_with("http_queue_depth", &[("server", &server_label)]),
             rejected: r.counter_with("http_rejected_total", &[("server", &server_label)]),
+            deadline_shed: r.counter_with("http_deadline_shed_total", &[("server", &server_label)]),
+            request_timeouts: r.counter("http_request_timeouts_total"),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
         });
@@ -253,7 +302,7 @@ impl HttpServer {
         // Connections still queued were never served: close them.
         {
             let mut queue = self.shared.queue.lock();
-            for stream in queue.drain(..) {
+            for (stream, _) in queue.drain(..) {
                 stream.shutdown();
             }
             self.shared.queue_depth.set(0);
@@ -291,18 +340,10 @@ fn accept_loop(listener: &Listener, shared: &Arc<ServerShared>) {
             drop(queue);
             // Saturated: shed load instead of queueing unboundedly.
             shared.rejected.inc();
-            let mut stream = stream;
-            let mut resp = Response::new(
-                Status::SERVICE_UNAVAILABLE,
-                b"server busy".to_vec(),
-                "text/plain",
-            );
-            resp.headers_mut().set("Connection", "close");
-            let _ = resp.write_to(&mut stream);
-            stream.shutdown();
+            shed_unavailable(stream, "server busy", shared.cfg.retry_after);
             continue;
         }
-        queue.push_back(stream);
+        queue.push_back((stream, Instant::now()));
         shared.queue_depth.set(queue.len() as i64);
         drop(queue);
         shared.queue_cond.notify_one();
@@ -314,12 +355,12 @@ fn worker_loop(shared: &Arc<ServerShared>) {
     // this worker serves.
     let mut scratch: Vec<u8> = Vec::with_capacity(512);
     loop {
-        let stream = {
+        let (stream, enqueued_at) = {
             let mut queue = shared.queue.lock();
             loop {
-                if let Some(s) = queue.pop_front() {
+                if let Some(entry) = queue.pop_front() {
                     shared.queue_depth.set(queue.len() as i64);
-                    break s;
+                    break entry;
                 }
                 if shared.is_shutdown() {
                     return;
@@ -327,6 +368,16 @@ fn worker_loop(shared: &Arc<ServerShared>) {
                 shared.queue_cond.wait(&mut queue);
             }
         };
+        // Entries that outlived the queue deadline are answered with a
+        // retryable 503 instead of being served arbitrarily late — the
+        // client's budget is better spent on a fresh attempt.
+        if let Some(deadline) = shared.cfg.queue_deadline {
+            if enqueued_at.elapsed() > deadline {
+                shared.deadline_shed.inc();
+                shed_unavailable(stream, "request deadline exceeded", shared.cfg.retry_after);
+                continue;
+            }
+        }
         if let Some(idle) = serve_connection(stream, shared, &mut scratch) {
             // The connection yielded while idle: rotate it to the back of
             // the queue so the worker can serve waiting connections. The
@@ -338,13 +389,21 @@ fn worker_loop(shared: &Arc<ServerShared>) {
                 // stream again, so close it here.
                 idle.shutdown();
             } else {
-                queue.push_back(idle);
+                queue.push_back((idle, Instant::now()));
                 shared.queue_depth.set(queue.len() as i64);
                 drop(queue);
                 shared.queue_cond.notify_one();
             }
         }
     }
+}
+
+/// Answers `503` with a `Retry-After` hint and closes the connection.
+fn shed_unavailable(mut stream: Stream, msg: &str, retry_after: Duration) {
+    let mut resp = Response::unavailable(msg, retry_after);
+    resp.headers_mut().set("Connection", "close");
+    let _ = resp.write_to(&mut stream);
+    stream.shutdown();
 }
 
 /// Deregisters and closes the connection when the serve loop exits by
@@ -407,6 +466,7 @@ fn serve_connection(
         id,
         close_on_drop: true,
     };
+    let limits = shared.cfg.limits();
     let mut reader = BufReader::new(stream);
     let mut writer = write_half;
     loop {
@@ -438,12 +498,27 @@ fn serve_connection(
                     Err(_) => return None,
                 }
             }
-            let _ = reader.get_mut().set_read_timeout(None);
+            // First bytes have arrived: the peer now has a bounded window
+            // to deliver the complete request (slow-loris defense).
+            let _ = reader
+                .get_mut()
+                .set_read_timeout(shared.cfg.request_read_timeout);
         }
-        let req = match Request::read_from(&mut reader) {
+        let req = match Request::read_from_limited(&mut reader, &limits) {
             Ok(Some(r)) => r,
             Ok(None) => return None, // peer closed keep-alive connection
             Err(HttpError::UnexpectedEof) => return None,
+            Err(HttpError::Timeout) => {
+                shared.request_timeouts.inc();
+                let mut resp = Response::new(
+                    Status::REQUEST_TIMEOUT,
+                    b"request not completed in time".to_vec(),
+                    "text/plain",
+                );
+                resp.headers_mut().set("Connection", "close");
+                let _ = resp.write_to_buffered(scratch, &mut writer);
+                return None;
+            }
             Err(_) => {
                 obs::registry()
                     .counter("http_malformed_requests_total")
@@ -648,6 +723,7 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 queue_depth: 1,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -703,6 +779,7 @@ mod tests {
             PoolConfig {
                 workers: 1,
                 queue_depth: 8,
+                ..PoolConfig::default()
             },
         )
         .unwrap();
@@ -718,6 +795,103 @@ mod tests {
         // The idle connections were rotated, not closed: they still work.
         assert_eq!(idle1.send(&Request::get("/again1")).unwrap().status(), 200);
         assert_eq!(idle2.send(&Request::get("/again2")).unwrap().status(), 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_request_times_out_with_408() {
+        let server = HttpServer::bind_with(
+            "mem://srv-loris",
+            echo_handler,
+            PoolConfig {
+                request_read_timeout: Some(Duration::from_millis(50)),
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        // Dribble a partial request head and then stall.
+        let mut stream = crate::transport::connect("mem://srv-loris").unwrap();
+        use std::io::{Read, Write};
+        stream.write_all(b"GET /slow HTTP/1.1\r\nX-Part").unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        assert!(
+            obs::registry()
+                .snapshot()
+                .counter("http_request_timeouts_total")
+                >= 1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_headers_rejected_per_config() {
+        let server = HttpServer::bind_with(
+            "mem://srv-bighead",
+            echo_handler,
+            PoolConfig {
+                max_header_bytes: 256,
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        let mut req = Request::get("/x");
+        req.headers_mut().set("X-Big", "b".repeat(1024));
+        let mut conn = HttpClient::new().connect(&server.base_url()).unwrap();
+        let resp = conn.send(&req).unwrap();
+        assert_eq!(resp.status(), 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_shed_503_carries_retry_after() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let entered = Arc::new(AtomicU64::new(0));
+        let handler_gate = gate.clone();
+        let handler_entered = entered.clone();
+        let server = HttpServer::bind_with(
+            "mem://srv-shed-hint",
+            move |_req: &Request| {
+                handler_entered.fetch_add(1, Ordering::SeqCst);
+                let (lock, cond) = &*handler_gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cond.wait(&mut open);
+                }
+                Response::ok(b"done".to_vec(), "text/plain")
+            },
+            PoolConfig {
+                workers: 1,
+                queue_depth: 1,
+                retry_after: Duration::from_millis(250),
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        let base = server.base_url();
+        let gauge = obs::registry().gauge_with("http_queue_depth", &[("server", &base)]);
+        let c1 = {
+            let base = base.clone();
+            thread::spawn(move || HttpClient::new().get(&format!("{base}/a")))
+        };
+        wait_until(|| entered.load(Ordering::SeqCst) == 1);
+        let c2 = {
+            let base = base.clone();
+            thread::spawn(move || HttpClient::new().get(&format!("{base}/b")))
+        };
+        wait_until(|| gauge.get() == 1);
+        let resp = HttpClient::new().get(&format!("{base}/c")).unwrap();
+        assert_eq!(resp.status(), 503);
+        assert_eq!(resp.retry_after(), Some(Duration::from_millis(250)));
+        {
+            let (lock, cond) = &*gate;
+            *lock.lock() = true;
+            cond.notify_all();
+        }
+        let _ = c1.join().unwrap();
+        let _ = c2.join().unwrap();
         server.shutdown();
     }
 

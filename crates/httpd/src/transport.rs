@@ -22,6 +22,7 @@ use std::time::Duration;
 use obs::sync::{Condvar, Mutex};
 
 use crate::error::HttpError;
+use crate::fault::{self, ChaosStream, FaultSide, Injected};
 
 /// Address of a transport endpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -81,6 +82,9 @@ pub enum Stream {
     Tcp(TcpStream),
     /// An in-memory duplex connection.
     Mem(MemStream),
+    /// A connection wrapped by the fault-injection layer (see
+    /// [`crate::fault`]).
+    Chaos(ChaosStream),
 }
 
 impl Stream {
@@ -92,6 +96,7 @@ impl Stream {
                 s.read_timeout = timeout;
                 Ok(())
             }
+            Stream::Chaos(s) => s.set_read_timeout(timeout),
         }
     }
 
@@ -101,6 +106,7 @@ impl Stream {
         match self {
             Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
             Stream::Mem(s) => Ok(Stream::Mem(s.clone())),
+            Stream::Chaos(s) => Ok(Stream::Chaos(s.try_clone()?)),
         }
     }
 
@@ -111,6 +117,7 @@ impl Stream {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
             Stream::Mem(s) => s.close(),
+            Stream::Chaos(s) => s.shutdown(),
         }
     }
 }
@@ -120,6 +127,7 @@ impl Read for Stream {
         match self {
             Stream::Tcp(s) => s.read(buf),
             Stream::Mem(s) => s.read(buf),
+            Stream::Chaos(s) => s.read(buf),
         }
     }
 }
@@ -129,6 +137,7 @@ impl Write for Stream {
         match self {
             Stream::Tcp(s) => s.write(buf),
             Stream::Mem(s) => s.write(buf),
+            Stream::Chaos(s) => s.write(buf),
         }
     }
 
@@ -137,6 +146,19 @@ impl Write for Stream {
             // Real scatter/gather I/O: head + body leave in one syscall.
             Stream::Tcp(s) => s.write_vectored(bufs),
             Stream::Mem(s) => s.write_vectored(bufs),
+            // The chaos wrapper must see every byte to track offsets, so
+            // it degrades to sequential writes of each slice.
+            Stream::Chaos(s) => {
+                let mut n = 0;
+                for buf in bufs {
+                    let w = s.write(buf)?;
+                    n += w;
+                    if w < buf.len() {
+                        break;
+                    }
+                }
+                Ok(n)
+            }
         }
     }
 
@@ -144,6 +166,7 @@ impl Write for Stream {
         match self {
             Stream::Tcp(s) => s.flush(),
             Stream::Mem(s) => s.flush(),
+            Stream::Chaos(s) => s.flush(),
         }
     }
 }
@@ -189,17 +212,39 @@ impl Listener {
 
     /// Blocks until a client connects.
     ///
+    /// When a [`crate::fault`] plan is installed, accept-side rules are
+    /// rolled per accepted connection: refused connections are closed
+    /// immediately (and the accept loop continues), others may be
+    /// delayed or wrapped in a chaos stream.
+    ///
     /// # Errors
     ///
     /// Returns an error once the listener is closed.
     pub fn accept(&self) -> Result<Stream, HttpError> {
-        match self {
-            Listener::Tcp(l) => {
-                let (s, _) = l.accept().map_err(HttpError::Io)?;
-                s.set_nodelay(true).ok();
-                Ok(Stream::Tcp(s))
+        loop {
+            let stream = match self {
+                Listener::Tcp(l) => {
+                    let (s, _) = l.accept().map_err(HttpError::Io)?;
+                    s.set_nodelay(true).ok();
+                    Stream::Tcp(s)
+                }
+                Listener::Mem(l) => l.accept()?,
+            };
+            if fault::active() {
+                match fault::inject(&self.local_addr().to_string(), FaultSide::Accept) {
+                    Some(Injected::Refuse) => {
+                        stream.shutdown();
+                        continue;
+                    }
+                    Some(Injected::Delay(d)) => {
+                        std::thread::sleep(d);
+                        return Ok(stream);
+                    }
+                    Some(Injected::Wrap(mode)) => return Ok(fault::wrap(stream, mode)),
+                    None => {}
+                }
             }
-            Listener::Mem(l) => l.accept(),
+            return Ok(stream);
         }
     }
 
@@ -224,22 +269,57 @@ impl Listener {
 ///
 /// Fails if the address is malformed or nothing is listening there.
 pub fn connect(addr: &str) -> Result<Stream, HttpError> {
-    match Addr::parse(addr)? {
+    connect_with(addr, None)
+}
+
+/// Connects to a listening endpoint, applying `read_timeout` to the
+/// stream before it is handed out — a peer that accepts and never
+/// responds then surfaces as [`HttpError::Timeout`] instead of a hang.
+///
+/// When a [`crate::fault`] plan is installed, connect-side rules are
+/// rolled here: the connection may be refused, delayed, or wrapped in a
+/// chaos stream.
+///
+/// # Errors
+///
+/// Fails if the address is malformed or nothing is listening there.
+pub fn connect_with(addr: &str, read_timeout: Option<Duration>) -> Result<Stream, HttpError> {
+    let parsed = Addr::parse(addr)?;
+    // The chaos fast path: one relaxed load when no plan is installed.
+    let injected = if fault::active() {
+        fault::inject(&parsed.to_string(), FaultSide::Connect)
+    } else {
+        None
+    };
+    if let Some(Injected::Refuse) = injected {
+        return Err(HttpError::ConnectionRefused(parsed.to_string()));
+    }
+    if let Some(Injected::Delay(d)) = &injected {
+        std::thread::sleep(*d);
+    }
+    let mut stream = match parsed {
         Addr::Tcp(a) => {
             obs::registry()
                 .counter_with("http_connects_total", &[("transport", "tcp")])
                 .inc();
             let s = TcpStream::connect(&a).map_err(HttpError::Io)?;
             s.set_nodelay(true).ok();
-            Ok(Stream::Tcp(s))
+            Stream::Tcp(s)
         }
         Addr::Mem(name) => {
             obs::registry()
                 .counter_with("http_connects_total", &[("transport", "mem")])
                 .inc();
-            mem_registry().connect(&name)
+            mem_registry().connect(&name)?
         }
+    };
+    if let Some(Injected::Wrap(mode)) = injected {
+        stream = fault::wrap(stream, mode);
     }
+    if let Some(t) = read_timeout {
+        stream.set_read_timeout(Some(t)).map_err(HttpError::Io)?;
+    }
+    Ok(stream)
 }
 
 // ---------------------------------------------------------------------------

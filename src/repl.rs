@@ -22,6 +22,10 @@ pub struct Repl {
     env: ClientEnvironment,
     classes: Vec<ClassHandle>,
     stubs: Vec<(String, Arc<DynamicStub>)>,
+    /// The `chaos` command's fault plan under construction; rules
+    /// accumulate and the plan is re-installed after every change.
+    chaos_seed: u64,
+    chaos_rules: Vec<httpd::FaultRule>,
 }
 
 impl std::fmt::Debug for Repl {
@@ -63,6 +67,13 @@ SDE Manager Interface commands:
   trace [n]                                most recent trace events (default 20)
   events [Class]                           the queryable version-event log
   verbose on|off                           toggle per-request trace events
+  chaos                                    show the installed fault plan
+  chaos off | chaos seed <n>               clear the plan / set the RNG seed
+  chaos <ep> <fault> [p]                   add a rule: <ep> is an address
+                                           substring (or 'all'); <fault> is
+                                           refuse | delay:<ms> | truncate:<n>
+                                           | corrupt:<n> | disconnect:<n>
+                                           | blackhole; p defaults to 1.0
   help | quit";
 
 impl Repl {
@@ -77,6 +88,8 @@ impl Repl {
             env: ClientEnvironment::new(),
             classes: Vec::new(),
             stubs: Vec::new(),
+            chaos_seed: 42,
+            chaos_rules: Vec::new(),
         })
     }
 
@@ -148,6 +161,7 @@ impl Repl {
             "trace" => cmd_trace(rest),
             "events" => Ok(cmd_events(rest)),
             "verbose" => cmd_verbose(rest),
+            "chaos" => self.cmd_chaos(rest),
             "servers" => Ok(self
                 .manager
                 .managed()
@@ -481,6 +495,82 @@ impl Repl {
     }
 }
 
+impl Repl {
+    /// The `chaos` command: program the transport fault injector.
+    fn cmd_chaos(&mut self, rest: &str) -> Result<String, String> {
+        const USAGE: &str = "usage: chaos [off | seed <n> | <endpoint> \
+                             refuse|delay:<ms>|truncate:<n>|corrupt:<n>|disconnect:<n>|blackhole [p]]";
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            [] | ["status"] => Ok(httpd::fault::status()),
+            ["off"] => {
+                httpd::fault::clear();
+                self.chaos_rules.clear();
+                Ok("chaos off".into())
+            }
+            ["seed", n] => {
+                self.chaos_seed = n.parse().map_err(|_| format!("bad seed {n:?}"))?;
+                self.install_chaos();
+                Ok(format!("chaos seed {}", self.chaos_seed))
+            }
+            [endpoint, fault] | [endpoint, fault, _] => {
+                let p = match parts.get(2) {
+                    Some(raw) => {
+                        let p: f64 = raw
+                            .parse()
+                            .map_err(|_| format!("bad probability {raw:?}"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("probability {p} outside [0, 1]"));
+                        }
+                        p
+                    }
+                    None => 1.0,
+                };
+                // 'all' (or '*') matches every endpoint.
+                let ep = match *endpoint {
+                    "all" | "*" => "",
+                    other => other,
+                };
+                let (kind, param) = match fault.split_once(':') {
+                    Some((k, v)) => {
+                        let v = v
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad {k} value {v:?}"))?;
+                        (k, Some(v))
+                    }
+                    None => (*fault, None),
+                };
+                let rule = match (kind, param) {
+                    ("refuse", None) => httpd::FaultRule::refuse(ep, p),
+                    ("delay", Some(ms)) => httpd::FaultRule::delay(
+                        ep,
+                        p,
+                        Duration::from_millis(ms),
+                        Duration::from_millis(ms / 2),
+                    ),
+                    ("truncate", Some(n)) => httpd::FaultRule::truncate(ep, p, n as usize),
+                    ("corrupt", Some(n)) => httpd::FaultRule::corrupt(ep, p, n as usize),
+                    ("disconnect", Some(n)) => httpd::FaultRule::disconnect(ep, p, n as usize),
+                    ("blackhole", None) => httpd::FaultRule::blackhole(ep, p),
+                    _ => return Err(USAGE.into()),
+                };
+                self.chaos_rules.push(rule);
+                self.install_chaos();
+                Ok(httpd::fault::status())
+            }
+            _ => Err(USAGE.into()),
+        }
+    }
+
+    fn install_chaos(&self) {
+        let mut plan = httpd::FaultPlan::seeded(self.chaos_seed);
+        for rule in &self.chaos_rules {
+            plan = plan.rule(rule.clone());
+        }
+        plan.install();
+    }
+}
+
 fn cmd_stats(filter: &str) -> String {
     let text = obs::registry().snapshot().render_prometheus();
     if filter.is_empty() {
@@ -672,6 +762,23 @@ mod tests {
         assert_eq!(run(&mut repl, "call Calc add 4 4"), "=> 8");
 
         assert!(repl.execute("quit").is_none());
+    }
+
+    #[test]
+    fn chaos_command_programs_the_injector() {
+        let mut repl = Repl::new().unwrap();
+        assert!(run(&mut repl, "chaos seed 7").contains("seed 7"));
+        let out = run(&mut repl, "chaos mem://chaos-cmd-test refuse 0.5");
+        assert!(out.contains("refuse"), "{out}");
+        assert!(out.contains("seed=7"), "{out}");
+        let out = run(&mut repl, "chaos mem://chaos-cmd-test delay:5 0.25");
+        assert!(out.contains("delay"), "{out}");
+        assert!(httpd::fault::active());
+        // Bad input is rejected without changing the plan.
+        assert!(run(&mut repl, "chaos mem://x explode").contains("error"));
+        assert!(run(&mut repl, "chaos mem://x refuse 1.5").contains("error"));
+        assert_eq!(run(&mut repl, "chaos off"), "chaos off");
+        assert!(!httpd::fault::active());
     }
 
     #[test]

@@ -207,6 +207,102 @@ fn corba_stale_calls_preserve_recency() {
     manager.shutdown();
 }
 
+/// Recovery after a full server restart: when the SDE process dies, the
+/// client's circuit breaker opens and the stub keeps serving its cached
+/// (stale) interface view. Once a replacement server comes back at the
+/// *same* published URL, the half-open probe reconverges the stub onto
+/// the new interface — recency is restored without ever re-connecting.
+#[test]
+fn client_reconverges_after_server_restart_at_same_url() {
+    let addr = "mem://sde-ifc-restart";
+    let config = || SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::ChangeDriven,
+    };
+    let class = ClassHandle::new("Phoenix");
+    class
+        .add_method(
+            MethodBuilder::new("target", TypeDesc::Int)
+                .param("x", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("x") + Expr::lit(1)),
+        )
+        .expect("target");
+
+    let manager = SdeManager::with_interface_addr(config(), addr).expect("manager");
+    let server = manager.deploy_soap(class.clone()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+    let wsdl_url = server.wsdl_url().to_string();
+    let old_version = class.interface_version();
+
+    // One failed refresh per attempt, breaker opens after three of them.
+    let policy = live_rmi::cde::ResiliencePolicy::seeded(21)
+        .with_request_timeout(Duration::from_millis(200))
+        .with_max_attempts(1)
+        .with_breaker(3, Duration::from_millis(150));
+    let env = ClientEnvironment::with_policy(policy);
+    let stub = env.connect_soap(&wsdl_url).expect("stub");
+    assert!(stub.operation("target").is_some());
+    // Interface refreshes flow through the WSDL URL's authority — the
+    // interface server address — not the SOAP endpoint's.
+    let breaker = live_rmi::cde::breaker_for(addr, env.policy());
+
+    // Kill the server. Refreshes now fail until the breaker opens...
+    manager.shutdown();
+    let mut failures = 0;
+    while breaker.state() != live_rmi::cde::BreakerState::Open {
+        if stub.refresh().is_err() {
+            failures += 1;
+        }
+        assert!(failures <= 8, "breaker never opened");
+    }
+    // ...after which the stub serves its cached view instead of erroring.
+    stub.refresh()
+        .expect("stale view served while breaker is open");
+    assert!(
+        stub.operation("target").is_some(),
+        "cached interface survives the outage"
+    );
+
+    // Redeploy at the same published URL, with an evolved interface whose
+    // version (and thus ETag) is strictly newer than the cached one.
+    let reborn = ClassHandle::new("Phoenix");
+    reborn
+        .add_method(
+            MethodBuilder::new("target", TypeDesc::Int)
+                .param("x", TypeDesc::Int)
+                .distributed(true)
+                .body_expr(Expr::param("x") + Expr::lit(1)),
+        )
+        .expect("target");
+    while reborn.interface_version() <= old_version {
+        let id = reborn.find_method("target").expect("target");
+        reborn.rename_method(id, "reborn").expect("rename");
+        let id = reborn.find_method("reborn").expect("reborn");
+        reborn.rename_method(id, "target").expect("rename back");
+    }
+    let manager2 = SdeManager::with_interface_addr(config(), addr).expect("manager2");
+    let server2 = manager2.deploy_soap(reborn.clone()).expect("redeploy");
+    server2.create_instance().expect("instance");
+    server2.publisher().force_publish();
+    server2.publisher().ensure_current();
+    assert_eq!(server2.wsdl_url(), wsdl_url, "same published URL");
+
+    // Wait out the cooldown: the half-open probe succeeds, the breaker
+    // closes, and the stub converges on the reborn server's interface.
+    std::thread::sleep(Duration::from_millis(200));
+    stub.refresh().expect("half-open probe reconverges");
+    assert_eq!(breaker.state(), live_rmi::cde::BreakerState::Closed);
+    assert!(stub.interface_version() > old_version);
+    let v = env
+        .call(&stub, "target", &[Value::Int(41)])
+        .expect("call against the reborn server");
+    assert_eq!(v, Value::Int(42));
+    manager2.shutdown();
+}
+
 /// Regression: the stale path must also fire for *signature* changes of a
 /// method that keeps its name — the subtle case where the method "exists"
 /// but does not match.

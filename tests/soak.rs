@@ -6,6 +6,12 @@
 //!
 //! Runs ~3 seconds in the default configuration; a longer soak is
 //! available with `cargo test --test soak -- --ignored`.
+//!
+//! Setting `LIVE_RMI_CHAOS=1` additionally installs a fixed-seed fault
+//! plan ([`httpd::FaultPlan`]) over every endpoint and switches the
+//! clients to the resilient policy: connects get refused, responses get
+//! truncated and corrupted — and the session must still make progress
+//! without ever violating recency. CI runs the suite both ways.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -16,6 +22,23 @@ use live_rmi::cde::{CallError, ClientEnvironment};
 use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
 
 fn run_soak(duration: Duration) {
+    // Chaos mode: same soak, but every connection may be refused,
+    // delayed, truncated, corrupted, or dropped mid-response.
+    let chaos = std::env::var("LIVE_RMI_CHAOS").is_ok_and(|v| !v.is_empty() && v != "0");
+    if chaos {
+        httpd::FaultPlan::seeded(0xC4A05)
+            .rule(httpd::FaultRule::refuse("", 0.05))
+            .rule(httpd::FaultRule::delay(
+                "",
+                0.03,
+                Duration::from_millis(1),
+                Duration::from_millis(1),
+            ))
+            .rule(httpd::FaultRule::truncate("", 0.03, 40))
+            .rule(httpd::FaultRule::corrupt("", 0.02, 2))
+            .rule(httpd::FaultRule::disconnect("", 0.02, 10))
+            .install();
+    }
     let manager = Arc::new(
         SdeManager::new(SdeConfig {
             transport: TransportKind::Mem,
@@ -81,7 +104,14 @@ fn run_soak(duration: Duration) {
         let stale_total = stale_total.clone();
         let ok_total = ok_total.clone();
         clients.push(std::thread::spawn(move || {
-            let env = ClientEnvironment::new();
+            let env = if chaos {
+                ClientEnvironment::with_policy(
+                    live_rmi::cde::ResiliencePolicy::seeded(0xC4A05 + t)
+                        .with_request_timeout(Duration::from_millis(250)),
+                )
+            } else {
+                ClientEnvironment::new()
+            };
             let stub = env.connect_soap(&url).expect("stub");
             let mut step = 0;
             while !stop.load(Ordering::SeqCst) {
@@ -91,7 +121,15 @@ fn run_soak(duration: Duration) {
                     .map(|o| o.name.clone())
                     .unwrap_or_else(|| "work".into());
                 let version_at_call = class.interface_version();
-                match env.call(&stub, &known, &[Value::Int(step)]) {
+                // `work` mutates a counter, so it is only marked
+                // idempotent (retried) in chaos mode, where the lost /
+                // doubled updates are part of the bargain.
+                let result = if chaos {
+                    env.call_idempotent(&stub, &known, &[Value::Int(step)])
+                } else {
+                    env.call(&stub, &known, &[Value::Int(step)])
+                };
+                match result {
                     Ok(v) => {
                         assert_eq!(v, Value::Int(step + 1), "client {t} step {step}");
                         ok_total.fetch_add(1, Ordering::Relaxed);
@@ -103,6 +141,14 @@ fn run_soak(duration: Duration) {
                             "client {t}: recency violated"
                         );
                     }
+                    // Under chaos, a call can exhaust its retry budget;
+                    // that is a survivable outcome, not a bug.
+                    Err(
+                        CallError::Transport(_)
+                        | CallError::DeadlineExceeded
+                        | CallError::Overloaded { .. }
+                        | CallError::CircuitOpen { .. },
+                    ) if chaos => {}
                     Err(other) => panic!("client {t}: unexpected {other:?}"),
                 }
                 step += 1;
@@ -140,10 +186,22 @@ fn run_soak(duration: Duration) {
         panic!("hits should be a long");
     };
     assert!(hits > 0, "field state survived");
-    assert!(
-        hits as u64 <= ok,
-        "hits {hits} cannot exceed successful calls {ok}"
-    );
+    if chaos {
+        httpd::fault::clear();
+        // A retried call may have executed server-side before its
+        // response was cut, so `hits` can legitimately exceed `ok` here;
+        // instead check that the chaos layer actually fired.
+        let metrics = obs::registry().snapshot().render_prometheus();
+        assert!(
+            metrics.contains("faults_injected_total{"),
+            "chaos soak injected no faults:\n{metrics}"
+        );
+    } else {
+        assert!(
+            hits as u64 <= ok,
+            "hits {hits} cannot exceed successful calls {ok}"
+        );
+    }
     manager.shutdown();
 }
 
