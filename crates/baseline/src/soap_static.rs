@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use httpd::{Connection, HttpClient, HttpError, HttpServer, Request, Response, Status};
 use jpie::{TypeDesc, Value};
-use soap::{
-    decode_request, SoapError, SoapFault, SoapRequest, SoapResponse, WsdlDocument, WsdlOperation,
-};
+use soap::{decode_request, SoapError, SoapFault, SoapResponse, WsdlDocument, WsdlOperation};
 
 use crate::StaticOp;
 
@@ -114,20 +112,21 @@ fn handle(req: &Request, ops: &HashMap<String, OpEntry>, _namespace: &str) -> Re
     }
     let args: Vec<Value> = soap_req.args().iter().map(|(_, v)| v.clone()).collect();
     match (entry.handler)(&args) {
-        Ok(v) => Response::ok(
-            SoapResponse::encode_ok(soap_req.method(), soap_req.namespace(), &v).into_bytes(),
-            "text/xml",
-        ),
+        Ok(v) => {
+            // Encode straight into the response body — no String
+            // round-trip on the reply hot path.
+            let mut body = Vec::with_capacity(256);
+            soap::encode_ok_into(soap_req.method(), soap_req.namespace(), &v, &mut body);
+            Response::ok(body, "text/xml")
+        }
         Err(msg) => fault(&SoapFault::application_exception(msg)),
     }
 }
 
 fn fault(f: &SoapFault) -> Response {
-    Response::new(
-        Status::INTERNAL_SERVER_ERROR,
-        SoapResponse::encode_fault(f).into_bytes(),
-        "text/xml",
-    )
+    let mut body = Vec::with_capacity(256);
+    soap::encode_fault_into(f, &mut body);
+    Response::new(Status::INTERNAL_SERVER_ERROR, body, "text/xml")
 }
 
 /// A static Web Service: fixed dispatch table, fixed WSDL — the
@@ -199,6 +198,11 @@ impl StaticSoapServer {
 pub struct StaticSoapClient {
     wsdl: WsdlDocument,
     namespace: String,
+    /// Request path, split from the endpoint once at compile time.
+    path: String,
+    /// Encode buffer recycled through the request body and back: a
+    /// warm call serializes its envelope without allocating.
+    encode_buf: Vec<u8>,
     connection: Connection,
 }
 
@@ -224,6 +228,8 @@ impl StaticSoapClient {
             .map_err(|e| SoapError::Malformed(format!("connect: {e}")))?;
         Ok(StaticSoapClient {
             namespace: wsdl.namespace(),
+            path: path_of(&wsdl.endpoint),
+            encode_buf: Vec::new(),
             wsdl,
             connection,
         })
@@ -242,21 +248,37 @@ impl StaticSoapClient {
     /// Returns an error string for faults and transport failures (static
     /// clients have no live-update recovery — that is the point).
     pub fn call(&mut self, method: &str, args: &[Value]) -> Result<Value, String> {
-        let names: Vec<String> = match self.wsdl.operation(method) {
-            Some(op) => op.params.iter().map(|(n, _)| n.clone()).collect(),
-            None => (0..args.len()).map(|i| format!("arg{i}")).collect(),
-        };
-        let mut soap_req = SoapRequest::new(self.namespace.clone(), method);
-        for (i, v) in args.iter().enumerate() {
-            let name = names.get(i).cloned().unwrap_or_else(|| format!("arg{i}"));
-            soap_req = soap_req.arg(name, v.clone());
+        let mut body = std::mem::take(&mut self.encode_buf);
+        match self.wsdl.operation(method) {
+            Some(op) if op.params.len() >= args.len() => {
+                soap::encode_request_into(
+                    &self.namespace,
+                    method,
+                    op.params.iter().map(|(n, _)| n.as_str()).zip(args),
+                    &mut body,
+                );
+            }
+            op => {
+                // Unknown method or too few named parameters: fall back
+                // to positional names.
+                let names: Vec<String> = (0..args.len()).map(|i| format!("arg{i}")).collect();
+                soap::encode_request_into(
+                    &self.namespace,
+                    method,
+                    args.iter().enumerate().map(|(i, v)| {
+                        let name = op
+                            .and_then(|o| o.params.get(i))
+                            .map_or(names[i].as_str(), |(n, _)| n.as_str());
+                        (name, v)
+                    }),
+                    &mut body,
+                );
+            }
         }
-        let path = path_of(&self.wsdl.endpoint);
-        let req = httpd::Request::post(path, soap_req.to_xml().into_bytes(), "text/xml");
-        let resp = self
-            .connection
-            .send(&req)
-            .map_err(|e| format!("transport: {e}"))?;
+        let req = httpd::Request::post(self.path.clone(), body, "text/xml");
+        let sent = self.connection.send(&req);
+        self.encode_buf = req.into_body();
+        let resp = sent.map_err(|e| format!("transport: {e}"))?;
         match soap::decode_response(&resp.body_str()).map_err(|e| e.to_string())? {
             SoapResponse::Ok(v) => Ok(v),
             SoapResponse::Fault(f) => Err(f.to_string()),

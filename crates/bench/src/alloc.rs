@@ -1,0 +1,79 @@
+//! Heap-allocation counting for the benchmark binaries.
+//!
+//! [`CountingAllocator`] wraps [`std::alloc::System`] and counts every
+//! `alloc`/`realloc` with a relaxed atomic (statistics only — no
+//! ordering is implied and none is needed). Benchmark *binaries* install
+//! it as their `#[global_allocator]`; the library only reads the
+//! counter, so `cargo test` (which does not install it) simply reports
+//! no allocation data instead of skewing unit tests.
+//!
+//! The interesting metric is the **delta across a measured window
+//! divided by the number of calls** — allocations per steady-state RMI
+//! call — which is how the zero-allocation wire path is held to its
+//! budget in CI (see `ci.yml` and `crates/bench/alloc_budget.json`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total `alloc` + `realloc` calls since process start. Deallocations
+/// are not counted: the budget is about allocation *pressure* on the
+/// call path, and a free implies a matching earlier count anyway.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A `System`-backed allocator that counts allocation events.
+///
+/// Install in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: bench::alloc::CountingAllocator = bench::alloc::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation unchanged to `System`; the counter
+// update has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocation events observed so far (0 when the counting allocator is
+/// not installed in this process).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether the counting allocator is active in this process. Any Rust
+/// program allocates long before `main`, so a zero counter can only
+/// mean the default allocator is in use.
+pub fn active() -> bool {
+    allocations() > 0
+}
+
+#[cfg(test)]
+mod tests {
+    // The test harness does not install the counting allocator, so the
+    // counter must sit at zero and `active()` must say so — that is the
+    // contract `measure()` relies on to emit `None` under `cargo test`.
+    #[test]
+    fn inactive_under_test_harness() {
+        assert_eq!(super::allocations(), 0);
+        assert!(!super::active());
+    }
+}

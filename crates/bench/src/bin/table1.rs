@@ -10,6 +10,11 @@
 //! as a machine-readable report for CI trending.
 
 use bench::json::{table1_json, take_json_arg};
+
+// Count every heap allocation so Table 1 can report allocations per
+// steady-state call alongside RTT (the zero-allocation wire-path gate).
+#[global_allocator]
+static ALLOC: bench::alloc::CountingAllocator = bench::alloc::CountingAllocator;
 use bench::rtt::{
     measure_obs_overhead, measure_sde_soap_with_breakdown, render, render_breakdown,
     render_obs_overhead, render_sweep, run_payload_sweep, run_table1, RttConfig,

@@ -55,12 +55,13 @@ pub fn table1_json(
         let _ = writeln!(
             out,
             "    {{\"configuration\": \"{}\", \"calls\": {}, \"mean_us\": {}, \
-             \"median_us\": {}, \"p95_us\": {}}}{}",
+             \"median_us\": {}, \"p95_us\": {}, \"allocs_per_call\": {}}}{}",
             escape(&r.configuration),
             r.calls,
             num(r.mean_rtt_us),
             num(r.median_rtt_us),
             num(r.p95_rtt_us),
+            r.allocs_per_call.map_or_else(|| "null".to_string(), num),
             if i + 1 < table.rows.len() { "," } else { "" }
         );
     }

@@ -25,6 +25,7 @@
 //! tests can assert on the shape of the results.
 
 pub mod ablation;
+pub mod alloc;
 pub mod chaos;
 pub mod consistency;
 pub mod harness;

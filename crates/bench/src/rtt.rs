@@ -29,6 +29,10 @@ pub struct RttRow {
     pub p95_rtt_us: f64,
     /// Number of measured calls.
     pub calls: usize,
+    /// Mean heap allocations per measured call, when the binary installs
+    /// [`crate::alloc::CountingAllocator`] (`None` under `cargo test`,
+    /// which uses the default allocator).
+    pub allocs_per_call: Option<f64>,
 }
 
 /// The full Table 1 reproduction plus derived overhead ratios.
@@ -86,17 +90,40 @@ fn stats(mut samples: Vec<f64>) -> (f64, f64, f64) {
     (mean, median, p95)
 }
 
-fn measure(calls: usize, warmup: usize, mut call: impl FnMut()) -> (f64, f64, f64) {
+/// Statistics for one measured window: latency plus (when the counting
+/// allocator is installed) mean heap allocations per call.
+struct Measured {
+    mean_us: f64,
+    median_us: f64,
+    p95_us: f64,
+    allocs_per_call: Option<f64>,
+}
+
+fn measure(calls: usize, warmup: usize, mut call: impl FnMut()) -> Measured {
     for _ in 0..warmup {
         call();
     }
     let mut samples = Vec::with_capacity(calls);
+    let allocs_before = crate::alloc::allocations();
     for _ in 0..calls {
         let t0 = Instant::now();
         call();
         samples.push(t0.elapsed().as_secs_f64() * 1e6);
     }
-    stats(samples)
+    // The alloc delta includes the `samples.push` bookkeeping above, but
+    // the Vec was pre-sized so steady-state pushes do not allocate.
+    let allocs_per_call = if crate::alloc::active() {
+        Some((crate::alloc::allocations() - allocs_before) as f64 / calls as f64)
+    } else {
+        None
+    };
+    let (mean_us, median_us, p95_us) = stats(samples);
+    Measured {
+        mean_us,
+        median_us,
+        p95_us,
+        allocs_per_call,
+    }
 }
 
 /// Measures the SDE SOAP server driven by a static (Axis-style) client.
@@ -117,17 +144,18 @@ pub fn measure_sde_soap(cfg: &RttConfig) -> RttRow {
         .expect("published wsdl");
     let mut client = StaticSoapClient::from_wsdl_xml(&wsdl_xml).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
+    let m = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
     manager.shutdown();
     RttRow {
         configuration: "SDE SOAP/Axis".into(),
-        mean_rtt_us: mean,
-        median_rtt_us: median,
-        p95_rtt_us: p95,
+        mean_rtt_us: m.mean_us,
+        median_rtt_us: m.median_us,
+        p95_rtt_us: m.p95_us,
         calls: cfg.calls,
+        allocs_per_call: m.allocs_per_call,
     }
 }
 
@@ -147,17 +175,18 @@ pub fn measure_static_soap(cfg: &RttConfig) -> RttRow {
     let server = b.bind(&addr).expect("bind");
     let mut client = StaticSoapClient::from_wsdl_xml(&server.wsdl_xml()).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
+    let m = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
     server.shutdown();
     RttRow {
         configuration: "Axis-Tomcat/Axis".into(),
-        mean_rtt_us: mean,
-        median_rtt_us: median,
-        p95_rtt_us: p95,
+        mean_rtt_us: m.mean_us,
+        median_rtt_us: m.median_us,
+        p95_rtt_us: m.p95_us,
         calls: cfg.calls,
+        allocs_per_call: m.allocs_per_call,
     }
 }
 
@@ -178,17 +207,18 @@ pub fn measure_sde_corba(cfg: &RttConfig) -> RttRow {
     );
     let mut client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
+    let m = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
     manager.shutdown();
     RttRow {
         configuration: "SDE CORBA/OpenORB".into(),
-        mean_rtt_us: mean,
-        median_rtt_us: median,
-        p95_rtt_us: p95,
+        mean_rtt_us: m.mean_us,
+        median_rtt_us: m.median_us,
+        p95_rtt_us: m.p95_us,
         calls: cfg.calls,
+        allocs_per_call: m.allocs_per_call,
     }
 }
 
@@ -208,17 +238,18 @@ pub fn measure_static_corba(cfg: &RttConfig) -> RttRow {
     let server = b.bind(&addr).expect("bind");
     let mut client = StaticCorbaClient::connect(server.idl(), &server.ior()).expect("client");
     let arg = [Value::Str(PAYLOAD.into())];
-    let (mean, median, p95) = measure(cfg.calls, cfg.warmup, || {
+    let m = measure(cfg.calls, cfg.warmup, || {
         let v = client.call("echo", &arg).expect("call");
         assert!(matches!(v, Value::Str(_)));
     });
     server.shutdown();
     RttRow {
         configuration: "OpenORB/OpenORB".into(),
-        mean_rtt_us: mean,
-        median_rtt_us: median,
-        p95_rtt_us: p95,
+        mean_rtt_us: m.mean_us,
+        median_rtt_us: m.median_us,
+        p95_rtt_us: m.p95_us,
         calls: cfg.calls,
+        allocs_per_call: m.allocs_per_call,
     }
 }
 
@@ -249,6 +280,8 @@ pub fn render(table: &Table1) -> String {
                 format!("{:.1}", r.median_rtt_us),
                 format!("{:.1}", r.p95_rtt_us),
                 r.calls.to_string(),
+                r.allocs_per_call
+                    .map_or_else(|| "-".into(), |a| format!("{a:.1}")),
             ]
         })
         .collect();
@@ -260,6 +293,7 @@ pub fn render(table: &Table1) -> String {
             "median (us)",
             "p95 (us)",
             "calls",
+            "allocs/call",
         ],
         &rows,
     ));
@@ -318,9 +352,10 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let wsdl = manager.interface_document("EchoService").expect("wsdl");
         let mut soap_sde_client = StaticSoapClient::from_wsdl_xml(&wsdl).expect("client");
         let arg = [Value::Str(payload.clone())];
-        let (sde_soap, _, _) = measure(cfg.calls, cfg.warmup, || {
+        let sde_soap = measure(cfg.calls, cfg.warmup, || {
             soap_sde_client.call("echo", &arg).expect("call");
-        });
+        })
+        .mean_us;
         manager.shutdown();
 
         // Static SOAP.
@@ -338,9 +373,10 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let static_soap_server = b.bind(&addr).expect("bind");
         let mut static_soap_client =
             StaticSoapClient::from_wsdl_xml(&static_soap_server.wsdl_xml()).expect("client");
-        let (static_soap, _, _) = measure(cfg.calls, cfg.warmup, || {
+        let static_soap = measure(cfg.calls, cfg.warmup, || {
             static_soap_client.call("echo", &arg).expect("call");
-        });
+        })
+        .mean_us;
         static_soap_server.shutdown();
 
         // SDE CORBA.
@@ -357,9 +393,10 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
             server.class().interface_version(),
         );
         let mut corba_sde_client = StaticCorbaClient::connect(idl, &server.ior()).expect("client");
-        let (sde_corba, _, _) = measure(cfg.calls, cfg.warmup, || {
+        let sde_corba = measure(cfg.calls, cfg.warmup, || {
             corba_sde_client.call("echo", &arg).expect("call");
-        });
+        })
+        .mean_us;
         manager.shutdown();
 
         // Static CORBA.
@@ -378,9 +415,10 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let mut static_corba_client =
             StaticCorbaClient::connect(static_corba_server.idl(), &static_corba_server.ior())
                 .expect("client");
-        let (static_corba, _, _) = measure(cfg.calls, cfg.warmup, || {
+        let static_corba = measure(cfg.calls, cfg.warmup, || {
             static_corba_client.call("echo", &arg).expect("call");
-        });
+        })
+        .mean_us;
         static_corba_server.shutdown();
 
         points.push(SweepPoint {

@@ -197,7 +197,9 @@ impl ClientEnvironment {
         loop {
             attempt += 1;
             if !breaker.try_acquire() {
-                return Err(CallError::CircuitOpen { authority });
+                return Err(CallError::CircuitOpen {
+                    authority: authority.to_string(),
+                });
             }
             let retry_wait = match self.call_once(stub, method, args) {
                 Ok(v) => {

@@ -5,14 +5,15 @@
 //! URL and sends `If-None-Match` on every re-fetch, so the steady state
 //! of [`crate::InterfaceWatcher`] polling is a handful of header bytes
 //! and a `304 Not Modified` — no document re-download, no re-parse.
-//! One keep-alive connection per authority is reused across fetches
-//! instead of a fresh TCP/mem handshake per poll.
+//! Keep-alive connections are parked in an [`httpd::ConnectionPool`]
+//! per authority and reused across fetches instead of a fresh TCP/mem
+//! handshake per poll.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use httpd::{Connection, HttpClient, HttpError, Request, Response};
+use httpd::{ConnectionPool, HttpClient, HttpError, Request};
 use obs::sync::Mutex;
 
 use crate::resilience::{breaker_for, Backoff, ResiliencePolicy};
@@ -39,12 +40,12 @@ pub(crate) enum Fetched {
 /// view instead of erroring.
 #[derive(Debug)]
 pub(crate) struct DocFetcher {
-    http: HttpClient,
+    /// Keep-alive connections per authority (`scheme://host`), with
+    /// stale-connection retry handled by the pool.
+    pool: ConnectionPool,
     policy: Arc<ResiliencePolicy>,
     /// Last `ETag` seen per URL.
     etags: Mutex<HashMap<String, String>>,
-    /// One keep-alive connection per authority (`scheme://host`).
-    conns: Mutex<HashMap<String, Connection>>,
     /// URLs fetched successfully at least once — eligible for stale
     /// serving while the authority's breaker is open.
     seen: Mutex<HashSet<String>>,
@@ -58,10 +59,10 @@ impl DocFetcher {
 
     pub(crate) fn with_policy(policy: Arc<ResiliencePolicy>) -> DocFetcher {
         DocFetcher {
-            http: HttpClient::new().with_read_timeout(policy.request_timeout),
+            pool: ConnectionPool::new(HttpClient::new().with_read_timeout(policy.request_timeout))
+                .with_max_idle(1),
             policy,
             etags: Mutex::new(HashMap::new()),
-            conns: Mutex::new(HashMap::new()),
             seen: Mutex::new(HashSet::new()),
         }
     }
@@ -95,7 +96,7 @@ impl DocFetcher {
             if let Some(etag) = self.etags.lock().get(url) {
                 req.headers_mut().set("If-None-Match", etag);
             }
-            let outcome = self.send_keepalive(&authority, &req);
+            let outcome = self.pool.send(&authority, &req);
             let retry_wait = match outcome {
                 Ok(resp) => match resp.status() {
                     200 => {
@@ -157,24 +158,6 @@ impl DocFetcher {
     /// validator must not outlive state that was never applied.
     pub(crate) fn invalidate(&self, url: &str) {
         self.etags.lock().remove(url);
-    }
-
-    fn send_keepalive(&self, authority: &str, req: &Request) -> Result<Response, HttpError> {
-        let mut conns = self.conns.lock();
-        if let Some(conn) = conns.get_mut(authority) {
-            match conn.send(req) {
-                Ok(resp) => return Ok(resp),
-                Err(_) => {
-                    // Server restarted or closed the connection; fall
-                    // through to a fresh connect.
-                    conns.remove(authority);
-                }
-            }
-        }
-        let mut conn = self.http.connect(authority)?;
-        let resp = conn.send(req)?;
-        conns.insert(authority.to_string(), conn);
-        Ok(resp)
     }
 }
 

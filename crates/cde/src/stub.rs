@@ -1,12 +1,13 @@
 //! Dynamic client stubs over the SOAP and CORBA backends.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
-use corba::{CorbaError, DiiRequest, IdlModule, Ior};
-use httpd::HttpClient;
+use corba::{CorbaError, IdlModule, Ior, OrbConnection};
+use httpd::{ConnectionPool, HttpClient};
 use jpie::{TypeDesc, Value};
-use obs::sync::RwLock;
-use soap::{SoapFault, SoapRequest, SoapResponse, WsdlDocument};
+use obs::sync::{Mutex, RwLock};
+use soap::{SoapFault, SoapResponse, WsdlDocument};
 
 use crate::error::CallError;
 use crate::fetch::{DocFetcher, Fetched};
@@ -30,17 +31,35 @@ struct InterfaceView {
     version: u64,
 }
 
+/// The SOAP endpoint split once at refresh time: `authority` keys the
+/// connection pool and circuit breaker, `path` goes on the request
+/// line. `Arc<str>` so per-call reads are a refcount bump, not a
+/// `String` clone.
+#[derive(Debug, Clone)]
+struct SoapRoute {
+    authority: Arc<str>,
+    path: Arc<str>,
+}
+
 #[derive(Debug)]
 enum Backend {
     Soap {
         wsdl_url: String,
-        endpoint: RwLock<String>,
         namespace: RwLock<String>,
+        route: RwLock<SoapRoute>,
     },
     Corba {
         idl_url: String,
         ior_url: String,
         ior: RwLock<Option<Ior>>,
+        /// Cached call-routing authority (the IOR's address once one is
+        /// loaded, the IOR document's authority before that).
+        authority: RwLock<Arc<str>>,
+        /// One keep-alive GIOP connection, reused across calls. Taken
+        /// out for the duration of a call; concurrent callers simply
+        /// connect fresh. Boxed: the connection carries its marshalling
+        /// buffers, which would otherwise dominate the enum's size.
+        conn: Mutex<Option<Box<OrbConnection>>>,
     },
 }
 
@@ -53,7 +72,9 @@ enum Backend {
 pub struct DynamicStub {
     backend: Backend,
     view: RwLock<InterfaceView>,
-    http: HttpClient,
+    /// Keep-alive connection pool for SOAP calls: steady-state calls
+    /// reuse a parked connection instead of a connect per call.
+    pool: ConnectionPool,
     /// Conditional keep-alive fetcher for interface documents: repeat
     /// polls cost a `304` on a reused connection, not a re-download.
     fetcher: DocFetcher,
@@ -84,11 +105,14 @@ impl DynamicStub {
         let stub = DynamicStub {
             backend: Backend::Soap {
                 wsdl_url: wsdl_url.to_string(),
-                endpoint: RwLock::new(String::new()),
                 namespace: RwLock::new(String::new()),
+                route: RwLock::new(SoapRoute {
+                    authority: Arc::from(""),
+                    path: Arc::from("/"),
+                }),
             },
             view: RwLock::new(InterfaceView::default()),
-            http: HttpClient::new().with_read_timeout(policy.request_timeout),
+            pool: ConnectionPool::new(HttpClient::new().with_read_timeout(policy.request_timeout)),
             fetcher: DocFetcher::with_policy(policy.clone()),
             policy,
         };
@@ -122,9 +146,11 @@ impl DynamicStub {
                 idl_url: idl_url.to_string(),
                 ior_url: ior_url.to_string(),
                 ior: RwLock::new(None),
+                authority: RwLock::new(split_authority(ior_url).0.into()),
+                conn: Mutex::new(None),
             },
             view: RwLock::new(InterfaceView::default()),
-            http: HttpClient::new().with_read_timeout(policy.request_timeout),
+            pool: ConnectionPool::new(HttpClient::new().with_read_timeout(policy.request_timeout)),
             fetcher: DocFetcher::with_policy(policy.clone()),
             policy,
         };
@@ -159,8 +185,8 @@ impl DynamicStub {
         match &self.backend {
             Backend::Soap {
                 wsdl_url,
-                endpoint,
                 namespace,
+                route,
             } => {
                 // 304: the parsed view already reflects the published
                 // document — skip the re-parse entirely. Stale: the
@@ -175,7 +201,19 @@ impl DynamicStub {
                     self.fetcher.invalidate(wsdl_url);
                     CallError::Interface(e.to_string())
                 })?;
-                *endpoint.write() = doc.endpoint.clone();
+                let (authority, path) = split_authority(&doc.endpoint);
+                {
+                    let mut route = route.write();
+                    if &*route.authority != authority.as_str() {
+                        // The endpoint moved: idle connections to the
+                        // old authority can never serve it again.
+                        self.pool.purge(&route.authority);
+                    }
+                    *route = SoapRoute {
+                        authority: authority.into(),
+                        path: path.into(),
+                    };
+                }
                 *namespace.write() = doc.namespace();
                 *self.view.write() = InterfaceView {
                     operations: doc
@@ -194,6 +232,8 @@ impl DynamicStub {
                 idl_url,
                 ior_url,
                 ior,
+                authority,
+                conn,
             } => {
                 // The IDL and the IOR revalidate independently: an
                 // unchanged document costs a 304, not a re-parse.
@@ -226,7 +266,11 @@ impl DynamicStub {
                         self.fetcher.invalidate(ior_url);
                         CallError::Interface(e.to_string())
                     })?;
+                    *authority.write() = Arc::from(parsed_ior.address.as_str());
                     *ior.write() = Some(parsed_ior);
+                    // A connection cached against the old IOR may point
+                    // at a dead or relocated server — drop it.
+                    *conn.lock() = None;
                 }
             }
         }
@@ -262,13 +306,13 @@ impl DynamicStub {
 
     /// The authority (`scheme://host`) that calls are routed to — the key
     /// under which the circuit breaker for this stub is registered.
-    pub fn authority(&self) -> String {
+    ///
+    /// The value is parsed once per refresh and shared; a call costs a
+    /// refcount bump, not a fresh `String`.
+    pub fn authority(&self) -> Arc<str> {
         match &self.backend {
-            Backend::Soap { endpoint, .. } => split_authority(&endpoint.read()).0,
-            Backend::Corba { ior, ior_url, .. } => match &*ior.read() {
-                Some(ior) => ior.address.clone(),
-                None => split_authority(ior_url).0,
-            },
+            Backend::Soap { route, .. } => route.read().authority.clone(),
+            Backend::Corba { authority, .. } => authority.read().clone(),
         }
     }
 
@@ -282,35 +326,60 @@ impl DynamicStub {
     pub fn call_raw(&self, method: &str, args: &[Value]) -> Result<Value, CallError> {
         match &self.backend {
             Backend::Soap {
-                endpoint,
-                namespace,
-                ..
+                namespace, route, ..
             } => {
-                // Parameter names come from the client's current view —
-                // exactly what a live client knows.
-                let names: Vec<String> = match self.operation(method) {
-                    Some(op) => op.params.iter().map(|(n, _)| n.clone()).collect(),
-                    None => (0..args.len()).map(|i| format!("arg{i}")).collect(),
-                };
-                let mut req = SoapRequest::new(namespace.read().clone(), method);
-                for (i, value) in args.iter().enumerate() {
-                    let name = names.get(i).cloned().unwrap_or_else(|| format!("arg{i}"));
-                    req = req.arg(name, value.clone());
+                thread_local! {
+                    /// Per-thread SOAP encode buffer, recycled through
+                    /// the request body and back: a warm call encodes
+                    /// the envelope with zero heap allocations.
+                    static ENCODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
                 }
-                let url = endpoint.read().clone();
-                let (authority, path) = split_authority(&url);
-                let mut http_req =
-                    httpd::Request::post(path, req.to_xml().into_bytes(), "text/xml");
-                // Axis-style SOAPAction header identifying the operation.
-                http_req.headers_mut().set(
-                    "SOAPAction",
-                    format!("\"{}#{}\"", namespace.read().clone(), method),
-                );
-                let resp = self
-                    .http
-                    .connect(&authority)
-                    .and_then(|mut conn| conn.send(&http_req))
-                    .map_err(|e| CallError::Transport(e.to_string()))?;
+                let mut body = ENCODE_BUF.with(|b| std::mem::take(&mut *b.borrow_mut()));
+                let soap_action;
+                {
+                    // Parameter names come from the client's current
+                    // view — exactly what a live client knows.
+                    let ns = namespace.read();
+                    let view = self.view.read();
+                    match view.operations.iter().find(|o| o.name == method) {
+                        Some(op) if op.params.len() >= args.len() => {
+                            soap::encode_request_into(
+                                &ns,
+                                method,
+                                op.params.iter().map(|(n, _)| n.as_str()).zip(args),
+                                &mut body,
+                            );
+                        }
+                        op => {
+                            // The view names fewer parameters than were
+                            // passed (or the method is unknown): fall
+                            // back to positional names.
+                            let names: Vec<String> =
+                                (0..args.len()).map(|i| format!("arg{i}")).collect();
+                            soap::encode_request_into(
+                                &ns,
+                                method,
+                                args.iter().enumerate().map(|(i, v)| {
+                                    let name = op
+                                        .and_then(|o| o.params.get(i))
+                                        .map_or(names[i].as_str(), |(n, _)| n.as_str());
+                                    (name, v)
+                                }),
+                                &mut body,
+                            );
+                        }
+                    }
+                    // Axis-style SOAPAction header identifying the
+                    // operation.
+                    soap_action = format!("\"{}#{}\"", &*ns, method);
+                }
+                let route = route.read().clone();
+                let mut http_req = httpd::Request::post(route.path.to_string(), body, "text/xml");
+                http_req.headers_mut().set("SOAPAction", soap_action);
+                let sent = self.pool.send(&route.authority, &http_req);
+                // Recycle the encode buffer whatever the outcome.
+                ENCODE_BUF.with(|b| *b.borrow_mut() = http_req.into_body());
+                let resp = sent.map_err(|e| CallError::Transport(e.to_string()))?;
                 if resp.status() == 503 {
                     // Load shed by the HTTP layer before the SOAP engine
                     // saw the request — safe to retry, hint included.
@@ -325,18 +394,49 @@ impl DynamicStub {
                     SoapResponse::Fault(f) => Err(fault_to_error(method, &f)),
                 }
             }
-            Backend::Corba { ior, .. } => {
+            Backend::Corba { ior, conn, .. } => {
                 let Some(ior) = ior.read().clone() else {
                     return Err(CallError::Interface("no IOR loaded".into()));
                 };
-                let mut req =
-                    DiiRequest::new(&ior, method).timeout(Some(self.policy.request_timeout));
-                for a in args {
-                    req = req.arg(a.clone());
+                // Take the cached keep-alive connection out for the
+                // duration of the call; a concurrent caller finds the
+                // slot empty and connects fresh.
+                let mut outcome = match conn.lock().take() {
+                    Some(mut c) => match c.call(method, args) {
+                        // The parked connection may have died while idle
+                        // (server restart, idle timeout): retry once on
+                        // a fresh socket before reporting failure.
+                        Err(CorbaError::Transport(_)) => None,
+                        out => Some((c, out)),
+                    },
+                    None => None,
+                };
+                if outcome.is_none() {
+                    let mut c = Box::new(
+                        OrbConnection::connect_with_timeout(
+                            &ior,
+                            Some(self.policy.request_timeout),
+                        )
+                        .map_err(|e| corba_to_error(method, e))?,
+                    );
+                    let out = c.call(method, args);
+                    outcome = Some((c, out));
                 }
-                match req.invoke() {
-                    Ok(v) => Ok(v),
-                    Err(e) => Err(corba_to_error(method, e)),
+                let (c, out) = outcome.expect("connection outcome");
+                match out {
+                    Ok(v) => {
+                        *conn.lock() = Some(c);
+                        Ok(v)
+                    }
+                    Err(e) => {
+                        // Server-level exceptions arrive over a healthy
+                        // connection — park it; transport failures mean
+                        // the socket is gone.
+                        if !matches!(e, CorbaError::Transport(_)) {
+                            *conn.lock() = Some(c);
+                        }
+                        Err(corba_to_error(method, e))
+                    }
                 }
             }
         }

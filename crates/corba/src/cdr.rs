@@ -76,10 +76,16 @@ pub struct CdrWriter {
 impl CdrWriter {
     /// Creates a writer; `big_endian` selects the byte order (GIOP flag 0).
     pub fn new(big_endian: bool) -> CdrWriter {
-        CdrWriter {
-            buf: Vec::with_capacity(256),
-            big_endian,
-        }
+        CdrWriter::with_buf(Vec::with_capacity(256), big_endian)
+    }
+
+    /// Creates a writer reusing `buf`'s capacity; previous contents are
+    /// cleared. This is the recycling path of the GIOP framing layer —
+    /// alignment is relative to the start of the stream, so the buffer
+    /// must hold exactly one CDR stream at a time.
+    pub fn with_buf(mut buf: Vec<u8>, big_endian: bool) -> CdrWriter {
+        buf.clear();
+        CdrWriter { buf, big_endian }
     }
 
     /// Byte order of this stream.

@@ -145,26 +145,67 @@ fn write_header(out: &mut Vec<u8>, msg_type: MsgType, body: &[u8]) {
     out.extend_from_slice(body);
 }
 
+/// Recyclable marshalling buffers for one GIOP endpoint.
+///
+/// The CDR body and the framed message need separate buffers (the
+/// 12-byte GIOP header would wreck CDR's start-relative alignment if
+/// the body were marshalled in place behind it), so a connection keeps
+/// one of these and every message after warmup allocates nothing.
+#[derive(Debug, Default)]
+pub struct GiopBufs {
+    body: Vec<u8>,
+    frame: Vec<u8>,
+}
+
 /// Serializes and sends a Request.
 ///
 /// # Errors
 ///
 /// Propagates transport failures as [`CorbaError::Transport`].
 pub fn write_request<W: Write>(w: &mut W, req: &RequestMessage) -> Result<(), CorbaError> {
-    let mut body = CdrWriter::new(true);
+    write_request_parts(
+        w,
+        req.request_id,
+        req.response_expected,
+        &req.object_key,
+        &req.operation,
+        &req.args,
+        &mut GiopBufs::default(),
+    )
+}
+
+/// [`write_request`] with the fields passed by reference and the
+/// marshalling buffers recycled — the client hot path, which avoids
+/// both a [`RequestMessage`] (cloned key/operation/args) and fresh
+/// body/frame allocations per call.
+///
+/// # Errors
+///
+/// Propagates transport failures as [`CorbaError::Transport`].
+pub fn write_request_parts<W: Write>(
+    w: &mut W,
+    request_id: u32,
+    response_expected: bool,
+    object_key: &[u8],
+    operation: &str,
+    args: &[Value],
+    bufs: &mut GiopBufs,
+) -> Result<(), CorbaError> {
+    let mut body = CdrWriter::with_buf(std::mem::take(&mut bufs.body), true);
     body.write_ulong(0); // empty service context list
-    body.write_ulong(req.request_id);
-    body.write_boolean(req.response_expected);
-    body.write_octet_seq(&req.object_key);
-    body.write_string(&req.operation);
+    body.write_ulong(request_id);
+    body.write_boolean(response_expected);
+    body.write_octet_seq(object_key);
+    body.write_string(operation);
     body.write_octet_seq(&[]); // principal (deprecated)
-    body.write_ulong(req.args.len() as u32);
-    for arg in &req.args {
+    body.write_ulong(args.len() as u32);
+    for arg in args {
         write_any(&mut body, arg);
     }
-    let mut frame = Vec::new();
-    write_header(&mut frame, MsgType::Request, &body.into_bytes());
-    w.write_all(&frame)?;
+    bufs.body = body.into_bytes();
+    bufs.frame.clear();
+    write_header(&mut bufs.frame, MsgType::Request, &bufs.body);
+    w.write_all(&bufs.frame)?;
     w.flush()?;
     Ok(())
 }
@@ -175,7 +216,21 @@ pub fn write_request<W: Write>(w: &mut W, req: &RequestMessage) -> Result<(), Co
 ///
 /// Propagates transport failures.
 pub fn write_reply<W: Write>(w: &mut W, reply: &ReplyMessage) -> Result<(), CorbaError> {
-    let mut body = CdrWriter::new(true);
+    write_reply_with(w, reply, &mut GiopBufs::default())
+}
+
+/// [`write_reply`] with recycled marshalling buffers — the server hot
+/// path (`serve_connection` keeps one [`GiopBufs`] per connection).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_reply_with<W: Write>(
+    w: &mut W,
+    reply: &ReplyMessage,
+    bufs: &mut GiopBufs,
+) -> Result<(), CorbaError> {
+    let mut body = CdrWriter::with_buf(std::mem::take(&mut bufs.body), true);
     body.write_ulong(0); // empty service context list
     body.write_ulong(reply.request_id);
     match &reply.body {
@@ -199,9 +254,10 @@ pub fn write_reply<W: Write>(w: &mut W, reply: &ReplyMessage) -> Result<(), Corb
             body.write_string(reason);
         }
     }
-    let mut frame = Vec::new();
-    write_header(&mut frame, MsgType::Reply, &body.into_bytes());
-    w.write_all(&frame)?;
+    bufs.body = body.into_bytes();
+    bufs.frame.clear();
+    write_header(&mut bufs.frame, MsgType::Reply, &bufs.body);
+    w.write_all(&bufs.frame)?;
     w.flush()?;
     Ok(())
 }
@@ -297,6 +353,21 @@ pub fn write_close<W: Write>(w: &mut W) -> Result<(), CorbaError> {
 /// `MARSHAL` on framing violations, [`CorbaError::Transport`] on I/O
 /// failure mid-message.
 pub fn read_message<R: Read>(r: &mut R) -> Result<Option<(MsgType, Vec<u8>, bool)>, CorbaError> {
+    let mut body = Vec::new();
+    Ok(read_message_into(r, &mut body)?.map(|(ty, be)| (ty, body, be)))
+}
+
+/// [`read_message`] reading the body into a caller-supplied buffer,
+/// whose capacity is reused across messages. Returns the message type
+/// and byte order; the body is left in `buf`.
+///
+/// # Errors
+///
+/// Same as [`read_message`].
+pub fn read_message_into<R: Read>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+) -> Result<Option<(MsgType, bool)>, CorbaError> {
     let mut header = [0u8; 12];
     // Read the first byte separately to distinguish clean EOF.
     let mut first = [0u8; 1];
@@ -337,9 +408,10 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<(MsgType, Vec<u8>, bool
             format!("message size {size} exceeds limit"),
         ));
     }
-    let mut body = vec![0u8; size];
-    r.read_exact(&mut body)?;
-    Ok(Some((msg_type, body, !little_endian)))
+    buf.clear();
+    buf.resize(size, 0);
+    r.read_exact(buf)?;
+    Ok(Some((msg_type, !little_endian)))
 }
 
 /// Decodes a Request body (as returned by [`read_message`]).

@@ -12,8 +12,8 @@ use obs::sync::Mutex;
 
 use crate::error::{CorbaError, SystemExceptionKind};
 use crate::giop::{
-    decode_reply, decode_request, read_message, write_reply, write_request, MsgType, ReplyBody,
-    ReplyMessage, RequestMessage,
+    decode_reply, decode_request, read_message_into, write_reply_with, write_request_parts,
+    GiopBufs, MsgType, ReplyBody, ReplyMessage,
 };
 use crate::ior::Ior;
 
@@ -180,8 +180,12 @@ fn serve_connection(
         Err(_) => return,
     };
     let mut reader = stream;
+    // One set of marshalling buffers per connection: after the first
+    // request, the read/encode/frame cycle allocates nothing.
+    let mut body = Vec::new();
+    let mut bufs = GiopBufs::default();
     loop {
-        let (msg_type, body, big_endian) = match read_message(&mut reader) {
+        let (msg_type, big_endian) = match read_message_into(&mut reader, &mut body) {
             Ok(Some(m)) => m,
             Ok(None) | Err(_) => return,
         };
@@ -239,7 +243,7 @@ fn serve_connection(
                     request_id,
                     body: reply_body,
                 };
-                if write_reply(&mut writer, &reply).is_err() {
+                if write_reply_with(&mut writer, &reply, &mut bufs).is_err() {
                     return;
                 }
             }
@@ -272,6 +276,10 @@ pub struct OrbConnection {
     stream: Stream,
     object_key: Vec<u8>,
     next_request_id: AtomicU32,
+    // Recycled marshalling buffers: a warm connection makes calls
+    // without allocating for the request frame or the reply body.
+    bufs: GiopBufs,
+    read_buf: Vec<u8>,
 }
 
 impl OrbConnection {
@@ -299,6 +307,8 @@ impl OrbConnection {
             stream,
             object_key: ior.object_key.clone(),
             next_request_id: AtomicU32::new(1),
+            bufs: GiopBufs::default(),
+            read_buf: Vec::new(),
         })
     }
 
@@ -310,15 +320,16 @@ impl OrbConnection {
     /// replies with.
     pub fn call(&mut self, operation: &str, args: &[Value]) -> Result<Value, CorbaError> {
         let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let req = RequestMessage {
+        write_request_parts(
+            &mut self.stream,
             request_id,
-            response_expected: true,
-            object_key: self.object_key.clone(),
-            operation: operation.to_string(),
-            args: args.to_vec(),
-        };
-        write_request(&mut self.stream, &req)?;
-        let (msg_type, body, big_endian) = read_message(&mut self.stream)?
+            true,
+            &self.object_key,
+            operation,
+            args,
+            &mut self.bufs,
+        )?;
+        let (msg_type, big_endian) = read_message_into(&mut self.stream, &mut self.read_buf)?
             .ok_or_else(|| CorbaError::Transport("connection closed awaiting reply".into()))?;
         if msg_type != MsgType::Reply {
             return Err(CorbaError::system(
@@ -326,7 +337,7 @@ impl OrbConnection {
                 format!("expected Reply, got {msg_type:?}"),
             ));
         }
-        let reply = decode_reply(&body, big_endian)?;
+        let reply = decode_reply(&self.read_buf, big_endian)?;
         if reply.request_id != request_id {
             return Err(CorbaError::system(
                 SystemExceptionKind::Marshal,
@@ -345,7 +356,7 @@ impl OrbConnection {
     pub fn locate(&mut self) -> Result<crate::giop::LocateStatus, CorbaError> {
         let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
         crate::giop::write_locate_request(&mut self.stream, request_id, &self.object_key)?;
-        let (msg_type, body, big_endian) = read_message(&mut self.stream)?
+        let (msg_type, big_endian) = read_message_into(&mut self.stream, &mut self.read_buf)?
             .ok_or_else(|| CorbaError::Transport("connection closed awaiting locate".into()))?;
         if msg_type != MsgType::LocateReply {
             return Err(CorbaError::system(
@@ -353,7 +364,7 @@ impl OrbConnection {
                 format!("expected LocateReply, got {msg_type:?}"),
             ));
         }
-        let (reply_id, status) = crate::giop::decode_locate_reply(&body, big_endian)?;
+        let (reply_id, status) = crate::giop::decode_locate_reply(&self.read_buf, big_endian)?;
         if reply_id != request_id {
             return Err(CorbaError::system(
                 SystemExceptionKind::Marshal,

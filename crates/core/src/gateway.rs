@@ -173,6 +173,11 @@ pub struct GatewayCore {
     /// *active publishing* regime of Fig 7 (publication and RMI paths
     /// fully independent), used by the consistency-matrix experiment.
     reactive: AtomicBool,
+    /// Whether a stale call is currently stalling processing and forcing
+    /// publication. Concurrent stale calls piggyback on that pass
+    /// instead of queueing their own write-stall: a steady stream of
+    /// stall writers would starve the (reader-side) call path.
+    forcing: AtomicBool,
 }
 
 impl std::fmt::Debug for GatewayCore {
@@ -199,6 +204,7 @@ impl GatewayCore {
             o,
             stale_notify: RwLock::new(None),
             reactive: AtomicBool::new(true),
+            forcing: AtomicBool::new(false),
         })
     }
 
@@ -331,10 +337,27 @@ impl GatewayCore {
             // the update path and the call path.
             return InvokeFailure::NoMatch;
         }
-        let _stalled = self.stall.write();
         let notify = self.stale_notify.read().clone();
         if let Some(notify) = notify {
-            notify();
+            if self
+                .forcing
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // First stale call: stall processing (§5.7 "stalls the
+                // processing of incoming messages") and force publication.
+                let _stalled = self.stall.write();
+                notify();
+                self.forcing.store(false, Ordering::SeqCst);
+            } else {
+                // Another stale call is already stalling the gateway.
+                // Piggyback on its pass — `ensure_current` blocks until
+                // the interface document is current, which is all §6
+                // needs — without queueing another writer on the stall
+                // lock: a continuous stream of writers would starve the
+                // reader-side call path under load.
+                notify();
+            }
         }
         InvokeFailure::NoMatch
     }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use httpd::{Handler, HttpServer, Request, Response, Status};
 use jpie::{ClassHandle, Instance};
-use soap::{decode_request, SoapFault, SoapResponse, WsdlDocument};
+use soap::{decode_request, SoapFault, WsdlDocument};
 
 use crate::docs::DocumentStore;
 use crate::error::SdeError;
@@ -164,8 +164,11 @@ impl Handler for SoapCallHandler {
         };
         match self.core.dispatch(soap_req.method(), soap_req.args()) {
             Ok(value) => {
-                let body = SoapResponse::encode_ok(soap_req.method(), soap_req.namespace(), &value);
-                Response::ok(body.into_bytes(), "text/xml")
+                // Encode straight into the response body — no String
+                // round-trip on the reply hot path.
+                let mut body = Vec::with_capacity(256);
+                soap::encode_ok_into(soap_req.method(), soap_req.namespace(), &value, &mut body);
+                Response::ok(body, "text/xml")
             }
             Err(InvokeFailure::NotInitialized) => {
                 fault_counter("server_not_initialized").inc();
@@ -200,12 +203,10 @@ fn fault_counter(kind: &str) -> std::sync::Arc<obs::Counter> {
 }
 
 fn fault_response(fault: &SoapFault) -> Response {
+    let mut body = Vec::with_capacity(256);
+    soap::encode_fault_into(fault, &mut body);
     // SOAP 1.1 over HTTP requires status 500 for faults.
-    Response::new(
-        Status::INTERNAL_SERVER_ERROR,
-        SoapResponse::encode_fault(fault).into_bytes(),
-        "text/xml",
-    )
+    Response::new(Status::INTERNAL_SERVER_ERROR, body, "text/xml")
 }
 
 #[cfg(test)]
@@ -215,6 +216,7 @@ mod tests {
     use jpie::expr::Expr;
     use jpie::{MethodBuilder, TypeDesc, Value};
     use soap::SoapRequest;
+    use soap::SoapResponse;
     use std::time::Duration;
 
     fn deploy_calc(tag: &str) -> SoapServer {

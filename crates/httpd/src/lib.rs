@@ -39,6 +39,7 @@ mod client;
 mod error;
 pub mod fault;
 mod message;
+mod pool;
 mod server;
 pub mod transport;
 
@@ -46,4 +47,5 @@ pub use client::{Connection, HttpClient};
 pub use error::HttpError;
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSide};
 pub use message::{Headers, Limits, Method, Request, Response, Status};
+pub use pool::ConnectionPool;
 pub use server::{Handler, HttpServer, PoolConfig};

@@ -229,6 +229,13 @@ impl Request {
         &self.body
     }
 
+    /// Consumes the request, returning the body buffer — callers that
+    /// encode into a reusable buffer recover it (capacity intact) after
+    /// the request has been sent.
+    pub fn into_body(self) -> Vec<u8> {
+        self.body
+    }
+
     /// Body decoded as UTF-8 (lossy).
     pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
         String::from_utf8_lossy(&self.body)

@@ -343,6 +343,10 @@ fn accept_loop(listener: &Listener, shared: &Arc<ServerShared>) {
             shed_unavailable(stream, "server busy", shared.cfg.retry_after);
             continue;
         }
+        // Counted at accept, not in `serve_connection`: a rotated
+        // keep-alive connection re-enters the serve loop many times but
+        // is still one connection.
+        http_metrics().connections.inc();
         queue.push_back((stream, Instant::now()));
         shared.queue_depth.set(queue.len() as i64);
         drop(queue);
@@ -448,7 +452,6 @@ fn serve_connection(
     scratch: &mut Vec<u8>,
 ) -> Option<Stream> {
     let metrics = http_metrics();
-    metrics.connections.inc();
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return None,
@@ -566,6 +569,17 @@ fn serve_connection(
         }
         if close {
             return None;
+        }
+        // Fairness: a busy keep-alive connection must not monopolize a
+        // worker while other connections wait in the accept queue — with
+        // pooled clients issuing back-to-back requests, the idle poll
+        // above never fires and a new connection could starve. Rotate
+        // after each response when someone is waiting (only with no
+        // pipelined bytes buffered; those would be lost across the hop).
+        if reader.buffer().is_empty() && !shared.queue.lock().is_empty() {
+            let _ = reader.get_mut().set_read_timeout(None);
+            guard.release();
+            return Some(reader.into_inner());
         }
     }
 }

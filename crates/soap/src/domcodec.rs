@@ -1,0 +1,146 @@
+//! Reference DOM-based SOAP codec.
+//!
+//! This is the original tree-building implementation of the envelope
+//! codec, kept public after the hot path moved to the streaming codec
+//! in `stream.rs`. It serves two purposes:
+//!
+//! * **differential oracle** — `tests/props.rs` asserts the streaming
+//!   encoder produces byte-identical envelopes and the streaming
+//!   decoder equal values across generated `Value` trees, and
+//! * **tooling** — code that wants an [`XmlNode`] view of an envelope
+//!   (inspectors, the development environment) can keep using the DOM.
+//!
+//! The crate-level `decode_request`/`decode_response` and the envelope
+//! types' `to_xml`/`encode_*` methods delegate to the streaming codec;
+//! nothing on the RMI hot path goes through here.
+
+use jpie::Value;
+use xmlrt::{XmlNode, XmlWriter};
+
+use crate::encoding::{decode_value, encode_value};
+use crate::envelope::{
+    FaultCode, SoapFault, SoapRequest, SoapResponse, ENVELOPE_NS, SOAPENC_NS, XSD_NS, XSI_NS,
+};
+use crate::error::SoapError;
+
+/// Serializes a request envelope by building the element tree.
+pub fn encode_request(req: &SoapRequest) -> String {
+    let mut body = XmlNode::new(format!("ns1:{}", req.method()));
+    body.set_attr("xmlns:ns1", req.namespace());
+    for (name, value) in req.args() {
+        encode_value(&mut body, name, value);
+    }
+    envelope_around(body)
+}
+
+/// Serializes a success response envelope for `method`.
+pub fn encode_ok(method: &str, namespace: &str, value: &Value) -> String {
+    let mut body = XmlNode::new(format!("ns1:{method}Response"));
+    body.set_attr("xmlns:ns1", namespace);
+    encode_value(&mut body, "return", value);
+    envelope_around(body)
+}
+
+/// Serializes a fault envelope.
+pub fn encode_fault(fault: &SoapFault) -> String {
+    let mut node = XmlNode::new("soapenv:Fault");
+    let mut code = XmlNode::new("faultcode");
+    code.set_text(fault.code.as_str());
+    node.push_child(code);
+    let mut fs = XmlNode::new("faultstring");
+    fs.set_text(fault.fault_string.clone());
+    node.push_child(fs);
+    if let Some(d) = &fault.detail {
+        let mut detail = XmlNode::new("detail");
+        detail.set_text(d.clone());
+        node.push_child(detail);
+    }
+    envelope_around(node)
+}
+
+fn envelope_around(body_content: XmlNode) -> String {
+    let mut w = XmlWriter::new();
+    w.declaration().expect("fresh writer");
+    let mut env = XmlNode::new("soapenv:Envelope");
+    env.set_attr("xmlns:soapenv", ENVELOPE_NS)
+        .set_attr("xmlns:xsd", XSD_NS)
+        .set_attr("xmlns:xsi", XSI_NS)
+        .set_attr("xmlns:soapenc", SOAPENC_NS);
+    let mut body = XmlNode::new("soapenv:Body");
+    body.push_child(body_content);
+    env.push_child(body);
+    let mut out = w.finish();
+    out.push_str(&env.to_xml());
+    out
+}
+
+fn body_of(xml: &str) -> Result<XmlNode, SoapError> {
+    let doc = XmlNode::parse(xml)?;
+    if doc.local_name() != "Envelope" {
+        return Err(SoapError::Malformed(format!(
+            "root element is <{}>, not a SOAP Envelope",
+            doc.name()
+        )));
+    }
+    let body = doc
+        .child("Body")
+        .ok_or_else(|| SoapError::Malformed("envelope has no Body".into()))?;
+    Ok(body.clone())
+}
+
+/// Decodes a request envelope through the DOM.
+///
+/// # Errors
+///
+/// Returns [`SoapError::Malformed`] when the XML is not a SOAP request.
+pub fn decode_request(xml: &str) -> Result<SoapRequest, SoapError> {
+    let body = body_of(xml)?;
+    let call = body
+        .children()
+        .first()
+        .ok_or_else(|| SoapError::Malformed("empty Body".into()))?;
+    let namespace = call
+        .attr("xmlns:ns1")
+        .or_else(|| call.attr("ns1"))
+        .unwrap_or("")
+        .to_string();
+    let mut args = Vec::new();
+    for child in call.children() {
+        args.push((child.local_name().to_string(), decode_value(child)?));
+    }
+    Ok(SoapRequest::from_parts(
+        namespace,
+        call.local_name().to_string(),
+        args,
+    ))
+}
+
+/// Decodes a response envelope through the DOM.
+///
+/// # Errors
+///
+/// Returns [`SoapError::Malformed`] for non-SOAP payloads.
+pub fn decode_response(xml: &str) -> Result<SoapResponse, SoapError> {
+    let body = body_of(xml)?;
+    if let Some(fault) = body.child("Fault") {
+        let code = fault.child("faultcode").map(|c| c.text()).unwrap_or("");
+        let fault_string = fault
+            .child("faultstring")
+            .map(|c| c.text().to_string())
+            .unwrap_or_default();
+        let detail = fault.child("detail").map(|c| c.text().to_string());
+        return Ok(SoapResponse::Fault(SoapFault {
+            code: FaultCode::parse(code),
+            fault_string,
+            detail,
+        }));
+    }
+    let resp = body
+        .children()
+        .first()
+        .ok_or_else(|| SoapError::Malformed("empty Body".into()))?;
+    match resp.child("return") {
+        Some(ret) => Ok(SoapResponse::Ok(decode_value(ret)?)),
+        None => Ok(SoapResponse::Ok(Value::Null)),
+    }
+}

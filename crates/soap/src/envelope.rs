@@ -1,15 +1,14 @@
 //! SOAP 1.1 envelopes: requests, responses and faults.
 
 use jpie::Value;
-use xmlrt::{XmlNode, XmlWriter};
 
-use crate::encoding::{decode_value, encode_value};
 use crate::error::SoapError;
+use crate::stream;
 
-const ENVELOPE_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
-const XSI_NS: &str = "http://www.w3.org/2001/XMLSchema-instance";
-const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
-const SOAPENC_NS: &str = "http://schemas.xmlsoap.org/soap/encoding/";
+pub(crate) const ENVELOPE_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+pub(crate) const XSI_NS: &str = "http://www.w3.org/2001/XMLSchema-instance";
+pub(crate) const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
+pub(crate) const SOAPENC_NS: &str = "http://schemas.xmlsoap.org/soap/encoding/";
 
 /// SOAP 1.1 fault code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,14 +22,14 @@ pub enum FaultCode {
 }
 
 impl FaultCode {
-    fn as_str(self) -> &'static str {
+    pub(crate) fn as_str(self) -> &'static str {
         match self {
             FaultCode::Client => "soapenv:Client",
             FaultCode::Server => "soapenv:Server",
         }
     }
 
-    fn parse(s: &str) -> FaultCode {
+    pub(crate) fn parse(s: &str) -> FaultCode {
         if s.ends_with("Client") {
             FaultCode::Client
         } else {
@@ -123,6 +122,19 @@ impl SoapRequest {
         }
     }
 
+    /// Assembles a decoded request (used by both codecs).
+    pub(crate) fn from_parts(
+        namespace: String,
+        method: String,
+        args: Vec<(String, Value)>,
+    ) -> SoapRequest {
+        SoapRequest {
+            namespace,
+            method,
+            args,
+        }
+    }
+
     /// Appends a named argument.
     pub fn arg(mut self, name: impl Into<String>, value: Value) -> SoapRequest {
         self.args.push((name.into(), value));
@@ -145,13 +157,19 @@ impl SoapRequest {
     }
 
     /// Serializes the request envelope.
+    ///
+    /// Allocation-sensitive callers should prefer
+    /// [`crate::encode_request_into`], which reuses a caller-supplied
+    /// buffer instead of returning a fresh `String`.
     pub fn to_xml(&self) -> String {
-        let mut body = XmlNode::new(format!("ns1:{}", self.method));
-        body.set_attr("xmlns:ns1", &self.namespace);
-        for (name, value) in &self.args {
-            encode_value(&mut body, name, value);
-        }
-        envelope_around(body)
+        let mut buf = Vec::with_capacity(256);
+        stream::encode_request_into(
+            &self.namespace,
+            &self.method,
+            self.args.iter().map(|(n, v)| (n.as_str(), v)),
+            &mut buf,
+        );
+        String::from_utf8(buf).expect("codec emits UTF-8")
     }
 }
 
@@ -166,62 +184,30 @@ pub enum SoapResponse {
 
 impl SoapResponse {
     /// Serializes a success response envelope for `method`.
+    ///
+    /// Allocation-sensitive callers should prefer
+    /// [`crate::encode_ok_into`].
     pub fn encode_ok(method: &str, namespace: &str, value: &Value) -> String {
-        let mut body = XmlNode::new(format!("ns1:{method}Response"));
-        body.set_attr("xmlns:ns1", namespace);
-        encode_value(&mut body, "return", value);
-        envelope_around(body)
+        let mut buf = Vec::with_capacity(256);
+        stream::encode_ok_into(method, namespace, value, &mut buf);
+        String::from_utf8(buf).expect("codec emits UTF-8")
     }
 
     /// Serializes a fault envelope.
+    ///
+    /// Allocation-sensitive callers should prefer
+    /// [`crate::encode_fault_into`].
     pub fn encode_fault(fault: &SoapFault) -> String {
-        let mut node = XmlNode::new("soapenv:Fault");
-        let mut code = XmlNode::new("faultcode");
-        code.set_text(fault.code.as_str());
-        node.push_child(code);
-        let mut fs = XmlNode::new("faultstring");
-        fs.set_text(fault.fault_string.clone());
-        node.push_child(fs);
-        if let Some(d) = &fault.detail {
-            let mut detail = XmlNode::new("detail");
-            detail.set_text(d.clone());
-            node.push_child(detail);
-        }
-        envelope_around(node)
+        let mut buf = Vec::with_capacity(256);
+        stream::encode_fault_into(fault, &mut buf);
+        String::from_utf8(buf).expect("codec emits UTF-8")
     }
-}
-
-fn envelope_around(body_content: XmlNode) -> String {
-    let mut w = XmlWriter::new();
-    w.declaration().expect("fresh writer");
-    let mut env = XmlNode::new("soapenv:Envelope");
-    env.set_attr("xmlns:soapenv", ENVELOPE_NS)
-        .set_attr("xmlns:xsd", XSD_NS)
-        .set_attr("xmlns:xsi", XSI_NS)
-        .set_attr("xmlns:soapenc", SOAPENC_NS);
-    let mut body = XmlNode::new("soapenv:Body");
-    body.push_child(body_content);
-    env.push_child(body);
-    let mut out = w.finish();
-    out.push_str(&env.to_xml());
-    out
-}
-
-fn body_of(xml: &str) -> Result<XmlNode, SoapError> {
-    let doc = XmlNode::parse(xml)?;
-    if doc.local_name() != "Envelope" {
-        return Err(SoapError::Malformed(format!(
-            "root element is <{}>, not a SOAP Envelope",
-            doc.name()
-        )));
-    }
-    let body = doc
-        .child("Body")
-        .ok_or_else(|| SoapError::Malformed("envelope has no Body".into()))?;
-    Ok(body.clone())
 }
 
 /// Decodes a request envelope (the server side of Fig 1 step 2).
+///
+/// Runs on the zero-copy pull parser; the DOM-based reference decoder
+/// is available as [`crate::domcodec::decode_request`].
 ///
 /// # Errors
 ///
@@ -229,55 +215,19 @@ fn body_of(xml: &str) -> Result<XmlNode, SoapError> {
 /// the condition the call handler reports as a *Malformed SOAP Request*
 /// fault.
 pub fn decode_request(xml: &str) -> Result<SoapRequest, SoapError> {
-    let body = body_of(xml)?;
-    let call = body
-        .children()
-        .first()
-        .ok_or_else(|| SoapError::Malformed("empty Body".into()))?;
-    let namespace = call
-        .attr("xmlns:ns1")
-        .or_else(|| call.attr("ns1"))
-        .unwrap_or("")
-        .to_string();
-    let mut args = Vec::new();
-    for child in call.children() {
-        args.push((child.local_name().to_string(), decode_value(child)?));
-    }
-    Ok(SoapRequest {
-        namespace,
-        method: call.local_name().to_string(),
-        args,
-    })
+    stream::decode_request_stream(xml)
 }
 
 /// Decodes a response envelope (the client side of Fig 1 step 3).
+///
+/// Runs on the zero-copy pull parser; the DOM-based reference decoder
+/// is available as [`crate::domcodec::decode_response`].
 ///
 /// # Errors
 ///
 /// Returns [`SoapError::Malformed`] for non-SOAP payloads.
 pub fn decode_response(xml: &str) -> Result<SoapResponse, SoapError> {
-    let body = body_of(xml)?;
-    if let Some(fault) = body.child("Fault") {
-        let code = fault.child("faultcode").map(|c| c.text()).unwrap_or("");
-        let fault_string = fault
-            .child("faultstring")
-            .map(|c| c.text().to_string())
-            .unwrap_or_default();
-        let detail = fault.child("detail").map(|c| c.text().to_string());
-        return Ok(SoapResponse::Fault(SoapFault {
-            code: FaultCode::parse(code),
-            fault_string,
-            detail,
-        }));
-    }
-    let resp = body
-        .children()
-        .first()
-        .ok_or_else(|| SoapError::Malformed("empty Body".into()))?;
-    match resp.child("return") {
-        Some(ret) => Ok(SoapResponse::Ok(decode_value(ret)?)),
-        None => Ok(SoapResponse::Ok(Value::Null)),
-    }
+    stream::decode_response_stream(xml)
 }
 
 #[cfg(test)]

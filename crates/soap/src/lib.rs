@@ -34,13 +34,16 @@
 //! # }
 //! ```
 
+pub mod domcodec;
 pub mod encoding;
 mod envelope;
 mod error;
+mod stream;
 mod wsdl;
 
 pub use envelope::{
     decode_request, decode_response, FaultCode, SoapFault, SoapRequest, SoapResponse,
 };
 pub use error::SoapError;
+pub use stream::{encode_fault_into, encode_ok_into, encode_request_into};
 pub use wsdl::{WsdlDocument, WsdlOperation};

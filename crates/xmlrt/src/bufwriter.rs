@@ -1,0 +1,250 @@
+//! Serialization into a caller-supplied, reusable byte buffer.
+//!
+//! [`XmlBufWriter`] is the encoding half of the zero-allocation wire
+//! path: it writes the exact byte sequence [`crate::XmlNode::to_xml`]
+//! would produce (same attribute ordering, same `<name/>` collapse for
+//! childless elements with empty text, same [`crate::escape`] /
+//! [`crate::escape_attr`] entities) but straight into a `Vec<u8>` the
+//! caller owns and recycles across calls. After warmup the buffer has
+//! its steady-state capacity and encoding allocates nothing.
+//!
+//! Unlike [`crate::XmlWriter`] this writer is infallible and unchecked:
+//! its callers are the hand-written SOAP codec and benchmarks, which
+//! are held byte-identical to the DOM encoder by a property test
+//! (`tests/props.rs`), not by per-call validation.
+
+use crate::escape::{escape_attr_into, escape_into};
+
+/// A writer that appends XML to an owned, reusable byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// let mut w = xmlrt::XmlBufWriter::new();
+/// w.start("a");
+/// w.attr("k", "v");
+/// w.start("b");
+/// w.text("body");
+/// w.end("b");
+/// w.start("empty");
+/// w.end("empty");
+/// w.end("a");
+/// assert_eq!(w.as_slice(), b"<a k=\"v\"><b>body</b><empty/></a>");
+/// // Recycle the buffer for the next document:
+/// let mut w = xmlrt::XmlBufWriter::with_buf(w.into_bytes());
+/// w.start("c");
+/// w.end("c");
+/// assert_eq!(w.as_slice(), b"<c/>");
+/// ```
+#[derive(Debug, Default)]
+pub struct XmlBufWriter {
+    out: Vec<u8>,
+    /// True while the current start tag has not been closed with `>`
+    /// (attributes may still be appended; `end` collapses to `/>`).
+    tag_open: bool,
+}
+
+impl XmlBufWriter {
+    /// Creates a writer with a fresh buffer.
+    pub fn new() -> Self {
+        XmlBufWriter::with_buf(Vec::new())
+    }
+
+    /// Creates a writer reusing `buf`'s capacity; previous contents are
+    /// cleared.
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        XmlBufWriter {
+            out: buf,
+            tag_open: false,
+        }
+    }
+
+    /// Emits the standard `<?xml version="1.0" encoding="UTF-8"?>`
+    /// declaration. Call before any element.
+    pub fn declaration(&mut self) {
+        debug_assert!(self.out.is_empty(), "declaration must come first");
+        self.out
+            .extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    }
+
+    fn close_tag(&mut self) {
+        if self.tag_open {
+            self.out.push(b'>');
+            self.tag_open = false;
+        }
+    }
+
+    /// Opens `<name`, leaving the tag open for attributes.
+    pub fn start(&mut self, name: &str) {
+        self.close_tag();
+        self.out.push(b'<');
+        self.out.extend_from_slice(name.as_bytes());
+        self.tag_open = true;
+    }
+
+    /// [`XmlBufWriter::start`] for a name assembled from parts (e.g. a
+    /// prefix and a method name), so qualified names need no
+    /// intermediate concatenation.
+    pub fn start_parts(&mut self, parts: &[&str]) {
+        self.close_tag();
+        self.out.push(b'<');
+        for p in parts {
+            self.out.extend_from_slice(p.as_bytes());
+        }
+        self.tag_open = true;
+    }
+
+    /// Appends ` name="value"` (attribute-escaped) to the open tag.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        debug_assert!(self.tag_open, "attr outside an open start tag");
+        self.out.push(b' ');
+        self.out.extend_from_slice(name.as_bytes());
+        self.out.extend_from_slice(b"=\"");
+        escape_attr_into(value, &mut self.out);
+        self.out.push(b'"');
+    }
+
+    /// [`XmlBufWriter::attr`] with the value assembled from parts, each
+    /// escaped in sequence.
+    pub fn attr_parts(&mut self, name: &str, value_parts: &[&str]) {
+        debug_assert!(self.tag_open, "attr outside an open start tag");
+        self.out.push(b' ');
+        self.out.extend_from_slice(name.as_bytes());
+        self.out.extend_from_slice(b"=\"");
+        for p in value_parts {
+            escape_attr_into(p, &mut self.out);
+        }
+        self.out.push(b'"');
+    }
+
+    /// Appends content-escaped character data. Empty text is a no-op so
+    /// a childless element with empty text still collapses to `<name/>`,
+    /// exactly like [`crate::XmlNode::to_xml`].
+    pub fn text(&mut self, s: &str) {
+        if s.is_empty() {
+            return;
+        }
+        self.close_tag();
+        escape_into(s, &mut self.out);
+    }
+
+    /// Closes the element: `/>` if nothing was written since
+    /// [`XmlBufWriter::start`], `</name>` otherwise.
+    pub fn end(&mut self, name: &str) {
+        if self.tag_open {
+            self.out.extend_from_slice(b"/>");
+            self.tag_open = false;
+        } else {
+            self.out.extend_from_slice(b"</");
+            self.out.extend_from_slice(name.as_bytes());
+            self.out.push(b'>');
+        }
+    }
+
+    /// [`XmlBufWriter::end`] for a name assembled from parts.
+    pub fn end_parts(&mut self, parts: &[&str]) {
+        if self.tag_open {
+            self.out.extend_from_slice(b"/>");
+            self.tag_open = false;
+        } else {
+            self.out.extend_from_slice(b"</");
+            for p in parts {
+                self.out.extend_from_slice(p.as_bytes());
+            }
+            self.out.push(b'>');
+        }
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Returns the underlying buffer (document plus retained capacity).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XmlNode;
+
+    /// Encodes a small document both ways and demands identical bytes.
+    #[test]
+    fn matches_dom_serialization() {
+        let mut n = XmlNode::new("soapenv:Envelope");
+        n.set_attr("xmlns:soapenv", "http://example/envelope");
+        let mut body = XmlNode::new("soapenv:Body");
+        let mut leaf = XmlNode::new("v");
+        leaf.set_attr("xsi:type", "xsd:string");
+        leaf.set_text("a < b & \"c\"\n");
+        body.push_child(leaf);
+        let mut empty = XmlNode::new("e");
+        empty.set_attr("xsi:nil", "true");
+        body.push_child(empty);
+        n.push_child(body);
+
+        let mut w = XmlBufWriter::new();
+        w.start("soapenv:Envelope");
+        w.attr("xmlns:soapenv", "http://example/envelope");
+        w.start("soapenv:Body");
+        w.start("v");
+        w.attr("xsi:type", "xsd:string");
+        w.text("a < b & \"c\"\n");
+        w.end("v");
+        w.start("e");
+        w.attr("xsi:nil", "true");
+        w.end("e");
+        w.end("soapenv:Body");
+        w.end("soapenv:Envelope");
+
+        assert_eq!(w.as_slice(), n.to_xml().as_bytes());
+    }
+
+    #[test]
+    fn empty_text_collapses_like_the_dom() {
+        let mut n = XmlNode::new("s");
+        n.set_attr("xsi:type", "xsd:string");
+        n.set_text("");
+        let mut w = XmlBufWriter::new();
+        w.start("s");
+        w.attr("xsi:type", "xsd:string");
+        w.text("");
+        w.end("s");
+        assert_eq!(w.as_slice(), n.to_xml().as_bytes());
+        assert_eq!(w.as_slice(), b"<s xsi:type=\"xsd:string\"/>");
+    }
+
+    #[test]
+    fn with_buf_clears_but_keeps_capacity() {
+        let mut w = XmlBufWriter::new();
+        w.start("a");
+        w.text("0123456789012345678901234567890123456789");
+        w.end("a");
+        let buf = w.into_bytes();
+        let cap = buf.capacity();
+        let mut w = XmlBufWriter::with_buf(buf);
+        assert!(w.is_empty());
+        w.declaration();
+        w.start("b");
+        w.end("b");
+        assert_eq!(
+            w.as_slice(),
+            b"<?xml version=\"1.0\" encoding=\"UTF-8\"?><b/>"
+        );
+        assert_eq!(w.into_bytes().capacity(), cap);
+    }
+}

@@ -26,6 +26,28 @@ pub fn escape(text: &str) -> String {
     out
 }
 
+/// [`escape`] into a caller-supplied byte buffer.
+///
+/// Clean runs (no `&`, `<`, `>`) are appended with a single bulk copy,
+/// so text that needs no escaping — the common case on the RMI hot
+/// path — costs one `memcpy` and no intermediate `String`.
+pub fn escape_into(text: &str, out: &mut Vec<u8>) {
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep: &[u8] = match b {
+            b'&' => b"&amp;",
+            b'<' => b"&lt;",
+            b'>' => b"&gt;",
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[start..i]);
+        out.extend_from_slice(rep);
+        start = i + 1;
+    }
+    out.extend_from_slice(&bytes[start..]);
+}
+
 /// Escapes text for use inside a double-quoted attribute value.
 ///
 /// In addition to the content escapes, `"` becomes `&quot;` and newlines and
@@ -54,6 +76,29 @@ pub fn escape_attr(text: &str) -> String {
     out
 }
 
+/// [`escape_attr`] into a caller-supplied byte buffer, with the same
+/// bulk-copy fast path as [`escape_into`].
+pub fn escape_attr_into(text: &str, out: &mut Vec<u8>) {
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep: &[u8] = match b {
+            b'&' => b"&amp;",
+            b'<' => b"&lt;",
+            b'>' => b"&gt;",
+            b'"' => b"&quot;",
+            b'\n' => b"&#10;",
+            b'\r' => b"&#13;",
+            b'\t' => b"&#9;",
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[start..i]);
+        out.extend_from_slice(rep);
+        start = i + 1;
+    }
+    out.extend_from_slice(&bytes[start..]);
+}
+
 /// Expands the five predefined entities and numeric character references.
 ///
 /// # Errors
@@ -80,7 +125,7 @@ pub fn unescape(text: &str) -> Result<String, XmlError> {
                 .find(';')
                 .ok_or_else(|| XmlError::at(XmlErrorKind::BadEntity(text[i + 1..].into()), i))?;
             let name = &text[i + 1..i + semi];
-            out.push_str(&expand_entity(name, i)?);
+            out.push(expand_entity(name, i)?);
             i += semi + 1;
         } else {
             // Advance one whole UTF-8 character.
@@ -92,7 +137,36 @@ pub fn unescape(text: &str) -> Result<String, XmlError> {
     Ok(out)
 }
 
-fn expand_entity(name: &str, offset: usize) -> Result<String, XmlError> {
+/// Scans `text` for entity references, validating each one without
+/// allocating. Returns whether any reference is present — the pull
+/// parser's cue to take the owned (unescaping) slow path instead of
+/// borrowing the input slice verbatim.
+///
+/// # Errors
+///
+/// Same conditions as [`unescape`].
+pub(crate) fn validate_entities(text: &str) -> Result<bool, XmlError> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut any = false;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            let semi = text[i..]
+                .find(';')
+                .ok_or_else(|| XmlError::at(XmlErrorKind::BadEntity(text[i + 1..].into()), i))?;
+            expand_entity(&text[i + 1..i + semi], i)?;
+            any = true;
+            i += semi + 1;
+        } else {
+            // Byte-wise advance is safe: UTF-8 continuation bytes never
+            // equal `&`.
+            i += 1;
+        }
+    }
+    Ok(any)
+}
+
+fn expand_entity(name: &str, offset: usize) -> Result<char, XmlError> {
     let expanded = match name {
         "amp" => '&',
         "lt" => '<',
@@ -112,7 +186,7 @@ fn expand_entity(name: &str, offset: usize) -> Result<String, XmlError> {
                 .ok_or_else(|| XmlError::at(XmlErrorKind::BadEntity(name.into()), offset))?
         }
     };
-    Ok(expanded.to_string())
+    Ok(expanded)
 }
 
 #[cfg(test)]
@@ -168,5 +242,32 @@ mod tests {
     #[test]
     fn unescape_multibyte_passthrough() {
         assert_eq!(unescape("caf\u{00e9}").unwrap(), "caf\u{00e9}");
+    }
+
+    #[test]
+    fn buffer_variants_match_string_variants() {
+        for s in [
+            "",
+            "plain",
+            "a < b & c > d",
+            "q\"q\n\t\r",
+            "caf\u{00e9} ]]>",
+        ] {
+            let mut buf = Vec::new();
+            escape_into(s, &mut buf);
+            assert_eq!(buf, escape(s).as_bytes(), "{s:?}");
+            buf.clear();
+            escape_attr_into(s, &mut buf);
+            assert_eq!(buf, escape_attr(s).as_bytes(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn validate_entities_reports_presence_and_errors() {
+        assert!(!validate_entities("plain text").unwrap());
+        assert!(validate_entities("a &amp; b").unwrap());
+        assert!(validate_entities("&#x41;").unwrap());
+        assert!(validate_entities("&bogus;").is_err());
+        assert!(validate_entities("dangling &amp").is_err());
     }
 }

@@ -5,11 +5,17 @@
 //! relied on the Java XML stack; this crate supplies the equivalent
 //! functionality from scratch:
 //!
-//! * [`escape`] / [`unescape`] — entity escaping for text and attributes,
+//! * [`escape`] / [`unescape`] — entity escaping for text and attributes
+//!   (plus [`escape_into`] / [`escape_attr_into`] buffer variants with a
+//!   bulk-copy fast path for clean text),
 //! * [`XmlWriter`] — a streaming, optionally pretty-printing writer,
-//! * [`Parser`] — a pull parser producing [`XmlEvent`]s,
+//! * [`XmlBufWriter`] — serialization into a caller-supplied reusable
+//!   `Vec<u8>` for the allocation-free wire path,
+//! * [`Parser`] — a pull parser producing owned [`XmlEvent`]s,
+//! * [`XmlPull`] — a zero-copy pull parser whose [`PullEvent`]s borrow
+//!   the input (the RMI hot path),
 //! * [`XmlNode`] — a DOM built on top of the pull parser, with navigation
-//!   helpers used by the WSDL/SOAP decoders.
+//!   helpers used by the WSDL/SOAP decoders and development tooling.
 //!
 //! The subset of XML implemented is the subset exercised by SOAP 1.1 /
 //! WSDL 1.1 documents: elements, attributes, character data, CDATA,
@@ -37,14 +43,18 @@
 //! # }
 //! ```
 
+mod bufwriter;
 mod dom;
 mod error;
 mod escape;
 mod parser;
+mod pull;
 mod writer;
 
+pub use bufwriter::XmlBufWriter;
 pub use dom::XmlNode;
 pub use error::XmlError;
-pub use escape::{escape, escape_attr, unescape};
+pub use escape::{escape, escape_attr, escape_attr_into, escape_into, unescape};
 pub use parser::{parse_all, Parser, XmlEvent};
+pub use pull::{PullEvent, XmlPull};
 pub use writer::XmlWriter;

@@ -402,6 +402,123 @@ fn soap_decode_never_panics() {
     });
 }
 
+// ---------------------------------------------------------------------------
+// Streaming codec vs DOM codec (differential oracle)
+// ---------------------------------------------------------------------------
+
+/// Strings that stress the escaper: CDATA-terminator lookalikes, bare
+/// markup characters, control characters, and whitespace runs that an
+/// indenting serializer would normalize away.
+const EDGE_STRINGS: &[&str] = &[
+    "]]>",
+    "a]]>b]]>",
+    "<tag attr=\"x\">&amp;</tag>",
+    "&&&<<<>>>\"''\"",
+    "\t\n\r mixed \n\t whitespace \r\n",
+    "  leading and trailing  ",
+    "\u{7f}\u{1}\u{8}bell\u{7}",
+    "line1\nline2\rline3\r\n",
+];
+
+/// Like [`gen_value`], but string scalars sometimes draw from
+/// [`EDGE_STRINGS`] so both codecs face the escaper's worst cases.
+fn gen_edgy_value(rng: &mut XorShift64, depth: usize) -> Value {
+    let v = gen_value(rng, depth);
+    if rng.gen_bool(0.4) {
+        let edge = EDGE_STRINGS[rng.gen_usize(EDGE_STRINGS.len())];
+        return match v {
+            Value::Str(_) => Value::Str(edge.to_string()),
+            other => other,
+        };
+    }
+    v
+}
+
+#[test]
+fn streaming_request_encoder_matches_dom() {
+    for_cases("streaming_request_matches_dom", 192, |rng, case| {
+        let method = gen_ident(rng);
+        let mut seen = std::collections::HashSet::new();
+        let mut req = soap::SoapRequest::new("urn:prop", method.clone());
+        let mut args = Vec::new();
+        for _ in 0..rng.gen_usize(4) {
+            let name = gen_ident(rng);
+            let value = gen_edgy_value(rng, 3);
+            if seen.insert(name.clone()) {
+                args.push((name.clone(), value.clone()));
+                req = req.arg(name, value);
+            }
+        }
+        let dom = soap::domcodec::encode_request(&req);
+        let mut streamed = Vec::new();
+        soap::encode_request_into(
+            "urn:prop",
+            &method,
+            args.iter().map(|(n, v)| (n.as_str(), v)),
+            &mut streamed,
+        );
+        assert_eq!(streamed, dom.as_bytes(), "case {case}");
+        // The two decoders must agree on the shared bytes, too.
+        let a = soap::decode_request(&dom).expect("streaming decode");
+        let b = soap::domcodec::decode_request(&dom).expect("dom decode");
+        assert_eq!(a, b, "case {case}");
+    });
+}
+
+#[test]
+fn streaming_response_encoder_matches_dom() {
+    for_cases("streaming_response_matches_dom", 192, |rng, case| {
+        let method = gen_ident(rng);
+        let value = gen_edgy_value(rng, 3);
+        let dom = soap::domcodec::encode_ok(&method, "urn:prop", &value);
+        let mut streamed = Vec::new();
+        soap::encode_ok_into(&method, "urn:prop", &value, &mut streamed);
+        assert_eq!(streamed, dom.as_bytes(), "case {case}");
+        let a = soap::decode_response(&dom).expect("streaming decode");
+        let b = soap::domcodec::decode_response(&dom).expect("dom decode");
+        assert_eq!(a, b, "case {case}");
+    });
+}
+
+#[test]
+fn streaming_fault_encoder_matches_dom() {
+    for_cases("streaming_fault_matches_dom", 64, |rng, case| {
+        let code = if rng.gen_bool(0.5) {
+            soap::FaultCode::Client
+        } else {
+            soap::FaultCode::Server
+        };
+        let text = if rng.gen_bool(0.5) {
+            EDGE_STRINGS[rng.gen_usize(EDGE_STRINGS.len())].to_string()
+        } else {
+            gen_ascii_string(rng, 24)
+        };
+        let mut fault = soap::SoapFault::new(code, text);
+        if rng.gen_bool(0.5) {
+            fault.detail = Some(EDGE_STRINGS[rng.gen_usize(EDGE_STRINGS.len())].to_string());
+        }
+        let dom = soap::domcodec::encode_fault(&fault);
+        let mut streamed = Vec::new();
+        soap::encode_fault_into(&fault, &mut streamed);
+        assert_eq!(streamed, dom.as_bytes(), "case {case}");
+    });
+}
+
+#[test]
+fn streaming_encoders_recycle_buffer_capacity() {
+    // The `_into` contract: the buffer is cleared, reused, and its
+    // capacity survives — encoding a second envelope into a warmed
+    // buffer of sufficient capacity must not reallocate.
+    let value = Value::Str("payload".repeat(8));
+    let mut buf = Vec::new();
+    soap::encode_ok_into("warm", "urn:prop", &value, &mut buf);
+    let cap = buf.capacity();
+    for _ in 0..8 {
+        soap::encode_ok_into("warm", "urn:prop", &value, &mut buf);
+        assert_eq!(buf.capacity(), cap, "warm encode must not grow the buffer");
+    }
+}
+
 #[test]
 fn xml_escape_roundtrips() {
     for_cases("xml_escape_roundtrips", 256, |rng, case| {

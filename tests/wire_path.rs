@@ -1,0 +1,162 @@
+//! End-to-end wire-path tests for PR 4: steady-state RMI traffic must
+//! reuse connections (per-authority pooling in the CDE), and a server
+//! restart must stay transparent — the stale pooled socket is dropped
+//! and the call retried on a fresh one without surfacing an error.
+//!
+//! The SOAP endpoint is hosted on a raw [`httpd::HttpServer`] at a
+//! *fixed* mem authority (SDE-managed deployments get a fresh address
+//! per deployment), so the restarted server comes back where the pooled
+//! connections point.
+
+use std::sync::Mutex;
+
+use httpd::{Handler, HttpServer, Request, Response, Status};
+use jpie::{TypeDesc, Value};
+use live_rmi::cde::ClientEnvironment;
+use soap::{WsdlDocument, WsdlOperation};
+
+/// Counter windows below read process-global metrics; serialize the
+/// tests in this binary so the windows never overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serves `GET /Calc.wsdl` (the interface document) and `POST /Calc`
+/// (an `add(a, b)` SOAP operation) from one fixed-authority server.
+struct CalcEndpoint {
+    wsdl_xml: String,
+}
+
+impl Handler for CalcEndpoint {
+    fn handle(&self, req: &Request) -> Response {
+        if req.path().ends_with(".wsdl") {
+            return Response::ok(self.wsdl_xml.clone().into_bytes(), "text/xml");
+        }
+        let soap_req = match soap::decode_request(&req.body_str()) {
+            Ok(r) => r,
+            Err(e) => {
+                let mut body = Vec::new();
+                soap::encode_fault_into(
+                    &soap::SoapFault::malformed_request(e.to_string()),
+                    &mut body,
+                );
+                return Response::new(Status::INTERNAL_SERVER_ERROR, body, "text/xml");
+            }
+        };
+        let sum = soap_req
+            .args()
+            .iter()
+            .map(|(_, v)| match v {
+                Value::Int(i) => i64::from(*i),
+                _ => 0,
+            })
+            .sum::<i64>();
+        let mut body = Vec::new();
+        soap::encode_ok_into(
+            soap_req.method(),
+            soap_req.namespace(),
+            &Value::Int(sum as i32),
+            &mut body,
+        );
+        Response::ok(body, "text/xml")
+    }
+}
+
+fn calc_wsdl(base_url: &str) -> String {
+    WsdlDocument {
+        service_name: "Calc".to_string(),
+        endpoint: format!("{base_url}/Calc"),
+        operations: vec![WsdlOperation {
+            name: "add".to_string(),
+            params: vec![
+                ("a".to_string(), TypeDesc::Int),
+                ("b".to_string(), TypeDesc::Int),
+            ],
+            return_ty: TypeDesc::Int,
+        }],
+        version: 1,
+    }
+    .to_xml()
+}
+
+fn bind_calc(addr: &str) -> HttpServer {
+    // The WSDL needs the server's base URL, which needs the server —
+    // bind once to learn the URL shape (mem URLs are the address
+    // verbatim), then build the document.
+    let server = HttpServer::bind(
+        addr,
+        CalcEndpoint {
+            wsdl_xml: calc_wsdl(addr),
+        },
+    )
+    .expect("bind");
+    assert_eq!(server.base_url(), addr, "mem base url is the address");
+    server
+}
+
+fn counter(name: &str) -> u64 {
+    obs::registry().snapshot().counter(name)
+}
+
+#[test]
+fn sequential_calls_reuse_one_pooled_connection() {
+    let _serial = SERIAL.lock().unwrap();
+    let addr = "mem://wire-path-reuse";
+    let server = bind_calc(addr);
+
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_soap(&format!("{addr}/Calc.wsdl"))
+        .expect("stub");
+
+    let (h0, m0) = (
+        counter("wire_pool_hits_total"),
+        counter("wire_pool_misses_total"),
+    );
+    const N: i32 = 20;
+    for i in 0..N {
+        let v = env
+            .call(&stub, "add", &[Value::Int(i), Value::Int(1)])
+            .expect("call");
+        assert_eq!(v, Value::Int(i + 1));
+    }
+    let hits = counter("wire_pool_hits_total") - h0;
+    let misses = counter("wire_pool_misses_total") - m0;
+    // First call connects; every subsequent call must ride the same
+    // pooled connection.
+    assert!(
+        hits >= (N - 1) as u64,
+        "expected >= {} pool hits, got {hits} (misses {misses})",
+        N - 1
+    );
+    assert!(
+        misses <= 1,
+        "steady-state calls must not open fresh connections (misses {misses})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn server_restart_is_transparent_to_the_stub() {
+    let _serial = SERIAL.lock().unwrap();
+    let addr = "mem://wire-path-restart";
+    let server = bind_calc(addr);
+
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_soap(&format!("{addr}/Calc.wsdl"))
+        .expect("stub");
+    for i in 0..3 {
+        env.call(&stub, "add", &[Value::Int(i), Value::Int(2)])
+            .expect("warm-up call");
+    }
+
+    // Restart: the stub's pooled connection now points at a dead
+    // socket. The next call must drop it and retry on a fresh
+    // connection without the caller noticing.
+    server.shutdown();
+    let server = bind_calc(addr);
+    let v = env
+        .call(&stub, "add", &[Value::Int(40), Value::Int(2)])
+        .expect("call across restart");
+    assert_eq!(v, Value::Int(42));
+    server.shutdown();
+}
