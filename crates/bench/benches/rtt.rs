@@ -40,6 +40,7 @@ fn main() {
         let manager = SdeManager::new(SdeConfig {
             transport: TransportKind::Mem,
             strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+            wal_dir: None,
         })
         .expect("manager");
         let server = manager.deploy_soap(echo_class()).expect("deploy");
@@ -80,6 +81,7 @@ fn main() {
         let manager = SdeManager::new(SdeConfig {
             transport: TransportKind::Mem,
             strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+            wal_dir: None,
         })
         .expect("manager");
         let server = manager.deploy_corba(echo_class()).expect("deploy");

@@ -1,11 +1,16 @@
 //! Sweeps injected fault rate against the resilient client's success
 //! rate, retry spend, and RTT — the EXPERIMENTS.md resilience table.
 //!
-//! Usage: `chaos_sweep [calls] [tcp|mem] [--seed <n>] [--json <path>]` —
-//! defaults to 100 idempotent calls per point over the in-memory
-//! transport at fault rates 0/10/20/30/40 %.
+//! Usage: `chaos_sweep [calls] [tcp|mem] [--seed <n>] [--non-idempotent]
+//! [--json <path>]` — defaults to 100 idempotent calls per point over the
+//! in-memory transport at fault rates 0/10/20/30/40 %.
+//! `--non-idempotent` switches to a counter workload with the
+//! duplicate-generating `drop_reply` fault in the mix and reports
+//! exactly-once outcomes (executions vs. calls, duplicates suppressed).
 
-use bench::chaos::{chaos_json, render_chaos, run_chaos_sweep, ChaosConfig};
+use bench::chaos::{
+    chaos_json, render_chaos, render_chaos_exactly_once, run_chaos_sweep, ChaosConfig,
+};
 use bench::json::take_json_arg;
 use sde::TransportKind;
 
@@ -15,6 +20,7 @@ fn main() {
     let mut seed = 2024u64;
     let mut calls = 100usize;
     let mut transport = TransportKind::Mem;
+    let mut non_idempotent = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,6 +30,7 @@ fn main() {
                     i += 1;
                 }
             }
+            "--non-idempotent" => non_idempotent = true,
             "tcp" => transport = TransportKind::Tcp,
             "mem" => transport = TransportKind::Mem,
             a => {
@@ -38,26 +45,44 @@ fn main() {
         calls,
         transport,
         seed,
+        non_idempotent,
     };
     let rates = [0.0, 0.1, 0.2, 0.3, 0.4];
     eprintln!(
-        "sweeping {} calls per point over {:?}, fault plan seed {} ...",
-        cfg.calls, transport, cfg.seed
+        "sweeping {} {} calls per point over {:?}, fault plan seed {} ...",
+        cfg.calls,
+        if non_idempotent {
+            "non-idempotent"
+        } else {
+            "idempotent"
+        },
+        transport,
+        cfg.seed
     );
     let points = run_chaos_sweep(&cfg, &rates);
-    println!("{}", render_chaos(&points));
-    println!(
-        "Success below 100% at high fault rates means the retry budget\n\
-         (not the server) was exhausted; retries grow with the fault rate\n\
-         while the zero-fault row doubles as the no-chaos RTT baseline."
-    );
+    if non_idempotent {
+        println!("{}", render_chaos_exactly_once(&points));
+        println!(
+            "Every acknowledged call executed exactly once: the client\n\
+             retries all calls under the server's advertised reply cache,\n\
+             and redelivered call IDs are answered from the cache without\n\
+             re-executing (the `dups suppressed` column)."
+        );
+    } else {
+        println!("{}", render_chaos(&points));
+        println!(
+            "Success below 100% at high fault rates means the retry budget\n\
+             (not the server) was exhausted; retries grow with the fault rate\n\
+             while the zero-fault row doubles as the no-chaos RTT baseline."
+        );
+    }
 
     if let Some(path) = json_path {
         let transport_name = match transport {
             TransportKind::Tcp => "tcp",
             TransportKind::Mem => "mem",
         };
-        if let Err(e) = std::fs::write(&path, chaos_json(&points, transport_name)) {
+        if let Err(e) = std::fs::write(&path, chaos_json(&points, transport_name, non_idempotent)) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }

@@ -34,6 +34,14 @@ pub struct ChaosPoint {
     pub mean_rtt_us: f64,
     /// 95th-percentile RTT of successful calls.
     pub p95_rtt_us: f64,
+    /// Server-side executions of the non-idempotent method (final counter
+    /// value). Exactly-once holds when `ok <= effects <= calls`: every
+    /// acknowledged call executed once, every abandoned call at most
+    /// once. Zero in idempotent mode.
+    pub effects: u64,
+    /// Redeliveries the server's reply cache answered without
+    /// re-executing. Zero in idempotent mode.
+    pub duplicates_suppressed: u64,
 }
 
 /// Parameters for the sweep.
@@ -45,6 +53,11 @@ pub struct ChaosConfig {
     pub transport: TransportKind,
     /// Seed for both the fault plan and the client's retry jitter.
     pub seed: u64,
+    /// `true` drives a non-idempotent counter method instead of the
+    /// echo, adds the duplicate-generating `drop_reply` fault to the
+    /// mix, and counts exactly-once outcomes (executions vs. calls,
+    /// duplicates suppressed by the reply cache).
+    pub non_idempotent: bool,
 }
 
 impl Default for ChaosConfig {
@@ -53,6 +66,7 @@ impl Default for ChaosConfig {
             calls: 100,
             transport: TransportKind::Mem,
             seed: 2024,
+            non_idempotent: false,
         }
     }
 }
@@ -70,13 +84,24 @@ fn echo_class() -> ClassHandle {
     class
 }
 
-const FAULT_KINDS: [&str; 6] = [
+/// A counter whose one distributed method is observably non-idempotent:
+/// duplicated executions show up as `effects > calls`.
+fn counter_class() -> ClassHandle {
+    jpie::parse::parse_class(
+        "class ChaosCounter { field int n; distributed int bump() { \
+         this.n = this.n + 1; return this.n; } }",
+    )
+    .expect("counter class")
+}
+
+const FAULT_KINDS: [&str; 7] = [
     "refuse",
     "delay",
     "truncate",
     "corrupt",
     "disconnect",
     "blackhole",
+    "drop_reply",
 ];
 
 fn faults_injected_total() -> u64 {
@@ -87,14 +112,27 @@ fn faults_injected_total() -> u64 {
         .sum()
 }
 
+fn duplicates_suppressed_total(class: &str) -> u64 {
+    obs::registry().snapshot().counter(&obs::metrics::key(
+        "duplicate_calls_suppressed_total",
+        &[("class", class)],
+    ))
+}
+
 /// Runs one sweep point: deploy, inject, hammer, measure, tear down.
 pub fn run_chaos_point(cfg: &ChaosConfig, fault_rate: f64) -> ChaosPoint {
     let manager = SdeManager::new(SdeConfig {
         transport: cfg.transport,
         strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        wal_dir: None,
     })
     .expect("manager");
-    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    let class = if cfg.non_idempotent {
+        counter_class()
+    } else {
+        echo_class()
+    };
+    let server = manager.deploy_soap(class).expect("deploy");
     server.create_instance().expect("instance");
     server.publisher().ensure_current();
 
@@ -107,11 +145,23 @@ pub fn run_chaos_point(cfg: &ChaosConfig, fault_rate: f64) -> ChaosPoint {
     let stub = env.connect_soap(server.wsdl_url()).expect("stub");
     let authority = stub.authority();
 
+    // In non-idempotent mode the first call runs fault-free so the reply
+    // advertises the server's cache — the negotiation that licenses
+    // retrying non-idempotent calls at all.
+    let mut primed = 0usize;
+    if cfg.non_idempotent {
+        env.call(&stub, "bump", &[]).expect("prime call");
+        assert!(stub.server_caches(), "server must advertise reply cache");
+        primed = 1;
+    }
+
     if fault_rate > 0.0 {
         // The same mixed-fault recipe as the acceptance test, scaled so
-        // the per-connection incidence sums to `fault_rate`.
-        httpd::FaultPlan::seeded(cfg.seed)
-            .rule(httpd::FaultRule::refuse(&authority, fault_rate * 0.40))
+        // the per-connection incidence sums to `fault_rate`. The
+        // non-idempotent mode trades some refused connects for
+        // `drop_reply` — the server executes, then the reply is lost —
+        // the fault that *generates* duplicates for the cache to absorb.
+        let plan = httpd::FaultPlan::seeded(cfg.seed)
             .rule(httpd::FaultRule::delay(
                 &authority,
                 fault_rate * 0.20,
@@ -128,19 +178,43 @@ pub fn run_chaos_point(cfg: &ChaosConfig, fault_rate: f64) -> ChaosPoint {
                 &authority,
                 fault_rate * 0.10,
                 10,
-            ))
-            .install();
+            ));
+        let plan = if cfg.non_idempotent {
+            plan.rule(httpd::FaultRule::refuse(&authority, fault_rate * 0.15))
+                .rule(httpd::FaultRule::drop_reply(&authority, fault_rate * 0.25).on_accept())
+        } else {
+            plan.rule(httpd::FaultRule::refuse(&authority, fault_rate * 0.40))
+        };
+        plan.install();
+        // The prime call parked a healthy pre-chaos connection; faults
+        // roll at connection establishment, so drop it.
+        stub.drop_pooled_connections();
     }
 
     let retries_before = obs::registry().snapshot().counter("rmi_retries_total");
     let faults_before = faults_injected_total();
-    let mut ok = 0usize;
+    let dup_before = duplicates_suppressed_total("ChaosCounter");
+    let mut ok = primed;
     let mut samples: Vec<f64> = Vec::with_capacity(cfg.calls);
-    for i in 0..cfg.calls {
-        let arg = [Value::Str(format!("payload-{i}"))];
+    for i in primed..cfg.calls {
+        if cfg.non_idempotent && i % 4 == 0 {
+            // Long-running clients churn connections; without churn a
+            // parked connection never re-rolls the fault dice.
+            stub.drop_pooled_connections();
+        }
         let t0 = Instant::now();
-        if let Ok(v) = env.call_idempotent(&stub, "echo", &arg) {
-            debug_assert_eq!(v, arg[0]);
+        let outcome = if cfg.non_idempotent {
+            env.call(&stub, "bump", &[]).map(|v| {
+                debug_assert!(matches!(v, Value::Int(_)));
+            })
+        } else {
+            let arg = Value::Str(format!("payload-{i}"));
+            env.call_idempotent(&stub, "echo", std::slice::from_ref(&arg))
+                .map(|v| {
+                    debug_assert_eq!(v, arg);
+                })
+        };
+        if outcome.is_ok() {
             ok += 1;
             samples.push(t0.elapsed().as_secs_f64() * 1e6);
         }
@@ -148,6 +222,22 @@ pub fn run_chaos_point(cfg: &ChaosConfig, fault_rate: f64) -> ChaosPoint {
     httpd::fault::clear();
     let retries = obs::registry().snapshot().counter("rmi_retries_total") - retries_before;
     let faults_injected = faults_injected_total() - faults_before;
+    let duplicates_suppressed = duplicates_suppressed_total("ChaosCounter") - dup_before;
+    let effects = if cfg.non_idempotent {
+        match server
+            .instance()
+            .expect("live instance")
+            .fields_snapshot()
+            .iter()
+            .find(|(n, _)| n == "n")
+            .map(|(_, v)| v.clone())
+        {
+            Some(Value::Int(n)) => n as u64,
+            other => panic!("counter field missing: {other:?}"),
+        }
+    } else {
+        0
+    };
     manager.shutdown();
 
     let (mean, p95) = if samples.is_empty() {
@@ -166,6 +256,8 @@ pub fn run_chaos_point(cfg: &ChaosConfig, fault_rate: f64) -> ChaosPoint {
         faults_injected,
         mean_rtt_us: mean,
         p95_rtt_us: p95,
+        effects,
+        duplicates_suppressed,
     }
 }
 
@@ -204,8 +296,44 @@ pub fn render_chaos(points: &[ChaosPoint]) -> String {
     )
 }
 
+/// Renders the non-idempotent sweep: exactly-once accounting per point.
+/// `exact` holds when `ok <= effects <= calls` — no acknowledged call
+/// executed more than once, no abandoned call more than once.
+pub fn render_chaos_exactly_once(points: &[ChaosPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.fault_rate * 100.0),
+                p.calls.to_string(),
+                p.ok.to_string(),
+                p.effects.to_string(),
+                p.duplicates_suppressed.to_string(),
+                p.retries.to_string(),
+                if (p.ok as u64) <= p.effects && p.effects <= p.calls as u64 {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "fault rate",
+            "calls",
+            "ok",
+            "executions",
+            "dups suppressed",
+            "retries",
+            "exactly-once",
+        ],
+        &rows,
+    )
+}
+
 /// Renders the sweep as a JSON report (`--json <path>`).
-pub fn chaos_json(points: &[ChaosPoint], transport: &str) -> String {
+pub fn chaos_json(points: &[ChaosPoint], transport: &str, non_idempotent: bool) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n  \"bench\": \"chaos_sweep\",\n");
     let _ = writeln!(
@@ -213,12 +341,22 @@ pub fn chaos_json(points: &[ChaosPoint], transport: &str) -> String {
         "  \"transport\": \"{}\",",
         crate::json::escape(transport)
     );
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if non_idempotent {
+            "non_idempotent"
+        } else {
+            "idempotent"
+        }
+    );
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(
             out,
             "    {{\"fault_rate\": {:.3}, \"calls\": {}, \"ok\": {}, \"retries\": {}, \
-             \"faults_injected\": {}, \"mean_us\": {:.3}, \"p95_us\": {:.3}}}{}",
+             \"faults_injected\": {}, \"mean_us\": {:.3}, \"p95_us\": {:.3}, \
+             \"effects\": {}, \"duplicates_suppressed\": {}, \"exactly_once\": {}}}{}",
             p.fault_rate,
             p.calls,
             p.ok,
@@ -226,6 +364,9 @@ pub fn chaos_json(points: &[ChaosPoint], transport: &str) -> String {
             p.faults_injected,
             p.mean_rtt_us,
             p.p95_rtt_us,
+            p.effects,
+            p.duplicates_suppressed,
+            !non_idempotent || ((p.ok as u64) <= p.effects && p.effects <= p.calls as u64),
             if i + 1 < points.len() { "," } else { "" }
         );
     }
@@ -258,12 +399,33 @@ mod tests {
             faults_injected: 12,
             mean_rtt_us: 210.0,
             p95_rtt_us: 900.0,
+            effects: 50,
+            duplicates_suppressed: 4,
         };
         let table = render_chaos(std::slice::from_ref(&p));
         assert!(table.contains("20%"));
         assert!(table.contains("100.0%"));
-        let json = chaos_json(&[p], "mem");
+        let once = render_chaos_exactly_once(std::slice::from_ref(&p));
+        assert!(once.contains("dups suppressed"));
+        assert!(once.contains("yes"));
+        let json = chaos_json(std::slice::from_ref(&p), "mem", false);
         assert!(json.contains("\"fault_rate\": 0.200"));
         assert!(json.contains("\"bench\": \"chaos_sweep\""));
+        assert!(json.contains("\"mode\": \"idempotent\""));
+        let json = chaos_json(&[p], "mem", true);
+        assert!(json.contains("\"mode\": \"non_idempotent\""));
+        assert!(json.contains("\"exactly_once\": true"));
+    }
+
+    #[test]
+    fn non_idempotent_zero_fault_point_counts_every_effect() {
+        let cfg = ChaosConfig {
+            calls: 10,
+            non_idempotent: true,
+            ..ChaosConfig::default()
+        };
+        let p = run_chaos_point(&cfg, 0.0);
+        assert_eq!(p.ok, p.calls);
+        assert_eq!(p.effects, p.calls as u64);
     }
 }

@@ -86,6 +86,7 @@ fn scenario_with(reactive: bool, technology: Technology) -> Scenario {
         // Enormous stable timeout: nothing publishes unless forced —
         // publication timing is entirely under driver control.
         strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        wal_dir: None,
     })
     .expect("manager");
     let class = ClassHandle::new("Consistency");

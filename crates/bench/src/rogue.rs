@@ -36,6 +36,7 @@ pub fn run(calls: u64, edits: u64) -> RogueReport {
     let manager = SdeManager::new(SdeConfig {
         transport: TransportKind::Mem,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(5)),
+        wal_dir: None,
     })
     .expect("manager");
     let class = jpie::ClassHandle::new("RogueTarget");

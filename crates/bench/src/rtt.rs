@@ -133,6 +133,7 @@ pub fn measure_sde_soap(cfg: &RttConfig) -> RttRow {
         // Quiescent publisher: development-time machinery present (stall
         // lock, dynamic dispatch) but no edits during the measurement.
         strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        wal_dir: None,
     })
     .expect("manager");
     let server = manager.deploy_soap(echo_class()).expect("deploy");
@@ -195,6 +196,7 @@ pub fn measure_sde_corba(cfg: &RttConfig) -> RttRow {
     let manager = SdeManager::new(SdeConfig {
         transport: cfg.transport,
         strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        wal_dir: None,
     })
     .expect("manager");
     let server = manager.deploy_corba(echo_class()).expect("deploy");
@@ -345,6 +347,7 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let manager = SdeManager::new(SdeConfig {
             transport: cfg.transport,
             strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+            wal_dir: None,
         })
         .expect("manager");
         let server = manager.deploy_soap(echo_class()).expect("deploy");
@@ -383,6 +386,7 @@ pub fn run_payload_sweep(cfg: &RttConfig, sizes: &[usize]) -> Vec<SweepPoint> {
         let manager = SdeManager::new(SdeConfig {
             transport: cfg.transport,
             strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+            wal_dir: None,
         })
         .expect("manager");
         let server = manager.deploy_corba(echo_class()).expect("deploy");

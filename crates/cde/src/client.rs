@@ -131,9 +131,12 @@ impl ClientEnvironment {
     /// under the environment's resilience policy.
     ///
     /// The call is treated as non-idempotent: transport failures are not
-    /// retried (the request may have executed), but 503 load-shed
-    /// responses are (the request never reached the SOAP engine), and
-    /// the per-authority circuit breaker applies.
+    /// retried (the request may have executed) unless the server has
+    /// advertised a reply cache — in which case the retry redelivers the
+    /// same call id and a duplicate is served from the cache instead of
+    /// re-executing. 503 load-shed responses are retried regardless (the
+    /// request never reached the SOAP engine), and the per-authority
+    /// circuit breaker applies.
     ///
     /// # Errors
     ///
@@ -170,8 +173,14 @@ impl ClientEnvironment {
     /// Every attempt runs under the policy's per-request timeout; the
     /// whole call (attempts and backoff sleeps included) runs under the
     /// deadline budget. Transport failures are retried with exponential
-    /// backoff and seeded jitter when `opts.idempotent`; 503 load-shed
-    /// responses are retried regardless (honoring the server's
+    /// backoff and seeded jitter when `opts.idempotent` *or* when the
+    /// server has advertised a reply cache (every attempt carries the
+    /// same call id, so a redelivered duplicate returns the cached reply
+    /// instead of re-executing — at-most-once execution, and with the
+    /// retries, exactly-once). Garbled replies ([`CallError::Protocol`])
+    /// are likewise retried under an advertised cache: the request may
+    /// have executed, and the redelivery fetches the stored reply. 503
+    /// load-shed responses are retried regardless (honoring the server's
     /// `Retry-After` hint over the backoff schedule). Consecutive
     /// transport failures trip the authority's circuit breaker, after
     /// which calls fail fast with [`CallError::CircuitOpen`] until a
@@ -188,12 +197,16 @@ impl ClientEnvironment {
         args: &[Value],
         opts: CallOptions,
     ) -> Result<Value, CallError> {
-        let deadline = Instant::now() + opts.deadline.unwrap_or(self.policy.deadline);
+        let started = Instant::now();
+        let deadline = started + opts.deadline.unwrap_or(self.policy.deadline);
         let counters = rmi_counters();
         let authority = stub.authority();
         let breaker = breaker_for(&authority, &self.policy);
         let mut backoff = Backoff::new(&self.policy);
         let mut attempt = 0u32;
+        // One logical call, one id: every retry below redelivers the
+        // same id, which is what lets a caching server deduplicate.
+        let call_id = obs::CallId::fresh();
         loop {
             attempt += 1;
             if !breaker.try_acquire() {
@@ -201,16 +214,31 @@ impl ClientEnvironment {
                     authority: authority.to_string(),
                 });
             }
-            let retry_wait = match self.call_once(stub, method, args) {
+            let retry_wait = match self.call_once(stub, method, args, Some(call_id)) {
                 Ok(v) => {
                     breaker.on_success();
                     return Ok(v);
                 }
                 Err(CallError::Transport(m)) => {
                     breaker.on_failure();
-                    if !opts.idempotent || attempt >= self.policy.max_attempts {
+                    // A non-idempotent call whose outcome is unknown is
+                    // only safe to re-send when the server deduplicates
+                    // by call id.
+                    if !(opts.idempotent || stub.server_caches())
+                        || attempt >= self.policy.max_attempts
+                    {
                         return Err(CallError::Transport(m));
                     }
+                    backoff.next_delay()
+                }
+                Err(CallError::Protocol(_))
+                    if stub.server_caches() && attempt < self.policy.max_attempts =>
+                {
+                    // The reply arrived but was garbled — the method may
+                    // well have executed. Redelivering the same call id
+                    // fetches the cached reply rather than re-running it.
+                    breaker.on_success();
+                    obs::registry().counter("rmi_protocol_retries_total").inc();
                     backoff.next_delay()
                 }
                 Err(CallError::Overloaded { retry_after_ms }) => {
@@ -243,7 +271,10 @@ impl ClientEnvironment {
             };
             if Instant::now() + retry_wait >= deadline {
                 counters.1.inc();
-                return Err(CallError::DeadlineExceeded);
+                return Err(CallError::DeadlineExceeded {
+                    attempts: attempt,
+                    elapsed_ms: started.elapsed().as_millis() as u64,
+                });
             }
             counters.0.inc();
             obs::trace::verbose_event(
@@ -261,8 +292,9 @@ impl ClientEnvironment {
         stub: &Arc<DynamicStub>,
         method: &str,
         args: &[Value],
+        call_id: Option<obs::CallId>,
     ) -> Result<Value, CallError> {
-        match stub.call_raw(method, args) {
+        match stub.call_raw_with_id(method, args, call_id) {
             Ok(v) => Ok(v),
             Err(CallError::StaleMethod { method: m }) => {
                 // §6: update the client view to the currently published

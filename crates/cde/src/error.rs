@@ -32,7 +32,12 @@ pub enum CallError {
         retry_after_ms: Option<u64>,
     },
     /// The call's deadline budget was exhausted (attempts included).
-    DeadlineExceeded,
+    DeadlineExceeded {
+        /// How many attempts were made before the budget ran out.
+        attempts: u32,
+        /// How much of the deadline budget elapsed, in milliseconds.
+        elapsed_ms: u64,
+    },
     /// The per-authority circuit breaker is open: the call failed fast
     /// without touching the network.
     CircuitOpen {
@@ -56,7 +61,13 @@ impl fmt::Display for CallError {
                 Some(ms) => write!(f, "server overloaded (retry after {ms}ms)"),
                 None => write!(f, "server overloaded"),
             },
-            CallError::DeadlineExceeded => write!(f, "call deadline exceeded"),
+            CallError::DeadlineExceeded {
+                attempts,
+                elapsed_ms,
+            } => write!(
+                f,
+                "call deadline exceeded after {attempts} attempt(s) in {elapsed_ms}ms"
+            ),
             CallError::CircuitOpen { authority } => {
                 write!(f, "circuit open for {authority}")
             }
@@ -83,7 +94,14 @@ mod tests {
         }
         .to_string()
         .contains("250ms"));
-        assert!(CallError::DeadlineExceeded.to_string().contains("deadline"));
+        let deadline = CallError::DeadlineExceeded {
+            attempts: 3,
+            elapsed_ms: 1200,
+        }
+        .to_string();
+        assert!(deadline.contains("deadline"));
+        assert!(deadline.contains("3 attempt"));
+        assert!(deadline.contains("1200ms"));
         assert!(CallError::CircuitOpen {
             authority: "mem://a".into()
         }

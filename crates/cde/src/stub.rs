@@ -1,6 +1,7 @@
 //! Dynamic client stubs over the SOAP and CORBA backends.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use corba::{CorbaError, IdlModule, Ior, OrbConnection};
@@ -79,6 +80,12 @@ pub struct DynamicStub {
     /// polls cost a `304` on a reused connection, not a re-download.
     fetcher: DocFetcher,
     policy: Arc<ResiliencePolicy>,
+    /// Set when a reply advertises a server-side reply cache (the SOAP
+    /// `X-SDE-Reply-Cache` header or the GIOP reply-cache service
+    /// context). Once set, transport-failed calls are safe to retry
+    /// under the same call id even when non-idempotent: a redelivery is
+    /// served from the cache instead of re-executing.
+    server_caches: AtomicBool,
 }
 
 impl DynamicStub {
@@ -115,6 +122,7 @@ impl DynamicStub {
             pool: ConnectionPool::new(HttpClient::new().with_read_timeout(policy.request_timeout)),
             fetcher: DocFetcher::with_policy(policy.clone()),
             policy,
+            server_caches: AtomicBool::new(false),
         };
         stub.refresh()?;
         Ok(stub)
@@ -153,6 +161,7 @@ impl DynamicStub {
             pool: ConnectionPool::new(HttpClient::new().with_read_timeout(policy.request_timeout)),
             fetcher: DocFetcher::with_policy(policy.clone()),
             policy,
+            server_caches: AtomicBool::new(false),
         };
         stub.refresh()?;
         Ok(stub)
@@ -316,6 +325,27 @@ impl DynamicStub {
         }
     }
 
+    /// Whether the server has advertised a reply cache on this stub's
+    /// connection (negotiated from the first reply that carries the
+    /// advertisement).
+    pub fn server_caches(&self) -> bool {
+        self.server_caches.load(Ordering::Relaxed)
+    }
+
+    /// Drops every parked connection (the SOAP keep-alive pool or the
+    /// persistent CORBA connection). The next call connects fresh.
+    ///
+    /// Long-lived parked connections bypass anything hooked into
+    /// connection establishment — most notably a fault plan installed
+    /// mid-session — so chaos tooling calls this after installing a plan
+    /// to make the subsequent traffic actually roll the dice.
+    pub fn drop_pooled_connections(&self) {
+        self.pool.purge_all();
+        if let Backend::Corba { conn, .. } = &self.backend {
+            *conn.lock() = None;
+        }
+    }
+
     /// Invokes `method` with positional `args`, without any stale-method
     /// recovery (that lives in
     /// [`crate::ClientEnvironment::call`]).
@@ -324,6 +354,23 @@ impl DynamicStub {
     ///
     /// All the [`CallError`] variants.
     pub fn call_raw(&self, method: &str, args: &[Value]) -> Result<Value, CallError> {
+        self.call_raw_with_id(method, args, None)
+    }
+
+    /// Like [`DynamicStub::call_raw`], but attaches a logical call id to
+    /// the request (SOAP header / GIOP service context) so a caching
+    /// server can recognize transport-level redeliveries of the same
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// All the [`CallError`] variants.
+    pub fn call_raw_with_id(
+        &self,
+        method: &str,
+        args: &[Value],
+        call_id: Option<obs::CallId>,
+    ) -> Result<Value, CallError> {
         match &self.backend {
             Backend::Soap {
                 namespace, route, ..
@@ -343,10 +390,11 @@ impl DynamicStub {
                     let view = self.view.read();
                     match view.operations.iter().find(|o| o.name == method) {
                         Some(op) if op.params.len() >= args.len() => {
-                            soap::encode_request_into(
+                            soap::encode_request_with_id_into(
                                 &ns,
                                 method,
                                 op.params.iter().map(|(n, _)| n.as_str()).zip(args),
+                                call_id,
                                 &mut body,
                             );
                         }
@@ -356,7 +404,7 @@ impl DynamicStub {
                             // back to positional names.
                             let names: Vec<String> =
                                 (0..args.len()).map(|i| format!("arg{i}")).collect();
-                            soap::encode_request_into(
+                            soap::encode_request_with_id_into(
                                 &ns,
                                 method,
                                 args.iter().enumerate().map(|(i, v)| {
@@ -365,6 +413,7 @@ impl DynamicStub {
                                         .map_or(names[i].as_str(), |(n, _)| n.as_str());
                                     (name, v)
                                 }),
+                                call_id,
                                 &mut body,
                             );
                         }
@@ -380,6 +429,9 @@ impl DynamicStub {
                 // Recycle the encode buffer whatever the outcome.
                 ENCODE_BUF.with(|b| *b.borrow_mut() = http_req.into_body());
                 let resp = sent.map_err(|e| CallError::Transport(e.to_string()))?;
+                if resp.headers().get(soap::REPLY_CACHE_HEADER).is_some() {
+                    self.server_caches.store(true, Ordering::Relaxed);
+                }
                 if resp.status() == 503 {
                     // Load shed by the HTTP layer before the SOAP engine
                     // saw the request — safe to retry, hint included.
@@ -402,7 +454,7 @@ impl DynamicStub {
                 // duration of the call; a concurrent caller finds the
                 // slot empty and connects fresh.
                 let mut outcome = match conn.lock().take() {
-                    Some(mut c) => match c.call(method, args) {
+                    Some(mut c) => match c.call_with_id(method, args, call_id) {
                         // The parked connection may have died while idle
                         // (server restart, idle timeout): retry once on
                         // a fresh socket before reporting failure.
@@ -419,10 +471,13 @@ impl DynamicStub {
                         )
                         .map_err(|e| corba_to_error(method, e))?,
                     );
-                    let out = c.call(method, args);
+                    let out = c.call_with_id(method, args, call_id);
                     outcome = Some((c, out));
                 }
                 let (c, out) = outcome.expect("connection outcome");
+                if c.peer_caches_replies() {
+                    self.server_caches.store(true, Ordering::Relaxed);
+                }
                 match out {
                     Ok(v) => {
                         *conn.lock() = Some(c);
@@ -430,9 +485,15 @@ impl DynamicStub {
                     }
                     Err(e) => {
                         // Server-level exceptions arrive over a healthy
-                        // connection — park it; transport failures mean
-                        // the socket is gone.
-                        if !matches!(e, CorbaError::Transport(_)) {
+                        // connection — park it. Transport failures mean
+                        // the socket is gone, and a MARSHAL failure means
+                        // the byte stream may be desynced mid-frame:
+                        // parking either would poison every later call.
+                        if !matches!(
+                            e,
+                            CorbaError::Transport(_)
+                                | CorbaError::System(corba::SystemExceptionKind::Marshal, _)
+                        ) {
                             *conn.lock() = Some(c);
                         }
                         Err(corba_to_error(method, e))

@@ -18,6 +18,17 @@ const MAGIC: &[u8; 4] = b"GIOP";
 /// Maximum accepted message body (defensive bound against hostile sizes).
 const MAX_BODY: usize = 64 * 1024 * 1024;
 
+/// Service-context id carrying the at-most-once call id ("SDE\x01" in
+/// the vendor range; the payload is [`obs::callid::WIRE_LEN`] bytes,
+/// client word then sequence word, both big-endian).
+pub const CALL_ID_CONTEXT: u32 = 0x5344_4501;
+
+/// Service-context id through which a reply advertises that the server
+/// keeps a reply cache (payload: one octet, `1`). Clients treat its
+/// presence as permission to retry non-idempotent calls under the same
+/// call id.
+pub const REPLY_CACHE_CONTEXT: u32 = 0x5344_4502;
+
 /// GIOP message types (subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -86,6 +97,9 @@ pub struct RequestMessage {
     pub operation: String,
     /// Arguments in positional order.
     pub args: Vec<Value>,
+    /// At-most-once call id from the [`CALL_ID_CONTEXT`] service
+    /// context, if the client sent one.
+    pub call_id: Option<obs::CallId>,
 }
 
 /// The status + payload of a GIOP Reply.
@@ -170,6 +184,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &RequestMessage) -> Result<(), Co
         &req.object_key,
         &req.operation,
         &req.args,
+        req.call_id,
         &mut GiopBufs::default(),
     )
 }
@@ -182,6 +197,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &RequestMessage) -> Result<(), Co
 /// # Errors
 ///
 /// Propagates transport failures as [`CorbaError::Transport`].
+#[allow(clippy::too_many_arguments)]
 pub fn write_request_parts<W: Write>(
     w: &mut W,
     request_id: u32,
@@ -189,10 +205,18 @@ pub fn write_request_parts<W: Write>(
     object_key: &[u8],
     operation: &str,
     args: &[Value],
+    call_id: Option<obs::CallId>,
     bufs: &mut GiopBufs,
 ) -> Result<(), CorbaError> {
     let mut body = CdrWriter::with_buf(std::mem::take(&mut bufs.body), true);
-    body.write_ulong(0); // empty service context list
+    match call_id {
+        Some(id) => {
+            body.write_ulong(1); // service context list: the call id
+            body.write_ulong(CALL_ID_CONTEXT);
+            body.write_octet_seq(&id.to_wire());
+        }
+        None => body.write_ulong(0), // empty service context list
+    }
     body.write_ulong(request_id);
     body.write_boolean(response_expected);
     body.write_octet_seq(object_key);
@@ -230,8 +254,30 @@ pub fn write_reply_with<W: Write>(
     reply: &ReplyMessage,
     bufs: &mut GiopBufs,
 ) -> Result<(), CorbaError> {
+    write_reply_advertising(w, reply, false, bufs)
+}
+
+/// [`write_reply_with`] that can additionally attach the
+/// [`REPLY_CACHE_CONTEXT`] service context, telling the client this
+/// server performs at-most-once reply caching.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_reply_advertising<W: Write>(
+    w: &mut W,
+    reply: &ReplyMessage,
+    advertise_reply_cache: bool,
+    bufs: &mut GiopBufs,
+) -> Result<(), CorbaError> {
     let mut body = CdrWriter::with_buf(std::mem::take(&mut bufs.body), true);
-    body.write_ulong(0); // empty service context list
+    if advertise_reply_cache {
+        body.write_ulong(1);
+        body.write_ulong(REPLY_CACHE_CONTEXT);
+        body.write_octet_seq(&[1]);
+    } else {
+        body.write_ulong(0); // empty service context list
+    }
     body.write_ulong(reply.request_id);
     match &reply.body {
         ReplyBody::NoException(v) => {
@@ -422,9 +468,15 @@ pub fn read_message_into<R: Read>(
 pub fn decode_request(body: &[u8], big_endian: bool) -> Result<RequestMessage, CorbaError> {
     let mut r = CdrReader::new(body, big_endian);
     let ctx_count = r.read_ulong()?;
+    let mut call_id = None;
     for _ in 0..ctx_count {
-        let _id = r.read_ulong()?;
-        let _data = r.read_octet_seq()?;
+        let id = r.read_ulong()?;
+        let data = r.read_octet_seq()?;
+        if id == CALL_ID_CONTEXT && call_id.is_none() {
+            // A malformed payload is treated as absent: the call still
+            // executes, just without duplicate suppression.
+            call_id = obs::CallId::from_wire(&data);
+        }
     }
     let request_id = r.read_ulong()?;
     let response_expected = r.read_boolean()?;
@@ -448,6 +500,7 @@ pub fn decode_request(body: &[u8], big_endian: bool) -> Result<RequestMessage, C
         object_key,
         operation,
         args,
+        call_id,
     })
 }
 
@@ -457,11 +510,28 @@ pub fn decode_request(body: &[u8], big_endian: bool) -> Result<RequestMessage, C
 ///
 /// `MARSHAL` on malformed bodies.
 pub fn decode_reply(body: &[u8], big_endian: bool) -> Result<ReplyMessage, CorbaError> {
+    decode_reply_flags(body, big_endian).map(|(reply, _)| reply)
+}
+
+/// [`decode_reply`] that also reports whether the server attached the
+/// [`REPLY_CACHE_CONTEXT`] advertisement.
+///
+/// # Errors
+///
+/// `MARSHAL` on malformed bodies.
+pub fn decode_reply_flags(
+    body: &[u8],
+    big_endian: bool,
+) -> Result<(ReplyMessage, bool), CorbaError> {
     let mut r = CdrReader::new(body, big_endian);
     let ctx_count = r.read_ulong()?;
+    let mut reply_cache_advertised = false;
     for _ in 0..ctx_count {
-        let _id = r.read_ulong()?;
-        let _data = r.read_octet_seq()?;
+        let id = r.read_ulong()?;
+        let data = r.read_octet_seq()?;
+        if id == REPLY_CACHE_CONTEXT && data.first() == Some(&1) {
+            reply_cache_advertised = true;
+        }
     }
     let request_id = r.read_ulong()?;
     let status = r.read_ulong()?;
@@ -487,7 +557,7 @@ pub fn decode_reply(body: &[u8], big_endian: bool) -> Result<ReplyMessage, Corba
             ))
         }
     };
-    Ok(ReplyMessage { request_id, body })
+    Ok((ReplyMessage { request_id, body }, reply_cache_advertised))
 }
 
 #[cfg(test)]
@@ -525,6 +595,7 @@ mod tests {
                 Value::Str("two".into()),
                 Value::Seq(TypeDesc::Double, vec![Value::Double(3.0)]),
             ],
+            call_id: None,
         };
         assert_eq!(roundtrip_request(&req), req);
     }
@@ -537,6 +608,7 @@ mod tests {
             object_key: Vec::new(),
             operation: "ping".into(),
             args: Vec::new(),
+            call_id: None,
         };
         assert_eq!(roundtrip_request(&req), req);
     }
@@ -560,6 +632,43 @@ mod tests {
                 body: body.clone(),
             };
             assert_eq!(roundtrip_reply(&reply), reply);
+        }
+    }
+
+    #[test]
+    fn call_id_service_context_round_trips() {
+        let id = obs::CallId {
+            client: 0x0102_0304_0506_0708,
+            seq: 99,
+        };
+        let req = RequestMessage {
+            request_id: 5,
+            response_expected: true,
+            object_key: b"k".to_vec(),
+            operation: "bump".into(),
+            args: vec![Value::Int(3)],
+            call_id: Some(id),
+        };
+        let back = roundtrip_request(&req);
+        assert_eq!(back.call_id, Some(id));
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn reply_cache_advertisement_round_trips() {
+        let reply = ReplyMessage {
+            request_id: 8,
+            body: ReplyBody::NoException(Value::Int(1)),
+        };
+        for advertise in [false, true] {
+            let mut buf = Vec::new();
+            write_reply_advertising(&mut buf, &reply, advertise, &mut GiopBufs::default()).unwrap();
+            let mut cursor = &buf[..];
+            let (ty, body, be) = read_message(&mut cursor).unwrap().unwrap();
+            assert_eq!(ty, MsgType::Reply);
+            let (decoded, advertised) = decode_reply_flags(&body, be).unwrap();
+            assert_eq!(decoded, reply);
+            assert_eq!(advertised, advertise);
         }
     }
 
@@ -615,6 +724,7 @@ mod tests {
             object_key: Vec::new(),
             operation: "op".into(),
             args: Vec::new(),
+            call_id: None,
         };
         let mut buf = Vec::new();
         write_request(&mut buf, &req).unwrap();

@@ -12,8 +12,8 @@ use obs::sync::Mutex;
 
 use crate::error::{CorbaError, SystemExceptionKind};
 use crate::giop::{
-    decode_reply, decode_request, read_message_into, write_reply_with, write_request_parts,
-    GiopBufs, MsgType, ReplyBody, ReplyMessage,
+    decode_reply_flags, decode_request, read_message_into, write_reply_advertising,
+    write_request_parts, GiopBufs, MsgType, ReplyBody, ReplyMessage,
 };
 use crate::ior::Ior;
 
@@ -28,6 +28,15 @@ pub trait DynamicImplementation: Send + Sync + 'static {
     /// [`ServerRequest::arguments`], then call
     /// [`ServerRequest::set_result`] or [`ServerRequest::set_exception`].
     fn invoke(&self, request: &mut ServerRequest);
+
+    /// Whether this servant consults a reply cache keyed by
+    /// [`ServerRequest::call_id`]. When `true` the ORB advertises the
+    /// fact in every reply's service-context list, which lets clients
+    /// safely retry non-idempotent calls (a redelivered call id returns
+    /// the cached reply instead of re-executing).
+    fn caches_replies(&self) -> bool {
+        false
+    }
 }
 
 /// An in-progress server-side request handed to the DSI implementation.
@@ -35,6 +44,7 @@ pub trait DynamicImplementation: Send + Sync + 'static {
 pub struct ServerRequest {
     operation: String,
     args: Vec<Value>,
+    call_id: Option<obs::CallId>,
     outcome: Option<Result<Value, CorbaError>>,
 }
 
@@ -42,6 +52,12 @@ impl ServerRequest {
     /// The requested operation name.
     pub fn operation(&self) -> &str {
         &self.operation
+    }
+
+    /// The logical call id the client attached, if any — stable across
+    /// transport-level retries of the same call.
+    pub fn call_id(&self) -> Option<obs::CallId> {
+        self.call_id
     }
 
     /// The positional arguments.
@@ -225,6 +241,7 @@ fn serve_connection(
                             let mut sreq = ServerRequest {
                                 operation: req.operation,
                                 args: req.args,
+                                call_id: req.call_id,
                                 outcome: None,
                             };
                             implementation.invoke(&mut sreq);
@@ -243,7 +260,8 @@ fn serve_connection(
                     request_id,
                     body: reply_body,
                 };
-                if write_reply_with(&mut writer, &reply, &mut bufs).is_err() {
+                let advertise = implementation.caches_replies();
+                if write_reply_advertising(&mut writer, &reply, advertise, &mut bufs).is_err() {
                     return;
                 }
             }
@@ -280,6 +298,7 @@ pub struct OrbConnection {
     // without allocating for the request frame or the reply body.
     bufs: GiopBufs,
     read_buf: Vec<u8>,
+    peer_caches_replies: bool,
 }
 
 impl OrbConnection {
@@ -309,7 +328,14 @@ impl OrbConnection {
             next_request_id: AtomicU32::new(1),
             bufs: GiopBufs::default(),
             read_buf: Vec::new(),
+            peer_caches_replies: false,
         })
+    }
+
+    /// Whether the most recent reply advertised a server-side reply
+    /// cache (a retried call id is served from cache, not re-executed).
+    pub fn peer_caches_replies(&self) -> bool {
+        self.peer_caches_replies
     }
 
     /// Invokes `operation` with positional `args` and waits for the reply.
@@ -319,6 +345,21 @@ impl OrbConnection {
     /// Transport failures, marshal failures, and any exception the server
     /// replies with.
     pub fn call(&mut self, operation: &str, args: &[Value]) -> Result<Value, CorbaError> {
+        self.call_with_id(operation, args, None)
+    }
+
+    /// Like [`OrbConnection::call`], but attaches a logical call id as a
+    /// GIOP service context so a caching server can deduplicate retries.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OrbConnection::call`].
+    pub fn call_with_id(
+        &mut self,
+        operation: &str,
+        args: &[Value],
+        call_id: Option<obs::CallId>,
+    ) -> Result<Value, CorbaError> {
         let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
         write_request_parts(
             &mut self.stream,
@@ -327,6 +368,7 @@ impl OrbConnection {
             &self.object_key,
             operation,
             args,
+            call_id,
             &mut self.bufs,
         )?;
         let (msg_type, big_endian) = read_message_into(&mut self.stream, &mut self.read_buf)?
@@ -337,7 +379,10 @@ impl OrbConnection {
                 format!("expected Reply, got {msg_type:?}"),
             ));
         }
-        let reply = decode_reply(&self.read_buf, big_endian)?;
+        let (reply, advertised) = decode_reply_flags(&self.read_buf, big_endian)?;
+        if advertised {
+            self.peer_caches_replies = true;
+        }
         if reply.request_id != request_id {
             return Err(CorbaError::system(
                 SystemExceptionKind::Marshal,

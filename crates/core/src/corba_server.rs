@@ -10,6 +10,7 @@ use crate::docs::DocumentStore;
 use crate::error::SdeError;
 use crate::gateway::{GatewayCore, HandlerMetrics, InvokeFailure, SdeServerGateway, Technology};
 use crate::publish::{GeneratedDoc, PublicationStrategy, PublisherCore};
+use crate::replycache::CachedReply;
 
 /// A managed CORBA server: the paper's `CORBAServer` gateway plus its IDL
 /// Generator, CORBA Call Handler (a DSI servant wrapping the Server ORB),
@@ -119,6 +120,11 @@ impl CorbaServer {
         self.core.metrics()
     }
 
+    /// Snapshot of the exactly-once reply cache.
+    pub fn reply_cache_stats(&self) -> crate::replycache::ReplyCacheStats {
+        self.core.reply_cache().stats()
+    }
+
     /// Toggles the §5.7 reactive forced publication (see
     /// [`GatewayCore::set_reactive`](crate::GatewayCore::set_reactive)).
     pub fn set_reactive(&self, reactive: bool) {
@@ -165,6 +171,15 @@ struct CorbaCallHandler {
 
 impl DynamicImplementation for CorbaCallHandler {
     fn invoke(&self, request: &mut ServerRequest) {
+        // At-most-once execution: a redelivered call id means the first
+        // delivery already ran — replay the stored result instead of
+        // executing again.
+        if let Some(id) = request.call_id() {
+            if let Some(CachedReply::Value(v)) = self.core.reply_cache().lookup(id) {
+                request.set_result(v);
+                return;
+            }
+        }
         // CORBA arguments are positional: wrap with empty names.
         let args: Vec<(String, jpie::Value)> = request
             .arguments()
@@ -172,7 +187,14 @@ impl DynamicImplementation for CorbaCallHandler {
             .map(|v| (String::new(), v.clone()))
             .collect();
         match self.core.dispatch(request.operation(), &args) {
-            Ok(value) => request.set_result(value),
+            Ok(value) => {
+                if let Some(id) = request.call_id() {
+                    self.core
+                        .reply_cache()
+                        .store(id, CachedReply::Value(value.clone()));
+                }
+                request.set_result(value)
+            }
             Err(InvokeFailure::NotInitialized) => {
                 fault_counter("object_not_exist").inc();
                 request.set_exception(CorbaError::system(
@@ -201,6 +223,12 @@ impl DynamicImplementation for CorbaCallHandler {
                 request.set_exception(CorbaError::user_exception(msg))
             }
         }
+    }
+
+    fn caches_replies(&self) -> bool {
+        // The ORB advertises the cache in every reply's service-context
+        // list, licensing clients to retry non-idempotent calls.
+        true
     }
 }
 

@@ -10,6 +10,7 @@ use httpd::{Handler, HttpServer, Request, Response};
 use obs::sync::RwLock;
 
 use crate::error::SdeError;
+use crate::wal::VersionWal;
 
 /// The shared store of published documents, keyed by URL path
 /// (e.g. `/Calc.wsdl`, `/Calc.idl`, `/Calc.ior`).
@@ -18,6 +19,8 @@ pub struct DocumentStore {
     docs: Arc<RwLock<HashMap<String, PublishedDocument>>>,
     /// Version history per path (append-only; survives retraction).
     history: Arc<RwLock<HashMap<String, Vec<u64>>>>,
+    /// Durable publication log, when the manager was configured with one.
+    wal: Arc<RwLock<Option<Arc<VersionWal>>>>,
 }
 
 /// One published document with its version stamp.
@@ -69,8 +72,20 @@ impl DocumentStore {
         DocumentStore::default()
     }
 
+    /// Attaches a durable publication log: every subsequent
+    /// [`publish`](DocumentStore::publish) appends to it before the
+    /// document becomes visible in the store.
+    pub fn attach_wal(&self, wal: Arc<VersionWal>) {
+        *self.wal.write() = Some(wal);
+    }
+
     /// Publishes (or replaces) the document at `path`.
     pub fn publish(&self, path: &str, content: String, version: u64, content_type: &'static str) {
+        // Durability first: the version must hit disk before any client
+        // can observe it, or a crash could roll the version stream back.
+        if let Some(wal) = self.wal.read().as_ref() {
+            wal.append(path, version);
+        }
         self.docs.write().insert(
             path.to_string(),
             PublishedDocument {

@@ -14,6 +14,7 @@ use obs::sync::{Mutex, RwLock};
 
 use crate::error::SdeError;
 use crate::publish::PublisherCore;
+use crate::replycache::ReplyCache;
 
 /// Which RMI technology a gateway speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -178,6 +179,9 @@ pub struct GatewayCore {
     /// instead of queueing their own write-stall: a steady stream of
     /// stall writers would starve the (reader-side) call path.
     forcing: AtomicBool,
+    /// At-most-once execution: replies to id-carrying calls, keyed by
+    /// call id, consulted by the call handlers before dispatching.
+    reply_cache: ReplyCache,
 }
 
 impl std::fmt::Debug for GatewayCore {
@@ -194,6 +198,7 @@ impl GatewayCore {
     pub fn new(class: ClassHandle) -> Arc<GatewayCore> {
         let class_name = class.name();
         let o = GatewayObs::for_class(&class_name);
+        let reply_cache = ReplyCache::for_class(&class_name);
         Arc::new(GatewayCore {
             class,
             class_name,
@@ -205,7 +210,14 @@ impl GatewayCore {
             stale_notify: RwLock::new(None),
             reactive: AtomicBool::new(true),
             forcing: AtomicBool::new(false),
+            reply_cache,
         })
+    }
+
+    /// The gateway's reply cache (consulted by the SOAP and CORBA call
+    /// handlers; inspectable from the REPL).
+    pub fn reply_cache(&self) -> &ReplyCache {
+        &self.reply_cache
     }
 
     /// The dynamic class.

@@ -32,7 +32,9 @@ mod error;
 mod gateway;
 mod manager;
 pub mod publish;
+pub mod replycache;
 mod soap_server;
+pub mod wal;
 
 pub use corba_server::CorbaServer;
 pub use docs::{DocumentStore, InterfaceServer, PublishedDocument};
@@ -40,4 +42,6 @@ pub use error::SdeError;
 pub use gateway::{GatewayCore, HandlerMetrics, InvokeFailure, SdeServerGateway, Technology};
 pub use manager::{SdeConfig, SdeManager, TransportKind};
 pub use publish::{GeneratedDoc, PublicationStrategy, PublisherCore, PublisherMetrics};
+pub use replycache::{CachedReply, ReplyCache, ReplyCacheStats};
 pub use soap_server::SoapServer;
+pub use wal::VersionWal;

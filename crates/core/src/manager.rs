@@ -17,6 +17,7 @@ use crate::error::SdeError;
 use crate::gateway::{SdeServerGateway, Technology};
 use crate::publish::PublicationStrategy;
 use crate::soap_server::SoapServer;
+use crate::wal::VersionWal;
 
 /// Which transport newly deployed endpoints use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,13 @@ pub struct SdeConfig {
     /// Initial publication strategy for new deployments. The paper's
     /// default is the stable timeout (§5.6).
     pub strategy: PublicationStrategy,
+    /// Directory for the durable publication log. When set, every
+    /// interface publication is appended to a per-authority
+    /// [`VersionWal`](crate::VersionWal) before it becomes visible, and a
+    /// manager restarted at the same interface address replays the log so
+    /// redeployed classes resume at `version >= pre-crash`. `None`
+    /// (the default) keeps everything in memory.
+    pub wal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SdeConfig {
@@ -44,6 +52,7 @@ impl Default for SdeConfig {
         SdeConfig {
             transport: TransportKind::Mem,
             strategy: PublicationStrategy::StableTimeout(Duration::from_millis(200)),
+            wal_dir: None,
         }
     }
 }
@@ -112,6 +121,8 @@ pub struct SdeManager {
     servers: RwLock<HashMap<String, ManagedServer>>,
     /// Per-handler §5.7 stale-notification counters.
     stale_counters: RwLock<Vec<Arc<AtomicU64>>>,
+    /// Durable publication log (when [`SdeConfig::wal_dir`] is set).
+    wal: Option<Arc<VersionWal>>,
 }
 
 impl std::fmt::Debug for SdeManager {
@@ -145,12 +156,52 @@ impl SdeManager {
     /// Fails if the Interface Server endpoint cannot be bound.
     pub fn with_interface_addr(config: SdeConfig, addr: &str) -> Result<SdeManager, SdeError> {
         let interface_server = InterfaceServer::bind(addr)?;
+        let wal = match &config.wal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| SdeError::State(format!("wal dir {}: {e}", dir.display())))?;
+                // One log per published authority: a restart at the same
+                // interface address finds the same file and replays it.
+                let file: String = addr
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                let wal = Arc::new(
+                    VersionWal::open(&dir.join(format!("{file}.wal")))
+                        .map_err(|e| SdeError::State(format!("wal open: {e}")))?,
+                );
+                interface_server.store().attach_wal(wal.clone());
+                Some(wal)
+            }
+            None => None,
+        };
         Ok(SdeManager {
             config,
             interface_server,
             servers: RwLock::new(HashMap::new()),
             stale_counters: RwLock::new(Vec::new()),
+            wal,
         })
+    }
+
+    /// Applies the replayed WAL floor for `class_name`'s documents to the
+    /// class, so the first publication after a restart is at
+    /// `version >= pre-crash` — the §6 recency guarantee across crashes.
+    fn restore_from_wal(&self, class: &ClassHandle) {
+        let Some(wal) = &self.wal else { return };
+        let name = class.name();
+        let floor = [format!("/{name}.wsdl"), format!("/{name}.idl")]
+            .iter()
+            .filter_map(|p| wal.floor(p))
+            .max();
+        if let Some(floor) = floor {
+            class.restore_version_floor(floor);
+            obs::trace::event(
+                "sde::manager",
+                "wal-restore",
+                format!("class={name} version_floor={floor}"),
+            );
+        }
     }
 
     /// The shared Interface Server.
@@ -182,6 +233,7 @@ impl SdeManager {
     pub fn deploy_soap(&self, class: ClassHandle) -> Result<Arc<SoapServer>, SdeError> {
         let name = class.name();
         self.check_unmanaged(&name)?;
+        self.restore_from_wal(&class);
         let endpoint_addr = fresh_addr(self.config.transport, "soap");
         let server = Arc::new(SoapServer::deploy(
             class,
@@ -210,6 +262,7 @@ impl SdeManager {
     pub fn deploy_corba(&self, class: ClassHandle) -> Result<Arc<CorbaServer>, SdeError> {
         let name = class.name();
         self.check_unmanaged(&name)?;
+        self.restore_from_wal(&class);
         let orb_addr = fresh_addr(self.config.transport, "orb");
         let server = Arc::new(CorbaServer::deploy(
             class,

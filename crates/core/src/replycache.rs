@@ -1,0 +1,238 @@
+//! Bounded, TTL'd server-side reply cache keyed by [`obs::CallId`].
+//!
+//! The server half of the exactly-once bargain: every reply to a call
+//! that carried an id is stored here, and a redelivery of the same id
+//! (a client retry whose first attempt executed but whose reply was
+//! lost) returns the stored reply *without re-executing the method
+//! body*. Combined with the client reusing one id across retries, that
+//! gives at-most-once execution — and with retries on top, effectively
+//! exactly-once for calls that eventually succeed.
+//!
+//! Only successful outcomes are cached. `Server not initialized` and
+//! `Non existent Method` faults describe transient server states the
+//! §5.7/§6 machinery exists to repair — caching them would pin a client
+//! to a fault its own retry protocol is designed to recover from.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use obs::sync::Mutex;
+use obs::CallId;
+
+/// One stored reply, in whatever form the serving protocol wants to
+/// replay it.
+#[derive(Debug, Clone)]
+pub enum CachedReply {
+    /// The encoded SOAP 200 response body, shared so a replay is a
+    /// refcount bump, not a copy.
+    SoapBody(Arc<[u8]>),
+    /// A CORBA result value (re-marshalled per replay; CDR encoding
+    /// into the connection's recycled buffers is already alloc-free).
+    Value(jpie::Value),
+}
+
+/// Point-in-time cache statistics, for the REPL's `replycache` command
+/// and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyCacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Replies stored over the cache's lifetime.
+    pub stores: u64,
+    /// Duplicate deliveries served from the cache.
+    pub hits: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    reply: CachedReply,
+    stored_at: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CallId, Entry>,
+    /// Insertion order for FIFO eviction. May contain ids that expiry
+    /// already removed from the map; eviction skips those.
+    order: VecDeque<CallId>,
+}
+
+/// The cache proper: FIFO-bounded, TTL'd, shared by one gateway.
+pub struct ReplyCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    ttl: Duration,
+    stores: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    o_stores: Arc<obs::Counter>,
+    o_hits: Arc<obs::Counter>,
+    o_evictions: Arc<obs::Counter>,
+}
+
+impl std::fmt::Debug for ReplyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplyCache")
+            .field("capacity", &self.capacity)
+            .field("ttl", &self.ttl)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Default capacity: enough to cover every in-flight retry window of a
+/// busy development server without growing unboundedly.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Default TTL: comfortably longer than any client deadline budget
+/// (the default `cde` deadline is 10 seconds), so a retry arriving at
+/// the very end of its budget still finds the first attempt's reply.
+pub const DEFAULT_TTL: Duration = Duration::from_secs(30);
+
+impl ReplyCache {
+    /// Creates a cache with the default bound and TTL, registering its
+    /// metrics under the given class label.
+    pub fn for_class(class: &str) -> ReplyCache {
+        ReplyCache::new(class, DEFAULT_CAPACITY, DEFAULT_TTL)
+    }
+
+    /// Creates a cache with an explicit capacity and TTL.
+    pub fn new(class: &str, capacity: usize, ttl: Duration) -> ReplyCache {
+        let r = obs::registry();
+        let labels = [("class", class)];
+        ReplyCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            ttl,
+            stores: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            o_stores: r.counter_with("replies_cached_total", &labels),
+            o_hits: r.counter_with("duplicate_calls_suppressed_total", &labels),
+            o_evictions: r.counter_with("reply_cache_evictions_total", &labels),
+        }
+    }
+
+    /// Looks up a redelivered call id. A hit means "this call already
+    /// executed — do not run it again"; the stored reply is returned
+    /// for replay. Expired entries count as misses.
+    pub fn lookup(&self, id: CallId) -> Option<CachedReply> {
+        let mut inner = self.inner.lock();
+        let expired = match inner.map.get(&id) {
+            None => return None,
+            Some(e) => e.stored_at.elapsed() > self.ttl,
+        };
+        if expired {
+            inner.map.remove(&id);
+            return None;
+        }
+        let reply = inner.map.get(&id).map(|e| e.reply.clone());
+        if reply.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.o_hits.inc();
+        }
+        reply
+    }
+
+    /// Stores the reply for a completed call. A concurrent duplicate
+    /// that raced past the lookup simply overwrites with an equivalent
+    /// reply.
+    pub fn store(&self, id: CallId, reply: CachedReply) {
+        let mut inner = self.inner.lock();
+        let fresh = inner
+            .map
+            .insert(
+                id,
+                Entry {
+                    reply,
+                    stored_at: Instant::now(),
+                },
+            )
+            .is_none();
+        if fresh {
+            inner.order.push_back(id);
+        }
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            if inner.map.remove(&oldest).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.o_evictions.inc();
+            }
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.o_stores.inc();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ReplyCacheStats {
+        ReplyCacheStats {
+            entries: self.inner.lock().map.len(),
+            stores: self.stores.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(seq: u64) -> CallId {
+        CallId { client: 7, seq }
+    }
+
+    #[test]
+    fn store_then_lookup_hits() {
+        let cache = ReplyCache::for_class("RcStore");
+        assert!(cache.lookup(id(1)).is_none());
+        cache.store(id(1), CachedReply::Value(jpie::Value::Int(42)));
+        match cache.lookup(id(1)) {
+            Some(CachedReply::Value(jpie::Value::Int(42))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.entries, s.stores, s.hits, s.evictions), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let cache = ReplyCache::new("RcEvict", 2, Duration::from_secs(60));
+        for seq in 1..=3 {
+            cache.store(id(seq), CachedReply::Value(jpie::Value::Int(seq as i32)));
+        }
+        assert!(cache.lookup(id(1)).is_none(), "oldest entry evicted");
+        assert!(cache.lookup(id(2)).is_some());
+        assert!(cache.lookup(id(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = ReplyCache::new("RcTtl", 16, Duration::from_millis(1));
+        cache.store(id(1), CachedReply::Value(jpie::Value::Int(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(cache.lookup(id(1)).is_none(), "expired entry is a miss");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn overwrite_does_not_duplicate_order() {
+        let cache = ReplyCache::new("RcOverwrite", 2, Duration::from_secs(60));
+        cache.store(id(1), CachedReply::Value(jpie::Value::Int(1)));
+        cache.store(id(1), CachedReply::Value(jpie::Value::Int(1)));
+        cache.store(id(2), CachedReply::Value(jpie::Value::Int(2)));
+        // Both ids still fit: the double-store of id 1 must not have
+        // consumed a second capacity slot.
+        assert!(cache.lookup(id(1)).is_some());
+        assert!(cache.lookup(id(2)).is_some());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -5,7 +5,9 @@ use std::sync::Arc;
 
 use httpd::{Handler, HttpServer, Request, Response, Status};
 use jpie::{ClassHandle, Instance};
-use soap::{decode_request, SoapFault, WsdlDocument};
+use soap::{SoapFault, WsdlDocument};
+
+use crate::replycache::CachedReply;
 
 use crate::docs::DocumentStore;
 use crate::error::SdeError;
@@ -108,6 +110,11 @@ impl SoapServer {
         self.core.metrics()
     }
 
+    /// Snapshot of the exactly-once reply cache.
+    pub fn reply_cache_stats(&self) -> crate::replycache::ReplyCacheStats {
+        self.core.reply_cache().stats()
+    }
+
     /// Toggles the §5.7 reactive forced publication (see
     /// [`GatewayCore::set_reactive`](crate::GatewayCore::set_reactive)).
     pub fn set_reactive(&self, reactive: bool) {
@@ -152,8 +159,16 @@ struct SoapCallHandler {
 
 impl Handler for SoapCallHandler {
     fn handle(&self, req: &Request) -> Response {
+        // Every response from this handler advertises the reply cache,
+        // which is what licenses clients to retry non-idempotent calls.
+        advertise(self.handle_inner(req))
+    }
+}
+
+impl SoapCallHandler {
+    fn handle_inner(&self, req: &Request) -> Response {
         let xml = req.body_str();
-        let soap_req = match decode_request(&xml) {
+        let (soap_req, call_id) = match soap::decode_request_with_id(&xml) {
             Ok(r) => r,
             Err(e) => {
                 // "If the parsing reveals a malformed SOAP Request, a SOAP
@@ -162,13 +177,32 @@ impl Handler for SoapCallHandler {
                 return fault_response(&SoapFault::malformed_request(e.to_string()));
             }
         };
+        // At-most-once execution: a redelivered call id means the first
+        // delivery already ran (its reply got lost on the way back) —
+        // replay the stored reply instead of executing again.
+        if let Some(id) = call_id {
+            if let Some(CachedReply::SoapBody(body)) = self.core.reply_cache().lookup(id) {
+                return Response::ok_shared(body, "text/xml");
+            }
+        }
         match self.core.dispatch(soap_req.method(), soap_req.args()) {
             Ok(value) => {
                 // Encode straight into the response body — no String
                 // round-trip on the reply hot path.
                 let mut body = Vec::with_capacity(256);
                 soap::encode_ok_into(soap_req.method(), soap_req.namespace(), &value, &mut body);
-                Response::ok(body, "text/xml")
+                match call_id {
+                    Some(id) => {
+                        // Shared body: the cache entry and the response
+                        // replay the same allocation.
+                        let shared: Arc<[u8]> = body.into();
+                        self.core
+                            .reply_cache()
+                            .store(id, CachedReply::SoapBody(shared.clone()));
+                        Response::ok_shared(shared, "text/xml")
+                    }
+                    None => Response::ok(body, "text/xml"),
+                }
             }
             Err(InvokeFailure::NotInitialized) => {
                 fault_counter("server_not_initialized").inc();
@@ -195,6 +229,12 @@ impl Handler for SoapCallHandler {
             }
         }
     }
+}
+
+/// Stamps the reply-cache advertisement header on a response.
+fn advertise(mut resp: Response) -> Response {
+    resp.headers_mut().set(soap::REPLY_CACHE_HEADER, "1");
+    resp
 }
 
 /// Fault paths are cold, so the registry lookup per fault is fine.

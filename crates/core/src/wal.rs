@@ -1,0 +1,229 @@
+//! Append-only version write-ahead log for durable interface
+//! publication.
+//!
+//! Every document publication appends one record and fsyncs, so a
+//! server process killed at any point can be restarted at the same
+//! authority and replay the log: [`crate::SdeManager`] floors each
+//! redeployed class's interface version at the highest version the log
+//! holds for its documents. Clients that fetched pre-crash documents
+//! therefore never see the version stream move backwards — the §6
+//! recency guarantee survives a crash.
+//!
+//! Record layout (all integers big-endian):
+//!
+//! ```text
+//! [u32 payload_len] [payload: u64 version ++ path bytes] [u32 crc32(payload)]
+//! ```
+//!
+//! Replay is tolerant of a torn tail: the first record whose length,
+//! payload, or checksum cannot be read terminates the scan — everything
+//! before it was fsynced and is trusted.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use obs::sync::Mutex;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial). Bitwise — publications
+/// are rare and small, so a table buys nothing here.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Upper bound on a record payload accepted during replay: a length
+/// prefix beyond this is treated as a torn/corrupt tail, not an
+/// allocation request.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    /// Highest version replayed or appended per document path.
+    floors: HashMap<String, u64>,
+}
+
+/// The durable publication log: one per [`crate::SdeManager`] authority.
+#[derive(Debug)]
+pub struct VersionWal {
+    inner: Mutex<WalInner>,
+}
+
+impl VersionWal {
+    /// Opens (creating if absent) the log at `path` and replays every
+    /// intact record.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened or read. A torn or corrupt
+    /// tail is NOT an error — replay simply stops there.
+    pub fn open(path: &Path) -> std::io::Result<VersionWal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let floors = replay(&bytes);
+        if !floors.is_empty() {
+            obs::trace::event(
+                "sde::wal",
+                "replay",
+                format!("path={} documents={}", path.display(), floors.len()),
+            );
+        }
+        Ok(VersionWal {
+            inner: Mutex::new(WalInner { file, floors }),
+        })
+    }
+
+    /// Appends one publication record and fsyncs before returning: once
+    /// this call completes, a crash cannot lose the fact that
+    /// `doc_path` reached `version`.
+    pub fn append(&self, doc_path: &str, version: u64) {
+        let mut payload = Vec::with_capacity(8 + doc_path.len());
+        payload.extend_from_slice(&version.to_be_bytes());
+        payload.extend_from_slice(doc_path.as_bytes());
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&crc32(&payload).to_be_bytes());
+
+        let mut inner = self.inner.lock();
+        // One write: a torn record is all-tail, never an interior hole.
+        if inner.file.write_all(&record).is_err() {
+            return;
+        }
+        let _ = inner.file.sync_data();
+        let slot = inner.floors.entry(doc_path.to_string()).or_insert(0);
+        if version > *slot {
+            *slot = version;
+        }
+        obs::registry().counter("wal_appends_total").inc();
+    }
+
+    /// The highest version the log holds for `doc_path`, if any.
+    pub fn floor(&self, doc_path: &str) -> Option<u64> {
+        self.inner.lock().floors.get(doc_path).copied()
+    }
+}
+
+/// Scans raw log bytes into per-path version floors, stopping at the
+/// first incomplete or corrupt record.
+fn replay(bytes: &[u8]) -> HashMap<String, u64> {
+    let mut floors = HashMap::new();
+    let mut at = 0usize;
+    while let Some(len_bytes) = bytes.get(at..at + 4) {
+        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if len < 8 || len > MAX_PAYLOAD as usize {
+            break;
+        }
+        let Some(payload) = bytes.get(at + 4..at + 4 + len) else {
+            break;
+        };
+        let Some(crc_bytes) = bytes.get(at + 4 + len..at + 8 + len) else {
+            break;
+        };
+        if crc32(payload) != u32::from_be_bytes(crc_bytes.try_into().expect("4 bytes")) {
+            break;
+        }
+        let version = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+        let Ok(path) = std::str::from_utf8(&payload[8..]) else {
+            break;
+        };
+        let slot = floors.entry(path.to_string()).or_insert(0);
+        if version > *slot {
+            *slot = version;
+        }
+        at += 8 + len;
+    }
+    floors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("live-rmi-wal-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{tag}-{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_floors() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = VersionWal::open(&path).unwrap();
+            wal.append("/Calc.wsdl", 1);
+            wal.append("/Calc.wsdl", 5);
+            wal.append("/Calc.idl", 3);
+            assert_eq!(wal.floor("/Calc.wsdl"), Some(5));
+        }
+        let wal = VersionWal::open(&path).unwrap();
+        assert_eq!(wal.floor("/Calc.wsdl"), Some(5));
+        assert_eq!(wal.floor("/Calc.idl"), Some(3));
+        assert_eq!(wal.floor("/other"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = VersionWal::open(&path).unwrap();
+            wal.append("/A.wsdl", 7);
+        }
+        // Simulate a crash mid-append: half a record at the tail.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0, 0, 0, 12, 0, 0]).unwrap();
+        }
+        let wal = VersionWal::open(&path).unwrap();
+        assert_eq!(wal.floor("/A.wsdl"), Some(7), "intact prefix survives");
+        // The log keeps working after recovery.
+        wal.append("/A.wsdl", 9);
+        assert_eq!(wal.floor("/A.wsdl"), Some(9));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = VersionWal::open(&path).unwrap();
+            wal.append("/A.idl", 2);
+            wal.append("/B.idl", 4);
+        }
+        // Flip a byte inside the second record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_start = bytes.len() - 5;
+        bytes[second_start] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let wal = VersionWal::open(&path).unwrap();
+        assert_eq!(wal.floor("/A.idl"), Some(2));
+        assert_eq!(wal.floor("/B.idl"), None, "corrupt record rejected");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -48,6 +48,12 @@ pub enum FaultKind {
     /// The connection establishes but reads stall and writes are
     /// swallowed — a peer that accepts and then goes silent.
     Blackhole,
+    /// Reads pass through untouched, but the first write tears the
+    /// connection down — the request is delivered and executed, and the
+    /// reply is lost. The canonical duplicate-generating fault for
+    /// exactly-once testing: a retrying client re-sends a call the
+    /// server already ran.
+    DropReply,
 }
 
 impl FaultKind {
@@ -61,6 +67,7 @@ impl FaultKind {
             FaultKind::Corrupt => "corrupt",
             FaultKind::Disconnect => "disconnect",
             FaultKind::Blackhole => "blackhole",
+            FaultKind::DropReply => "drop_reply",
         }
     }
 }
@@ -146,6 +153,13 @@ impl FaultRule {
     /// Accept, then stall: reads block, writes are swallowed.
     pub fn blackhole(endpoint: &str, p: f64) -> FaultRule {
         Self::base(endpoint, FaultKind::Blackhole, p)
+    }
+
+    /// Deliver the request, drop the reply. Usually combined with
+    /// [`FaultRule::on_accept`] so the server executes the call and the
+    /// client sees EOF where the reply should be.
+    pub fn drop_reply(endpoint: &str, p: f64) -> FaultRule {
+        Self::base(endpoint, FaultKind::DropReply, p)
     }
 
     /// Applies the rule on the accept side instead of the connect side.
@@ -336,6 +350,7 @@ pub(crate) fn inject(endpoint: &str, side: FaultSide) -> Option<Injected> {
         FaultKind::Corrupt => Injected::Wrap(ChaosMode::Corrupt(offset)),
         FaultKind::Disconnect => Injected::Wrap(ChaosMode::Disconnect(offset)),
         FaultKind::Blackhole => Injected::Wrap(ChaosMode::Blackhole),
+        FaultKind::DropReply => Injected::Wrap(ChaosMode::DropReply),
     })
 }
 
@@ -350,6 +365,9 @@ pub enum ChaosMode {
     Disconnect(usize),
     /// Reads stall, writes are swallowed.
     Blackhole,
+    /// Reads pass through; the first write shuts the connection down
+    /// and every write is swallowed — executed call, lost reply.
+    DropReply,
 }
 
 #[derive(Debug)]
@@ -458,7 +476,7 @@ impl Read for ChaosStream {
                 }
                 Ok(n)
             }
-            ChaosMode::Disconnect(_) => self.inner.read(buf),
+            ChaosMode::Disconnect(_) | ChaosMode::DropReply => self.inner.read(buf),
         }
     }
 }
@@ -467,6 +485,15 @@ impl Write for ChaosStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         match self.shared.mode {
             ChaosMode::Blackhole => Ok(buf.len()), // swallowed
+            ChaosMode::DropReply => {
+                // The request made it in; the reply never makes it out.
+                // Tearing the connection down on the first write gives
+                // the peer an EOF exactly where the reply should start.
+                if self.shared.write_off.fetch_add(buf.len(), Ordering::AcqRel) == 0 {
+                    self.inner.shutdown();
+                }
+                Ok(buf.len())
+            }
             ChaosMode::Disconnect(limit) => {
                 let off = self.shared.write_off.load(Ordering::Acquire);
                 if off >= limit {
@@ -492,7 +519,7 @@ impl Write for ChaosStream {
 
     fn flush(&mut self) -> io::Result<()> {
         match self.shared.mode {
-            ChaosMode::Blackhole => Ok(()),
+            ChaosMode::Blackhole | ChaosMode::DropReply => Ok(()),
             _ => self.inner.flush(),
         }
     }
@@ -543,6 +570,22 @@ mod tests {
         let mut got = Vec::new();
         peer.read_to_end(&mut got).unwrap();
         assert_eq!(got, b"abc");
+    }
+
+    #[test]
+    fn drop_reply_delivers_request_but_loses_reply() {
+        let (mut s, mut peer) = chaos_pair(ChaosMode::DropReply);
+        // The "request" flows through to the wrapped server side intact.
+        peer.write_all(b"request").unwrap();
+        let mut buf = [0u8; 7];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"request");
+        // The "reply" is swallowed and the peer sees EOF instead.
+        assert_eq!(s.write(b"reply").unwrap(), 5);
+        s.flush().unwrap();
+        let mut got = Vec::new();
+        peer.read_to_end(&mut got).unwrap();
+        assert!(got.is_empty(), "reply bytes must never arrive: {got:?}");
     }
 
     #[test]

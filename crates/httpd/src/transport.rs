@@ -485,7 +485,7 @@ impl MemListener {
             st.closed = true;
         }
         self.inbox.cond.notify_all();
-        mem_registry().unbind(&self.name);
+        mem_registry().unbind(&self.name, &self.inbox);
     }
 }
 
@@ -515,8 +515,14 @@ impl MemRegistry {
         })
     }
 
-    fn unbind(&self, name: &str) {
-        self.endpoints.lock().remove(name);
+    fn unbind(&self, name: &str, inbox: &Arc<MemInbox>) {
+        // Identity-checked: a late drop of a listener that was already
+        // replaced (server restarted at the same address) must not tear
+        // down its successor's binding.
+        let mut eps = self.endpoints.lock();
+        if eps.get(name).is_some_and(|cur| Arc::ptr_eq(cur, inbox)) {
+            eps.remove(name);
+        }
     }
 
     fn connect(&self, name: &str) -> Result<Stream, HttpError> {

@@ -391,6 +391,18 @@ impl ClassHandle {
         self.inner.read().interface_version
     }
 
+    /// Floors the interface version at `version` (no-op when the class
+    /// is already past it). Used by crash recovery: a restarted server
+    /// replays its publication log and resumes *at or above* the last
+    /// version it durably published, so clients holding pre-crash
+    /// documents never observe the version moving backwards.
+    pub fn restore_version_floor(&self, version: u64) {
+        let mut inner = self.inner.write();
+        if inner.interface_version < version {
+            inner.interface_version = version;
+        }
+    }
+
     /// Subscribes to change events. Every mutation — including
     /// [`ClassHandle::undo`] / [`ClassHandle::redo`] — sends one
     /// [`ClassEvent`] to every subscriber.

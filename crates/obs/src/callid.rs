@@ -1,0 +1,169 @@
+//! Per-call identifiers for at-most-once RMI delivery.
+//!
+//! A [`CallId`] names one *logical* remote call: every transport-level
+//! retry of that call carries the same id, so a server-side reply cache
+//! can recognize a redelivery and return the stored reply instead of
+//! executing the method body a second time.
+//!
+//! The id is two 64-bit words:
+//!
+//! * `client` — a per-process random identity drawn once from
+//!   [`crate::rng::XorShift64`], seeded from the process uptime clock and
+//!   a stack address so concurrently started clients diverge;
+//! * `seq` — a process-wide monotonic sequence number.
+//!
+//! Wire formats (both alloc-free to produce):
+//!
+//! * text (SOAP header): `<client-hex>-<seq-hex>`, two fixed-width
+//!   16-digit lowercase hex words joined by `-` (33 bytes total);
+//! * binary (GIOP service context): 16 bytes, `client` then `seq`, both
+//!   big-endian.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Identity of one logical remote call (stable across retries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallId {
+    /// Random per-client-process identity.
+    pub client: u64,
+    /// Monotonic per-process sequence number.
+    pub seq: u64,
+}
+
+/// Length of the fixed-width text form: 16 + 1 + 16.
+pub const TEXT_LEN: usize = 33;
+
+/// Length of the binary form: two big-endian u64 words.
+pub const WIRE_LEN: usize = 16;
+
+fn client_identity() -> u64 {
+    static CLIENT: OnceLock<u64> = OnceLock::new();
+    *CLIENT.get_or_init(|| {
+        // Mix the uptime clock with an address from this frame: cheap
+        // entropy that separates processes started in the same microsecond.
+        let marker = 0u8;
+        let seed = crate::uptime_micros()
+            ^ (&marker as *const u8 as u64).rotate_left(17)
+            ^ (std::process::id() as u64).rotate_left(41);
+        crate::rng::XorShift64::seed_from_u64(seed | 1).next_u64()
+    })
+}
+
+impl CallId {
+    /// Mints a fresh id for a new logical call.
+    pub fn fresh() -> CallId {
+        static SEQ: AtomicU64 = AtomicU64::new(1);
+        CallId {
+            client: client_identity(),
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Fixed-width text form, written into a stack buffer — the caller
+    /// appends the returned slice to its (recycled) encode buffer, so the
+    /// hot path stays allocation-free.
+    pub fn write_text<'a>(&self, buf: &'a mut [u8; TEXT_LEN]) -> &'a str {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        for i in 0..16 {
+            buf[i] = HEX[((self.client >> (60 - 4 * i)) & 0xf) as usize];
+            buf[17 + i] = HEX[((self.seq >> (60 - 4 * i)) & 0xf) as usize];
+        }
+        buf[16] = b'-';
+        // Only ASCII hex and '-' were written.
+        std::str::from_utf8(buf).expect("ascii")
+    }
+
+    /// Parses the fixed-width text form.
+    pub fn parse_text(s: &str) -> Option<CallId> {
+        let b = s.as_bytes();
+        if b.len() != TEXT_LEN || b[16] != b'-' {
+            return None;
+        }
+        let word = |part: &[u8]| -> Option<u64> {
+            let mut v = 0u64;
+            for &c in part {
+                v = (v << 4) | (c as char).to_digit(16)? as u64;
+            }
+            Some(v)
+        };
+        Some(CallId {
+            client: word(&b[..16])?,
+            seq: word(&b[17..])?,
+        })
+    }
+
+    /// Binary wire form: `client` then `seq`, big-endian.
+    pub fn to_wire(&self) -> [u8; WIRE_LEN] {
+        let mut out = [0u8; WIRE_LEN];
+        out[..8].copy_from_slice(&self.client.to_be_bytes());
+        out[8..].copy_from_slice(&self.seq.to_be_bytes());
+        out
+    }
+
+    /// Parses the binary wire form.
+    pub fn from_wire(bytes: &[u8]) -> Option<CallId> {
+        if bytes.len() != WIRE_LEN {
+            return None;
+        }
+        Some(CallId {
+            client: u64::from_be_bytes(bytes[..8].try_into().ok()?),
+            seq: u64::from_be_bytes(bytes[8..].try_into().ok()?),
+        })
+    }
+}
+
+impl std::fmt::Display for CallId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut buf = [0u8; TEXT_LEN];
+        f.write_str(self.write_text(&mut buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_unique_and_monotonic() {
+        let a = CallId::fresh();
+        let b = CallId::fresh();
+        assert_eq!(a.client, b.client);
+        assert!(b.seq > a.seq);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let id = CallId {
+            client: 0x0123_4567_89ab_cdef,
+            seq: 42,
+        };
+        let mut buf = [0u8; TEXT_LEN];
+        let s = id.write_text(&mut buf);
+        assert_eq!(s, "0123456789abcdef-000000000000002a");
+        assert_eq!(CallId::parse_text(s), Some(id));
+        assert_eq!(CallId::parse_text(&id.to_string()), Some(id));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let id = CallId::fresh();
+        assert_eq!(CallId::from_wire(&id.to_wire()), Some(id));
+        assert_eq!(CallId::from_wire(&[0u8; 15]), None);
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert_eq!(CallId::parse_text(""), None);
+        assert_eq!(CallId::parse_text("xyz"), None);
+        assert_eq!(
+            CallId::parse_text("0123456789abcdefX000000000000002a"),
+            None
+        );
+        assert_eq!(
+            CallId::parse_text("0123456789abcdeg-000000000000002a"),
+            None
+        );
+    }
+}

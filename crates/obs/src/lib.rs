@@ -17,12 +17,14 @@
 //!   stability timeouts, generations, publications, and stale calls,
 //!   in arrival order per class.
 
+pub mod callid;
 pub mod events;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod trace;
 
+pub use callid::CallId;
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry, Snapshot};
 pub use trace::{span, Span};
 

@@ -45,5 +45,8 @@ pub use envelope::{
     decode_request, decode_response, FaultCode, SoapFault, SoapRequest, SoapResponse,
 };
 pub use error::SoapError;
-pub use stream::{encode_fault_into, encode_ok_into, encode_request_into};
+pub use stream::{
+    decode_request_with_id, encode_fault_into, encode_ok_into, encode_request_into,
+    encode_request_with_id_into, CALL_ID_NS, REPLY_CACHE_HEADER,
+};
 pub use wsdl::{WsdlDocument, WsdlOperation};

@@ -42,13 +42,37 @@ fn encode_bytes_counter() -> &'static Arc<obs::Counter> {
 // Encoding
 // ---------------------------------------------------------------------------
 
+/// Namespace of the SDE reliability header carrying the per-call id.
+pub const CALL_ID_NS: &str = "urn:sde:reliability";
+
+/// HTTP response header a SOAP server sets to advertise its reply
+/// cache: a client that sees it may retry non-idempotent calls under
+/// the same call id, because a redelivery returns the cached reply.
+pub const REPLY_CACHE_HEADER: &str = "X-SDE-Reply-Cache";
+
 fn begin_envelope(w: &mut XmlBufWriter) {
+    begin_envelope_with(w, None);
+}
+
+/// Like [`begin_envelope`] but emits a `soapenv:Header` with the SDE
+/// call-id element when an id is supplied. Header-less envelopes stay
+/// byte-identical to the DOM codec's output.
+fn begin_envelope_with(w: &mut XmlBufWriter, call_id: Option<obs::CallId>) {
     w.declaration();
     w.start("soapenv:Envelope");
     w.attr("xmlns:soapenv", ENVELOPE_NS);
     w.attr("xmlns:xsd", XSD_NS);
     w.attr("xmlns:xsi", XSI_NS);
     w.attr("xmlns:soapenc", SOAPENC_NS);
+    if let Some(id) = call_id {
+        let mut idbuf = [0u8; obs::callid::TEXT_LEN];
+        w.start("soapenv:Header");
+        w.start("sde:CallId");
+        w.attr("xmlns:sde", CALL_ID_NS);
+        w.text(id.write_text(&mut idbuf));
+        w.end("sde:CallId");
+        w.end("soapenv:Header");
+    }
     w.start("soapenv:Body");
 }
 
@@ -66,8 +90,23 @@ pub fn encode_request_into<'a, I>(namespace: &str, method: &str, args: I, buf: &
 where
     I: IntoIterator<Item = (&'a str, &'a Value)>,
 {
+    encode_request_with_id_into(namespace, method, args, None, buf);
+}
+
+/// [`encode_request_into`] plus an optional at-most-once call id carried
+/// as a `soapenv:Header` entry (see [`CALL_ID_NS`]). With `None` the
+/// output is byte-identical to the plain encoder.
+pub fn encode_request_with_id_into<'a, I>(
+    namespace: &str,
+    method: &str,
+    args: I,
+    call_id: Option<obs::CallId>,
+    buf: &mut Vec<u8>,
+) where
+    I: IntoIterator<Item = (&'a str, &'a Value)>,
+{
     let mut w = XmlBufWriter::with_buf(std::mem::take(buf));
-    begin_envelope(&mut w);
+    begin_envelope_with(&mut w, call_id);
     w.start_parts(&["ns1:", method]);
     w.attr("xmlns:ns1", namespace);
     for (name, value) in args {
@@ -249,6 +288,16 @@ fn next_child<'i>(p: &mut XmlPull<'i>) -> Result<Option<(&'i str, bool)>, SoapEr
 /// sits just inside `<soapenv:Body>`; returns `false` when the Body
 /// was self-closing (no content).
 fn enter_body(p: &mut XmlPull) -> Result<bool, SoapError> {
+    let mut ignored = None;
+    enter_body_capture(p, &mut ignored)
+}
+
+/// [`enter_body`], additionally capturing the SDE call-id header
+/// element (if any) into `call_id` while crossing `soapenv:Header`.
+fn enter_body_capture(
+    p: &mut XmlPull,
+    call_id: &mut Option<obs::CallId>,
+) -> Result<bool, SoapError> {
     let (root_name, root_sc) = loop {
         match p.next()? {
             PullEvent::Start { name, self_closing } => break (name, self_closing),
@@ -275,6 +324,18 @@ fn enter_body(p: &mut XmlPull) -> Result<bool, SoapError> {
                         return Ok(false);
                     }
                     return Ok(true);
+                }
+                if local(name) == "Header" && !sc {
+                    // Scan header entries for the call id; unknown
+                    // entries are skipped like any other element.
+                    while let Some((entry, entry_sc)) = next_child(p)? {
+                        if local(entry) == "CallId" && call_id.is_none() {
+                            *call_id = obs::CallId::parse_text(element_text(p, entry_sc)?.trim());
+                        } else {
+                            p.skip_element()?;
+                        }
+                    }
+                    continue;
                 }
                 p.skip_element()?;
             }
@@ -405,8 +466,15 @@ fn decode_value_stream<'i>(
 
 /// Decodes a request envelope on the pull parser.
 pub(crate) fn decode_request_stream(xml: &str) -> Result<SoapRequest, SoapError> {
+    decode_request_with_id(xml).map(|(req, _)| req)
+}
+
+/// Decodes a request envelope together with the at-most-once call id
+/// from its `soapenv:Header`, if the client sent one.
+pub fn decode_request_with_id(xml: &str) -> Result<(SoapRequest, Option<obs::CallId>), SoapError> {
     let mut p = XmlPull::new(xml);
-    let has_content = enter_body(&mut p)?;
+    let mut call_id = None;
+    let has_content = enter_body_capture(&mut p, &mut call_id)?;
     let call = if has_content {
         next_child(&mut p)?
     } else {
@@ -433,7 +501,7 @@ pub(crate) fn decode_request_stream(xml: &str) -> Result<SoapRequest, SoapError>
         }
     }
     finish(&mut p)?;
-    Ok(SoapRequest::from_parts(namespace, method, args))
+    Ok((SoapRequest::from_parts(namespace, method, args), call_id))
 }
 
 /// Decodes the first Body child as a `methodResponse` element: the
@@ -648,6 +716,50 @@ mod tests {
         assert_eq!(stream, dom);
         assert_eq!(stream.method(), "add");
         assert_eq!(stream.args(), &[("a".to_string(), Value::Int(41))]);
+    }
+
+    #[test]
+    fn call_id_header_round_trips_and_stays_dom_compatible() {
+        let id = obs::CallId {
+            client: 0xdead_beef_0000_0001,
+            seq: 7,
+        };
+        let mut buf = Vec::new();
+        encode_request_with_id_into(
+            "urn:calc",
+            "add",
+            [("a", &Value::Int(41))],
+            Some(id),
+            &mut buf,
+        );
+        let xml = String::from_utf8(buf).unwrap();
+        assert!(xml.contains("soapenv:Header"), "{xml}");
+        assert!(xml.contains(CALL_ID_NS), "{xml}");
+
+        // The streaming decoder surfaces the id; the request itself is
+        // identical to a header-less decode.
+        let (req, got) = decode_request_with_id(&xml).unwrap();
+        assert_eq!(got, Some(id));
+        assert_eq!(req.method(), "add");
+        assert_eq!(req.args(), &[("a".to_string(), Value::Int(41))]);
+
+        // The DOM decoder (which ignores headers) still accepts it.
+        let dom = domcodec::decode_request(&xml).unwrap();
+        assert_eq!(dom, req);
+
+        // Without an id the encoder output is unchanged (byte-identical
+        // to the DOM encoder, checked elsewhere) and decoding reports
+        // no id.
+        let mut plain = Vec::new();
+        encode_request_into("urn:calc", "add", [("a", &Value::Int(41))], &mut plain);
+        let (_, none) = decode_request_with_id(&String::from_utf8(plain).unwrap()).unwrap();
+        assert_eq!(none, None);
+
+        // A malformed header id is treated as absent, not an error.
+        let mangled = xml.replace('-', "!");
+        let (req2, bad) = decode_request_with_id(&mangled).unwrap();
+        assert_eq!(bad, None);
+        assert_eq!(req2.method(), "add");
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let manager = SdeManager::new(SdeConfig {
         transport: TransportKind::Tcp,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(200)),
+        wal_dir: None,
     })?;
     let server = manager.deploy_soap(class.clone())?;
     server.create_instance()?;

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use cde::{CallError, ClientEnvironment, DynamicStub};
 use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
-use sde::{SdeConfig, SdeManager, SdeServerGateway};
+use sde::{SdeConfig, SdeManager, SdeServerGateway, Technology};
 
 /// The interactive session state.
 pub struct Repl {
@@ -26,6 +26,16 @@ pub struct Repl {
     /// accumulate and the plan is re-installed after every change.
     chaos_seed: u64,
     chaos_rules: Vec<httpd::FaultRule>,
+    /// Interface-server address, pinned so `restart` comes back at the
+    /// same published authority.
+    interface_addr: String,
+    /// SDE configuration (including the WAL directory) reused on restart.
+    config: SdeConfig,
+    /// Set by `crash`: the manager is down and most commands refuse to
+    /// run until `restart`.
+    down: bool,
+    /// Deployments captured at crash time, redeployed by `restart`.
+    crashed_servers: Vec<(String, Technology)>,
 }
 
 impl std::fmt::Debug for Repl {
@@ -62,6 +72,10 @@ SDE Manager Interface commands:
   call <Class> <m> [args...]               remote call (1 2L 3.5 true \"s\")
   debugger                                 list caught exceptions
   again <index>                            debugger try-again
+  replycache <Class>                       exactly-once reply-cache stats
+  crash                                    kill the server process (state lost, WAL kept)
+  restart                                  restart at the same authority; WAL replay
+                                           floors interface versions at pre-crash
   servers                                  list managed servers
   stats [filter]                           metrics snapshot (Prometheus text format)
   trace [n]                                most recent trace events (default 20)
@@ -73,7 +87,9 @@ SDE Manager Interface commands:
                                            substring (or 'all'); <fault> is
                                            refuse | delay:<ms> | truncate:<n>
                                            | corrupt:<n> | disconnect:<n>
-                                           | blackhole; p defaults to 1.0
+                                           | blackhole | drop_reply (server-
+                                           side: executes, loses the reply);
+                                           p defaults to 1.0
   help | quit";
 
 impl Repl {
@@ -83,13 +99,29 @@ impl Repl {
     ///
     /// Fails if the Interface Server cannot start.
     pub fn new() -> Result<Repl, sde::SdeError> {
+        // A pinned interface address plus a WAL directory make the
+        // crash/restart commands meaningful: the restarted manager
+        // rebinds the same authority and replays the log.
+        static SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let session = SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let interface_addr = format!("mem://sde-repl-ifc-{}-{session}", std::process::id());
+        let config = SdeConfig {
+            wal_dir: Some(
+                std::env::temp_dir().join(format!("sde-repl-wal-{}-{session}", std::process::id())),
+            ),
+            ..SdeConfig::default()
+        };
         Ok(Repl {
-            manager: SdeManager::new(SdeConfig::default())?,
+            manager: SdeManager::with_interface_addr(config.clone(), &interface_addr)?,
             env: ClientEnvironment::new(),
             classes: Vec::new(),
             stubs: Vec::new(),
             chaos_seed: 42,
             chaos_rules: Vec::new(),
+            interface_addr,
+            config,
+            down: false,
+            crashed_servers: Vec::new(),
         })
     }
 
@@ -127,6 +159,25 @@ impl Repl {
         let mut parts = line.splitn(2, ' ');
         let cmd = parts.next().unwrap_or("");
         let rest = parts.next().unwrap_or("").trim();
+        if self.down
+            && matches!(
+                cmd,
+                "deploy"
+                    | "instance"
+                    | "doc"
+                    | "publish"
+                    | "timeout"
+                    | "switch"
+                    | "connect"
+                    | "call"
+                    | "servers"
+                    | "state"
+                    | "export"
+                    | "replycache"
+            )
+        {
+            return Some("error: server process is down (use: restart)".into());
+        }
         let result = match cmd {
             "quit" | "exit" => return None,
             "help" => Ok(HELP.to_string()),
@@ -157,6 +208,9 @@ impl Repl {
             "call" => self.cmd_call(rest),
             "debugger" => Ok(self.cmd_debugger()),
             "again" => self.cmd_again(rest),
+            "replycache" => self.cmd_replycache(rest),
+            "crash" => self.cmd_crash(),
+            "restart" => self.cmd_restart(),
             "stats" => Ok(cmd_stats(rest)),
             "trace" => cmd_trace(rest),
             "events" => Ok(cmd_events(rest)),
@@ -493,13 +547,79 @@ impl Repl {
             Err(e) => Err(e.to_string()),
         }
     }
+
+    fn cmd_replycache(&mut self, name: &str) -> Result<String, String> {
+        let stats = if let Some(s) = self.manager.soap_server(name) {
+            s.reply_cache_stats()
+        } else if let Some(s) = self.manager.corba_server(name) {
+            s.reply_cache_stats()
+        } else {
+            return Err(format!("{name:?} is not deployed"));
+        };
+        Ok(format!(
+            "reply cache of {name}: {} entrie(s), {} stored, {} duplicate(s) suppressed, {} evicted",
+            stats.entries, stats.stores, stats.hits, stats.evictions
+        ))
+    }
+
+    /// Simulates a server-process crash: every managed server (and the
+    /// in-memory document store) is torn down without warning. The WAL
+    /// on disk survives — that is the point.
+    fn cmd_crash(&mut self) -> Result<String, String> {
+        if self.down {
+            return Err("already crashed (use: restart)".into());
+        }
+        self.crashed_servers = self.manager.managed();
+        self.manager.shutdown();
+        self.stubs.clear();
+        self.down = true;
+        Ok(format!(
+            "server process crashed; {} deployment(s) lost, WAL retained",
+            self.crashed_servers.len()
+        ))
+    }
+
+    /// Restarts the manager at the same interface authority. WAL replay
+    /// floors every redeployed class's interface version at its
+    /// pre-crash value, so clients holding old documents reconverge.
+    fn cmd_restart(&mut self) -> Result<String, String> {
+        if !self.down {
+            return Err("nothing to restart (use: crash first)".into());
+        }
+        self.manager = SdeManager::with_interface_addr(self.config.clone(), &self.interface_addr)
+            .map_err(|e| e.to_string())?;
+        self.down = false;
+        let mut out = format!("restarted at {}", self.interface_addr);
+        for (name, tech) in std::mem::take(&mut self.crashed_servers) {
+            let class = self.class(&name)?.clone();
+            match tech {
+                Technology::Soap => {
+                    self.manager.deploy_soap(class).map_err(|e| e.to_string())?;
+                }
+                Technology::Corba => {
+                    self.manager
+                        .deploy_corba(class)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            self.publisher_sync(&name);
+            let version = self.class(&name)?.interface_version();
+            let _ = write!(
+                out,
+                "\n  {name} [{tech}] redeployed at interface v{version}"
+            );
+        }
+        out.push_str("\n(instances are not restored: use `instance <Class>`)");
+        Ok(out)
+    }
 }
 
 impl Repl {
     /// The `chaos` command: program the transport fault injector.
     fn cmd_chaos(&mut self, rest: &str) -> Result<String, String> {
         const USAGE: &str = "usage: chaos [off | seed <n> | <endpoint> \
-                             refuse|delay:<ms>|truncate:<n>|corrupt:<n>|disconnect:<n>|blackhole [p]]";
+                             refuse|delay:<ms>|truncate:<n>|corrupt:<n>|disconnect:<n>|blackhole\
+                             |drop_reply [p]]";
         let parts: Vec<&str> = rest.split_whitespace().collect();
         match parts.as_slice() {
             [] | ["status"] => Ok(httpd::fault::status()),
@@ -552,6 +672,9 @@ impl Repl {
                     ("corrupt", Some(n)) => httpd::FaultRule::corrupt(ep, p, n as usize),
                     ("disconnect", Some(n)) => httpd::FaultRule::disconnect(ep, p, n as usize),
                     ("blackhole", None) => httpd::FaultRule::blackhole(ep, p),
+                    // drop_reply only makes sense where the server has
+                    // already executed — an accept-side rule.
+                    ("drop_reply", None) => httpd::FaultRule::drop_reply(ep, p).on_accept(),
                     _ => return Err(USAGE.into()),
                 };
                 self.chaos_rules.push(rule);
@@ -870,6 +993,50 @@ mod tests {
         assert_eq!(run(&mut repl, "verbose on"), "verbose tracing on");
         assert_eq!(run(&mut repl, "verbose off"), "verbose tracing off");
         assert!(run(&mut repl, "verbose maybe").contains("error"));
+    }
+
+    #[test]
+    fn crash_restart_replays_the_wal() {
+        let mut repl = Repl::new().unwrap();
+        run(&mut repl, "new Phoenix");
+        run(&mut repl, "add Phoenix add(a:int,b:int)->int distributed");
+        run(&mut repl, "body Phoenix add return a + b;");
+        run(&mut repl, "deploy soap Phoenix");
+        run(&mut repl, "instance Phoenix");
+        run(&mut repl, "publish Phoenix");
+        // Drive the version up, publishing (and WAL-logging) each step.
+        run(&mut repl, "add Phoenix sub(a:int,b:int)->int distributed");
+        run(&mut repl, "publish Phoenix");
+        let pre_crash = repl.class("Phoenix").unwrap().interface_version();
+        assert!(pre_crash > 0);
+
+        let out = run(&mut repl, "crash");
+        assert!(out.contains("1 deployment(s) lost"), "{out}");
+        assert!(run(&mut repl, "crash").contains("error"));
+        assert!(run(&mut repl, "call Phoenix add 1 2").contains("down"));
+        assert!(run(&mut repl, "servers").contains("down"));
+
+        let out = run(&mut repl, "restart");
+        assert!(out.contains("Phoenix [SOAP] redeployed"), "{out}");
+        let v: u64 = out
+            .split("interface v")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(v >= pre_crash, "restored v{v} < pre-crash v{pre_crash}");
+        assert!(run(&mut repl, "restart").contains("error"));
+
+        // The full stack works again after restart.
+        let out = run(&mut repl, "instance Phoenix");
+        assert!(out.contains("active"), "{out}");
+        let out = run(&mut repl, "connect Phoenix");
+        assert!(out.contains("interface view"), "{out}");
+        assert_eq!(run(&mut repl, "call Phoenix add 20 22"), "=> 42");
+        let out = run(&mut repl, "replycache Phoenix");
+        assert!(out.contains("1 stored"), "{out}");
+        assert!(run(&mut repl, "replycache Ghost").contains("error"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ fn manager() -> SdeManager {
     SdeManager::new(SdeConfig {
         transport: TransportKind::Mem,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+        wal_dir: None,
     })
     .expect("manager")
 }
@@ -187,6 +188,7 @@ fn corba_works_over_tcp_loopback() {
     let manager = SdeManager::new(SdeConfig {
         transport: TransportKind::Tcp,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+        wal_dir: None,
     })
     .expect("manager");
     let server = manager.deploy_corba(greeter_class()).expect("deploy");

@@ -13,6 +13,7 @@ fn manager() -> SdeManager {
     SdeManager::new(SdeConfig {
         transport: TransportKind::Mem,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+        wal_dir: None,
     })
     .expect("manager")
 }
@@ -221,6 +222,7 @@ fn soap_works_over_tcp_loopback() {
     let manager = SdeManager::new(SdeConfig {
         transport: TransportKind::Tcp,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+        wal_dir: None,
     })
     .expect("manager");
     let server = manager.deploy_soap(calc_class()).expect("deploy");

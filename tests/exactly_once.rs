@@ -1,0 +1,186 @@
+//! Exactly-once RMI under chaos: a non-idempotent counter workload at
+//! ~20% mixed fault incidence — including the duplicate-generating
+//! `drop_reply` fault, where the server executes but the reply is lost —
+//! must complete every logical call with **effects == calls**. The
+//! client retries with the same call ID; the server's reply cache
+//! detects redelivery and replays the stored reply instead of executing
+//! again.
+
+use std::time::Duration;
+
+use jpie::Value;
+use live_rmi::cde::{ClientEnvironment, ResiliencePolicy};
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+
+/// The fault injector is process-global: tests that install plans take
+/// this guard so they cannot clobber each other's rules.
+fn injector_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+        wal_dir: None,
+    })
+    .expect("manager")
+}
+
+/// A class whose one distributed method is observably non-idempotent:
+/// every *execution* moves the counter, so duplicated executions are
+/// visible as `field > calls`.
+fn counter_class(name: &str) -> jpie::ClassHandle {
+    jpie::parse::parse_class(&format!(
+        "class {name} {{ field int n; distributed int bump() {{ \
+         this.n = this.n + 1; return this.n; }} }}"
+    ))
+    .expect("counter class")
+}
+
+fn chaos_policy() -> ResiliencePolicy {
+    ResiliencePolicy::seeded(17)
+        .with_request_timeout(Duration::from_millis(250))
+        .with_max_attempts(6)
+        .with_breaker(64, Duration::from_millis(500))
+}
+
+/// ~20% aggregate incidence across the client-visible fault shapes plus
+/// the server-side reply drop. `corrupt` garbles the response after the
+/// server executed (a Protocol-level duplicate source); `drop_reply`
+/// loses it entirely.
+fn install_plan(seed: u64, authority: &str) {
+    httpd::FaultPlan::seeded(seed)
+        .rule(httpd::FaultRule::refuse(authority, 0.06))
+        .rule(httpd::FaultRule::delay(
+            authority,
+            0.03,
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+        ))
+        .rule(httpd::FaultRule::corrupt(authority, 0.03, 2))
+        .rule(httpd::FaultRule::disconnect(authority, 0.03, 10))
+        .rule(httpd::FaultRule::drop_reply(authority, 0.08).on_accept())
+        .install();
+}
+
+fn suppressed(class: &str) -> u64 {
+    obs::registry().snapshot().counter(&obs::metrics::key(
+        "duplicate_calls_suppressed_total",
+        &[("class", class)],
+    ))
+}
+
+const CALLS: u64 = 500;
+
+/// Drives `CALLS` sequential non-idempotent calls and asserts the
+/// exactly-once contract: every call succeeds, the final counter equals
+/// the number of logical calls, and at least one duplicate was actually
+/// suppressed (the chaos produced redeliveries).
+fn run_workload(
+    env: &ClientEnvironment,
+    stub: &std::sync::Arc<cde::DynamicStub>,
+    class: &str,
+    plan_seed: u64,
+    counter_value: impl Fn() -> i64,
+) {
+    // Prime once before the chaos: the first reply advertises the reply
+    // cache, which is what licenses retrying non-idempotent calls.
+    let first = env.call(stub, "bump", &[]).expect("prime call");
+    assert_eq!(first, Value::Int(1));
+    assert!(
+        stub.server_caches(),
+        "server must advertise its reply cache"
+    );
+
+    let before = suppressed(class);
+    install_plan(plan_seed, &stub.authority());
+    // The prime call parked a healthy pre-chaos connection; drop it so
+    // the workload's connections are established under the plan.
+    stub.drop_pooled_connections();
+    for i in 1..CALLS {
+        // Faults are rolled at connection establishment, so a parked
+        // connection that survived one call would never roll again;
+        // churn every few calls the way real long-running clients do.
+        if i % 4 == 0 {
+            stub.drop_pooled_connections();
+        }
+        let v = env
+            .call(stub, "bump", &[])
+            .unwrap_or_else(|e| panic!("call {i} failed under chaos: {e}"));
+        assert_eq!(v, Value::Int(i as i32 + 1), "call {i} saw a stale reply");
+    }
+    httpd::fault::clear();
+
+    assert_eq!(
+        counter_value(),
+        CALLS as i64,
+        "exactly-once violated: executions != logical calls"
+    );
+    assert!(
+        suppressed(class) > before,
+        "chaos produced no duplicate deliveries — the plan never bit"
+    );
+}
+
+#[test]
+fn soap_non_idempotent_workload_is_exactly_once() {
+    let _guard = injector_guard();
+    let manager = manager();
+    let server = manager
+        .deploy_soap(counter_class("OnceSoap"))
+        .expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::with_policy(chaos_policy());
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let instance = server.instance().expect("live instance");
+    run_workload(&env, &stub, "OnceSoap", 9001, || {
+        match instance
+            .fields_snapshot()
+            .iter()
+            .find(|(n, _)| n == "n")
+            .map(|(_, v)| v.clone())
+        {
+            Some(Value::Int(n)) => n as i64,
+            other => panic!("counter field missing: {other:?}"),
+        }
+    });
+    let stats = server.reply_cache_stats();
+    assert!(stats.hits > 0, "reply cache never replayed: {stats:?}");
+    manager.shutdown();
+}
+
+#[test]
+fn corba_non_idempotent_workload_is_exactly_once() {
+    let _guard = injector_guard();
+    let manager = manager();
+    let server = manager
+        .deploy_corba(counter_class("OnceCorba"))
+        .expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::with_policy(chaos_policy());
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    let instance = server.instance().expect("live instance");
+    run_workload(&env, &stub, "OnceCorba", 9002, || {
+        match instance
+            .fields_snapshot()
+            .iter()
+            .find(|(n, _)| n == "n")
+            .map(|(_, v)| v.clone())
+        {
+            Some(Value::Int(n)) => n as i64,
+            other => panic!("counter field missing: {other:?}"),
+        }
+    });
+    let stats = server.reply_cache_stats();
+    assert!(stats.hits > 0, "reply cache never replayed: {stats:?}");
+    manager.shutdown();
+}

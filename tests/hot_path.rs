@@ -17,6 +17,7 @@ fn manager() -> SdeManager {
     SdeManager::new(SdeConfig {
         transport: TransportKind::Mem,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+        wal_dir: None,
     })
     .expect("manager")
 }

@@ -13,6 +13,7 @@ fn manager() -> SdeManager {
     SdeManager::new(SdeConfig {
         transport: TransportKind::Mem,
         strategy: PublicationStrategy::StableTimeout(Duration::from_millis(15)),
+        wal_dir: None,
     })
     .expect("manager")
 }

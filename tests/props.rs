@@ -333,6 +333,14 @@ fn giop_request_roundtrips() {
             object_key: b"key".to_vec(),
             operation: gen_ident(rng),
             args: (0..rng.gen_usize(4)).map(|_| gen_value(rng, 2)).collect(),
+            call_id: if rng.gen_bool(0.5) {
+                Some(obs::CallId {
+                    client: rng.next_u64(),
+                    seq: rng.next_u64(),
+                })
+            } else {
+                None
+            },
         };
         let mut buf = Vec::new();
         corba::giop::write_request(&mut buf, &req).expect("write");
