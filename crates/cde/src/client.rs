@@ -237,7 +237,10 @@ impl ClientEnvironment {
                     // The reply arrived but was garbled — the method may
                     // well have executed. Redelivering the same call id
                     // fetches the cached reply rather than re-running it.
-                    breaker.on_success();
+                    // The breaker is left untouched: a garbled reply is
+                    // not proof of health, and an endpoint that garbles
+                    // *every* reply must not keep resetting the breaker
+                    // exactly while it misbehaves.
                     obs::registry().counter("rmi_protocol_retries_total").inc();
                     backoff.next_delay()
                 }
@@ -255,14 +258,14 @@ impl ClientEnvironment {
                         .unwrap_or_else(|| backoff.next_delay())
                 }
                 Err(other) => {
-                    // A SOAP/CORBA-level reply arrived: the transport to
-                    // the authority works.
+                    // A well-formed SOAP/CORBA-level reply arrived: the
+                    // transport to the authority works. Garbled replies
+                    // (`Protocol`) count as neither success nor failure.
                     if matches!(
                         other,
                         CallError::StaleMethod { .. }
                             | CallError::ServerNotInitialized
                             | CallError::Application(_)
-                            | CallError::Protocol(_)
                     ) {
                         breaker.on_success();
                     }

@@ -80,11 +80,16 @@ pub struct DynamicStub {
     /// polls cost a `304` on a reused connection, not a re-download.
     fetcher: DocFetcher,
     policy: Arc<ResiliencePolicy>,
-    /// Set when a reply advertises a server-side reply cache (the SOAP
-    /// `X-SDE-Reply-Cache` header or the GIOP reply-cache service
-    /// context). Once set, transport-failed calls are safe to retry
-    /// under the same call id even when non-idempotent: a redelivery is
-    /// served from the cache instead of re-executing.
+    /// Whether the *most recent* reply advertised a server-side reply
+    /// cache (the SOAP `X-SDE-Reply-Cache` header or the GIOP
+    /// reply-cache service context). While set, transport-failed calls
+    /// are safe to retry under the same call id even when
+    /// non-idempotent: a redelivery is served from the cache instead of
+    /// re-executing. Tracking the latest reply (rather than latching the
+    /// first advertisement forever) matters when the same authority is
+    /// later served by a server *without* a reply cache — e.g. a restart
+    /// with an older build rebinding the mem-registry address — whose
+    /// replies must immediately revoke the retry licence.
     server_caches: AtomicBool,
 }
 
@@ -325,9 +330,10 @@ impl DynamicStub {
         }
     }
 
-    /// Whether the server has advertised a reply cache on this stub's
-    /// connection (negotiated from the first reply that carries the
-    /// advertisement).
+    /// Whether the most recent reply on this stub advertised a
+    /// server-side reply cache (re-negotiated on every decoded reply, so
+    /// a non-caching server taking over the authority revokes the retry
+    /// licence immediately).
     pub fn server_caches(&self) -> bool {
         self.server_caches.load(Ordering::Relaxed)
     }
@@ -429,16 +435,23 @@ impl DynamicStub {
                 // Recycle the encode buffer whatever the outcome.
                 ENCODE_BUF.with(|b| *b.borrow_mut() = http_req.into_body());
                 let resp = sent.map_err(|e| CallError::Transport(e.to_string()))?;
-                if resp.headers().get(soap::REPLY_CACHE_HEADER).is_some() {
-                    self.server_caches.store(true, Ordering::Relaxed);
-                }
                 if resp.status() == 503 {
                     // Load shed by the HTTP layer before the SOAP engine
                     // saw the request — safe to retry, hint included.
+                    // Says nothing about the reply cache either way, so
+                    // the advertisement state is left untouched.
                     return Err(CallError::Overloaded {
                         retry_after_ms: resp.retry_after().map(|d| d.as_millis() as u64),
                     });
                 }
+                // Trust the most recent reply: a server at this
+                // authority that stops advertising (restart with an
+                // older build) revokes the non-idempotent retry licence
+                // with its first reply.
+                self.server_caches.store(
+                    resp.headers().get(soap::REPLY_CACHE_HEADER).is_some(),
+                    Ordering::Relaxed,
+                );
                 let parsed = soap::decode_response(&resp.body_str())
                     .map_err(|e| CallError::Protocol(e.to_string()))?;
                 match parsed {
@@ -475,8 +488,20 @@ impl DynamicStub {
                     outcome = Some((c, out));
                 }
                 let (c, out) = outcome.expect("connection outcome");
-                if c.peer_caches_replies() {
-                    self.server_caches.store(true, Ordering::Relaxed);
+                // Re-negotiate the reply-cache advertisement from the
+                // most recent decoded reply (the connection-level flag
+                // reflects what this server actually sent). Transport
+                // and MARSHAL outcomes decoded no trustworthy reply, so
+                // they leave the previous advertisement in place — in
+                // particular, a lost-reply fault must not revoke the
+                // very licence that makes its retry safe.
+                if !matches!(
+                    out,
+                    Err(CorbaError::Transport(_))
+                        | Err(CorbaError::System(corba::SystemExceptionKind::Marshal, _))
+                ) {
+                    self.server_caches
+                        .store(c.peer_caches_replies(), Ordering::Relaxed);
                 }
                 match out {
                     Ok(v) => {

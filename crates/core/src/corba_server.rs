@@ -10,7 +10,7 @@ use crate::docs::DocumentStore;
 use crate::error::SdeError;
 use crate::gateway::{GatewayCore, HandlerMetrics, InvokeFailure, SdeServerGateway, Technology};
 use crate::publish::{GeneratedDoc, PublicationStrategy, PublisherCore};
-use crate::replycache::CachedReply;
+use crate::replycache::{Admission, CachedReply};
 
 /// A managed CORBA server: the paper's `CORBAServer` gateway plus its IDL
 /// Generator, CORBA Call Handler (a DSI servant wrapping the Server ORB),
@@ -172,12 +172,41 @@ struct CorbaCallHandler {
 impl DynamicImplementation for CorbaCallHandler {
     fn invoke(&self, request: &mut ServerRequest) {
         // At-most-once execution: a redelivered call id means the first
-        // delivery already ran — replay the stored result instead of
-        // executing again.
-        if let Some(id) = request.call_id() {
-            if let Some(CachedReply::Value(v)) = self.core.reply_cache().lookup(id) {
-                request.set_result(v);
-                return;
+        // delivery already ran — replay the stored outcome instead of
+        // executing again. Admission also claims an in-flight sentinel,
+        // so a duplicate racing a still-executing first delivery waits
+        // for its result instead of executing a second copy.
+        let mut call_id = request.call_id();
+        if let Some(id) = call_id {
+            match self.core.reply_cache().admit(id) {
+                Admission::Replay(CachedReply::Value(v)) => {
+                    request.set_result(v);
+                    return;
+                }
+                Admission::Replay(CachedReply::Exception(msg)) => {
+                    // The first delivery executed the body and threw:
+                    // replay the exception, never the side effects.
+                    request.set_exception(CorbaError::user_exception(msg));
+                    return;
+                }
+                Admission::Replay(_) => {
+                    // A SOAP-flavoured entry can only exist if two
+                    // gateways shared one cache — they never do. Execute
+                    // without exactly-once bookkeeping rather than panic.
+                    call_id = None;
+                }
+                Admission::InFlight => {
+                    // The original delivery outlasted the wait bound:
+                    // TRANSIENT is the retryable rejection — the retry
+                    // redelivers the same id and finds the reply.
+                    fault_counter("duplicate_in_flight").inc();
+                    request.set_exception(CorbaError::system(
+                        corba::SystemExceptionKind::Transient,
+                        "original delivery of this call is still executing",
+                    ));
+                    return;
+                }
+                Admission::Execute => {}
             }
         }
         // CORBA arguments are positional: wrap with empty names.
@@ -188,14 +217,19 @@ impl DynamicImplementation for CorbaCallHandler {
             .collect();
         match self.core.dispatch(request.operation(), &args) {
             Ok(value) => {
-                if let Some(id) = request.call_id() {
+                if let Some(id) = call_id {
                     self.core
                         .reply_cache()
-                        .store(id, CachedReply::Value(value.clone()));
+                        .complete(id, CachedReply::Value(value.clone()));
                 }
                 request.set_result(value)
             }
             Err(InvokeFailure::NotInitialized) => {
+                // Dispatch never entered the method body: release the
+                // claim uncached.
+                if let Some(id) = call_id {
+                    self.core.reply_cache().abort(id);
+                }
                 fault_counter("object_not_exist").inc();
                 request.set_exception(CorbaError::system(
                     corba::SystemExceptionKind::ObjectNotExist,
@@ -203,7 +237,11 @@ impl DynamicImplementation for CorbaCallHandler {
                 ))
             }
             Err(InvokeFailure::NoMatch) => {
-                // §5.7 already forced publication inside dispatch.
+                // §5.7 already forced publication inside dispatch. The
+                // body never ran, so the claim is released uncached.
+                if let Some(id) = call_id {
+                    self.core.reply_cache().abort(id);
+                }
                 fault_counter("non_existent_method").inc();
                 obs::trace::event(
                     "sde::corba",
@@ -218,8 +256,17 @@ impl DynamicImplementation for CorbaCallHandler {
             }
             Err(InvokeFailure::AppException(msg)) => {
                 // "any exceptions thrown during the invocation ... is
-                // wrapped in a generic exception type" (§5.2.3).
+                // wrapped in a generic exception type" (§5.2.3). The
+                // body executed — possibly mutating state — before
+                // throwing, so the exception is cached and replayed
+                // exactly like a success: a lost fault reply must not
+                // license a re-execution.
                 fault_counter("user_exception").inc();
+                if let Some(id) = call_id {
+                    self.core
+                        .reply_cache()
+                        .complete(id, CachedReply::Exception(msg.clone()));
+                }
                 request.set_exception(CorbaError::user_exception(msg))
             }
         }
@@ -323,6 +370,45 @@ mod tests {
         server.create_instance().unwrap();
         let err = DiiRequest::new(&server.ior(), "boom").invoke().unwrap_err();
         assert!(matches!(err, CorbaError::User { message, .. } if message.contains("bang")));
+        server.shutdown();
+    }
+
+    #[test]
+    fn redelivered_faulting_call_replays_the_cached_exception() {
+        let server = deploy_calc("faultcache");
+        server.class().add_field("n", TypeDesc::Int).unwrap();
+        server
+            .class()
+            .add_method(
+                MethodBuilder::new("boom", TypeDesc::Void)
+                    .distributed(true)
+                    .body_block(vec![
+                        jpie::expr::Stmt::SetField(
+                            "n".into(),
+                            Expr::field("n") + Expr::lit(1),
+                        ),
+                        jpie::expr::Stmt::Throw(Expr::lit("bang")),
+                    ]),
+            )
+            .unwrap();
+        server.create_instance().unwrap();
+
+        // Same call id delivered twice, as a retry after a lost fault
+        // reply would: the exception replays, the side effect does not.
+        let mut conn = corba::OrbConnection::connect(&server.ior()).unwrap();
+        let id = obs::CallId::fresh();
+        let first = conn.call_with_id("boom", &[], Some(id)).unwrap_err();
+        let second = conn.call_with_id("boom", &[], Some(id)).unwrap_err();
+        assert!(matches!(&first, CorbaError::User { message, .. } if message.contains("bang")));
+        match (&first, &second) {
+            (CorbaError::User { message: a, .. }, CorbaError::User { message: b, .. }) => {
+                assert_eq!(a, b);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let instance = server.instance().unwrap();
+        assert_eq!(instance.field("n").unwrap(), Value::Int(1));
+        assert_eq!(server.reply_cache_stats().hits, 1);
         server.shutdown();
     }
 

@@ -79,12 +79,32 @@ impl DocumentStore {
         *self.wal.write() = Some(wal);
     }
 
-    /// Publishes (or replaces) the document at `path`.
-    pub fn publish(&self, path: &str, content: String, version: u64, content_type: &'static str) {
+    /// Publishes (or replaces) the document at `path`. Returns whether
+    /// the document actually became visible: when a durable log is
+    /// attached and the version cannot be made durable, the publication
+    /// is refused — a client must never observe a version a crash could
+    /// forget.
+    pub fn publish(
+        &self,
+        path: &str,
+        content: String,
+        version: u64,
+        content_type: &'static str,
+    ) -> bool {
         // Durability first: the version must hit disk before any client
         // can observe it, or a crash could roll the version stream back.
         if let Some(wal) = self.wal.read().as_ref() {
-            wal.append(path, version);
+            if let Err(e) = wal.append(path, version) {
+                obs::registry()
+                    .counter("sde_docs_publish_refused_total")
+                    .inc();
+                obs::trace::event(
+                    "sde::docs",
+                    "publish-refused",
+                    format!("path={path} version={version} wal append failed: {e}"),
+                );
+                return false;
+            }
         }
         self.docs.write().insert(
             path.to_string(),
@@ -105,6 +125,7 @@ impl DocumentStore {
             "publish",
             format!("path={path} version={version}"),
         );
+        true
     }
 
     /// The sequence of versions ever published at `path` (oldest first) —
@@ -277,6 +298,27 @@ mod tests {
         // Retraction does not erase history.
         store.retract("/a.wsdl");
         assert_eq!(store.history("/a.wsdl"), vec![1, 3]);
+    }
+
+    #[test]
+    fn publish_refused_when_wal_cannot_record_the_version() {
+        let dir = std::env::temp_dir().join("live-rmi-docs-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("refuse-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let wal = Arc::new(crate::wal::VersionWal::open(&path).unwrap());
+        let store = DocumentStore::new();
+        store.attach_wal(wal.clone());
+        assert!(store.publish("/A.wsdl", "<v1/>".into(), 1, "text/xml"));
+        wal.poison_for_test();
+        assert!(
+            !store.publish("/A.wsdl", "<v2/>".into(), 2, "text/xml"),
+            "a version the WAL could not record must not become visible"
+        );
+        // Clients still see only the last durable version.
+        assert_eq!(store.get("/A.wsdl").unwrap().version, 1);
+        assert_eq!(store.history("/A.wsdl"), vec![1]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub use error::SdeError;
 pub use gateway::{GatewayCore, HandlerMetrics, InvokeFailure, SdeServerGateway, Technology};
 pub use manager::{SdeConfig, SdeManager, TransportKind};
 pub use publish::{GeneratedDoc, PublicationStrategy, PublisherCore, PublisherMetrics};
-pub use replycache::{CachedReply, ReplyCache, ReplyCacheStats};
+pub use replycache::{Admission, CachedReply, ReplyCache, ReplyCacheStats};
 pub use soap_server::SoapServer;
 pub use wal::VersionWal;

@@ -7,7 +7,7 @@ use httpd::{Handler, HttpServer, Request, Response, Status};
 use jpie::{ClassHandle, Instance};
 use soap::{SoapFault, WsdlDocument};
 
-use crate::replycache::CachedReply;
+use crate::replycache::{Admission, CachedReply};
 
 use crate::docs::DocumentStore;
 use crate::error::SdeError;
@@ -168,7 +168,7 @@ impl Handler for SoapCallHandler {
 impl SoapCallHandler {
     fn handle_inner(&self, req: &Request) -> Response {
         let xml = req.body_str();
-        let (soap_req, call_id) = match soap::decode_request_with_id(&xml) {
+        let (soap_req, mut call_id) = match soap::decode_request_with_id(&xml) {
             Ok(r) => r,
             Err(e) => {
                 // "If the parsing reveals a malformed SOAP Request, a SOAP
@@ -179,10 +179,36 @@ impl SoapCallHandler {
         };
         // At-most-once execution: a redelivered call id means the first
         // delivery already ran (its reply got lost on the way back) —
-        // replay the stored reply instead of executing again.
+        // replay the stored reply instead of executing again. Admission
+        // also claims an in-flight sentinel, so a duplicate racing a
+        // still-executing first delivery waits for its result instead of
+        // executing a second copy.
         if let Some(id) = call_id {
-            if let Some(CachedReply::SoapBody(body)) = self.core.reply_cache().lookup(id) {
-                return Response::ok_shared(body, "text/xml");
+            match self.core.reply_cache().admit(id) {
+                Admission::Replay(CachedReply::SoapBody(body)) => {
+                    return Response::ok_shared(body, "text/xml");
+                }
+                Admission::Replay(CachedReply::SoapFault(body)) => {
+                    return Response::new_shared(Status::INTERNAL_SERVER_ERROR, body, "text/xml");
+                }
+                Admission::Replay(_) => {
+                    // A CORBA-flavoured entry can only exist if two
+                    // gateways shared one cache — they never do. Execute
+                    // without exactly-once bookkeeping rather than panic.
+                    call_id = None;
+                }
+                Admission::InFlight => {
+                    // The original delivery outlasted the wait bound.
+                    // 503 is the one reply the client retries without
+                    // any idempotency licence — exactly right here: the
+                    // retry redelivers the same id and finds the reply.
+                    fault_counter("duplicate_in_flight").inc();
+                    return Response::unavailable(
+                        "original delivery of this call is still executing",
+                        std::time::Duration::from_millis(100),
+                    );
+                }
+                Admission::Execute => {}
             }
         }
         match self.core.dispatch(soap_req.method(), soap_req.args()) {
@@ -198,19 +224,29 @@ impl SoapCallHandler {
                         let shared: Arc<[u8]> = body.into();
                         self.core
                             .reply_cache()
-                            .store(id, CachedReply::SoapBody(shared.clone()));
+                            .complete(id, CachedReply::SoapBody(shared.clone()));
                         Response::ok_shared(shared, "text/xml")
                     }
                     None => Response::ok(body, "text/xml"),
                 }
             }
             Err(InvokeFailure::NotInitialized) => {
+                // Dispatch never entered the method body: release the
+                // claim uncached so a retry after the server heals
+                // executes normally.
+                if let Some(id) = call_id {
+                    self.core.reply_cache().abort(id);
+                }
                 fault_counter("server_not_initialized").inc();
                 fault_response(&SoapFault::server_not_initialized())
             }
             Err(InvokeFailure::NoMatch) => {
                 // §5.7 ran inside dispatch (stall + forced publication);
-                // now the exception goes back.
+                // now the exception goes back. The body never ran, so
+                // the claim is released uncached.
+                if let Some(id) = call_id {
+                    self.core.reply_cache().abort(id);
+                }
                 fault_counter("non_existent_method").inc();
                 obs::trace::event(
                     "sde::soap",
@@ -224,8 +260,23 @@ impl SoapCallHandler {
                 fault_response(&SoapFault::non_existent_method(soap_req.method()))
             }
             Err(InvokeFailure::AppException(msg)) => {
+                // The method body executed — possibly mutating state —
+                // before throwing. A lost fault reply licenses a retry
+                // that must NOT re-run those side effects, so the fault
+                // is cached and replayed exactly like a success.
                 fault_counter("application_exception").inc();
-                fault_response(&SoapFault::application_exception(msg))
+                let mut body = Vec::with_capacity(256);
+                soap::encode_fault_into(&SoapFault::application_exception(msg), &mut body);
+                match call_id {
+                    Some(id) => {
+                        let shared: Arc<[u8]> = body.into();
+                        self.core
+                            .reply_cache()
+                            .complete(id, CachedReply::SoapFault(shared.clone()));
+                        Response::new_shared(Status::INTERNAL_SERVER_ERROR, shared, "text/xml")
+                    }
+                    None => Response::new(Status::INTERNAL_SERVER_ERROR, body, "text/xml"),
+                }
             }
         }
     }
@@ -381,6 +432,61 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn redelivered_faulting_call_replays_the_cached_fault() {
+        let server = deploy_calc("faultcache");
+        server.class().add_field("n", TypeDesc::Int).unwrap();
+        server
+            .class()
+            .add_method(
+                MethodBuilder::new("boom", TypeDesc::Void)
+                    .distributed(true)
+                    .body_block(vec![
+                        jpie::expr::Stmt::SetField(
+                            "n".into(),
+                            Expr::field("n") + Expr::lit(1),
+                        ),
+                        jpie::expr::Stmt::Throw(Expr::lit("exploded")),
+                    ]),
+            )
+            .unwrap();
+        server.create_instance().unwrap();
+
+        // The same call id delivered twice — as a client retrying a lost
+        // fault reply would.
+        let id = obs::CallId::fresh();
+        let mut body = Vec::new();
+        soap::encode_request_with_id_into(
+            "urn:Calc",
+            "boom",
+            std::iter::empty::<(&str, &Value)>(),
+            Some(id),
+            &mut body,
+        );
+        let post = || {
+            HttpClient::new()
+                .post(&server.endpoint_url(), body.clone(), "text/xml")
+                .unwrap()
+        };
+        let first = post();
+        let second = post();
+
+        // Identical fault replies, but the side effect landed only once.
+        assert_eq!(first.status(), 500);
+        assert_eq!(first.body_str(), second.body_str());
+        match soap::decode_response(&second.body_str()).unwrap() {
+            SoapResponse::Fault(f) => {
+                assert_eq!(f.fault_string, "Application Exception");
+                assert!(f.detail.unwrap().contains("exploded"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let instance = server.instance().unwrap();
+        assert_eq!(instance.field("n").unwrap(), Value::Int(1));
+        assert_eq!(server.reply_cache_stats().hits, 1);
         server.shutdown();
     }
 

@@ -50,6 +50,14 @@ struct WalInner {
     file: File,
     /// Highest version replayed or appended per document path.
     floors: HashMap<String, u64>,
+    /// Byte length of the durable, intact prefix of the file. A failed
+    /// append truncates back to this offset so a partial record never
+    /// silently cuts off replay of everything written after it.
+    good_len: u64,
+    /// Set when a failed append could not be truncated away: the tail
+    /// is in an unknown state, so further appends must not pretend to
+    /// be durable.
+    poisoned: bool,
 }
 
 /// The durable publication log: one per [`crate::SdeManager`] authority.
@@ -74,7 +82,22 @@ impl VersionWal {
             .open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let floors = replay(&bytes);
+        let (floors, good_len) = replay(&bytes);
+        if (good_len as usize) < bytes.len() {
+            // Drop the torn tail now: append mode writes at EOF, so a
+            // new record after the torn bytes would be unreadable at the
+            // next replay (the scan stops at the first bad record).
+            file.set_len(good_len)?;
+            obs::trace::event(
+                "sde::wal",
+                "truncate-torn-tail",
+                format!(
+                    "path={} dropped_bytes={}",
+                    path.display(),
+                    bytes.len() - good_len as usize
+                ),
+            );
+        }
         if !floors.is_empty() {
             obs::trace::event(
                 "sde::wal",
@@ -83,14 +106,25 @@ impl VersionWal {
             );
         }
         Ok(VersionWal {
-            inner: Mutex::new(WalInner { file, floors }),
+            inner: Mutex::new(WalInner {
+                file,
+                floors,
+                good_len,
+                poisoned: false,
+            }),
         })
     }
 
     /// Appends one publication record and fsyncs before returning: once
-    /// this call completes, a crash cannot lose the fact that
+    /// this call returns `Ok`, a crash cannot lose the fact that
     /// `doc_path` reached `version`.
-    pub fn append(&self, doc_path: &str, version: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Fails when the record could not be both written and fsynced
+    /// (disk full, IO error) — the version is then NOT durable and the
+    /// caller must not make it observable to clients.
+    pub fn append(&self, doc_path: &str, version: u64) -> std::io::Result<()> {
         let mut payload = Vec::with_capacity(8 + doc_path.len());
         payload.extend_from_slice(&version.to_be_bytes());
         payload.extend_from_slice(doc_path.as_bytes());
@@ -100,16 +134,47 @@ impl VersionWal {
         record.extend_from_slice(&crc32(&payload).to_be_bytes());
 
         let mut inner = self.inner.lock();
-        // One write: a torn record is all-tail, never an interior hole.
-        if inner.file.write_all(&record).is_err() {
-            return;
+        if inner.poisoned {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "version WAL poisoned by an earlier unrecoverable write failure",
+            ));
         }
-        let _ = inner.file.sync_data();
+        // One write: a torn record is all-tail, never an interior hole.
+        let written = inner
+            .file
+            .write_all(&record)
+            .and_then(|()| inner.file.sync_data());
+        if let Err(e) = written {
+            obs::registry().counter("wal_append_failures_total").inc();
+            // A partial record at the tail would make every later
+            // append unreadable at replay — truncate back to the last
+            // known-good record. If even that fails, poison the log.
+            let good_len = inner.good_len;
+            if inner.file.set_len(good_len).is_err() {
+                inner.poisoned = true;
+            }
+            obs::trace::event(
+                "sde::wal",
+                "append-failed",
+                format!("path={doc_path} version={version} error={e}"),
+            );
+            return Err(e);
+        }
+        inner.good_len += record.len() as u64;
         let slot = inner.floors.entry(doc_path.to_string()).or_insert(0);
         if version > *slot {
             *slot = version;
         }
         obs::registry().counter("wal_appends_total").inc();
+        Ok(())
+    }
+
+    /// Test hook: makes every subsequent append fail, simulating an
+    /// unrecoverable IO failure underneath the log.
+    #[cfg(test)]
+    pub(crate) fn poison_for_test(&self) {
+        self.inner.lock().poisoned = true;
     }
 
     /// The highest version the log holds for `doc_path`, if any.
@@ -119,8 +184,10 @@ impl VersionWal {
 }
 
 /// Scans raw log bytes into per-path version floors, stopping at the
-/// first incomplete or corrupt record.
-fn replay(bytes: &[u8]) -> HashMap<String, u64> {
+/// first incomplete or corrupt record. Also returns the byte length of
+/// the intact prefix, so the caller can realign appends past a torn
+/// tail.
+fn replay(bytes: &[u8]) -> (HashMap<String, u64>, u64) {
     let mut floors = HashMap::new();
     let mut at = 0usize;
     while let Some(len_bytes) = bytes.get(at..at + 4) {
@@ -147,7 +214,7 @@ fn replay(bytes: &[u8]) -> HashMap<String, u64> {
         }
         at += 8 + len;
     }
-    floors
+    (floors, at as u64)
 }
 
 #[cfg(test)]
@@ -173,9 +240,9 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let wal = VersionWal::open(&path).unwrap();
-            wal.append("/Calc.wsdl", 1);
-            wal.append("/Calc.wsdl", 5);
-            wal.append("/Calc.idl", 3);
+            wal.append("/Calc.wsdl", 1).unwrap();
+            wal.append("/Calc.wsdl", 5).unwrap();
+            wal.append("/Calc.idl", 3).unwrap();
             assert_eq!(wal.floor("/Calc.wsdl"), Some(5));
         }
         let wal = VersionWal::open(&path).unwrap();
@@ -191,7 +258,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let wal = VersionWal::open(&path).unwrap();
-            wal.append("/A.wsdl", 7);
+            wal.append("/A.wsdl", 7).unwrap();
         }
         // Simulate a crash mid-append: half a record at the tail.
         {
@@ -202,8 +269,30 @@ mod tests {
         let wal = VersionWal::open(&path).unwrap();
         assert_eq!(wal.floor("/A.wsdl"), Some(7), "intact prefix survives");
         // The log keeps working after recovery.
-        wal.append("/A.wsdl", 9);
+        wal.append("/A.wsdl", 9).unwrap();
         assert_eq!(wal.floor("/A.wsdl"), Some(9));
+        // Crucially, the post-recovery record is readable at the NEXT
+        // replay too: open() truncated the torn tail, so the append
+        // landed on an intact prefix rather than behind garbage.
+        let wal = VersionWal::open(&path).unwrap();
+        assert_eq!(
+            wal.floor("/A.wsdl"),
+            Some(9),
+            "records appended after torn-tail recovery must survive reopen"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn poisoned_wal_refuses_appends() {
+        let path = temp_path("poisoned");
+        let _ = std::fs::remove_file(&path);
+        let wal = VersionWal::open(&path).unwrap();
+        wal.append("/A.idl", 1).unwrap();
+        wal.poison_for_test();
+        assert!(wal.append("/A.idl", 2).is_err(), "poisoned log must fail");
+        // The floor still reflects only what is durably on disk.
+        assert_eq!(wal.floor("/A.idl"), Some(1));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -213,8 +302,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let wal = VersionWal::open(&path).unwrap();
-            wal.append("/A.idl", 2);
-            wal.append("/B.idl", 4);
+            wal.append("/A.idl", 2).unwrap();
+            wal.append("/B.idl", 4).unwrap();
         }
         // Flip a byte inside the second record's payload.
         let mut bytes = std::fs::read(&path).unwrap();

@@ -557,8 +557,8 @@ impl Repl {
             return Err(format!("{name:?} is not deployed"));
         };
         Ok(format!(
-            "reply cache of {name}: {} entrie(s), {} stored, {} duplicate(s) suppressed, {} evicted",
-            stats.entries, stats.stores, stats.hits, stats.evictions
+            "reply cache of {name}: {} entrie(s), {} in flight, {} stored, {} duplicate(s) suppressed, {} evicted",
+            stats.entries, stats.in_flight, stats.stores, stats.hits, stats.evictions
         ))
     }
 
