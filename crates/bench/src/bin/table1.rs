@@ -3,11 +3,14 @@
 //! explaining the SOAP-vs-CORBA ordering.
 //!
 //! Usage: `table1 [calls] [tcp|mem] [--sweep] [--stages] [--obs-overhead]
-//! [--json <path>]` — defaults to 100 calls (as in the paper) over TCP
-//! loopback. `--stages` appends the obs-derived per-stage latency
-//! breakdown; `--obs-overhead` compares RTT with instrumentation off vs.
-//! on; `--json` additionally writes the run (rows + stages + overhead)
-//! as a machine-readable report for CI trending.
+//! [--trace-overhead] [--trace-waterfall] [--json <path>]` — defaults to
+//! 100 calls (as in the paper) over TCP loopback. `--stages` appends the
+//! obs-derived per-stage latency breakdown; `--obs-overhead` compares
+//! RTT with instrumentation off vs. on; `--trace-overhead` compares the
+//! traced cde client path with span recording off vs. on;
+//! `--trace-waterfall` prints the slowest tail-sampled trace as a span
+//! waterfall; `--json` additionally writes the run (rows + stages +
+//! overheads) as a machine-readable report for CI trending.
 
 use bench::json::{table1_json, take_json_arg};
 
@@ -16,8 +19,9 @@ use bench::json::{table1_json, take_json_arg};
 #[global_allocator]
 static ALLOC: bench::alloc::CountingAllocator = bench::alloc::CountingAllocator;
 use bench::rtt::{
-    measure_obs_overhead, measure_sde_soap_with_breakdown, render, render_breakdown,
-    render_obs_overhead, render_sweep, run_payload_sweep, run_table1, RttConfig,
+    measure_obs_overhead, measure_sde_soap_with_breakdown, measure_trace_overhead, render,
+    render_breakdown, render_obs_overhead, render_sweep, render_trace_overhead, run_payload_sweep,
+    run_table1, RttConfig,
 };
 use sde::TransportKind;
 
@@ -27,6 +31,8 @@ fn main() {
     let sweep = args.iter().any(|a| a == "--sweep");
     let stages = args.iter().any(|a| a == "--stages");
     let obs_overhead = args.iter().any(|a| a == "--obs-overhead");
+    let trace_overhead_flag = args.iter().any(|a| a == "--trace-overhead");
+    let trace_waterfall = args.iter().any(|a| a == "--trace-waterfall");
     let calls: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(100);
     let transport = if args.iter().any(|a| a == "mem") {
         TransportKind::Mem
@@ -61,6 +67,26 @@ fn main() {
         overhead = Some(o);
     }
 
+    let mut trace = None;
+    if trace_overhead_flag || trace_waterfall {
+        eprintln!("measuring tracing overhead on the cde client path (off vs. on) ...");
+        let t = measure_trace_overhead(&cfg);
+        println!("{}", render_trace_overhead(&t));
+        trace = Some(t);
+    }
+
+    if trace_waterfall {
+        // The slowest trace the tail sampler kept from the traced window.
+        let retained = obs::tracectx::store().retained();
+        match retained.iter().max_by_key(|t| t.root_duration_us) {
+            Some(slowest) => {
+                println!("Slowest tail-sampled trace:");
+                println!("{}", obs::tracectx::render_waterfall(slowest));
+            }
+            None => println!("No tail-sampled traces retained in this window."),
+        }
+    }
+
     if sweep {
         eprintln!("running payload sweep ...");
         let points = run_payload_sweep(&cfg, &[16, 256, 4096, 65536]);
@@ -81,6 +107,7 @@ fn main() {
             transport_name,
             breakdown.as_ref(),
             overhead.as_ref(),
+            trace.as_ref(),
         );
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

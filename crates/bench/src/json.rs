@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 
 use crate::harness::BenchResult;
-use crate::rtt::{ObsOverhead, StageBreakdown, Table1};
+use crate::rtt::{ObsOverhead, StageBreakdown, Table1, TraceOverhead};
 
 /// Escapes `s` for use inside a JSON string literal. Histogram keys
 /// contain quotes (`sde_dispatch_ns{class="EchoService"}`), so this is
@@ -47,6 +47,7 @@ pub fn table1_json(
     transport: &str,
     stages: Option<&StageBreakdown>,
     obs_overhead: Option<&ObsOverhead>,
+    trace_overhead: Option<&TraceOverhead>,
 ) -> String {
     let mut out = String::from("{\n  \"bench\": \"table1\",\n");
     let _ = writeln!(out, "  \"transport\": \"{}\",", escape(transport));
@@ -97,6 +98,18 @@ pub fn table1_json(
             num(o.rtt_off_us),
             num(o.rtt_on_us),
             num(o.ratio)
+        );
+    }
+    if let Some(t) = trace_overhead {
+        let _ = write!(
+            out,
+            ",\n  \"trace_overhead\": {{\"rtt_off_us\": {}, \"rtt_on_us\": {}, \
+             \"ratio\": {}, \"trace_overhead_ns\": {}, \"span_store_bytes\": {}}}",
+            num(t.rtt_off_us),
+            num(t.rtt_on_us),
+            num(t.ratio),
+            num((t.rtt_on_us - t.rtt_off_us) * 1000.0),
+            t.span_store_bytes
         );
     }
     out.push_str("\n}\n");

@@ -578,6 +578,86 @@ pub fn render_obs_overhead(o: &ObsOverhead) -> String {
     )
 }
 
+/// The distributed-tracing overhead check: the traced client path (a
+/// [`cde::ClientEnvironment`] stub, which opens call/attempt spans and
+/// propagates the trace context on the wire) with span recording off
+/// (baseline) and on. The acceptance bar is < 3% regression at the
+/// default tail-sampling rate.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOverhead {
+    /// Mean RTT with `obs::tracectx::set_tracing(false)`.
+    pub rtt_off_us: f64,
+    /// Mean RTT with tracing on (the default).
+    pub rtt_on_us: f64,
+    /// on/off ratio (1.00 = no measurable overhead).
+    pub ratio: f64,
+    /// Approximate SpanStore heap footprint after the traced run.
+    pub span_store_bytes: usize,
+}
+
+/// Measures the tracing overhead on the cde SOAP path. Leaves tracing
+/// enabled on return.
+///
+/// This is deliberately *not* the static-client Table 1 path — the
+/// static clients never open spans or emit the trace header, so only
+/// the cde dynamic stub can answer "what does tracing cost".
+///
+/// Loopback RTTs are ~20us with multi-microsecond scheduler jitter and
+/// per-server setup variance, so a single off-window vs. on-window mean
+/// comparison is noise. One server/stub pair serves alternating off/on
+/// windows and each mode reports the minimum of its window medians —
+/// the classic noise-robust microbenchmark estimator.
+pub fn measure_trace_overhead(cfg: &RttConfig) -> TraceOverhead {
+    let manager = SdeManager::new(SdeConfig {
+        transport: cfg.transport,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_secs(3600)),
+        wal_dir: None,
+    })
+    .expect("manager");
+    let server = manager.deploy_soap(echo_class()).expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = cde::ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let arg = [Value::Str(PAYLOAD.into())];
+    let window = |tracing: bool| {
+        obs::tracectx::set_tracing(tracing);
+        measure(cfg.calls, cfg.warmup, || {
+            let v = env.call(&stub, "echo", &arg).expect("call");
+            assert!(matches!(v, Value::Str(_)));
+        })
+        .median_us
+    };
+
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..4 {
+        best_off = best_off.min(window(false));
+        best_on = best_on.min(window(true));
+    }
+    manager.shutdown();
+    TraceOverhead {
+        rtt_off_us: best_off,
+        rtt_on_us: best_on,
+        ratio: best_on / best_off,
+        span_store_bytes: obs::tracectx::store().approx_bytes(),
+    }
+}
+
+/// Renders the tracing-overhead comparison.
+pub fn render_trace_overhead(o: &TraceOverhead) -> String {
+    format!(
+        "Tracing overhead (cde path): {:.1}us (off) -> {:.1}us (on), \
+         ratio {:.3} ({:+.1}%), span store ~{} KiB\n",
+        o.rtt_off_us,
+        o.rtt_on_us,
+        o.ratio,
+        (o.ratio - 1.0) * 100.0,
+        o.span_store_bytes / 1024
+    )
+}
+
 /// Convenience used by tests: a quick, in-memory run.
 pub fn quick_table1() -> Table1 {
     run_table1(&RttConfig {

@@ -35,6 +35,21 @@ fn rmi_counters() -> &'static (Arc<obs::Counter>, Arc<obs::Counter>) {
     })
 }
 
+/// Static error-kind label for span annotations.
+fn error_kind(e: &CallError) -> &'static str {
+    match e {
+        CallError::StaleMethod { .. } => "stale-method",
+        CallError::ServerNotInitialized => "server-not-initialized",
+        CallError::Application(_) => "application",
+        CallError::Transport(_) => "transport",
+        CallError::Protocol(_) => "protocol",
+        CallError::Interface(_) => "interface",
+        CallError::Overloaded { .. } => "overloaded",
+        CallError::DeadlineExceeded { .. } => "deadline",
+        CallError::CircuitOpen { .. } => "circuit-open",
+    }
+}
+
 impl CallOptions {
     /// Options for an idempotent operation (retried on transport errors).
     pub fn idempotent() -> CallOptions {
@@ -207,19 +222,33 @@ impl ClientEnvironment {
         // One logical call, one id: every retry below redelivers the
         // same id, which is what lets a caching server deduplicate.
         let call_id = obs::CallId::fresh();
+        // One logical call, one trace: the root span completes (and is
+        // tail-sampled) when this guard drops, however the loop exits.
+        let root = obs::tracectx::client_root("client.call", Some(call_id));
+        root.annotate("method", obs::tracectx::AnnValue::Owned(method.to_string()));
         loop {
             attempt += 1;
             if !breaker.try_acquire() {
+                root.fail("circuit-open");
                 return Err(CallError::CircuitOpen {
                     authority: authority.to_string(),
                 });
             }
+            // Each transport attempt is its own child span; its id is
+            // what rides the wire, so server spans parent under the
+            // attempt that actually carried them.
+            let attempt_span = obs::tracectx::child("client.attempt");
+            attempt_span.annotate("attempt", obs::tracectx::AnnValue::U64(u64::from(attempt)));
             let retry_wait = match self.call_once(stub, method, args, Some(call_id)) {
                 Ok(v) => {
                     breaker.on_success();
+                    if attempt > 1 {
+                        root.annotate("attempts", obs::tracectx::AnnValue::U64(u64::from(attempt)));
+                    }
                     return Ok(v);
                 }
                 Err(CallError::Transport(m)) => {
+                    attempt_span.fail("transport");
                     breaker.on_failure();
                     // A non-idempotent call whose outcome is unknown is
                     // only safe to re-send when the server deduplicates
@@ -227,6 +256,7 @@ impl ClientEnvironment {
                     if !(opts.idempotent || stub.server_caches())
                         || attempt >= self.policy.max_attempts
                     {
+                        root.fail("transport");
                         return Err(CallError::Transport(m));
                     }
                     backoff.next_delay()
@@ -241,6 +271,7 @@ impl ClientEnvironment {
                     // not proof of health, and an endpoint that garbles
                     // *every* reply must not keep resetting the breaker
                     // exactly while it misbehaves.
+                    attempt_span.fail("protocol");
                     obs::registry().counter("rmi_protocol_retries_total").inc();
                     backoff.next_delay()
                 }
@@ -249,8 +280,10 @@ impl ClientEnvironment {
                     // engine saw it: the server is alive (not a breaker
                     // failure) and a resend is safe even for
                     // non-idempotent calls.
+                    attempt_span.fail("overloaded");
                     breaker.on_success();
                     if attempt >= self.policy.max_attempts {
+                        root.fail("overloaded");
                         return Err(CallError::Overloaded { retry_after_ms });
                     }
                     retry_after_ms
@@ -269,11 +302,16 @@ impl ClientEnvironment {
                     ) {
                         breaker.on_success();
                     }
+                    let kind = error_kind(&other);
+                    attempt_span.fail(kind);
+                    root.fail(kind);
                     return Err(other);
                 }
             };
+            drop(attempt_span);
             if Instant::now() + retry_wait >= deadline {
                 counters.1.inc();
+                root.fail("deadline");
                 return Err(CallError::DeadlineExceeded {
                     attempts: attempt,
                     elapsed_ms: started.elapsed().as_millis() as u64,

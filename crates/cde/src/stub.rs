@@ -388,6 +388,9 @@ impl DynamicStub {
                     static ENCODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
                 }
                 let mut body = ENCODE_BUF.with(|b| std::mem::take(&mut *b.borrow_mut()));
+                // The caller's active span (the cde attempt span) rides
+                // the envelope so server spans parent under it.
+                let trace = obs::tracectx::current();
                 let soap_action;
                 {
                     // Parameter names come from the client's current
@@ -396,11 +399,12 @@ impl DynamicStub {
                     let view = self.view.read();
                     match view.operations.iter().find(|o| o.name == method) {
                         Some(op) if op.params.len() >= args.len() => {
-                            soap::encode_request_with_id_into(
+                            soap::encode_request_traced_into(
                                 &ns,
                                 method,
                                 op.params.iter().map(|(n, _)| n.as_str()).zip(args),
                                 call_id,
+                                trace,
                                 &mut body,
                             );
                         }
@@ -410,7 +414,7 @@ impl DynamicStub {
                             // back to positional names.
                             let names: Vec<String> =
                                 (0..args.len()).map(|i| format!("arg{i}")).collect();
-                            soap::encode_request_with_id_into(
+                            soap::encode_request_traced_into(
                                 &ns,
                                 method,
                                 args.iter().enumerate().map(|(i, v)| {
@@ -420,6 +424,7 @@ impl DynamicStub {
                                     (name, v)
                                 }),
                                 call_id,
+                                trace,
                                 &mut body,
                             );
                         }

@@ -29,6 +29,11 @@ pub const CALL_ID_CONTEXT: u32 = 0x5344_4501;
 /// call id.
 pub const REPLY_CACHE_CONTEXT: u32 = 0x5344_4502;
 
+/// Service-context id carrying the distributed-tracing context
+/// ("SDE\x03"; the payload is [`obs::tracectx::WIRE_LEN`] bytes:
+/// 16-byte trace id, 8-byte parent span id, 1 flag octet, big-endian).
+pub const TRACE_CONTEXT: u32 = 0x5344_4503;
+
 /// GIOP message types (subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -100,6 +105,9 @@ pub struct RequestMessage {
     /// At-most-once call id from the [`CALL_ID_CONTEXT`] service
     /// context, if the client sent one.
     pub call_id: Option<obs::CallId>,
+    /// Distributed-tracing context from the [`TRACE_CONTEXT`] service
+    /// context, if the client sent one.
+    pub trace: Option<obs::TraceContext>,
 }
 
 /// The status + payload of a GIOP Reply.
@@ -185,6 +193,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &RequestMessage) -> Result<(), Co
         &req.operation,
         &req.args,
         req.call_id,
+        req.trace,
         &mut GiopBufs::default(),
     )
 }
@@ -206,16 +215,19 @@ pub fn write_request_parts<W: Write>(
     operation: &str,
     args: &[Value],
     call_id: Option<obs::CallId>,
+    trace: Option<obs::TraceContext>,
     bufs: &mut GiopBufs,
 ) -> Result<(), CorbaError> {
     let mut body = CdrWriter::with_buf(std::mem::take(&mut bufs.body), true);
-    match call_id {
-        Some(id) => {
-            body.write_ulong(1); // service context list: the call id
-            body.write_ulong(CALL_ID_CONTEXT);
-            body.write_octet_seq(&id.to_wire());
-        }
-        None => body.write_ulong(0), // empty service context list
+    // Service context list: call id and/or trace context.
+    body.write_ulong(u32::from(call_id.is_some()) + u32::from(trace.is_some()));
+    if let Some(id) = call_id {
+        body.write_ulong(CALL_ID_CONTEXT);
+        body.write_octet_seq(&id.to_wire());
+    }
+    if let Some(ctx) = trace {
+        body.write_ulong(TRACE_CONTEXT);
+        body.write_octet_seq(&ctx.to_wire());
     }
     body.write_ulong(request_id);
     body.write_boolean(response_expected);
@@ -469,6 +481,7 @@ pub fn decode_request(body: &[u8], big_endian: bool) -> Result<RequestMessage, C
     let mut r = CdrReader::new(body, big_endian);
     let ctx_count = r.read_ulong()?;
     let mut call_id = None;
+    let mut trace = None;
     for _ in 0..ctx_count {
         let id = r.read_ulong()?;
         let data = r.read_octet_seq()?;
@@ -476,6 +489,9 @@ pub fn decode_request(body: &[u8], big_endian: bool) -> Result<RequestMessage, C
             // A malformed payload is treated as absent: the call still
             // executes, just without duplicate suppression.
             call_id = obs::CallId::from_wire(&data);
+        } else if id == TRACE_CONTEXT && trace.is_none() {
+            // Likewise: a malformed trace context never fails the call.
+            trace = obs::TraceContext::from_wire(&data);
         }
     }
     let request_id = r.read_ulong()?;
@@ -501,6 +517,7 @@ pub fn decode_request(body: &[u8], big_endian: bool) -> Result<RequestMessage, C
         operation,
         args,
         call_id,
+        trace,
     })
 }
 
@@ -596,6 +613,7 @@ mod tests {
                 Value::Seq(TypeDesc::Double, vec![Value::Double(3.0)]),
             ],
             call_id: None,
+            trace: None,
         };
         assert_eq!(roundtrip_request(&req), req);
     }
@@ -609,6 +627,7 @@ mod tests {
             operation: "ping".into(),
             args: Vec::new(),
             call_id: None,
+            trace: None,
         };
         assert_eq!(roundtrip_request(&req), req);
     }
@@ -648,10 +667,43 @@ mod tests {
             operation: "bump".into(),
             args: vec![Value::Int(3)],
             call_id: Some(id),
+            trace: None,
         };
         let back = roundtrip_request(&req);
         assert_eq!(back.call_id, Some(id));
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn trace_service_context_round_trips() {
+        let ctx = obs::TraceContext {
+            trace: obs::TraceId(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff),
+            parent: obs::SpanId(0x0102_0304_0506_0708),
+            flags: 1,
+        };
+        let req = RequestMessage {
+            request_id: 6,
+            response_expected: true,
+            object_key: b"k".to_vec(),
+            operation: "bump".into(),
+            args: vec![Value::Int(3)],
+            call_id: Some(obs::CallId {
+                client: 0xaaaa_bbbb_cccc_dddd,
+                seq: 1,
+            }),
+            trace: Some(ctx),
+        };
+        let back = roundtrip_request(&req);
+        assert_eq!(back.trace, Some(ctx));
+        assert_eq!(back, req);
+
+        // Trace context alone (no call id) also rides.
+        let only = RequestMessage {
+            call_id: None,
+            request_id: 7,
+            ..req.clone()
+        };
+        assert_eq!(roundtrip_request(&only), only);
     }
 
     #[test]
@@ -725,6 +777,7 @@ mod tests {
             operation: "op".into(),
             args: Vec::new(),
             call_id: None,
+            trace: None,
         };
         let mut buf = Vec::new();
         write_request(&mut buf, &req).unwrap();

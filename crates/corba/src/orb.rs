@@ -45,6 +45,7 @@ pub struct ServerRequest {
     operation: String,
     args: Vec<Value>,
     call_id: Option<obs::CallId>,
+    trace: Option<obs::TraceContext>,
     outcome: Option<Result<Value, CorbaError>>,
 }
 
@@ -58,6 +59,12 @@ impl ServerRequest {
     /// transport-level retries of the same call.
     pub fn call_id(&self) -> Option<obs::CallId> {
         self.call_id
+    }
+
+    /// The distributed-tracing context the client attached, if any —
+    /// the parent for server-side spans of this call.
+    pub fn trace(&self) -> Option<obs::TraceContext> {
+        self.trace
     }
 
     /// The positional arguments.
@@ -242,6 +249,7 @@ fn serve_connection(
                                 operation: req.operation,
                                 args: req.args,
                                 call_id: req.call_id,
+                                trace: req.trace,
                                 outcome: None,
                             };
                             implementation.invoke(&mut sreq);
@@ -369,6 +377,9 @@ impl OrbConnection {
             operation,
             args,
             call_id,
+            // The caller's active span (the cde attempt span, or any
+            // user-opened context) becomes the server spans' parent.
+            obs::tracectx::current(),
             &mut self.bufs,
         )?;
         let (msg_type, big_endian) = read_message_into(&mut self.stream, &mut self.read_buf)?

@@ -171,6 +171,10 @@ struct CorbaCallHandler {
 
 impl DynamicImplementation for CorbaCallHandler {
     fn invoke(&self, request: &mut ServerRequest) {
+        // Server-side span tree: joins the client's wire-propagated
+        // context (a no-op when the caller sent none).
+        let server_span =
+            obs::tracectx::server_root("server.corba", request.trace(), request.call_id());
         // At-most-once execution: a redelivered call id means the first
         // delivery already ran — replay the stored outcome instead of
         // executing again. Admission also claims an in-flight sentinel,
@@ -178,14 +182,19 @@ impl DynamicImplementation for CorbaCallHandler {
         // for its result instead of executing a second copy.
         let mut call_id = request.call_id();
         if let Some(id) = call_id {
+            let admit_span = obs::tracectx::child("replycache.admit");
             match self.core.reply_cache().admit(id) {
                 Admission::Replay(CachedReply::Value(v)) => {
+                    admit_span.rename("replycache.hit");
+                    admit_span.annotate("reply_replayed", obs::tracectx::AnnValue::U64(1));
                     request.set_result(v);
                     return;
                 }
                 Admission::Replay(CachedReply::Exception(msg)) => {
                     // The first delivery executed the body and threw:
                     // replay the exception, never the side effects.
+                    admit_span.rename("replycache.hit");
+                    admit_span.annotate("reply_replayed", obs::tracectx::AnnValue::U64(1));
                     request.set_exception(CorbaError::user_exception(msg));
                     return;
                 }
@@ -199,6 +208,8 @@ impl DynamicImplementation for CorbaCallHandler {
                     // The original delivery outlasted the wait bound:
                     // TRANSIENT is the retryable rejection — the retry
                     // redelivers the same id and finds the reply.
+                    admit_span.rename("replycache.wait");
+                    admit_span.fail("duplicate-in-flight");
                     fault_counter("duplicate_in_flight").inc();
                     request.set_exception(CorbaError::system(
                         corba::SystemExceptionKind::Transient,
@@ -230,6 +241,7 @@ impl DynamicImplementation for CorbaCallHandler {
                 if let Some(id) = call_id {
                     self.core.reply_cache().abort(id);
                 }
+                server_span.fail("server-not-initialized");
                 fault_counter("object_not_exist").inc();
                 request.set_exception(CorbaError::system(
                     corba::SystemExceptionKind::ObjectNotExist,
@@ -242,6 +254,7 @@ impl DynamicImplementation for CorbaCallHandler {
                 if let Some(id) = call_id {
                     self.core.reply_cache().abort(id);
                 }
+                server_span.fail("non-existent-method");
                 fault_counter("non_existent_method").inc();
                 obs::trace::event(
                     "sde::corba",
@@ -261,6 +274,7 @@ impl DynamicImplementation for CorbaCallHandler {
                 // throwing, so the exception is cached and replayed
                 // exactly like a success: a lost fault reply must not
                 // license a re-execution.
+                server_span.fail("application-exception");
                 fault_counter("user_exception").inc();
                 if let Some(id) = call_id {
                     self.core
@@ -383,10 +397,7 @@ mod tests {
                 MethodBuilder::new("boom", TypeDesc::Void)
                     .distributed(true)
                     .body_block(vec![
-                        jpie::expr::Stmt::SetField(
-                            "n".into(),
-                            Expr::field("n") + Expr::lit(1),
-                        ),
+                        jpie::expr::Stmt::SetField("n".into(), Expr::field("n") + Expr::lit(1)),
                         jpie::expr::Stmt::Throw(Expr::lit("bang")),
                     ]),
             )

@@ -275,7 +275,16 @@ impl GatewayCore {
     /// names) otherwise (CORBA).
     pub fn dispatch(&self, method: &str, args: &[(String, Value)]) -> Result<Value, InvokeFailure> {
         let span = obs::trace::Span::timed(self.o.dispatch_ns.clone());
+        let dispatch_span = obs::tracectx::child("dispatch");
         let out = self.dispatch_inner(method, args);
+        if let Err(e) = &out {
+            dispatch_span.fail(match e {
+                InvokeFailure::NotInitialized => "server-not-initialized",
+                InvokeFailure::NoMatch => "non-existent-method",
+                InvokeFailure::AppException(_) => "application-exception",
+            });
+        }
+        drop(dispatch_span);
         span.finish();
         out
     }
@@ -291,7 +300,18 @@ impl GatewayCore {
         // Normal processing holds the stall read lock: it is blocked while
         // a stale call is forcing publication (§5.7 "stalls the processing
         // of incoming messages").
+        let traced = obs::tracectx::has_active();
+        let stall_wait_start = if traced { obs::uptime_micros() } else { 0 };
         let _processing = self.stall.read();
+        if traced {
+            let stall_waited = obs::uptime_micros().saturating_sub(stall_wait_start);
+            if stall_waited > 0 {
+                obs::tracectx::annotate_active(
+                    "stall_wait_us",
+                    obs::tracectx::AnnValue::U64(stall_waited),
+                );
+            }
+        }
 
         let Some(instance) = self.instance() else {
             self.metrics.faults.fetch_add(1, Ordering::Relaxed);

@@ -407,9 +407,8 @@ mod tests {
 
     #[test]
     fn duplicate_outlasting_wait_is_rejected_retryable() {
-        let cache =
-            ReplyCache::new("RcSlow", 16, Duration::from_secs(60))
-                .with_inflight_wait(Duration::from_millis(10));
+        let cache = ReplyCache::new("RcSlow", 16, Duration::from_secs(60))
+            .with_inflight_wait(Duration::from_millis(10));
         assert!(matches!(cache.admit(id(1)), Admission::Execute));
         // The original never resolves within the wait bound.
         assert!(matches!(cache.admit(id(1)), Admission::InFlight));

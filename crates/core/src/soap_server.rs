@@ -168,7 +168,7 @@ impl Handler for SoapCallHandler {
 impl SoapCallHandler {
     fn handle_inner(&self, req: &Request) -> Response {
         let xml = req.body_str();
-        let (soap_req, mut call_id) = match soap::decode_request_with_id(&xml) {
+        let (soap_req, mut call_id, trace_ctx) = match soap::decode_request_traced(&xml) {
             Ok(r) => r,
             Err(e) => {
                 // "If the parsing reveals a malformed SOAP Request, a SOAP
@@ -177,6 +177,9 @@ impl SoapCallHandler {
                 return fault_response(&SoapFault::malformed_request(e.to_string()));
             }
         };
+        // Server-side span tree: joins the client's wire-propagated
+        // context (a no-op when the caller sent none).
+        let server_span = obs::tracectx::server_root("server.soap", trace_ctx, call_id);
         // At-most-once execution: a redelivered call id means the first
         // delivery already ran (its reply got lost on the way back) —
         // replay the stored reply instead of executing again. Admission
@@ -184,11 +187,16 @@ impl SoapCallHandler {
         // still-executing first delivery waits for its result instead of
         // executing a second copy.
         if let Some(id) = call_id {
+            let admit_span = obs::tracectx::child("replycache.admit");
             match self.core.reply_cache().admit(id) {
                 Admission::Replay(CachedReply::SoapBody(body)) => {
+                    admit_span.rename("replycache.hit");
+                    admit_span.annotate("reply_replayed", obs::tracectx::AnnValue::U64(1));
                     return Response::ok_shared(body, "text/xml");
                 }
                 Admission::Replay(CachedReply::SoapFault(body)) => {
+                    admit_span.rename("replycache.hit");
+                    admit_span.annotate("reply_replayed", obs::tracectx::AnnValue::U64(1));
                     return Response::new_shared(Status::INTERNAL_SERVER_ERROR, body, "text/xml");
                 }
                 Admission::Replay(_) => {
@@ -202,6 +210,8 @@ impl SoapCallHandler {
                     // 503 is the one reply the client retries without
                     // any idempotency licence — exactly right here: the
                     // retry redelivers the same id and finds the reply.
+                    admit_span.rename("replycache.wait");
+                    admit_span.fail("duplicate-in-flight");
                     fault_counter("duplicate_in_flight").inc();
                     return Response::unavailable(
                         "original delivery of this call is still executing",
@@ -215,8 +225,10 @@ impl SoapCallHandler {
             Ok(value) => {
                 // Encode straight into the response body — no String
                 // round-trip on the reply hot path.
+                let marshal_span = obs::tracectx::child("marshal");
                 let mut body = Vec::with_capacity(256);
                 soap::encode_ok_into(soap_req.method(), soap_req.namespace(), &value, &mut body);
+                drop(marshal_span);
                 match call_id {
                     Some(id) => {
                         // Shared body: the cache entry and the response
@@ -237,6 +249,7 @@ impl SoapCallHandler {
                 if let Some(id) = call_id {
                     self.core.reply_cache().abort(id);
                 }
+                server_span.fail("server-not-initialized");
                 fault_counter("server_not_initialized").inc();
                 fault_response(&SoapFault::server_not_initialized())
             }
@@ -247,6 +260,7 @@ impl SoapCallHandler {
                 if let Some(id) = call_id {
                     self.core.reply_cache().abort(id);
                 }
+                server_span.fail("non-existent-method");
                 fault_counter("non_existent_method").inc();
                 obs::trace::event(
                     "sde::soap",
@@ -264,6 +278,7 @@ impl SoapCallHandler {
                 // before throwing. A lost fault reply licenses a retry
                 // that must NOT re-run those side effects, so the fault
                 // is cached and replayed exactly like a success.
+                server_span.fail("application-exception");
                 fault_counter("application_exception").inc();
                 let mut body = Vec::with_capacity(256);
                 soap::encode_fault_into(&SoapFault::application_exception(msg), &mut body);
@@ -445,10 +460,7 @@ mod tests {
                 MethodBuilder::new("boom", TypeDesc::Void)
                     .distributed(true)
                     .body_block(vec![
-                        jpie::expr::Stmt::SetField(
-                            "n".into(),
-                            Expr::field("n") + Expr::lit(1),
-                        ),
+                        jpie::expr::Stmt::SetField("n".into(), Expr::field("n") + Expr::lit(1)),
                         jpie::expr::Stmt::Throw(Expr::lit("exploded")),
                     ]),
             )

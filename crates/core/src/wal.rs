@@ -135,8 +135,7 @@ impl VersionWal {
 
         let mut inner = self.inner.lock();
         if inner.poisoned {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::Other,
+            return Err(std::io::Error::other(
                 "version WAL poisoned by an earlier unrecoverable write failure",
             ));
         }

@@ -338,6 +338,20 @@ pub(crate) fn inject(endpoint: &str, side: FaultSide) -> Option<Injected> {
     obs::registry()
         .counter_with("faults_injected_total", &[("kind", kind.label())])
         .inc();
+    // When a traced call is on this thread, mark its active span so the
+    // injected fault survives into the tail-sampled waterfall.
+    if obs::tracectx::has_active() {
+        obs::tracectx::annotate_active(
+            "fault_injected",
+            obs::tracectx::AnnValue::Str(kind.label()),
+        );
+        if kind == FaultKind::Delay {
+            obs::tracectx::annotate_active(
+                "fault_delay_ms",
+                obs::tracectx::AnnValue::U64(delay.as_millis() as u64),
+            );
+        }
+    }
     obs::trace::verbose_event(
         "httpd::fault",
         "inject",

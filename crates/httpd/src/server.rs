@@ -539,10 +539,30 @@ fn serve_connection(
         // server (SOAP, CORBA interface docs, static baselines) exposes
         // it without handler cooperation. Not counted as app traffic.
         let mut resp = if req.method() == crate::message::Method::Get && req.path() == "/metrics" {
+            let mut body = obs::registry().snapshot().render_prometheus();
+            // Exemplars link histogram buckets to recent tail-sampled
+            // trace ids (comment lines, so plain scrapers stay happy).
+            body.push_str(&obs::tracectx::render_exemplars());
+            Response::ok(body.into_bytes(), "text/plain; version=0.0.4")
+        } else if req.method() == crate::message::Method::Get && req.path() == "/traces" {
             Response::ok(
-                obs::registry().snapshot().render_prometheus().into_bytes(),
-                "text/plain; version=0.0.4",
+                obs::tracectx::traces_json().into_bytes(),
+                "application/json",
             )
+        } else if req.method() == crate::message::Method::Get && req.path().starts_with("/traces/")
+        {
+            let prefix = &req.path()["/traces/".len()..];
+            match obs::tracectx::store().find(prefix) {
+                Some(t) => Response::ok(
+                    obs::tracectx::trace_json(&t).into_bytes(),
+                    "application/json",
+                ),
+                None => Response::new(
+                    Status::NOT_FOUND,
+                    b"no retained trace matches that prefix\n".to_vec(),
+                    "text/plain",
+                ),
+            }
         } else {
             metrics.requests.inc();
             let span = obs::trace::Span::timed(metrics.request_ns.clone());
@@ -688,6 +708,25 @@ mod tests {
         // …and the handler never saw /metrics (echo would 200 with a body
         // of "GET /metrics"; instead we got the exposition format).
         assert!(!text.contains("GET /metrics"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn traces_endpoint_served_builtin() {
+        let server = HttpServer::bind("mem://srv-traces", echo_handler).unwrap();
+        // The index answers JSON regardless of store contents, and the
+        // handler never sees the path (echo would parrot "GET /traces").
+        let list = HttpClient::new()
+            .get(&format!("{}/traces", server.base_url()))
+            .unwrap();
+        assert_eq!(list.status(), 200);
+        assert_eq!(list.headers().get("Content-Type"), Some("application/json"));
+        assert!(!list.body_str().contains("GET /traces"));
+        // An unknown prefix is a clean 404, not a handler dispatch.
+        let miss = HttpClient::new()
+            .get(&format!("{}/traces/ffffffffffff", server.base_url()))
+            .unwrap();
+        assert_eq!(miss.status(), 404);
         server.shutdown();
     }
 

@@ -13,6 +13,8 @@
 //!   delta arithmetic and Prometheus text rendering.
 //! * [`trace`] — a bounded in-process ring of structured trace events
 //!   plus RAII spans that record durations into histograms.
+//! * [`tracectx`] — cross-process distributed tracing: wire-propagated
+//!   trace context, span trees, and a tail-sampled bounded span store.
 //! * [`events`] — the queryable version-event log: interface edits,
 //!   stability timeouts, generations, publications, and stale calls,
 //!   in arrival order per class.
@@ -23,10 +25,12 @@ pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod trace;
+pub mod tracectx;
 
 pub use callid::CallId;
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry, Snapshot};
 pub use trace::{span, Span};
+pub use tracectx::{SpanId, TraceContext, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -49,6 +49,16 @@ pub fn event(target: &'static str, name: impl Into<String>, detail: impl Into<St
         name: name.into(),
         detail: detail.into(),
     };
+    // Unify the two trace streams: when a distributed-tracing context
+    // is active on this thread, the ring event also lands on the
+    // active span as an annotation, so a sampled trace carries the
+    // events that happened inside it.
+    if crate::tracectx::has_active() {
+        crate::tracectx::annotate_active(
+            "event",
+            crate::tracectx::AnnValue::Owned(format!("{}: {}", ev.name, ev.detail)),
+        );
+    }
     let mut ring = ring().lock();
     if ring.len() == RING_CAPACITY {
         ring.pop_front();

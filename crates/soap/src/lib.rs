@@ -46,7 +46,8 @@ pub use envelope::{
 };
 pub use error::SoapError;
 pub use stream::{
-    decode_request_with_id, encode_fault_into, encode_ok_into, encode_request_into,
-    encode_request_with_id_into, CALL_ID_NS, REPLY_CACHE_HEADER,
+    decode_request_traced, decode_request_with_id, encode_fault_into, encode_ok_into,
+    encode_request_into, encode_request_traced_into, encode_request_with_id_into, CALL_ID_NS,
+    REPLY_CACHE_HEADER, TRACE_NS,
 };
 pub use wsdl::{WsdlDocument, WsdlOperation};

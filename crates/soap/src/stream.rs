@@ -45,32 +45,50 @@ fn encode_bytes_counter() -> &'static Arc<obs::Counter> {
 /// Namespace of the SDE reliability header carrying the per-call id.
 pub const CALL_ID_NS: &str = "urn:sde:reliability";
 
+/// Namespace of the distributed-tracing header carrying the propagated
+/// trace context (`traceid:parent-spanid:flags`, see
+/// [`obs::tracectx::TraceContext`]).
+pub const TRACE_NS: &str = "urn:live-rmi:trace";
+
 /// HTTP response header a SOAP server sets to advertise its reply
 /// cache: a client that sees it may retry non-idempotent calls under
 /// the same call id, because a redelivery returns the cached reply.
 pub const REPLY_CACHE_HEADER: &str = "X-SDE-Reply-Cache";
 
 fn begin_envelope(w: &mut XmlBufWriter) {
-    begin_envelope_with(w, None);
+    begin_envelope_headers(w, None, None);
 }
 
 /// Like [`begin_envelope`] but emits a `soapenv:Header` with the SDE
-/// call-id element when an id is supplied. Header-less envelopes stay
-/// byte-identical to the DOM codec's output.
-fn begin_envelope_with(w: &mut XmlBufWriter, call_id: Option<obs::CallId>) {
+/// call-id and/or trace-context elements when supplied. Header-less
+/// envelopes stay byte-identical to the DOM codec's output.
+fn begin_envelope_headers(
+    w: &mut XmlBufWriter,
+    call_id: Option<obs::CallId>,
+    trace: Option<obs::TraceContext>,
+) {
     w.declaration();
     w.start("soapenv:Envelope");
     w.attr("xmlns:soapenv", ENVELOPE_NS);
     w.attr("xmlns:xsd", XSD_NS);
     w.attr("xmlns:xsi", XSI_NS);
     w.attr("xmlns:soapenc", SOAPENC_NS);
-    if let Some(id) = call_id {
-        let mut idbuf = [0u8; obs::callid::TEXT_LEN];
+    if call_id.is_some() || trace.is_some() {
         w.start("soapenv:Header");
-        w.start("sde:CallId");
-        w.attr("xmlns:sde", CALL_ID_NS);
-        w.text(id.write_text(&mut idbuf));
-        w.end("sde:CallId");
+        if let Some(id) = call_id {
+            let mut idbuf = [0u8; obs::callid::TEXT_LEN];
+            w.start("sde:CallId");
+            w.attr("xmlns:sde", CALL_ID_NS);
+            w.text(id.write_text(&mut idbuf));
+            w.end("sde:CallId");
+        }
+        if let Some(ctx) = trace {
+            let mut ctxbuf = [0u8; obs::tracectx::TEXT_LEN];
+            w.start("trace:Trace");
+            w.attr("xmlns:trace", TRACE_NS);
+            w.text(ctx.write_text(&mut ctxbuf));
+            w.end("trace:Trace");
+        }
         w.end("soapenv:Header");
     }
     w.start("soapenv:Body");
@@ -105,8 +123,25 @@ pub fn encode_request_with_id_into<'a, I>(
 ) where
     I: IntoIterator<Item = (&'a str, &'a Value)>,
 {
+    encode_request_traced_into(namespace, method, args, call_id, None, buf);
+}
+
+/// [`encode_request_with_id_into`] plus an optional distributed-tracing
+/// context carried as a second `soapenv:Header` entry (see
+/// [`TRACE_NS`]). With both `None` the output is byte-identical to the
+/// plain encoder.
+pub fn encode_request_traced_into<'a, I>(
+    namespace: &str,
+    method: &str,
+    args: I,
+    call_id: Option<obs::CallId>,
+    trace: Option<obs::TraceContext>,
+    buf: &mut Vec<u8>,
+) where
+    I: IntoIterator<Item = (&'a str, &'a Value)>,
+{
     let mut w = XmlBufWriter::with_buf(std::mem::take(buf));
-    begin_envelope_with(&mut w, call_id);
+    begin_envelope_headers(&mut w, call_id, trace);
     w.start_parts(&["ns1:", method]);
     w.attr("xmlns:ns1", namespace);
     for (name, value) in args {
@@ -288,15 +323,17 @@ fn next_child<'i>(p: &mut XmlPull<'i>) -> Result<Option<(&'i str, bool)>, SoapEr
 /// sits just inside `<soapenv:Body>`; returns `false` when the Body
 /// was self-closing (no content).
 fn enter_body(p: &mut XmlPull) -> Result<bool, SoapError> {
-    let mut ignored = None;
-    enter_body_capture(p, &mut ignored)
+    let (mut id, mut trace) = (None, None);
+    enter_body_capture(p, &mut id, &mut trace)
 }
 
-/// [`enter_body`], additionally capturing the SDE call-id header
-/// element (if any) into `call_id` while crossing `soapenv:Header`.
+/// [`enter_body`], additionally capturing the SDE call-id and
+/// trace-context header elements (if any) while crossing
+/// `soapenv:Header`.
 fn enter_body_capture(
     p: &mut XmlPull,
     call_id: &mut Option<obs::CallId>,
+    trace: &mut Option<obs::TraceContext>,
 ) -> Result<bool, SoapError> {
     let (root_name, root_sc) = loop {
         match p.next()? {
@@ -331,6 +368,9 @@ fn enter_body_capture(
                     while let Some((entry, entry_sc)) = next_child(p)? {
                         if local(entry) == "CallId" && call_id.is_none() {
                             *call_id = obs::CallId::parse_text(element_text(p, entry_sc)?.trim());
+                        } else if local(entry) == "Trace" && trace.is_none() {
+                            *trace =
+                                obs::TraceContext::parse_text(element_text(p, entry_sc)?.trim());
                         } else {
                             p.skip_element()?;
                         }
@@ -472,9 +512,19 @@ pub(crate) fn decode_request_stream(xml: &str) -> Result<SoapRequest, SoapError>
 /// Decodes a request envelope together with the at-most-once call id
 /// from its `soapenv:Header`, if the client sent one.
 pub fn decode_request_with_id(xml: &str) -> Result<(SoapRequest, Option<obs::CallId>), SoapError> {
+    decode_request_traced(xml).map(|(req, id, _)| (req, id))
+}
+
+/// [`decode_request_with_id`], additionally yielding the propagated
+/// distributed-tracing context (if any; malformed contexts decode as
+/// absent).
+pub fn decode_request_traced(
+    xml: &str,
+) -> Result<(SoapRequest, Option<obs::CallId>, Option<obs::TraceContext>), SoapError> {
     let mut p = XmlPull::new(xml);
     let mut call_id = None;
-    let has_content = enter_body_capture(&mut p, &mut call_id)?;
+    let mut trace = None;
+    let has_content = enter_body_capture(&mut p, &mut call_id, &mut trace)?;
     let call = if has_content {
         next_child(&mut p)?
     } else {
@@ -501,7 +551,11 @@ pub fn decode_request_with_id(xml: &str) -> Result<(SoapRequest, Option<obs::Cal
         }
     }
     finish(&mut p)?;
-    Ok((SoapRequest::from_parts(namespace, method, args), call_id))
+    Ok((
+        SoapRequest::from_parts(namespace, method, args),
+        call_id,
+        trace,
+    ))
 }
 
 /// Decodes the first Body child as a `methodResponse` element: the
@@ -758,6 +812,81 @@ mod tests {
         // A malformed header id is treated as absent, not an error.
         let mangled = xml.replace('-', "!");
         let (req2, bad) = decode_request_with_id(&mangled).unwrap();
+        assert_eq!(bad, None);
+        assert_eq!(req2.method(), "add");
+    }
+
+    #[test]
+    fn trace_header_round_trips_and_stays_dom_compatible() {
+        let id = obs::CallId {
+            client: 0xfeed_f00d_0000_0002,
+            seq: 3,
+        };
+        let ctx = obs::TraceContext {
+            trace: obs::TraceId(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff),
+            parent: obs::SpanId(0x0123_4567_89ab_cdef),
+            flags: 1,
+        };
+        let mut buf = Vec::new();
+        encode_request_traced_into(
+            "urn:calc",
+            "add",
+            [("a", &Value::Int(41))],
+            Some(id),
+            Some(ctx),
+            &mut buf,
+        );
+        let xml = String::from_utf8(buf).unwrap();
+        assert!(xml.contains(TRACE_NS), "{xml}");
+        assert!(xml.contains(CALL_ID_NS), "{xml}");
+
+        // Both headers decode; the request itself is unchanged.
+        let (req, got_id, got_ctx) = decode_request_traced(&xml).unwrap();
+        assert_eq!(got_id, Some(id));
+        assert_eq!(got_ctx, Some(ctx));
+        assert_eq!(req.method(), "add");
+        assert_eq!(req.args(), &[("a".to_string(), Value::Int(41))]);
+
+        // The DOM decoder (which ignores headers) still accepts it.
+        let dom = domcodec::decode_request(&xml).unwrap();
+        assert_eq!(dom, req);
+
+        // A trace context alone also rides without a call id.
+        let mut only = Vec::new();
+        encode_request_traced_into(
+            "urn:calc",
+            "add",
+            [("a", &Value::Int(41))],
+            None,
+            Some(ctx),
+            &mut only,
+        );
+        let (_, no_id, ctx2) = decode_request_traced(&String::from_utf8(only).unwrap()).unwrap();
+        assert_eq!(no_id, None);
+        assert_eq!(ctx2, Some(ctx));
+
+        // Without either header the encoder output is byte-identical to
+        // the plain encoder, and decoding reports neither.
+        let mut plain = Vec::new();
+        encode_request_into("urn:calc", "add", [("a", &Value::Int(41))], &mut plain);
+        let mut plain2 = Vec::new();
+        encode_request_traced_into(
+            "urn:calc",
+            "add",
+            [("a", &Value::Int(41))],
+            None,
+            None,
+            &mut plain2,
+        );
+        assert_eq!(plain, plain2);
+        let (_, none_id, none_ctx) =
+            decode_request_traced(&String::from_utf8(plain).unwrap()).unwrap();
+        assert_eq!(none_id, None);
+        assert_eq!(none_ctx, None);
+
+        // A malformed trace header is treated as absent, not an error.
+        let mangled = xml.replace(":01<", ":zz<");
+        let (req2, _, bad) = decode_request_traced(&mangled).unwrap();
         assert_eq!(bad, None);
         assert_eq!(req2.method(), "add");
     }

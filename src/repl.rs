@@ -79,6 +79,9 @@ SDE Manager Interface commands:
   servers                                  list managed servers
   stats [filter]                           metrics snapshot (Prometheus text format)
   trace [n]                                most recent trace events (default 20)
+  trace show [id-prefix]                   list tail-sampled traces / render one
+                                           as a span waterfall (prefix matches
+                                           trace id or call id)
   events [Class]                           the queryable version-event log
   verbose on|off                           toggle per-request trace events
   chaos                                    show the installed fault plan
@@ -708,11 +711,40 @@ fn cmd_stats(filter: &str) -> String {
 }
 
 fn cmd_trace(rest: &str) -> Result<String, String> {
+    // `trace show <prefix>` renders a retained distributed trace as a
+    // waterfall; `trace show` lists what the tail sampler kept.
+    if let Some(arg) = rest.strip_prefix("show") {
+        let prefix = arg.trim();
+        if prefix.is_empty() {
+            let retained = obs::tracectx::store().retained();
+            if retained.is_empty() {
+                return Ok("trace show: no retained traces (tail sampler kept none yet)".into());
+            }
+            return Ok(retained
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{} root={} spans={} {}us [{}]",
+                        t.trace,
+                        t.root().map(|s| s.name).unwrap_or("?"),
+                        t.spans.len(),
+                        t.root_duration_us,
+                        t.reason
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n"));
+        }
+        return match obs::tracectx::store().find(prefix) {
+            Some(t) => Ok(obs::tracectx::render_waterfall(&t)),
+            None => Err(format!("trace show: no retained trace matches {prefix:?}")),
+        };
+    }
     let n = if rest.is_empty() {
         20
     } else {
         rest.parse()
-            .map_err(|_| format!("usage: trace [n] (got {rest:?})"))?
+            .map_err(|_| format!("usage: trace [n] | trace show [prefix] (got {rest:?})"))?
     };
     let events = obs::trace::recent(n);
     if events.is_empty() {

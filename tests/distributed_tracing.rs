@@ -1,0 +1,325 @@
+//! Cross-process distributed tracing, end to end: one logical RMI call
+//! must yield one trace whose server-side spans (admission, dispatch,
+//! marshal) parent under the client's attempt span via the wire-carried
+//! trace context — on both protocols — and a chaos run must keep a
+//! tail-sampled trace showing every retry attempt with its injected
+//! fault. The span store is process-global and strictly bounded, so a
+//! long soak must not grow it past its caps.
+
+use std::time::Duration;
+
+use jpie::Value;
+use live_rmi::cde::{ClientEnvironment, ResiliencePolicy};
+use live_rmi::sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
+use obs::tracectx::{self, AnnValue, RetainedTrace, SpanRecord};
+
+/// The span store (and the fault injector, in the chaos test) are
+/// process-global: serialize every test in this binary so they cannot
+/// clobber each other's retained traces or sampling knobs.
+fn store_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn manager() -> SdeManager {
+    SdeManager::new(SdeConfig {
+        transport: TransportKind::Mem,
+        strategy: PublicationStrategy::StableTimeout(Duration::from_millis(10)),
+        wal_dir: None,
+    })
+    .expect("manager")
+}
+
+fn echo_class(name: &str) -> jpie::ClassHandle {
+    jpie::parse::parse_class(&format!(
+        "class {name} {{ distributed string echo(string s) {{ return s; }} }}"
+    ))
+    .expect("echo class")
+}
+
+fn counter_class(name: &str) -> jpie::ClassHandle {
+    jpie::parse::parse_class(&format!(
+        "class {name} {{ field int n; distributed int bump() {{ \
+         this.n = this.n + 1; return this.n; }} }}"
+    ))
+    .expect("counter class")
+}
+
+fn span<'a>(t: &'a RetainedTrace, name: &str) -> &'a SpanRecord {
+    t.spans.iter().find(|s| s.name == name).unwrap_or_else(|| {
+        panic!(
+            "no {name:?} span in trace {}; spans: {:?}",
+            t.trace,
+            t.spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        )
+    })
+}
+
+fn has_annotation(s: &SpanRecord, key: &str) -> bool {
+    s.annotations.iter().any(|(k, _)| *k == key)
+}
+
+/// Asserts the cross-process parent chain of a single clean call:
+/// client.call -> client.attempt -> server.<proto> -> dispatch, with
+/// the reply-cache admission span beside dispatch under the server span.
+fn assert_parented(t: &RetainedTrace, server_span_name: &str) {
+    let root = t.root().expect("trace has a root span");
+    assert_eq!(root.name, "client.call");
+    assert!(root.error.is_none(), "clean call must not fail: {root:?}");
+    assert!(
+        has_annotation(root, "method"),
+        "root carries the method name"
+    );
+
+    let attempt = span(t, "client.attempt");
+    assert_eq!(
+        attempt.parent,
+        Some(root.id),
+        "attempt parents under the call root"
+    );
+
+    let server = span(t, server_span_name);
+    assert_eq!(
+        server.parent,
+        Some(attempt.id),
+        "server span must join the wire context, parenting under the \
+         client attempt"
+    );
+    assert_eq!(
+        server.call_id, root.call_id,
+        "server span carries the propagated call id"
+    );
+
+    let dispatch = span(t, "dispatch");
+    assert_eq!(
+        dispatch.parent,
+        Some(server.id),
+        "dispatch is a child of the server span"
+    );
+    let admit = span(t, "replycache.admit");
+    assert_eq!(admit.parent, Some(server.id));
+}
+
+/// One clean SOAP call: a single retained trace whose server spans
+/// parent under the client attempt via the `urn:live-rmi:trace` header.
+#[test]
+fn soap_call_produces_one_parented_trace() {
+    let _guard = store_guard();
+    let store = tracectx::store();
+    store.clear();
+    store.set_random_sample(1.0);
+    tracectx::set_tracing(true);
+
+    let manager = manager();
+    let server = manager
+        .deploy_soap(echo_class("TraceSoap"))
+        .expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let v = env
+        .call(&stub, "echo", &[Value::Str("ping".into())])
+        .expect("call");
+    assert_eq!(v, Value::Str("ping".into()));
+    manager.shutdown();
+
+    let retained = store.retained();
+    assert_eq!(
+        retained.len(),
+        1,
+        "one call, one trace: {:?}",
+        retained.iter().map(|t| t.trace).collect::<Vec<_>>()
+    );
+    let t = &retained[0];
+    assert_parented(t, "server.soap");
+    // The SOAP path also wraps reply encoding.
+    let marshal = span(t, "marshal");
+    assert_eq!(marshal.parent, Some(span(t, "server.soap").id));
+    store.set_random_sample(0.01);
+}
+
+/// The same single-call contract over GIOP: the trace context rides the
+/// `0x53444503` service context instead of a SOAP header.
+#[test]
+fn corba_call_produces_one_parented_trace() {
+    let _guard = store_guard();
+    let store = tracectx::store();
+    store.clear();
+    store.set_random_sample(1.0);
+    tracectx::set_tracing(true);
+
+    let manager = manager();
+    let server = manager
+        .deploy_corba(echo_class("TraceCorba"))
+        .expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().force_publish();
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env
+        .connect_corba(server.idl_url(), server.ior_url())
+        .expect("stub");
+    let v = env
+        .call(&stub, "echo", &[Value::Str("ping".into())])
+        .expect("call");
+    assert_eq!(v, Value::Str("ping".into()));
+    manager.shutdown();
+
+    let retained = store.retained();
+    assert_eq!(
+        retained.len(),
+        1,
+        "one call, one trace: {:?}",
+        retained.iter().map(|t| t.trace).collect::<Vec<_>>()
+    );
+    assert_parented(&retained[0], "server.corba");
+    store.set_random_sample(0.01);
+}
+
+/// Chaos run: under a ~20% client-side fault plan with retries, the tail
+/// sampler must keep at least one trace that (a) records more than one
+/// attempt span, (b) carries the injected-fault annotation on a failed
+/// attempt, and (c) still shows correctly-parented server child spans
+/// for the attempt that finally succeeded.
+#[test]
+fn faulted_retry_run_keeps_a_multi_attempt_trace() {
+    let _guard = store_guard();
+    let store = tracectx::store();
+    store.clear();
+    // No random keep: everything retained below earned it (retried /
+    // errored), which is exactly what tail sampling is for.
+    store.set_random_sample(0.0);
+    tracectx::set_tracing(true);
+
+    let manager = manager();
+    let server = manager
+        .deploy_soap(counter_class("TraceChaos"))
+        .expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let policy = ResiliencePolicy::seeded(17)
+        .with_request_timeout(Duration::from_millis(250))
+        .with_max_attempts(6)
+        .with_breaker(64, Duration::from_millis(500));
+    let env = ClientEnvironment::with_policy(policy);
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+
+    // Prime fault-free so the reply cache is negotiated, then fault
+    // every fresh connection 20% of the time at establishment.
+    env.call(&stub, "bump", &[]).expect("prime call");
+    assert!(stub.server_caches(), "server must advertise reply cache");
+    httpd::FaultPlan::seeded(4242)
+        .rule(httpd::FaultRule::refuse(&stub.authority(), 0.12))
+        .rule(httpd::FaultRule::disconnect(&stub.authority(), 0.08, 10))
+        .install();
+    stub.drop_pooled_connections();
+    for i in 0..80u32 {
+        if i % 2 == 0 {
+            stub.drop_pooled_connections();
+        }
+        env.call(&stub, "bump", &[])
+            .unwrap_or_else(|e| panic!("call {i} failed under chaos: {e}"));
+    }
+    httpd::fault::clear();
+    manager.shutdown();
+
+    let retained = store.retained();
+    assert!(
+        !retained.is_empty(),
+        "the tail sampler kept nothing from a 20%-fault run"
+    );
+    // Every kept trace earned retention (no random keeps above).
+    assert!(retained.iter().all(|t| t.reason != "random"));
+
+    let t = retained
+        .iter()
+        .find(|t| {
+            t.spans
+                .iter()
+                .filter(|s| s.name == "client.attempt")
+                .count()
+                > 1
+                && t.spans.iter().any(|s| has_annotation(s, "fault_injected"))
+        })
+        .expect("at least one retained trace shows a faulted retry");
+    let root = t.root().expect("root");
+    assert_eq!(root.name, "client.call");
+    assert!(
+        root.annotations
+            .iter()
+            .any(|(k, v)| *k == "attempts" && matches!(v, AnnValue::U64(n) if *n > 1)),
+        "root records the attempt count: {:?}",
+        root.annotations
+    );
+    // The failed attempt records why it failed.
+    assert!(
+        t.spans
+            .iter()
+            .any(|s| s.name == "client.attempt" && s.error.is_some()),
+        "a faulted attempt must carry its error kind"
+    );
+    // The attempt that went through still has a correctly-parented
+    // server-side subtree.
+    let attempt_ids: Vec<_> = t
+        .spans
+        .iter()
+        .filter(|s| s.name == "client.attempt")
+        .map(|s| s.id)
+        .collect();
+    let server = span(t, "server.soap");
+    assert!(
+        server.parent.is_some_and(|p| attempt_ids.contains(&p)),
+        "server span parents under one of the client attempts"
+    );
+    assert_eq!(span(t, "dispatch").parent, Some(server.id));
+    store.set_random_sample(0.01);
+}
+
+/// A 1k-call soak with full random sampling: the store must stay inside
+/// its hard caps (pending/retained/span counts) and its approximate
+/// heap footprint must stay bounded.
+#[test]
+fn span_store_stays_bounded_over_a_soak() {
+    let _guard = store_guard();
+    let store = tracectx::store();
+    store.clear();
+    store.set_random_sample(1.0);
+    tracectx::set_tracing(true);
+
+    let manager = manager();
+    let server = manager
+        .deploy_soap(echo_class("TraceSoak"))
+        .expect("deploy");
+    server.create_instance().expect("instance");
+    server.publisher().ensure_current();
+
+    let env = ClientEnvironment::new();
+    let stub = env.connect_soap(server.wsdl_url()).expect("stub");
+    let arg = [Value::Str("x".into())];
+    for i in 0..1000u32 {
+        env.call(&stub, "echo", &arg)
+            .unwrap_or_else(|e| panic!("soak call {i} failed: {e}"));
+    }
+    manager.shutdown();
+
+    let stats = store.stats();
+    assert_eq!(stats.completions, 1000, "every root completed: {stats:?}");
+    assert!(
+        stats.retained_traces <= 64,
+        "retained cap violated: {stats:?}"
+    );
+    assert!(
+        stats.pending_traces <= 512,
+        "pending cap violated: {stats:?}"
+    );
+    let bytes = store.approx_bytes();
+    assert!(
+        bytes < 1_572_864,
+        "span store grew past its budget: {bytes} bytes ({stats:?})"
+    );
+    store.set_random_sample(0.01);
+}

@@ -341,6 +341,15 @@ fn giop_request_roundtrips() {
             } else {
                 None
             },
+            trace: if rng.gen_bool(0.5) {
+                Some(obs::TraceContext {
+                    trace: obs::TraceId(((rng.next_u64() as u128) << 64) | 1),
+                    parent: obs::SpanId(rng.next_u64() | 1),
+                    flags: 1,
+                })
+            } else {
+                None
+            },
         };
         let mut buf = Vec::new();
         corba::giop::write_request(&mut buf, &req).expect("write");
