@@ -1,0 +1,44 @@
+//! Connection-scaling soak for the event-driven transport core: how
+//! many idle keep-alive connections one reactor server holds, and what
+//! each costs in RSS, threads, and fresh-request latency.
+//!
+//! Usage: `connsoak [conns] [--step N] [--json <path>]` — defaults to
+//! 2000 connections measured every 500. `threads_peak` in the report is
+//! the whole-process OS thread peak; with the reactor it stays fixed
+//! regardless of `conns` (thread-per-connection would scale linearly).
+
+use bench::connsoak::{render, run_connsoak, ConnSoakConfig};
+use bench::json::{connsoak_json, take_json_arg};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (json_path, args) = take_json_arg(&raw);
+    let mut cfg = ConnSoakConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--step" {
+            if let Some(v) = args.get(i + 1).and_then(|a| a.parse().ok()) {
+                cfg.step = v;
+                i += 2;
+                continue;
+            }
+        }
+        if let Ok(n) = args[i].parse() {
+            cfg.conns = n;
+        }
+        i += 1;
+    }
+    eprintln!(
+        "opening {} idle keep-alive connections (one row per {}) ...",
+        cfg.conns, cfg.step
+    );
+    let soak = run_connsoak(&cfg);
+    println!("{}", render(&soak));
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, connsoak_json(&soak)) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -48,6 +48,9 @@ fn main() {
         "measuring {} calls per configuration over {:?} ...",
         cfg.calls, transport
     );
+    // Track OS-thread and reactor-connection peaks across the whole
+    // run — the event-driven engine's fixed-thread claim in numbers.
+    let sampler = bench::procinfo::PeakSampler::start();
     let table = run_table1(&cfg);
     println!("{}", render(&table));
 
@@ -97,6 +100,12 @@ fn main() {
         );
     }
 
+    let runtime = sampler.stop();
+    println!(
+        "runtime: threads_peak={} concurrent_conns={}",
+        runtime.threads_peak, runtime.concurrent_conns
+    );
+
     if let Some(path) = json_path {
         let transport_name = match transport {
             TransportKind::Tcp => "tcp",
@@ -108,6 +117,7 @@ fn main() {
             breakdown.as_ref(),
             overhead.as_ref(),
             trace.as_ref(),
+            Some(&runtime),
         );
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

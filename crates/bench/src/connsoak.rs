@@ -1,0 +1,227 @@
+//! Connection-scaling soak: idle keep-alive connections vs. memory,
+//! threads, and fresh-request latency.
+//!
+//! Thread-per-connection servers pay one OS thread (and its stack) per
+//! open socket; the reactor engine pays one slab entry. This bench
+//! opens `conns` keep-alive connections against a reactor `tcp://`
+//! server in steps, and at each step records RSS, the OS thread count,
+//! the `http_queue_depth` gauge (which must stay at zero — parked
+//! connections are not queued work), and the RTT a *fresh* client sees
+//! while all those connections sit parked.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use httpd::{HttpServer, Request, Response};
+
+use crate::procinfo::{self, PeakSampler, PeakStats};
+
+/// Parameters for a connection-soak run.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnSoakConfig {
+    /// Total idle keep-alive connections to open.
+    pub conns: usize,
+    /// Measurement granularity: one row per `step` connections.
+    pub step: usize,
+    /// Calls per fresh-latency probe (median is reported).
+    pub probe_calls: usize,
+}
+
+impl Default for ConnSoakConfig {
+    fn default() -> Self {
+        ConnSoakConfig {
+            conns: 2000,
+            step: 500,
+            probe_calls: 20,
+        }
+    }
+}
+
+/// One measurement row: the state of the process with `conns` parked.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnSoakRow {
+    pub conns: usize,
+    pub rss_bytes: u64,
+    pub threads: u64,
+    /// `http_queue_depth{server}` while everything is parked.
+    pub queue_depth: i64,
+    /// Median RTT of a fresh connection's requests, microseconds.
+    pub fresh_rtt_us: f64,
+}
+
+/// A full connection-soak report.
+#[derive(Debug)]
+pub struct ConnSoak {
+    pub rows: Vec<ConnSoakRow>,
+    /// Peaks over the whole run (sampler thread included).
+    pub peaks: PeakStats,
+    /// Marginal RSS per connection between the first and last row.
+    pub rss_per_conn_bytes: f64,
+}
+
+/// Opens `cfg.conns` keep-alive connections against a fresh reactor
+/// server and measures at each step. Connections send one request each
+/// (entering the served→parked keep-alive cycle) and are then left idle.
+pub fn run_connsoak(cfg: &ConnSoakConfig) -> ConnSoak {
+    let server = HttpServer::bind("tcp://127.0.0.1:0", |_req: &Request| {
+        Response::ok(b"ok".to_vec(), "text/plain")
+    })
+    .expect("bind connsoak server");
+    let base = server.base_url();
+    let hostport = base
+        .strip_prefix("tcp://")
+        .unwrap_or(&base)
+        .trim_end_matches('/')
+        .to_string();
+    let depth_gauge = obs::registry().gauge_with("http_queue_depth", &[("server", &base)]);
+
+    let sampler = PeakSampler::start();
+    let mut parked: Vec<TcpStream> = Vec::with_capacity(cfg.conns);
+    let mut rows = Vec::new();
+    let step = cfg.step.max(1);
+    while parked.len() < cfg.conns {
+        let target = (parked.len() + step).min(cfg.conns);
+        while parked.len() < target {
+            // Small batches keep well inside the listener backlog.
+            let batch = (target - parked.len()).min(128);
+            for _ in 0..batch {
+                let mut s = TcpStream::connect(&hostport).expect("connect parked conn");
+                s.set_nodelay(true).ok();
+                roundtrip(&mut s, "/park").expect("park request");
+                parked.push(s);
+            }
+        }
+        rows.push(measure_row(
+            parked.len(),
+            &hostport,
+            cfg.probe_calls,
+            depth_gauge.get(),
+        ));
+    }
+    let peaks = sampler.stop();
+    let rss_per_conn_bytes = match (rows.first(), rows.last()) {
+        (Some(a), Some(b)) if b.conns > a.conns => {
+            (b.rss_bytes as f64 - a.rss_bytes as f64) / (b.conns - a.conns) as f64
+        }
+        _ => 0.0,
+    };
+    drop(parked);
+    server.shutdown();
+    ConnSoak {
+        rows,
+        peaks,
+        rss_per_conn_bytes,
+    }
+}
+
+fn measure_row(conns: usize, hostport: &str, probe_calls: usize, queue_depth: i64) -> ConnSoakRow {
+    let mut probe = TcpStream::connect(hostport).expect("connect probe");
+    probe.set_nodelay(true).ok();
+    let mut rtts: Vec<u64> = (0..probe_calls.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            roundtrip(&mut probe, "/fresh").expect("probe request");
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    rtts.sort_unstable();
+    let fresh_rtt_us = rtts[rtts.len() / 2] as f64 / 1000.0;
+    ConnSoakRow {
+        conns,
+        rss_bytes: procinfo::rss_bytes(),
+        threads: procinfo::threads_now(),
+        queue_depth,
+        fresh_rtt_us,
+    }
+}
+
+/// One keep-alive HTTP/1.1 request/response on `s`. Reads exactly one
+/// framed response (headers + `Content-Length` body) so the connection
+/// stays reusable.
+fn roundtrip(s: &mut TcpStream, path: &str) -> std::io::Result<()> {
+    s.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(s, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n")?;
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(p) = find_crlf_crlf(&buf) {
+            break p;
+        }
+        let n = s.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]);
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let total = header_end + 4 + content_length;
+    while buf.len() < total {
+        let n = s.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Ok(())
+}
+
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Renders the soak as an aligned text table plus the summary lines.
+pub fn render(soak: &ConnSoak) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}  {:>12}  {:>8}  {:>12}  {:>14}\n",
+        "conns", "rss_bytes", "threads", "queue_depth", "fresh_rtt_us"
+    ));
+    for r in &soak.rows {
+        out.push_str(&format!(
+            "{:>8}  {:>12}  {:>8}  {:>12}  {:>14.1}\n",
+            r.conns, r.rss_bytes, r.threads, r.queue_depth, r.fresh_rtt_us
+        ));
+    }
+    out.push_str(&format!(
+        "threads_peak={} concurrent_conns={} rss_per_conn={:.0}B\n",
+        soak.peaks.threads_peak, soak.peaks.concurrent_conns, soak.rss_per_conn_bytes
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soak_holds_connections_without_thread_growth() {
+        let soak = run_connsoak(&ConnSoakConfig {
+            conns: 60,
+            step: 30,
+            probe_calls: 3,
+        });
+        assert_eq!(soak.rows.len(), 2);
+        assert_eq!(soak.rows.last().unwrap().conns, 60);
+        // Parked connections are not queued work...
+        assert!(soak.rows.iter().all(|r| r.queue_depth == 0));
+        // ...and do not spawn threads: thread count is identical with 30
+        // and with 60 connections parked.
+        assert_eq!(soak.rows[0].threads, soak.rows[1].threads);
+        assert!(soak.peaks.concurrent_conns >= 60);
+    }
+}

@@ -7,7 +7,9 @@
 
 use std::fmt::Write as _;
 
+use crate::connsoak::ConnSoak;
 use crate::harness::BenchResult;
+use crate::procinfo::PeakStats;
 use crate::rtt::{ObsOverhead, StageBreakdown, Table1, TraceOverhead};
 
 /// Escapes `s` for use inside a JSON string literal. Histogram keys
@@ -48,6 +50,7 @@ pub fn table1_json(
     stages: Option<&StageBreakdown>,
     obs_overhead: Option<&ObsOverhead>,
     trace_overhead: Option<&TraceOverhead>,
+    runtime: Option<&PeakStats>,
 ) -> String {
     let mut out = String::from("{\n  \"bench\": \"table1\",\n");
     let _ = writeln!(out, "  \"transport\": \"{}\",", escape(transport));
@@ -112,7 +115,41 @@ pub fn table1_json(
             t.span_store_bytes
         );
     }
+    if let Some(r) = runtime {
+        let _ = write!(
+            out,
+            ",\n  \"runtime\": {{\"threads_peak\": {}, \"concurrent_conns\": {}}}",
+            r.threads_peak, r.concurrent_conns
+        );
+    }
     out.push_str("\n}\n");
+    out
+}
+
+/// Renders a connection-soak run (`connsoak` bin) as a JSON document.
+pub fn connsoak_json(soak: &ConnSoak) -> String {
+    let mut out = String::from("{\n  \"bench\": \"connsoak\",\n  \"rows\": [\n");
+    for (i, r) in soak.rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"conns\": {}, \"rss_bytes\": {}, \"threads\": {}, \
+             \"queue_depth\": {}, \"fresh_rtt_us\": {}}}{}",
+            r.conns,
+            r.rss_bytes,
+            r.threads,
+            r.queue_depth,
+            num(r.fresh_rtt_us),
+            if i + 1 < soak.rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = write!(
+        out,
+        "  \"threads_peak\": {},\n  \"concurrent_conns\": {},\n  \"rss_per_conn_bytes\": {}\n}}\n",
+        soak.peaks.threads_peak,
+        soak.peaks.concurrent_conns,
+        num(soak.rss_per_conn_bytes)
+    );
     out
 }
 

@@ -27,9 +27,11 @@
 pub mod ablation;
 pub mod alloc;
 pub mod chaos;
+pub mod connsoak;
 pub mod consistency;
 pub mod harness;
 pub mod json;
+pub mod procinfo;
 pub mod rogue;
 pub mod rtt;
 

@@ -435,6 +435,24 @@ pub fn read_message_into<R: Read>(
         Err(e) => return Err(e.into()),
     }
     r.read_exact(&mut header[1..])?;
+    let (msg_type, big_endian, size) = parse_frame_header(&header)?;
+    buf.clear();
+    buf.resize(size, 0);
+    r.read_exact(buf)?;
+    Ok(Some((msg_type, big_endian)))
+}
+
+/// Validates a 12-byte GIOP frame header, returning the message type,
+/// byte order (`true` = big-endian) and body size. The incremental
+/// (reactor) server path uses this to reassemble frames from whatever
+/// bytes have arrived so far; the blocking path goes through
+/// [`read_message_into`].
+///
+/// # Errors
+///
+/// `MARSHAL` on bad magic, unsupported version/type, or an oversized
+/// declared body.
+pub fn parse_frame_header(header: &[u8; 12]) -> Result<(MsgType, bool, usize), CorbaError> {
     if &header[..4] != MAGIC {
         return Err(CorbaError::system(
             SystemExceptionKind::Marshal,
@@ -466,10 +484,25 @@ pub fn read_message_into<R: Read>(
             format!("message size {size} exceeds limit"),
         ));
     }
-    buf.clear();
-    buf.resize(size, 0);
-    r.read_exact(buf)?;
-    Ok(Some((msg_type, !little_endian)))
+    Ok((msg_type, !little_endian, size))
+}
+
+/// Reads just the request id from a Request body, skipping the service
+/// contexts. The reactor engine's load-shed path uses this to answer a
+/// saturated-queue `TRANSIENT` with the correct id without paying for a
+/// full unmarshal.
+///
+/// # Errors
+///
+/// `MARSHAL` on malformed bodies.
+pub fn peek_request_id(body: &[u8], big_endian: bool) -> Result<u32, CorbaError> {
+    let mut r = CdrReader::new(body, big_endian);
+    let ctx_count = r.read_ulong()?;
+    for _ in 0..ctx_count {
+        let _ = r.read_ulong()?;
+        let _ = r.read_octet_seq()?;
+    }
+    r.read_ulong()
 }
 
 /// Decodes a Request body (as returned by [`read_message`]).

@@ -49,6 +49,8 @@ pub mod giop;
 pub mod idl;
 mod ior;
 mod orb;
+#[cfg(target_os = "linux")]
+mod rorb;
 
 pub use error::{CorbaError, SystemExceptionKind};
 pub use idl::{IdlInterface, IdlModule, IdlOperation};

@@ -95,11 +95,19 @@ pub struct ServerOrb {
     shutdown: Arc<AtomicBool>,
     listener: Arc<Listener>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Present when the reactor engine serves this ORB (`tcp://` on
+    /// Linux); `None` on the threaded `mem://` path.
+    #[cfg(target_os = "linux")]
+    reactor: Option<crate::rorb::ReactorState>,
 }
 
 impl ServerOrb {
     /// Binds `addr` (e.g. `tcp://127.0.0.1:0` or `mem://calc-orb`) and
     /// starts dispatching to `implementation`.
+    ///
+    /// `tcp://` endpoints are served by the event-driven reactor engine
+    /// (set `ORB_THREADED_TCP=1` to force the thread-per-connection
+    /// engine); `mem://` endpoints always use the threaded engine.
     ///
     /// # Errors
     ///
@@ -116,6 +124,24 @@ impl ServerOrb {
         let ior = Ior::new(type_id, local, object_key);
         let shutdown = Arc::new(AtomicBool::new(false));
         let implementation: Arc<dyn DynamicImplementation> = Arc::new(implementation);
+
+        #[cfg(target_os = "linux")]
+        if matches!(&*listener, Listener::Tcp(_)) && std::env::var_os("ORB_THREADED_TCP").is_none()
+        {
+            let (state, accept_thread) = crate::rorb::start(
+                listener.clone(),
+                shutdown.clone(),
+                implementation,
+                served_key,
+            );
+            return Ok(ServerOrb {
+                ior,
+                shutdown,
+                listener,
+                accept_thread: Mutex::new(Some(accept_thread)),
+                reactor: Some(state),
+            });
+        }
 
         let accept_listener = listener.clone();
         let accept_shutdown = shutdown.clone();
@@ -147,6 +173,8 @@ impl ServerOrb {
             shutdown,
             listener,
             accept_thread: Mutex::new(Some(accept_thread)),
+            #[cfg(target_os = "linux")]
+            reactor: None,
         })
     }
 
@@ -155,12 +183,17 @@ impl ServerOrb {
         self.ior.clone()
     }
 
-    /// Stops accepting connections.
+    /// Stops accepting connections, sweeps every live connection off
+    /// its engine, and joins the threads this ORB spawned.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.listener.close();
         if let Some(t) = self.accept_thread.lock().take() {
             let _ = t.join();
+        }
+        #[cfg(target_os = "linux")]
+        if let Some(r) = &self.reactor {
+            r.shutdown();
         }
     }
 }
@@ -172,8 +205,8 @@ impl Drop for ServerOrb {
 }
 
 /// How long a server-side connection may sit idle (or mid-message)
-/// before its serve thread gives up on it.
-const SERVER_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// before its serve thread (or reactor deadline timer) gives up on it.
+pub(crate) const SERVER_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Default client-side reply timeout: a server that accepts and never
 /// replies surfaces as a transport error instead of a hang.
@@ -181,7 +214,7 @@ const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// GIOP message counters, resolved once — `serve_connection` is the RMI
 /// hot path the Table-1 RTT benchmark measures.
-fn giop_counters() -> &'static (Arc<obs::Counter>, Arc<obs::Counter>) {
+pub(crate) fn giop_counters() -> &'static (Arc<obs::Counter>, Arc<obs::Counter>) {
     static COUNTERS: std::sync::OnceLock<(Arc<obs::Counter>, Arc<obs::Counter>)> =
         std::sync::OnceLock::new();
     COUNTERS.get_or_init(|| {
@@ -233,47 +266,59 @@ fn serve_connection(
             }
             MsgType::Request => {
                 giop_counters().0.inc();
-                let (request_id, reply_body) = match decode_request(&body, big_endian) {
-                    Ok(req) => {
-                        let id = req.request_id;
-                        // A real ORB dispatches by object key; an unknown
-                        // key is OBJECT_NOT_EXIST, not a servant call.
-                        if req.object_key != served_key {
-                            let outcome = Err(CorbaError::system(
-                                SystemExceptionKind::ObjectNotExist,
-                                "unknown object key",
-                            ));
-                            (id, outcome_to_reply(outcome))
-                        } else {
-                            let mut sreq = ServerRequest {
-                                operation: req.operation,
-                                args: req.args,
-                                call_id: req.call_id,
-                                trace: req.trace,
-                                outcome: None,
-                            };
-                            implementation.invoke(&mut sreq);
-                            let outcome = sreq.outcome.unwrap_or_else(|| {
-                                Err(CorbaError::system(
-                                    SystemExceptionKind::NoImplement,
-                                    "servant set no result",
-                                ))
-                            });
-                            (id, outcome_to_reply(outcome))
-                        }
-                    }
-                    Err(e) => (0, outcome_to_reply(Err(e))),
-                };
-                let reply = ReplyMessage {
-                    request_id,
-                    body: reply_body,
-                };
+                let reply = request_reply(implementation.as_ref(), &served_key, &body, big_endian);
                 let advertise = implementation.caches_replies();
                 if write_reply_advertising(&mut writer, &reply, advertise, &mut bufs).is_err() {
                     return;
                 }
             }
         }
+    }
+}
+
+/// Decode one GIOP `Request` body, dispatch it through the servant's DSI
+/// `invoke`, and produce the `ReplyMessage` to send back. Shared by the
+/// threaded serve loop and the reactor engine.
+pub(crate) fn request_reply(
+    implementation: &dyn DynamicImplementation,
+    served_key: &[u8],
+    body: &[u8],
+    big_endian: bool,
+) -> ReplyMessage {
+    let (request_id, reply_body) = match decode_request(body, big_endian) {
+        Ok(req) => {
+            let id = req.request_id;
+            // A real ORB dispatches by object key; an unknown
+            // key is OBJECT_NOT_EXIST, not a servant call.
+            if req.object_key != served_key {
+                let outcome = Err(CorbaError::system(
+                    SystemExceptionKind::ObjectNotExist,
+                    "unknown object key",
+                ));
+                (id, outcome_to_reply(outcome))
+            } else {
+                let mut sreq = ServerRequest {
+                    operation: req.operation,
+                    args: req.args,
+                    call_id: req.call_id,
+                    trace: req.trace,
+                    outcome: None,
+                };
+                implementation.invoke(&mut sreq);
+                let outcome = sreq.outcome.unwrap_or_else(|| {
+                    Err(CorbaError::system(
+                        SystemExceptionKind::NoImplement,
+                        "servant set no result",
+                    ))
+                });
+                (id, outcome_to_reply(outcome))
+            }
+        }
+        Err(e) => (0, outcome_to_reply(Err(e))),
+    };
+    ReplyMessage {
+        request_id,
+        body: reply_body,
     }
 }
 

@@ -302,7 +302,13 @@ pub fn status() -> String {
 }
 
 /// What the injector decided for one connection.
-pub(crate) enum Injected {
+///
+/// Public so reactor-based accept loops (the httpd TCP engine and the
+/// server ORB) can roll accept-side faults themselves and translate a
+/// `Delay` into a timer instead of a thread sleep; not meant for
+/// application code.
+#[doc(hidden)]
+pub enum Injected {
     Refuse,
     Delay(Duration),
     Wrap(ChaosMode),
@@ -310,7 +316,11 @@ pub(crate) enum Injected {
 
 /// Rolls the installed plan for a connection to `endpoint` on `side`.
 /// Returns `None` when no rule fires.
-pub(crate) fn inject(endpoint: &str, side: FaultSide) -> Option<Injected> {
+///
+/// Public for reactor accept loops (see [`Injected`]); not meant for
+/// application code.
+#[doc(hidden)]
+pub fn inject(endpoint: &str, side: FaultSide) -> Option<Injected> {
     let inj = injector();
     let mut st = inj.state.lock();
     let ps = st.as_mut()?;
@@ -408,7 +418,11 @@ pub struct ChaosStream {
     read_timeout: Option<Duration>,
 }
 
-pub(crate) fn wrap(stream: Stream, mode: ChaosMode) -> Stream {
+/// Wraps `stream` in a [`ChaosStream`] injecting `mode`. Public for
+/// reactor accept loops (see [`Injected`]); not meant for application
+/// code.
+#[doc(hidden)]
+pub fn wrap(stream: Stream, mode: ChaosMode) -> Stream {
     Stream::Chaos(ChaosStream {
         inner: Box::new(stream),
         shared: Arc::new(ChaosShared {
@@ -423,6 +437,17 @@ pub(crate) fn wrap(stream: Stream, mode: ChaosMode) -> Stream {
 }
 
 impl ChaosStream {
+    /// The perturbation this stream injects.
+    pub(crate) fn mode(&self) -> ChaosMode {
+        self.shared.mode
+    }
+
+    /// The wrapped transport stream (for fd access; reads and writes
+    /// must keep going through the chaos layer).
+    pub(crate) fn inner(&self) -> &Stream {
+        &self.inner
+    }
+
     pub(crate) fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.read_timeout = timeout;
         self.inner.set_read_timeout(timeout)
@@ -539,6 +564,14 @@ impl Write for ChaosStream {
     }
 }
 
+/// Serializes tests that mutate the process-global injector (also used
+/// by the reactor-engine chaos tests in `rserver`).
+#[cfg(test)]
+pub(crate) fn test_guard() -> obs::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<obs::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| obs::sync::Mutex::new(())).lock()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,8 +579,7 @@ mod tests {
 
     /// Tests mutating the process-global injector must not interleave.
     fn injector_guard() -> obs::sync::MutexGuard<'static, ()> {
-        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        LOCK.get_or_init(|| Mutex::new(())).lock()
+        test_guard()
     }
 
     fn chaos_pair(mode: ChaosMode) -> (Stream, MemStream) {

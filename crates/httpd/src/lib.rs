@@ -40,6 +40,8 @@ mod error;
 pub mod fault;
 mod message;
 mod pool;
+#[cfg(target_os = "linux")]
+mod rserver;
 mod server;
 pub mod transport;
 

@@ -320,6 +320,94 @@ impl Request {
             body,
         }))
     }
+
+    /// Incremental (non-blocking) parse: attempts to extract one
+    /// complete request from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` while the buffer holds only a prefix of a
+    /// request — the reactor's connection state machine re-arms its
+    /// read interest and calls again when more bytes arrive. On success
+    /// the second tuple element is how many bytes of `buf` the request
+    /// consumed (the caller drains them; anything after is pipelined).
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Malformed`] on protocol violations, including a
+    /// header section or declared body that exceeds `limits` — unlike
+    /// the blocking path, an over-limit prefix is detected as soon as
+    /// the bytes are in the buffer.
+    pub fn parse_buffered(
+        buf: &[u8],
+        limits: &Limits,
+    ) -> Result<Option<(Request, usize)>, HttpError> {
+        // Find the end of the header section.
+        let head_cap = limits.max_header_bytes + 4;
+        let window = &buf[..buf.len().min(head_cap)];
+        let Some(head_end) = find_crlf_crlf(window) else {
+            if buf.len() >= head_cap {
+                return Err(HttpError::Malformed(
+                    "header section exceeds size limit".into(),
+                ));
+            }
+            return Ok(None);
+        };
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| HttpError::Malformed("non-utf8 request head".into()))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request path".into()))?
+            .to_string();
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "bad http version {version:?}"
+            )));
+        }
+        let mut headers = Headers::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+            headers.set(name.trim(), value.trim());
+        }
+        let body_len: usize = match headers.get("Content-Length") {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+        };
+        if body_len > limits.max_body_bytes {
+            return Err(HttpError::Malformed(format!(
+                "content-length {body_len} exceeds limit"
+            )));
+        }
+        let total = head_end + 4 + body_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let body = buf[head_end + 4..total].to_vec();
+        Ok(Some((
+            Request {
+                method,
+                path,
+                headers,
+                body,
+            },
+            total,
+        )))
+    }
+}
+
+/// Position of the first `\r\n\r\n` in `buf` (start of the terminator).
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// A response body: owned bytes, or a zero-copy reference-counted slice
@@ -508,6 +596,32 @@ impl Response {
         write_all_vectored(w, scratch, body)?;
         w.flush()?;
         Ok(())
+    }
+
+    /// Serializes the response head (status line, headers, a
+    /// `Content-Length` if absent, and the blank line) into `head` and
+    /// returns the body — the reactor's write state machine drains the
+    /// two buffers through a nonblocking fd, tracking its own offset
+    /// across partial writes.
+    pub(crate) fn into_write_parts(self, head: &mut Vec<u8>) -> Body {
+        head.clear();
+        let body_len = self.body.as_slice().len();
+        write!(head, "HTTP/1.1 {}\r\n", self.status).expect("vec write");
+        let mut has_len = false;
+        for (k, v) in self.headers.iter() {
+            if k.eq_ignore_ascii_case("content-length") {
+                has_len = true;
+            }
+            head.extend_from_slice(k.as_bytes());
+            head.extend_from_slice(b": ");
+            head.extend_from_slice(v.as_bytes());
+            head.extend_from_slice(b"\r\n");
+        }
+        if !has_len {
+            write!(head, "Content-Length: {body_len}\r\n").expect("vec write");
+        }
+        head.extend_from_slice(b"\r\n");
+        self.body
     }
 
     /// Reads one response from `r` (which may be a `&mut` reader).
@@ -819,6 +933,64 @@ mod tests {
         );
         // Without any header there is no hint.
         assert_eq!(Response::ok(Vec::new(), "text/plain").retry_after(), None);
+    }
+
+    #[test]
+    fn parse_buffered_incremental() {
+        let limits = Limits::default();
+        let mut raw = Vec::new();
+        Request::post("/svc", b"hello".to_vec(), "text/plain")
+            .write_to(&mut raw)
+            .unwrap();
+        // Every strict prefix is incomplete; the full buffer parses and
+        // reports its exact length consumed.
+        for cut in [0, 1, raw.len() / 2, raw.len() - 1] {
+            assert!(
+                Request::parse_buffered(&raw[..cut], &limits)
+                    .unwrap()
+                    .is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, consumed) = Request::parse_buffered(&raw, &limits).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method(), Method::Post);
+        assert_eq!(req.path(), "/svc");
+        assert_eq!(req.body(), b"hello");
+        // Pipelined bytes after the request are left unconsumed.
+        let mut two = raw.clone();
+        two.extend_from_slice(&raw);
+        let (_, consumed) = Request::parse_buffered(&two, &limits).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn parse_buffered_enforces_limits() {
+        let limits = Limits {
+            max_header_bytes: 64,
+            max_body_bytes: 8,
+        };
+        // Oversized headers are rejected as soon as the prefix exceeds
+        // the cap, even with no terminator in sight.
+        let raw = format!("GET / HTTP/1.1\r\nX-Big: {}", "a".repeat(256));
+        assert!(Request::parse_buffered(raw.as_bytes(), &limits).is_err());
+        // A declared body over the cap is rejected at header time.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert!(Request::parse_buffered(raw, &limits).is_err());
+        // Malformed request lines fail immediately.
+        assert!(Request::parse_buffered(b"BREW / HTTP/1.1\r\n\r\n", &limits).is_err());
+    }
+
+    #[test]
+    fn into_write_parts_matches_write_to() {
+        let resp = Response::ok(b"payload".to_vec(), "text/plain");
+        let mut direct = Vec::new();
+        resp.write_to(&mut direct).unwrap();
+        let mut head = Vec::new();
+        let body = Response::ok(b"payload".to_vec(), "text/plain").into_write_parts(&mut head);
+        let mut assembled = head.clone();
+        assembled.extend_from_slice(body.as_slice());
+        assert_eq!(assembled, direct);
     }
 
     #[test]

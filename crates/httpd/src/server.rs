@@ -28,16 +28,16 @@ use crate::message::{Limits, Request, Response, Status};
 use crate::transport::{Addr, Listener, Stream};
 
 /// Metric handles resolved once; the per-request path is atomic ops only.
-struct HttpMetrics {
-    connections: Arc<Counter>,
-    requests: Arc<Counter>,
-    request_ns: Arc<Histogram>,
-    responses_2xx: Arc<Counter>,
-    responses_4xx: Arc<Counter>,
-    responses_5xx: Arc<Counter>,
+pub(crate) struct HttpMetrics {
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) request_ns: Arc<Histogram>,
+    pub(crate) responses_2xx: Arc<Counter>,
+    pub(crate) responses_4xx: Arc<Counter>,
+    pub(crate) responses_5xx: Arc<Counter>,
 }
 
-fn http_metrics() -> &'static HttpMetrics {
+pub(crate) fn http_metrics() -> &'static HttpMetrics {
     static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let r = obs::registry();
@@ -173,17 +173,10 @@ impl ServerShared {
     }
 }
 
-/// A running HTTP server.
-///
-/// One thread accepts connections into a bounded queue; a fixed pool of
-/// workers serves them with HTTP keep-alive until the peer closes or
-/// sends `Connection: close`. Dropping the server shuts it down,
-/// joining every thread it spawned.
-///
-/// # Examples
-///
-/// See the [crate-level documentation](crate).
-pub struct HttpServer {
+/// The threaded engine: a bounded worker pool serving blocking streams.
+/// Kept for `mem://` transports (no fd to register with the reactor)
+/// and as the `HTTPD_THREADED_TCP=1` escape hatch for A/B comparison.
+pub(crate) struct PooledServer {
     addr: Addr,
     shared: Arc<ServerShared>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
@@ -191,9 +184,9 @@ pub struct HttpServer {
     listener: Arc<Listener>,
 }
 
-impl fmt::Debug for HttpServer {
+impl fmt::Debug for PooledServer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HttpServer")
+        f.debug_struct("PooledServer")
             .field("addr", &self.addr)
             .field("workers", &self.shared.cfg.workers)
             .field("queue_depth", &self.shared.cfg.queue_depth)
@@ -201,33 +194,12 @@ impl fmt::Debug for HttpServer {
     }
 }
 
-impl HttpServer {
-    /// Binds `addr` (e.g. `tcp://127.0.0.1:0` or `mem://my-service`) and
-    /// starts serving `handler` with the default [`PoolConfig`].
-    ///
-    /// # Errors
-    ///
-    /// Fails if the address cannot be parsed or bound.
-    pub fn bind<H: Handler>(addr: &str, handler: H) -> Result<HttpServer, HttpError> {
-        Self::bind_with(addr, handler, PoolConfig::default())
-    }
-
-    /// Binds `addr` with an explicit worker-pool configuration.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the address cannot be parsed or bound, or `cfg` has zero
-    /// workers or queue slots.
-    pub fn bind_with<H: Handler>(
+impl PooledServer {
+    fn bind_with(
         addr: &str,
-        handler: H,
+        handler: Arc<dyn Handler>,
         cfg: PoolConfig,
-    ) -> Result<HttpServer, HttpError> {
-        if cfg.workers == 0 || cfg.queue_depth == 0 {
-            return Err(HttpError::BadAddress(format!(
-                "pool config must be non-zero: {cfg:?}"
-            )));
-        }
+    ) -> Result<PooledServer, HttpError> {
         let listener = Arc::new(Listener::bind(addr)?);
         let local = listener.local_addr();
         let server_label = local.to_string();
@@ -237,7 +209,7 @@ impl HttpServer {
             queue: Mutex::new(std::collections::VecDeque::with_capacity(cfg.queue_depth)),
             queue_cond: Condvar::new(),
             cfg,
-            handler: Arc::new(handler),
+            handler,
             queue_depth: r.gauge_with("http_queue_depth", &[("server", &server_label)]),
             rejected: r.counter_with("http_rejected_total", &[("server", &server_label)]),
             deadline_shed: r.counter_with("http_deadline_shed_total", &[("server", &server_label)]),
@@ -264,7 +236,7 @@ impl HttpServer {
             .spawn(move || accept_loop(&accept_listener, &accept_shared))
             .expect("spawn accept thread");
 
-        Ok(HttpServer {
+        Ok(PooledServer {
             addr: local,
             shared,
             accept_thread: Mutex::new(Some(accept_thread)),
@@ -273,19 +245,11 @@ impl HttpServer {
         })
     }
 
-    /// The bound address, e.g. `tcp://127.0.0.1:41234`.
-    pub fn addr(&self) -> &Addr {
+    fn addr(&self) -> &Addr {
         &self.addr
     }
 
-    /// Base URL clients can connect to (same scheme syntax accepted by
-    /// [`crate::HttpClient`]).
-    pub fn base_url(&self) -> String {
-        self.addr.to_string()
-    }
-
-    /// The pool configuration this server runs with.
-    pub fn pool_config(&self) -> PoolConfig {
+    fn pool_config(&self) -> PoolConfig {
         self.shared.cfg
     }
 
@@ -293,7 +257,7 @@ impl HttpServer {
     /// sheds queued connections, shuts every live connection so workers
     /// blocked in a keep-alive read wake up, and joins the accept thread
     /// plus all workers.
-    pub fn shutdown(&self) {
+    fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.listener.close();
         if let Some(t) = self.accept_thread.lock().take() {
@@ -319,9 +283,126 @@ impl HttpServer {
     }
 }
 
-impl Drop for HttpServer {
+impl Drop for PooledServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Which engine serves a bound address.
+enum Engine {
+    /// Threaded worker pool (all `mem://` servers; `tcp://` only when
+    /// forced via `HTTPD_THREADED_TCP=1`).
+    Pooled(PooledServer),
+    /// Event-driven epoll reactor (the default for `tcp://`): parked
+    /// keep-alive connections cost one registered fd, not a thread.
+    #[cfg(target_os = "linux")]
+    Reactor(crate::rserver::ReactorServer),
+}
+
+/// A running HTTP server.
+///
+/// `tcp://` addresses are served by the event-driven reactor engine: a
+/// fixed set of epoll shards multiplexes every connection, and handlers
+/// run on a bounded dispatch pool. `mem://` addresses (and `tcp://`
+/// with `HTTPD_THREADED_TCP=1`) use the threaded worker-pool engine.
+/// Either way the public surface is identical — bounded concurrency,
+/// 503 load shedding with `Retry-After`, keep-alive, built-in
+/// `/metrics` and `/traces` endpoints — and dropping the server shuts
+/// it down, joining every thread it spawned.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+pub struct HttpServer {
+    inner: Engine,
+}
+
+impl fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Engine::Pooled(s) => s.fmt(f),
+            #[cfg(target_os = "linux")]
+            Engine::Reactor(s) => s.fmt(f),
+        }
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `tcp://127.0.0.1:0` or `mem://my-service`) and
+    /// starts serving `handler` with the default [`PoolConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be parsed or bound.
+    pub fn bind<H: Handler>(addr: &str, handler: H) -> Result<HttpServer, HttpError> {
+        Self::bind_with(addr, handler, PoolConfig::default())
+    }
+
+    /// Binds `addr` with an explicit pool configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be parsed or bound, or `cfg` has zero
+    /// workers or queue slots.
+    pub fn bind_with<H: Handler>(
+        addr: &str,
+        handler: H,
+        cfg: PoolConfig,
+    ) -> Result<HttpServer, HttpError> {
+        if cfg.workers == 0 || cfg.queue_depth == 0 {
+            return Err(HttpError::BadAddress(format!(
+                "pool config must be non-zero: {cfg:?}"
+            )));
+        }
+        let handler: Arc<dyn Handler> = Arc::new(handler);
+        #[cfg(target_os = "linux")]
+        if matches!(Addr::parse(addr)?, Addr::Tcp(_))
+            && std::env::var_os("HTTPD_THREADED_TCP").is_none()
+        {
+            let server = crate::rserver::ReactorServer::bind(addr, handler, cfg)?;
+            return Ok(HttpServer {
+                inner: Engine::Reactor(server),
+            });
+        }
+        Ok(HttpServer {
+            inner: Engine::Pooled(PooledServer::bind_with(addr, handler, cfg)?),
+        })
+    }
+
+    /// The bound address, e.g. `tcp://127.0.0.1:41234`.
+    pub fn addr(&self) -> &Addr {
+        match &self.inner {
+            Engine::Pooled(s) => s.addr(),
+            #[cfg(target_os = "linux")]
+            Engine::Reactor(s) => s.addr(),
+        }
+    }
+
+    /// Base URL clients can connect to (same scheme syntax accepted by
+    /// [`crate::HttpClient`]).
+    pub fn base_url(&self) -> String {
+        self.addr().to_string()
+    }
+
+    /// The pool configuration this server runs with.
+    pub fn pool_config(&self) -> PoolConfig {
+        match &self.inner {
+            Engine::Pooled(s) => s.pool_config(),
+            #[cfg(target_os = "linux")]
+            Engine::Reactor(s) => s.pool_config(),
+        }
+    }
+
+    /// Stops the server promptly and leak-free: closes the listener,
+    /// sweeps every live connection off its engine, and joins every
+    /// thread the server spawned. Idempotent.
+    pub fn shutdown(&self) {
+        match &self.inner {
+            Engine::Pooled(s) => s.shutdown(),
+            #[cfg(target_os = "linux")]
+            Engine::Reactor(s) => s.shutdown(),
+        }
     }
 }
 

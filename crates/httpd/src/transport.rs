@@ -120,6 +120,42 @@ impl Stream {
             Stream::Chaos(s) => s.shutdown(),
         }
     }
+
+    /// The underlying socket fd, if the stream is backed by one — what
+    /// the reactor registers with epoll. `mem://` streams have no fd
+    /// and are always served by the threaded engine.
+    #[cfg(target_os = "linux")]
+    pub fn raw_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Stream::Tcp(s) => Some(s.as_raw_fd()),
+            Stream::Mem(_) => None,
+            Stream::Chaos(s) => s.inner().raw_fd(),
+        }
+    }
+
+    /// Switches the underlying socket between blocking and nonblocking
+    /// mode. No-op for `mem://` streams (their reads take explicit
+    /// timeouts instead).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            Stream::Mem(_) => Ok(()),
+            Stream::Chaos(s) => s.inner().set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The chaos perturbation wrapped around this stream, if any. The
+    /// reactor engine special-cases [`crate::fault::ChaosMode::Blackhole`]:
+    /// its read parks on a condvar, which must never happen on a
+    /// reactor thread, so blackholed connections are parked off epoll
+    /// instead of read.
+    pub fn chaos_mode(&self) -> Option<crate::fault::ChaosMode> {
+        match self {
+            Stream::Chaos(s) => Some(s.mode()),
+            _ => None,
+        }
+    }
 }
 
 impl Read for Stream {

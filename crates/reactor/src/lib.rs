@@ -1,0 +1,886 @@
+//! # reactor — dependency-free readiness-driven event loop
+//!
+//! The transport core behind `httpd`'s TCP engine and the server ORB:
+//! instead of one blocked thread per connection, a small fixed set of
+//! reactor threads multiplexes every connection through epoll. Each
+//! connection is a resumable state machine (an [`EventSource`]); parked
+//! idle keep-alive connections cost one registered fd and nothing else.
+//!
+//! Building blocks:
+//!
+//! * [`sys`] — a minimal raw-FFI epoll/eventfd shim (no `libc` crate;
+//!   the workspace builds with zero external dependencies),
+//! * [`timer`] — a hashed timer wheel for idle/read deadlines and
+//!   chaos-delay timers,
+//! * [`Reactor`] / [`ReactorHandle`] — one event-loop thread plus a
+//!   thread-safe handle feeding it registrations, resumptions, and
+//!   shutdowns through an eventfd-rung injection queue,
+//! * [`pool()`] — the process-global shard set (one reactor per core,
+//!   capped), with round-robin placement for accepted connections,
+//! * [`DispatchPool`] — a bounded worker pool where application
+//!   handlers run, so a slow handler never stalls an event loop.
+//!
+//! The event-source contract: callbacks run on the reactor thread and
+//! must never block. Work that can block (running a request handler,
+//! waiting on a publication stall) is handed to a [`DispatchPool`];
+//! while dispatched the source is [`Action::Suspend`]ed — off epoll —
+//! and the worker re-enters it with [`ReactorHandle::resume`].
+
+#![cfg(target_os = "linux")]
+
+pub mod sys;
+pub mod timer;
+
+mod dispatch;
+
+pub use dispatch::DispatchPool;
+
+use std::any::Any;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use obs::metrics::{Counter, Gauge};
+use obs::sync::{Condvar, Mutex};
+
+use sys::{Epoll, EpollEvent, EventFd};
+use timer::TimerWheel;
+
+/// What a source wants epoll to watch for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Watch nothing (the source is parked on a timer, e.g. a
+    /// chaos-delayed start or a blackholed connection).
+    None,
+    Read,
+    Write,
+    ReadWrite,
+}
+
+impl Interest {
+    fn events(self) -> u32 {
+        let base = sys::EPOLLONESHOT;
+        match self {
+            Interest::None => base,
+            Interest::Read => base | sys::EPOLLIN | sys::EPOLLRDHUP,
+            Interest::Write => base | sys::EPOLLOUT,
+            Interest::ReadWrite => base | sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT,
+        }
+    }
+}
+
+/// Readiness flags delivered to [`EventSource::on_ready`].
+#[derive(Debug, Clone, Copy)]
+pub struct Readiness {
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup; the source should read to observe EOF/errno.
+    pub hangup: bool,
+}
+
+/// What the source wants next, returned from every callback.
+#[derive(Debug)]
+pub enum Action {
+    /// Stay registered with the given interest; optionally (re)arm the
+    /// source's single deadline timer. Passing `None` disarms it.
+    Rearm(Interest, Option<Duration>),
+    /// Leave epoll until [`ReactorHandle::resume`] re-enters the
+    /// source (a dispatch-pool worker owns the connection meanwhile).
+    Suspend,
+    /// Deregister and drop the source (dropping closes its fd).
+    Close,
+}
+
+/// A registered connection/listener state machine. All callbacks run on
+/// the reactor thread and must not block.
+pub trait EventSource: Send {
+    /// The fd to register with epoll. Must stay valid until the source
+    /// is dropped.
+    fn fd(&self) -> RawFd;
+
+    /// Groups sources for [`ReactorPool::close_server`] sweeps
+    /// (every source a server creates shares the server's id).
+    fn server_id(&self) -> u64 {
+        0
+    }
+
+    /// The fd became ready.
+    fn on_ready(&mut self, ready: Readiness, ctl: &mut Ctl<'_>) -> Action;
+
+    /// The armed deadline fired.
+    fn on_timer(&mut self, ctl: &mut Ctl<'_>) -> Action;
+
+    /// A worker re-entered the suspended source via
+    /// [`ReactorHandle::resume`].
+    fn on_resume(&mut self, payload: Box<dyn Any + Send>, ctl: &mut Ctl<'_>) -> Action;
+}
+
+/// Identifies a registration; stale tokens (the slot was reused) are
+/// detected by generation and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token {
+    index: u32,
+    generation: u32,
+}
+
+impl Token {
+    fn encode(self) -> u64 {
+        (u64::from(self.index) << 32) | u64::from(self.generation)
+    }
+
+    fn decode(raw: u64) -> Token {
+        Token {
+            index: (raw >> 32) as u32,
+            generation: raw as u32,
+        }
+    }
+}
+
+/// Reactor context handed to callbacks: the source's own token and the
+/// handle workers use to resume it.
+pub struct Ctl<'a> {
+    token: Token,
+    handle: &'a ReactorHandle,
+}
+
+impl Ctl<'_> {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    pub fn handle(&self) -> ReactorHandle {
+        self.handle.clone()
+    }
+}
+
+struct ReactorMetrics {
+    fds: Arc<Gauge>,
+    shards: Arc<Gauge>,
+    batches: Arc<Counter>,
+    events: Arc<Counter>,
+    timer_fires: Arc<Counter>,
+    wakeups: Arc<Counter>,
+}
+
+fn metrics() -> &'static ReactorMetrics {
+    static METRICS: OnceLock<ReactorMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = obs::registry();
+        ReactorMetrics {
+            fds: r.gauge("reactor_fds_registered"),
+            shards: r.gauge("reactor_shards"),
+            batches: r.counter("reactor_ready_batches_total"),
+            events: r.counter("reactor_events_total"),
+            timer_fires: r.counter("reactor_timer_fires_total"),
+            wakeups: r.counter("reactor_wakeups_total"),
+        }
+    })
+}
+
+/// One-line reactor status for the REPL `stats` command, from the live
+/// metric handles (all zeros until the first TCP server starts).
+pub fn metrics_summary() -> String {
+    let m = metrics();
+    format!(
+        "reactor: shards={} fds_registered={} ready_batches={} events={} timer_fires={} wakeups={}",
+        m.shards.get(),
+        m.fds.get(),
+        m.batches.get(),
+        m.events.get(),
+        m.timer_fires.get(),
+        m.wakeups.get(),
+    )
+}
+
+type Ack = Arc<(Mutex<bool>, Condvar)>;
+
+enum Op {
+    Register {
+        source: Box<dyn EventSource>,
+        interest: Interest,
+        timeout: Option<Duration>,
+    },
+    Resume {
+        token: Token,
+        payload: Box<dyn Any + Send>,
+    },
+    CloseToken(Token),
+    /// Close every source with this server id; the ack (when present)
+    /// is signalled after the sweep so `shutdown` can synchronize.
+    CloseServer(u64, Option<Ack>),
+    Shutdown,
+}
+
+struct Shared {
+    inject: Mutex<Vec<Op>>,
+    wake: EventFd,
+    alive: AtomicBool,
+}
+
+/// A cloneable, thread-safe handle to one reactor thread.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    shared: Arc<Shared>,
+}
+
+impl ReactorHandle {
+    fn push(&self, op: Op) {
+        self.shared.inject.lock().push(op);
+        self.shared.wake.ring();
+    }
+
+    /// Registers a new source with an initial interest and optional
+    /// deadline. The source learns its [`Token`] on its first callback.
+    pub fn register(
+        &self,
+        source: Box<dyn EventSource>,
+        interest: Interest,
+        timeout: Option<Duration>,
+    ) {
+        self.push(Op::Register {
+            source,
+            interest,
+            timeout,
+        });
+    }
+
+    /// Re-enters a suspended source on the reactor thread. Stale tokens
+    /// (the connection was closed meanwhile) are ignored.
+    pub fn resume(&self, token: Token, payload: Box<dyn Any + Send>) {
+        self.push(Op::Resume { token, payload });
+    }
+
+    /// Closes one registration (drops the source, closing its fd).
+    pub fn close_token(&self, token: Token) {
+        self.push(Op::CloseToken(token));
+    }
+
+    fn close_server_with(&self, server_id: u64, ack: Option<Ack>) {
+        self.push(Op::CloseServer(server_id, ack));
+    }
+
+    /// Whether the reactor thread is still running.
+    pub fn is_alive(&self) -> bool {
+        self.shared.alive.load(Ordering::SeqCst)
+    }
+}
+
+/// A running reactor thread (standalone; servers normally use the
+/// process-global [`pool()`] instead).
+pub struct Reactor {
+    handle: ReactorHandle,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Reactor {
+    /// Spawns a reactor thread named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the epoll instance or wakeup eventfd cannot be created.
+    pub fn spawn(name: &str) -> io::Result<Reactor> {
+        let epoll = Epoll::new()?;
+        let wake = EventFd::new()?;
+        let shared = Arc::new(Shared {
+            inject: Mutex::new(Vec::new()),
+            wake,
+            alive: AtomicBool::new(true),
+        });
+        let handle = ReactorHandle {
+            shared: shared.clone(),
+        };
+        let loop_handle = handle.clone();
+        let thread = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                run_loop(&epoll, &shared, &loop_handle);
+                shared.alive.store(false, Ordering::SeqCst);
+            })
+            .map_err(io::Error::other)?;
+        Ok(Reactor {
+            handle,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    pub fn handle(&self) -> ReactorHandle {
+        self.handle.clone()
+    }
+
+    /// Stops the event loop, dropping (and thereby closing) every
+    /// registered source, and joins the thread.
+    pub fn shutdown(&self) {
+        self.handle.push(Op::Shutdown);
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+const WAKE_TOKEN: u64 = u64::MAX;
+const MAX_EVENTS: usize = 256;
+
+struct Slot {
+    source: Option<Box<dyn EventSource>>,
+    generation: u32,
+    /// Bumped on every rearm/suspend/close so stale timer entries and
+    /// resumes are discarded.
+    timer_generation: u64,
+    suspended: bool,
+    fd: RawFd,
+    server_id: u64,
+}
+
+struct LoopState {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    wheel: TimerWheel,
+}
+
+fn run_loop(epoll: &Epoll, shared: &Arc<Shared>, handle: &ReactorHandle) {
+    if epoll
+        .add(shared.wake.fd(), sys::EPOLLIN, WAKE_TOKEN)
+        .is_err()
+    {
+        return;
+    }
+    let m = metrics();
+    let mut st = LoopState {
+        slots: Vec::new(),
+        free: Vec::new(),
+        wheel: TimerWheel::new(Instant::now()),
+    };
+    let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+    let mut fired = Vec::new();
+    let mut ops = Vec::new();
+    loop {
+        // 1. Drain injected operations (registrations, resumes, closes).
+        ops.clear();
+        std::mem::swap(&mut ops, &mut *shared.inject.lock());
+        let mut shutdown = false;
+        for op in ops.drain(..) {
+            match op {
+                Op::Register {
+                    source,
+                    interest,
+                    timeout,
+                } => register_source(epoll, &mut st, source, interest, timeout),
+                Op::Resume { token, payload } => {
+                    let Some(idx) = live_index(&st, token) else {
+                        continue;
+                    };
+                    if !st.slots[idx].suspended {
+                        // A resume for a source that is not suspended is
+                        // a protocol bug in the caller; ignore it rather
+                        // than corrupt the epoll state.
+                        continue;
+                    }
+                    st.slots[idx].suspended = false;
+                    let mut source = st.slots[idx].source.take().expect("live slot has source");
+                    let mut ctl = Ctl { token, handle };
+                    let action = source.on_resume(payload, &mut ctl);
+                    st.slots[idx].source = Some(source);
+                    apply_action(epoll, &mut st, idx, action);
+                }
+                Op::CloseToken(token) => {
+                    if let Some(idx) = live_index(&st, token) {
+                        close_slot(epoll, &mut st, idx);
+                    }
+                }
+                Op::CloseServer(server_id, ack) => {
+                    for idx in 0..st.slots.len() {
+                        if st.slots[idx].source.is_some() && st.slots[idx].server_id == server_id {
+                            close_slot(epoll, &mut st, idx);
+                        }
+                    }
+                    if let Some(ack) = ack {
+                        *ack.0.lock() = true;
+                        ack.1.notify_all();
+                    }
+                }
+                Op::Shutdown => shutdown = true,
+            }
+        }
+        if shutdown {
+            for idx in 0..st.slots.len() {
+                if st.slots[idx].source.is_some() {
+                    close_slot(epoll, &mut st, idx);
+                }
+            }
+            return;
+        }
+
+        // 2. Wait for readiness, bounded by the nearest timer deadline.
+        let now = Instant::now();
+        let timeout_ms = match st.wheel.next_timeout(now) {
+            None => -1,
+            Some(d) => i64::try_from(d.as_millis().div_ceil(1))
+                .unwrap_or(i64::MAX)
+                .min(60_000) as i32,
+        };
+        let n = match epoll.wait(&mut events, timeout_ms) {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        if n > 0 {
+            m.batches.inc();
+            m.events.add(n as u64);
+        }
+        for ev in &events[..n] {
+            let data = ev.data;
+            let bits = ev.events;
+            if data == WAKE_TOKEN {
+                shared.wake.drain();
+                m.wakeups.inc();
+                continue;
+            }
+            let token = Token::decode(data);
+            let Some(idx) = live_index(&st, token) else {
+                continue; // connection already closed; stale event
+            };
+            if st.slots[idx].suspended {
+                continue; // a worker owns it; level-trigger re-reports
+            }
+            let ready = Readiness {
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            };
+            let mut source = st.slots[idx].source.take().expect("live slot has source");
+            let mut ctl = Ctl { token, handle };
+            let action = source.on_ready(ready, &mut ctl);
+            st.slots[idx].source = Some(source);
+            apply_action(epoll, &mut st, idx, action);
+        }
+
+        // 3. Fire due timers.
+        fired.clear();
+        st.wheel.advance(Instant::now(), &mut fired);
+        for f in &fired {
+            let token = Token::decode(f.token);
+            let Some(idx) = live_index(&st, token) else {
+                continue;
+            };
+            let slot = &st.slots[idx];
+            if slot.suspended || slot.timer_generation != f.generation {
+                continue; // disarmed or re-armed since scheduling
+            }
+            m.timer_fires.inc();
+            let mut source = st.slots[idx].source.take().expect("live slot has source");
+            let mut ctl = Ctl { token, handle };
+            let action = source.on_timer(&mut ctl);
+            st.slots[idx].source = Some(source);
+            apply_action(epoll, &mut st, idx, action);
+        }
+    }
+}
+
+fn live_index(st: &LoopState, token: Token) -> Option<usize> {
+    let idx = token.index as usize;
+    let slot = st.slots.get(idx)?;
+    (slot.generation == token.generation && slot.source.is_some()).then_some(idx)
+}
+
+fn register_source(
+    epoll: &Epoll,
+    st: &mut LoopState,
+    source: Box<dyn EventSource>,
+    interest: Interest,
+    timeout: Option<Duration>,
+) {
+    let fd = source.fd();
+    let server_id = source.server_id();
+    let idx = match st.free.pop() {
+        Some(i) => i as usize,
+        None => {
+            st.slots.push(Slot {
+                source: None,
+                generation: 0,
+                timer_generation: 0,
+                suspended: false,
+                fd: -1,
+                server_id: 0,
+            });
+            st.slots.len() - 1
+        }
+    };
+    let token = Token {
+        index: idx as u32,
+        generation: st.slots[idx].generation,
+    };
+    if epoll.add(fd, interest.events(), token.encode()).is_err() {
+        // Unregistrable fd (already closed?): drop the source, freeing
+        // the slot for reuse.
+        st.free.push(idx as u32);
+        return;
+    }
+    let slot = &mut st.slots[idx];
+    slot.source = Some(source);
+    slot.suspended = false;
+    slot.fd = fd;
+    slot.server_id = server_id;
+    slot.timer_generation += 1;
+    if let Some(t) = timeout {
+        st.wheel
+            .schedule(Instant::now() + t, token.encode(), slot.timer_generation);
+    }
+    metrics().fds.add(1);
+}
+
+fn apply_action(epoll: &Epoll, st: &mut LoopState, idx: usize, action: Action) {
+    match action {
+        Action::Rearm(interest, timeout) => {
+            let token = Token {
+                index: idx as u32,
+                generation: st.slots[idx].generation,
+            };
+            let fd = st.slots[idx].fd;
+            if epoll.modify(fd, interest.events(), token.encode()).is_err() {
+                close_slot(epoll, st, idx);
+                return;
+            }
+            // Bump first: any previously armed deadline is now stale.
+            st.slots[idx].timer_generation += 1;
+            if let Some(t) = timeout {
+                let generation = st.slots[idx].timer_generation;
+                st.wheel
+                    .schedule(Instant::now() + t, token.encode(), generation);
+            }
+        }
+        Action::Suspend => {
+            // ONESHOT already disarmed the fd; just invalidate timers
+            // and mark the slot so stale events are ignored.
+            st.slots[idx].suspended = true;
+            st.slots[idx].timer_generation += 1;
+        }
+        Action::Close => close_slot(epoll, st, idx),
+    }
+}
+
+fn close_slot(epoll: &Epoll, st: &mut LoopState, idx: usize) {
+    let slot = &mut st.slots[idx];
+    if slot.source.is_none() {
+        return;
+    }
+    let _ = epoll.delete(slot.fd);
+    slot.source = None; // drop closes the fd
+    slot.generation = slot.generation.wrapping_add(1);
+    slot.timer_generation += 1;
+    slot.suspended = false;
+    st.free.push(idx as u32);
+    metrics().fds.add(-1);
+}
+
+// ---------------------------------------------------------------------------
+// Process-global shard pool
+// ---------------------------------------------------------------------------
+
+/// The process-global reactor shards: one per core, capped at 4 (the
+/// event loops are I/O-bound; handler work runs in dispatch pools).
+pub struct ReactorPool {
+    reactors: Vec<Reactor>,
+    next: AtomicUsize,
+    next_server_id: AtomicU64,
+}
+
+impl ReactorPool {
+    /// Round-robin shard placement for a new connection.
+    pub fn next_handle(&self) -> ReactorHandle {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.reactors.len();
+        self.reactors[i].handle()
+    }
+
+    /// All shard handles.
+    pub fn handles(&self) -> Vec<ReactorHandle> {
+        self.reactors.iter().map(Reactor::handle).collect()
+    }
+
+    /// Allocates a fresh server id for [`EventSource::server_id`]
+    /// grouping.
+    pub fn allocate_server_id(&self) -> u64 {
+        self.next_server_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Closes every source registered under `server_id` on every shard
+    /// and waits until the sweeps ran (so a server's `shutdown` returns
+    /// with all its connections closed).
+    pub fn close_server(&self, server_id: u64) {
+        let acks: Vec<Ack> = self
+            .reactors
+            .iter()
+            .map(|r| {
+                let ack: Ack = Arc::new((Mutex::new(false), Condvar::new()));
+                r.handle().close_server_with(server_id, Some(ack.clone()));
+                ack
+            })
+            .collect();
+        for ack in acks {
+            let mut done = ack.0.lock();
+            while !*done {
+                if ack
+                    .1
+                    .wait_for(&mut done, Duration::from_secs(5))
+                    .timed_out()
+                {
+                    return; // reactor wedged or gone; don't hang shutdown
+                }
+            }
+        }
+    }
+}
+
+/// The process-global reactor pool, spawned on first use.
+pub fn pool() -> &'static ReactorPool {
+    static POOL: OnceLock<ReactorPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 4);
+        let reactors = (0..shards)
+            .map(|i| Reactor::spawn(&format!("reactor-{i}")).expect("spawn reactor thread"))
+            .collect::<Vec<_>>();
+        metrics().shards.set(reactors.len() as i64);
+        ReactorPool {
+            reactors,
+            next: AtomicUsize::new(0),
+            next_server_id: AtomicU64::new(1),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    /// Echo-once source: reads whatever is available, echoes it back,
+    /// then closes.
+    struct EchoOnce {
+        stream: TcpStream,
+    }
+
+    impl EventSource for EchoOnce {
+        fn fd(&self) -> RawFd {
+            self.stream.as_raw_fd()
+        }
+
+        fn on_ready(&mut self, _ready: Readiness, _ctl: &mut Ctl<'_>) -> Action {
+            let mut buf = [0u8; 256];
+            match self.stream.read(&mut buf) {
+                Ok(0) => Action::Close,
+                Ok(n) => {
+                    let _ = self.stream.write_all(&buf[..n]);
+                    Action::Close
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    Action::Rearm(Interest::Read, None)
+                }
+                Err(_) => Action::Close,
+            }
+        }
+
+        fn on_timer(&mut self, _ctl: &mut Ctl<'_>) -> Action {
+            Action::Close
+        }
+
+        fn on_resume(&mut self, _payload: Box<dyn Any + Send>, _ctl: &mut Ctl<'_>) -> Action {
+            Action::Rearm(Interest::Read, None)
+        }
+    }
+
+    #[test]
+    fn echoes_through_reactor() {
+        let reactor = Reactor::spawn("reactor-test-echo").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        reactor
+            .handle()
+            .register(Box::new(EchoOnce { stream: server }), Interest::Read, None);
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"ping");
+        reactor.shutdown();
+    }
+
+    /// Source that parks on a timer and writes a marker when it fires.
+    struct TimerMarker {
+        stream: TcpStream,
+    }
+
+    impl EventSource for TimerMarker {
+        fn fd(&self) -> RawFd {
+            self.stream.as_raw_fd()
+        }
+
+        fn on_ready(&mut self, _ready: Readiness, _ctl: &mut Ctl<'_>) -> Action {
+            Action::Rearm(Interest::None, Some(Duration::from_millis(30)))
+        }
+
+        fn on_timer(&mut self, _ctl: &mut Ctl<'_>) -> Action {
+            let _ = self.stream.write_all(b"timer");
+            Action::Close
+        }
+
+        fn on_resume(&mut self, _payload: Box<dyn Any + Send>, _ctl: &mut Ctl<'_>) -> Action {
+            Action::Close
+        }
+    }
+
+    #[test]
+    fn timer_fires_and_closes() {
+        let reactor = Reactor::spawn("reactor-test-timer").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        reactor.handle().register(
+            Box::new(TimerMarker { stream: server }),
+            Interest::None,
+            Some(Duration::from_millis(30)),
+        );
+        let start = Instant::now();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"timer");
+        assert!(start.elapsed() >= Duration::from_millis(25), "fired early");
+        reactor.shutdown();
+    }
+
+    /// Suspend/resume round trip: on first readiness the source
+    /// suspends and a "worker" thread resumes it with a payload that
+    /// gets echoed.
+    struct SuspendEcho {
+        stream: TcpStream,
+    }
+
+    impl EventSource for SuspendEcho {
+        fn fd(&self) -> RawFd {
+            self.stream.as_raw_fd()
+        }
+
+        fn on_ready(&mut self, _ready: Readiness, ctl: &mut Ctl<'_>) -> Action {
+            let mut buf = [0u8; 64];
+            let n = match self.stream.read(&mut buf) {
+                Ok(n) => n,
+                Err(_) => return Action::Rearm(Interest::Read, None),
+            };
+            let handle = ctl.handle();
+            let token = ctl.token();
+            let data = buf[..n].to_vec();
+            std::thread::spawn(move || {
+                let reply: Vec<u8> = data.iter().map(|b| b.to_ascii_uppercase()).collect();
+                handle.resume(token, Box::new(reply));
+            });
+            Action::Suspend
+        }
+
+        fn on_timer(&mut self, _ctl: &mut Ctl<'_>) -> Action {
+            Action::Close
+        }
+
+        fn on_resume(&mut self, payload: Box<dyn Any + Send>, _ctl: &mut Ctl<'_>) -> Action {
+            let reply = payload.downcast::<Vec<u8>>().expect("payload type");
+            let _ = self.stream.write_all(&reply);
+            Action::Close
+        }
+    }
+
+    #[test]
+    fn suspend_resume_round_trip() {
+        let reactor = Reactor::spawn("reactor-test-resume").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        reactor.handle().register(
+            Box::new(SuspendEcho { stream: server }),
+            Interest::Read,
+            None,
+        );
+        client.write_all(b"hello").unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"HELLO");
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn close_server_sweeps_only_matching_sources() {
+        struct Tagged {
+            stream: TcpStream,
+            id: u64,
+        }
+        impl EventSource for Tagged {
+            fn fd(&self) -> RawFd {
+                self.stream.as_raw_fd()
+            }
+            fn server_id(&self) -> u64 {
+                self.id
+            }
+            fn on_ready(&mut self, _r: Readiness, _c: &mut Ctl<'_>) -> Action {
+                Action::Rearm(Interest::Read, None)
+            }
+            fn on_timer(&mut self, _c: &mut Ctl<'_>) -> Action {
+                Action::Close
+            }
+            fn on_resume(&mut self, _p: Box<dyn Any + Send>, _c: &mut Ctl<'_>) -> Action {
+                Action::Close
+            }
+        }
+        let reactor = Reactor::spawn("reactor-test-sweep").unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut clients = Vec::new();
+        for id in [1u64, 1, 2] {
+            let client = TcpStream::connect(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            reactor.handle().register(
+                Box::new(Tagged { stream: server, id }),
+                Interest::Read,
+                None,
+            );
+            clients.push(client);
+        }
+        let ack: Ack = Arc::new((Mutex::new(false), Condvar::new()));
+        reactor.handle().close_server_with(1, Some(ack.clone()));
+        {
+            let mut done = ack.0.lock();
+            while !*done {
+                ack.1.wait(&mut done);
+            }
+        }
+        // Server-1 connections see EOF; server-2's stays open.
+        let mut buf = [0u8; 1];
+        assert_eq!(clients[0].read(&mut buf).unwrap(), 0);
+        assert_eq!(clients[1].read(&mut buf).unwrap(), 0);
+        clients[2]
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let err = clients[2].read(&mut buf).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "server-2 connection should still be open, got {err:?}"
+        );
+        reactor.shutdown();
+    }
+}

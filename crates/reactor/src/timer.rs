@@ -1,0 +1,223 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The reactor arms at most one timer per connection (idle deadline,
+//! request-read deadline, or a chaos delay), so the wheel optimizes for
+//! cheap arm/disarm at modest precision: slots of [`TICK`] granularity,
+//! entries hashed into `deadline / TICK % SLOTS`, and an overflow list
+//! for deadlines beyond one rotation. Deadlines fire at worst one tick
+//! late, which is ample for multi-millisecond I/O timeouts.
+//!
+//! Cancellation is implicit: entries carry the generation the owner
+//! armed them with, and the reactor discards fired entries whose
+//! generation no longer matches (the cheap alternative to searching the
+//! wheel on every disarm).
+
+use std::time::{Duration, Instant};
+
+/// Wheel granularity. Deadlines are rounded up to the next tick.
+pub const TICK: Duration = Duration::from_millis(8);
+
+const SLOTS: usize = 512;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    deadline_tick: u64,
+    token: u64,
+    generation: u64,
+}
+
+/// A fired timer: which registration, and the generation it was armed
+/// under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fired {
+    pub token: u64,
+    pub generation: u64,
+}
+
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Entries more than one rotation away; re-filed as the wheel turns.
+    overflow: Vec<Entry>,
+    base: Instant,
+    /// The next tick `advance` will process.
+    cursor: u64,
+    armed: usize,
+}
+
+impl TimerWheel {
+    pub fn new(base: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            base,
+            cursor: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.base);
+        // Round up: a deadline must never fire early.
+        since.as_micros().div_ceil(TICK.as_micros()) as u64
+    }
+
+    /// Arms a timer for `token` at `deadline`, tagged with `generation`.
+    pub fn schedule(&mut self, deadline: Instant, token: u64, generation: u64) {
+        let deadline_tick = self.tick_of(deadline).max(self.cursor);
+        let entry = Entry {
+            deadline_tick,
+            token,
+            generation,
+        };
+        self.armed += 1;
+        if deadline_tick >= self.cursor + SLOTS as u64 {
+            self.overflow.push(entry);
+        } else {
+            self.slots[(deadline_tick % SLOTS as u64) as usize].push(entry);
+        }
+    }
+
+    /// Whether any timer is armed (fired-but-stale entries included
+    /// until they rotate out).
+    pub fn is_empty(&self) -> bool {
+        self.armed == 0
+    }
+
+    /// How long `epoll_wait` may block without missing a deadline:
+    /// `None` when no timers are armed (block forever), otherwise the
+    /// time to the next armed tick, clamped below by zero.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        // Nearest armed tick: scan slots from the cursor. SLOTS is
+        // small (512) and this runs once per loop iteration only while
+        // timers are armed.
+        let now_tick = self.tick_of(now);
+        let mut nearest: Option<u64> = None;
+        for e in self.slots.iter().flatten().chain(self.overflow.iter()) {
+            nearest = Some(nearest.map_or(e.deadline_tick, |n| n.min(e.deadline_tick)));
+        }
+        let nearest = nearest?;
+        if nearest <= now_tick {
+            return Some(Duration::ZERO);
+        }
+        let target = self.base + TICK * nearest as u32;
+        Some(target.saturating_duration_since(now))
+    }
+
+    /// Collects every entry due at or before `now` into `fired`,
+    /// advancing the wheel cursor.
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<Fired>) {
+        let now_tick = self.tick_of(now);
+        if self.armed == 0 {
+            self.cursor = now_tick;
+            return;
+        }
+        // Bound the walk to one full rotation; beyond that every slot
+        // has been visited once and the overflow refile below covers
+        // the rest.
+        let last = now_tick.min(self.cursor + SLOTS as u64 - 1);
+        let mut tick = self.cursor;
+        while tick <= last {
+            let slot = &mut self.slots[(tick % SLOTS as u64) as usize];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].deadline_tick <= now_tick {
+                    let e = slot.swap_remove(i);
+                    self.armed -= 1;
+                    fired.push(Fired {
+                        token: e.token,
+                        generation: e.generation,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+            tick += 1;
+        }
+        self.cursor = now_tick + 1;
+        // Re-file overflow entries that are now within one rotation
+        // (or already due).
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let e = self.overflow[i];
+            if e.deadline_tick <= now_tick {
+                self.overflow.swap_remove(i);
+                self.armed -= 1;
+                fired.push(Fired {
+                    token: e.token,
+                    generation: e.generation,
+                });
+            } else if e.deadline_tick < self.cursor + SLOTS as u64 {
+                self.overflow.swap_remove(i);
+                self.slots[(e.deadline_tick % SLOTS as u64) as usize].push(e);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let base = Instant::now();
+        let mut w = TimerWheel::new(base);
+        w.schedule(base + Duration::from_millis(50), 1, 10);
+        let mut fired = Vec::new();
+        w.advance(base + Duration::from_millis(20), &mut fired);
+        assert!(fired.is_empty(), "fired early: {fired:?}");
+        w.advance(base + Duration::from_millis(80), &mut fired);
+        assert_eq!(
+            fired,
+            vec![Fired {
+                token: 1,
+                generation: 10
+            }]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_beyond_one_rotation_still_fires() {
+        let base = Instant::now();
+        let mut w = TimerWheel::new(base);
+        // Far beyond SLOTS * TICK (512 * 8ms ≈ 4s).
+        w.schedule(base + Duration::from_secs(10), 2, 1);
+        let mut fired = Vec::new();
+        w.advance(base + Duration::from_secs(5), &mut fired);
+        assert!(fired.is_empty());
+        w.advance(base + Duration::from_secs(11), &mut fired);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 2);
+    }
+
+    #[test]
+    fn next_timeout_tracks_nearest_deadline() {
+        let base = Instant::now();
+        let mut w = TimerWheel::new(base);
+        assert_eq!(w.next_timeout(base), None, "no timers: block forever");
+        w.schedule(base + Duration::from_millis(100), 1, 1);
+        w.schedule(base + Duration::from_millis(40), 2, 1);
+        let t = w.next_timeout(base).unwrap();
+        assert!(t <= Duration::from_millis(48), "{t:?}");
+        assert!(t >= Duration::from_millis(30), "{t:?}");
+    }
+
+    #[test]
+    fn many_timers_on_same_tick() {
+        let base = Instant::now();
+        let mut w = TimerWheel::new(base);
+        for i in 0..1000 {
+            w.schedule(base + Duration::from_millis(16), i, i);
+        }
+        let mut fired = Vec::new();
+        w.advance(base + Duration::from_millis(24), &mut fired);
+        assert_eq!(fired.len(), 1000);
+    }
+}

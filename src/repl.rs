@@ -698,7 +698,12 @@ impl Repl {
 }
 
 fn cmd_stats(filter: &str) -> String {
-    let text = obs::registry().snapshot().render_prometheus();
+    // The reactor summary line rides along with the metric dump (and
+    // through the filter) so `stats reactor` answers "how loaded is
+    // the event loop" in one line.
+    let mut text = obs::registry().snapshot().render_prometheus();
+    text.push_str(&reactor::metrics_summary());
+    text.push('\n');
     if filter.is_empty() {
         return text.trim_end().to_string();
     }
@@ -1001,6 +1006,11 @@ mod tests {
         // the call above incremented.
         let stats = run(&mut repl, "stats");
         assert!(stats.contains("sde_requests_total"), "{stats}");
+        // The event-loop summary line rides along with the dump and
+        // survives filtering.
+        assert!(stats.contains("reactor: shards="), "{stats}");
+        let reactor_line = run(&mut repl, "stats reactor:");
+        assert!(reactor_line.contains("fds_registered="), "{reactor_line}");
         let filtered = run(&mut repl, "stats ReplObs");
         assert!(
             filtered.contains("sde_requests_total{class=\"ReplObs\"}"),
