@@ -2,16 +2,26 @@
 //! rate, retry spend, and RTT — the EXPERIMENTS.md resilience table.
 //!
 //! Usage: `chaos_sweep [calls] [tcp|mem] [--seed <n>] [--non-idempotent]
-//! [--json <path>]` — defaults to 100 idempotent calls per point over the
-//! in-memory transport at fault rates 0/10/20/30/40 %.
+//! [--kill-shard <n>] [--shards <k>] [--json <path>]` — defaults to 100
+//! idempotent calls per point over the in-memory transport at fault
+//! rates 0/10/20/30/40 %.
 //! `--non-idempotent` switches to a counter workload with the
 //! duplicate-generating `drop_reply` fault in the mix and reports
 //! exactly-once outcomes (executions vs. calls, duplicates suppressed).
+//! `--kill-shard <n>` switches to the router-fleet workload: `--shards`
+//! (default 3) SDE backends behind the sharded authority router, shard
+//! `n` killed mid-sweep at a seeded point, sweeping fault rates
+//! 0/20/40 % and reporting failover latency (detect → replay →
+//! republish → first successful call) alongside exactly-once and
+//! version-monotonicity verdicts.
 
 use bench::chaos::{
     chaos_json, render_chaos, render_chaos_exactly_once, run_chaos_sweep, ChaosConfig,
 };
 use bench::json::take_json_arg;
+use bench::shardchaos::{
+    kill_shard_json, render_kill_shard, run_kill_shard_sweep, KillShardConfig,
+};
 use sde::TransportKind;
 
 fn main() {
@@ -21,12 +31,26 @@ fn main() {
     let mut calls = 100usize;
     let mut transport = TransportKind::Mem;
     let mut non_idempotent = false;
+    let mut kill_shard: Option<usize> = None;
+    let mut shards = 3usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
                 if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                     seed = v;
+                    i += 1;
+                }
+            }
+            "--kill-shard" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    kill_shard = Some(v);
+                    i += 1;
+                }
+            }
+            "--shards" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    shards = v;
                     i += 1;
                 }
             }
@@ -41,6 +65,48 @@ fn main() {
         }
         i += 1;
     }
+    let transport_name = match transport {
+        TransportKind::Tcp => "tcp",
+        TransportKind::Mem => "mem",
+    };
+
+    if let Some(kill) = kill_shard {
+        if kill >= shards {
+            eprintln!("--kill-shard {kill} out of range for --shards {shards}");
+            std::process::exit(2);
+        }
+        let cfg = KillShardConfig {
+            calls: calls.max(40),
+            shards,
+            kill_shard: kill,
+            transport,
+            seed,
+        };
+        let rates = [0.0, 0.2, 0.4];
+        eprintln!(
+            "kill-shard sweep: {} calls per point over {:?}, {} shards, \
+             killing shard {} mid-sweep, fault plan seed {} ...",
+            cfg.calls, transport, cfg.shards, cfg.kill_shard, cfg.seed
+        );
+        let points = run_kill_shard_sweep(&cfg, &rates);
+        println!("{}", render_kill_shard(&points));
+        println!(
+            "One shard is killed between two client calls at a seeded point;\n\
+             the router promotes its WAL-replicating follower, republishes\n\
+             every class at version >= pre-crash, and clients reconverge via\n\
+             ordinary refetches — `failover ms` is kill → first successful\n\
+             call on a class the dead shard owned."
+        );
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, kill_shard_json(&points, &cfg, transport_name)) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        return;
+    }
+
     let cfg = ChaosConfig {
         calls,
         transport,
@@ -78,10 +144,6 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let transport_name = match transport {
-            TransportKind::Tcp => "tcp",
-            TransportKind::Mem => "mem",
-        };
         if let Err(e) = std::fs::write(&path, chaos_json(&points, transport_name, non_idempotent)) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

@@ -19,6 +19,11 @@
 //! * [`chaos`] — success rate vs. injected fault rate: the resilient
 //!   client (deadlines, backoff retries, circuit breaker) driven through
 //!   a seeded chaos layer. Binary: `chaos_sweep`.
+//! * [`shardchaos`] — live shard failover: a router fleet with
+//!   WAL-replicating followers, one shard killed mid-sweep at a seeded
+//!   point, asserting 100 % client success, exactly-once accounting and
+//!   `version >= pre-crash`, and reporting the failover latency split.
+//!   Binary: `chaos_sweep --kill-shard <n>`.
 //!
 //! Each module returns plain data structures and a
 //! pretty text rendering so binaries can print paper-style tables and
@@ -34,6 +39,7 @@ pub mod json;
 pub mod procinfo;
 pub mod rogue;
 pub mod rtt;
+pub mod shardchaos;
 
 /// Renders a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,477 @@
+//! Kill-shard chaos sweep: live failover under injected faults.
+//!
+//! Deploys a router fleet (N shards, each a leader + WAL-replicating
+//! follower, non-idempotent counter classes on every shard), installs
+//! the usual mixed fault plan against the **router front** — the only
+//! authority clients talk to — and kills one whole shard at a seeded
+//! point mid-sweep. The client keeps calling through the front with
+//! exactly-once retry licensing; the sweep asserts 100% call success,
+//! fleet-wide `executions == calls` accounting across the failover, and
+//! `version >= pre-crash` on every promoted document, and reports the
+//! failover latency split (detect → replay → republish → first
+//! successful call). Binary: `chaos_sweep --kill-shard <n>`.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use router::{ClassSpec, HashRing, Router, RouterConfig};
+use sde::TransportKind;
+
+/// Parameters for the kill-shard sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct KillShardConfig {
+    /// Calls per sweep point (across all classes, round-robin).
+    pub calls: usize,
+    /// Shards in the fleet.
+    pub shards: usize,
+    /// Which shard dies mid-sweep.
+    pub kill_shard: usize,
+    /// Transport under test.
+    pub transport: TransportKind,
+    /// Seed for the fault plan, the retry jitter, and the kill point.
+    pub seed: u64,
+}
+
+impl Default for KillShardConfig {
+    fn default() -> Self {
+        KillShardConfig {
+            calls: 90,
+            shards: 3,
+            kill_shard: 1,
+            transport: TransportKind::Mem,
+            seed: 2024,
+        }
+    }
+}
+
+/// One sweep point: N calls at one fault rate with one shard killed.
+#[derive(Debug, Clone)]
+pub struct KillShardPoint {
+    pub fault_rate: f64,
+    pub calls: usize,
+    pub ok: usize,
+    /// Retry attempts spent across all calls.
+    pub retries: u64,
+    /// Interface-document refetches triggered by consecutive transport
+    /// failures (the router-aware reconvergence path).
+    pub refetches: u64,
+    /// Fleet-wide executions: live-shard counters plus, for the killed
+    /// shard, pre-kill snapshot + promoted-instance counter (field state
+    /// is not replicated — only version floors are — so post-crash
+    /// counting restarts at zero on the promoted follower).
+    pub effects: u64,
+    /// `ok <= effects <= calls`: no acknowledged call ran twice, no
+    /// abandoned call more than once — across the failover.
+    pub exactly_once: bool,
+    /// Every killed-shard document republished at `version >=
+    /// pre-crash`.
+    pub versions_monotonic: bool,
+    /// Kill → breaker trip (router-side).
+    pub detect_ms: f64,
+    /// WAL adoption + replay on the promoted follower.
+    pub replay_ms: f64,
+    /// Redeploys + forced republication + route swap.
+    pub republish_ms: f64,
+    /// Kill → first *successful* client call on a killed-shard class:
+    /// the end-to-end failover latency a caller experiences.
+    pub failover_ms: f64,
+}
+
+fn counter_source(name: &str) -> String {
+    format!(
+        "class {name} {{ field int n; distributed int bump() {{ \
+         this.n = this.n + 1; return this.n; }} }}"
+    )
+}
+
+/// Picks class names until every shard owns at least two, mirroring the
+/// router's ring so the sweep knows each class's home up front.
+fn pick_classes(shards: usize, vnodes: usize) -> Vec<(String, usize)> {
+    let ring = HashRing::new(shards, vnodes);
+    let mut per_shard = vec![0usize; shards];
+    let mut picked = Vec::new();
+    for i in 0.. {
+        let name = format!("KsCounter{i}");
+        let shard = ring.shard_for(&name);
+        if per_shard[shard] < 2 {
+            per_shard[shard] += 1;
+            picked.push((name, shard));
+        }
+        if per_shard.iter().all(|&c| c >= 2) {
+            break;
+        }
+    }
+    picked
+}
+
+fn authority_of(url: &str) -> String {
+    match url.find("://").map(|i| i + 3) {
+        Some(rest) => match url[rest..].find('/') {
+            Some(slash) => url[..rest + slash].to_string(),
+            None => url.to_string(),
+        },
+        None => url.to_string(),
+    }
+}
+
+/// Runs one kill-shard point: fleet up, faults on, kill, keep calling,
+/// account.
+pub fn run_kill_shard_point(cfg: &KillShardConfig, fault_rate: f64) -> KillShardPoint {
+    static POINT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = POINT_SEQ.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let wal_root =
+        std::env::temp_dir().join(format!("live-rmi-killshard-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    let rcfg = RouterConfig::new(
+        cfg.shards,
+        cfg.transport,
+        &wal_root,
+        format!("ks{}-{seq}", std::process::id()),
+    );
+    let vnodes = rcfg.vnodes;
+    let classes = pick_classes(cfg.shards, vnodes);
+    let specs: Vec<ClassSpec> = classes
+        .iter()
+        .map(|(name, _)| ClassSpec::soap(name.clone(), counter_source(name)))
+        .collect();
+    let router = Router::start(rcfg, specs).expect("router start");
+    assert!(
+        router.wait_converged(Duration::from_secs(10)),
+        "fleet must converge (followers caught up) before the sweep"
+    );
+
+    let policy = cde::ResiliencePolicy::seeded(cfg.seed)
+        .with_request_timeout(Duration::from_millis(250))
+        .with_max_attempts(10)
+        .with_deadline(Duration::from_secs(8))
+        // High trip threshold: the *client* breaker must not fail fast —
+        // shard failure detection is the router's job.
+        .with_breaker(256, Duration::from_millis(500));
+    let env = cde::ClientEnvironment::with_policy(policy);
+    let stubs: Vec<(String, usize, std::sync::Arc<cde::DynamicStub>)> = classes
+        .iter()
+        .map(|(name, shard)| {
+            let stub = env.connect_soap(&router.wsdl_url(name)).expect("stub");
+            (name.clone(), *shard, stub)
+        })
+        .collect();
+
+    // Prime one fault-free call per class: latches the reply-cache
+    // advertisement that licenses non-idempotent retries.
+    for (_, _, stub) in &stubs {
+        env.call(stub, "bump", &[]).expect("prime call");
+        assert!(stub.server_caches(), "server must advertise reply cache");
+    }
+    let primed = stubs.len();
+    assert!(
+        cfg.calls > primed * 3,
+        "need enough calls to surround the kill point"
+    );
+
+    let front_authority = authority_of(&router.front_url());
+    if fault_rate > 0.0 {
+        // Same mixed recipe as the non-idempotent chaos sweep, aimed at
+        // the front: the only wire clients have. Router→backend hops and
+        // health probes stay clean — they model intra-fleet links.
+        httpd::FaultPlan::seeded(cfg.seed)
+            .rule(httpd::FaultRule::delay(
+                &front_authority,
+                fault_rate * 0.20,
+                Duration::from_millis(1),
+                Duration::from_millis(1),
+            ))
+            .rule(httpd::FaultRule::truncate(
+                &front_authority,
+                fault_rate * 0.15,
+                40,
+            ))
+            .rule(httpd::FaultRule::corrupt(
+                &front_authority,
+                fault_rate * 0.15,
+                2,
+            ))
+            .rule(httpd::FaultRule::disconnect(
+                &front_authority,
+                fault_rate * 0.10,
+                10,
+            ))
+            .rule(httpd::FaultRule::refuse(
+                &front_authority,
+                fault_rate * 0.15,
+            ))
+            .rule(httpd::FaultRule::drop_reply(&front_authority, fault_rate * 0.25).on_accept())
+            .install();
+        for (_, _, stub) in &stubs {
+            stub.drop_pooled_connections();
+        }
+    }
+
+    // Kill at a seeded point in the middle third of the sweep. The
+    // client is sequential, so the kill always lands *between* calls:
+    // the pre-kill counter snapshots are exact.
+    let span = (cfg.calls - primed) / 3;
+    let kill_at = primed + span + (cfg.seed as usize % span.max(1));
+    let killed: Vec<&(String, usize, std::sync::Arc<cde::DynamicStub>)> = stubs
+        .iter()
+        .filter(|(_, shard, _)| *shard == cfg.kill_shard)
+        .collect();
+    assert!(!killed.is_empty(), "killed shard must own classes");
+
+    let snapshot = obs::registry().snapshot();
+    let retries_before = snapshot.counter("rmi_retries_total");
+    let refetch_before = snapshot.counter("cde_failover_refetches_total");
+
+    let mut ok = primed;
+    let mut calls_per_class: HashMap<String, u64> =
+        stubs.iter().map(|(n, _, _)| (n.clone(), 1)).collect();
+    let mut pre_kill: HashMap<String, i64> = HashMap::new();
+    let mut pre_versions: HashMap<String, u64> = HashMap::new();
+    let mut t_kill: Option<Instant> = None;
+    let mut first_ok_after_kill: Option<f64> = None;
+    for i in primed..cfg.calls {
+        if i == kill_at {
+            for (name, _, _) in &killed {
+                pre_kill.insert(
+                    name.clone(),
+                    router.field_value(name, "n").expect("counter value"),
+                );
+                pre_versions.insert(name.clone(), router.doc_version(name).expect("doc version"));
+            }
+            router.kill_shard(cfg.kill_shard);
+            t_kill = Some(Instant::now());
+        }
+        let (name, shard, stub) = &stubs[i % stubs.len()];
+        if fault_rate > 0.0 && i % 4 == 0 {
+            // Connection churn: faults roll at connect time.
+            stub.drop_pooled_connections();
+        }
+        if env.call(stub, "bump", &[]).is_ok() {
+            ok += 1;
+            *calls_per_class.get_mut(name).expect("known class") += 1;
+            if let (Some(t0), None, true) = (t_kill, first_ok_after_kill, *shard == cfg.kill_shard)
+            {
+                first_ok_after_kill = Some(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+    httpd::fault::clear();
+
+    let snapshot = obs::registry().snapshot();
+    let retries = snapshot.counter("rmi_retries_total") - retries_before;
+    let refetches = snapshot.counter("cde_failover_refetches_total") - refetch_before;
+
+    // Let the promoted shard's own follower finish catching up before
+    // reading final state.
+    assert!(
+        router.wait_converged(Duration::from_secs(10)),
+        "fleet must reconverge after failover"
+    );
+
+    let mut effects = 0u64;
+    for (name, shard, _) in &stubs {
+        let current = router.field_value(name, "n").expect("counter value");
+        let pre = if *shard == cfg.kill_shard {
+            *pre_kill.get(name).expect("pre-kill snapshot")
+        } else {
+            0
+        };
+        effects += (pre + current) as u64;
+    }
+    let versions_monotonic = killed
+        .iter()
+        .all(|(name, _, _)| router.doc_version(name).expect("doc version") >= pre_versions[name]);
+
+    let failover = router
+        .last_failover()
+        .expect("failover must have completed");
+    assert_eq!(failover.shard, cfg.kill_shard);
+
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    let exactly_once = (ok as u64) <= effects && effects <= cfg.calls as u64;
+    KillShardPoint {
+        fault_rate,
+        calls: cfg.calls,
+        ok,
+        retries,
+        refetches,
+        effects,
+        exactly_once,
+        versions_monotonic,
+        detect_ms: failover.detect_ms,
+        replay_ms: failover.replay_ms,
+        republish_ms: failover.republish_ms,
+        failover_ms: first_ok_after_kill.unwrap_or(f64::NAN),
+    }
+}
+
+/// Runs the sweep over `rates`.
+pub fn run_kill_shard_sweep(cfg: &KillShardConfig, rates: &[f64]) -> Vec<KillShardPoint> {
+    rates
+        .iter()
+        .map(|&r| run_kill_shard_point(cfg, r))
+        .collect()
+}
+
+/// p95 of the end-to-end failover latencies (max for small sweeps).
+pub fn failover_p95_ms(points: &[KillShardPoint]) -> f64 {
+    let mut v: Vec<f64> = points
+        .iter()
+        .map(|p| p.failover_ms)
+        .filter(|m| m.is_finite())
+        .collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[((v.len() - 1) as f64 * 0.95).round() as usize]
+}
+
+/// Renders the sweep as the EXPERIMENTS.md failover table.
+pub fn render_kill_shard(points: &[KillShardPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.fault_rate * 100.0),
+                p.calls.to_string(),
+                format!("{:.1}%", p.ok as f64 / p.calls as f64 * 100.0),
+                p.effects.to_string(),
+                if p.exactly_once {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
+                if p.versions_monotonic {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
+                format!("{:.1}", p.detect_ms),
+                format!("{:.1}", p.replay_ms),
+                format!("{:.1}", p.republish_ms),
+                format!("{:.1}", p.failover_ms),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "fault rate",
+            "calls",
+            "success",
+            "executions",
+            "exactly-once",
+            "versions >=",
+            "detect ms",
+            "replay ms",
+            "republish ms",
+            "failover ms",
+        ],
+        &rows,
+    )
+}
+
+/// Renders the sweep as a JSON report (`--json <path>`).
+pub fn kill_shard_json(
+    points: &[KillShardPoint],
+    cfg: &KillShardConfig,
+    transport: &str,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"bench\": \"chaos_sweep\",\n  \"mode\": \"kill_shard\",\n");
+    let _ = writeln!(
+        out,
+        "  \"transport\": \"{}\",",
+        crate::json::escape(transport)
+    );
+    let _ = writeln!(out, "  \"shards\": {},", cfg.shards);
+    let _ = writeln!(out, "  \"killed_shard\": {},", cfg.kill_shard);
+    let _ = writeln!(
+        out,
+        "  \"failover_p95_ms\": {:.3},",
+        failover_p95_ms(points)
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"fault_rate\": {:.3}, \"calls\": {}, \"ok\": {}, \"retries\": {}, \
+             \"refetches\": {}, \"effects\": {}, \"exactly_once\": {}, \
+             \"versions_monotonic\": {}, \"detect_ms\": {:.3}, \"replay_ms\": {:.3}, \
+             \"republish_ms\": {:.3}, \"failover_ms\": {:.3}}}{}",
+            p.fault_rate,
+            p.calls,
+            p.ok,
+            p.retries,
+            p.refetches,
+            p.effects,
+            p.exactly_once,
+            p.versions_monotonic,
+            p.detect_ms,
+            p.replay_ms,
+            p.republish_ms,
+            p.failover_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_picker_covers_every_shard() {
+        let picked = pick_classes(3, 32);
+        for shard in 0..3 {
+            assert_eq!(
+                picked.iter().filter(|(_, s)| *s == shard).count(),
+                2,
+                "shard {shard} must own exactly two classes"
+            );
+        }
+    }
+
+    #[test]
+    fn json_and_table_are_well_formed() {
+        let p = KillShardPoint {
+            fault_rate: 0.2,
+            calls: 90,
+            ok: 90,
+            retries: 12,
+            refetches: 3,
+            effects: 90,
+            exactly_once: true,
+            versions_monotonic: true,
+            detect_ms: 41.0,
+            replay_ms: 2.5,
+            republish_ms: 8.0,
+            failover_ms: 95.0,
+        };
+        let cfg = KillShardConfig::default();
+        let table = render_kill_shard(std::slice::from_ref(&p));
+        assert!(table.contains("exactly-once"));
+        assert!(table.contains("yes"));
+        let json = kill_shard_json(std::slice::from_ref(&p), &cfg, "mem");
+        assert!(json.contains("\"mode\": \"kill_shard\""));
+        assert!(json.contains("\"failover_p95_ms\": 95.000"));
+        assert!(json.contains("\"exactly_once\": true"));
+    }
+
+    #[test]
+    fn kill_shard_point_at_zero_faults_is_perfect() {
+        let cfg = KillShardConfig {
+            calls: 40,
+            ..KillShardConfig::default()
+        };
+        let p = run_kill_shard_point(&cfg, 0.0);
+        assert_eq!(p.ok, p.calls, "100% success across the kill");
+        assert!(p.exactly_once, "executions == calls fleet-wide");
+        assert!(p.versions_monotonic);
+        assert!(p.failover_ms.is_finite());
+    }
+}

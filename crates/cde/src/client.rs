@@ -259,6 +259,21 @@ impl ClientEnvironment {
                         root.fail("transport");
                         return Err(CallError::Transport(m));
                     }
+                    if attempt >= 2 {
+                        // Two consecutive transport failures suggest the
+                        // endpoint is gone, not merely flaky — and a
+                        // sharded deployment answers exactly that case
+                        // by republishing the interface documents at a
+                        // promoted authority. Refetch before retrying so
+                        // the next attempt targets wherever the class
+                        // lives *now*; if the documents are unchanged
+                        // this is one cheap 304.
+                        if stub.refresh().is_ok() {
+                            obs::registry()
+                                .counter("cde_failover_refetches_total")
+                                .inc();
+                        }
+                    }
                     backoff.next_delay()
                 }
                 Err(CallError::Protocol(_))

@@ -95,10 +95,43 @@ pub struct ServerOrb {
     shutdown: Arc<AtomicBool>,
     listener: Arc<Listener>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    conns: Arc<ConnTracker>,
     /// Present when the reactor engine serves this ORB (`tcp://` on
     /// Linux); `None` on the threaded `mem://` path.
     #[cfg(target_os = "linux")]
     reactor: Option<crate::rorb::ReactorState>,
+}
+
+/// Live connections of the threaded engine, so [`ServerOrb::shutdown`]
+/// can sever them. Without this a "dead" ORB would keep answering GIOP
+/// on established connections — a zombie a failover front could never
+/// fence off.
+#[derive(Debug, Default)]
+struct ConnTracker {
+    streams: Mutex<std::collections::HashMap<u64, Stream>>,
+    next: std::sync::atomic::AtomicU64,
+}
+
+impl ConnTracker {
+    /// Registers a duplicate handle to `stream`; returns the slot id.
+    fn track(&self, stream: &Stream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().insert(id, clone);
+        Some(id)
+    }
+
+    fn untrack(&self, id: u64) {
+        self.streams.lock().remove(&id);
+    }
+
+    /// Severs every live connection; their serve threads exit on the
+    /// resulting read error.
+    fn sever_all(&self) {
+        for (_, s) in self.streams.lock().drain() {
+            s.shutdown();
+        }
+    }
 }
 
 impl ServerOrb {
@@ -139,12 +172,15 @@ impl ServerOrb {
                 shutdown,
                 listener,
                 accept_thread: Mutex::new(Some(accept_thread)),
+                conns: Arc::new(ConnTracker::default()),
                 reactor: Some(state),
             });
         }
 
+        let conns = Arc::new(ConnTracker::default());
         let accept_listener = listener.clone();
         let accept_shutdown = shutdown.clone();
+        let accept_conns = conns.clone();
         let accept_thread = thread::Builder::new()
             .name("orb-accept".into())
             .spawn(move || {
@@ -154,6 +190,7 @@ impl ServerOrb {
                         Err(_) => break,
                     };
                     if accept_shutdown.load(Ordering::SeqCst) {
+                        stream.shutdown();
                         break;
                     }
                     // A connection that goes silent (or was blackholed)
@@ -161,9 +198,16 @@ impl ServerOrb {
                     let _ = stream.set_read_timeout(Some(SERVER_IDLE_TIMEOUT));
                     let implementation = implementation.clone();
                     let conn_key = served_key.clone();
+                    let tracked = accept_conns.track(&stream);
+                    let thread_conns = accept_conns.clone();
                     let _ = thread::Builder::new()
                         .name("orb-conn".into())
-                        .spawn(move || serve_connection(stream, implementation, conn_key));
+                        .spawn(move || {
+                            serve_connection(stream, implementation, conn_key);
+                            if let Some(id) = tracked {
+                                thread_conns.untrack(id);
+                            }
+                        });
                 }
             })
             .expect("spawn orb accept thread");
@@ -173,6 +217,7 @@ impl ServerOrb {
             shutdown,
             listener,
             accept_thread: Mutex::new(Some(accept_thread)),
+            conns,
             #[cfg(target_os = "linux")]
             reactor: None,
         })
@@ -191,6 +236,7 @@ impl ServerOrb {
         if let Some(t) = self.accept_thread.lock().take() {
             let _ = t.join();
         }
+        self.conns.sever_all();
         #[cfg(target_os = "linux")]
         if let Some(r) = &self.reactor {
             r.shutdown();

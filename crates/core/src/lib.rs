@@ -35,6 +35,7 @@ pub mod publish;
 pub mod replycache;
 mod soap_server;
 pub mod wal;
+pub mod walrepl;
 
 pub use corba_server::CorbaServer;
 pub use docs::{DocumentStore, InterfaceServer, PublishedDocument};
@@ -45,3 +46,4 @@ pub use publish::{GeneratedDoc, PublicationStrategy, PublisherCore, PublisherMet
 pub use replycache::{Admission, CachedReply, ReplyCache, ReplyCacheStats};
 pub use soap_server::SoapServer;
 pub use wal::VersionWal;
+pub use walrepl::{WalFollower, WalReplicator};

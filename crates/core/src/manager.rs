@@ -162,12 +162,8 @@ impl SdeManager {
                     .map_err(|e| SdeError::State(format!("wal dir {}: {e}", dir.display())))?;
                 // One log per published authority: a restart at the same
                 // interface address finds the same file and replays it.
-                let file: String = addr
-                    .chars()
-                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                    .collect();
                 let wal = Arc::new(
-                    VersionWal::open(&dir.join(format!("{file}.wal")))
+                    VersionWal::open(&crate::wal::wal_path_for(dir, addr))
                         .map_err(|e| SdeError::State(format!("wal open: {e}")))?,
                 );
                 interface_server.store().attach_wal(wal.clone());
@@ -182,6 +178,55 @@ impl SdeManager {
             stale_counters: RwLock::new(Vec::new()),
             wal,
         })
+    }
+
+    /// Starts a manager that adopts an existing WAL directory under a
+    /// (possibly new) authority: the failover path. A follower that has
+    /// been replicating a dead shard's log calls this with its replica
+    /// directory; if the directory holds exactly one `*.wal` whose name
+    /// does not match `addr`, it is renamed to the name a manager at
+    /// `addr` replays — so promotion is one call instead of the previous
+    /// three-step rename/config/bind dance. The transport is inferred
+    /// from the address scheme, and redeployed classes are floored at
+    /// `version >= pre-crash` exactly as in same-authority restart.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the WAL cannot be adopted or `addr` cannot be bound.
+    pub fn with_authority(addr: &str, wal_dir: &std::path::Path) -> Result<SdeManager, SdeError> {
+        let transport = if addr.starts_with("mem://") {
+            TransportKind::Mem
+        } else {
+            TransportKind::Tcp
+        };
+        let target = crate::wal::wal_path_for(wal_dir, addr);
+        if !target.exists() {
+            let mut logs: Vec<std::path::PathBuf> = std::fs::read_dir(wal_dir)
+                .map(|entries| {
+                    entries
+                        .filter_map(Result::ok)
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if logs.len() == 1 {
+                let source = logs.pop().expect("one log");
+                std::fs::rename(&source, &target)
+                    .map_err(|e| SdeError::State(format!("wal adopt: {e}")))?;
+                obs::trace::event(
+                    "sde::manager",
+                    "wal-adopt",
+                    format!("from={} to={}", source.display(), target.display()),
+                );
+            }
+        }
+        let config = SdeConfig {
+            transport,
+            wal_dir: Some(wal_dir.to_path_buf()),
+            ..SdeConfig::default()
+        };
+        SdeManager::with_interface_addr(config, addr)
     }
 
     /// Applies the replayed WAL floor for `class_name`'s documents to the
@@ -212,6 +257,13 @@ impl SdeManager {
     /// The shared document store (both subsystems publish into it).
     pub fn store(&self) -> &DocumentStore {
         self.interface_server.store()
+    }
+
+    /// The durable publication log, when one is configured — a
+    /// replication leader streams it to a follower (see
+    /// [`crate::walrepl`]).
+    pub fn wal(&self) -> Option<Arc<VersionWal>> {
+        self.wal.clone()
     }
 
     /// Number of §5.7 stale-call notifications received from handlers.

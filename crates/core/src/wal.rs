@@ -21,10 +21,11 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
-use std::path::Path;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use obs::sync::Mutex;
+use obs::sync::{Condvar, Mutex};
 
 /// CRC-32 (IEEE 802.3, reflected polynomial). Bitwise — publications
 /// are rare and small, so a table buys nothing here.
@@ -50,6 +51,8 @@ struct WalInner {
     file: File,
     /// Highest version replayed or appended per document path.
     floors: HashMap<String, u64>,
+    /// Count of intact records replayed or appended.
+    records: u64,
     /// Byte length of the durable, intact prefix of the file. A failed
     /// append truncates back to this offset so a partial record never
     /// silently cuts off replay of everything written after it.
@@ -63,7 +66,11 @@ struct WalInner {
 /// The durable publication log: one per [`crate::SdeManager`] authority.
 #[derive(Debug)]
 pub struct VersionWal {
+    path: PathBuf,
     inner: Mutex<WalInner>,
+    /// Signalled whenever the durable prefix grows, so a replication
+    /// streamer (see [`crate::walrepl`]) can block instead of polling.
+    grew: Condvar,
 }
 
 impl VersionWal {
@@ -82,7 +89,7 @@ impl VersionWal {
             .open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let (floors, good_len) = replay(&bytes);
+        let (floors, good_len, records) = replay(&bytes);
         if (good_len as usize) < bytes.len() {
             // Drop the torn tail now: append mode writes at EOF, so a
             // new record after the torn bytes would be unreadable at the
@@ -106,12 +113,15 @@ impl VersionWal {
             );
         }
         Ok(VersionWal {
+            path: path.to_path_buf(),
             inner: Mutex::new(WalInner {
                 file,
                 floors,
+                records,
                 good_len,
                 poisoned: false,
             }),
+            grew: Condvar::new(),
         })
     }
 
@@ -161,11 +171,14 @@ impl VersionWal {
             return Err(e);
         }
         inner.good_len += record.len() as u64;
+        inner.records += 1;
         let slot = inner.floors.entry(doc_path.to_string()).or_insert(0);
         if version > *slot {
             *slot = version;
         }
         obs::registry().counter("wal_appends_total").inc();
+        drop(inner);
+        self.grew.notify_all();
         Ok(())
     }
 
@@ -180,15 +193,188 @@ impl VersionWal {
     pub fn floor(&self, doc_path: &str) -> Option<u64> {
         self.inner.lock().floors.get(doc_path).copied()
     }
+
+    /// Every document path → highest version the log holds.
+    pub fn floors(&self) -> HashMap<String, u64> {
+        self.inner.lock().floors.clone()
+    }
+
+    /// Byte length of the durable, intact record prefix.
+    pub fn durable_len(&self) -> u64 {
+        self.inner.lock().good_len
+    }
+
+    /// Count of intact records replayed or appended so far.
+    pub fn record_count(&self) -> u64 {
+        self.inner.lock().records
+    }
+
+    /// Filesystem path backing this log.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Blocks until the durable prefix exceeds `seen_len` or the timeout
+    /// elapses; returns the current durable length either way.
+    pub fn wait_for_growth(&self, seen_len: u64, timeout: Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        while inner.good_len <= seen_len {
+            if self.grew.wait_until(&mut inner, deadline).timed_out() {
+                break;
+            }
+        }
+        inner.good_len
+    }
+
+    /// Reads the durable record bytes in `[from, durable_len)` through a
+    /// fresh read handle, so a replication streamer never disturbs the
+    /// append cursor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be reopened or read, or if `from` lies
+    /// beyond the durable prefix (the caller's cursor is stale — it must
+    /// renegotiate).
+    pub fn read_from(&self, from: u64) -> std::io::Result<Vec<u8>> {
+        let durable = self.inner.lock().good_len;
+        if from > durable {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("read offset {from} beyond durable prefix {durable}"),
+            ));
+        }
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(from))?;
+        let mut buf = vec![0u8; (durable - from) as usize];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Appends pre-encoded record bytes received from a replication
+    /// leader, fsyncing before returning. The bytes must parse as a
+    /// whole number of intact records — a torn or corrupt frame is
+    /// rejected without touching the file. Returns the new durable
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed record bytes, on a poisoned log, or when the
+    /// write/fsync fails (the tail is truncated back like [`append`]).
+    ///
+    /// [`append`]: VersionWal::append
+    pub fn append_raw(&self, bytes: &[u8]) -> std::io::Result<u64> {
+        let (floors, good, records) = replay(bytes);
+        if bytes.is_empty() || good as usize != bytes.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "replicated bytes are not a whole number of intact records",
+            ));
+        }
+        let mut inner = self.inner.lock();
+        if inner.poisoned {
+            return Err(std::io::Error::other(
+                "version WAL poisoned by an earlier unrecoverable write failure",
+            ));
+        }
+        let written = inner
+            .file
+            .write_all(bytes)
+            .and_then(|()| inner.file.sync_data());
+        if let Err(e) = written {
+            obs::registry().counter("wal_append_failures_total").inc();
+            let good_len = inner.good_len;
+            if inner.file.set_len(good_len).is_err() {
+                inner.poisoned = true;
+            }
+            return Err(e);
+        }
+        inner.good_len += bytes.len() as u64;
+        inner.records += records;
+        for (path, version) in floors {
+            let slot = inner.floors.entry(path).or_insert(0);
+            if version > *slot {
+                *slot = version;
+            }
+        }
+        let len = inner.good_len;
+        drop(inner);
+        self.grew.notify_all();
+        Ok(len)
+    }
+
+    /// Replaces the whole log with `bytes` (a full resync from a
+    /// replication leader), fsyncing before returning. The bytes must
+    /// parse as a whole number of intact records. Returns the new
+    /// durable length.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes or when the rewrite cannot be made
+    /// durable — the log is then poisoned, since its contents are in an
+    /// unknown state.
+    pub fn reset_to(&self, bytes: &[u8]) -> std::io::Result<u64> {
+        let (floors, good, records) = replay(bytes);
+        if good as usize != bytes.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "resync bytes are not a whole number of intact records",
+            ));
+        }
+        let mut inner = self.inner.lock();
+        let rewritten = inner
+            .file
+            .set_len(0)
+            .and_then(|()| inner.file.write_all(bytes))
+            .and_then(|()| inner.file.sync_data());
+        if let Err(e) = rewritten {
+            // Unlike a failed append there is no known-good prefix to
+            // fall back to: the old records are gone.
+            inner.poisoned = true;
+            return Err(e);
+        }
+        inner.good_len = bytes.len() as u64;
+        inner.records = records;
+        inner.floors = floors;
+        inner.poisoned = false;
+        let len = inner.good_len;
+        drop(inner);
+        self.grew.notify_all();
+        Ok(len)
+    }
+
+    /// CRC-32 over the whole durable prefix: a cheap fingerprint a
+    /// replication follower sends at handshake so the leader can detect
+    /// divergence (not just length mismatch).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be re-read.
+    pub fn prefix_crc(&self) -> std::io::Result<u32> {
+        Ok(crc32(&self.read_from(0)?))
+    }
+}
+
+/// The WAL filename an [`crate::SdeManager`] uses for `addr`: the
+/// authority string with every non-alphanumeric byte flattened to `_`,
+/// under `dir`. Shared by the manager and by followers adopting a dead
+/// shard's log.
+pub fn wal_path_for(dir: &Path, addr: &str) -> PathBuf {
+    let file: String = addr
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    dir.join(format!("{file}.wal"))
 }
 
 /// Scans raw log bytes into per-path version floors, stopping at the
 /// first incomplete or corrupt record. Also returns the byte length of
-/// the intact prefix, so the caller can realign appends past a torn
-/// tail.
-fn replay(bytes: &[u8]) -> (HashMap<String, u64>, u64) {
+/// the intact prefix (so the caller can realign appends past a torn
+/// tail) and the count of intact records.
+fn replay(bytes: &[u8]) -> (HashMap<String, u64>, u64, u64) {
     let mut floors = HashMap::new();
     let mut at = 0usize;
+    let mut records = 0u64;
     while let Some(len_bytes) = bytes.get(at..at + 4) {
         let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
         if len < 8 || len > MAX_PAYLOAD as usize {
@@ -212,8 +398,9 @@ fn replay(bytes: &[u8]) -> (HashMap<String, u64>, u64) {
             *slot = version;
         }
         at += 8 + len;
+        records += 1;
     }
-    (floors, at as u64)
+    (floors, at as u64, records)
 }
 
 #[cfg(test)]

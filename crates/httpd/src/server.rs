@@ -819,6 +819,25 @@ mod tests {
     }
 
     #[test]
+    fn connect_after_shutdown_refused_tcp() {
+        // The TCP listener must actually leave LISTEN state on
+        // shutdown. A socket that merely stops accepting in userspace
+        // keeps completing handshakes into the kernel backlog, so a
+        // dead server still passes connect-only health probes.
+        let server = HttpServer::bind("tcp://127.0.0.1:0", echo_handler).unwrap();
+        let url = server.base_url();
+        assert!(HttpClient::new().get(&url).is_ok(), "reachable while up");
+        server.shutdown();
+        assert!(
+            HttpClient::new()
+                .with_read_timeout(Duration::from_millis(500))
+                .get(&url)
+                .is_err(),
+            "connects must be refused after shutdown"
+        );
+    }
+
+    #[test]
     fn shutdown_wakes_idle_keep_alive_connections() {
         // A worker is parked in a keep-alive read; shutdown must close
         // the connection and join the worker promptly (the pre-pool

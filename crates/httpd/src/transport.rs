@@ -286,10 +286,27 @@ impl Listener {
 
     /// Closes the listener; pending and future `accept` calls fail, and for
     /// in-memory endpoints the name is released.
+    ///
+    /// For TCP this must genuinely stop the socket from accepting, not
+    /// merely wake the accept loop: a listener left in `LISTEN` state
+    /// keeps completing handshakes into the kernel backlog, so a dead
+    /// server still looks alive to connect-only health probes.
     pub fn close(&self) {
         match self {
             Listener::Tcp(l) => {
-                // Unblock the accept loop by connecting once.
+                // `shutdown(2)` on the listening socket makes the kernel
+                // refuse new connects and wakes a thread blocked in
+                // `accept` (EINVAL) — without closing the fd out from
+                // under that thread.
+                #[cfg(unix)]
+                {
+                    use std::os::unix::io::AsRawFd;
+                    sys_shutdown_socket(l.as_raw_fd());
+                }
+                // Elsewhere `shutdown` on a listening socket is not
+                // portable (POSIX says ENOTCONN); fall back to waking
+                // the accept loop, which then sees the shutdown flag.
+                #[cfg(not(unix))]
                 if let Ok(a) = l.local_addr() {
                     let _ = TcpStream::connect_timeout(&a, Duration::from_millis(100));
                 }
@@ -297,6 +314,20 @@ impl Listener {
             Listener::Mem(l) => l.close(),
         }
     }
+}
+
+/// Raw `shutdown(2)`. The workspace is dependency-free by design, so
+/// the symbol is declared directly — it comes from the libc `std`
+/// already links against (same pattern as `reactor::sys`).
+#[cfg(unix)]
+fn sys_shutdown_socket(fd: std::os::unix::io::RawFd) {
+    const SHUT_RDWR: i32 = 2;
+    extern "C" {
+        fn shutdown(fd: i32, how: i32) -> i32;
+    }
+    // SAFETY: plain syscall on a live fd owned by the caller; no
+    // pointers involved. Failure (e.g. already shut down) is benign.
+    unsafe { shutdown(fd, SHUT_RDWR) };
 }
 
 /// Connects to a listening endpoint.

@@ -1,0 +1,36 @@
+//! Sharded authority router: the front tier that turns one-process SDE
+//! into a fleet.
+//!
+//! The paper's §5.7 recency machinery — republish the interface
+//! document, and every client stub reconverges on its next call — is
+//! exactly the hook horizontal scale-out needs. This crate
+//! consistent-hashes classes across N SDE backends (shards), fronts
+//! both wires behind stable addresses (an HTTP reverse proxy for
+//! SOAP + interface documents, an L4 splice per CORBA class for GIOP),
+//! health-checks every shard with the PR 3 circuit-breaker machinery,
+//! and — when a shard dies — promotes its WAL-replicating follower:
+//!
+//! 1. **detect** — probe/forward failures trip the shard's breaker;
+//! 2. **replay** — [`sde::SdeManager::with_authority`] adopts the
+//!    follower's replica log and floors every class at
+//!    `version >= pre-crash`;
+//! 3. **republish** — classes redeploy on the promoted backend and
+//!    force-publish, so document versions advance past everything any
+//!    client ever saw;
+//! 4. **reconverge** — in-flight refetches are answered at the same
+//!    router addresses with bodies rewritten to the new backend, and
+//!    exactly-once accounting holds because call IDs and the reply
+//!    cache are per-logical-call, not per-connection.
+//!
+//! Distribution policy lives entirely in this tier — application
+//! classes are unchanged — which is the RAFDA separation the ROADMAP
+//! points at.
+
+mod proxy;
+mod ring;
+#[allow(clippy::module_inception)]
+mod router;
+
+pub use proxy::GiopProxy;
+pub use ring::HashRing;
+pub use router::{ClassSpec, FailoverEvent, Router, RouterConfig, RouterError, ShardStatus, Wire};

@@ -1,0 +1,169 @@
+//! Byte-level GIOP proxy: the stable CORBA front for one class.
+//!
+//! SOAP calls proxy at the HTTP layer, but GIOP is a binary
+//! request-reply stream, so the router fronts each CORBA class with an
+//! L4 shuttle: the published IOR carries the proxy's address, clients
+//! connect here, and every accepted connection is spliced to the
+//! class's *current* backend ORB. At failover only the target swaps —
+//! the IOR (and therefore every client stub) keeps pointing at the same
+//! proxy address, and the dead backend's EOF propagates to clients,
+//! whose resilience layer reconnects straight onto the promoted shard.
+//!
+//! Streams are shuttled by paired threads rather than the epoll
+//! reactor: `mem://` streams carry no file descriptor (the reactor
+//! serves only `tcp://`), and the proxy must behave identically on both
+//! transports for the chaos suite to exercise it deterministically.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use httpd::transport::{connect_with, Listener, Stream};
+use obs::sync::{Mutex, RwLock};
+
+type ErrorHook = Arc<dyn Fn() + Send + Sync>;
+
+/// One class's GIOP front.
+pub struct GiopProxy {
+    listener: Arc<Listener>,
+    addr: String,
+    target: RwLock<String>,
+    stop: Arc<AtomicBool>,
+    /// Client-side handles of live splices, so a retarget can sever
+    /// connections still pinned to the old backend.
+    splices: Arc<Mutex<HashMap<u64, Stream>>>,
+    next_splice: AtomicU64,
+    /// Invoked when a backend connect fails — the router uses it as a
+    /// health signal feeding the shard's circuit breaker.
+    on_error: RwLock<Option<ErrorHook>>,
+}
+
+impl GiopProxy {
+    /// Binds `addr` and starts splicing connections to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` cannot be bound.
+    pub fn start(addr: &str, target: String) -> Result<Arc<GiopProxy>, httpd::HttpError> {
+        let listener = Arc::new(Listener::bind(addr)?);
+        let proxy = Arc::new(GiopProxy {
+            addr: listener.local_addr().to_string(),
+            listener,
+            target: RwLock::new(target),
+            stop: Arc::new(AtomicBool::new(false)),
+            splices: Arc::new(Mutex::new(HashMap::new())),
+            next_splice: AtomicU64::new(0),
+            on_error: RwLock::new(None),
+        });
+        let accept = proxy.clone();
+        std::thread::Builder::new()
+            .name("giop-proxy-accept".into())
+            .spawn(move || accept.accept_loop())
+            .expect("spawn giop proxy accept thread");
+        Ok(proxy)
+    }
+
+    /// The stable address clients connect to (what the rewritten IOR
+    /// carries).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Points new connections at a different backend ORB (failover) and
+    /// severs every in-flight splice: connections still pinned to the
+    /// old backend must not linger — a half-dead backend could keep
+    /// answering on them, and clients only re-handshake (and land on the
+    /// promoted shard) once their stream drops.
+    pub fn set_target(&self, target: String) {
+        *self.target.write() = target;
+        for (_, s) in self.splices.lock().drain() {
+            s.shutdown();
+        }
+    }
+
+    /// Installs the backend-connect-failure hook.
+    pub fn set_on_error(&self, hook: ErrorHook) {
+        *self.on_error.write() = Some(hook);
+    }
+
+    /// Stops accepting and severs in-flight splices.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.listener.close();
+        for (_, s) in self.splices.lock().drain() {
+            s.shutdown();
+        }
+    }
+
+    fn accept_loop(self: Arc<GiopProxy>) {
+        while !self.stop.load(Ordering::SeqCst) {
+            let Ok(client) = self.listener.accept() else {
+                break;
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                client.shutdown();
+                break;
+            }
+            let target = self.target.read().clone();
+            match connect_with(&target, None) {
+                Ok(backend) => {
+                    obs::registry().counter("router_giop_splices_total").inc();
+                    let id = self.next_splice.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(handle) = client.try_clone() {
+                        self.splices.lock().insert(id, handle);
+                    }
+                    let splices = self.splices.clone();
+                    splice(client, backend, move || {
+                        splices.lock().remove(&id);
+                    });
+                }
+                Err(_) => {
+                    obs::registry()
+                        .counter("router_giop_connect_errors_total")
+                        .inc();
+                    client.shutdown();
+                    if let Some(hook) = self.on_error.read().clone() {
+                        hook();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splices two streams with a pair of copy threads. Each direction runs
+/// until EOF or error, then shuts both streams down so the twin thread
+/// unblocks too; `done` untracks the splice once the downstream copy
+/// (backend → client) finishes.
+fn splice(client: Stream, backend: Stream, done: impl FnOnce() + Send + 'static) {
+    let (Ok(client_r), Ok(backend_r)) = (client.try_clone(), backend.try_clone()) else {
+        client.shutdown();
+        backend.shutdown();
+        done();
+        return;
+    };
+    spawn_copy("giop-proxy-up", client_r, backend, || {});
+    spawn_copy("giop-proxy-down", backend_r, client, done);
+}
+
+fn spawn_copy(name: &str, mut from: Stream, mut to: Stream, done: impl FnOnce() + Send + 'static) {
+    let _ = std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if to.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            from.shutdown();
+            to.shutdown();
+            done();
+        });
+}

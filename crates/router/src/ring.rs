@@ -1,0 +1,104 @@
+//! Consistent-hash ring mapping class names onto shards.
+//!
+//! Each shard owns `vnodes` points on a 64-bit ring; a class lands on
+//! the first point clockwise of its own hash. Virtual nodes smooth the
+//! distribution, and the layout is a pure function of (shard count,
+//! vnode count) — every router replica computes identical assignments
+//! with no coordination.
+
+/// FNV-1a, 64-bit. Deterministic across platforms and dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer. Raw FNV-1a of near-identical short strings
+/// (`Class0`, `Class1`, …) clusters in the high bits, which a sorted
+/// ring keys on — without this avalanche step, sequential class names
+/// can all land on a couple of shards.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+fn ring_hash(bytes: &[u8]) -> u64 {
+    mix(fnv1a(bytes))
+}
+
+/// The ring: sorted (point, shard) pairs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds a ring of `shards` shards with `vnodes` points each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `vnodes` is zero.
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "a ring needs at least one vnode per shard");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                points.push((
+                    ring_hash(format!("shard-{shard}/vnode-{vnode}").as_bytes()),
+                    shard,
+                ));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// The shard owning `class`.
+    pub fn shard_for(&self, class: &str) -> usize {
+        let h = ring_hash(class.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_in_range() {
+        let a = HashRing::new(3, 32);
+        let b = HashRing::new(3, 32);
+        for name in ["Calc", "Echo", "Counter", "Inventory", "X", "Y9"] {
+            let s = a.shard_for(name);
+            assert!(s < 3);
+            assert_eq!(s, b.shard_for(name), "same layout must agree");
+        }
+    }
+
+    #[test]
+    fn classes_spread_across_shards() {
+        let ring = HashRing::new(4, 64);
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[ring.shard_for(&format!("Class{i}"))] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "64 classes over 4 shards should hit every shard: {seen:?}"
+        );
+    }
+}

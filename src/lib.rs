@@ -11,6 +11,8 @@
 //! * [`sde`] — the Server Development Environment middleware (the paper's
 //!   contribution),
 //! * [`cde`] — the Client Development Environment,
+//! * [`router`] — the sharded authority router: consistent-hash front
+//!   tier with WAL-replicated followers and live shard failover,
 //! * [`baseline`] — static Axis/OpenORB-style comparators.
 //!
 //! See `README.md` for the architecture overview and `DESIGN.md` for the
@@ -23,6 +25,7 @@ pub use cde;
 pub use corba;
 pub use httpd;
 pub use jpie;
+pub use router;
 pub use sde;
 pub use soap;
 pub use xmlrt;

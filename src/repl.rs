@@ -10,11 +10,12 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cde::{CallError, ClientEnvironment, DynamicStub};
 use jpie::{ClassHandle, MethodBuilder, TypeDesc, Value};
-use sde::{SdeConfig, SdeManager, SdeServerGateway, Technology};
+use router::{ClassSpec, HashRing, Router, RouterConfig};
+use sde::{SdeConfig, SdeManager, SdeServerGateway, Technology, TransportKind};
 
 /// The interactive session state.
 pub struct Repl {
@@ -36,6 +37,16 @@ pub struct Repl {
     down: bool,
     /// Deployments captured at crash time, redeployed by `restart`.
     crashed_servers: Vec<(String, Technology)>,
+    /// The `shards` command's demo cluster, built on first use.
+    shard_demo: Option<ShardDemo>,
+}
+
+/// A live sharded-router fleet the `shards` command drives: ring
+/// assignments, health, replication lag, and kill-to-promote failover,
+/// all observable from the shell.
+struct ShardDemo {
+    router: Router,
+    wal_root: std::path::PathBuf,
 }
 
 impl std::fmt::Debug for Repl {
@@ -86,6 +97,14 @@ SDE Manager Interface commands:
   verbose on|off                           toggle per-request trace events
   chaos                                    show the installed fault plan
   chaos off | chaos seed <n>               clear the plan / set the RNG seed
+  shards                                   demo router cluster: ring assignments,
+                                           shard health, WAL replication lag,
+                                           last failover
+  shards kill <n>                          kill shard n live; the router promotes
+                                           its WAL follower and reports the
+                                           detect/replay/republish latencies
+  shards call <Class>                      one bump() through the front tier
+  shards off                               tear the demo cluster down
   chaos <ep> <fault> [p]                   add a rule: <ep> is an address
                                            substring (or 'all'); <fault> is
                                            refuse | delay:<ms> | truncate:<n>
@@ -125,6 +144,7 @@ impl Repl {
             config,
             down: false,
             crashed_servers: Vec::new(),
+            shard_demo: None,
         })
     }
 
@@ -219,6 +239,7 @@ impl Repl {
             "events" => Ok(cmd_events(rest)),
             "verbose" => cmd_verbose(rest),
             "chaos" => self.cmd_chaos(rest),
+            "shards" => self.cmd_shards(rest),
             "servers" => Ok(self
                 .manager
                 .managed()
@@ -697,6 +718,176 @@ impl Repl {
     }
 }
 
+impl Repl {
+    /// The `shards` command: drive a live sharded-router demo fleet.
+    fn cmd_shards(&mut self, rest: &str) -> Result<String, String> {
+        const USAGE: &str = "usage: shards [kill <n> | call <Class> | off]";
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            [] | ["status"] => {
+                self.ensure_shard_demo()?;
+                Ok(self.render_shards())
+            }
+            ["kill", n] => {
+                self.ensure_shard_demo()?;
+                let n: usize = n.parse().map_err(|_| format!("bad shard {n:?}"))?;
+                let demo = self.shard_demo.as_ref().expect("demo just ensured");
+                let status = demo.router.status();
+                let Some(shard) = status.get(n) else {
+                    return Err(format!("no shard {n} (fleet has {})", status.len()));
+                };
+                if !shard.alive {
+                    return Err(format!("shard {n} is already down"));
+                }
+                let before = shard.generation;
+                demo.router.kill_shard(n);
+                // The health loop detects the death on its own — no
+                // client traffic needed — so just wait for the event.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                let promoted = loop {
+                    match demo.router.last_failover() {
+                        Some(ev) if ev.shard == n && ev.generation > before => break ev,
+                        _ if Instant::now() >= deadline => {
+                            return Err("failover did not complete within 10s".into());
+                        }
+                        _ => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                };
+                demo.router.wait_converged(Duration::from_secs(5));
+                Ok(format!(
+                    "shard {n} killed; WAL follower promoted to generation {}\n  \
+                     detect {:.1}ms + replay {:.1}ms + republish {:.1}ms = {:.1}ms\n  \
+                     republished: {}\n\n{}",
+                    promoted.generation,
+                    promoted.detect_ms,
+                    promoted.replay_ms,
+                    promoted.republish_ms,
+                    promoted.total_ms,
+                    promoted.classes.join(", "),
+                    self.render_shards()
+                ))
+            }
+            ["call", class] => {
+                self.ensure_shard_demo()?;
+                let demo = self.shard_demo.as_ref().expect("demo just ensured");
+                if !demo.router.assignments().iter().any(|(c, _)| c == class) {
+                    return Err(format!("no demo class {class:?} (see: shards)"));
+                }
+                let stub = self
+                    .env
+                    .connect_soap(&demo.router.wsdl_url(class))
+                    .map_err(|e| e.to_string())?;
+                let value = self
+                    .env
+                    .call(&stub, "bump", &[])
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "{class}.bump() => {value} (via front tier, shard {})",
+                    demo.router.shard_of(class)
+                ))
+            }
+            ["off"] => match self.shard_demo.take() {
+                Some(demo) => {
+                    demo.router.shutdown();
+                    let _ = std::fs::remove_dir_all(&demo.wal_root);
+                    Ok("shard demo stopped".into())
+                }
+                None => Err("no shard demo running (use: shards)".into()),
+            },
+            _ => Err(USAGE.into()),
+        }
+    }
+
+    /// Builds the demo fleet on first use: 3 shards, one counter class
+    /// homed on each, WAL replication on, mem transport.
+    fn ensure_shard_demo(&mut self) -> Result<(), String> {
+        if self.shard_demo.is_some() {
+            return Ok(());
+        }
+        static DEMO: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let demo = DEMO.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tag = format!("repl-{}-{demo}", std::process::id());
+        let wal_root = std::env::temp_dir().join(format!("sde-repl-shards-{tag}"));
+        let _ = std::fs::remove_dir_all(&wal_root);
+        let cfg = RouterConfig::new(3, TransportKind::Mem, &wal_root, &tag);
+        // Scan names until the ring homes one class on every shard, so
+        // the demo visibly exercises the whole fleet.
+        let ring = HashRing::new(cfg.shards, cfg.vnodes);
+        let mut covered = vec![false; cfg.shards];
+        let mut specs = Vec::new();
+        for i in 0.. {
+            let name = format!("Counter{i}");
+            let shard = ring.shard_for(&name);
+            if !covered[shard] {
+                covered[shard] = true;
+                specs.push(ClassSpec::soap(
+                    name.clone(),
+                    format!(
+                        "class {name} {{ field int n; distributed int bump() {{ \
+                         this.n = this.n + 1; return this.n; }} }}"
+                    ),
+                ));
+            }
+            if covered.iter().all(|&c| c) {
+                break;
+            }
+        }
+        let router = Router::start(cfg, specs).map_err(|e| e.to_string())?;
+        if !router.wait_converged(Duration::from_secs(10)) {
+            router.shutdown();
+            return Err("demo fleet failed to converge".into());
+        }
+        self.shard_demo = Some(ShardDemo { router, wal_root });
+        Ok(())
+    }
+
+    fn render_shards(&self) -> String {
+        let demo = self.shard_demo.as_ref().expect("render with demo running");
+        let mut out = format!("front: {}\nring assignments:\n", demo.router.front_url());
+        let mut assignments = demo.router.assignments();
+        assignments.sort();
+        for (class, shard) in assignments {
+            let _ = writeln!(out, "  {class} -> shard {shard}");
+        }
+        out.push_str("shard  gen  state  wal leader/follower  lag  replication  classes\n");
+        for s in demo.router.status() {
+            let _ = writeln!(
+                out,
+                "  {:<4} {:<4} {:<6} {:>10}/{:<8} {:>3}  {:<11}  {}",
+                s.id,
+                s.generation,
+                if s.alive { "up" } else { "down" },
+                s.leader_records,
+                s.follower_records,
+                s.lag_records,
+                if s.follower_connected {
+                    "connected"
+                } else {
+                    "detached"
+                },
+                s.classes.join(", ")
+            );
+        }
+        match demo.router.last_failover() {
+            Some(ev) => {
+                let _ = write!(
+                    out,
+                    "last failover: shard {} -> generation {} in {:.1}ms \
+                     (detect {:.1} + replay {:.1} + republish {:.1})",
+                    ev.shard,
+                    ev.generation,
+                    ev.total_ms,
+                    ev.detect_ms,
+                    ev.replay_ms,
+                    ev.republish_ms
+                );
+            }
+            None => out.push_str("last failover: none"),
+        }
+        out
+    }
+}
+
 fn cmd_stats(filter: &str) -> String {
     // The reactor summary line rides along with the metric dump (and
     // through the filter) so `stats reactor` answers "how loaded is
@@ -922,6 +1113,29 @@ mod tests {
         assert_eq!(run(&mut repl, "call Calc add 4 4"), "=> 8");
 
         assert!(repl.execute("quit").is_none());
+    }
+
+    #[test]
+    fn shards_command_drives_a_live_failover() {
+        let mut repl = Repl::new().unwrap();
+        let out = run(&mut repl, "shards");
+        assert!(out.contains("ring assignments:"), "{out}");
+        assert!(out.contains("-> shard 2"), "{out}");
+        assert!(out.contains("last failover: none"), "{out}");
+
+        let called = run(&mut repl, "shards call Counter0");
+        assert!(called.contains("Counter0.bump() => 1"), "{called}");
+
+        let killed = run(&mut repl, "shards kill 1");
+        assert!(killed.contains("WAL follower promoted"), "{killed}");
+        assert!(killed.contains("last failover: shard 1"), "{killed}");
+        // The fleet is whole again: the promoted shard reports up.
+        let demo = repl.shard_demo.as_ref().unwrap();
+        assert!(demo.router.status().iter().all(|s| s.alive));
+
+        assert!(run(&mut repl, "shards kill 9").contains("error"));
+        assert_eq!(run(&mut repl, "shards off"), "shard demo stopped");
+        assert!(run(&mut repl, "shards off").contains("error"));
     }
 
     #[test]
