@@ -2,9 +2,9 @@
 //! rate, retry spend, and RTT — the EXPERIMENTS.md resilience table.
 //!
 //! Usage: `chaos_sweep [calls] [tcp|mem] [--seed <n>] [--non-idempotent]
-//! [--kill-shard <n>] [--shards <k>] [--json <path>]` — defaults to 100
-//! idempotent calls per point over the in-memory transport at fault
-//! rates 0/10/20/30/40 %.
+//! [--kill-shard <n>] [--rebalance] [--shards <k>] [--json <path>]` —
+//! defaults to 100 idempotent calls per point over the in-memory
+//! transport at fault rates 0/10/20/30/40 %.
 //! `--non-idempotent` switches to a counter workload with the
 //! duplicate-generating `drop_reply` fault in the mix and reports
 //! exactly-once outcomes (executions vs. calls, duplicates suppressed).
@@ -14,11 +14,16 @@
 //! 0/20/40 % and reporting failover latency (detect → replay →
 //! republish → first successful call) alongside exactly-once and
 //! version-monotonicity verdicts.
+//! `--rebalance` runs the planned twin of the kill: one class *moved*
+//! between shards mid-sweep over the same fault rates, gating on zero
+//! failed calls, exact `executions == calls` accounting, and a bounded
+//! drain pause (catchup → drain → handoff latency split).
 
 use bench::chaos::{
     chaos_json, render_chaos, render_chaos_exactly_once, run_chaos_sweep, ChaosConfig,
 };
 use bench::json::take_json_arg;
+use bench::rebalance::{rebalance_json, render_rebalance, run_rebalance_sweep, RebalanceConfig};
 use bench::shardchaos::{
     kill_shard_json, render_kill_shard, run_kill_shard_sweep, KillShardConfig,
 };
@@ -32,6 +37,7 @@ fn main() {
     let mut transport = TransportKind::Mem;
     let mut non_idempotent = false;
     let mut kill_shard: Option<usize> = None;
+    let mut rebalance = false;
     let mut shards = 3usize;
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +61,7 @@ fn main() {
                 }
             }
             "--non-idempotent" => non_idempotent = true,
+            "--rebalance" => rebalance = true,
             "tcp" => transport = TransportKind::Tcp,
             "mem" => transport = TransportKind::Mem,
             a => {
@@ -69,6 +76,40 @@ fn main() {
         TransportKind::Tcp => "tcp",
         TransportKind::Mem => "mem",
     };
+
+    if rebalance {
+        let cfg = RebalanceConfig {
+            calls: calls.max(40),
+            shards,
+            transport,
+            seed,
+        };
+        let rates = [0.0, 0.2, 0.4];
+        eprintln!(
+            "rebalance sweep: {} calls per point over {:?}, {} shards, \
+             moving one class mid-sweep, fault plan seed {} ...",
+            cfg.calls, transport, cfg.shards, cfg.seed
+        );
+        let points = run_rebalance_sweep(&cfg, &rates);
+        println!("{}", render_rebalance(&points));
+        println!(
+            "One class is migrated between shards mid-sweep as a planned\n\
+             operation: WAL catch-up while the source serves, a bounded\n\
+             drain to quiescence (parked calls get 503 + a jittered\n\
+             Retry-After the client honors), then an atomic handoff of\n\
+             floors, instance state, reply cache, documents and routes.\n\
+             `failed` must be 0 and `executions` must equal calls exactly:\n\
+             unlike a crash, a planned move never resets state."
+        );
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, rebalance_json(&points, &cfg, transport_name)) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        return;
+    }
 
     if let Some(kill) = kill_shard {
         if kill >= shards {

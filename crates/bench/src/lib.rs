@@ -24,6 +24,11 @@
 //!   point, asserting 100 % client success, exactly-once accounting and
 //!   `version >= pre-crash`, and reporting the failover latency split.
 //!   Binary: `chaos_sweep --kill-shard <n>`.
+//! * [`rebalance`] — planned class migration under the same fault plan:
+//!   one class moved between shards mid-sweep, asserting zero failed
+//!   calls, `executions == calls` *exactly* (state carried, no resets),
+//!   version monotonicity, and a bounded drain pause. Binary:
+//!   `chaos_sweep --rebalance`.
 //!
 //! Each module returns plain data structures and a
 //! pretty text rendering so binaries can print paper-style tables and
@@ -37,6 +42,7 @@ pub mod consistency;
 pub mod harness;
 pub mod json;
 pub mod procinfo;
+pub mod rebalance;
 pub mod rogue;
 pub mod rtt;
 pub mod shardchaos;

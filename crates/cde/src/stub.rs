@@ -572,10 +572,28 @@ fn corba_to_error(method: &str, error: CorbaError) -> CallError {
         CorbaError::System(corba::SystemExceptionKind::ObjectNotExist, _) => {
             CallError::ServerNotInitialized
         }
+        // TRANSIENT is CORBA's "not executed, try again later" — the
+        // wire-level twin of HTTP 503. A draining or duplicate-guarding
+        // ORB answers it before entering the servant, so retrying is
+        // always safe regardless of idempotency; an embedded
+        // `retry_after_ms=N` hint paces the retry exactly like the SOAP
+        // `Retry-After` header does.
+        CorbaError::System(corba::SystemExceptionKind::Transient, reason) => {
+            CallError::Overloaded {
+                retry_after_ms: parse_retry_after_ms(&reason),
+            }
+        }
         CorbaError::User { message, .. } => CallError::Application(message),
         CorbaError::Transport(m) => CallError::Transport(m),
         other => CallError::Protocol(other.to_string()),
     }
+}
+
+/// Extracts a `retry_after_ms=N` pacing hint from a TRANSIENT reason.
+fn parse_retry_after_ms(reason: &str) -> Option<u64> {
+    let rest = &reason[reason.find("retry_after_ms=")? + "retry_after_ms=".len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Object Request Brokers: the server ORB with DSI dispatch and the
 //! client-side DII request API.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -83,6 +83,48 @@ impl ServerRequest {
     }
 }
 
+/// Drain gate and in-flight accounting for a server ORB, shared by the
+/// threaded and reactor engines.
+///
+/// The CORBA analogue of `httpd::ServerGate`: planned reconfiguration
+/// needs to drive an ORB to quiescence (Matevska-Meyer) — refuse *new*
+/// requests with the retryable `TRANSIENT` system exception (carrying a
+/// `retry_after_ms=N` pacing hint in the reason) while requests already
+/// dispatched run to completion, observable through an exact in-flight
+/// count. Admission increments before checking the flag (SeqCst both
+/// sides), so a drainer that set the flag and then read a zero count
+/// knows no request can still be racing into the servant.
+#[derive(Debug, Default)]
+pub struct OrbGate {
+    in_flight: AtomicU64,
+    draining: AtomicBool,
+    retry_after_ms: AtomicU64,
+}
+
+impl OrbGate {
+    /// Requests currently executing inside the servant.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Starts refusing new requests with `TRANSIENT`, hinting clients to
+    /// retry after `retry_after_ms`; dispatched requests complete.
+    pub fn begin_drain(&self, retry_after_ms: u64) {
+        self.retry_after_ms.store(retry_after_ms, Ordering::SeqCst);
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes normal admission.
+    pub fn end_drain(&self) {
+        self.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the gate is currently refusing new requests.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
 /// A running server ORB bound to one transport endpoint, dispatching every
 /// request through a [`DynamicImplementation`].
 ///
@@ -96,6 +138,7 @@ pub struct ServerOrb {
     listener: Arc<Listener>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     conns: Arc<ConnTracker>,
+    gate: Arc<OrbGate>,
     /// Present when the reactor engine serves this ORB (`tcp://` on
     /// Linux); `None` on the threaded `mem://` path.
     #[cfg(target_os = "linux")]
@@ -157,6 +200,7 @@ impl ServerOrb {
         let ior = Ior::new(type_id, local, object_key);
         let shutdown = Arc::new(AtomicBool::new(false));
         let implementation: Arc<dyn DynamicImplementation> = Arc::new(implementation);
+        let gate = Arc::new(OrbGate::default());
 
         #[cfg(target_os = "linux")]
         if matches!(&*listener, Listener::Tcp(_)) && std::env::var_os("ORB_THREADED_TCP").is_none()
@@ -166,6 +210,7 @@ impl ServerOrb {
                 shutdown.clone(),
                 implementation,
                 served_key,
+                gate.clone(),
             );
             return Ok(ServerOrb {
                 ior,
@@ -173,6 +218,7 @@ impl ServerOrb {
                 listener,
                 accept_thread: Mutex::new(Some(accept_thread)),
                 conns: Arc::new(ConnTracker::default()),
+                gate,
                 reactor: Some(state),
             });
         }
@@ -181,6 +227,7 @@ impl ServerOrb {
         let accept_listener = listener.clone();
         let accept_shutdown = shutdown.clone();
         let accept_conns = conns.clone();
+        let accept_gate = gate.clone();
         let accept_thread = thread::Builder::new()
             .name("orb-accept".into())
             .spawn(move || {
@@ -198,12 +245,13 @@ impl ServerOrb {
                     let _ = stream.set_read_timeout(Some(SERVER_IDLE_TIMEOUT));
                     let implementation = implementation.clone();
                     let conn_key = served_key.clone();
+                    let conn_gate = accept_gate.clone();
                     let tracked = accept_conns.track(&stream);
                     let thread_conns = accept_conns.clone();
                     let _ = thread::Builder::new()
                         .name("orb-conn".into())
                         .spawn(move || {
-                            serve_connection(stream, implementation, conn_key);
+                            serve_connection(stream, implementation, conn_key, conn_gate);
                             if let Some(id) = tracked {
                                 thread_conns.untrack(id);
                             }
@@ -218,6 +266,7 @@ impl ServerOrb {
             listener,
             accept_thread: Mutex::new(Some(accept_thread)),
             conns,
+            gate,
             #[cfg(target_os = "linux")]
             reactor: None,
         })
@@ -226,6 +275,12 @@ impl ServerOrb {
     /// The IOR clients use to reach this ORB.
     pub fn ior(&self) -> Ior {
         self.ior.clone()
+    }
+
+    /// The ORB's drain gate (in-flight accounting + drain-mode
+    /// `TRANSIENT` refusals), engine-independent.
+    pub fn gate(&self) -> &Arc<OrbGate> {
+        &self.gate
     }
 
     /// Stops accepting connections, sweeps every live connection off
@@ -276,6 +331,7 @@ fn serve_connection(
     stream: Stream,
     implementation: Arc<dyn DynamicImplementation>,
     served_key: Vec<u8>,
+    gate: Arc<OrbGate>,
 ) {
     let mut writer = match stream.try_clone() {
         Ok(s) => s,
@@ -312,7 +368,13 @@ fn serve_connection(
             }
             MsgType::Request => {
                 giop_counters().0.inc();
-                let reply = request_reply(implementation.as_ref(), &served_key, &body, big_endian);
+                let reply = request_reply(
+                    implementation.as_ref(),
+                    &served_key,
+                    &body,
+                    big_endian,
+                    &gate,
+                );
                 let advertise = implementation.caches_replies();
                 if write_reply_advertising(&mut writer, &reply, advertise, &mut bufs).is_err() {
                     return;
@@ -330,6 +392,7 @@ pub(crate) fn request_reply(
     served_key: &[u8],
     body: &[u8],
     big_endian: bool,
+    gate: &OrbGate,
 ) -> ReplyMessage {
     let (request_id, reply_body) = match decode_request(body, big_endian) {
         Ok(req) => {
@@ -343,20 +406,36 @@ pub(crate) fn request_reply(
                 ));
                 (id, outcome_to_reply(outcome))
             } else {
-                let mut sreq = ServerRequest {
-                    operation: req.operation,
-                    args: req.args,
-                    call_id: req.call_id,
-                    trace: req.trace,
-                    outcome: None,
-                };
-                implementation.invoke(&mut sreq);
-                let outcome = sreq.outcome.unwrap_or_else(|| {
+                // Increment before checking the drain flag (see
+                // [`OrbGate`]): a drained-but-admitted request is
+                // refused with TRANSIENT — the servant never ran, so a
+                // client retry is always safe.
+                gate.in_flight.fetch_add(1, Ordering::SeqCst);
+                let outcome = if gate.draining.load(Ordering::SeqCst) {
                     Err(CorbaError::system(
-                        SystemExceptionKind::NoImplement,
-                        "servant set no result",
+                        SystemExceptionKind::Transient,
+                        format!(
+                            "orb draining; retry_after_ms={}",
+                            gate.retry_after_ms.load(Ordering::SeqCst)
+                        ),
                     ))
-                });
+                } else {
+                    let mut sreq = ServerRequest {
+                        operation: req.operation,
+                        args: req.args,
+                        call_id: req.call_id,
+                        trace: req.trace,
+                        outcome: None,
+                    };
+                    implementation.invoke(&mut sreq);
+                    sreq.outcome.unwrap_or_else(|| {
+                        Err(CorbaError::system(
+                            SystemExceptionKind::NoImplement,
+                            "servant set no result",
+                        ))
+                    })
+                };
+                gate.in_flight.fetch_sub(1, Ordering::SeqCst);
                 (id, outcome_to_reply(outcome))
             }
         }

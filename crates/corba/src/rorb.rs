@@ -29,7 +29,9 @@ use crate::giop::{
     decode_locate_request, parse_frame_header, write_locate_reply, write_reply_advertising,
     GiopBufs, LocateStatus, MsgType, ReplyBody, ReplyMessage,
 };
-use crate::orb::{giop_counters, request_reply, DynamicImplementation, SERVER_IDLE_TIMEOUT};
+use crate::orb::{
+    giop_counters, request_reply, DynamicImplementation, OrbGate, SERVER_IDLE_TIMEOUT,
+};
 
 const READ_CHUNK: usize = 16 * 1024;
 
@@ -59,6 +61,7 @@ struct OrbShared {
     implementation: Arc<dyn DynamicImplementation>,
     served_key: Vec<u8>,
     dispatch: Arc<DispatchPool>,
+    gate: Arc<OrbGate>,
 }
 
 /// Starts the reactor engine for a bound `tcp://` listener: spawns the
@@ -68,6 +71,7 @@ pub(crate) fn start(
     shutdown: Arc<AtomicBool>,
     implementation: Arc<dyn DynamicImplementation>,
     served_key: Vec<u8>,
+    gate: Arc<OrbGate>,
 ) -> (ReactorState, JoinHandle<()>) {
     let label = listener.local_addr().to_string();
     let workers = std::thread::available_parallelism()
@@ -85,6 +89,7 @@ pub(crate) fn start(
         implementation,
         served_key,
         dispatch: dispatch.clone(),
+        gate,
     });
     let accept_thread = std::thread::Builder::new()
         .name("orb-accept".into())
@@ -442,6 +447,7 @@ fn execute_request(
         &shared.served_key,
         body,
         big_endian,
+        &shared.gate,
     );
     let advertise = shared.implementation.caches_replies();
     out.clear();

@@ -125,6 +125,12 @@ impl CorbaServer {
         self.core.reply_cache().stats()
     }
 
+    /// The ORB's drain gate: in-flight accounting and drain-mode
+    /// `TRANSIENT` refusals, for planned-migration quiescence.
+    pub fn gate(&self) -> &Arc<corba::OrbGate> {
+        self.orb.gate()
+    }
+
     /// Toggles the §5.7 reactive forced publication (see
     /// [`GatewayCore::set_reactive`](crate::GatewayCore::set_reactive)).
     pub fn set_reactive(&self, reactive: bool) {

@@ -41,7 +41,7 @@ pub use corba_server::CorbaServer;
 pub use docs::{DocumentStore, InterfaceServer, PublishedDocument};
 pub use error::SdeError;
 pub use gateway::{GatewayCore, HandlerMetrics, InvokeFailure, SdeServerGateway, Technology};
-pub use manager::{SdeConfig, SdeManager, TransportKind};
+pub use manager::{ClassExport, SdeConfig, SdeManager, TransportKind};
 pub use publish::{GeneratedDoc, PublicationStrategy, PublisherCore, PublisherMetrics};
 pub use replycache::{Admission, CachedReply, ReplyCache, ReplyCacheStats};
 pub use soap_server::SoapServer;

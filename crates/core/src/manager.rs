@@ -115,6 +115,31 @@ impl ManagedServer {
 /// # Ok(())
 /// # }
 /// ```
+/// Everything a planned migration carries from one manager to another:
+/// the dynamic class, the live instance (all field state), and the
+/// exactly-once reply cache. Produced by [`SdeManager::export_class`],
+/// consumed by [`SdeManager::import_class`].
+pub struct ClassExport {
+    /// The dynamic class behind the gateway (interface version rides
+    /// along, preserving the recency floor).
+    pub class: ClassHandle,
+    /// The live instance, if one was created.
+    pub instance: Option<Arc<Instance>>,
+    /// Which wire the class was serving.
+    pub technology: Technology,
+    replies: Vec<(obs::CallId, crate::replycache::CachedReply)>,
+}
+
+impl std::fmt::Debug for ClassExport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassExport")
+            .field("class", &self.class.name())
+            .field("technology", &self.technology)
+            .field("replies", &self.replies.len())
+            .finish_non_exhaustive()
+    }
+}
+
 pub struct SdeManager {
     config: SdeConfig,
     interface_server: InterfaceServer,
@@ -431,6 +456,80 @@ impl SdeManager {
             .ok_or_else(|| SdeError::NotManaged(class_name.to_string()))?;
         entry.gateway().shutdown();
         obs::trace::event("sde::manager", "undeploy", format!("class={class_name}"));
+        Ok(())
+    }
+
+    /// Captures a quiescent class for migration handoff **without**
+    /// undeploying it: the source gateway keeps serving (or draining)
+    /// until the importing manager has taken over and routes have
+    /// swapped — so there is never a window where the class exists
+    /// nowhere. The export carries the dynamic class (whose interface
+    /// version rides along, preserving the §6 recency floor), the live
+    /// instance with all field state, and the exactly-once reply cache
+    /// (a client whose first attempt executed here must get a replay at
+    /// the target, not a re-execution).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such server is managed.
+    pub fn export_class(&self, class_name: &str) -> Result<ClassExport, SdeError> {
+        let servers = self.servers.read();
+        let entry = servers
+            .get(class_name)
+            .ok_or_else(|| SdeError::NotManaged(class_name.to_string()))?;
+        let (core, technology) = match entry {
+            ManagedServer::Soap(s) => (s.core(), Technology::Soap),
+            ManagedServer::Corba(s) => (s.core(), Technology::Corba),
+        };
+        obs::trace::event(
+            "sde::manager",
+            "export-class",
+            format!("class={class_name} tech={technology}"),
+        );
+        Ok(ClassExport {
+            class: core.class().clone(),
+            instance: core.instance(),
+            technology,
+            replies: core.reply_cache().export_entries(),
+        })
+    }
+
+    /// Deploys an exported class on this manager — the receiving half of
+    /// a migration handoff. The caller must already have appended the
+    /// class's version floors to this manager's WAL (deployment applies
+    /// them via the usual restart path), so the first publication here
+    /// is at `version >= source`, which is what forces stale clients to
+    /// reconverge (§5.7). The live instance is adopted rather than
+    /// recreated and the reply-cache entries are installed before any
+    /// call can reach the new gateway.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class name is already managed here or an endpoint
+    /// cannot be bound.
+    pub fn import_class(&self, export: ClassExport) -> Result<(), SdeError> {
+        let ClassExport {
+            class,
+            instance,
+            technology,
+            replies,
+        } = export;
+        let name = class.name();
+        let core = match technology {
+            Technology::Soap => self.deploy_soap(class)?.core().clone(),
+            Technology::Corba => self.deploy_corba(class)?.core().clone(),
+        };
+        // Mirror the source exactly: a class that had no live instance
+        // stays inactive at the target too.
+        if let Some(instance) = instance {
+            core.adopt_instance(instance);
+        }
+        core.reply_cache().import_entries(replies);
+        obs::trace::event(
+            "sde::manager",
+            "import-class",
+            format!("class={name} tech={technology}"),
+        );
         Ok(())
     }
 

@@ -316,6 +316,45 @@ impl ReplyCache {
         self.resolved.notify_all();
     }
 
+    /// Snapshot of every completed reply, for planned migration: the
+    /// reply cache must travel with the class, or a client whose first
+    /// attempt executed on the old shard (reply lost in flight) would
+    /// re-execute its retry on the new one. In-flight sentinels are not
+    /// exported — migration only runs this after quiescence, when none
+    /// remain.
+    pub fn export_entries(&self) -> Vec<(CallId, CachedReply)> {
+        let inner = self.inner.lock();
+        inner
+            .order
+            .iter()
+            .filter_map(|id| match inner.map.get(id) {
+                Some(Slot::Done(e)) if e.stored_at.elapsed() <= self.ttl => {
+                    Some((*id, e.reply.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Installs exported replies (the receiving half of a migration
+    /// handoff). Existing entries for the same id are left in place.
+    pub fn import_entries(&self, entries: Vec<(CallId, CachedReply)>) {
+        let mut inner = self.inner.lock();
+        for (id, reply) in entries {
+            if inner.map.contains_key(&id) {
+                continue;
+            }
+            inner.map.insert(
+                id,
+                Slot::Done(Entry {
+                    reply,
+                    stored_at: Instant::now(),
+                }),
+            );
+            inner.order.push_back(id);
+        }
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> ReplyCacheStats {
         let inner = self.inner.lock();

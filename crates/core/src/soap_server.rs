@@ -120,6 +120,12 @@ impl SoapServer {
     pub fn set_reactive(&self, reactive: bool) {
         self.core.set_reactive(reactive);
     }
+
+    /// The endpoint's drain gate: in-flight accounting and drain-mode
+    /// 503s, for planned-migration quiescence.
+    pub fn gate(&self) -> &Arc<httpd::ServerGate> {
+        self.endpoint.gate()
+    }
 }
 
 impl SdeServerGateway for SoapServer {

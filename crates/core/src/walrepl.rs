@@ -389,6 +389,22 @@ impl WalFollower {
         &self.replica_path
     }
 
+    /// Catch-up mode: blocks until the replica's durable prefix reaches
+    /// `target_len` bytes (or `timeout` passes). A planned migration
+    /// attaches a temporary follower to the source's replicator while
+    /// the source keeps serving, then — once the source is quiescent and
+    /// its log can no longer grow — waits here for exact convergence.
+    pub fn wait_caught_up(&self, target_len: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.durable_len() < target_len {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
     /// Stops replicating and joins the worker thread.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -633,6 +649,72 @@ mod tests {
         let replica = open_wal(&replica_path);
         assert_eq!(replica.floor("/C.wsdl"), Some(1), "leader's truth wins");
         assert_eq!(replica.floor("/C.idl"), None, "divergent tail discarded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resync_converges_while_leader_concurrently_appends() {
+        let dir = temp_dir("live-resync");
+        let leader = open_wal(&dir.join("leader.wal"));
+        leader.append("/D.wsdl", 1).unwrap();
+        leader.append("/D.wsdl", 2).unwrap();
+        // A divergent replica forces a full resync at handshake — while
+        // a writer keeps appending to the leader the whole time. The
+        // follower must converge through the normal append stream after
+        // the resync snapshot, not ping-pong NACK/RESYNC forever.
+        let replica_path = dir.join("replica.wal");
+        {
+            let replica = open_wal(&replica_path);
+            replica.append("/Other.idl", 99).unwrap();
+        }
+        let repl = WalReplicator::serve(leader.clone(), "mem://walrepl-live-resync").unwrap();
+        let writer = {
+            let leader = leader.clone();
+            std::thread::spawn(move || {
+                for v in 3..40u64 {
+                    leader.append("/D.wsdl", v).unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+        let follower = WalFollower::start(repl.addr(), &replica_path);
+        writer.join().unwrap();
+        wait_until("converged after concurrent appends", || {
+            follower.durable_len() == leader.durable_len()
+        });
+        assert_eq!(
+            follower.resyncs(),
+            1,
+            "one snapshot, then appends — not a NACK loop"
+        );
+        assert_eq!(follower.records_applied(), leader.record_count());
+        follower.stop();
+        let replica = open_wal(&replica_path);
+        assert_eq!(replica.floor("/D.wsdl"), Some(39));
+        assert_eq!(replica.floor("/Other.idl"), None, "divergence discarded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn catch_up_mode_reaches_exact_convergence_once_leader_quiesces() {
+        let dir = temp_dir("catchup");
+        let leader = open_wal(&dir.join("leader.wal"));
+        for v in 1..=10u64 {
+            leader.append("/E.wsdl", v).unwrap();
+        }
+        let repl = WalReplicator::serve(leader.clone(), "mem://walrepl-catchup").unwrap();
+        // The migration pattern: attach a temporary catch-up follower
+        // while the leader still serves (and appends)...
+        let follower = WalFollower::start(repl.addr(), &dir.join("catchup.wal"));
+        leader.append("/E.wsdl", 11).unwrap();
+        // ...then, after drain quiescence freezes the log, wait for the
+        // exact final length.
+        let target = leader.durable_len();
+        assert!(follower.wait_caught_up(target, Duration::from_secs(5)));
+        assert_eq!(follower.durable_len(), target);
+        follower.stop();
+        let replica = open_wal(&dir.join("catchup.wal"));
+        assert_eq!(replica.floor("/E.wsdl"), Some(11));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -50,4 +50,4 @@ pub use error::HttpError;
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSide};
 pub use message::{Headers, Limits, Method, Request, Response, Status};
 pub use pool::ConnectionPool;
-pub use server::{Handler, HttpServer, PoolConfig};
+pub use server::{Handler, HttpServer, PoolConfig, ServerGate};

@@ -72,6 +72,75 @@ where
     }
 }
 
+/// Per-server drain gate and in-flight accounting, shared by both
+/// engines: every request passes through it on its way to the handler.
+///
+/// Planned reconfiguration (shard migration, rolling restart) needs two
+/// things from an endpoint: an exact count of requests currently inside
+/// the handler — so the operator can detect quiescence à la
+/// Matevska-Meyer instead of guessing — and a way to refuse *new* work
+/// with a retryable 503 + `Retry-After` while the in-flight requests
+/// run to completion. The admission order (increment, then check the
+/// drain flag, SeqCst both sides) guarantees that once a drainer has
+/// set the flag and observed `in_flight() == 0`, no request can slip
+/// past it into the handler.
+#[derive(Debug, Default)]
+pub struct ServerGate {
+    in_flight: AtomicU64,
+    draining: AtomicBool,
+    retry_after_ms: AtomicU64,
+}
+
+impl ServerGate {
+    /// Requests currently executing inside the handler.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Starts refusing new requests with 503 + `retry_after`; requests
+    /// already inside the handler run to completion.
+    pub fn begin_drain(&self, retry_after: Duration) {
+        self.retry_after_ms
+            .store(retry_after.as_millis() as u64, Ordering::SeqCst);
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes normal admission.
+    pub fn end_drain(&self) {
+        self.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the gate is currently refusing new requests.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Wraps the application handler with the server's [`ServerGate`].
+struct GatedHandler {
+    inner: Arc<dyn Handler>,
+    gate: Arc<ServerGate>,
+}
+
+impl Handler for GatedHandler {
+    fn handle(&self, req: &Request) -> Response {
+        // Increment *before* checking the flag: with SeqCst, a drainer
+        // that stores the flag and then reads a zero count knows no
+        // admission can still be racing toward the handler.
+        self.gate.in_flight.fetch_add(1, Ordering::SeqCst);
+        let out = if self.gate.draining.load(Ordering::SeqCst) {
+            Response::unavailable(
+                "server draining",
+                Duration::from_millis(self.gate.retry_after_ms.load(Ordering::SeqCst)),
+            )
+        } else {
+            self.inner.handle(req)
+        };
+        self.gate.in_flight.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+}
+
 /// How long a worker waits for the next request on an idle keep-alive
 /// connection before considering yielding it back to the accept queue
 /// (see [`serve_connection`]). Bounds the extra latency a request can
@@ -316,6 +385,7 @@ enum Engine {
 /// See the [crate-level documentation](crate).
 pub struct HttpServer {
     inner: Engine,
+    gate: Arc<ServerGate>,
 }
 
 impl fmt::Debug for HttpServer {
@@ -355,7 +425,11 @@ impl HttpServer {
                 "pool config must be non-zero: {cfg:?}"
             )));
         }
-        let handler: Arc<dyn Handler> = Arc::new(handler);
+        let gate = Arc::new(ServerGate::default());
+        let handler: Arc<dyn Handler> = Arc::new(GatedHandler {
+            inner: Arc::new(handler),
+            gate: gate.clone(),
+        });
         #[cfg(target_os = "linux")]
         if matches!(Addr::parse(addr)?, Addr::Tcp(_))
             && std::env::var_os("HTTPD_THREADED_TCP").is_none()
@@ -363,11 +437,24 @@ impl HttpServer {
             let server = crate::rserver::ReactorServer::bind(addr, handler, cfg)?;
             return Ok(HttpServer {
                 inner: Engine::Reactor(server),
+                gate,
             });
         }
         Ok(HttpServer {
             inner: Engine::Pooled(PooledServer::bind_with(addr, handler, cfg)?),
+            gate,
         })
+    }
+
+    /// The server's drain gate (in-flight accounting + drain-mode 503s),
+    /// engine-independent.
+    pub fn gate(&self) -> &Arc<ServerGate> {
+        &self.gate
+    }
+
+    /// Requests currently executing inside the application handler.
+    pub fn in_flight(&self) -> u64 {
+        self.gate.in_flight()
     }
 
     /// The bound address, e.g. `tcp://127.0.0.1:41234`.

@@ -25,12 +25,20 @@
 //! Distribution policy lives entirely in this tier — application
 //! classes are unchanged — which is the RAFDA separation the ROADMAP
 //! points at.
+//!
+//! The same machinery also runs as a *planned* operation
+//! ([`Router::move_class`], [`Router::drain_shard`],
+//! [`Router::rolling_restart`]): catch-up replication while the source
+//! serves, a bounded drain to quiescence, and an atomic handoff — live
+//! rebalancing and rolling restarts with zero failed calls.
 
+mod migrate;
 mod proxy;
 mod ring;
 #[allow(clippy::module_inception)]
 mod router;
 
+pub use migrate::{MigrationCtl, MigrationEvent, MigrationHandle, MoveOpts};
 pub use proxy::GiopProxy;
 pub use ring::HashRing;
 pub use router::{ClassSpec, FailoverEvent, Router, RouterConfig, RouterError, ShardStatus, Wire};

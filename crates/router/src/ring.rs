@@ -46,10 +46,27 @@ impl HashRing {
     ///
     /// Panics if `shards` or `vnodes` is zero.
     pub fn new(shards: usize, vnodes: usize) -> HashRing {
-        assert!(shards > 0, "a ring needs at least one shard");
         assert!(vnodes > 0, "a ring needs at least one vnode per shard");
-        let mut points = Vec::with_capacity(shards * vnodes);
-        for shard in 0..shards {
+        HashRing::with_weights(&vec![vnodes; shards])
+    }
+
+    /// Builds a ring with an explicit vnode count per shard — the
+    /// runtime-policy knob RAFDA argues for: placement capacity is a
+    /// deployment decision, so a beefier shard simply carries more
+    /// points. A zero weight removes the shard from the ring (it owns
+    /// nothing) while keeping its index stable for the router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or every weight is zero.
+    pub fn with_weights(weights: &[usize]) -> HashRing {
+        assert!(!weights.is_empty(), "a ring needs at least one shard");
+        assert!(
+            weights.iter().any(|&w| w > 0),
+            "a ring needs at least one vnode somewhere"
+        );
+        let mut points = Vec::with_capacity(weights.iter().sum());
+        for (shard, &vnodes) in weights.iter().enumerate() {
             for vnode in 0..vnodes {
                 points.push((
                     ring_hash(format!("shard-{shard}/vnode-{vnode}").as_bytes()),
@@ -58,7 +75,10 @@ impl HashRing {
             }
         }
         points.sort_unstable();
-        HashRing { points, shards }
+        HashRing {
+            points,
+            shards: weights.len(),
+        }
     }
 
     /// The shard owning `class`.
@@ -66,6 +86,19 @@ impl HashRing {
         let h = ring_hash(class.as_bytes());
         let idx = self.points.partition_point(|&(p, _)| p < h);
         self.points[idx % self.points.len()].1
+    }
+
+    /// The shard owning `class` when the shards in `excluded` are off
+    /// the ring — where a class lands while its home shard drains. The
+    /// walk continues clockwise from the class's own point, so every
+    /// non-excluded placement is stable under repeated exclusion.
+    /// Returns `None` when exclusion empties the ring.
+    pub fn shard_for_excluding(&self, class: &str, excluded: &[usize]) -> Option<usize> {
+        let h = ring_hash(class.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        (0..self.points.len())
+            .map(|i| self.points[(start + i) % self.points.len()].1)
+            .find(|s| !excluded.contains(s))
     }
 
     /// Number of shards on the ring.
@@ -87,6 +120,35 @@ mod tests {
             assert!(s < 3);
             assert_eq!(s, b.shard_for(name), "same layout must agree");
         }
+    }
+
+    #[test]
+    fn exclusion_rehomes_only_the_excluded_shards_classes() {
+        let ring = HashRing::new(3, 32);
+        for i in 0..48 {
+            let name = format!("Class{i}");
+            let home = ring.shard_for(&name);
+            let moved = ring.shard_for_excluding(&name, &[0]).unwrap();
+            assert_ne!(moved, 0, "excluded shard must own nothing");
+            if home != 0 {
+                assert_eq!(moved, home, "unaffected classes must not move");
+            }
+        }
+        assert_eq!(ring.shard_for_excluding("Any", &[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn weighted_ring_skews_ownership_and_zero_weight_owns_nothing() {
+        let ring = HashRing::with_weights(&[96, 8, 0]);
+        let mut counts = [0usize; 3];
+        for i in 0..200 {
+            counts[ring.shard_for(&format!("Class{i}"))] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight shard must own nothing");
+        assert!(
+            counts[0] > counts[1] * 3,
+            "12x the vnodes should attract most classes: {counts:?}"
+        );
     }
 
     #[test]

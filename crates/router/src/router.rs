@@ -1,9 +1,9 @@
 //! The router proper: shard lifecycle, the front HTTP proxy, health
 //! checking, and the failover state machine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -12,10 +12,12 @@ use cde::{BreakerState, CircuitBreaker};
 use corba::Ior;
 use httpd::{ConnectionPool, Handler, HttpClient, HttpServer, Method, Request, Response, Status};
 use jpie::Value;
+use obs::rng::XorShift64;
 use obs::sync::{Mutex, RwLock};
 use sde::{PublicationStrategy, SdeConfig, SdeManager, SdeServerGateway, TransportKind};
 use sde::{WalFollower, WalReplicator};
 
+use crate::migrate::{self, MigrationCtl, MigrationEvent, MigrationHandle, MoveOpts};
 use crate::proxy::GiopProxy;
 use crate::ring::HashRing;
 
@@ -80,6 +82,22 @@ pub struct RouterConfig {
     pub failure_threshold: u32,
     /// Probe connect timeout.
     pub probe_timeout: Duration,
+    /// Bound on the drain phase of a planned migration: quiescence
+    /// (zero in-flight calls on the moving class) must be reached
+    /// within this window or the migration aborts with the source
+    /// untouched.
+    pub drain_deadline: Duration,
+    /// Base Retry-After hint handed to clients parked by a drain or a
+    /// failover. Each response adds seeded jitter in `[0, base)` so a
+    /// parked herd does not reconverge on the new backend in one
+    /// synchronized wave.
+    pub retry_after: Duration,
+    /// Seed for the Retry-After jitter stream (deterministic runs).
+    pub seed: u64,
+    /// Optional per-shard vnode weights — relative placement capacity.
+    /// `None` means a uniform `vnodes` points per shard; a zero weight
+    /// keeps the shard running but homes no classes on it.
+    pub weights: Option<Vec<usize>>,
 }
 
 impl RouterConfig {
@@ -100,6 +118,10 @@ impl RouterConfig {
             health_interval: Duration::from_millis(20),
             failure_threshold: 2,
             probe_timeout: Duration::from_millis(100),
+            drain_deadline: Duration::from_secs(2),
+            retry_after: Duration::from_millis(25),
+            seed: 0x5DE0_2005,
+            weights: None,
         }
     }
 }
@@ -116,7 +138,7 @@ impl std::fmt::Display for RouterError {
 
 impl std::error::Error for RouterError {}
 
-fn rerr(e: impl std::fmt::Display) -> RouterError {
+pub(crate) fn rerr(e: impl std::fmt::Display) -> RouterError {
     RouterError(e.to_string())
 }
 
@@ -157,52 +179,79 @@ pub struct ShardStatus {
 
 /// One live backend process-equivalent: an SDE manager plus its
 /// replication chain.
-struct Backend {
-    manager: Arc<SdeManager>,
-    doc_authority: String,
+pub(crate) struct Backend {
+    pub(crate) manager: Arc<SdeManager>,
+    pub(crate) doc_authority: String,
     /// Backend SOAP endpoint per class: (authority, full URL).
-    soap_endpoints: HashMap<String, (String, String)>,
-    replicator: WalReplicator,
-    follower: Option<WalFollower>,
-    follower_dir: PathBuf,
+    pub(crate) soap_endpoints: HashMap<String, (String, String)>,
+    pub(crate) replicator: WalReplicator,
+    pub(crate) follower: Option<WalFollower>,
+    pub(crate) follower_dir: PathBuf,
 }
 
-struct Shard {
-    generation: u64,
-    classes: Vec<ClassSpec>,
-    backend: Backend,
-    dead: bool,
+pub(crate) struct Shard {
+    pub(crate) generation: u64,
+    pub(crate) classes: Vec<ClassSpec>,
+    pub(crate) backend: Backend,
+    pub(crate) dead: bool,
 }
 
 /// What the front handler needs per class, snapshotted under RwLock so
 /// the hot path never touches a shard mutex.
 #[derive(Clone)]
-struct Route {
-    shard: usize,
-    wire: Wire,
-    doc_authority: String,
+pub(crate) struct Route {
+    pub(crate) shard: usize,
+    pub(crate) wire: Wire,
+    pub(crate) doc_authority: String,
     /// Authority of the backend SOAP endpoint (forward target).
-    soap_authority: String,
+    pub(crate) soap_authority: String,
     /// Full backend endpoint URL (the needle rewritten out of WSDL).
-    soap_url: String,
+    pub(crate) soap_url: String,
 }
 
-struct RouterInner {
-    cfg: RouterConfig,
-    ring: HashRing,
-    shards: Vec<Mutex<Shard>>,
-    routes: RwLock<HashMap<String, Route>>,
+/// Per-class admission gate at the front proxy. A drain sets
+/// `draining` and waits for `in_flight` to reach zero; the hot path
+/// increments `in_flight` *before* checking the flag, so under SeqCst
+/// ordering no call can slip past an observed-quiescent gate
+/// (Matevska-Meyer quiescence, at the routing tier).
+#[derive(Default)]
+pub(crate) struct ClassGate {
+    pub(crate) draining: AtomicBool,
+    pub(crate) in_flight: AtomicU64,
+    /// Calls answered 503 while draining (the "pause" the client saw).
+    pub(crate) parked: AtomicU64,
+}
+
+pub(crate) struct RouterInner {
+    pub(crate) cfg: RouterConfig,
+    pub(crate) ring: HashRing,
+    pub(crate) shards: Vec<Mutex<Shard>>,
+    pub(crate) routes: RwLock<HashMap<String, Route>>,
     /// Stable GIOP front per CORBA class.
-    giop: HashMap<String, Arc<GiopProxy>>,
-    pool: ConnectionPool,
-    front_base: RwLock<String>,
-    breakers: Vec<RwLock<Arc<CircuitBreaker>>>,
-    failing_over: Vec<AtomicBool>,
+    pub(crate) giop: HashMap<String, Arc<GiopProxy>>,
+    pub(crate) pool: ConnectionPool,
+    pub(crate) front_base: RwLock<String>,
+    pub(crate) breakers: Vec<RwLock<Arc<CircuitBreaker>>>,
+    pub(crate) failing_over: Vec<AtomicBool>,
     /// First failure signal per shard since the last success, for the
     /// detect segment of failover latency.
-    suspected_at: Vec<Mutex<Option<Instant>>>,
-    last_failover: Mutex<Option<FailoverEvent>>,
-    stop: AtomicBool,
+    pub(crate) suspected_at: Vec<Mutex<Option<Instant>>>,
+    pub(crate) last_failover: Mutex<Option<FailoverEvent>>,
+    /// Front admission gates for planned drains, one per class.
+    pub(crate) class_gates: RwLock<HashMap<String, Arc<ClassGate>>>,
+    /// Pool generations already purged, per shard. Failover purges a
+    /// retired generation wholesale; a migration's deferred purge
+    /// consults this set (and the live generation) first, so the two
+    /// paths can race without ever double-purging connections a newer
+    /// healthy backend has since warmed at a reused authority.
+    pub(crate) purged_gens: Vec<Mutex<HashSet<u64>>>,
+    /// Serializes planned operations (one migration at a time).
+    pub(crate) migration_lock: Mutex<()>,
+    pub(crate) migration_seq: AtomicU64,
+    pub(crate) last_migration: Mutex<Option<MigrationEvent>>,
+    /// Seeded jitter stream for Retry-After hints.
+    pub(crate) retry_jitter: Mutex<XorShift64>,
+    pub(crate) stop: AtomicBool,
 }
 
 /// The sharded authority router.
@@ -221,7 +270,7 @@ impl std::fmt::Debug for Router {
     }
 }
 
-fn fresh_addr(transport: TransportKind, tag: &str, what: &str) -> String {
+pub(crate) fn fresh_addr(transport: TransportKind, tag: &str, what: &str) -> String {
     match transport {
         TransportKind::Mem => format!("mem://rt-{tag}-{what}"),
         TransportKind::Tcp => "tcp://127.0.0.1:0".to_string(),
@@ -239,7 +288,19 @@ impl Router {
     /// not parse.
     pub fn start(cfg: RouterConfig, classes: Vec<ClassSpec>) -> Result<Router, RouterError> {
         std::fs::create_dir_all(&cfg.wal_root).map_err(rerr)?;
-        let ring = HashRing::new(cfg.shards, cfg.vnodes);
+        let ring = match &cfg.weights {
+            Some(weights) => {
+                if weights.len() != cfg.shards {
+                    return Err(rerr(format!(
+                        "weights has {} entries for {} shards",
+                        weights.len(),
+                        cfg.shards
+                    )));
+                }
+                HashRing::with_weights(weights)
+            }
+            None => HashRing::new(cfg.shards, cfg.vnodes),
+        };
         let mut per_shard: Vec<Vec<ClassSpec>> = (0..cfg.shards).map(|_| Vec::new()).collect();
         for spec in classes {
             per_shard[ring.shard_for(&spec.name)].push(spec);
@@ -304,6 +365,14 @@ impl Router {
             failing_over: (0..cfg.shards).map(|_| AtomicBool::new(false)).collect(),
             suspected_at: (0..cfg.shards).map(|_| Mutex::new(None)).collect(),
             last_failover: Mutex::new(None),
+            class_gates: RwLock::new(HashMap::new()),
+            purged_gens: (0..cfg.shards)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+            migration_lock: Mutex::new(()),
+            migration_seq: AtomicU64::new(0),
+            last_migration: Mutex::new(None),
+            retry_jitter: Mutex::new(XorShift64::seed_from_u64(cfg.seed)),
             stop: AtomicBool::new(false),
             cfg,
         });
@@ -363,8 +432,13 @@ impl Router {
         format!("{}/{class}.ior", self.front.base_url())
     }
 
-    /// The shard `class` hashes to.
+    /// The shard currently serving `class` — the routing table when
+    /// the class is placed (migrations move placement away from its
+    /// ring home), the ring otherwise.
     pub fn shard_of(&self, class: &str) -> usize {
+        if let Some(route) = self.inner.routes.read().get(class) {
+            return route.shard;
+        }
         self.inner.ring.shard_for(class)
     }
 
@@ -430,6 +504,57 @@ impl Router {
     /// The most recent completed failover, if any.
     pub fn last_failover(&self) -> Option<FailoverEvent> {
         self.inner.last_failover.lock().clone()
+    }
+
+    /// The most recent completed migration, if any.
+    pub fn last_migration(&self) -> Option<MigrationEvent> {
+        self.inner.last_migration.lock().clone()
+    }
+
+    /// Moves `class` to `to_shard` as a planned, loss-free operation:
+    /// catch-up replication while the source keeps serving, a bounded
+    /// drain to quiescence, then an atomic handoff of version floors,
+    /// reply cache, instance state, documents and routes. Blocks until
+    /// the migration completes (or aborts with the source untouched).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class is unknown, already home, the drain deadline
+    /// expires, or a concurrent failover of the source wins the race —
+    /// in every case clients keep getting served (by whichever shard
+    /// won).
+    pub fn move_class(&self, class: &str, to_shard: usize) -> Result<MigrationEvent, RouterError> {
+        migrate::run_migration(
+            &self.inner,
+            class,
+            to_shard,
+            &MoveOpts::default(),
+            &MigrationCtl::new(),
+        )
+    }
+
+    /// Starts `move_class` on its own thread and returns a cancellable
+    /// handle. `opts.settle` inserts a dwell between catch-up and drain
+    /// — the window chaos tests use to kill the source or cancel the
+    /// move deterministically.
+    pub fn begin_move(&self, class: &str, to_shard: usize, opts: MoveOpts) -> MigrationHandle {
+        migrate::begin_move(&self.inner, class, to_shard, opts)
+    }
+
+    /// Drains shard `n`: migrates every class it serves to that
+    /// class's ring placement with shard `n` excluded. After a
+    /// successful drain the shard is alive but empty — ready for
+    /// `rolling_restart` style maintenance.
+    pub fn drain_shard(&self, n: usize) -> Result<Vec<MigrationEvent>, RouterError> {
+        migrate::drain_shard(&self.inner, n)
+    }
+
+    /// Restarts every shard in sequence with zero failed calls: drain
+    /// the shard, bounce its backend to a fresh generation, then move
+    /// each displaced class whose ring home is the restarted shard
+    /// back. Returns the migrations performed, in order.
+    pub fn rolling_restart(&self) -> Result<Vec<MigrationEvent>, RouterError> {
+        migrate::rolling_restart(&self.inner)
     }
 
     /// Current integer value of `field` on `class`'s live instance —
@@ -517,7 +642,7 @@ impl Drop for Router {
     }
 }
 
-fn route_for(shard: usize, spec: &ClassSpec, backend: &Backend) -> Route {
+pub(crate) fn route_for(shard: usize, spec: &ClassSpec, backend: &Backend) -> Route {
     let (soap_authority, soap_url) = backend
         .soap_endpoints
         .get(&spec.name)
@@ -535,7 +660,7 @@ fn route_for(shard: usize, spec: &ClassSpec, backend: &Backend) -> Route {
 /// Deploys `specs` on `manager` and wires the replication chain:
 /// leader-side streamer plus a fresh follower replicating into
 /// `s{shard}-replica-g{generation}`.
-fn start_backend(
+pub(crate) fn start_backend(
     cfg: &RouterConfig,
     shard: usize,
     generation: u64,
@@ -584,7 +709,7 @@ fn start_backend(
     })
 }
 
-fn authority_of(url: &str) -> String {
+pub(crate) fn authority_of(url: &str) -> String {
     if let Some(scheme_end) = url.find("://") {
         let rest = &url[scheme_end + 3..];
         if let Some(slash) = rest.find('/') {
@@ -597,7 +722,7 @@ fn authority_of(url: &str) -> String {
 impl RouterInner {
     /// Records a shard failure signal; opens the breaker and triggers
     /// failover once the threshold is crossed.
-    fn note_failure(self: &Arc<RouterInner>, shard: usize) {
+    pub(crate) fn note_failure(self: &Arc<RouterInner>, shard: usize) {
         if self.stop.load(Ordering::SeqCst) {
             return;
         }
@@ -615,6 +740,72 @@ impl RouterInner {
     fn note_success(&self, shard: usize) {
         *self.suspected_at[shard].lock() = None;
         self.breakers[shard].read().on_success();
+    }
+
+    /// The front admission gate for `class`, created on first use.
+    pub(crate) fn class_gate(&self, class: &str) -> Arc<ClassGate> {
+        if let Some(gate) = self.class_gates.read().get(class) {
+            return gate.clone();
+        }
+        self.class_gates
+            .write()
+            .entry(class.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Retry-After hint for a parked call: the configured base plus
+    /// seeded jitter in `[0, base)`, so a herd of parked clients
+    /// re-arrives spread over a full base-interval instead of as one
+    /// synchronized wave.
+    pub(crate) fn jittered_retry_after(&self) -> Duration {
+        let base_ms = self.cfg.retry_after.as_millis().max(1) as u64;
+        let extra = self.retry_jitter.lock().next_u64() % base_ms;
+        Duration::from_millis(base_ms + extra)
+    }
+
+    /// Purges a retired generation's pooled connections wholesale,
+    /// exactly once per (shard, generation): a failover racing a
+    /// migration — or a duplicated failure signal — must not re-purge
+    /// an authority a newer healthy generation has since re-bound and
+    /// warmed.
+    pub(crate) fn purge_retired_generation(
+        &self,
+        shard: usize,
+        generation: u64,
+        authorities: &[String],
+    ) {
+        if !self.purged_gens[shard].lock().insert(generation) {
+            obs::registry()
+                .counter("router_pool_purges_skipped_total")
+                .inc();
+            return;
+        }
+        for auth in authorities {
+            self.pool.purge(auth);
+        }
+    }
+
+    /// A migration's deferred purge of one authority, valid only while
+    /// `generation` is still the shard's live generation. If a
+    /// failover already retired (and purged) that generation, or the
+    /// shard has moved on, this is a no-op — the connections at that
+    /// authority now belong to someone else.
+    pub(crate) fn purge_if_generation_live(&self, shard: usize, generation: u64, authority: &str) {
+        if self.purged_gens[shard].lock().contains(&generation) {
+            obs::registry()
+                .counter("router_pool_purges_skipped_total")
+                .inc();
+            return;
+        }
+        let guard = self.shards[shard].lock();
+        if guard.generation != generation {
+            obs::registry()
+                .counter("router_pool_purges_skipped_total")
+                .inc();
+            return;
+        }
+        self.pool.purge(authority);
     }
 
     /// Kicks off failover on a dedicated thread (callers hold no shard
@@ -705,10 +896,9 @@ fn failover(inner: &Arc<RouterInner>, shard_id: usize) -> Result<(), RouterError
         inner.cfg.failure_threshold,
         Duration::from_millis(100),
     ));
-    inner.pool.purge(&old_doc_authority);
-    for auth in old_soap {
-        inner.pool.purge(&auth);
-    }
+    let mut retired = old_soap;
+    retired.push(old_doc_authority);
+    inner.purge_retired_generation(shard_id, shard.generation, &retired);
     let republish_ms = republish_started.elapsed().as_secs_f64() * 1e3;
 
     shard.generation = generation;
@@ -782,10 +972,6 @@ fn health_loop(inner: &Arc<RouterInner>) {
         std::thread::sleep(inner.cfg.health_interval);
     }
 }
-
-/// How long clients should wait before retrying while a shard fails
-/// over.
-const FAILOVER_RETRY_AFTER: Duration = Duration::from_millis(25);
 
 struct FrontHandler {
     inner: Arc<RouterInner>,
@@ -880,6 +1066,27 @@ impl FrontHandler {
         if route.wire != Wire::Soap || route.soap_authority.is_empty() {
             return Response::bad_request("router: not a SOAP class");
         }
+        // Drain admission: count ourselves in-flight *before* reading
+        // the flag, so a drainer that observes in_flight == 0 after
+        // setting `draining` knows no further call can reach the
+        // backend (SeqCst totally orders the two).
+        let gate = self.inner.class_gate(class);
+        gate.in_flight.fetch_add(1, Ordering::SeqCst);
+        let resp = if gate.draining.load(Ordering::SeqCst) {
+            gate.parked.fetch_add(1, Ordering::SeqCst);
+            obs::registry().counter("router_drain_parked_total").inc();
+            Response::unavailable(
+                "router: class migrating, retry shortly",
+                self.inner.jittered_retry_after(),
+            )
+        } else {
+            self.forward_call(&route, path, req)
+        };
+        gate.in_flight.fetch_sub(1, Ordering::SeqCst);
+        resp
+    }
+
+    fn forward_call(&self, route: &Route, path: &str, req: &Request) -> Response {
         let _span = obs::trace::span("router_call_forward_ns");
         let content_type = req.headers().get("Content-Type").unwrap_or("text/xml");
         let mut fwd = Request::post(path, req.body().to_vec(), content_type);
@@ -906,7 +1113,10 @@ impl FrontHandler {
             .inc();
         obs::trace::event("router", "forward-failed", format!("shard={shard} {e}"));
         self.inner.note_failure(shard);
-        Response::unavailable("router: shard failing over", FAILOVER_RETRY_AFTER)
+        Response::unavailable(
+            "router: shard failing over",
+            self.inner.jittered_retry_after(),
+        )
     }
 }
 

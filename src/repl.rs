@@ -104,6 +104,11 @@ SDE Manager Interface commands:
                                            its WAL follower and reports the
                                            detect/replay/republish latencies
   shards call <Class>                      one bump() through the front tier
+  shards move <Class> <n>                  planned migration of a class to shard
+                                           n: WAL catch-up, bounded drain,
+                                           atomic handoff — zero failed calls
+  shards drain <n>                         migrate every class off shard n (it
+                                           stays up, empty, restartable)
   shards off                               tear the demo cluster down
   chaos <ep> <fault> [p]                   add a rule: <ep> is an address
                                            substring (or 'all'); <fault> is
@@ -721,12 +726,56 @@ impl Repl {
 impl Repl {
     /// The `shards` command: drive a live sharded-router demo fleet.
     fn cmd_shards(&mut self, rest: &str) -> Result<String, String> {
-        const USAGE: &str = "usage: shards [kill <n> | call <Class> | off]";
+        const USAGE: &str =
+            "usage: shards [kill <n> | call <Class> | move <Class> <n> | drain <n> | off]";
         let parts: Vec<&str> = rest.split_whitespace().collect();
         match parts.as_slice() {
             [] | ["status"] => {
                 self.ensure_shard_demo()?;
                 Ok(self.render_shards())
+            }
+            ["move", class, n] => {
+                self.ensure_shard_demo()?;
+                let n: usize = n.parse().map_err(|_| format!("bad shard {n:?}"))?;
+                let demo = self.shard_demo.as_ref().expect("demo just ensured");
+                if !demo.router.assignments().iter().any(|(c, _)| c == class) {
+                    return Err(format!("no demo class {class:?} (see: shards)"));
+                }
+                let ev = demo
+                    .router
+                    .move_class(class, n)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "{class} migrated shard {} -> {} with zero failed calls\n  \
+                     catchup {:.1}ms + drain {:.1}ms + handoff {:.1}ms = {:.1}ms \
+                     ({} calls parked, {} WAL records streamed)\n\n{}",
+                    ev.from_shard,
+                    ev.to_shard,
+                    ev.catchup_ms,
+                    ev.drain_ms,
+                    ev.handoff_ms,
+                    ev.total_ms,
+                    ev.parked_calls,
+                    ev.wal_records,
+                    self.render_shards()
+                ))
+            }
+            ["drain", n] => {
+                self.ensure_shard_demo()?;
+                let n: usize = n.parse().map_err(|_| format!("bad shard {n:?}"))?;
+                let demo = self.shard_demo.as_ref().expect("demo just ensured");
+                let events = demo.router.drain_shard(n).map_err(|e| e.to_string())?;
+                let mut out = format!("shard {n} drained: {} class(es) migrated\n", events.len());
+                for ev in &events {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> shard {} in {:.1}ms (drain {:.1}ms)",
+                        ev.class, ev.to_shard, ev.total_ms, ev.drain_ms
+                    );
+                }
+                out.push('\n');
+                out.push_str(&self.render_shards());
+                Ok(out)
             }
             ["kill", n] => {
                 self.ensure_shard_demo()?;
@@ -883,6 +932,20 @@ impl Repl {
                 );
             }
             None => out.push_str("last failover: none"),
+        }
+        if let Some(ev) = demo.router.last_migration() {
+            let _ = write!(
+                out,
+                "\nlast migration: {} shard {} -> {} in {:.1}ms \
+                 (catchup {:.1} + drain {:.1} + handoff {:.1})",
+                ev.class,
+                ev.from_shard,
+                ev.to_shard,
+                ev.total_ms,
+                ev.catchup_ms,
+                ev.drain_ms,
+                ev.handoff_ms
+            );
         }
         out
     }
@@ -1136,6 +1199,46 @@ mod tests {
         assert!(run(&mut repl, "shards kill 9").contains("error"));
         assert_eq!(run(&mut repl, "shards off"), "shard demo stopped");
         assert!(run(&mut repl, "shards off").contains("error"));
+    }
+
+    #[test]
+    fn shards_command_drives_a_planned_migration_and_drain() {
+        let mut repl = Repl::new().unwrap();
+        let out = run(&mut repl, "shards");
+        assert!(out.contains("ring assignments:"), "{out}");
+
+        // Counter0's home shard, read from the live assignment table.
+        let home = repl
+            .shard_demo
+            .as_ref()
+            .unwrap()
+            .router
+            .shard_of("Counter0");
+        let target = (home + 1) % 3;
+
+        assert!(run(&mut repl, "shards call Counter0").contains("=> 1"));
+        let moved = run(&mut repl, &format!("shards move Counter0 {target}"));
+        assert!(moved.contains("zero failed calls"), "{moved}");
+        assert!(moved.contains("last migration: Counter0"), "{moved}");
+        // The instance moved with its state: the counter keeps going.
+        let called = run(&mut repl, "shards call Counter0");
+        assert!(called.contains("=> 2"), "state must survive: {called}");
+        assert!(called.contains(&format!("shard {target}")), "{called}");
+
+        assert!(run(&mut repl, "shards move Counter0 9").contains("error"));
+        assert!(run(&mut repl, "shards move Nope 0").contains("error"));
+
+        // Drain the target: every class it serves (including the one we
+        // just moved there) migrates off, and the shard reports empty.
+        let drained = run(&mut repl, &format!("shards drain {target}"));
+        assert!(drained.contains("drained"), "{drained}");
+        let demo = repl.shard_demo.as_ref().unwrap();
+        assert!(demo.router.status()[target].classes.is_empty());
+        assert!(demo.router.status().iter().all(|s| s.alive));
+        let called = run(&mut repl, "shards call Counter0");
+        assert!(called.contains("=> 3"), "{called}");
+
+        assert_eq!(run(&mut repl, "shards off"), "shard demo stopped");
     }
 
     #[test]
